@@ -1,0 +1,412 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage: `repro <experiment> [--fast] [--mumag]`
+//!
+//! Experiments:
+//! * `table1` — Table I: FO2 MAJ3 normalized output magnetization
+//!   (analytic by default; `--mumag` runs the full LLG validation,
+//!   `--fast` shrinks the gate for a quick run).
+//! * `table2` — Table II: FO2 XOR normalized output magnetization.
+//! * `table3` — Table III: energy/delay comparison.
+//! * `ratios` — the §IV-D ratio analysis.
+//! * `fig1` — Fig. 1: spin-wave parameter waveforms.
+//! * `fig2` — Fig. 2: constructive/destructive interference.
+//! * `fig3` / `fig4` — Fig. 3/4: gate geometry masks.
+//! * `fig5` — Fig. 5: micromagnetic m_x field maps for all 8 MAJ3
+//!   patterns (`--fast` uses the scaled-down gate; default is the
+//!   full-size paper gate and takes tens of minutes).
+//! * `thermal` — §IV-D: gate operation at finite temperature.
+//! * `variability` — §IV-D: gate operation with lithographic edge
+//!   roughness.
+//! * `ablation` — effect of the backend's numerical-fidelity features
+//!   (lattice compensation, drive trimming).
+//! * `all` — every analytic experiment (tables 1-3, ratios, figs 1-4).
+
+use std::f64::consts::PI;
+
+use magnum::geometry::rasterize;
+use magnum::mesh::Mesh;
+use swgates::encoding::{all_patterns, Bit};
+use swgates::prelude::*;
+use swperf::compare::Comparison;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mumag = args.iter().any(|a| a == "--mumag");
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let result = match command {
+        "table1" => table1(fast, mumag),
+        "table2" => table2(fast, mumag),
+        "table3" => {
+            table3();
+            Ok(())
+        }
+        "ratios" => {
+            ratios();
+            Ok(())
+        }
+        "fig1" => {
+            fig1();
+            Ok(())
+        }
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(fast),
+        "thermal" => thermal(),
+        "variability" => variability(),
+        "ablation" => ablation(),
+        "all" => all(),
+        other => {
+            eprintln!("unknown experiment `{other}`; see the module docs for the list");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn all() -> Result<(), SwGateError> {
+    table1(false, false)?;
+    println!();
+    table2(false, false)?;
+    println!();
+    table3();
+    println!();
+    ratios();
+    println!();
+    fig1();
+    println!();
+    fig2()?;
+    println!();
+    fig3()?;
+    println!();
+    fig4()
+}
+
+fn maj3_layout(fast: bool) -> Result<TriangleMaj3Layout, SwGateError> {
+    if fast {
+        TriangleMaj3Layout::from_multiples(55e-9, 50e-9, 2, 3, 4, 1)
+    } else {
+        Ok(TriangleMaj3Layout::paper())
+    }
+}
+
+fn xor_layout(fast: bool) -> Result<TriangleXorLayout, SwGateError> {
+    if fast {
+        TriangleXorLayout::new(55e-9, 50e-9, 110e-9, 40e-9)
+    } else {
+        Ok(TriangleXorLayout::paper())
+    }
+}
+
+/// Table I — FO2 MAJ3 normalized output magnetization.
+fn table1(fast: bool, mumag: bool) -> Result<(), SwGateError> {
+    println!("=== Table I — fan-in of 3 fan-out of 2 Majority gate ===");
+    println!("paper reference values (O1 ≈ O2): 000/111 -> 1.0; I1-minority -> 0.083,");
+    println!("I2-minority -> 0.16, I3-minority -> 0.164\n");
+    let gate = Maj3Gate::new(maj3_layout(fast && mumag)?);
+    let table = if mumag {
+        let backend = MumagBackend::fast();
+        eprintln!("running 3 calibration + 8 pattern LLG simulations ...");
+        gate.truth_table(&backend)?
+    } else {
+        gate.truth_table(&AnalyticBackend::paper())?
+    };
+    println!(
+        "{}",
+        table.render(if mumag {
+            "measured (micromagnetic backend)"
+        } else {
+            "measured (analytic backend)"
+        })
+    );
+    table.verify(|p| Bit::majority(p[0], p[1], p[2]))?;
+    println!(
+        "majority decoded correctly on all patterns at both outputs;\n\
+         max O1/O2 amplitude mismatch = {:.3} (paper: outputs identical)",
+        table.max_fanout_mismatch()
+    );
+    Ok(())
+}
+
+/// Table II — FO2 XOR normalized output magnetization.
+fn table2(fast: bool, mumag: bool) -> Result<(), SwGateError> {
+    println!("=== Table II — fan-in of 2 fan-out of 2 XOR gate ===");
+    println!("paper reference values: 00 -> 0.99/1, 01/10 -> ≈0, 11 -> 1\n");
+    let gate = XorGate::new(xor_layout(fast && mumag)?);
+    let table = if mumag {
+        let backend = MumagBackend::fast();
+        eprintln!("running 2 calibration + 4 pattern LLG simulations ...");
+        gate.truth_table(&backend)?
+    } else {
+        gate.truth_table(&AnalyticBackend::paper())?
+    };
+    println!(
+        "{}",
+        table.render(if mumag {
+            "measured (micromagnetic backend)"
+        } else {
+            "measured (analytic backend)"
+        })
+    );
+    table.verify(|p| Bit::xor(p[0], p[1]))?;
+    println!("XOR decoded correctly with threshold 0.5 at both outputs");
+    Ok(())
+}
+
+/// Table III — performance comparison.
+fn table3() {
+    println!("=== Table III — performance comparison ===\n");
+    print!("{}", Comparison::paper().render());
+    println!(
+        "\npaper reference row (this work): MAJ 5 cells / 0.4 ns / 10.3 aJ, \
+         XOR 4 cells / 0.4 ns / 6.9 aJ"
+    );
+}
+
+/// §IV-D ratio analysis.
+fn ratios() {
+    println!("=== §IV-D ratio analysis ===\n");
+    print!("{}", Comparison::paper().ratios().render());
+    println!(
+        "\nnote: the paper's prose claims 11x MAJ energy reduction vs 16 nm CMOS while its \
+         Table III numbers give 466/10.3 ≈ 45x; we reproduce the table."
+    );
+}
+
+/// Fig. 1 — spin-wave parameters (φ = 0, k = 1 vs φ = π, k = 3).
+fn fig1() {
+    println!("=== Fig. 1 — spin wave parameters ===\n");
+    let width = 64;
+    let render = |phase: f64, k: u32| {
+        let rows = 9;
+        let mut grid = vec![vec![' '; width]; rows];
+        for x in 0..width {
+            let theta = 2.0 * PI * k as f64 * x as f64 / width as f64 + phase;
+            let y = ((theta.sin() + 1.0) / 2.0 * (rows - 1) as f64).round() as usize;
+            grid[rows - 1 - y][x] = '*';
+        }
+        for row in grid {
+            println!("{}", row.into_iter().collect::<String>());
+        }
+    };
+    println!("a) φ = 0, k = 1:");
+    render(0.0, 1);
+    println!("\nb) φ = π, k = 3:");
+    render(PI, 3);
+}
+
+/// Fig. 2 — constructive and destructive interference.
+fn fig2() -> Result<(), SwGateError> {
+    println!("=== Fig. 2 — constructive / destructive interference ===\n");
+    let backend = AnalyticBackend::ideal();
+    let layout = xor_layout(false)?;
+    let (same, _) = backend.xor_outputs(&layout, [Bit::Zero, Bit::Zero]);
+    let (opposite, _) = backend.xor_outputs(&layout, [Bit::Zero, Bit::One]);
+    println!("wave 1 + wave 2, same phase:      |A| = {:.3} (constructive)", same.abs());
+    println!("wave 1 + wave 2, opposite phase:  |A| = {:.3} (destructive)", opposite.abs());
+    let samples = 48;
+    println!("\nsuperposed waveforms over one period:");
+    for (label, w2_phase) in [("constructive", 0.0), ("destructive", PI)] {
+        let mut line = String::new();
+        for i in 0..samples {
+            let t = 2.0 * PI * i as f64 / samples as f64;
+            let sum = t.sin() + (t + w2_phase).sin();
+            line.push(match sum {
+                s if s > 1.0 => '#',
+                s if s > 0.3 => '+',
+                s if s > -0.3 => '-',
+                s if s > -1.0 => '+',
+                _ => '#',
+            });
+        }
+        println!("  {label:<13} {line}");
+    }
+    Ok(())
+}
+
+/// Renders a layout's rasterized mask (Fig. 3/4 geometry).
+fn render_geometry(kind: &str) -> Result<(), SwGateError> {
+    let backend = MumagBackend::new(swphys::film::PerpendicularFilm::fecob(1e-9), 55e-9 / 2.0);
+    let cell = backend.cell();
+    let (shape, bounds) = match kind {
+        "maj3" => backend.maj3_geometry(&TriangleMaj3Layout::paper())?,
+        _ => backend.xor_geometry(&TriangleXorLayout::paper())?,
+    };
+    let (x0, y0, x1, y1) = bounds;
+    let nx = ((x1 - x0) / cell).ceil() as usize + 1;
+    let ny = ((y1 - y0) / cell).ceil() as usize + 1;
+    let mut mesh = Mesh::new(nx, ny, [cell, cell, 1e-9]).map_err(SwGateError::from)?;
+    struct Shifted {
+        inner: Box<dyn magnum::geometry::Shape>,
+        dx: f64,
+        dy: f64,
+    }
+    impl magnum::geometry::Shape for Shifted {
+        fn contains(&self, x: f64, y: f64) -> bool {
+            self.inner.contains(x - self.dx, y - self.dy)
+        }
+    }
+    let shifted = Shifted {
+        inner: shape,
+        dx: -x0,
+        dy: -y0,
+    };
+    rasterize(&mut mesh, &shifted);
+    println!("{}", mesh.mask_ascii());
+    Ok(())
+}
+
+/// Fig. 3 — the MAJ3 gate geometry.
+fn fig3() -> Result<(), SwGateError> {
+    println!("=== Fig. 3 — fan-out of 2 MAJ3 gate geometry (rasterized) ===");
+    let l = TriangleMaj3Layout::paper();
+    println!(
+        "λ = {:.0} nm, w = {:.0} nm, d1 = {:.0} nm, d2 = {:.0} nm, d3 = {:.0} nm, d4 = {:.0} nm\n",
+        l.wavelength() * 1e9,
+        l.width() * 1e9,
+        l.d1() * 1e9,
+        l.d2() * 1e9,
+        l.d3() * 1e9,
+        l.d4() * 1e9
+    );
+    render_geometry("maj3")
+}
+
+/// Fig. 4 — the XOR gate geometry.
+fn fig4() -> Result<(), SwGateError> {
+    println!("=== Fig. 4 — fan-out of 2 XOR gate geometry (rasterized) ===");
+    let l = TriangleXorLayout::paper();
+    println!(
+        "λ = {:.0} nm, w = {:.0} nm, d1 = {:.0} nm, d2 = {:.0} nm\n",
+        l.wavelength() * 1e9,
+        l.width() * 1e9,
+        l.d1() * 1e9,
+        l.d2() * 1e9
+    );
+    render_geometry("xor")
+}
+
+/// Fig. 5 — micromagnetic field maps for all 8 MAJ3 input patterns.
+fn fig5(fast: bool) -> Result<(), SwGateError> {
+    println!("=== Fig. 5 — MAJ3 micromagnetic simulations (m_x maps) ===\n");
+    let backend = MumagBackend::fast();
+    let layout = maj3_layout(fast)?;
+    if !fast {
+        eprintln!("full-size gate: this runs 3 + 8 LLG simulations and may take a while;");
+        eprintln!("pass --fast for the scaled-down gate.");
+    }
+    for (i, pattern) in all_patterns::<3>().into_iter().enumerate() {
+        let run = backend.maj3_run(&layout, pattern)?;
+        let snap = run.snapshot;
+        let scale = snap.max().max(-snap.min());
+        println!(
+            "{}) inputs (I1, I2, I3) = ({}, {}, {}); |O1| = {:.3e}, |O2| = {:.3e}",
+            (b'a' + i as u8) as char,
+            pattern[0],
+            pattern[1],
+            pattern[2],
+            run.o1.abs(),
+            run.o2.abs()
+        );
+        println!("{}", snap.to_ascii(scale));
+    }
+    Ok(())
+}
+
+/// §IV-D — thermal-noise robustness (micromagnetic, scaled-down XOR).
+fn thermal() -> Result<(), SwGateError> {
+    println!("=== §IV-D — gate operation at finite temperature ===\n");
+    let layout = xor_layout(true)?;
+    let gate = XorGate::new(layout);
+    for temperature in [0.0, 100.0, 300.0] {
+        // T > 0 needs a stronger drive and longer averaging: the
+        // thermal-magnon background of a 1 nm film rivals a weakly
+        // driven signal (see EXPERIMENTS.md, experiment X2).
+        let backend = if temperature > 0.0 {
+            MumagBackend::fast()
+                .with_temperature(temperature, 42)
+                .with_drive_amplitude(40e3)
+                .with_measure_periods(16)
+        } else {
+            MumagBackend::fast()
+        };
+        let table = gate.truth_table(&backend)?;
+        let ok = table.verify(|p| Bit::xor(p[0], p[1])).is_ok();
+        println!(
+            "T = {temperature:>5.0} K: XOR truth table {} (min strong {:.2}, max weak {:.2})",
+            if ok { "correct" } else { "CORRUPTED" },
+            table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]),
+            table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]),
+        );
+    }
+    println!("\n(the paper cites [36], [43]: thermal noise has limited impact — same finding)");
+    Ok(())
+}
+
+/// §IV-D — variability: edge roughness on the gate geometry.
+fn variability() -> Result<(), SwGateError> {
+    println!("=== §IV-D — gate operation with edge roughness ===\n");
+    let layout = xor_layout(true)?;
+    let gate = XorGate::new(layout);
+    for roughness_nm in [0.0, 1.0, 2.0, 3.0] {
+        let backend = if roughness_nm > 0.0 {
+            MumagBackend::fast().with_edge_roughness(roughness_nm * 1e-9, 20e-9, 7)
+        } else {
+            MumagBackend::fast()
+        };
+        let table = gate.truth_table(&backend)?;
+        let ok = table.verify(|p| Bit::xor(p[0], p[1])).is_ok();
+        println!(
+            "edge roughness ±{roughness_nm:.0} nm: XOR truth table {} \
+             (strong ≥ {:.2}, weak ≤ {:.2}, fan-out mismatch {:.2})",
+            if ok { "correct" } else { "CORRUPTED" },
+            table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]),
+            table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]),
+            table.max_fanout_mismatch(),
+        );
+    }
+    println!("\n(matches [36]/[43]: moderate roughness does not disturb gate functionality)");
+    Ok(())
+}
+
+/// Ablation: what the numerical-fidelity machinery buys. The XOR's two
+/// paths are mirror-symmetric, so trims barely matter there; the proof
+/// point is the MAJ3's I3-minority pattern (110), where the two-junction
+/// trunk path and the one-junction I3 path meet with uncorrected
+/// scattering phases and losses.
+fn ablation() -> Result<(), SwGateError> {
+    println!("=== ablation — drive trimming / lattice compensation on MAJ3(1,1,0) ===\n");
+    let layout = maj3_layout(true)?;
+    let configs: [(&str, MumagBackend); 3] = [
+        ("full (trims + compensation)", MumagBackend::fast()),
+        ("no lattice compensation", MumagBackend::fast().without_compensation()),
+        ("no drive trimming", MumagBackend::fast().without_phase_trim()),
+    ];
+    for (name, backend) in configs {
+        let (r, _) = backend.maj3_outputs(&layout, [Bit::Zero; 3])?;
+        // I3-minority: I1 = I2 = 1 outvote I3 = 0; the output must carry
+        // phase π (logic 1) with a suppressed amplitude.
+        let (o, _) = backend.maj3_outputs(&layout, [Bit::One, Bit::One, Bit::Zero])?;
+        let relphase = (o * r.conj()).arg();
+        let decoded = if relphase.abs() > std::f64::consts::FRAC_PI_2 { 1 } else { 0 };
+        println!(
+            "{name:<30} norm {:.3}, rel. phase {:+.2} rad -> decodes {} ({})",
+            o.abs() / r.abs(),
+            relphase,
+            decoded,
+            if decoded == 1 { "correct" } else { "WRONG — majority violated" },
+        );
+    }
+    println!("\n(the drive calibration is what keeps the tie-break semantics of the majority)");
+    Ok(())
+}

@@ -1,0 +1,651 @@
+//! Gate-level netlists with fan-out accounting.
+//!
+//! The paper's motivation (§I): a multi-output gate "can be used to feed
+//! multiple inputs of next stage gates simultaneously", avoiding gate
+//! replication. This module provides a small netlist layer that tracks
+//! exactly that: every spin-wave gate output can drive **at most two**
+//! loads (its fan-out of 2); driving more requires replicating the gate,
+//! and the transducer accounting reflects it — which is what the
+//! circuit-level energy comparisons in `swperf` consume.
+
+use std::fmt;
+
+use crate::encoding::Bit;
+use crate::SwGateError;
+
+/// The logic function of a netlist node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// 3-input majority (the triangle MAJ3 gate).
+    Maj3,
+    /// 2-input XOR (the triangle XOR gate).
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2-input AND (MAJ3 with I3 = 0).
+    And,
+    /// 2-input OR (MAJ3 with I3 = 1).
+    Or,
+    /// 2-input NAND (inverting AND).
+    Nand,
+    /// 2-input NOR (inverting OR).
+    Nor,
+    /// Inverter (a waveguide with an (n+½)λ section).
+    Not,
+    /// Repeater: regenerates a strong spin wave (\[37\]); logically a
+    /// buffer. §III-A: "the gate fan-out capabilities can be extended
+    /// beyond 2 by using directional couplers \[36\] to split the spin
+    /// wave into multiple arms and using repeaters \[37\] to regenerate a
+    /// strong SW".
+    Repeater,
+}
+
+impl GateKind {
+    /// Number of logic inputs.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Maj3 => 3,
+            GateKind::Not | GateKind::Repeater => 1,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the ideal logic function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(self, inputs: &[Bit]) -> Bit {
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self:?}");
+        match self {
+            GateKind::Maj3 => Bit::majority(inputs[0], inputs[1], inputs[2]),
+            GateKind::Xor => Bit::xor(inputs[0], inputs[1]),
+            GateKind::Xnor => !Bit::xor(inputs[0], inputs[1]),
+            GateKind::And => Bit::from_bool(inputs[0].as_bool() && inputs[1].as_bool()),
+            GateKind::Or => Bit::from_bool(inputs[0].as_bool() || inputs[1].as_bool()),
+            GateKind::Nand => !Bit::from_bool(inputs[0].as_bool() && inputs[1].as_bool()),
+            GateKind::Nor => !Bit::from_bool(inputs[0].as_bool() || inputs[1].as_bool()),
+            GateKind::Not => !inputs[0],
+            GateKind::Repeater => inputs[0],
+        }
+    }
+
+    /// Number of spin-wave excitation transducers in the triangle
+    /// implementation of this gate (control inputs count: they are
+    /// driven waves too).
+    pub fn excitation_cells(self) -> usize {
+        match self {
+            GateKind::Maj3 | GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => 3,
+            GateKind::Xor | GateKind::Xnor => 2,
+            GateKind::Not | GateKind::Repeater => 1,
+        }
+    }
+
+    /// Number of detection transducers (the FO2 gates expose 2 outputs;
+    /// the inverter exposes 1).
+    pub fn detection_cells(self) -> usize {
+        match self {
+            GateKind::Not | GateKind::Repeater => 1,
+            _ => 2,
+        }
+    }
+
+    /// Maximum fan-out an output of this gate supports without
+    /// repeaters/replication.
+    pub fn max_fanout(self) -> usize {
+        match self {
+            GateKind::Not => 1,
+            // A repeater's regenerated wave is split by a directional
+            // coupler into two arms ([36]).
+            _ => 2,
+        }
+    }
+}
+
+/// A signal in the netlist: a primary input or a gate output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Primary input `i`.
+    Input(usize),
+    /// Output of gate `g` (both physical outputs carry the same value).
+    Gate(usize),
+}
+
+/// A gate instance.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    kind: GateKind,
+    inputs: Vec<Signal>,
+}
+
+/// A feed-forward gate netlist.
+///
+/// ```
+/// use swgates::circuit::{Circuit, GateKind, Signal};
+/// use swgates::encoding::Bit;
+///
+/// # fn main() -> Result<(), swgates::SwGateError> {
+/// // carry = MAJ3(a, b, cin)
+/// let mut c = Circuit::new(3);
+/// let carry = c.add_gate(
+///     GateKind::Maj3,
+///     vec![Signal::Input(0), Signal::Input(1), Signal::Input(2)],
+/// )?;
+/// c.mark_output(carry)?;
+/// let out = c.evaluate(&[Bit::One, Bit::One, Bit::Zero])?;
+/// assert_eq!(out, vec![Bit::One]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_inputs: usize,
+    nodes: Vec<Node>,
+    outputs: Vec<Signal>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with `n_inputs` primary inputs.
+    pub fn new(n_inputs: usize) -> Self {
+        Circuit {
+            n_inputs,
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The declared circuit outputs.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// The kind of gate `index`, if it exists.
+    pub fn gate_kind(&self, index: usize) -> Option<GateKind> {
+        self.nodes.get(index).map(|n| n.kind)
+    }
+
+    /// The input signals of gate `index`, if it exists.
+    pub fn gate_inputs(&self, index: usize) -> Option<&[Signal]> {
+        self.nodes.get(index).map(|n| n.inputs.as_slice())
+    }
+
+    /// Adds a gate, returning its output signal. Inputs may reference
+    /// primary inputs or previously added gates only (feed-forward).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::InvalidLayout`] for arity mismatches or
+    /// references to undefined/later signals.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<Signal>) -> Result<Signal, SwGateError> {
+        if inputs.len() != kind.arity() {
+            return Err(SwGateError::InvalidLayout {
+                reason: format!(
+                    "{kind:?} takes {} inputs, got {}",
+                    kind.arity(),
+                    inputs.len()
+                ),
+            });
+        }
+        for signal in &inputs {
+            self.check_signal(*signal)?;
+        }
+        self.nodes.push(Node { kind, inputs });
+        Ok(Signal::Gate(self.nodes.len() - 1))
+    }
+
+    /// Declares a circuit output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::InvalidLayout`] for undefined signals.
+    pub fn mark_output(&mut self, signal: Signal) -> Result<(), SwGateError> {
+        self.check_signal(signal)?;
+        self.outputs.push(signal);
+        Ok(())
+    }
+
+    fn check_signal(&self, signal: Signal) -> Result<(), SwGateError> {
+        let ok = match signal {
+            Signal::Input(i) => i < self.n_inputs,
+            Signal::Gate(g) => g < self.nodes.len(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SwGateError::InvalidLayout {
+                reason: format!("signal {signal:?} is not defined at this point"),
+            })
+        }
+    }
+
+    /// Evaluates the circuit on a primary input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::InvalidLayout`] if the assignment length
+    /// does not match the input count.
+    pub fn evaluate(&self, inputs: &[Bit]) -> Result<Vec<Bit>, SwGateError> {
+        if inputs.len() != self.n_inputs {
+            return Err(SwGateError::InvalidLayout {
+                reason: format!(
+                    "circuit has {} inputs, assignment has {}",
+                    self.n_inputs,
+                    inputs.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let args: Vec<Bit> = node
+                .inputs
+                .iter()
+                .map(|s| match *s {
+                    Signal::Input(i) => inputs[i],
+                    Signal::Gate(g) => values[g],
+                })
+                .collect();
+            values.push(node.kind.eval(&args));
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|s| match *s {
+                Signal::Input(i) => inputs[i],
+                Signal::Gate(g) => values[g],
+            })
+            .collect())
+    }
+
+    /// Number of loads on a signal (gate inputs plus circuit outputs).
+    pub fn fanout_of(&self, signal: Signal) -> usize {
+        let gate_loads: usize = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.inputs.iter())
+            .filter(|&&s| s == signal)
+            .count();
+        let output_loads = self.outputs.iter().filter(|&&s| s == signal).count();
+        gate_loads + output_loads
+    }
+
+    /// Signals whose fan-out exceeds what their producing gate supports
+    /// (2 for the FO2 gates). These would need replication or repeaters.
+    pub fn fanout_violations(&self) -> Vec<(Signal, usize)> {
+        let mut violations = Vec::new();
+        for (g, node) in self.nodes.iter().enumerate() {
+            let signal = Signal::Gate(g);
+            let fanout = self.fanout_of(signal);
+            if fanout > node.kind.max_fanout() {
+                violations.push((signal, fanout));
+            }
+        }
+        violations
+    }
+
+    /// Total (excitation, detection) transducer counts over all gates —
+    /// the quantities the `swperf` energy model consumes.
+    pub fn transducer_counts(&self) -> (usize, usize) {
+        self.nodes.iter().fold((0, 0), |(e, d), n| {
+            (e + n.kind.excitation_cells(), d + n.kind.detection_cells())
+        })
+    }
+
+    /// Builds a full adder: `sum = a ⊕ b ⊕ cin`, `carry = MAJ3(a, b, cin)`
+    /// — the §II-B motivating example ("the Full Adder carry out is
+    /// computed as a 3-input majority"). Inputs: `[a, b, cin]`; outputs:
+    /// `[sum, carry]`.
+    pub fn full_adder() -> Circuit {
+        let mut c = Circuit::new(3);
+        let (a, b, cin) = (Signal::Input(0), Signal::Input(1), Signal::Input(2));
+        let ab = c
+            .add_gate(GateKind::Xor, vec![a, b])
+            .expect("valid by construction");
+        let sum = c
+            .add_gate(GateKind::Xor, vec![ab, cin])
+            .expect("valid by construction");
+        let carry = c
+            .add_gate(GateKind::Maj3, vec![a, b, cin])
+            .expect("valid by construction");
+        c.mark_output(sum).expect("valid");
+        c.mark_output(carry).expect("valid");
+        c
+    }
+
+    /// Builds an `n`-bit ripple-carry adder from full-adder stages.
+    /// Inputs: `a[0..n], b[0..n], cin`; outputs: `sum[0..n], cout`.
+    /// Every carry drives exactly 2 loads (the next stage's XOR and
+    /// MAJ3) — the canonical use of the fan-out of 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ripple_carry_adder(n: usize) -> Circuit {
+        assert!(n > 0, "adder width must be at least 1");
+        let mut c = Circuit::new(2 * n + 1);
+        let mut carry = Signal::Input(2 * n);
+        let mut sums = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = Signal::Input(i);
+            let b = Signal::Input(n + i);
+            let ab = c.add_gate(GateKind::Xor, vec![a, b]).expect("valid");
+            let sum = c.add_gate(GateKind::Xor, vec![ab, carry]).expect("valid");
+            let next = c.add_gate(GateKind::Maj3, vec![a, b, carry]).expect("valid");
+            sums.push(sum);
+            carry = next;
+        }
+        for s in sums {
+            c.mark_output(s).expect("valid");
+        }
+        c.mark_output(carry).expect("valid");
+        c
+    }
+}
+
+/// Rewrites a circuit so every gate output respects its fan-out limit,
+/// inserting [`GateKind::Repeater`] chains (\[36\], \[37\]) where a signal
+/// drives more loads than the producing gate supports — the §III-A
+/// recipe for fan-out beyond 2.
+///
+/// Primary inputs are assumed externally buffered (unlimited fan-out).
+/// The rewritten circuit computes the same function; its extra repeater
+/// levels show up in the `swperf` delay/energy estimates.
+///
+/// # Errors
+///
+/// Returns [`SwGateError::InvalidLayout`] only if the input circuit is
+/// malformed (cannot happen for circuits built through [`Circuit`]'s
+/// validated API).
+pub fn insert_repeaters(circuit: &Circuit) -> Result<Circuit, SwGateError> {
+    use std::collections::HashMap;
+
+    // Load counts per original gate signal.
+    let mut loads: HashMap<usize, usize> = HashMap::new();
+    for g in 0..circuit.gate_count() {
+        loads.insert(g, circuit.fanout_of(Signal::Gate(g)));
+    }
+
+    let mut out = Circuit::new(circuit.input_count());
+    // For each original gate: the queue of (signal, remaining slots).
+    let mut slots: HashMap<usize, Vec<(Signal, usize)>> = HashMap::new();
+
+    let take = |slots: &mut HashMap<usize, Vec<(Signal, usize)>>,
+                    g: usize|
+     -> Result<Signal, SwGateError> {
+        let queue = slots.get_mut(&g).ok_or_else(|| SwGateError::InvalidLayout {
+            reason: format!("signal Gate({g}) consumed before production"),
+        })?;
+        let front = queue.last_mut().ok_or_else(|| SwGateError::InvalidLayout {
+            reason: format!("signal Gate({g}) over-consumed"),
+        })?;
+        let signal = front.0;
+        front.1 -= 1;
+        if front.1 == 0 {
+            queue.pop();
+        }
+        Ok(signal)
+    };
+
+    let map_signal = |slots: &mut HashMap<usize, Vec<(Signal, usize)>>,
+                          s: Signal|
+     -> Result<Signal, SwGateError> {
+        match s {
+            Signal::Input(i) => Ok(Signal::Input(i)),
+            Signal::Gate(g) => take(slots, g),
+        }
+    };
+
+    for g in 0..circuit.gate_count() {
+        let kind = circuit.gate_kind(g).expect("index in range");
+        let inputs: Result<Vec<Signal>, SwGateError> = circuit
+            .gate_inputs(g)
+            .expect("index in range")
+            .iter()
+            .map(|s| map_signal(&mut slots, *s))
+            .collect();
+        let new_sig = out.add_gate(kind, inputs?)?;
+        let n = loads.get(&g).copied().unwrap_or(0).max(1);
+        let cap = kind.max_fanout();
+        // Build the slot queue (in reverse so `last_mut` pops in order):
+        // the producer serves up to `cap` loads; beyond that, a repeater
+        // chain extends the supply, each repeater consuming one slot and
+        // providing max_fanout fresh ones.
+        let mut queue: Vec<(Signal, usize)> = Vec::new();
+        if n <= cap {
+            queue.push((new_sig, n));
+        } else {
+            let mut remaining = n;
+            let mut current = new_sig;
+            let mut chain: Vec<(Signal, usize)> = Vec::new();
+            while remaining > cap {
+                // `current` feeds (cap - 1) real loads plus the repeater.
+                chain.push((current, cap - 1));
+                current = out.add_gate(GateKind::Repeater, vec![current])?;
+                remaining -= cap - 1;
+            }
+            chain.push((current, remaining));
+            chain.reverse();
+            queue = chain;
+        }
+        slots.insert(g, queue);
+    }
+
+    for output in circuit.outputs() {
+        let mapped = map_signal(&mut slots, *output)?;
+        out.mark_output(mapped)?;
+    }
+    Ok(out)
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} inputs, {} gates, {} outputs",
+            self.n_inputs,
+            self.nodes.len(),
+            self.outputs.len()
+        )?;
+        for (g, node) in self.nodes.iter().enumerate() {
+            writeln!(f, "  g{g}: {:?} <- {:?}", node.kind, node.inputs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::all_patterns;
+
+    #[test]
+    fn gate_kind_arity_and_eval() {
+        assert_eq!(GateKind::Maj3.arity(), 3);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Xor.arity(), 2);
+        assert_eq!(GateKind::Not.eval(&[Bit::Zero]), Bit::One);
+        assert_eq!(GateKind::Nand.eval(&[Bit::One, Bit::One]), Bit::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_panics_on_arity_mismatch() {
+        GateKind::Maj3.eval(&[Bit::Zero]);
+    }
+
+    #[test]
+    fn add_gate_validates_arity_and_references() {
+        let mut c = Circuit::new(2);
+        assert!(c.add_gate(GateKind::Xor, vec![Signal::Input(0)]).is_err());
+        assert!(c
+            .add_gate(GateKind::Xor, vec![Signal::Input(0), Signal::Input(5)])
+            .is_err());
+        assert!(c
+            .add_gate(GateKind::Xor, vec![Signal::Input(0), Signal::Gate(0)])
+            .is_err());
+        let g = c
+            .add_gate(GateKind::Xor, vec![Signal::Input(0), Signal::Input(1)])
+            .unwrap();
+        assert_eq!(g, Signal::Gate(0));
+    }
+
+    #[test]
+    fn full_adder_truth_table_is_correct() {
+        let fa = Circuit::full_adder();
+        for pattern in all_patterns::<3>() {
+            let out = fa.evaluate(&pattern).unwrap();
+            let total = pattern.iter().map(|b| b.as_u8() as usize).sum::<usize>();
+            assert_eq!(out[0].as_u8() as usize, total % 2, "sum for {pattern:?}");
+            assert_eq!(out[1].as_u8() as usize, total / 2, "carry for {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn full_adder_respects_fanout_limit() {
+        let fa = Circuit::full_adder();
+        assert!(fa.fanout_violations().is_empty());
+    }
+
+    #[test]
+    fn ripple_carry_adder_adds() {
+        let n = 4;
+        let adder = Circuit::ripple_carry_adder(n);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for cin in 0..2u32 {
+                    let mut inputs = Vec::with_capacity(2 * n + 1);
+                    for i in 0..n {
+                        inputs.push(Bit::from_bool(a >> i & 1 == 1));
+                    }
+                    for i in 0..n {
+                        inputs.push(Bit::from_bool(b >> i & 1 == 1));
+                    }
+                    inputs.push(Bit::from_bool(cin == 1));
+                    let out = adder.evaluate(&inputs).unwrap();
+                    let mut result = 0u32;
+                    for (i, bit) in out.iter().enumerate() {
+                        result |= (bit.as_u8() as u32) << i;
+                    }
+                    assert_eq!(result, a + b + cin, "{a} + {b} + {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_carry_adder_uses_fanout_of_two() {
+        let adder = Circuit::ripple_carry_adder(8);
+        assert!(adder.fanout_violations().is_empty());
+        // Interior carries drive exactly two loads.
+        // Gate indices: stage i has gates (3i, 3i+1, 3i+2); carry = 3i+2.
+        for stage in 0..7 {
+            let carry = Signal::Gate(3 * stage + 2);
+            assert_eq!(adder.fanout_of(carry), 2, "carry of stage {stage}");
+        }
+    }
+
+    #[test]
+    fn fanout_violation_is_detected() {
+        let mut c = Circuit::new(1);
+        let g = c.add_gate(GateKind::Not, vec![Signal::Input(0)]).unwrap();
+        // NOT supports fan-out 1; wire it to two loads.
+        c.add_gate(GateKind::Xor, vec![g, g]).unwrap();
+        let violations = c.fanout_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].0, g);
+        assert_eq!(violations[0].1, 2);
+    }
+
+    #[test]
+    fn transducer_counts_accumulate() {
+        let fa = Circuit::full_adder();
+        // 2 XOR (2 exc each) + 1 MAJ3 (3 exc): 7 excitation; 3 gates × 2
+        // detection: 6.
+        assert_eq!(fa.transducer_counts(), (7, 6));
+    }
+
+    #[test]
+    fn evaluate_validates_input_length() {
+        let fa = Circuit::full_adder();
+        assert!(fa.evaluate(&[Bit::Zero]).is_err());
+    }
+
+    #[test]
+    fn repeater_is_a_buffer() {
+        assert_eq!(GateKind::Repeater.arity(), 1);
+        assert_eq!(GateKind::Repeater.eval(&[Bit::One]), Bit::One);
+        assert_eq!(GateKind::Repeater.eval(&[Bit::Zero]), Bit::Zero);
+        assert_eq!(GateKind::Repeater.excitation_cells(), 1);
+        assert_eq!(GateKind::Repeater.max_fanout(), 2);
+    }
+
+    #[test]
+    fn insert_repeaters_fixes_high_fanout() {
+        // One XOR whose output drives 5 loads.
+        let mut c = Circuit::new(2);
+        let g = c
+            .add_gate(GateKind::Xor, vec![Signal::Input(0), Signal::Input(1)])
+            .unwrap();
+        for _ in 0..2 {
+            let n = c.add_gate(GateKind::Xor, vec![g, g]).unwrap();
+            c.mark_output(n).unwrap();
+        }
+        c.mark_output(g).unwrap();
+        assert_eq!(c.fanout_of(g), 5);
+        assert_eq!(c.fanout_violations().len(), 1);
+
+        let fixed = insert_repeaters(&c).unwrap();
+        assert!(fixed.fanout_violations().is_empty(), "{fixed}");
+        // Repeaters were added: 5 loads at fan-out 2 need 3 repeaters.
+        assert_eq!(fixed.gate_count(), c.gate_count() + 3);
+        // Logic is unchanged.
+        for pattern in all_patterns::<2>() {
+            assert_eq!(
+                c.evaluate(&pattern).unwrap(),
+                fixed.evaluate(&pattern).unwrap(),
+                "pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_repeaters_is_identity_for_compliant_circuits() {
+        let fa = Circuit::full_adder();
+        let fixed = insert_repeaters(&fa).unwrap();
+        assert_eq!(fixed.gate_count(), fa.gate_count());
+        for pattern in all_patterns::<3>() {
+            assert_eq!(fa.evaluate(&pattern).unwrap(), fixed.evaluate(&pattern).unwrap());
+        }
+    }
+
+    #[test]
+    fn insert_repeaters_handles_adders() {
+        let adder = Circuit::ripple_carry_adder(4);
+        let fixed = insert_repeaters(&adder).unwrap();
+        assert!(fixed.fanout_violations().is_empty());
+        // Spot-check an addition.
+        let mut inputs = vec![Bit::Zero; 9];
+        inputs[0] = Bit::One; // a = 1
+        inputs[4] = Bit::One; // b = 1
+        let out = fixed.evaluate(&inputs).unwrap();
+        assert_eq!(out[1], Bit::One, "1 + 1 = 0b10");
+        assert_eq!(out[0], Bit::Zero);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let fa = Circuit::full_adder();
+        let text = fa.to_string();
+        assert!(text.contains("3 inputs"));
+        assert!(text.contains("Maj3"));
+    }
+}

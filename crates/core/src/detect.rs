@@ -1,0 +1,280 @@
+//! Output detection: phase detection and threshold detection.
+//!
+//! The paper uses two readout schemes (§III):
+//!
+//! * **Phase detection** (Majority gate): "a 0 SW phase corresponds to a
+//!   logic 0 and a phase of π to logic 1". [`PhaseDetector`] compares the
+//!   measured output phase against a reference phase (the phase the
+//!   all-zeros pattern produces at that output).
+//! * **Threshold detection** (XOR/XNOR): "if the received SW
+//!   magnetization is larger than the predefined threshold, this is logic
+//!   0, and logic 1 otherwise" — with the **flipped** condition giving
+//!   XNOR. [`ThresholdDetector`] implements both polarities; the paper's
+//!   threshold is 0.5 of the normalized magnetization.
+
+use crate::encoding::Bit;
+use crate::SwGateError;
+
+/// Wraps a phase to (−π, π].
+fn wrap_phase(phi: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut p = phi % two_pi;
+    if p > std::f64::consts::PI {
+        p -= two_pi;
+    } else if p <= -std::f64::consts::PI {
+        p += two_pi;
+    }
+    p
+}
+
+/// Phase detector for Majority-gate readout (§III-A).
+///
+/// ```
+/// use swgates::detect::PhaseDetector;
+/// use swgates::encoding::Bit;
+/// let det = PhaseDetector::new(0.0);
+/// assert_eq!(det.decode(0.1).unwrap(), Bit::Zero);
+/// assert_eq!(det.decode(std::f64::consts::PI - 0.1).unwrap(), Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDetector {
+    reference: f64,
+    /// Decode margin: phases within `margin` of the ±π/2 decision
+    /// boundary are rejected as undecodable.
+    margin: f64,
+}
+
+impl PhaseDetector {
+    /// Creates a detector with the given reference phase (radians) — the
+    /// phase a logic-0 output exhibits — and a default decision margin of
+    /// π/8.
+    pub fn new(reference: f64) -> Self {
+        PhaseDetector {
+            reference,
+            margin: std::f64::consts::PI / 8.0,
+        }
+    }
+
+    /// Overrides the decision margin (radians, must be in [0, π/2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is outside [0, π/2).
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(
+            (0.0..std::f64::consts::FRAC_PI_2).contains(&margin),
+            "margin must be in [0, π/2), got {margin}"
+        );
+        self.margin = margin;
+        self
+    }
+
+    /// The reference (logic 0) phase.
+    pub fn reference(&self) -> f64 {
+        self.reference
+    }
+
+    /// Decodes a measured phase (radians).
+    ///
+    /// Phases within π/2 of the reference decode to [`Bit::Zero`], phases
+    /// within π/2 of reference + π decode to [`Bit::One`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::Undecodable`] when the phase falls within
+    /// the configured margin of the decision boundary.
+    pub fn decode(&self, phase: f64) -> Result<Bit, SwGateError> {
+        let delta = wrap_phase(phase - self.reference).abs();
+        let boundary = std::f64::consts::FRAC_PI_2;
+        if (delta - boundary).abs() < self.margin {
+            return Err(SwGateError::Undecodable {
+                output: "phase",
+                reason: format!(
+                    "phase offset {delta:.3} rad is within {:.3} rad of the π/2 boundary",
+                    self.margin
+                ),
+            });
+        }
+        Ok(Bit::from_bool(delta > boundary))
+    }
+}
+
+/// Which logic value a super-threshold amplitude maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Polarity {
+    /// XOR convention (§III-B): amplitude **above** threshold ⇒ logic 0.
+    #[default]
+    Xor,
+    /// XNOR convention: the flipped condition — above threshold ⇒ logic 1.
+    Xnor,
+}
+
+/// Threshold (amplitude) detector for XOR/XNOR readout (§III-B).
+///
+/// ```
+/// use swgates::detect::{Polarity, ThresholdDetector};
+/// use swgates::encoding::Bit;
+/// let det = ThresholdDetector::paper(); // threshold 0.5, XOR polarity
+/// assert_eq!(det.decode(0.99).unwrap(), Bit::Zero);
+/// assert_eq!(det.decode(0.01).unwrap(), Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdDetector {
+    threshold: f64,
+    polarity: Polarity,
+    /// Amplitudes within `margin` of the threshold are undecodable.
+    margin: f64,
+}
+
+impl ThresholdDetector {
+    /// Creates a detector with the given normalized-amplitude threshold.
+    pub fn new(threshold: f64, polarity: Polarity) -> Self {
+        ThresholdDetector {
+            threshold,
+            polarity,
+            margin: 0.05,
+        }
+    }
+
+    /// The paper's §IV-C configuration: threshold 0.5, XOR polarity.
+    pub fn paper() -> Self {
+        ThresholdDetector::new(0.5, Polarity::Xor)
+    }
+
+    /// Overrides the undecodable margin (normalized amplitude units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative, got {margin}");
+        self.margin = margin;
+        self
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The polarity (XOR or XNOR).
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// Decodes a normalized amplitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::Undecodable`] when the amplitude lies
+    /// within the margin of the threshold.
+    pub fn decode(&self, normalized_amplitude: f64) -> Result<Bit, SwGateError> {
+        if (normalized_amplitude - self.threshold).abs() < self.margin {
+            return Err(SwGateError::Undecodable {
+                output: "amplitude",
+                reason: format!(
+                    "amplitude {normalized_amplitude:.3} within {:.3} of threshold {:.3}",
+                    self.margin, self.threshold
+                ),
+            });
+        }
+        let above = normalized_amplitude > self.threshold;
+        Ok(match self.polarity {
+            Polarity::Xor => Bit::from_bool(!above),
+            Polarity::Xnor => Bit::from_bool(above),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn phase_detector_decodes_clean_phases() {
+        let det = PhaseDetector::new(0.0);
+        assert_eq!(det.decode(0.0).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(PI).unwrap(), Bit::One);
+        assert_eq!(det.decode(-PI).unwrap(), Bit::One);
+        assert_eq!(det.decode(0.3).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(PI - 0.3).unwrap(), Bit::One);
+    }
+
+    #[test]
+    fn phase_detector_respects_reference() {
+        let det = PhaseDetector::new(PI / 2.0);
+        assert_eq!(det.decode(PI / 2.0 + 0.1).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(-PI / 2.0).unwrap(), Bit::One);
+    }
+
+    #[test]
+    fn phase_detector_rejects_boundary() {
+        let det = PhaseDetector::new(0.0);
+        assert!(matches!(
+            det.decode(PI / 2.0),
+            Err(SwGateError::Undecodable { .. })
+        ));
+        assert!(matches!(
+            det.decode(PI / 2.0 + 0.01),
+            Err(SwGateError::Undecodable { .. })
+        ));
+    }
+
+    #[test]
+    fn phase_detector_wraps_large_phases() {
+        let det = PhaseDetector::new(0.0);
+        assert_eq!(det.decode(4.0 * PI + 0.1).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(5.0 * PI).unwrap(), Bit::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in")]
+    fn phase_margin_validation() {
+        let _ = PhaseDetector::new(0.0).with_margin(2.0);
+    }
+
+    #[test]
+    fn threshold_detector_paper_settings() {
+        let det = ThresholdDetector::paper();
+        assert_eq!(det.threshold(), 0.5);
+        assert_eq!(det.polarity(), Polarity::Xor);
+    }
+
+    #[test]
+    fn threshold_detector_xor_polarity_matches_table_ii() {
+        let det = ThresholdDetector::paper();
+        // Table II: {0,0} -> 0.99 amplitude -> logic 0; {0,1} -> ~0 -> 1.
+        assert_eq!(det.decode(0.99).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(1.0).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(0.02).unwrap(), Bit::One);
+    }
+
+    #[test]
+    fn threshold_detector_xnor_flips() {
+        let det = ThresholdDetector::new(0.5, Polarity::Xnor);
+        assert_eq!(det.decode(0.99).unwrap(), Bit::One);
+        assert_eq!(det.decode(0.02).unwrap(), Bit::Zero);
+    }
+
+    #[test]
+    fn threshold_detector_rejects_near_threshold() {
+        let det = ThresholdDetector::paper();
+        assert!(det.decode(0.5).is_err());
+        assert!(det.decode(0.52).is_err());
+        assert!(det.decode(0.56).is_ok());
+    }
+
+    #[test]
+    fn zero_margin_accepts_everything_but_exact_boundary() {
+        let det = ThresholdDetector::paper().with_margin(0.0);
+        assert_eq!(det.decode(0.500001).unwrap(), Bit::Zero);
+        assert_eq!(det.decode(0.499999).unwrap(), Bit::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn threshold_margin_validation() {
+        let _ = ThresholdDetector::paper().with_margin(-0.1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Phase encoding of logic values.
+//!
+//! §III-A step (i): "SWs are excited with the suitable phase (0 for logic
+//! 0 and phase π for logic 1)". [`Bit`] is the logic value; conversion to
+//! and from phases lives here so every backend encodes identically.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A binary logic value carried by a spin wave's phase.
+///
+/// ```
+/// use swgates::encoding::Bit;
+/// assert_eq!(Bit::One.phase(), std::f64::consts::PI);
+/// assert_eq!(!Bit::One, Bit::Zero);
+/// assert_eq!(Bit::from_bool(true), Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Bit {
+    /// Logic 0 — spin wave excited with phase 0.
+    #[default]
+    Zero,
+    /// Logic 1 — spin wave excited with phase π.
+    One,
+}
+
+impl Bit {
+    /// Both values, in numeric order.
+    pub const ALL: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    /// The excitation phase in radians (0 or π).
+    #[inline]
+    pub fn phase(self) -> f64 {
+        match self {
+            Bit::Zero => 0.0,
+            Bit::One => std::f64::consts::PI,
+        }
+    }
+
+    /// The signed amplitude factor `e^{iφ}` restricted to the real axis:
+    /// +1 for logic 0, −1 for logic 1.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Bit::Zero => 1.0,
+            Bit::One => -1.0,
+        }
+    }
+
+    /// Converts from `bool` (`true` ⇒ 1).
+    #[inline]
+    pub fn from_bool(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Converts to `bool` (1 ⇒ `true`).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self == Bit::One
+    }
+
+    /// Numeric value 0 or 1.
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Three-input majority vote — the gate's ideal behaviour.
+    pub fn majority(a: Bit, b: Bit, c: Bit) -> Bit {
+        Bit::from_bool(a.as_u8() + b.as_u8() + c.as_u8() >= 2)
+    }
+
+    /// Two-input exclusive OR — the XOR gate's ideal behaviour.
+    pub fn xor(a: Bit, b: Bit) -> Bit {
+        Bit::from_bool(a != b)
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+    #[inline]
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+impl From<bool> for Bit {
+    #[inline]
+    fn from(b: bool) -> Bit {
+        Bit::from_bool(b)
+    }
+}
+
+impl From<Bit> for bool {
+    #[inline]
+    fn from(b: Bit) -> bool {
+        b.as_bool()
+    }
+}
+
+/// All input patterns for an `N`-input gate, in binary counting order
+/// with index 0 as the least-significant input.
+///
+/// ```
+/// use swgates::encoding::{all_patterns, Bit};
+/// let patterns = all_patterns::<2>();
+/// assert_eq!(patterns.len(), 4);
+/// assert_eq!(patterns[1], [Bit::One, Bit::Zero]); // pattern 0b01
+/// ```
+pub fn all_patterns<const N: usize>() -> Vec<[Bit; N]> {
+    (0..(1usize << N))
+        .map(|code| {
+            let mut pattern = [Bit::Zero; N];
+            for (i, slot) in pattern.iter_mut().enumerate() {
+                *slot = Bit::from_bool(code >> i & 1 == 1);
+            }
+            pattern
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn phases_match_the_paper() {
+        assert_eq!(Bit::Zero.phase(), 0.0);
+        assert_eq!(Bit::One.phase(), PI);
+    }
+
+    #[test]
+    fn sign_is_cos_of_phase() {
+        for b in Bit::ALL {
+            assert!((b.sign() - b.phase().cos()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn not_is_involutive() {
+        for b in Bit::ALL {
+            assert_eq!(!!b, b);
+            assert_ne!(!b, b);
+        }
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        use Bit::{One as I, Zero as O};
+        assert_eq!(Bit::majority(O, O, O), O);
+        assert_eq!(Bit::majority(O, O, I), O);
+        assert_eq!(Bit::majority(O, I, I), I);
+        assert_eq!(Bit::majority(I, I, I), I);
+        assert_eq!(Bit::majority(I, O, I), I);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        use Bit::{One as I, Zero as O};
+        assert_eq!(Bit::xor(O, O), O);
+        assert_eq!(Bit::xor(O, I), I);
+        assert_eq!(Bit::xor(I, O), I);
+        assert_eq!(Bit::xor(I, I), O);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(bool::from(Bit::from(true)), true);
+        assert_eq!(bool::from(Bit::from(false)), false);
+    }
+
+    #[test]
+    fn all_patterns_enumerates_in_counting_order() {
+        let p3 = all_patterns::<3>();
+        assert_eq!(p3.len(), 8);
+        assert_eq!(p3[0], [Bit::Zero; 3]);
+        assert_eq!(p3[7], [Bit::One; 3]);
+        assert_eq!(p3[5], [Bit::One, Bit::Zero, Bit::One]); // 0b101
+        // All patterns distinct.
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_ne!(p3[i], p3[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn display_prints_binary_digit() {
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(Bit::One.to_string(), "1");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for `swgates`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or evaluating spin-wave gates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SwGateError {
+    /// A gate layout violates a design rule (e.g. a dimension that must
+    /// be a multiple of λ is not).
+    InvalidLayout {
+        /// Description of the violated rule.
+        reason: String,
+    },
+    /// The operating point could not be derived (dispersion solve failed
+    /// or the film is not perpendicular).
+    InvalidOperatingPoint {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The micromagnetic backend failed.
+    Simulation {
+        /// Description (wraps the solver error message).
+        reason: String,
+    },
+    /// An output signal could not be decoded into a logic value (e.g.
+    /// amplitude too close to the detection threshold).
+    Undecodable {
+        /// Which output failed.
+        output: &'static str,
+        /// Description of the ambiguity.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SwGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwGateError::InvalidLayout { reason } => write!(f, "invalid gate layout: {reason}"),
+            SwGateError::InvalidOperatingPoint { reason } => {
+                write!(f, "invalid operating point: {reason}")
+            }
+            SwGateError::Simulation { reason } => {
+                write!(f, "micromagnetic simulation failed: {reason}")
+            }
+            SwGateError::Undecodable { output, reason } => {
+                write!(f, "output {output} could not be decoded: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SwGateError {}
+
+impl From<magnum::MagnumError> for SwGateError {
+    fn from(e: magnum::MagnumError) -> Self {
+        SwGateError::Simulation { reason: e.to_string() }
+    }
+}
+
+impl From<swphys::SwPhysError> for SwGateError {
+    fn from(e: swphys::SwPhysError) -> Self {
+        SwGateError::InvalidOperatingPoint { reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SwGateError::InvalidLayout { reason: "d1 is not a multiple of λ".into() };
+        assert!(e.to_string().contains("d1"));
+    }
+
+    #[test]
+    fn converts_from_substrate_errors() {
+        let m = magnum::MagnumError::Diverged { time: 1e-9 };
+        let g: SwGateError = m.into();
+        assert!(matches!(g, SwGateError::Simulation { .. }));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SwGateError>();
+    }
+}

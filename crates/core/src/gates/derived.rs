@@ -1,0 +1,272 @@
+//! Derived gates: (N)AND, (N)OR from the MAJ3 with a control input, and
+//! XNOR from the XOR with flipped detection.
+//!
+//! §III-A: "the proposed structure can be utilized to implement (N)AND
+//! and (N)OR gates of I1 and I2 if I3 is fixed to logic 0 for (N)AND
+//! gate and logic 1 for the (N)OR gate realization", with the inverting
+//! variants obtained by the `(n+½)λ` output-stub rule.
+
+use crate::detect::{Polarity, ThresholdDetector};
+use crate::encoding::{all_patterns, Bit};
+use crate::layout::{TriangleMaj3Layout, TriangleXorLayout};
+use crate::truth::{TruthRow, TruthTable};
+use crate::SwGateError;
+
+use super::{GateBackend, GateOutputs, Maj3Gate, XorGate};
+
+/// Builds the inverting variant of a MAJ3 layout by stretching the
+/// output stub to `d4 + λ/2`.
+fn inverting_layout(base: &TriangleMaj3Layout) -> Result<TriangleMaj3Layout, SwGateError> {
+    TriangleMaj3Layout::new(
+        base.wavelength(),
+        base.width(),
+        base.d1(),
+        base.d2(),
+        base.d3(),
+        base.d4() + base.wavelength() / 2.0,
+    )
+}
+
+macro_rules! control_gate {
+    (
+        $(#[$doc:meta])*
+        $name:ident, control = $control:expr, invert = $invert:expr, logic = $logic:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name {
+            inner: Maj3Gate,
+        }
+
+        impl $name {
+            /// The gate derived from the paper's MAJ3 layout.
+            ///
+            /// # Errors
+            ///
+            /// Propagates layout validation failures (only possible for
+            /// inverting variants with pathological base layouts).
+            pub fn paper() -> Result<Self, SwGateError> {
+                Self::from_layout(TriangleMaj3Layout::paper())
+            }
+
+            /// Derives the gate from a custom MAJ3 layout.
+            ///
+            /// # Errors
+            ///
+            /// Propagates layout validation failures.
+            pub fn from_layout(base: TriangleMaj3Layout) -> Result<Self, SwGateError> {
+                let layout = if $invert { inverting_layout(&base)? } else { base };
+                Ok($name {
+                    inner: Maj3Gate::new(layout),
+                })
+            }
+
+            /// The underlying MAJ3 gate (with the control wiring applied
+            /// at evaluation time).
+            pub fn inner(&self) -> &Maj3Gate {
+                &self.inner
+            }
+
+            /// The ideal two-input logic function of this gate.
+            pub fn logic(a: Bit, b: Bit) -> Bit {
+                ($logic)(a, b)
+            }
+
+            /// Evaluates the gate on data inputs `(I1, I2)`; the control
+            /// input I3 is fixed internally.
+            ///
+            /// # Errors
+            ///
+            /// Propagates backend and decode failures.
+            pub fn evaluate<B: GateBackend>(
+                &self,
+                backend: &B,
+                inputs: [Bit; 2],
+            ) -> Result<GateOutputs, SwGateError> {
+                self.inner
+                    .evaluate(backend, [inputs[0], inputs[1], $control])
+            }
+
+            /// Evaluates all 4 input patterns.
+            ///
+            /// # Errors
+            ///
+            /// Propagates backend and decode failures.
+            pub fn truth_table<B: GateBackend>(
+                &self,
+                backend: &B,
+            ) -> Result<TruthTable<2>, SwGateError> {
+                let mut rows = Vec::with_capacity(4);
+                for pattern in all_patterns::<2>() {
+                    let outputs = self.evaluate(backend, pattern)?;
+                    rows.push(TruthRow { inputs: pattern, outputs });
+                }
+                Ok(TruthTable::new(rows))
+            }
+        }
+    };
+}
+
+control_gate!(
+    /// 2-input AND: MAJ3 with I3 pinned to logic 0.
+    AndGate,
+    control = Bit::Zero,
+    invert = false,
+    logic = |a: Bit, b: Bit| Bit::from_bool(a.as_bool() && b.as_bool())
+);
+
+control_gate!(
+    /// 2-input OR: MAJ3 with I3 pinned to logic 1.
+    OrGate,
+    control = Bit::One,
+    invert = false,
+    logic = |a: Bit, b: Bit| Bit::from_bool(a.as_bool() || b.as_bool())
+);
+
+control_gate!(
+    /// 2-input NAND: AND with the inverting (d4 + λ/2) output stub.
+    NandGate,
+    control = Bit::Zero,
+    invert = true,
+    logic = |a: Bit, b: Bit| !Bit::from_bool(a.as_bool() && b.as_bool())
+);
+
+control_gate!(
+    /// 2-input NOR: OR with the inverting (d4 + λ/2) output stub.
+    NorGate,
+    control = Bit::One,
+    invert = true,
+    logic = |a: Bit, b: Bit| !Bit::from_bool(a.as_bool() || b.as_bool())
+);
+
+/// 2-input XNOR: the XOR gate with the flipped threshold condition
+/// (§III-B: "if the XNOR is desired, the condition can be flipped").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XnorGate {
+    inner: XorGate,
+}
+
+impl XnorGate {
+    /// The gate with the paper's XOR layout and XNOR detection polarity.
+    pub fn paper() -> Self {
+        XnorGate::from_layout(TriangleXorLayout::paper())
+    }
+
+    /// Derives the gate from a custom XOR layout.
+    pub fn from_layout(layout: TriangleXorLayout) -> Self {
+        XnorGate {
+            inner: XorGate::new(layout)
+                .with_detector(ThresholdDetector::new(0.5, Polarity::Xnor).with_margin(0.02)),
+        }
+    }
+
+    /// The underlying XOR gate (with XNOR detection).
+    pub fn inner(&self) -> &XorGate {
+        &self.inner
+    }
+
+    /// Evaluates one input pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and decode failures.
+    pub fn evaluate<B: GateBackend>(
+        &self,
+        backend: &B,
+        inputs: [Bit; 2],
+    ) -> Result<GateOutputs, SwGateError> {
+        self.inner.evaluate(backend, inputs)
+    }
+
+    /// Evaluates all 4 input patterns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and decode failures.
+    pub fn truth_table<B: GateBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<TruthTable<2>, SwGateError> {
+        self.inner.truth_table(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavemodel::AnalyticBackend;
+
+    fn check_two_input<F: Fn(Bit, Bit) -> Bit>(
+        evaluate: impl Fn([Bit; 2]) -> GateOutputs,
+        expected: F,
+        name: &str,
+    ) {
+        for pattern in all_patterns::<2>() {
+            let out = evaluate(pattern);
+            assert_eq!(
+                out.o1.bit,
+                expected(pattern[0], pattern[1]),
+                "{name} failed on {pattern:?}"
+            );
+            assert!(out.fanout_consistent(), "{name} fan-out broken on {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        let backend = AnalyticBackend::paper();
+        let gate = AndGate::paper().unwrap();
+        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), AndGate::logic, "AND");
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        let backend = AnalyticBackend::paper();
+        let gate = OrGate::paper().unwrap();
+        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), OrGate::logic, "OR");
+    }
+
+    #[test]
+    fn nand_gate_truth_table() {
+        let backend = AnalyticBackend::paper();
+        let gate = NandGate::paper().unwrap();
+        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), NandGate::logic, "NAND");
+    }
+
+    #[test]
+    fn nor_gate_truth_table() {
+        let backend = AnalyticBackend::paper();
+        let gate = NorGate::paper().unwrap();
+        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), NorGate::logic, "NOR");
+    }
+
+    #[test]
+    fn xnor_gate_truth_table() {
+        let backend = AnalyticBackend::paper();
+        let gate = XnorGate::paper();
+        check_two_input(
+            |p| gate.evaluate(&backend, p).unwrap(),
+            |a, b| !Bit::xor(a, b),
+            "XNOR",
+        );
+    }
+
+    #[test]
+    fn nand_layout_is_inverting() {
+        let gate = NandGate::paper().unwrap();
+        assert!(gate.inner().layout().inverting_output());
+        let gate = AndGate::paper().unwrap();
+        assert!(!gate.inner().layout().inverting_output());
+    }
+
+    #[test]
+    fn logic_helpers_are_correct() {
+        use Bit::{One as I, Zero as O};
+        assert_eq!(AndGate::logic(I, I), I);
+        assert_eq!(AndGate::logic(I, O), O);
+        assert_eq!(OrGate::logic(O, O), O);
+        assert_eq!(OrGate::logic(I, O), I);
+        assert_eq!(NandGate::logic(I, I), O);
+        assert_eq!(NorGate::logic(O, O), I);
+    }
+}

@@ -1,0 +1,127 @@
+//! The ladder-shaped fan-out-of-2 MAJ3 baseline gate of the prior art
+//! (\[22\], \[23\]) — functionally equivalent to the triangle gate but with
+//! an extra excitation transducer (the replicated input), which is
+//! exactly the energy overhead Table III charges it for.
+
+use crate::detect::PhaseDetector;
+use crate::encoding::{all_patterns, Bit};
+use crate::layout::LadderLayout;
+use crate::truth::{TruthRow, TruthTable};
+use crate::wavemodel::AnalyticBackend;
+use crate::SwGateError;
+
+use super::{wrap_phase, GateOutputs, OutputSignal};
+
+/// The ladder MAJ3 baseline (analytic backend only — the prior art is
+/// reproduced for comparison purposes, not re-validated
+/// micromagnetically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderMaj3Gate {
+    layout: LadderLayout,
+    phase_margin: f64,
+}
+
+impl LadderMaj3Gate {
+    /// The paper-comparable ladder MAJ3.
+    pub fn paper() -> Self {
+        LadderMaj3Gate::new(LadderLayout::paper_maj3())
+    }
+
+    /// A gate over a custom ladder layout.
+    pub fn new(layout: LadderLayout) -> Self {
+        LadderMaj3Gate {
+            layout,
+            phase_margin: std::f64::consts::PI / 16.0,
+        }
+    }
+
+    /// The gate layout.
+    pub fn layout(&self) -> &LadderLayout {
+        &self.layout
+    }
+
+    /// Evaluates one input pattern on the analytic backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and decode failures.
+    pub fn evaluate(
+        &self,
+        backend: &AnalyticBackend,
+        inputs: [Bit; 3],
+    ) -> Result<GateOutputs, SwGateError> {
+        let reference = backend.ladder_outputs(&self.layout, &[Bit::Zero; 3])?;
+        let raw = backend.ladder_outputs(&self.layout, &inputs)?;
+        let decode = |out: magnum::Complex64,
+                      reference: magnum::Complex64|
+         -> Result<OutputSignal, SwGateError> {
+            let ref_amp = reference.abs();
+            if ref_amp == 0.0 {
+                return Err(SwGateError::Undecodable {
+                    output: "reference",
+                    reason: "all-zeros reference amplitude is zero".into(),
+                });
+            }
+            let phase = wrap_phase(out.arg() - reference.arg());
+            let detector = PhaseDetector::new(0.0).with_margin(self.phase_margin);
+            Ok(OutputSignal {
+                raw: out,
+                normalized: out.abs() / ref_amp,
+                phase,
+                bit: detector.decode(phase)?,
+            })
+        };
+        Ok(GateOutputs {
+            o1: decode(raw.0, reference.0)?,
+            o2: decode(raw.1, reference.1)?,
+        })
+    }
+
+    /// Evaluates all 8 patterns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and decode failures.
+    pub fn truth_table(
+        &self,
+        backend: &AnalyticBackend,
+    ) -> Result<TruthTable<3>, SwGateError> {
+        let mut rows = Vec::with_capacity(8);
+        for pattern in all_patterns::<3>() {
+            let outputs = self.evaluate(backend, pattern)?;
+            rows.push(TruthRow {
+                inputs: pattern,
+                outputs,
+            });
+        }
+        Ok(TruthTable::new(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_computes_majority_with_fanout() {
+        let gate = LadderMaj3Gate::paper();
+        let backend = AnalyticBackend::paper();
+        let table = gate.truth_table(&backend).unwrap();
+        table.verify(|p| Bit::majority(p[0], p[1], p[2])).unwrap();
+        for row in table.rows() {
+            assert!(row.outputs.fanout_consistent());
+        }
+    }
+
+    #[test]
+    fn ladder_and_triangle_agree_logically() {
+        // The whole point of the paper: same function, cheaper gate.
+        let backend = AnalyticBackend::paper();
+        let ladder = LadderMaj3Gate::paper().truth_table(&backend).unwrap();
+        let triangle = crate::gates::Maj3Gate::paper().truth_table(&backend).unwrap();
+        for (l, t) in ladder.rows().iter().zip(triangle.rows().iter()) {
+            assert_eq!(l.inputs, t.inputs);
+            assert_eq!(l.outputs.o1.bit, t.outputs.o1.bit);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The triangle fan-out-of-2 3-input Majority gate (§III-A).
+
+use crate::detect::PhaseDetector;
+use crate::encoding::{all_patterns, Bit};
+use crate::layout::TriangleMaj3Layout;
+use crate::truth::{TruthRow, TruthTable};
+use crate::SwGateError;
+
+use super::{wrap_phase, GateBackend, GateOutputs, OutputSignal};
+
+/// The paper's triangle MAJ3 gate: 3 phase-encoded inputs, 2 identical
+/// phase-detected outputs.
+///
+/// ```
+/// use swgates::prelude::*;
+///
+/// # fn main() -> Result<(), SwGateError> {
+/// let gate = Maj3Gate::paper();
+/// let backend = AnalyticBackend::paper();
+/// let table = gate.truth_table(&backend)?;
+/// assert!(table.verify(|p| Bit::majority(p[0], p[1], p[2])).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maj3Gate {
+    layout: TriangleMaj3Layout,
+    phase_margin: f64,
+}
+
+impl Maj3Gate {
+    /// The gate with the paper's §IV-A layout.
+    pub fn paper() -> Self {
+        Maj3Gate::new(TriangleMaj3Layout::paper())
+    }
+
+    /// A gate over a custom (already validated) layout.
+    pub fn new(layout: TriangleMaj3Layout) -> Self {
+        Maj3Gate {
+            layout,
+            phase_margin: std::f64::consts::PI / 16.0,
+        }
+    }
+
+    /// Overrides the phase-detector margin (radians in [0, π/2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is outside [0, π/2).
+    pub fn with_phase_margin(mut self, margin: f64) -> Self {
+        assert!(
+            (0.0..std::f64::consts::FRAC_PI_2).contains(&margin),
+            "margin must be in [0, π/2), got {margin}"
+        );
+        self.phase_margin = margin;
+        self
+    }
+
+    /// The gate layout.
+    pub fn layout(&self) -> &TriangleMaj3Layout {
+        &self.layout
+    }
+
+    /// Evaluates one input pattern `(I1, I2, I3)`.
+    ///
+    /// Runs the backend twice: once for the all-zeros reference (which
+    /// fixes the logic-0 phase and the normalization amplitude) and once
+    /// for the requested pattern. Use [`Maj3Gate::truth_table`] to
+    /// amortize the reference over all patterns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures; returns
+    /// [`SwGateError::Undecodable`] when an output phase is ambiguous.
+    pub fn evaluate<B: GateBackend>(
+        &self,
+        backend: &B,
+        inputs: [Bit; 3],
+    ) -> Result<GateOutputs, SwGateError> {
+        let reference = backend.maj3(&self.layout, [Bit::Zero; 3])?;
+        self.decode_with_reference(backend, inputs, reference)
+    }
+
+    /// Evaluates all 8 input patterns into a truth table (one reference
+    /// evaluation shared across patterns — 8 backend calls total).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and decode failures.
+    pub fn truth_table<B: GateBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<TruthTable<3>, SwGateError> {
+        let reference = backend.maj3(&self.layout, [Bit::Zero; 3])?;
+        let mut rows = Vec::with_capacity(8);
+        for pattern in all_patterns::<3>() {
+            let outputs = self.decode_with_reference(backend, pattern, reference)?;
+            rows.push(TruthRow {
+                inputs: pattern,
+                outputs,
+            });
+        }
+        Ok(TruthTable::new(rows))
+    }
+
+    fn decode_with_reference<B: GateBackend>(
+        &self,
+        backend: &B,
+        inputs: [Bit; 3],
+        reference: (magnum::Complex64, magnum::Complex64),
+    ) -> Result<GateOutputs, SwGateError> {
+        let raw = if inputs == [Bit::Zero; 3] {
+            reference
+        } else {
+            backend.maj3(&self.layout, inputs)?
+        };
+        // The logic-0 phase at each output: the all-zeros case encodes
+        // logic 0 on a non-inverting layout and logic 1 on an inverting
+        // one (§III-A: d4 = (n+½)λ gives "logic inversion").
+        let logic0_shift = if self.layout.inverting_output() {
+            std::f64::consts::PI
+        } else {
+            0.0
+        };
+        let decode = |out: magnum::Complex64,
+                      reference: magnum::Complex64|
+         -> Result<OutputSignal, SwGateError> {
+            let ref_amp = reference.abs();
+            if ref_amp == 0.0 {
+                return Err(SwGateError::Undecodable {
+                    output: "reference",
+                    reason: "all-zeros reference amplitude is zero".into(),
+                });
+            }
+            let phase = wrap_phase(out.arg() - reference.arg());
+            let detector = PhaseDetector::new(logic0_shift).with_margin(self.phase_margin);
+            Ok(OutputSignal {
+                raw: out,
+                normalized: out.abs() / ref_amp,
+                phase,
+                bit: detector.decode(phase)?,
+            })
+        };
+        Ok(GateOutputs {
+            o1: decode(raw.0, reference.0)?,
+            o2: decode(raw.1, reference.1)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavemodel::AnalyticBackend;
+
+    #[test]
+    fn evaluates_majority_on_the_paper_backend() {
+        let gate = Maj3Gate::paper();
+        let backend = AnalyticBackend::paper();
+        for pattern in all_patterns::<3>() {
+            let out = gate.evaluate(&backend, pattern).unwrap();
+            let expected = Bit::majority(pattern[0], pattern[1], pattern[2]);
+            assert_eq!(out.o1.bit, expected, "pattern {pattern:?}");
+            assert!(out.fanout_consistent());
+            assert!(out.amplitude_mismatch() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truth_table_matches_majority_and_normalizes_reference_to_one() {
+        let gate = Maj3Gate::paper();
+        let backend = AnalyticBackend::paper();
+        let table = gate.truth_table(&backend).unwrap();
+        assert_eq!(table.rows().len(), 8);
+        table.verify(|p| Bit::majority(p[0], p[1], p[2])).unwrap();
+        let reference_row = &table.rows()[0];
+        assert!((reference_row.outputs.o1.normalized - 1.0).abs() < 1e-12);
+        assert!(reference_row.outputs.o1.phase.abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverting_layout_computes_nmaj() {
+        let layout =
+            crate::layout::TriangleMaj3Layout::new(55e-9, 50e-9, 330e-9, 880e-9, 220e-9, 82.5e-9)
+                .unwrap();
+        let gate = Maj3Gate::new(layout);
+        let backend = AnalyticBackend::paper();
+        for pattern in all_patterns::<3>() {
+            let out = gate.evaluate(&backend, pattern).unwrap();
+            let expected = !Bit::majority(pattern[0], pattern[1], pattern[2]);
+            assert_eq!(out.o1.bit, expected, "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn unanimous_patterns_have_unit_amplitude() {
+        let gate = Maj3Gate::paper();
+        let backend = AnalyticBackend::paper();
+        let table = gate.truth_table(&backend).unwrap();
+        for row in table.rows() {
+            let unanimous = row.inputs.iter().all(|&b| b == row.inputs[0]);
+            if unanimous {
+                assert!(
+                    (row.outputs.o1.normalized - 1.0).abs() < 1e-9,
+                    "unanimous {:?}: {}",
+                    row.inputs,
+                    row.outputs.o1.normalized
+                );
+            } else {
+                assert!(row.outputs.o1.normalized < 0.6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in")]
+    fn phase_margin_is_validated() {
+        let _ = Maj3Gate::paper().with_phase_margin(3.0);
+    }
+}

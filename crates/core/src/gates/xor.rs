@@ -1,0 +1,179 @@
+//! The triangle fan-out-of-2 2-input XOR gate (§III-B).
+
+use crate::detect::ThresholdDetector;
+use crate::encoding::{all_patterns, Bit};
+use crate::layout::TriangleXorLayout;
+use crate::truth::{TruthRow, TruthTable};
+use crate::SwGateError;
+
+use super::{wrap_phase, GateBackend, GateOutputs, OutputSignal};
+
+/// The paper's triangle XOR gate: the MAJ3 structure without the third
+/// input, read out by threshold detection (threshold 0.5 of the
+/// normalized magnetization).
+///
+/// ```
+/// use swgates::prelude::*;
+///
+/// # fn main() -> Result<(), SwGateError> {
+/// let gate = XorGate::paper();
+/// let backend = AnalyticBackend::paper();
+/// let out = gate.evaluate(&backend, [Bit::One, Bit::Zero])?;
+/// assert_eq!(out.o1.bit, Bit::One);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XorGate {
+    layout: TriangleXorLayout,
+    detector: ThresholdDetector,
+}
+
+impl XorGate {
+    /// The gate with the paper's §IV-A layout and §IV-C detector.
+    pub fn paper() -> Self {
+        XorGate::new(TriangleXorLayout::paper())
+    }
+
+    /// A gate over a custom layout with the paper's detector settings.
+    pub fn new(layout: TriangleXorLayout) -> Self {
+        XorGate {
+            layout,
+            detector: ThresholdDetector::paper().with_margin(0.02),
+        }
+    }
+
+    /// Overrides the threshold detector (e.g. for XNOR polarity — but
+    /// prefer [`crate::gates::XnorGate`] for that).
+    pub fn with_detector(mut self, detector: ThresholdDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// The gate layout.
+    pub fn layout(&self) -> &TriangleXorLayout {
+        &self.layout
+    }
+
+    /// The threshold detector in use.
+    pub fn detector(&self) -> &ThresholdDetector {
+        &self.detector
+    }
+
+    /// Evaluates one input pattern `(I1, I2)` (two backend calls; use
+    /// [`XorGate::truth_table`] to amortize the reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures; [`SwGateError::Undecodable`] when an
+    /// amplitude is too close to the threshold.
+    pub fn evaluate<B: GateBackend>(
+        &self,
+        backend: &B,
+        inputs: [Bit; 2],
+    ) -> Result<GateOutputs, SwGateError> {
+        let reference = backend.xor(&self.layout, [Bit::Zero; 2])?;
+        self.decode_with_reference(backend, inputs, reference)
+    }
+
+    /// Evaluates all 4 input patterns into a truth table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend and decode failures.
+    pub fn truth_table<B: GateBackend>(
+        &self,
+        backend: &B,
+    ) -> Result<TruthTable<2>, SwGateError> {
+        let reference = backend.xor(&self.layout, [Bit::Zero; 2])?;
+        let mut rows = Vec::with_capacity(4);
+        for pattern in all_patterns::<2>() {
+            let outputs = self.decode_with_reference(backend, pattern, reference)?;
+            rows.push(TruthRow {
+                inputs: pattern,
+                outputs,
+            });
+        }
+        Ok(TruthTable::new(rows))
+    }
+
+    fn decode_with_reference<B: GateBackend>(
+        &self,
+        backend: &B,
+        inputs: [Bit; 2],
+        reference: (magnum::Complex64, magnum::Complex64),
+    ) -> Result<GateOutputs, SwGateError> {
+        let raw = if inputs == [Bit::Zero; 2] {
+            reference
+        } else {
+            backend.xor(&self.layout, inputs)?
+        };
+        let decode = |out: magnum::Complex64,
+                      reference: magnum::Complex64|
+         -> Result<OutputSignal, SwGateError> {
+            let ref_amp = reference.abs();
+            if ref_amp == 0.0 {
+                return Err(SwGateError::Undecodable {
+                    output: "reference",
+                    reason: "all-zeros reference amplitude is zero".into(),
+                });
+            }
+            let normalized = out.abs() / ref_amp;
+            Ok(OutputSignal {
+                raw: out,
+                normalized,
+                phase: wrap_phase(out.arg() - reference.arg()),
+                bit: self.detector.decode(normalized)?,
+            })
+        };
+        Ok(GateOutputs {
+            o1: decode(raw.0, reference.0)?,
+            o2: decode(raw.1, reference.1)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::Polarity;
+    use crate::wavemodel::AnalyticBackend;
+
+    #[test]
+    fn evaluates_xor_on_the_paper_backend() {
+        let gate = XorGate::paper();
+        let backend = AnalyticBackend::paper();
+        for pattern in all_patterns::<2>() {
+            let out = gate.evaluate(&backend, pattern).unwrap();
+            assert_eq!(out.o1.bit, Bit::xor(pattern[0], pattern[1]), "pattern {pattern:?}");
+            assert!(out.fanout_consistent());
+        }
+    }
+
+    #[test]
+    fn truth_table_matches_table_ii_shape() {
+        let gate = XorGate::paper();
+        let backend = AnalyticBackend::paper();
+        let table = gate.truth_table(&backend).unwrap();
+        table.verify(|p| Bit::xor(p[0], p[1])).unwrap();
+        for row in table.rows() {
+            let norm = row.outputs.o1.normalized;
+            if row.inputs[0] == row.inputs[1] {
+                assert!(norm > 0.95, "{:?}: {norm}", row.inputs);
+            } else {
+                assert!(norm < 0.05, "{:?}: {norm}", row.inputs);
+            }
+        }
+    }
+
+    #[test]
+    fn xnor_polarity_flips_decoding() {
+        let gate = XorGate::paper()
+            .with_detector(ThresholdDetector::new(0.5, Polarity::Xnor).with_margin(0.02));
+        let backend = AnalyticBackend::paper();
+        for pattern in all_patterns::<2>() {
+            let out = gate.evaluate(&backend, pattern).unwrap();
+            assert_eq!(out.o1.bit, !Bit::xor(pattern[0], pattern[1]));
+        }
+    }
+}

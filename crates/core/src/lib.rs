@@ -1,0 +1,70 @@
+//! # swgates — fan-out-of-2 triangle-shape spin wave logic gates
+//!
+//! The core library of this reproduction: the triangle-shaped 3-input /
+//! 2-output **Majority** gate and 2-input / 2-output **XOR** gate of
+//! *"Fan-out of 2 Triangle Shape Spin Wave Logic Gates"* (Mahmoud et al.,
+//! DATE 2021), together with the ladder-shaped baseline gates of the
+//! prior art it compares against (\[22\], \[23\]).
+//!
+//! ## Architecture
+//!
+//! * [`encoding`] — logic values as spin-wave phases (0 ⇒ φ=0, 1 ⇒ φ=π).
+//! * [`layout`] — parametric gate geometries obeying the paper's `n·λ`
+//!   dimension rules (§III-A).
+//! * [`op`] — the operating point (λ, f, k, decay length) derived from
+//!   the film's dispersion exactly as in §IV-A.
+//! * [`wavemodel`] — fast analytic complex-amplitude interference model.
+//! * [`mumag`] — the full micromagnetic validation path (drives the
+//!   [`magnum`] LLG solver on the rasterized gate geometry).
+//! * [`detect`] — phase detection (Majority) and threshold detection
+//!   (XOR/XNOR), §III-A/B.
+//! * [`gates`] — the gate types: [`gates::Maj3Gate`], [`gates::XorGate`],
+//!   the ladder baselines, and the derived (N)AND/(N)OR gates.
+//! * [`truth`] — truth-table evaluation and fan-out equivalence checks.
+//! * [`circuit`] — gate-level netlists exercising the fan-out (full
+//!   adder, majority trees).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use swgates::prelude::*;
+//!
+//! # fn main() -> Result<(), swgates::SwGateError> {
+//! let gate = Maj3Gate::paper();
+//! let backend = AnalyticBackend::paper();
+//! let out = gate.evaluate(&backend, [Bit::One, Bit::Zero, Bit::One])?;
+//! assert_eq!(out.o1.bit, Bit::One); // majority(1, 0, 1) = 1
+//! assert_eq!(out.o2.bit, Bit::One); // fan-out of 2: same value
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod circuit;
+pub mod detect;
+pub mod encoding;
+pub mod gates;
+pub mod layout;
+pub mod mumag;
+pub mod op;
+pub mod truth;
+pub mod wavemodel;
+
+mod error;
+
+pub use error::SwGateError;
+
+/// Commonly used items, re-exported for ergonomic glob imports.
+pub mod prelude {
+    pub use crate::detect::{PhaseDetector, Polarity, ThresholdDetector};
+    pub use crate::encoding::Bit;
+    pub use crate::gates::{
+        AndGate, GateBackend, GateOutputs, LadderMaj3Gate, Maj3Gate, NandGate, NorGate, OrGate,
+        OutputSignal, XnorGate, XorGate,
+    };
+    pub use crate::layout::{LadderLayout, TriangleMaj3Layout, TriangleXorLayout};
+    pub use crate::mumag::MumagBackend;
+    pub use crate::op::OperatingPoint;
+    pub use crate::truth::TruthTable;
+    pub use crate::wavemodel::AnalyticBackend;
+    pub use crate::SwGateError;
+}

@@ -1,0 +1,183 @@
+//! The gate operating point: wavelength, frequency, wavenumber and decay
+//! length, derived from the film dispersion exactly as in §IV-A.
+//!
+//! The paper's design flow: pick the waveguide width (50 nm), pick a
+//! wavelength larger than the width (λ = 55 nm, "which is larger than the
+//! waveguide width and therefore results in clear interference
+//! patterns"), then read the drive frequency off the dispersion relation.
+
+use swphys::attenuation::Attenuation;
+use swphys::dispersion::FvmswDispersion;
+use swphys::film::PerpendicularFilm;
+
+use crate::SwGateError;
+
+/// A fully resolved spin-wave operating point.
+///
+/// ```
+/// use swgates::op::OperatingPoint;
+/// let op = OperatingPoint::paper().unwrap();
+/// assert_eq!(op.wavelength(), 55e-9);
+/// assert!(op.frequency() > 1e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    wavelength: f64,
+    wavenumber: f64,
+    frequency: f64,
+    group_velocity: f64,
+    attenuation_length: f64,
+    film: PerpendicularFilm,
+}
+
+impl OperatingPoint {
+    /// Derives the operating point for a film at wavelength λ (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::InvalidOperatingPoint`] if the film is not
+    /// stable out-of-plane (no forward-volume waves) or λ is not positive.
+    pub fn for_film(film: PerpendicularFilm, wavelength: f64) -> Result<Self, SwGateError> {
+        if !(wavelength.is_finite() && wavelength > 0.0) {
+            return Err(SwGateError::InvalidOperatingPoint {
+                reason: format!("wavelength must be positive, got {wavelength}"),
+            });
+        }
+        if !film.is_stable() {
+            return Err(SwGateError::InvalidOperatingPoint {
+                reason: "film is not out-of-plane stable; forward-volume spin waves \
+                         require a perpendicular film"
+                    .into(),
+            });
+        }
+        let dispersion = FvmswDispersion::for_film(&film);
+        let wavenumber = 2.0 * std::f64::consts::PI / wavelength;
+        let frequency = dispersion.frequency(wavenumber);
+        let group_velocity = dispersion.group_velocity(wavenumber);
+        let attenuation_length =
+            Attenuation::for_mode(&dispersion, wavenumber, film.alpha()).decay_length();
+        Ok(OperatingPoint {
+            wavelength,
+            wavenumber,
+            frequency,
+            group_velocity,
+            attenuation_length,
+            film,
+        })
+    }
+
+    /// The paper's operating point: the Fe₆₀Co₂₀B₂₀ 1 nm film at
+    /// λ = 55 nm (§IV-A).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (the preset film is stable); the `Result`
+    /// keeps the signature uniform with [`OperatingPoint::for_film`].
+    pub fn paper() -> Result<Self, SwGateError> {
+        OperatingPoint::for_film(PerpendicularFilm::fecob(1e-9), 55e-9)
+    }
+
+    /// Wavelength λ in metres.
+    pub fn wavelength(&self) -> f64 {
+        self.wavelength
+    }
+
+    /// Wavenumber k = 2π/λ in rad/m.
+    pub fn wavenumber(&self) -> f64 {
+        self.wavenumber
+    }
+
+    /// Drive frequency in Hz (from the Kalinikos–Slavin dispersion).
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// Group velocity in m/s.
+    pub fn group_velocity(&self) -> f64 {
+        self.group_velocity
+    }
+
+    /// Amplitude decay length in metres.
+    pub fn attenuation_length(&self) -> f64 {
+        self.attenuation_length
+    }
+
+    /// The underlying film.
+    pub fn film(&self) -> &PerpendicularFilm {
+        &self.film
+    }
+
+    /// Phase accumulated over a path of length `d` metres: `k·d` (radians).
+    pub fn phase_over(&self, d: f64) -> f64 {
+        self.wavenumber * d
+    }
+
+    /// Amplitude factor after propagating `d` metres: `e^{−d/L_att}`.
+    pub fn decay_over(&self, d: f64) -> f64 {
+        if self.attenuation_length.is_infinite() {
+            1.0
+        } else {
+            (-d / self.attenuation_length).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point_values() {
+        let op = OperatingPoint::paper().unwrap();
+        assert_eq!(op.wavelength(), 55e-9);
+        let k = 2.0 * std::f64::consts::PI / 55e-9;
+        assert!((op.wavenumber() - k).abs() / k < 1e-12);
+        // Our Kalinikos–Slavin evaluation: ~10-25 GHz band (the paper
+        // quotes 10 GHz; see EXPERIMENTS.md for the dispersion footnote).
+        assert!(op.frequency() > 8e9 && op.frequency() < 25e9, "f = {}", op.frequency());
+        assert!(op.group_velocity() > 100.0 && op.group_velocity() < 1e4);
+        // Decay length is micrometres — long against the 55-1210 nm arms,
+        // supporting the paper's negligible-propagation-loss assumption.
+        assert!(op.attenuation_length() > 1e-6, "L = {}", op.attenuation_length());
+    }
+
+    #[test]
+    fn phase_over_one_wavelength_is_two_pi() {
+        let op = OperatingPoint::paper().unwrap();
+        let phi = op.phase_over(55e-9);
+        assert!((phi - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_is_one_at_zero_distance_and_monotonic() {
+        let op = OperatingPoint::paper().unwrap();
+        assert_eq!(op.decay_over(0.0), 1.0);
+        assert!(op.decay_over(1e-6) < 1.0);
+        assert!(op.decay_over(2e-6) < op.decay_over(1e-6));
+    }
+
+    #[test]
+    fn rejects_unstable_film() {
+        // Permalloy-like film: in-plane, no FVMSW.
+        let film = PerpendicularFilm::new(800e3, 13e-12, 0.01, 0.0, 1e-9, 0.0);
+        assert!(matches!(
+            OperatingPoint::for_film(film, 55e-9),
+            Err(SwGateError::InvalidOperatingPoint { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_wavelength() {
+        let film = PerpendicularFilm::fecob(1e-9);
+        assert!(OperatingPoint::for_film(film, 0.0).is_err());
+        assert!(OperatingPoint::for_film(film, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn longer_wavelength_means_lower_frequency() {
+        let film = PerpendicularFilm::fecob(1e-9);
+        let short = OperatingPoint::for_film(film, 40e-9).unwrap();
+        let long = OperatingPoint::for_film(film, 80e-9).unwrap();
+        assert!(short.frequency() > long.frequency());
+    }
+}

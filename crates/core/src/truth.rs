@@ -1,0 +1,196 @@
+//! Truth tables and fan-out equivalence checking.
+//!
+//! [`TruthTable`] is the shape of the paper's Tables I and II: one row
+//! per input pattern with the normalized output magnetization at O1 and
+//! O2 and the decoded logic values. [`TruthTable::render`] prints it in
+//! the paper's format.
+
+use std::fmt;
+
+use crate::encoding::Bit;
+use crate::gates::GateOutputs;
+use crate::SwGateError;
+
+/// One evaluated input pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthRow<const N: usize> {
+    /// The input pattern (index 0 = I1).
+    pub inputs: [Bit; N],
+    /// The decoded outputs.
+    pub outputs: GateOutputs,
+}
+
+/// A complete gate truth table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthTable<const N: usize> {
+    rows: Vec<TruthRow<N>>,
+}
+
+impl<const N: usize> TruthTable<N> {
+    /// Wraps evaluated rows.
+    pub fn new(rows: Vec<TruthRow<N>>) -> Self {
+        TruthTable { rows }
+    }
+
+    /// The rows, in the order they were evaluated.
+    pub fn rows(&self) -> &[TruthRow<N>] {
+        &self.rows
+    }
+
+    /// Verifies every row against an ideal logic function (checking both
+    /// outputs — fan-out of 2 means both must carry the value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwGateError::Undecodable`] naming the first mismatching
+    /// pattern.
+    pub fn verify<F: Fn([Bit; N]) -> Bit>(&self, ideal: F) -> Result<(), SwGateError> {
+        for row in &self.rows {
+            let expected = ideal(row.inputs);
+            for (label, bit) in [("O1", row.outputs.o1.bit), ("O2", row.outputs.o2.bit)] {
+                if bit != expected {
+                    return Err(SwGateError::Undecodable {
+                        output: "truth table",
+                        reason: format!(
+                            "pattern {:?}: {label} decoded {bit}, expected {expected}",
+                            row.inputs.map(|b| b.as_u8())
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest relative amplitude mismatch between O1 and O2 over
+    /// all rows — 0 means the fan-out outputs are identical everywhere.
+    pub fn max_fanout_mismatch(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.outputs.amplitude_mismatch())
+            .fold(0.0, f64::max)
+    }
+
+    /// True if O1 and O2 decode identically on every row.
+    pub fn fanout_consistent(&self) -> bool {
+        self.rows.iter().all(|r| r.outputs.fanout_consistent())
+    }
+
+    /// The smallest normalized amplitude among rows whose ideal output
+    /// is "strong" per `predicate` — used for threshold-margin analysis.
+    pub fn min_normalized_where<F: Fn(&TruthRow<N>) -> bool>(&self, predicate: F) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| predicate(r))
+            .map(|r| r.outputs.o1.normalized.min(r.outputs.o2.normalized))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest normalized amplitude among rows matching `predicate`.
+    pub fn max_normalized_where<F: Fn(&TruthRow<N>) -> bool>(&self, predicate: F) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| predicate(r))
+            .map(|r| r.outputs.o1.normalized.max(r.outputs.o2.normalized))
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the table in the paper's format (inputs listed
+    /// most-significant-first like "I3 I2 I1", normalized amplitudes at
+    /// O1/O2, decoded bits).
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        let header: Vec<String> = (0..N).rev().map(|i| format!("I{}", i + 1)).collect();
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>8}  {:>4}  {:>4}\n",
+            header.join(" "),
+            "O1",
+            "O2",
+            "B1",
+            "B2",
+            width = 3 * N
+        ));
+        for row in &self.rows {
+            let bits: Vec<String> =
+                row.inputs.iter().rev().map(|b| format!(" {b}")).collect();
+            out.push_str(&format!(
+                "{:<width$}  {:>8.3}  {:>8.3}  {:>4}  {:>4}\n",
+                bits.join(" "),
+                row.outputs.o1.normalized,
+                row.outputs.o2.normalized,
+                row.outputs.o1.bit.to_string(),
+                row.outputs.o2.bit.to_string(),
+                width = 3 * N
+            ));
+        }
+        out
+    }
+}
+
+impl<const N: usize> fmt::Display for TruthTable<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render("truth table"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::{Maj3Gate, XorGate};
+    use crate::wavemodel::AnalyticBackend;
+
+    fn maj_table() -> TruthTable<3> {
+        Maj3Gate::paper()
+            .truth_table(&AnalyticBackend::paper())
+            .unwrap()
+    }
+
+    #[test]
+    fn verify_accepts_the_correct_function() {
+        maj_table()
+            .verify(|p| Bit::majority(p[0], p[1], p[2]))
+            .unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_the_wrong_function() {
+        let err = maj_table().verify(|p| Bit::xor(p[0], p[1]));
+        assert!(matches!(err, Err(SwGateError::Undecodable { .. })));
+    }
+
+    #[test]
+    fn fanout_metrics_are_perfect_on_the_analytic_backend() {
+        let table = maj_table();
+        assert!(table.fanout_consistent());
+        assert!(table.max_fanout_mismatch() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_extrema_split_strong_and_weak_rows() {
+        let table = XorGate::paper()
+            .truth_table(&AnalyticBackend::paper())
+            .unwrap();
+        let strong = table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]);
+        let weak = table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]);
+        assert!(strong > 0.95);
+        assert!(weak < 0.05);
+    }
+
+    #[test]
+    fn render_contains_every_pattern_and_header() {
+        let table = maj_table();
+        let text = table.render("Table I analogue");
+        assert!(text.starts_with("Table I analogue"));
+        assert!(text.contains("I3 I2 I1"));
+        // 1 title + 1 header + 8 rows.
+        assert_eq!(text.lines().count(), 10);
+    }
+
+    #[test]
+    fn display_uses_render() {
+        let table = maj_table();
+        assert!(table.to_string().contains("truth table"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Spatially varying damping and absorbing boundaries.
+//!
+//! Spin-wave devices are simulated as finite windows of an ideally
+//! infinite film; without countermeasures, waves reflect off the mesh
+//! edges and corrupt the interference pattern. The standard fix — used by
+//! the paper's MuMax3 setups — is a frame of smoothly increasing Gilbert
+//! damping around the simulation window, which absorbs incident waves
+//! before they reach the hard edge.
+
+use crate::mesh::Mesh;
+
+/// An absorbing frame: damping ramps from the material value `α₀` at the
+/// inner edge of the frame to `α_max` at the mesh boundary.
+///
+/// ```
+/// use magnum::damping::AbsorbingFrame;
+/// let frame = AbsorbingFrame::new(8, 0.5);
+/// assert_eq!(frame.width_cells(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsorbingFrame {
+    width_cells: usize,
+    alpha_max: f64,
+}
+
+impl AbsorbingFrame {
+    /// Creates a frame `width_cells` wide with edge damping `alpha_max`.
+    pub fn new(width_cells: usize, alpha_max: f64) -> Self {
+        AbsorbingFrame {
+            width_cells,
+            alpha_max: alpha_max.max(0.0),
+        }
+    }
+
+    /// Frame width in cells.
+    pub fn width_cells(&self) -> usize {
+        self.width_cells
+    }
+
+    /// Damping at the outermost cells.
+    pub fn alpha_max(&self) -> f64 {
+        self.alpha_max
+    }
+
+    /// Builds the per-cell damping map for `mesh`, starting from the base
+    /// damping `alpha0`.
+    ///
+    /// The profile is quadratic in the penetration depth into the frame,
+    /// which minimizes the impedance mismatch (and therefore reflections)
+    /// at the inner frame edge.
+    pub fn damping_map(&self, mesh: &Mesh, alpha0: f64) -> Vec<f64> {
+        let nx = mesh.nx();
+        let ny = mesh.ny();
+        let w = self.width_cells;
+        let mut alpha = vec![alpha0; mesh.cell_count()];
+        if w == 0 || self.alpha_max <= alpha0 {
+            return alpha;
+        }
+        for iy in 0..ny {
+            for ix in 0..nx {
+                // Distance (in cells) to the nearest mesh edge.
+                let d = ix.min(nx - 1 - ix).min(iy).min(ny - 1 - iy);
+                if d < w {
+                    // 0 at the inner frame edge, 1 at the mesh boundary.
+                    let x = (w - d) as f64 / w as f64;
+                    alpha[iy * nx + ix] = alpha0 + (self.alpha_max - alpha0) * x * x;
+                }
+            }
+        }
+        alpha
+    }
+}
+
+/// Builds a damping map with absorbing strips only at the ±x ends (the
+/// common configuration for straight waveguides where the transverse
+/// edges are true physical boundaries).
+pub fn absorbing_ends_map(
+    mesh: &Mesh,
+    alpha0: f64,
+    width_cells: usize,
+    alpha_max: f64,
+) -> Vec<f64> {
+    let nx = mesh.nx();
+    let ny = mesh.ny();
+    let mut alpha = vec![alpha0; mesh.cell_count()];
+    if width_cells == 0 || alpha_max <= alpha0 {
+        return alpha;
+    }
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let d = ix.min(nx - 1 - ix);
+            if d < width_cells {
+                let x = (width_cells - d) as f64 / width_cells as f64;
+                alpha[iy * nx + ix] = alpha0 + (alpha_max - alpha0) * x * x;
+            }
+        }
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(32, 16, [5e-9, 5e-9, 1e-9]).unwrap()
+    }
+
+    #[test]
+    fn interior_keeps_base_damping() {
+        let m = mesh();
+        let map = AbsorbingFrame::new(4, 0.5).damping_map(&m, 0.004);
+        let centre = m.linear_index(16, 8);
+        assert_eq!(map[centre], 0.004);
+    }
+
+    #[test]
+    fn corners_reach_alpha_max() {
+        let m = mesh();
+        let map = AbsorbingFrame::new(4, 0.5).damping_map(&m, 0.004);
+        let corner = m.linear_index(0, 0);
+        assert!((map[corner] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_is_monotonic_into_the_frame() {
+        let m = mesh();
+        let map = AbsorbingFrame::new(6, 0.5).damping_map(&m, 0.004);
+        let mid_y = 8;
+        for ix in 0..6 {
+            let outer = map[m.linear_index(ix, mid_y)];
+            let inner = map[m.linear_index(ix + 1, mid_y)];
+            assert!(
+                outer >= inner,
+                "damping should decrease moving inwards: α({ix}) = {outer} < α({}) = {inner}",
+                ix + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_width_frame_is_uniform() {
+        let m = mesh();
+        let map = AbsorbingFrame::new(0, 0.5).damping_map(&m, 0.01);
+        assert!(map.iter().all(|&a| a == 0.01));
+    }
+
+    #[test]
+    fn alpha_max_below_base_is_ignored() {
+        let m = mesh();
+        let map = AbsorbingFrame::new(4, 0.001).damping_map(&m, 0.01);
+        assert!(map.iter().all(|&a| a == 0.01));
+    }
+
+    #[test]
+    fn ends_map_leaves_transverse_edges_alone() {
+        let m = mesh();
+        let map = absorbing_ends_map(&m, 0.004, 4, 0.5);
+        // Transverse edge, centre x: base damping.
+        assert_eq!(map[m.linear_index(16, 0)], 0.004);
+        // Longitudinal ends: ramped.
+        assert!((map[m.linear_index(0, 8)] - 0.5).abs() < 1e-12);
+        assert!((map[m.linear_index(31, 8)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_ramp_shape() {
+        let m = mesh();
+        let w = 8;
+        let map = absorbing_ends_map(&m, 0.0, w, 1.0);
+        // d cells from the edge -> ((w-d)/w)².
+        for d in 0..w {
+            let expected = ((w - d) as f64 / w as f64).powi(2);
+            let got = map[m.linear_index(d, 8)];
+            assert!((got - expected).abs() < 1e-12, "d = {d}: {got} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the `magnum` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running a micromagnetic simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MagnumError {
+    /// A mesh dimension or cell size was zero, negative or non-finite.
+    InvalidMesh {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// A material parameter was out of its physical range.
+    InvalidMaterial {
+        /// The parameter name, e.g. `"saturation_magnetization"`.
+        parameter: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// A simulation configuration problem (e.g. probe outside the mesh).
+    InvalidConfig {
+        /// Description of the configuration problem.
+        reason: String,
+    },
+    /// The integrator produced a non-finite magnetization.
+    ///
+    /// This almost always means the time step is too large for the
+    /// exchange stiffness / cell size combination.
+    Diverged {
+        /// Simulation time (s) at which the divergence was detected.
+        time: f64,
+    },
+    /// The adaptive integrator could not satisfy its error tolerance even
+    /// at the minimum step size.
+    StepSizeUnderflow {
+        /// Simulation time (s) at which the step size underflowed.
+        time: f64,
+    },
+}
+
+impl fmt::Display for MagnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagnumError::InvalidMesh { reason } => write!(f, "invalid mesh: {reason}"),
+            MagnumError::InvalidMaterial { parameter, reason } => {
+                write!(f, "invalid material parameter `{parameter}`: {reason}")
+            }
+            MagnumError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+            MagnumError::Diverged { time } => write!(
+                f,
+                "magnetization diverged at t = {time:.3e} s (time step too large?)"
+            ),
+            MagnumError::StepSizeUnderflow { time } => write!(
+                f,
+                "adaptive step size underflow at t = {time:.3e} s"
+            ),
+        }
+    }
+}
+
+impl Error for MagnumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MagnumError::InvalidMesh { reason: "nx is zero".into() };
+        assert_eq!(e.to_string(), "invalid mesh: nx is zero");
+        let e = MagnumError::InvalidMaterial {
+            parameter: "gilbert_damping",
+            reason: "must be non-negative".into(),
+        };
+        assert!(e.to_string().contains("gilbert_damping"));
+        let e = MagnumError::Diverged { time: 1e-9 };
+        assert!(e.to_string().contains("1.000e-9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MagnumError>();
+    }
+}

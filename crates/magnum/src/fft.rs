@@ -1,0 +1,234 @@
+//! Radix-2 Cooley–Tukey FFT, written from scratch.
+//!
+//! Used by the Newell demagnetization kernel (2-D convolution) and by the
+//! spectrum probes. Lengths must be powers of two; callers zero-pad.
+
+use crate::math::Complex64;
+
+/// Direction of the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward DFT: `X[k] = Σ x[n]·e^{-2πi·kn/N}`.
+    Forward,
+    /// Inverse DFT, normalized by 1/N.
+    Inverse,
+}
+
+/// In-place radix-2 FFT of a power-of-two-length buffer.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (zero-length included).
+///
+/// ```
+/// use magnum::fft::{fft_in_place, Direction};
+/// use magnum::Complex64;
+/// let mut data = vec![Complex64::ONE; 4];
+/// fft_in_place(&mut data, Direction::Forward);
+/// assert!((data[0].re - 4.0).abs() < 1e-12); // DC bin
+/// assert!(data[1].abs() < 1e-12);
+/// ```
+pub fn fft_in_place(data: &mut [Complex64], direction: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(angle);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if direction == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Forward FFT of a real signal, returning the full complex spectrum.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is not a power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex64> {
+    let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+    fft_in_place(&mut data, Direction::Forward);
+    data
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// 2-D FFT over a row-major `nx × ny` buffer (both dimensions powers of
+/// two), transforming rows then columns.
+///
+/// # Panics
+///
+/// Panics if `data.len() != nx * ny` or either dimension is not a power of
+/// two.
+pub fn fft2_in_place(data: &mut [Complex64], nx: usize, ny: usize, direction: Direction) {
+    assert_eq!(data.len(), nx * ny, "buffer size mismatch");
+    assert!(nx.is_power_of_two() && ny.is_power_of_two(), "dimensions must be powers of two");
+    // Rows.
+    for row in data.chunks_mut(nx) {
+        fft_in_place(row, direction);
+    }
+    // Columns, via a scratch buffer.
+    let mut column = vec![Complex64::ZERO; ny];
+    for ix in 0..nx {
+        for iy in 0..ny {
+            column[iy] = data[iy * nx + ix];
+        }
+        fft_in_place(&mut column, direction);
+        for iy in 0..ny {
+            data[iy * nx + ix] = column[iy];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex64, b: Complex64, tol: f64) {
+        assert!(
+            (a - b).abs() < tol,
+            "expected {b}, got {a} (|diff| = {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex64::ZERO; 8];
+        data[0] = Complex64::ONE;
+        fft_in_place(&mut data, Direction::Forward);
+        for z in &data {
+            assert_close(*z, Complex64::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_signal() {
+        let original: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data, Direction::Forward);
+        fft_in_place(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(original.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spectrum = fft_real(&signal);
+        // cos splits into bins k0 and n-k0, each with magnitude n/2.
+        assert!((spectrum[k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spectrum[n - k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, z) in spectrum.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(z.abs() < 1e-9, "leakage in bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i * i) as f64 * 0.1).sin()).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spectrum = fft_real(&signal);
+        let freq_energy: f64 =
+            spectrum.iter().map(|z| z.abs_sq()).sum::<f64>() / signal.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> =
+            (0..8).map(|i| Complex64::new(0.0, (i as f64).cos())).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        fft_in_place(&mut fa, Direction::Forward);
+        fft_in_place(&mut fb, Direction::Forward);
+        fft_in_place(&mut fab, Direction::Forward);
+        for i in 0..8 {
+            assert_close(fab[i], fa[i] + fb[i], 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex64::ZERO; 12];
+        fft_in_place(&mut data, Direction::Forward);
+    }
+
+    #[test]
+    fn next_power_of_two_values() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(64), 64);
+        assert_eq!(next_power_of_two(65), 128);
+    }
+
+    #[test]
+    fn fft2_round_trip() {
+        let nx = 8;
+        let ny = 4;
+        let original: Vec<Complex64> = (0..nx * ny)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft2_in_place(&mut data, nx, ny, Direction::Forward);
+        fft2_in_place(&mut data, nx, ny, Direction::Inverse);
+        for (a, b) in data.iter().zip(original.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft2_of_constant_is_dc_only() {
+        let nx = 4;
+        let ny = 4;
+        let mut data = vec![Complex64::ONE; nx * ny];
+        fft2_in_place(&mut data, nx, ny, Direction::Forward);
+        assert_close(data[0], Complex64::new(16.0, 0.0), 1e-12);
+        for (i, z) in data.iter().enumerate().skip(1) {
+            assert!(z.abs() < 1e-12, "bin {i} should be empty");
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Demagnetizing (dipolar) field.
+//!
+//! Two implementations are provided:
+//!
+//! * [`ThinFilmDemag`] — the local thin-film limit `H_d = −Ms·m_z·ẑ`
+//!   (demag tensor N = diag(0, 0, 1)). For the paper's 1 nm film this is
+//!   the textbook approximation; it merges with the perpendicular
+//!   anisotropy into the effective field that sets the FVMSW dispersion.
+//! * [`NewellDemag`] — the full non-local field computed by convolving the
+//!   magnetization with the Newell demagnetization tensor via the
+//!   crate's own FFT. Exact for the discretization, but O(N log N) per
+//!   evaluation; used for validation and ablation studies.
+
+use std::sync::Mutex;
+
+use super::FieldTerm;
+use crate::fft::{fft2_in_place, next_power_of_two, Direction};
+use crate::material::Material;
+use crate::math::{Complex64, Vec3};
+use crate::mesh::Mesh;
+
+/// Which demagnetization model a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DemagMethod {
+    /// No demagnetizing field at all.
+    None,
+    /// Local thin-film approximation `H_d = −Ms·m_z·ẑ` (default: correct
+    /// limit for films much thinner than their lateral extent).
+    #[default]
+    ThinFilmLocal,
+    /// Full non-local Newell-tensor convolution via FFT.
+    NewellFft,
+}
+
+/// Local thin-film demagnetizing field (see [`DemagMethod::ThinFilmLocal`]).
+#[derive(Debug, Clone)]
+pub struct ThinFilmDemag {
+    ms: f64,
+    mask: Vec<bool>,
+}
+
+impl ThinFilmDemag {
+    /// Builds the local demag term.
+    pub fn new(mesh: &Mesh, material: &Material) -> Self {
+        ThinFilmDemag {
+            ms: material.saturation_magnetization(),
+            mask: mesh.mask().to_vec(),
+        }
+    }
+}
+
+impl FieldTerm for ThinFilmDemag {
+    fn name(&self) -> &'static str {
+        "demag_thin_film"
+    }
+
+    fn accumulate(&self, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
+        for (i, (mi, hi)) in m.iter().zip(h.iter_mut()).enumerate() {
+            if self.mask[i] {
+                hi.z -= self.ms * mi.z;
+            }
+        }
+    }
+}
+
+/// Non-local demagnetizing field via Newell-tensor FFT convolution
+/// (see [`DemagMethod::NewellFft`]).
+///
+/// The kernel is precomputed once at construction; each field evaluation
+/// costs six 2-D FFTs on the zero-padded grid.
+pub struct NewellDemag {
+    nx: usize,
+    ny: usize,
+    px: usize,
+    py: usize,
+    ms: f64,
+    mask: Vec<bool>,
+    /// FFT'd kernels K = −N (so that Ĥ = K̂·M̂).
+    kxx: Vec<Complex64>,
+    kyy: Vec<Complex64>,
+    kzz: Vec<Complex64>,
+    kxy: Vec<Complex64>,
+    scratch: Mutex<Scratch>,
+}
+
+struct Scratch {
+    mx: Vec<Complex64>,
+    my: Vec<Complex64>,
+    mz: Vec<Complex64>,
+}
+
+impl NewellDemag {
+    /// Precomputes the demag kernel for the mesh (single layer).
+    ///
+    /// Construction cost is O(P·27) Newell evaluations for P padded cells;
+    /// this is done once per simulation.
+    pub fn new(mesh: &Mesh, material: &Material) -> Self {
+        let nx = mesh.nx();
+        let ny = mesh.ny();
+        let px = next_power_of_two(2 * nx);
+        let py = next_power_of_two(2 * ny);
+        let [dx, dy, dz] = mesh.cell_size();
+
+        let mut kxx = vec![Complex64::ZERO; px * py];
+        let mut kyy = vec![Complex64::ZERO; px * py];
+        let mut kzz = vec![Complex64::ZERO; px * py];
+        let mut kxy = vec![Complex64::ZERO; px * py];
+
+        for jy in 0..py {
+            // Wrap offsets: indices beyond the half-grid represent
+            // negative displacements.
+            let oy = if jy <= py / 2 { jy as isize } else { jy as isize - py as isize };
+            for jx in 0..px {
+                let ox = if jx <= px / 2 { jx as isize } else { jx as isize - px as isize };
+                let x = ox as f64 * dx;
+                let y = oy as f64 * dy;
+                let idx = jy * px + jx;
+                // K = −N so that the convolution yields H directly.
+                kxx[idx] = Complex64::new(-newell_nxx(x, y, 0.0, dx, dy, dz), 0.0);
+                kyy[idx] = Complex64::new(-newell_nxx(y, x, 0.0, dy, dx, dz), 0.0);
+                kzz[idx] = Complex64::new(-newell_nxx(0.0, y, x, dz, dy, dx), 0.0);
+                kxy[idx] = Complex64::new(-newell_nxy(x, y, 0.0, dx, dy, dz), 0.0);
+            }
+        }
+        for k in [&mut kxx, &mut kyy, &mut kzz, &mut kxy] {
+            fft2_in_place(k, px, py, Direction::Forward);
+        }
+        NewellDemag {
+            nx,
+            ny,
+            px,
+            py,
+            ms: material.saturation_magnetization(),
+            mask: mesh.mask().to_vec(),
+            kxx,
+            kyy,
+            kzz,
+            kxy,
+            scratch: Mutex::new(Scratch {
+                mx: vec![Complex64::ZERO; px * py],
+                my: vec![Complex64::ZERO; px * py],
+                mz: vec![Complex64::ZERO; px * py],
+            }),
+        }
+    }
+
+    /// Self-demagnetization factors `(Nxx, Nyy, Nzz)` of a single cell —
+    /// they must sum to 1.
+    pub fn self_factors(dx: f64, dy: f64, dz: f64) -> (f64, f64, f64) {
+        (
+            newell_nxx(0.0, 0.0, 0.0, dx, dy, dz),
+            newell_nxx(0.0, 0.0, 0.0, dy, dx, dz),
+            newell_nxx(0.0, 0.0, 0.0, dz, dy, dx),
+        )
+    }
+}
+
+impl std::fmt::Debug for NewellDemag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NewellDemag")
+            .field("nx", &self.nx)
+            .field("ny", &self.ny)
+            .field("padded", &(self.px, self.py))
+            .field("ms", &self.ms)
+            .finish()
+    }
+}
+
+impl FieldTerm for NewellDemag {
+    fn name(&self) -> &'static str {
+        "demag_newell_fft"
+    }
+
+    fn accumulate(&self, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
+        let mut scratch = self.scratch.lock().expect("demag scratch poisoned");
+        let Scratch { mx, my, mz } = &mut *scratch;
+        mx.fill(Complex64::ZERO);
+        my.fill(Complex64::ZERO);
+        mz.fill(Complex64::ZERO);
+        // Load Ms·m into the padded buffers (vacuum stays zero).
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let i = iy * self.nx + ix;
+                if !self.mask[i] {
+                    continue;
+                }
+                let p = iy * self.px + ix;
+                mx[p] = Complex64::new(self.ms * m[i].x, 0.0);
+                my[p] = Complex64::new(self.ms * m[i].y, 0.0);
+                mz[p] = Complex64::new(self.ms * m[i].z, 0.0);
+            }
+        }
+        for buf in [&mut *mx, &mut *my, &mut *mz] {
+            fft2_in_place(buf, self.px, self.py, Direction::Forward);
+        }
+        // Multiply in Fourier space: Ĥ = K̂·M̂ (Kxz = Kyz = 0 in-plane).
+        for i in 0..self.px * self.py {
+            let hx = self.kxx[i] * mx[i] + self.kxy[i] * my[i];
+            let hy = self.kxy[i] * mx[i] + self.kyy[i] * my[i];
+            let hz = self.kzz[i] * mz[i];
+            mx[i] = hx;
+            my[i] = hy;
+            mz[i] = hz;
+        }
+        for buf in [&mut *mx, &mut *my, &mut *mz] {
+            fft2_in_place(buf, self.px, self.py, Direction::Inverse);
+        }
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let i = iy * self.nx + ix;
+                if !self.mask[i] {
+                    continue;
+                }
+                let p = iy * self.px + ix;
+                h[i] += Vec3::new(mx[p].re, my[p].re, mz[p].re);
+            }
+        }
+    }
+}
+
+/// Newell `f` auxiliary function (even in every argument).
+fn newell_f(x: f64, y: f64, z: f64) -> f64 {
+    let (x, y, z) = (x.abs(), y.abs(), z.abs());
+    let r = (x * x + y * y + z * z).sqrt();
+    let mut acc = 0.0;
+    // (y/2)(z²−x²)·asinh(y/√(x²+z²))
+    let dxz = (x * x + z * z).sqrt();
+    if dxz > 0.0 && y != 0.0 {
+        acc += 0.5 * y * (z * z - x * x) * (y / dxz).asinh();
+    }
+    // (z/2)(y²−x²)·asinh(z/√(x²+y²))
+    let dxy = (x * x + y * y).sqrt();
+    if dxy > 0.0 && z != 0.0 {
+        acc += 0.5 * z * (y * y - x * x) * (z / dxy).asinh();
+    }
+    // −xyz·atan(yz/(xR))
+    if x != 0.0 && r > 0.0 && y != 0.0 && z != 0.0 {
+        acc -= x * y * z * (y * z / (x * r)).atan();
+    }
+    // (1/6)(2x²−y²−z²)·R
+    acc += (2.0 * x * x - y * y - z * z) * r / 6.0;
+    acc
+}
+
+/// Newell `g` auxiliary function (odd in x and y, even in z).
+fn newell_g(x: f64, y: f64, z: f64) -> f64 {
+    let zs = z.abs();
+    let r = (x * x + y * y + zs * zs).sqrt();
+    let mut acc = 0.0;
+    let dxy = (x * x + y * y).sqrt();
+    if dxy > 0.0 && zs != 0.0 {
+        acc += x * y * zs * (zs / dxy).asinh();
+    }
+    let dyz = (y * y + zs * zs).sqrt();
+    if dyz > 0.0 && x != 0.0 {
+        acc += y / 6.0 * (3.0 * zs * zs - y * y) * (x / dyz).asinh();
+    }
+    let dxz = (x * x + zs * zs).sqrt();
+    if dxz > 0.0 && y != 0.0 {
+        acc += x / 6.0 * (3.0 * zs * zs - x * x) * (y / dxz).asinh();
+    }
+    if zs != 0.0 && r > 0.0 && x != 0.0 && y != 0.0 {
+        acc -= zs * zs * zs / 6.0 * (x * y / (zs * r)).atan();
+    }
+    if y != 0.0 && r > 0.0 && x != 0.0 && zs != 0.0 {
+        acc -= zs * y * y / 2.0 * (x * zs / (y * r)).atan();
+    }
+    if x != 0.0 && r > 0.0 && y != 0.0 && zs != 0.0 {
+        acc -= zs * x * x / 2.0 * (y * zs / (x * r)).atan();
+    }
+    acc -= x * y * r / 3.0;
+    acc
+}
+
+/// Applies the 27-point second-difference stencil to an auxiliary function.
+fn newell_stencil<F: Fn(f64, f64, f64) -> f64>(
+    x: f64,
+    y: f64,
+    z: f64,
+    dx: f64,
+    dy: f64,
+    dz: f64,
+    func: F,
+) -> f64 {
+    const W: [(isize, f64); 3] = [(-1, -1.0), (0, 2.0), (1, -1.0)];
+    let mut acc = 0.0;
+    for &(u, wu) in &W {
+        for &(v, wv) in &W {
+            for &(w, ww) in &W {
+                acc += wu
+                    * wv
+                    * ww
+                    * func(x + u as f64 * dx, y + v as f64 * dy, z + w as f64 * dz);
+            }
+        }
+    }
+    acc
+}
+
+/// Demag tensor component `Nxx` between two cells displaced by `(x, y, z)`.
+pub fn newell_nxx(x: f64, y: f64, z: f64, dx: f64, dy: f64, dz: f64) -> f64 {
+    newell_stencil(x, y, z, dx, dy, dz, newell_f)
+        / (4.0 * std::f64::consts::PI * dx * dy * dz)
+}
+
+/// Demag tensor component `Nxy` between two cells displaced by `(x, y, z)`.
+pub fn newell_nxy(x: f64, y: f64, z: f64, dx: f64, dy: f64, dz: f64) -> f64 {
+    newell_stencil(x, y, z, dx, dy, dz, newell_g)
+        / (4.0 * std::f64::consts::PI * dx * dy * dz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_self_factors_are_one_third() {
+        let (nxx, nyy, nzz) = NewellDemag::self_factors(1e-9, 1e-9, 1e-9);
+        assert!((nxx - 1.0 / 3.0).abs() < 1e-9, "Nxx = {nxx}");
+        assert!((nyy - 1.0 / 3.0).abs() < 1e-9);
+        assert!((nzz - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_factors_sum_to_one_for_any_aspect() {
+        for (dx, dy, dz) in [
+            (1e-9, 1e-9, 1e-9),
+            (5e-9, 5e-9, 1e-9),
+            (2e-9, 8e-9, 1e-9),
+            (10e-9, 3e-9, 0.5e-9),
+        ] {
+            let (nxx, nyy, nzz) = NewellDemag::self_factors(dx, dy, dz);
+            assert!(
+                (nxx + nyy + nzz - 1.0).abs() < 1e-8,
+                "trace violated for ({dx}, {dy}, {dz}): {}",
+                nxx + nyy + nzz
+            );
+        }
+    }
+
+    #[test]
+    fn flat_cell_is_dominated_by_nzz() {
+        let (nxx, nyy, nzz) = NewellDemag::self_factors(10e-9, 10e-9, 1e-9);
+        assert!(nzz > 0.8, "flat cell Nzz = {nzz}");
+        assert!(nxx < 0.1 && nyy < 0.1);
+        assert!((nxx - nyy).abs() < 1e-12, "square cell must be symmetric");
+    }
+
+    #[test]
+    fn nxy_vanishes_on_axes() {
+        // Nxy is odd in x and y: it must vanish when either offset is 0.
+        assert!(newell_nxy(0.0, 0.0, 0.0, 1e-9, 1e-9, 1e-9).abs() < 1e-12);
+        assert!(newell_nxy(2e-9, 0.0, 0.0, 1e-9, 1e-9, 1e-9).abs() < 1e-12);
+        assert!(newell_nxy(0.0, 2e-9, 0.0, 1e-9, 1e-9, 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nxy_is_odd_under_axis_flip() {
+        let a = newell_nxy(2e-9, 3e-9, 0.0, 1e-9, 1e-9, 1e-9);
+        let b = newell_nxy(-2e-9, 3e-9, 0.0, 1e-9, 1e-9, 1e-9);
+        assert!((a + b).abs() < 1e-15);
+        assert!(a.abs() > 0.0, "off-axis Nxy should be non-zero");
+    }
+
+    #[test]
+    fn nxx_is_even() {
+        let a = newell_nxx(2e-9, 3e-9, 0.0, 1e-9, 1e-9, 1e-9);
+        let b = newell_nxx(-2e-9, -3e-9, 0.0, 1e-9, 1e-9, 1e-9);
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    fn film_setup(nx: usize, ny: usize) -> (Mesh, Material) {
+        let mesh = Mesh::new(nx, ny, [5e-9, 5e-9, 1e-9]).unwrap();
+        (mesh, Material::fecob())
+    }
+
+    #[test]
+    fn newell_field_of_flat_film_approaches_local_limit() {
+        // A uniformly out-of-plane magnetized wide thin film: at the centre
+        // H_z → −Ms, the thin-film local value.
+        let (mesh, mat) = film_setup(32, 32);
+        let demag = NewellDemag::new(&mesh, &mat);
+        let n = mesh.cell_count();
+        let m = vec![Vec3::Z; n];
+        let mut h = vec![Vec3::ZERO; n];
+        demag.accumulate(&m, 0.0, &mut h);
+        let centre = mesh.linear_index(16, 16);
+        let hz = h[centre].z;
+        let ms = mat.saturation_magnetization();
+        assert!(
+            (hz + ms).abs() / ms < 0.15,
+            "centre demag field {hz} should be close to -Ms = {}",
+            -ms
+        );
+        // In-plane components vanish by symmetry.
+        assert!(h[centre].x.abs() / ms < 1e-6);
+        assert!(h[centre].y.abs() / ms < 1e-6);
+        // The edge field is weaker (flux closure).
+        let edge = mesh.linear_index(0, 16);
+        assert!(h[edge].z.abs() < hz.abs());
+    }
+
+    #[test]
+    fn thin_film_local_term_is_minus_ms_mz() {
+        let (mesh, mat) = film_setup(4, 4);
+        let demag = ThinFilmDemag::new(&mesh, &mat);
+        let m = vec![Vec3::new(0.6, 0.0, 0.8); mesh.cell_count()];
+        let mut h = vec![Vec3::ZERO; mesh.cell_count()];
+        demag.accumulate(&m, 0.0, &mut h);
+        for hi in &h {
+            assert!((hi.z + mat.saturation_magnetization() * 0.8).abs() < 1e-6);
+            assert_eq!(hi.x, 0.0);
+        }
+    }
+
+    #[test]
+    fn vacuum_cells_receive_no_demag_field() {
+        let (mut mesh, mat) = film_setup(4, 1);
+        mesh.set_magnetic(3, 0, false);
+        let local = ThinFilmDemag::new(&mesh, &mat);
+        let newell = NewellDemag::new(&mesh, &mat);
+        let m = vec![Vec3::Z; 4];
+        for term in [&local as &dyn FieldTerm, &newell as &dyn FieldTerm] {
+            let mut h = vec![Vec3::ZERO; 4];
+            term.accumulate(&m, 0.0, &mut h);
+            assert_eq!(h[3], Vec3::ZERO, "{} leaked into vacuum", term.name());
+        }
+    }
+
+    #[test]
+    fn in_plane_magnetized_film_has_small_demag_field_inside() {
+        // For in-plane magnetization of a thin film the demag field is
+        // weak (N∥ ≈ 0) — checks the Nxx path of the convolution.
+        let (mesh, mat) = film_setup(32, 32);
+        let demag = NewellDemag::new(&mesh, &mat);
+        let n = mesh.cell_count();
+        let m = vec![Vec3::X; n];
+        let mut h = vec![Vec3::ZERO; n];
+        demag.accumulate(&m, 0.0, &mut h);
+        let centre = mesh.linear_index(16, 16);
+        let ms = mat.saturation_magnetization();
+        assert!(
+            h[centre].x.abs() / ms < 0.1,
+            "in-plane demag field should be small: {}",
+            h[centre].x / ms
+        );
+    }
+
+    #[test]
+    fn demag_energy_prefers_out_of_plane_for_nothing() {
+        // Sanity: out-of-plane uniform state has *higher* demag energy than
+        // in-plane for a film (shape anisotropy).
+        let (mesh, mat) = film_setup(16, 16);
+        let demag = NewellDemag::new(&mesh, &mat);
+        let n = mesh.cell_count();
+        let ms = mat.saturation_magnetization();
+        let v = mesh.cell_volume();
+        let e_oop = demag.energy(&vec![Vec3::Z; n], 0.0, ms, v);
+        let e_ip = demag.energy(&vec![Vec3::X; n], 0.0, ms, v);
+        assert!(e_oop > e_ip, "film shape anisotropy: {e_oop} vs {e_ip}");
+    }
+}

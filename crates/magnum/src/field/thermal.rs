@@ -1,0 +1,196 @@
+//! Brown's stochastic thermal field.
+//!
+//! Finite temperature enters the LLG equation as a random field with
+//! variance `σ_B² = 2·α·k_B·T / (γ·Ms·V_cell·Δt)` (in T², divided by μ₀
+//! for A/m), white in time and space. The field is redrawn once per time
+//! step and held fixed across the integrator stages (Heun converges to
+//! the Stratonovich solution this way).
+//!
+//! The paper leaves thermal effects to the literature it cites (\[36\],
+//! \[43\]) but discusses them in §IV-D; this module is what the `repro
+//! thermal` experiment uses to show gate operation survives T > 0.
+
+use crate::material::Material;
+use crate::math::Vec3;
+use crate::mesh::Mesh;
+use crate::{KB, MU0};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stochastic thermal field generator (see module docs).
+#[derive(Debug)]
+pub struct ThermalField {
+    temperature: f64,
+    /// 2·α·k_B / (γ·Ms·V) — multiplied by T/Δt and square-rooted per draw.
+    coeff: f64,
+    mask: Vec<bool>,
+    rng: StdRng,
+    /// Cached second Box–Muller variate.
+    spare: Option<f64>,
+}
+
+impl ThermalField {
+    /// Creates a generator for the given temperature (kelvin) and RNG seed.
+    pub fn new(mesh: &Mesh, material: &Material, temperature: f64, seed: u64) -> Self {
+        let ms = material.saturation_magnetization();
+        let v = mesh.cell_volume();
+        let coeff = if ms > 0.0 {
+            2.0 * material.gilbert_damping() * KB / (material.gamma() * ms * v)
+        } else {
+            0.0
+        };
+        ThermalField {
+            temperature: temperature.max(0.0),
+            coeff,
+            mask: mesh.mask().to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// The configured temperature in kelvin.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Standard normal variate via Box–Muller (avoids an extra dependency).
+    fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = self.rng.gen::<f64>();
+            let v: f64 = self.rng.gen::<f64>();
+            if u <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * v;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Draws a fresh realization of the thermal field (A/m) for a step of
+    /// length `dt`, writing it into `out` (vacuum cells get zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the mesh cell count.
+    pub fn draw(&mut self, dt: f64, out: &mut [Vec3]) {
+        assert_eq!(out.len(), self.mask.len(), "thermal buffer size mismatch");
+        if self.temperature == 0.0 || self.coeff == 0.0 || dt <= 0.0 {
+            out.fill(Vec3::ZERO);
+            return;
+        }
+        // σ in Tesla, converted to A/m.
+        let sigma = (self.coeff * self.temperature / dt).sqrt() / MU0;
+        for (i, o) in out.iter_mut().enumerate() {
+            if self.mask[i] {
+                *o = Vec3::new(
+                    sigma * self.normal(),
+                    sigma * self.normal(),
+                    sigma * self.normal(),
+                );
+            } else {
+                *o = Vec3::ZERO;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Mesh, Material) {
+        (
+            Mesh::new(16, 16, [5e-9, 5e-9, 1e-9]).unwrap(),
+            Material::fecob(),
+        )
+    }
+
+    fn field_variance(t: f64, dt: f64, seed: u64) -> f64 {
+        let (mesh, mat) = setup();
+        let mut th = ThermalField::new(&mesh, &mat, t, seed);
+        let mut buf = vec![Vec3::ZERO; mesh.cell_count()];
+        th.draw(dt, &mut buf);
+        let n = buf.len() as f64 * 3.0;
+        buf.iter().map(|v| v.norm_sq()).sum::<f64>() / n
+    }
+
+    #[test]
+    fn zero_temperature_gives_zero_field() {
+        assert_eq!(field_variance(0.0, 1e-13, 1), 0.0);
+    }
+
+    #[test]
+    fn variance_scales_linearly_with_temperature() {
+        let v300 = field_variance(300.0, 1e-13, 42);
+        let v75 = field_variance(75.0, 1e-13, 42);
+        let ratio = v300 / v75;
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "variance ratio should be ≈4, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn variance_scales_inversely_with_dt() {
+        let v1 = field_variance(300.0, 1e-13, 7);
+        let v2 = field_variance(300.0, 4e-13, 7);
+        let ratio = v1 / v2;
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "variance ratio should be ≈4, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_realization() {
+        let (mesh, mat) = setup();
+        let mut a = ThermalField::new(&mesh, &mat, 300.0, 9);
+        let mut b = ThermalField::new(&mesh, &mat, 300.0, 9);
+        let mut ba = vec![Vec3::ZERO; mesh.cell_count()];
+        let mut bb = vec![Vec3::ZERO; mesh.cell_count()];
+        a.draw(1e-13, &mut ba);
+        b.draw(1e-13, &mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (mesh, mat) = setup();
+        let mut a = ThermalField::new(&mesh, &mat, 300.0, 1);
+        let mut b = ThermalField::new(&mesh, &mat, 300.0, 2);
+        let mut ba = vec![Vec3::ZERO; mesh.cell_count()];
+        let mut bb = vec![Vec3::ZERO; mesh.cell_count()];
+        a.draw(1e-13, &mut ba);
+        b.draw(1e-13, &mut bb);
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn mean_is_approximately_zero() {
+        let (mesh, mat) = setup();
+        let mut th = ThermalField::new(&mesh, &mat, 300.0, 3);
+        let mut buf = vec![Vec3::ZERO; mesh.cell_count()];
+        th.draw(1e-13, &mut buf);
+        let mean: Vec3 = buf.iter().copied().sum::<Vec3>() / buf.len() as f64;
+        let sigma = (buf.iter().map(|v| v.norm_sq()).sum::<f64>()
+            / (3.0 * buf.len() as f64))
+            .sqrt();
+        assert!(mean.norm() < sigma, "mean {mean} too large vs σ = {sigma}");
+    }
+
+    #[test]
+    fn vacuum_cells_stay_cold() {
+        let (mut mesh, mat) = setup();
+        mesh.set_magnetic(0, 0, false);
+        let mut th = ThermalField::new(&mesh, &mat, 300.0, 5);
+        let mut buf = vec![Vec3::ZERO; mesh.cell_count()];
+        th.draw(1e-13, &mut buf);
+        assert_eq!(buf[0], Vec3::ZERO);
+        assert!(buf[1].norm() > 0.0);
+    }
+}

@@ -1,0 +1,542 @@
+//! Shape combinators for carving device geometries out of a mesh.
+//!
+//! The paper's triangle gates are unions of rotated waveguide bars
+//! ([`Bar`]) plus rectangular input/output stubs ([`Rect`]). Shapes are
+//! composed with [`ShapeExt::union`] / [`ShapeExt::intersect`] /
+//! [`ShapeExt::subtract`] and rasterized onto a [`Mesh`] with
+//! [`rasterize`]. [`Rough`] adds correlated edge roughness for the
+//! variability experiments of §IV-D.
+
+use crate::mesh::Mesh;
+
+/// A 2-D region that can answer point-membership queries.
+///
+/// Coordinates are physical metres with the origin at the mesh corner.
+///
+/// ```
+/// use magnum::geometry::{Rect, Shape, ShapeExt};
+/// let left = Rect::new(0.0, 0.0, 1.0, 1.0);
+/// let right = Rect::new(2.0, 0.0, 3.0, 1.0);
+/// let both = left.union(right);
+/// assert!(both.contains(0.5, 0.5));
+/// assert!(both.contains(2.5, 0.5));
+/// assert!(!both.contains(1.5, 0.5));
+/// ```
+pub trait Shape: Send + Sync {
+    /// Whether the physical point `(x, y)` (metres) lies inside the shape.
+    fn contains(&self, x: f64, y: f64) -> bool;
+}
+
+impl<S: Shape + ?Sized> Shape for Box<S> {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        (**self).contains(x, y)
+    }
+}
+
+impl<S: Shape + ?Sized> Shape for &S {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        (**self).contains(x, y)
+    }
+}
+
+/// Combinator methods available on every [`Shape`].
+pub trait ShapeExt: Shape + Sized {
+    /// Set union: a point is inside if it is inside either shape.
+    fn union<T: Shape>(self, other: T) -> Union<Self, T> {
+        Union { a: self, b: other }
+    }
+
+    /// Set intersection.
+    fn intersect<T: Shape>(self, other: T) -> Intersection<Self, T> {
+        Intersection { a: self, b: other }
+    }
+
+    /// Set difference `self \ other`.
+    fn subtract<T: Shape>(self, other: T) -> Difference<Self, T> {
+        Difference { a: self, b: other }
+    }
+
+    /// Type-erases the shape, allowing heterogeneous collections.
+    fn boxed(self) -> Box<dyn Shape>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Shape + Sized> ShapeExt for S {}
+
+/// The empty shape (contains nothing). Useful as a fold seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Empty;
+
+impl Shape for Empty {
+    fn contains(&self, _x: f64, _y: f64) -> bool {
+        false
+    }
+}
+
+/// Axis-aligned rectangle spanning `[x0, x1] × [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; the corner order does not matter.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+}
+
+impl Shape for Rect {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+}
+
+/// Disc of radius `r` centred on `(cx, cy)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    cx: f64,
+    cy: f64,
+    r: f64,
+}
+
+impl Circle {
+    /// Creates a disc. `r` must be non-negative.
+    pub fn new(cx: f64, cy: f64, r: f64) -> Self {
+        Circle { cx, cy, r: r.max(0.0) }
+    }
+}
+
+impl Shape for Circle {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        dx * dx + dy * dy <= self.r * self.r
+    }
+}
+
+/// A thick line segment ("waveguide bar") from `p0` to `p1` with a given
+/// width — the workhorse for the paper's diagonal triangle arms.
+///
+/// A point is inside if its distance to the segment is at most `width/2`,
+/// which gives the bar rounded end caps; combine with [`Rect`]s when flat
+/// ends are needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bar {
+    p0: (f64, f64),
+    p1: (f64, f64),
+    half_width: f64,
+}
+
+impl Bar {
+    /// Creates a bar between two points with total `width`.
+    pub fn new(p0: (f64, f64), p1: (f64, f64), width: f64) -> Self {
+        Bar {
+            p0,
+            p1,
+            half_width: (width / 2.0).max(0.0),
+        }
+    }
+
+    /// Segment length (between the end points, excluding the caps).
+    pub fn length(&self) -> f64 {
+        let dx = self.p1.0 - self.p0.0;
+        let dy = self.p1.1 - self.p0.1;
+        dx.hypot(dy)
+    }
+
+    fn distance_to_segment(&self, x: f64, y: f64) -> f64 {
+        let (x0, y0) = self.p0;
+        let (x1, y1) = self.p1;
+        let dx = x1 - x0;
+        let dy = y1 - y0;
+        let len_sq = dx * dx + dy * dy;
+        let t = if len_sq == 0.0 {
+            0.0
+        } else {
+            (((x - x0) * dx + (y - y0) * dy) / len_sq).clamp(0.0, 1.0)
+        };
+        let px = x0 + t * dx;
+        let py = y0 + t * dy;
+        (x - px).hypot(y - py)
+    }
+}
+
+impl Shape for Bar {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        self.distance_to_segment(x, y) <= self.half_width
+    }
+}
+
+/// Simple polygon defined by its vertices (even-odd rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<(f64, f64)>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are given.
+    pub fn new(vertices: Vec<(f64, f64)>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+}
+
+impl Shape for Polygon {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        // Even-odd ray casting.
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = self.vertices[i];
+            let (xj, yj) = self.vertices[j];
+            if ((yi > y) != (yj > y)) && (x < (xj - xi) * (y - yi) / (yj - yi) + xi) {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+/// Union of two shapes (see [`ShapeExt::union`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Union<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Shape, B: Shape> Shape for Union<A, B> {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        self.a.contains(x, y) || self.b.contains(x, y)
+    }
+}
+
+/// Intersection of two shapes (see [`ShapeExt::intersect`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intersection<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Shape, B: Shape> Shape for Intersection<A, B> {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        self.a.contains(x, y) && self.b.contains(x, y)
+    }
+}
+
+/// Difference of two shapes (see [`ShapeExt::subtract`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Difference<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Shape, B: Shape> Shape for Difference<A, B> {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        self.a.contains(x, y) && !self.b.contains(x, y)
+    }
+}
+
+/// Union of an arbitrary collection of boxed shapes.
+#[derive(Default)]
+pub struct ShapeSet {
+    shapes: Vec<Box<dyn Shape>>,
+}
+
+impl ShapeSet {
+    /// Creates an empty set (contains nothing).
+    pub fn new() -> Self {
+        ShapeSet::default()
+    }
+
+    /// Adds a shape to the union.
+    pub fn push<S: Shape + 'static>(&mut self, shape: S) {
+        self.shapes.push(Box::new(shape));
+    }
+
+    /// Number of member shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// True if the set has no member shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+}
+
+impl Shape for ShapeSet {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        self.shapes.iter().any(|s| s.contains(x, y))
+    }
+}
+
+impl std::fmt::Debug for ShapeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShapeSet").field("len", &self.shapes.len()).finish()
+    }
+}
+
+/// Adds deterministic correlated edge roughness to a shape.
+///
+/// The sampling point is displaced by a smooth pseudo-random field before
+/// the membership test, which perturbs every edge of the inner shape by up
+/// to ± `amplitude` with lateral correlation length `correlation` — the
+/// standard model for lithographic line-edge roughness used in the
+/// variability studies the paper cites (\[36\], \[43\]).
+pub struct Rough<S> {
+    inner: S,
+    amplitude: f64,
+    correlation: f64,
+    seed: u64,
+}
+
+impl<S: Shape> Rough<S> {
+    /// Wraps `inner` with roughness of the given `amplitude` (metres),
+    /// `correlation` length (metres) and RNG `seed`.
+    pub fn new(inner: S, amplitude: f64, correlation: f64, seed: u64) -> Self {
+        Rough {
+            inner,
+            amplitude: amplitude.max(0.0),
+            correlation: correlation.abs().max(1e-12),
+            seed,
+        }
+    }
+
+    /// Smooth value noise in [-1, 1] on a lattice of pitch `correlation`.
+    fn noise(&self, x: f64, y: f64, channel: u64) -> f64 {
+        let u = x / self.correlation;
+        let v = y / self.correlation;
+        let iu = u.floor();
+        let iv = v.floor();
+        let fu = u - iu;
+        let fv = v - iv;
+        // Smoothstep weights give C¹-continuous noise.
+        let su = fu * fu * (3.0 - 2.0 * fu);
+        let sv = fv * fv * (3.0 - 2.0 * fv);
+        let corner = |du: i64, dv: i64| -> f64 {
+            lattice_hash(self.seed, channel, iu as i64 + du, iv as i64 + dv)
+        };
+        let n00 = corner(0, 0);
+        let n10 = corner(1, 0);
+        let n01 = corner(0, 1);
+        let n11 = corner(1, 1);
+        let nx0 = n00 + su * (n10 - n00);
+        let nx1 = n01 + su * (n11 - n01);
+        nx0 + sv * (nx1 - nx0)
+    }
+}
+
+impl<S: Shape> Shape for Rough<S> {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        let dx = self.amplitude * self.noise(x, y, 0);
+        let dy = self.amplitude * self.noise(x, y, 1);
+        self.inner.contains(x + dx, y + dy)
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Rough<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rough")
+            .field("inner", &self.inner)
+            .field("amplitude", &self.amplitude)
+            .field("correlation", &self.correlation)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// Deterministic hash of a lattice point, mapped to [-1, 1].
+fn lattice_hash(seed: u64, channel: u64, iu: i64, iv: i64) -> f64 {
+    // SplitMix64 over the packed coordinates.
+    let mut z = seed
+        ^ channel.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iu as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (iv as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Rasterizes a shape onto a mesh: cells whose centre lies inside the
+/// shape become magnetic, all others become vacuum.
+pub fn rasterize<S: Shape>(mesh: &mut Mesh, shape: &S) {
+    mesh.set_mask_by(|x, y| shape.contains(x, y));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_contains_its_interior_and_boundary() {
+        let r = Rect::new(1.0, 1.0, 3.0, 2.0);
+        assert!(r.contains(2.0, 1.5));
+        assert!(r.contains(1.0, 1.0));
+        assert!(r.contains(3.0, 2.0));
+        assert!(!r.contains(0.99, 1.5));
+        assert!(!r.contains(2.0, 2.01));
+    }
+
+    #[test]
+    fn rect_corner_order_is_normalized() {
+        let r = Rect::new(3.0, 2.0, 1.0, 1.0);
+        assert!(r.contains(2.0, 1.5));
+        assert!((r.width() - 2.0).abs() < 1e-15);
+        assert!((r.height() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn circle_membership() {
+        let c = Circle::new(0.0, 0.0, 1.0);
+        assert!(c.contains(0.7, 0.7));
+        assert!(!c.contains(0.8, 0.8));
+        assert!(c.contains(1.0, 0.0));
+    }
+
+    #[test]
+    fn bar_is_a_thick_segment_with_caps() {
+        let b = Bar::new((0.0, 0.0), (10.0, 0.0), 2.0);
+        assert!(b.contains(5.0, 0.9));
+        assert!(!b.contains(5.0, 1.1));
+        // Rounded cap beyond the end point.
+        assert!(b.contains(10.5, 0.0));
+        assert!(!b.contains(11.1, 0.0));
+        assert!((b.length() - 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_bar_contains_midpoint() {
+        let b = Bar::new((0.0, 0.0), (10.0, 10.0), 1.0);
+        assert!(b.contains(5.0, 5.0));
+        assert!(!b.contains(5.0, 6.0));
+    }
+
+    #[test]
+    fn degenerate_bar_is_a_disc() {
+        let b = Bar::new((1.0, 1.0), (1.0, 1.0), 2.0);
+        assert!(b.contains(1.5, 1.5));
+        assert!(!b.contains(2.5, 1.0));
+    }
+
+    #[test]
+    fn polygon_triangle_membership() {
+        let t = Polygon::new(vec![(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)]);
+        assert!(t.contains(1.0, 1.0));
+        assert!(!t.contains(3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn polygon_rejects_degenerate() {
+        let _ = Polygon::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 0.0, 3.0, 2.0);
+        assert!(a.union(b).contains(2.5, 1.0));
+        assert!(a.intersect(b).contains(1.5, 1.0));
+        assert!(!a.intersect(b).contains(0.5, 1.0));
+        assert!(a.subtract(b).contains(0.5, 1.0));
+        assert!(!a.subtract(b).contains(1.5, 1.0));
+    }
+
+    #[test]
+    fn empty_shape_contains_nothing() {
+        assert!(!Empty.contains(0.0, 0.0));
+    }
+
+    #[test]
+    fn shape_set_unions_members() {
+        let mut set = ShapeSet::new();
+        assert!(set.is_empty());
+        set.push(Rect::new(0.0, 0.0, 1.0, 1.0));
+        set.push(Circle::new(5.0, 5.0, 1.0));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(0.5, 0.5));
+        assert!(set.contains(5.0, 5.5));
+        assert!(!set.contains(3.0, 3.0));
+    }
+
+    #[test]
+    fn rasterize_carves_mask() {
+        let mut mesh = Mesh::new(10, 10, [1.0, 1.0, 1.0]).unwrap();
+        rasterize(&mut mesh, &Rect::new(0.0, 0.0, 5.0, 10.0));
+        assert_eq!(mesh.magnetic_cell_count(), 50);
+    }
+
+    #[test]
+    fn roughness_is_deterministic_and_bounded() {
+        let base = Rect::new(0.0, 0.0, 100.0, 10.0);
+        let rough1 = Rough::new(base, 1.0, 5.0, 42);
+        let rough2 = Rough::new(base, 1.0, 5.0, 42);
+        // Deterministic: same seed, same answers.
+        for i in 0..50 {
+            let x = i as f64 * 2.0;
+            assert_eq!(rough1.contains(x, 9.5), rough2.contains(x, 9.5));
+        }
+        // Bounded: points deeper than the amplitude are unaffected.
+        assert!(rough1.contains(50.0, 5.0));
+        assert!(!rough1.contains(50.0, 12.0));
+    }
+
+    #[test]
+    fn roughness_zero_amplitude_is_identity() {
+        let base = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let rough = Rough::new(base, 0.0, 5.0, 7);
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (i as f64, j as f64);
+                assert_eq!(rough.contains(x, y), base.contains(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let base = Rect::new(0.0, 0.0, 100.0, 10.0);
+        let r1 = Rough::new(base, 2.0, 3.0, 1);
+        let r2 = Rough::new(base, 2.0, 3.0, 2);
+        let mut differs = false;
+        for i in 0..200 {
+            let x = i as f64 * 0.5;
+            if r1.contains(x, 9.9) != r2.contains(x, 9.9) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "roughness should depend on the seed");
+    }
+}

@@ -1,0 +1,313 @@
+//! Magnetic material parameters.
+//!
+//! The solver is single-material per simulation (per-cell saturation
+//! scaling is available for the trapezoidal-cross-section variability
+//! study); the builder validates all parameters against their physical
+//! ranges. The Fe₆₀Co₂₀B₂₀ preset matches §IV-A of the paper exactly.
+
+use crate::error::MagnumError;
+use crate::math::Vec3;
+use crate::{GAMMA, MU0};
+
+/// Validated magnetic material parameters.
+///
+/// ```
+/// use magnum::Material;
+/// let fecob = Material::fecob();
+/// assert_eq!(fecob.saturation_magnetization(), 1100e3);
+/// assert!(fecob.is_perpendicular_film());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    ms: f64,
+    aex: f64,
+    alpha: f64,
+    ku1: f64,
+    anisotropy_axis: Vec3,
+    gamma: f64,
+}
+
+impl Material {
+    /// Starts building a material; all parameters default to zero except
+    /// the gyromagnetic ratio.
+    pub fn builder() -> MaterialBuilder {
+        MaterialBuilder::default()
+    }
+
+    /// The Fe₆₀Co₂₀B₂₀ parameters used in the paper (§IV-A, after \[39\]):
+    /// Ms = 1100 kA/m, Aex = 18.5 pJ/m, α = 0.004, Ku = 0.832 MJ/m³ with a
+    /// perpendicular (ẑ) easy axis.
+    pub fn fecob() -> Material {
+        Material::builder()
+            .saturation_magnetization(1100e3)
+            .exchange_stiffness(18.5e-12)
+            .gilbert_damping(0.004)
+            .uniaxial_anisotropy(0.832e6, Vec3::Z)
+            .build()
+            .expect("FeCoB preset parameters are valid")
+    }
+
+    /// Saturation magnetization Ms in A/m.
+    #[inline]
+    pub fn saturation_magnetization(&self) -> f64 {
+        self.ms
+    }
+
+    /// Exchange stiffness Aex in J/m.
+    #[inline]
+    pub fn exchange_stiffness(&self) -> f64 {
+        self.aex
+    }
+
+    /// Gilbert damping constant α (dimensionless).
+    #[inline]
+    pub fn gilbert_damping(&self) -> f64 {
+        self.alpha
+    }
+
+    /// First-order uniaxial anisotropy constant Ku₁ in J/m³.
+    #[inline]
+    pub fn anisotropy_constant(&self) -> f64 {
+        self.ku1
+    }
+
+    /// Unit easy axis of the uniaxial anisotropy.
+    #[inline]
+    pub fn anisotropy_axis(&self) -> Vec3 {
+        self.anisotropy_axis
+    }
+
+    /// Gyromagnetic ratio |γ| in rad/(s·T).
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Exchange length √(2A/(μ₀Ms²)) in metres — cells should not be much
+    /// larger than this.
+    pub fn exchange_length(&self) -> f64 {
+        if self.ms == 0.0 {
+            return f64::INFINITY;
+        }
+        (2.0 * self.aex / (MU0 * self.ms * self.ms)).sqrt()
+    }
+
+    /// Effective perpendicular anisotropy field 2Ku/(μ₀Ms) − Ms in A/m
+    /// (anisotropy field minus the thin-film demag field).
+    ///
+    /// Positive means the film magnetizes out-of-plane — the forward-volume
+    /// configuration the paper's gates require.
+    pub fn effective_perpendicular_field(&self) -> f64 {
+        if self.ms == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.ku1 / (MU0 * self.ms) - self.ms
+    }
+
+    /// Whether a thin film of this material is stable with out-of-plane
+    /// magnetization (Ku beats shape anisotropy).
+    pub fn is_perpendicular_film(&self) -> bool {
+        self.effective_perpendicular_field() > 0.0
+    }
+}
+
+/// Builder for [`Material`] (see [`Material::builder`]).
+#[derive(Debug, Clone)]
+pub struct MaterialBuilder {
+    ms: f64,
+    aex: f64,
+    alpha: f64,
+    ku1: f64,
+    anisotropy_axis: Vec3,
+    gamma: f64,
+}
+
+impl Default for MaterialBuilder {
+    fn default() -> Self {
+        MaterialBuilder {
+            ms: 0.0,
+            aex: 0.0,
+            alpha: 0.0,
+            ku1: 0.0,
+            anisotropy_axis: Vec3::Z,
+            gamma: GAMMA,
+        }
+    }
+}
+
+impl MaterialBuilder {
+    /// Sets Ms in A/m (must be ≥ 0 and finite).
+    pub fn saturation_magnetization(mut self, ms: f64) -> Self {
+        self.ms = ms;
+        self
+    }
+
+    /// Sets Aex in J/m (must be ≥ 0 and finite).
+    pub fn exchange_stiffness(mut self, aex: f64) -> Self {
+        self.aex = aex;
+        self
+    }
+
+    /// Sets the Gilbert damping α (must be ≥ 0 and finite).
+    pub fn gilbert_damping(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets first-order uniaxial anisotropy Ku₁ (J/m³) along `axis`.
+    pub fn uniaxial_anisotropy(mut self, ku1: f64, axis: Vec3) -> Self {
+        self.ku1 = ku1;
+        self.anisotropy_axis = axis;
+        self
+    }
+
+    /// Overrides the gyromagnetic ratio (rad/(s·T), must be > 0).
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Validates and produces the [`Material`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagnumError::InvalidMaterial`] if any parameter is
+    /// non-finite, Ms/Aex/α are negative, γ is not positive, or the
+    /// anisotropy axis is zero while Ku₁ is non-zero.
+    pub fn build(self) -> Result<Material, MagnumError> {
+        fn check(
+            parameter: &'static str,
+            value: f64,
+            nonneg: bool,
+        ) -> Result<(), MagnumError> {
+            if !value.is_finite() {
+                return Err(MagnumError::InvalidMaterial {
+                    parameter,
+                    reason: format!("must be finite, got {value}"),
+                });
+            }
+            if nonneg && value < 0.0 {
+                return Err(MagnumError::InvalidMaterial {
+                    parameter,
+                    reason: format!("must be non-negative, got {value}"),
+                });
+            }
+            Ok(())
+        }
+        check("saturation_magnetization", self.ms, true)?;
+        check("exchange_stiffness", self.aex, true)?;
+        check("gilbert_damping", self.alpha, true)?;
+        check("anisotropy_constant", self.ku1, false)?;
+        check("gamma", self.gamma, true)?;
+        if self.gamma <= 0.0 {
+            return Err(MagnumError::InvalidMaterial {
+                parameter: "gamma",
+                reason: format!("must be positive, got {}", self.gamma),
+            });
+        }
+        let axis = self.anisotropy_axis.normalized();
+        if self.ku1 != 0.0 && axis == Vec3::ZERO {
+            return Err(MagnumError::InvalidMaterial {
+                parameter: "anisotropy_axis",
+                reason: "must be non-zero when Ku1 is non-zero".into(),
+            });
+        }
+        Ok(Material {
+            ms: self.ms,
+            aex: self.aex,
+            alpha: self.alpha,
+            ku1: self.ku1,
+            anisotropy_axis: axis,
+            gamma: self.gamma,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fecob_preset_matches_paper() {
+        let m = Material::fecob();
+        assert_eq!(m.saturation_magnetization(), 1100e3);
+        assert_eq!(m.exchange_stiffness(), 18.5e-12);
+        assert_eq!(m.gilbert_damping(), 0.004);
+        assert_eq!(m.anisotropy_constant(), 0.832e6);
+        assert_eq!(m.anisotropy_axis(), Vec3::Z);
+    }
+
+    #[test]
+    fn fecob_film_is_perpendicular() {
+        // Ku = 0.832 MJ/m³ > μ₀Ms²/2 ≈ 0.76 MJ/m³ — the paper's film is
+        // out-of-plane magnetized, which is what enables FVMSWs.
+        let m = Material::fecob();
+        assert!(m.is_perpendicular_film());
+        assert!(m.effective_perpendicular_field() > 0.0);
+        // But not by much: the margin is ~10% of Ms.
+        assert!(m.effective_perpendicular_field() < 0.2 * m.saturation_magnetization());
+    }
+
+    #[test]
+    fn exchange_length_is_nanometric_for_fecob() {
+        let l = Material::fecob().exchange_length();
+        assert!(l > 3e-9 && l < 8e-9, "exchange length {l} out of expected range");
+    }
+
+    #[test]
+    fn builder_rejects_negative_ms() {
+        let err = Material::builder().saturation_magnetization(-1.0).build();
+        assert!(matches!(
+            err,
+            Err(MagnumError::InvalidMaterial { parameter: "saturation_magnetization", .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_nan_damping() {
+        assert!(Material::builder().gilbert_damping(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_zero_axis_with_anisotropy() {
+        let err = Material::builder()
+            .saturation_magnetization(1e6)
+            .uniaxial_anisotropy(1e5, Vec3::ZERO)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_normalizes_axis() {
+        let m = Material::builder()
+            .saturation_magnetization(1e6)
+            .uniaxial_anisotropy(1e5, Vec3::new(0.0, 0.0, 2.0))
+            .build()
+            .unwrap();
+        assert!((m.anisotropy_axis().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_gamma() {
+        assert!(Material::builder().gamma(0.0).build().is_err());
+        assert!(Material::builder().gamma(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn zero_ms_material_has_infinite_exchange_length() {
+        let m = Material::builder().exchange_stiffness(1e-12).build().unwrap();
+        assert!(m.exchange_length().is_infinite());
+        assert_eq!(m.effective_perpendicular_field(), 0.0);
+    }
+
+    #[test]
+    fn in_plane_film_detected() {
+        // Permalloy-like: no Ku, strong Ms -> in-plane.
+        let m = Material::builder()
+            .saturation_magnetization(800e3)
+            .exchange_stiffness(13e-12)
+            .build()
+            .unwrap();
+        assert!(!m.is_perpendicular_film());
+    }
+}

@@ -1,0 +1,11 @@
+//! Small math toolbox: 3-vectors and complex numbers.
+//!
+//! The solver state is an array of [`Vec3`]; probes accumulate
+//! [`Complex64`] amplitudes. Both are deliberately minimal — only the
+//! operations the solver and the analysis code actually use.
+
+mod complex;
+mod vec3;
+
+pub use complex::Complex64;
+pub use vec3::Vec3;

@@ -1,0 +1,329 @@
+//! Finite-difference mesh for a single-layer magnetic film.
+//!
+//! The paper's devices are 1 nm-thick waveguides, so the solver discretizes
+//! a 2-D sheet of `nx × ny` cells with one cell through the thickness —
+//! the same "flat" regime MuMax3 is typically run in for such films. The
+//! mesh also carries the *geometry mask*: cells can be magnetic (part of
+//! the waveguide) or vacuum.
+
+use crate::error::MagnumError;
+
+/// Index of a single cell as `(ix, iy)`.
+pub type CellIndex = (usize, usize);
+
+/// A rectangular finite-difference mesh with a magnetic/vacuum mask.
+///
+/// ```
+/// use magnum::Mesh;
+/// # fn main() -> Result<(), magnum::MagnumError> {
+/// let mesh = Mesh::new(128, 16, [5e-9, 5e-9, 1e-9])?;
+/// assert_eq!(mesh.cell_count(), 128 * 16);
+/// assert_eq!(mesh.size_x(), 128.0 * 5e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    nx: usize,
+    ny: usize,
+    cell_size: [f64; 3],
+    /// `true` for magnetic cells, `false` for vacuum.
+    mask: Vec<bool>,
+}
+
+impl Mesh {
+    /// Creates a fully magnetic mesh of `nx × ny` cells with the given cell
+    /// size `[dx, dy, dz]` in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagnumError::InvalidMesh`] if a dimension is zero or a
+    /// cell size is not strictly positive and finite.
+    pub fn new(nx: usize, ny: usize, cell_size: [f64; 3]) -> Result<Self, MagnumError> {
+        if nx == 0 || ny == 0 {
+            return Err(MagnumError::InvalidMesh {
+                reason: format!("mesh dimensions must be non-zero, got {nx} x {ny}"),
+            });
+        }
+        for (axis, &d) in ["dx", "dy", "dz"].iter().zip(cell_size.iter()) {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(MagnumError::InvalidMesh {
+                    reason: format!("cell size {axis} must be positive and finite, got {d}"),
+                });
+            }
+        }
+        Ok(Mesh {
+            nx,
+            ny,
+            cell_size,
+            mask: vec![true; nx * ny],
+        })
+    }
+
+    /// Number of cells along x.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of cells along y.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells (magnetic and vacuum).
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of magnetic cells.
+    pub fn magnetic_cell_count(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+
+    /// Cell size `[dx, dy, dz]` in metres.
+    #[inline]
+    pub fn cell_size(&self) -> [f64; 3] {
+        self.cell_size
+    }
+
+    /// Physical extent along x in metres.
+    #[inline]
+    pub fn size_x(&self) -> f64 {
+        self.nx as f64 * self.cell_size[0]
+    }
+
+    /// Physical extent along y in metres.
+    #[inline]
+    pub fn size_y(&self) -> f64 {
+        self.ny as f64 * self.cell_size[1]
+    }
+
+    /// Film thickness (dz) in metres.
+    #[inline]
+    pub fn thickness(&self) -> f64 {
+        self.cell_size[2]
+    }
+
+    /// Volume of one cell in m³.
+    #[inline]
+    pub fn cell_volume(&self) -> f64 {
+        self.cell_size[0] * self.cell_size[1] * self.cell_size[2]
+    }
+
+    /// Flattened (row-major) index of cell `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the mesh.
+    #[inline]
+    pub fn linear_index(&self, ix: usize, iy: usize) -> usize {
+        assert!(ix < self.nx && iy < self.ny, "cell ({ix}, {iy}) outside mesh");
+        iy * self.nx + ix
+    }
+
+    /// Inverse of [`Mesh::linear_index`].
+    #[inline]
+    pub fn cell_index(&self, linear: usize) -> CellIndex {
+        (linear % self.nx, linear / self.nx)
+    }
+
+    /// Centre coordinates `(x, y)` of cell `(ix, iy)` in metres.
+    #[inline]
+    pub fn cell_center(&self, ix: usize, iy: usize) -> (f64, f64) {
+        (
+            (ix as f64 + 0.5) * self.cell_size[0],
+            (iy as f64 + 0.5) * self.cell_size[1],
+        )
+    }
+
+    /// Cell containing physical point `(x, y)`, or `None` if outside.
+    pub fn cell_at(&self, x: f64, y: f64) -> Option<CellIndex> {
+        if x < 0.0 || y < 0.0 {
+            return None;
+        }
+        let ix = (x / self.cell_size[0]) as usize;
+        let iy = (y / self.cell_size[1]) as usize;
+        if ix < self.nx && iy < self.ny {
+            Some((ix, iy))
+        } else {
+            None
+        }
+    }
+
+    /// Whether cell `(ix, iy)` is magnetic.
+    #[inline]
+    pub fn is_magnetic(&self, ix: usize, iy: usize) -> bool {
+        self.mask[self.linear_index(ix, iy)]
+    }
+
+    /// Whether the cell at flattened index `i` is magnetic.
+    #[inline]
+    pub fn is_magnetic_linear(&self, i: usize) -> bool {
+        self.mask[i]
+    }
+
+    /// Marks cell `(ix, iy)` as magnetic (`true`) or vacuum (`false`).
+    pub fn set_magnetic(&mut self, ix: usize, iy: usize, magnetic: bool) {
+        let i = self.linear_index(ix, iy);
+        self.mask[i] = magnetic;
+    }
+
+    /// Replaces the whole mask using a predicate over cell-centre
+    /// coordinates in metres.
+    ///
+    /// This is how [`crate::geometry::Shape`]s are rasterized.
+    pub fn set_mask_by<F: FnMut(f64, f64) -> bool>(&mut self, mut predicate: F) {
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let (x, y) = self.cell_center(ix, iy);
+                let i = iy * self.nx + ix;
+                self.mask[i] = predicate(x, y);
+            }
+        }
+    }
+
+    /// Read-only view of the flattened mask.
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Iterator over the indices `(ix, iy)` of all magnetic cells.
+    pub fn magnetic_cells(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        let nx = self.nx;
+        self.mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(move |(i, _)| (i % nx, i / nx))
+    }
+
+    /// Renders the mask as an ASCII map (`#` magnetic, `.` vacuum), top row
+    /// = highest y, mirroring the paper's figures.
+    pub fn mask_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.nx + 1) * self.ny);
+        for iy in (0..self.ny).rev() {
+            for ix in 0..self.nx {
+                out.push(if self.is_magnetic(ix, iy) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 4, [2e-9, 2e-9, 1e-9]).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(matches!(
+            Mesh::new(0, 4, [1e-9; 3]),
+            Err(MagnumError::InvalidMesh { .. })
+        ));
+        assert!(matches!(
+            Mesh::new(4, 0, [1e-9; 3]),
+            Err(MagnumError::InvalidMesh { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_cell_size() {
+        assert!(Mesh::new(4, 4, [0.0, 1e-9, 1e-9]).is_err());
+        assert!(Mesh::new(4, 4, [1e-9, -1e-9, 1e-9]).is_err());
+        assert!(Mesh::new(4, 4, [1e-9, 1e-9, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn linear_index_round_trips() {
+        let m = mesh();
+        for iy in 0..4 {
+            for ix in 0..8 {
+                let i = m.linear_index(ix, iy);
+                assert_eq!(m.cell_index(i), (ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn linear_index_panics_outside() {
+        mesh().linear_index(8, 0);
+    }
+
+    #[test]
+    fn cell_center_is_offset_half() {
+        let m = mesh();
+        let (x, y) = m.cell_center(0, 0);
+        assert!((x - 1e-9).abs() < 1e-18);
+        assert!((y - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn cell_at_inverts_center() {
+        let m = mesh();
+        for iy in 0..4 {
+            for ix in 0..8 {
+                let (x, y) = m.cell_center(ix, iy);
+                assert_eq!(m.cell_at(x, y), Some((ix, iy)));
+            }
+        }
+        assert_eq!(m.cell_at(-1e-9, 0.0), None);
+        assert_eq!(m.cell_at(1.0, 1.0), None);
+    }
+
+    #[test]
+    fn default_mask_is_all_magnetic() {
+        let m = mesh();
+        assert_eq!(m.magnetic_cell_count(), 32);
+        assert_eq!(m.magnetic_cells().count(), 32);
+    }
+
+    #[test]
+    fn mask_predicate_carves_geometry() {
+        let mut m = mesh();
+        // Keep only the left half.
+        m.set_mask_by(|x, _| x < 8e-9);
+        assert_eq!(m.magnetic_cell_count(), 16);
+        assert!(m.is_magnetic(0, 0));
+        assert!(!m.is_magnetic(7, 0));
+    }
+
+    #[test]
+    fn set_magnetic_toggles_single_cell() {
+        let mut m = mesh();
+        m.set_magnetic(3, 2, false);
+        assert!(!m.is_magnetic(3, 2));
+        assert_eq!(m.magnetic_cell_count(), 31);
+        m.set_magnetic(3, 2, true);
+        assert_eq!(m.magnetic_cell_count(), 32);
+    }
+
+    #[test]
+    fn ascii_map_has_expected_shape() {
+        let mut m = mesh();
+        m.set_magnetic(0, 3, false); // top-left in the rendered map
+        let art = m.mask_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 8));
+        assert!(lines[0].starts_with('.'));
+        assert!(lines[3].starts_with('#'));
+    }
+
+    #[test]
+    fn extents_and_volume() {
+        let m = mesh();
+        assert!((m.size_x() - 16e-9).abs() < 1e-18);
+        assert!((m.size_y() - 8e-9).abs() < 1e-18);
+        assert!((m.thickness() - 1e-9).abs() < 1e-18);
+        assert!((m.cell_volume() - 4e-27).abs() < 1e-40);
+    }
+}

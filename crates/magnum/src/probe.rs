@@ -1,0 +1,377 @@
+//! Measurement probes: time series, single-frequency DFT, and spatial
+//! snapshots.
+//!
+//! The paper's readout (§III) needs two quantities at the output cells:
+//! the spin-wave **phase** relative to the drive (Majority gate, phase
+//! detection) and its **amplitude** (XOR gate, threshold detection). Both
+//! come out of a single-bin discrete Fourier transform of the precession
+//! component at the drive frequency — exactly what [`DftProbe`]
+//! accumulates on the fly, without storing the whole time trace.
+
+use crate::math::{Complex64, Vec3};
+use crate::mesh::Mesh;
+
+/// Cartesian component selector for probes and snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// x component (an in-plane precession component for FVMSWs).
+    X,
+    /// y component.
+    Y,
+    /// z component (the static direction for out-of-plane films).
+    Z,
+}
+
+impl Component {
+    /// Extracts the component from a vector.
+    #[inline]
+    pub fn of(self, v: Vec3) -> f64 {
+        match self {
+            Component::X => v.x,
+            Component::Y => v.y,
+            Component::Z => v.z,
+        }
+    }
+}
+
+/// Averages a magnetization component over a fixed set of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionProbe {
+    cells: Vec<usize>,
+    component: Component,
+}
+
+impl RegionProbe {
+    /// Creates a probe over explicit flattened cell indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty.
+    pub fn new(cells: Vec<usize>, component: Component) -> Self {
+        assert!(!cells.is_empty(), "probe needs at least one cell");
+        RegionProbe { cells, component }
+    }
+
+    /// Creates a probe over all magnetic cells whose centres fall in the
+    /// rectangle `[x0, x1] × [y0, y1]` (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle contains no magnetic cell.
+    pub fn over_rect(
+        mesh: &Mesh,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        component: Component,
+    ) -> Self {
+        let mut cells = Vec::new();
+        for (ix, iy) in mesh.magnetic_cells() {
+            let (x, y) = mesh.cell_center(ix, iy);
+            if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
+                cells.push(mesh.linear_index(ix, iy));
+            }
+        }
+        RegionProbe::new(cells, component)
+    }
+
+    /// The probed cells.
+    pub fn cells(&self) -> &[usize] {
+        &self.cells
+    }
+
+    /// Mean of the selected component over the region.
+    pub fn mean(&self, m: &[Vec3]) -> f64 {
+        let sum: f64 = self.cells.iter().map(|&c| self.component.of(m[c])).sum();
+        sum / self.cells.len() as f64
+    }
+}
+
+/// On-line single-frequency DFT of a region-averaged signal.
+///
+/// Feed it samples at a fixed cadence with [`DftProbe::sample`]; after an
+/// integer number of periods, [`DftProbe::amplitude`] estimates the peak
+/// amplitude `A` and [`DftProbe::phase`] the phase `φ` of the best-fit
+/// `A·sin(2πft + φ)`.
+#[derive(Debug, Clone)]
+pub struct DftProbe {
+    region: RegionProbe,
+    frequency: f64,
+    accumulator: Complex64,
+    samples: usize,
+}
+
+impl DftProbe {
+    /// Creates a DFT probe at `frequency` (Hz) over the given region.
+    pub fn new(region: RegionProbe, frequency: f64) -> Self {
+        DftProbe {
+            region,
+            frequency,
+            accumulator: Complex64::ZERO,
+            samples: 0,
+        }
+    }
+
+    /// The analysis frequency in Hz.
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn sample_count(&self) -> usize {
+        self.samples
+    }
+
+    /// Adds one sample of the magnetization state at time `t`.
+    pub fn sample(&mut self, t: f64, m: &[Vec3]) {
+        let value = self.region.mean(m);
+        let phase = -2.0 * std::f64::consts::PI * self.frequency * t;
+        self.accumulator += Complex64::cis(phase) * value;
+        self.samples += 1;
+    }
+
+    /// Complex amplitude `(A/2)·e^{i(φ−π/2)}` of the analysed tone —
+    /// mostly useful for relative comparisons between probes.
+    pub fn complex_amplitude(&self) -> Complex64 {
+        if self.samples == 0 {
+            return Complex64::ZERO;
+        }
+        self.accumulator / self.samples as f64
+    }
+
+    /// Estimated peak amplitude of the sinusoid (same units as the
+    /// sampled component).
+    pub fn amplitude(&self) -> f64 {
+        2.0 * self.complex_amplitude().abs()
+    }
+
+    /// Estimated phase `φ` (radians, in (−π, π]) of the best-fit
+    /// `A·sin(2πft + φ)`.
+    pub fn phase(&self) -> f64 {
+        let raw = self.complex_amplitude().arg() + std::f64::consts::FRAC_PI_2;
+        wrap_phase(raw)
+    }
+
+    /// Resets the accumulator so the probe can analyse a new window.
+    pub fn reset(&mut self) {
+        self.accumulator = Complex64::ZERO;
+        self.samples = 0;
+    }
+}
+
+/// Wraps a phase to (−π, π].
+pub fn wrap_phase(phi: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut p = phi % two_pi;
+    if p > std::f64::consts::PI {
+        p -= two_pi;
+    } else if p <= -std::f64::consts::PI {
+        p += two_pi;
+    }
+    p
+}
+
+/// A spatial snapshot of one magnetization component — the raw material
+/// behind the paper's Fig. 5 colour maps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Snapshot {
+    /// Captures `component` of `m` over the whole mesh (vacuum cells are
+    /// recorded as 0).
+    pub fn capture(mesh: &Mesh, m: &[Vec3], component: Component) -> Self {
+        let data = m.iter().map(|&v| component.of(v)).collect();
+        Snapshot {
+            nx: mesh.nx(),
+            ny: mesh.ny(),
+            data,
+        }
+    }
+
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Value at cell `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "snapshot index out of range");
+        self.data[iy * self.nx + ix]
+    }
+
+    /// Minimum value over the grid.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value over the grid.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// ASCII rendering with the amplitude quantized into the given symbol
+    /// ramp (dark = most negative, bright = most positive), normalized to
+    /// `scale`. Mirrors the blue/red colour coding of the paper's Fig. 5.
+    pub fn to_ascii(&self, scale: f64) -> String {
+        const RAMP: &[u8] = b"#=-. +*@";
+        let mut out = String::with_capacity((self.nx + 1) * self.ny);
+        let scale = if scale > 0.0 { scale } else { 1.0 };
+        for iy in (0..self.ny).rev() {
+            for ix in 0..self.nx {
+                let v = (self.data[iy * self.nx + ix] / scale).clamp(-1.0, 1.0);
+                let idx = (((v + 1.0) / 2.0) * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (`ix,iy,value` rows with a header), y-major order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("ix,iy,value\n");
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                out.push_str(&format!("{},{},{}\n", ix, iy, self.data[iy * self.nx + ix]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 2, [1e-9, 1e-9, 1e-9]).unwrap()
+    }
+
+    #[test]
+    fn region_probe_means_component() {
+        let probe = RegionProbe::new(vec![0, 1], Component::X);
+        let mut m = vec![Vec3::ZERO; 4];
+        m[0] = Vec3::new(0.2, 0.0, 0.0);
+        m[1] = Vec3::new(0.4, 9.0, 9.0);
+        assert!((probe.mean(&m) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_region_rejected() {
+        let _ = RegionProbe::new(vec![], Component::X);
+    }
+
+    #[test]
+    fn over_rect_collects_expected_cells() {
+        let m = mesh();
+        let probe = RegionProbe::over_rect(&m, 0.0, 0.0, 2e-9, 2e-9, Component::Z);
+        assert_eq!(probe.cells().len(), 4);
+    }
+
+    fn feed_tone(probe: &mut DftProbe, amp: f64, freq: f64, phase: f64, periods: usize, per: usize) {
+        let dt = 1.0 / (freq * per as f64);
+        for i in 0..periods * per {
+            let t = i as f64 * dt;
+            let value = amp * (2.0 * PI * freq * t + phase).sin();
+            let m = vec![Vec3::new(value, 0.0, 0.0)];
+            probe.sample(t, &m);
+        }
+    }
+
+    #[test]
+    fn dft_recovers_amplitude_and_phase() {
+        for &phase in &[0.0, PI / 3.0, PI, -PI / 2.0] {
+            let mut probe =
+                DftProbe::new(RegionProbe::new(vec![0], Component::X), 10e9);
+            feed_tone(&mut probe, 0.37, 10e9, phase, 8, 64);
+            assert!(
+                (probe.amplitude() - 0.37).abs() < 1e-3,
+                "amplitude {} (phase {phase})",
+                probe.amplitude()
+            );
+            let err = wrap_phase(probe.phase() - phase).abs();
+            assert!(err < 1e-6, "phase error {err} for φ = {phase}");
+        }
+    }
+
+    #[test]
+    fn dft_rejects_off_frequency_tone() {
+        let mut probe = DftProbe::new(RegionProbe::new(vec![0], Component::X), 10e9);
+        // Feed a 5 GHz tone over full periods of both: 2 periods of 5 GHz
+        // = 4 periods of 10 GHz.
+        feed_tone(&mut probe, 1.0, 5e9, 0.3, 4, 64);
+        assert!(
+            probe.amplitude() < 1e-6,
+            "off-frequency leakage: {}",
+            probe.amplitude()
+        );
+    }
+
+    #[test]
+    fn dft_reset_clears_state() {
+        let mut probe = DftProbe::new(RegionProbe::new(vec![0], Component::X), 10e9);
+        feed_tone(&mut probe, 1.0, 10e9, 0.0, 2, 32);
+        assert!(probe.amplitude() > 0.5);
+        probe.reset();
+        assert_eq!(probe.sample_count(), 0);
+        assert_eq!(probe.amplitude(), 0.0);
+    }
+
+    #[test]
+    fn wrap_phase_stays_in_range() {
+        for &p in &[0.0, 3.0, -3.0, 7.0, -7.0, 10.0 * PI, PI, -PI] {
+            let w = wrap_phase(p);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "wrap({p}) = {w}");
+        }
+        assert!((wrap_phase(2.0 * PI + 0.1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_values() {
+        let me = mesh();
+        let mut m = vec![Vec3::ZERO; 8];
+        m[me.linear_index(2, 1)] = Vec3::new(0.0, 0.0, 0.7);
+        let snap = Snapshot::capture(&me, &m, Component::Z);
+        assert_eq!(snap.get(2, 1), 0.7);
+        assert_eq!(snap.get(0, 0), 0.0);
+        assert_eq!(snap.max(), 0.7);
+        assert_eq!(snap.min(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_ascii_dimensions() {
+        let me = mesh();
+        let m = vec![Vec3::Z; 8];
+        let snap = Snapshot::capture(&me, &m, Component::X);
+        let art = snap.to_ascii(1.0);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn snapshot_csv_has_header_and_rows() {
+        let me = mesh();
+        let m = vec![Vec3::Z; 8];
+        let snap = Snapshot::capture(&me, &m, Component::Z);
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("ix,iy,value\n"));
+        assert_eq!(csv.lines().count(), 9);
+    }
+}

@@ -1,0 +1,705 @@
+//! Simulation orchestrator: assembles the LLG system, steps it in time,
+//! and exposes the state to probes.
+
+use crate::damping::AbsorbingFrame;
+use crate::error::MagnumError;
+use crate::excitation::Antenna;
+use crate::field::anisotropy::UniaxialAnisotropy;
+use crate::field::demag::{DemagMethod, NewellDemag, ThinFilmDemag};
+use crate::field::exchange::Exchange;
+use crate::field::thermal::ThermalField;
+use crate::field::zeeman::Zeeman;
+use crate::field::FieldTerm;
+use crate::geometry::{rasterize, Shape};
+use crate::llg::LlgSystem;
+use crate::material::Material;
+use crate::math::Vec3;
+use crate::mesh::Mesh;
+use crate::probe::{Component, Snapshot};
+use crate::solver::{Integrator, IntegratorKind};
+use crate::{GAMMA, MU0};
+
+/// A ready-to-run micromagnetic simulation.
+///
+/// Built with [`Simulation::builder`]; see the crate-level example.
+pub struct Simulation {
+    mesh: Mesh,
+    material: Material,
+    m: Vec<Vec3>,
+    system: LlgSystem,
+    integrator: Box<dyn Integrator>,
+    thermal: Option<ThermalField>,
+    time: f64,
+    dt: f64,
+}
+
+impl Simulation {
+    /// Starts building a simulation on the given mesh and material.
+    pub fn builder(mesh: Mesh, material: Material) -> SimulationBuilder {
+        SimulationBuilder::new(mesh, material)
+    }
+
+    /// The simulation mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The material.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The fixed time step in seconds.
+    pub fn time_step(&self) -> f64 {
+        self.dt
+    }
+
+    /// Overrides the time step (seconds, must be positive and finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagnumError::InvalidConfig`] for a non-positive step.
+    pub fn set_time_step(&mut self, dt: f64) -> Result<(), MagnumError> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(MagnumError::InvalidConfig {
+                reason: format!("time step must be positive and finite, got {dt}"),
+            });
+        }
+        self.dt = dt;
+        Ok(())
+    }
+
+    /// Read-only view of the unit magnetization (row-major mesh order;
+    /// vacuum cells are zero).
+    pub fn magnetization(&self) -> &[Vec3] {
+        &self.m
+    }
+
+    /// Magnetization at cell `(ix, iy)`.
+    pub fn magnetization_at(&self, ix: usize, iy: usize) -> Vec3 {
+        self.m[self.mesh.linear_index(ix, iy)]
+    }
+
+    /// Mean unit magnetization over the magnetic cells.
+    pub fn magnetization_mean(&self) -> Vec3 {
+        let count = self.mesh.magnetic_cell_count().max(1);
+        let sum: Vec3 = self
+            .m
+            .iter()
+            .zip(self.mesh.mask().iter())
+            .filter(|(_, &mag)| mag)
+            .map(|(v, _)| *v)
+            .sum();
+        sum / count as f64
+    }
+
+    /// Adds an antenna after construction (e.g. per-input-pattern drives).
+    pub fn add_antenna(&mut self, antenna: Antenna) {
+        self.system.antennas.push(antenna);
+    }
+
+    /// Removes all antennas.
+    pub fn clear_antennas(&mut self) {
+        self.system.antennas.clear();
+    }
+
+    /// Advances the simulation by exactly one time step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrator failures ([`MagnumError::Diverged`],
+    /// [`MagnumError::StepSizeUnderflow`]).
+    pub fn step(&mut self) -> Result<(), MagnumError> {
+        if let Some(thermal) = self.thermal.as_mut() {
+            thermal.draw(self.dt, &mut self.system.thermal);
+        }
+        let taken = self
+            .integrator
+            .step(&self.system, self.time, self.dt, &mut self.m)?;
+        self.time += taken;
+        Ok(())
+    }
+
+    /// Runs for `duration` seconds (rounded up to whole steps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step failure.
+    pub fn run(&mut self, duration: f64) -> Result<(), MagnumError> {
+        let t_end = self.time + duration;
+        while self.time < t_end - 1e-21 {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs for `duration` seconds, invoking `observer` with the current
+    /// time and state every `sample_interval` seconds of simulated time
+    /// (and once at the start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step failure.
+    pub fn run_sampled<F>(
+        &mut self,
+        duration: f64,
+        sample_interval: f64,
+        mut observer: F,
+    ) -> Result<(), MagnumError>
+    where
+        F: FnMut(f64, &Simulation),
+    {
+        let t_end = self.time + duration;
+        let mut next_sample = self.time;
+        while self.time < t_end - 1e-21 {
+            if self.time >= next_sample - 1e-21 {
+                observer(self.time, self);
+                next_sample += sample_interval;
+            }
+            self.step()?;
+        }
+        observer(self.time, self);
+        Ok(())
+    }
+
+    /// Relaxes the system towards its energy minimum by integrating with
+    /// a temporarily large damping (α = 0.5) until the maximum torque
+    /// falls below `torque_tolerance` (1/s) or `max_steps` steps elapse.
+    /// Antennas and thermal noise are suspended during relaxation, and
+    /// the simulation clock is not advanced.
+    ///
+    /// Returns the final maximum torque.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrator failures.
+    pub fn relax(
+        &mut self,
+        torque_tolerance: f64,
+        max_steps: usize,
+    ) -> Result<f64, MagnumError> {
+        let saved_alpha = self.system.alpha.clone();
+        let saved_antennas = std::mem::take(&mut self.system.antennas);
+        let saved_thermal = std::mem::take(&mut self.system.thermal);
+        for a in self.system.alpha.iter_mut() {
+            *a = 0.5;
+        }
+        let mut result = Ok(0.0);
+        for _ in 0..max_steps {
+            match self.integrator.step(&self.system, self.time, self.dt, &mut self.m) {
+                Ok(_) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            let torque = self.system.max_torque(&self.m, self.time);
+            if torque < torque_tolerance {
+                result = Ok(torque);
+                break;
+            }
+            result = Ok(torque);
+        }
+        self.system.alpha = saved_alpha;
+        self.system.antennas = saved_antennas;
+        self.system.thermal = saved_thermal;
+        result
+    }
+
+    /// Total energy of the conservative field terms, in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.system.energy(
+            &self.m,
+            self.time,
+            self.material.saturation_magnetization(),
+            self.mesh.cell_volume(),
+        )
+    }
+
+    /// Maximum torque |dm/dt| (1/s) in the current state.
+    pub fn max_torque(&self) -> f64 {
+        self.system.max_torque(&self.m, self.time)
+    }
+
+    /// Captures a spatial snapshot of a magnetization component.
+    pub fn snapshot(&self, component: Component) -> Snapshot {
+        Snapshot::capture(&self.mesh, &self.m, component)
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("mesh", &(self.mesh.nx(), self.mesh.ny()))
+            .field("time", &self.time)
+            .field("dt", &self.dt)
+            .field("integrator", &self.integrator.name())
+            .finish()
+    }
+}
+
+/// Builder for [`Simulation`] (see [`Simulation::builder`]).
+pub struct SimulationBuilder {
+    mesh: Mesh,
+    material: Material,
+    shape: Option<Box<dyn Shape>>,
+    initial: Vec3,
+    demag: DemagMethod,
+    external_field: Vec3,
+    temperature: f64,
+    seed: u64,
+    frame: Option<AbsorbingFrame>,
+    damping_map: Option<Vec<f64>>,
+    integrator: IntegratorKind,
+    dt: Option<f64>,
+    dt_safety: f64,
+    antennas: Vec<Antenna>,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder with defaults: uniform +ẑ magnetization, local
+    /// thin-film demag, no external field, T = 0, RK4, automatic dt.
+    pub fn new(mesh: Mesh, material: Material) -> Self {
+        SimulationBuilder {
+            mesh,
+            material,
+            shape: None,
+            initial: Vec3::Z,
+            demag: DemagMethod::ThinFilmLocal,
+            external_field: Vec3::ZERO,
+            temperature: 0.0,
+            seed: 0,
+            frame: None,
+            damping_map: None,
+            integrator: IntegratorKind::default(),
+            dt: None,
+            dt_safety: 0.25,
+            antennas: Vec::new(),
+        }
+    }
+
+    /// Carves the magnet geometry out of the mesh using a shape.
+    pub fn shape<S: Shape + 'static>(mut self, shape: S) -> Self {
+        self.shape = Some(Box::new(shape));
+        self
+    }
+
+    /// Sets the uniform initial magnetization direction (normalized).
+    pub fn uniform_magnetization(mut self, direction: Vec3) -> Self {
+        self.initial = direction;
+        self
+    }
+
+    /// Selects the demagnetization model.
+    pub fn demag(mut self, method: DemagMethod) -> Self {
+        self.demag = method;
+        self
+    }
+
+    /// Applies a uniform static external field (A/m).
+    pub fn external_field(mut self, field: Vec3) -> Self {
+        self.external_field = field;
+        self
+    }
+
+    /// Enables the thermal field at `temperature` kelvin.
+    pub fn temperature(mut self, temperature: f64) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Seed for the thermal field RNG (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds an absorbing damping frame around the whole window.
+    pub fn absorbing_frame(mut self, frame: AbsorbingFrame) -> Self {
+        self.frame = Some(frame);
+        self
+    }
+
+    /// Supplies a custom per-cell damping map (overrides the frame).
+    pub fn damping_map(mut self, map: Vec<f64>) -> Self {
+        self.damping_map = Some(map);
+        self
+    }
+
+    /// Chooses the time integrator.
+    pub fn integrator(mut self, kind: IntegratorKind) -> Self {
+        self.integrator = kind;
+        self
+    }
+
+    /// Fixes the time step instead of the automatic stability-based one.
+    pub fn time_step(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+
+    /// Safety factor for the automatic time step (default 0.25; smaller
+    /// is more conservative).
+    pub fn time_step_safety(mut self, factor: f64) -> Self {
+        self.dt_safety = factor;
+        self
+    }
+
+    /// Adds an excitation antenna.
+    pub fn antenna(mut self, antenna: Antenna) -> Self {
+        self.antennas.push(antenna);
+        self
+    }
+
+    /// Assembles the [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MagnumError::InvalidConfig`] if a custom damping map has
+    /// the wrong length, the time step is invalid, or the geometry leaves
+    /// no magnetic cells.
+    pub fn build(self) -> Result<Simulation, MagnumError> {
+        let SimulationBuilder {
+            mut mesh,
+            material,
+            shape,
+            initial,
+            demag,
+            external_field,
+            temperature,
+            seed,
+            frame,
+            damping_map,
+            integrator,
+            dt,
+            dt_safety,
+            antennas,
+        } = self;
+
+        if let Some(shape) = shape {
+            rasterize(&mut mesh, &shape);
+        }
+        if mesh.magnetic_cell_count() == 0 {
+            return Err(MagnumError::InvalidConfig {
+                reason: "geometry leaves no magnetic cells".into(),
+            });
+        }
+
+        let n = mesh.cell_count();
+        let direction = initial.normalized();
+        if direction == Vec3::ZERO {
+            return Err(MagnumError::InvalidConfig {
+                reason: "initial magnetization direction must be non-zero".into(),
+            });
+        }
+        let m: Vec<Vec3> = mesh
+            .mask()
+            .iter()
+            .map(|&mag| if mag { direction } else { Vec3::ZERO })
+            .collect();
+
+        // Field terms.
+        let mut terms: Vec<Box<dyn FieldTerm>> = Vec::new();
+        if material.exchange_stiffness() > 0.0 && material.saturation_magnetization() > 0.0 {
+            terms.push(Box::new(Exchange::new(&mesh, &material)));
+        }
+        if material.anisotropy_constant() != 0.0 {
+            terms.push(Box::new(UniaxialAnisotropy::new(&mesh, &material)));
+        }
+        match demag {
+            DemagMethod::None => {}
+            DemagMethod::ThinFilmLocal => {
+                terms.push(Box::new(ThinFilmDemag::new(&mesh, &material)));
+            }
+            DemagMethod::NewellFft => {
+                terms.push(Box::new(NewellDemag::new(&mesh, &material)));
+            }
+        }
+        if external_field != Vec3::ZERO {
+            terms.push(Box::new(Zeeman::uniform(external_field)));
+        }
+
+        // Damping map.
+        let alpha0 = material.gilbert_damping();
+        let alpha = if let Some(map) = damping_map {
+            if map.len() != n {
+                return Err(MagnumError::InvalidConfig {
+                    reason: format!(
+                        "damping map length {} does not match cell count {n}",
+                        map.len()
+                    ),
+                });
+            }
+            map
+        } else if let Some(frame) = frame {
+            frame.damping_map(&mesh, alpha0)
+        } else {
+            vec![alpha0; n]
+        };
+
+        // Thermal field.
+        let thermal = if temperature > 0.0 {
+            Some(ThermalField::new(&mesh, &material, temperature, seed))
+        } else {
+            None
+        };
+        let thermal_buffer = if thermal.is_some() {
+            vec![Vec3::ZERO; n]
+        } else {
+            Vec::new()
+        };
+
+        // Automatic time step from the largest field scale present.
+        let dt = match dt {
+            Some(dt) => {
+                if !(dt.is_finite() && dt > 0.0) {
+                    return Err(MagnumError::InvalidConfig {
+                        reason: format!("time step must be positive and finite, got {dt}"),
+                    });
+                }
+                dt
+            }
+            None => {
+                let [dx, dy, _] = mesh.cell_size();
+                let ms = material.saturation_magnetization();
+                let exch = if ms > 0.0 {
+                    2.0 * material.exchange_stiffness() / (MU0 * ms)
+                        * (2.0 / (dx * dx) + 2.0 / (dy * dy))
+                        * 2.0
+                } else {
+                    0.0
+                };
+                let anis = if ms > 0.0 {
+                    2.0 * material.anisotropy_constant().abs() / (MU0 * ms)
+                } else {
+                    0.0
+                };
+                let demag_scale = match demag {
+                    DemagMethod::None => 0.0,
+                    _ => ms,
+                };
+                let h_scale = exch + anis + demag_scale + external_field.norm() + 1.0;
+                dt_safety / (GAMMA * MU0 * h_scale)
+            }
+        };
+
+        let system = LlgSystem {
+            terms,
+            antennas,
+            thermal: thermal_buffer,
+            alpha,
+            gamma: material.gamma(),
+            mask: mesh.mask().to_vec(),
+        };
+        let integrator = integrator.instantiate(n);
+
+        Ok(Simulation {
+            mesh,
+            material,
+            m,
+            system,
+            integrator,
+            thermal,
+            time: 0.0,
+            dt,
+        })
+    }
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("mesh", &(self.mesh.nx(), self.mesh.ny()))
+            .field("demag", &self.demag)
+            .field("temperature", &self.temperature)
+            .field("integrator", &self.integrator)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excitation::Drive;
+    use crate::geometry::Rect;
+    use crate::probe::{DftProbe, RegionProbe};
+
+    fn fecob_strip(nx: usize, ny: usize) -> SimulationBuilder {
+        let mesh = Mesh::new(nx, ny, [5e-9, 5e-9, 1e-9]).unwrap();
+        Simulation::builder(mesh, Material::fecob())
+    }
+
+    #[test]
+    fn build_defaults_are_sane() {
+        let sim = fecob_strip(16, 4).build().unwrap();
+        assert!(sim.time_step() > 1e-16 && sim.time_step() < 1e-11);
+        assert_eq!(sim.time(), 0.0);
+        assert!((sim.magnetization_mean() - Vec3::Z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_perpendicular_state_is_stationary() {
+        // FeCoB with Ku > μ₀Ms²/2: m = +ẑ is an equilibrium; running a few
+        // ps must not move it.
+        let mut sim = fecob_strip(8, 4).build().unwrap();
+        sim.run(5e-12).unwrap();
+        let mean = sim.magnetization_mean();
+        assert!((mean - Vec3::Z).norm() < 1e-9, "drifted to {mean}");
+    }
+
+    #[test]
+    fn energy_decreases_during_damped_relaxation() {
+        // Start tilted; with damping and no drive, energy must decrease.
+        let mut sim = fecob_strip(8, 4)
+            .uniform_magnetization(Vec3::new(0.3, 0.0, 1.0))
+            .build()
+            .unwrap();
+        let e0 = sim.total_energy();
+        sim.run(50e-12).unwrap();
+        let e1 = sim.total_energy();
+        assert!(e1 < e0, "energy should decrease: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn relax_reduces_torque() {
+        let mut sim = fecob_strip(8, 4)
+            .uniform_magnetization(Vec3::new(0.5, 0.0, 1.0))
+            .build()
+            .unwrap();
+        let t0 = sim.max_torque();
+        sim.relax(t0 * 1e-3, 10_000).unwrap();
+        assert!(sim.max_torque() < t0 * 1e-2);
+        // Relaxation lands on the easy axis (either pole).
+        assert!(sim.magnetization_mean().z.abs() > 0.99);
+    }
+
+    #[test]
+    fn antenna_excites_precession() {
+        let mesh = Mesh::new(64, 4, [5e-9, 5e-9, 1e-9]).unwrap();
+        let drive = Drive::logic_cw(3e3, 10e9, 0.0);
+        let antenna = Antenna::over_rect(&mesh, 0.0, 0.0, 15e-9, 20e-9, Vec3::X, drive);
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .antenna(antenna)
+            .build()
+            .unwrap();
+        sim.run(0.5e-9).unwrap();
+        // Near the antenna the in-plane component oscillates.
+        let mx = sim.magnetization_at(1, 2).x;
+        assert!(mx.abs() > 1e-6, "no precession near antenna: mx = {mx}");
+        // The state stays on the unit sphere.
+        for (v, &mag) in sim.magnetization().iter().zip(sim.mesh().mask()) {
+            if mag {
+                assert!((v.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn spin_wave_propagates_down_the_strip() {
+        let mesh = Mesh::new(128, 4, [5e-9, 5e-9, 1e-9]).unwrap();
+        let drive = Drive::logic_cw(5e3, 10e9, 0.0);
+        let antenna = Antenna::over_rect(&mesh, 20e-9, 0.0, 35e-9, 20e-9, Vec3::X, drive);
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .antenna(antenna)
+            .build()
+            .unwrap();
+        let probe_region = RegionProbe::over_rect(
+            sim.mesh(),
+            400e-9,
+            0.0,
+            420e-9,
+            20e-9,
+            Component::X,
+        );
+        let mut probe = DftProbe::new(probe_region, 10e9);
+        // Let the front arrive, then measure 2 periods.
+        sim.run(1.5e-9).unwrap();
+        let sample_dt = 1.0 / (10e9 * 32.0);
+        sim.run_sampled(2.0 / 10e9, sample_dt, |t, s| {
+            probe.sample(t, s.magnetization());
+        })
+        .unwrap();
+        assert!(
+            probe.amplitude() > 1e-7,
+            "wave did not reach the probe: A = {}",
+            probe.amplitude()
+        );
+    }
+
+    #[test]
+    fn shape_carves_geometry_and_build_rejects_empty() {
+        let ok = fecob_strip(16, 8)
+            .shape(Rect::new(0.0, 0.0, 40e-9, 40e-9))
+            .build()
+            .unwrap();
+        assert!(ok.mesh().magnetic_cell_count() > 0);
+        assert!(ok.mesh().magnetic_cell_count() < ok.mesh().cell_count());
+
+        let err = fecob_strip(16, 8)
+            .shape(Rect::new(1.0, 1.0, 2.0, 2.0)) // far outside
+            .build();
+        assert!(matches!(err, Err(MagnumError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn custom_damping_map_length_is_validated() {
+        let err = fecob_strip(4, 4).damping_map(vec![0.1; 3]).build();
+        assert!(matches!(err, Err(MagnumError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn invalid_time_step_is_rejected() {
+        assert!(fecob_strip(4, 4).time_step(-1e-12).build().is_err());
+        assert!(fecob_strip(4, 4).time_step(f64::NAN).build().is_err());
+        let mut sim = fecob_strip(4, 4).build().unwrap();
+        assert!(sim.set_time_step(0.0).is_err());
+        assert!(sim.set_time_step(1e-13).is_ok());
+    }
+
+    #[test]
+    fn zero_initial_direction_is_rejected() {
+        assert!(fecob_strip(4, 4).uniform_magnetization(Vec3::ZERO).build().is_err());
+    }
+
+    #[test]
+    fn thermal_simulation_jitters_but_stays_bounded() {
+        let mut sim = fecob_strip(8, 4)
+            .temperature(300.0)
+            .seed(11)
+            .integrator(IntegratorKind::Heun)
+            .build()
+            .unwrap();
+        sim.run(20e-12).unwrap();
+        let mean = sim.magnetization_mean();
+        // Thermal agitation tilts m away from ẑ but not catastrophically.
+        assert!(mean.z > 0.9, "thermal run destabilized the film: {mean}");
+        assert!(
+            (mean - Vec3::Z).norm() > 1e-9,
+            "thermal field had no effect at 300 K"
+        );
+    }
+
+    #[test]
+    fn run_sampled_invokes_observer() {
+        let mut sim = fecob_strip(4, 4).build().unwrap();
+        let dt = sim.time_step();
+        let mut calls = 0;
+        sim.run_sampled(dt * 10.0, dt * 2.0, |_, _| calls += 1).unwrap();
+        assert!(calls >= 5, "observer called {calls} times");
+    }
+
+    #[test]
+    fn absorbing_frame_is_accepted() {
+        let sim = fecob_strip(16, 16)
+            .absorbing_frame(AbsorbingFrame::new(4, 0.5))
+            .build()
+            .unwrap();
+        // The builder wired the map: max damping at corner exceeds base.
+        assert!(sim.system.alpha[0] > 0.004);
+    }
+}

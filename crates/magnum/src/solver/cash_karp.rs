@@ -1,0 +1,209 @@
+//! Adaptive Cash–Karp 5(4) embedded Runge–Kutta integrator.
+
+use super::{renormalize_and_check, Integrator};
+use crate::error::MagnumError;
+use crate::llg::LlgSystem;
+use crate::math::Vec3;
+
+/// Adaptive 5th-order integrator with an embedded 4th-order error
+/// estimate (Cash–Karp coefficients).
+///
+/// The step is retried with a smaller `dt` until the max-norm of the
+/// difference between the 5th- and 4th-order solutions is below the
+/// configured tolerance; the accepted step size is returned and the next
+/// suggestion is available via [`CashKarp45::suggested_dt`].
+#[derive(Debug)]
+pub struct CashKarp45 {
+    tolerance: f64,
+    suggested: Option<f64>,
+    k: [Vec<Vec3>; 6],
+    stage: Vec<Vec3>,
+    y5: Vec<Vec3>,
+    h_scratch: Vec<Vec3>,
+}
+
+// Cash–Karp Butcher tableau.
+const A: [[f64; 5]; 5] = [
+    [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0],
+    [3.0 / 10.0, -9.0 / 10.0, 6.0 / 5.0, 0.0, 0.0],
+    [-11.0 / 54.0, 5.0 / 2.0, -70.0 / 27.0, 35.0 / 27.0, 0.0],
+    [
+        1631.0 / 55296.0,
+        175.0 / 512.0,
+        575.0 / 13824.0,
+        44275.0 / 110592.0,
+        253.0 / 4096.0,
+    ],
+];
+const C: [f64; 6] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 3.0 / 5.0, 1.0, 7.0 / 8.0];
+const B5: [f64; 6] = [
+    37.0 / 378.0,
+    0.0,
+    250.0 / 621.0,
+    125.0 / 594.0,
+    0.0,
+    512.0 / 1771.0,
+];
+const B4: [f64; 6] = [
+    2825.0 / 27648.0,
+    0.0,
+    18575.0 / 48384.0,
+    13525.0 / 55296.0,
+    277.0 / 14336.0,
+    1.0 / 4.0,
+];
+
+impl CashKarp45 {
+    /// Creates an adaptive integrator for `cells` cells with the given
+    /// absolute per-step tolerance on the unit magnetization.
+    pub fn new(cells: usize, tolerance: f64) -> Self {
+        CashKarp45 {
+            tolerance: tolerance.max(1e-14),
+            suggested: None,
+            k: std::array::from_fn(|_| vec![Vec3::ZERO; cells]),
+            stage: vec![Vec3::ZERO; cells],
+            y5: vec![Vec3::ZERO; cells],
+            h_scratch: vec![Vec3::ZERO; cells],
+        }
+    }
+
+    /// The step size the controller would like to use next, if a step has
+    /// been taken already.
+    pub fn suggested_dt(&self) -> Option<f64> {
+        self.suggested
+    }
+
+    /// Evaluates the six stages and returns the max-norm error estimate.
+    fn attempt(&mut self, system: &LlgSystem, t: f64, dt: f64, m: &[Vec3]) -> f64 {
+        let n = m.len();
+        system.rhs(m, t, &mut self.k[0], &mut self.h_scratch);
+        for s in 1..6 {
+            for i in 0..n {
+                let mut acc = m[i];
+                for (j, a) in A[s - 1].iter().enumerate().take(s) {
+                    acc += self.k[j][i] * (a * dt);
+                }
+                self.stage[i] = acc;
+            }
+            // Split borrows: k[s] is written, k[0..s] were read above.
+            let (head, tail) = self.k.split_at_mut(s);
+            let _ = head;
+            system.rhs(&self.stage, t + C[s] * dt, &mut tail[0], &mut self.h_scratch);
+        }
+        let mut err_max: f64 = 0.0;
+        for i in 0..n {
+            let mut y5 = m[i];
+            let mut y4 = m[i];
+            for s in 0..6 {
+                y5 += self.k[s][i] * (B5[s] * dt);
+                y4 += self.k[s][i] * (B4[s] * dt);
+            }
+            self.y5[i] = y5;
+            err_max = err_max.max((y5 - y4).norm());
+        }
+        err_max
+    }
+}
+
+impl Integrator for CashKarp45 {
+    fn step(
+        &mut self,
+        system: &LlgSystem,
+        t: f64,
+        dt: f64,
+        m: &mut [Vec3],
+    ) -> Result<f64, MagnumError> {
+        let mut h = self.suggested.map_or(dt, |s| s.min(dt));
+        let min_step = dt * 1e-6;
+        loop {
+            let err = self.attempt(system, t, h, m);
+            if !err.is_finite() {
+                // Retry with a much smaller step before giving up.
+                h *= 0.1;
+                if h < min_step {
+                    return Err(MagnumError::Diverged { time: t });
+                }
+                continue;
+            }
+            if err <= self.tolerance {
+                m.copy_from_slice(&self.y5);
+                renormalize_and_check(m, &system.mask, t + h)?;
+                // Controller: grow conservatively, cap at the hint `dt`.
+                let factor = if err == 0.0 {
+                    5.0
+                } else {
+                    (0.9 * (self.tolerance / err).powf(0.2)).clamp(0.2, 5.0)
+                };
+                self.suggested = Some((h * factor).min(dt));
+                return Ok(h);
+            }
+            let factor = (0.9 * (self.tolerance / err).powf(0.25)).clamp(0.1, 0.9);
+            h *= factor;
+            if h < min_step {
+                return Err(MagnumError::StepSizeUnderflow { time: t });
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cash_karp_45"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::test_support::{macrospin, macrospin_analytic};
+
+    #[test]
+    fn meets_tolerance_on_macrospin() {
+        let alpha = 0.1;
+        let h0 = 1e5;
+        let t_end = 100e-12;
+        let sys = macrospin(alpha, h0);
+        let mut integ = CashKarp45::new(1, 1e-10);
+        let mut m = vec![Vec3::X];
+        let mut t = 0.0;
+        while t < t_end - 1e-18 {
+            let taken = integ.step(&sys, t, (t_end - t).min(1e-12), &mut m).unwrap();
+            t += taken;
+        }
+        let expected = macrospin_analytic(alpha, h0, t_end);
+        assert!(
+            (m[0] - expected).norm() < 1e-6,
+            "adaptive error {}",
+            (m[0] - expected).norm()
+        );
+    }
+
+    #[test]
+    fn shrinks_step_when_tolerance_is_tight() {
+        let sys = macrospin(0.1, 1e6);
+        let mut integ = CashKarp45::new(1, 1e-12);
+        let mut m = vec![Vec3::X];
+        let taken = integ.step(&sys, 0.0, 1e-11, &mut m).unwrap();
+        assert!(taken <= 1e-11);
+        assert!(integ.suggested_dt().is_some());
+    }
+
+    #[test]
+    fn loose_tolerance_accepts_the_hint() {
+        let sys = macrospin(0.1, 1e4);
+        let mut integ = CashKarp45::new(1, 1e-3);
+        let mut m = vec![Vec3::X];
+        let taken = integ.step(&sys, 0.0, 1e-14, &mut m).unwrap();
+        assert_eq!(taken, 1e-14);
+    }
+
+    #[test]
+    fn suggestion_never_exceeds_hint() {
+        let sys = macrospin(0.05, 1e5);
+        let mut integ = CashKarp45::new(1, 1e-6);
+        let mut m = vec![Vec3::X];
+        for i in 0..50 {
+            integ.step(&sys, i as f64 * 1e-13, 1e-13, &mut m).unwrap();
+            assert!(integ.suggested_dt().unwrap() <= 1e-13 + 1e-30);
+        }
+    }
+}

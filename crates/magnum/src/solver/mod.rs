@@ -1,0 +1,232 @@
+//! Time integrators for the LLG equation.
+//!
+//! Three integrators are provided, mirroring the options micromagnetic
+//! packages offer:
+//!
+//! * [`Heun`] — 2nd order predictor-corrector; the correct choice when the
+//!   thermal field is active (converges to the Stratonovich solution).
+//! * [`RungeKutta4`] — classic 4th order fixed-step; the default for
+//!   deterministic spin-wave runs.
+//! * [`CashKarp45`] — adaptive 5(4) pair with error control, for stiff
+//!   setups or when the caller wants accuracy-driven step sizes.
+//!
+//! All integrators renormalize `|m| = 1` on magnetic cells after each
+//! accepted step (the LLG flow conserves the norm exactly; the projection
+//! removes the integrator's truncation-error drift).
+
+mod cash_karp;
+mod heun;
+mod rk4;
+
+pub use cash_karp::CashKarp45;
+pub use heun::Heun;
+pub use rk4::RungeKutta4;
+
+use crate::error::MagnumError;
+use crate::llg::LlgSystem;
+use crate::math::Vec3;
+
+/// A time integrator advancing the magnetization state.
+pub trait Integrator: Send {
+    /// Advances `m` by one step starting at time `t` with suggested step
+    /// `dt`, returning the step size actually taken (adaptive integrators
+    /// may take less).
+    ///
+    /// # Errors
+    ///
+    /// * [`MagnumError::Diverged`] if the state becomes non-finite.
+    /// * [`MagnumError::StepSizeUnderflow`] if an adaptive integrator
+    ///   cannot meet its tolerance.
+    fn step(
+        &mut self,
+        system: &LlgSystem,
+        t: f64,
+        dt: f64,
+        m: &mut [Vec3],
+    ) -> Result<f64, MagnumError>;
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which integrator a [`crate::sim::SimulationBuilder`] should construct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntegratorKind {
+    /// Heun predictor-corrector (use with thermal noise).
+    Heun,
+    /// Classic fixed-step RK4 (default).
+    RungeKutta4,
+    /// Adaptive Cash–Karp 5(4) with the given absolute tolerance on `m`.
+    CashKarp45 {
+        /// Absolute per-step error tolerance on the unit magnetization.
+        tolerance: f64,
+    },
+}
+
+impl Default for IntegratorKind {
+    fn default() -> Self {
+        IntegratorKind::RungeKutta4
+    }
+}
+
+impl IntegratorKind {
+    /// Instantiates the integrator for a system of `cells` cells.
+    pub fn instantiate(self, cells: usize) -> Box<dyn Integrator> {
+        match self {
+            IntegratorKind::Heun => Box::new(Heun::new(cells)),
+            IntegratorKind::RungeKutta4 => Box::new(RungeKutta4::new(cells)),
+            IntegratorKind::CashKarp45 { tolerance } => {
+                Box::new(CashKarp45::new(cells, tolerance))
+            }
+        }
+    }
+}
+
+/// Renormalizes magnetic cells to |m| = 1 and reports divergence.
+pub(crate) fn renormalize_and_check(
+    m: &mut [Vec3],
+    mask: &[bool],
+    t: f64,
+) -> Result<(), MagnumError> {
+    for (mi, &magnetic) in m.iter_mut().zip(mask.iter()) {
+        if !magnetic {
+            continue;
+        }
+        if !mi.is_finite() {
+            return Err(MagnumError::Diverged { time: t });
+        }
+        let n = mi.norm();
+        if n == 0.0 {
+            return Err(MagnumError::Diverged { time: t });
+        }
+        *mi /= n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::field::zeeman::Zeeman;
+    use crate::llg::LlgSystem;
+    use crate::math::Vec3;
+    use crate::GAMMA;
+
+    /// A single macrospin in a uniform +z field — the one LLG problem with
+    /// a closed-form solution, used to validate every integrator.
+    pub fn macrospin(alpha: f64, h: f64) -> LlgSystem {
+        LlgSystem {
+            terms: vec![Box::new(Zeeman::uniform(Vec3::Z * h))],
+            antennas: Vec::new(),
+            thermal: Vec::new(),
+            alpha: vec![alpha],
+            gamma: GAMMA,
+            mask: vec![true],
+        }
+    }
+
+    /// Analytic macrospin solution starting from m = x̂ at t = 0:
+    /// precession at ω = γμ₀H/(1+α²) while the polar angle obeys
+    /// tan(θ/2) = tan(θ₀/2)·exp(−αωt).
+    pub fn macrospin_analytic(alpha: f64, h: f64, t: f64) -> Vec3 {
+        let omega = GAMMA * crate::MU0 * h / (1.0 + alpha * alpha);
+        // dm/dt = −γμ₀ m×H: with H ∥ +ẑ and m = x̂ this is +γμ₀H·ŷ, so the
+        // azimuth increases with time under this sign convention.
+        let phi = omega * t;
+        let theta0: f64 = std::f64::consts::FRAC_PI_2;
+        let theta = 2.0 * ((theta0 / 2.0).tan() * (-alpha * omega * t).exp()).atan();
+        Vec3::new(theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    fn run_integrator(
+        mut integrator: Box<dyn Integrator>,
+        alpha: f64,
+        h: f64,
+        t_end: f64,
+        dt: f64,
+    ) -> Vec3 {
+        let sys = macrospin(alpha, h);
+        let mut m = vec![Vec3::X];
+        let mut t = 0.0;
+        while t < t_end - 1e-18 {
+            let step = dt.min(t_end - t);
+            let taken = integrator.step(&sys, t, step, &mut m).expect("step failed");
+            t += taken;
+        }
+        m[0]
+    }
+
+    #[test]
+    fn all_integrators_match_macrospin_analytics() {
+        let alpha = 0.1;
+        let h = 1e5;
+        let t_end = 50e-12;
+        let expected = macrospin_analytic(alpha, h, t_end);
+        for kind in [
+            IntegratorKind::Heun,
+            IntegratorKind::RungeKutta4,
+            IntegratorKind::CashKarp45 { tolerance: 1e-8 },
+        ] {
+            let m = run_integrator(kind.instantiate(1), alpha, h, t_end, 5e-15);
+            let err = (m - expected).norm();
+            assert!(
+                err < 1e-4,
+                "{kind:?} error vs analytic solution too large: {err} (m = {m}, expected {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn integrators_preserve_unit_norm() {
+        for kind in [
+            IntegratorKind::Heun,
+            IntegratorKind::RungeKutta4,
+            IntegratorKind::CashKarp45 { tolerance: 1e-7 },
+        ] {
+            let m = run_integrator(kind.instantiate(1), 0.02, 5e5, 100e-12, 1e-14);
+            assert!((m.norm() - 1.0).abs() < 1e-12, "{kind:?} drifted off the unit sphere");
+        }
+    }
+
+    #[test]
+    fn rk4_is_more_accurate_than_heun_at_same_step() {
+        let alpha = 0.05;
+        let h = 2e5;
+        let t_end = 100e-12;
+        let dt = 1e-13;
+        let expected = macrospin_analytic(alpha, h, t_end);
+        let err_heun =
+            (run_integrator(Box::new(Heun::new(1)), alpha, h, t_end, dt) - expected).norm();
+        let err_rk4 =
+            (run_integrator(Box::new(RungeKutta4::new(1)), alpha, h, t_end, dt) - expected)
+                .norm();
+        assert!(
+            err_rk4 < err_heun,
+            "RK4 ({err_rk4}) should beat Heun ({err_heun}) at dt = {dt}"
+        );
+    }
+
+    #[test]
+    fn renormalize_rejects_nan() {
+        let mut m = vec![Vec3::new(f64::NAN, 0.0, 0.0)];
+        let err = renormalize_and_check(&mut m, &[true], 1e-9);
+        assert!(matches!(err, Err(MagnumError::Diverged { .. })));
+    }
+
+    #[test]
+    fn renormalize_skips_vacuum() {
+        let mut m = vec![Vec3::ZERO];
+        renormalize_and_check(&mut m, &[false], 0.0).expect("vacuum zero vector is fine");
+        assert_eq!(m[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn default_kind_is_rk4() {
+        assert_eq!(IntegratorKind::default(), IntegratorKind::RungeKutta4);
+    }
+}

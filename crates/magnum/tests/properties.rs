@@ -1,0 +1,141 @@
+//! Property-based tests for the solver substrate.
+
+use proptest::prelude::*;
+
+use magnum::fft::{fft_in_place, Direction};
+use magnum::material::Material;
+use magnum::math::{Complex64, Vec3};
+use magnum::mesh::Mesh;
+use magnum::prelude::*;
+use magnum::solver::IntegratorKind;
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
+        .prop_filter_map("non-degenerate direction", |(x, y, z)| {
+            let v = Vec3::new(x, y, z);
+            if v.norm() > 1e-3 {
+                Some(v.normalized())
+            } else {
+                None
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every integrator keeps |m| = 1 on every magnetic cell from any
+    /// uniform starting direction.
+    #[test]
+    fn integrators_preserve_the_unit_sphere(
+        direction in unit_vec3(),
+        kind in prop_oneof![
+            Just(IntegratorKind::Heun),
+            Just(IntegratorKind::RungeKutta4),
+            Just(IntegratorKind::CashKarp45 { tolerance: 1e-7 }),
+        ],
+    ) {
+        let mesh = Mesh::new(8, 4, [5e-9, 5e-9, 1e-9]).expect("mesh");
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .uniform_magnetization(direction)
+            .integrator(kind)
+            .build()
+            .expect("build");
+        sim.run(2e-12).expect("run");
+        for (v, &magnetic) in sim.magnetization().iter().zip(sim.mesh().mask()) {
+            if magnetic {
+                prop_assert!((v.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Damped relaxation never increases the total energy, whatever the
+    /// starting direction.
+    #[test]
+    fn relaxation_energy_is_non_increasing(direction in unit_vec3()) {
+        let mesh = Mesh::new(8, 4, [5e-9, 5e-9, 1e-9]).expect("mesh");
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .uniform_magnetization(direction)
+            .build()
+            .expect("build");
+        let mut last = sim.total_energy();
+        for _ in 0..5 {
+            sim.run(2e-12).expect("run");
+            let e = sim.total_energy();
+            prop_assert!(e <= last + last.abs() * 1e-9, "{last} -> {e}");
+            last = e;
+        }
+    }
+
+    /// FFT round-trips arbitrary signals (any power-of-two length).
+    #[test]
+    fn fft_round_trips(
+        exp in 1u32..9,
+        seed in 0u64..1000,
+    ) {
+        let n = 1usize << exp;
+        let original: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(seed.wrapping_add(1)) as f64;
+                Complex64::new((x * 1e-3).sin(), (x * 7e-4).cos())
+            })
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data, Direction::Forward);
+        fft_in_place(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(original.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Rasterizing any rectangle covers exactly the cells whose centres
+    /// are inside it.
+    #[test]
+    fn rasterized_rect_count_matches_prediction(
+        x0 in 0.0f64..40e-9,
+        w in 5e-9f64..60e-9,
+        y0 in 0.0f64..20e-9,
+        h in 5e-9f64..30e-9,
+    ) {
+        use magnum::geometry::{rasterize, Rect};
+        let cell = 5e-9;
+        let mut mesh = Mesh::new(24, 12, [cell, cell, 1e-9]).expect("mesh");
+        rasterize(&mut mesh, &Rect::new(x0, y0, x0 + w, y0 + h));
+        let mut expected = 0;
+        for iy in 0..12 {
+            for ix in 0..24 {
+                let (cx, cy) = mesh.cell_center(ix, iy);
+                if cx >= x0 && cx <= x0 + w && cy >= y0 && cy <= y0 + h {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(mesh.magnetic_cell_count(), expected);
+    }
+
+    /// The drive waveform is bounded by its amplitude at all times.
+    #[test]
+    fn drive_is_bounded(
+        amplitude in 0.0f64..1e5,
+        frequency in 1e9f64..50e9,
+        phase in 0.0f64..std::f64::consts::TAU,
+        t in 0.0f64..5e-9,
+    ) {
+        let d = Drive::logic_cw(amplitude, frequency, phase);
+        prop_assert!(d.value(t).abs() <= amplitude * (1.0 + 1e-12));
+    }
+
+    /// Thermal field variance is deterministic per seed and zero at T=0.
+    #[test]
+    fn thermal_field_is_seeded(seed in 0u64..100) {
+        let mesh = Mesh::new(8, 8, [5e-9, 5e-9, 1e-9]).expect("mesh");
+        let mat = Material::fecob();
+        let mut a = ThermalField::new(&mesh, &mat, 77.0, seed);
+        let mut b = ThermalField::new(&mesh, &mat, 77.0, seed);
+        let mut ba = vec![Vec3::ZERO; mesh.cell_count()];
+        let mut bb = vec![Vec3::ZERO; mesh.cell_count()];
+        a.draw(1e-13, &mut ba);
+        b.draw(1e-13, &mut bb);
+        prop_assert_eq!(ba, bb);
+    }
+}

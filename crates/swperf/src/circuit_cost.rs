@@ -1,0 +1,203 @@
+//! Circuit-level energy/delay/area estimation.
+//!
+//! The paper motivates multi-output gates with circuit-level savings
+//! (§I) and points to the hybrid CMOS–SW benchmarks of \[42\]. This module
+//! estimates the cost of a [`swgates::circuit::Circuit`] netlist under
+//! the spin-wave transducer model, and compares fan-out-of-2 designs
+//! against the replication a single-output gate library would need.
+
+use swgates::circuit::{Circuit, Signal};
+
+use crate::mecell::MeCell;
+use crate::GateCost;
+
+/// Cost estimate for one circuit implementation style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitCost {
+    /// Total energy per evaluation (joules).
+    pub energy: f64,
+    /// Critical-path delay (seconds) assuming one ME-cell delay per
+    /// logic level.
+    pub delay: f64,
+    /// Total transducer count.
+    pub transducers: usize,
+    /// Number of gate instances (after any replication).
+    pub gates: usize,
+}
+
+impl CircuitCost {
+    /// Energy in attojoules.
+    pub fn energy_aj(&self) -> f64 {
+        self.energy * 1e18
+    }
+
+    /// Delay in nanoseconds.
+    pub fn delay_ns(&self) -> f64 {
+        self.delay * 1e9
+    }
+}
+
+/// Estimates the cost of a netlist built from the **fan-out-of-2
+/// triangle gates**: each gate is placed once and its two outputs drive
+/// up to two loads directly.
+///
+/// Delay is `levels × t_ME`, with `levels` the longest input-to-output
+/// gate chain (assumption (iii): propagation is free).
+pub fn fanout2_cost(circuit: &Circuit, me: &MeCell) -> CircuitCost {
+    let (excitations, detections) = circuit.transducer_counts();
+    CircuitCost {
+        energy: me.excitation_energy() * excitations as f64,
+        delay: me.delay() * levels(circuit) as f64,
+        transducers: excitations + detections,
+        gates: circuit.gate_count(),
+    }
+}
+
+/// Estimates the cost of the same netlist implemented with
+/// **single-output gates**: every gate whose output drives `n > 1` loads
+/// must be replicated `n` times (the §I scenario the paper's fan-out
+/// avoids), multiplying its excitation energy and transducers.
+pub fn replicated_cost(circuit: &Circuit, me: &MeCell) -> CircuitCost {
+    let mut energy = 0.0;
+    let mut transducers = 0;
+    let mut gates = 0;
+    for g in 0..circuit.gate_count() {
+        let kind = circuit
+            .gate_kind(g)
+            .expect("gate index is in range by construction");
+        let copies = circuit.fanout_of(Signal::Gate(g)).max(1);
+        energy += me.excitation_energy() * (kind.excitation_cells() * copies) as f64;
+        // Single-output variant: one detector per copy.
+        transducers += (kind.excitation_cells() + 1) * copies;
+        gates += copies;
+    }
+    CircuitCost {
+        energy,
+        delay: me.delay() * levels(circuit) as f64,
+        transducers,
+        gates,
+    }
+}
+
+/// Longest gate chain from any primary input to any output.
+fn levels(circuit: &Circuit) -> usize {
+    let mut depth = vec![0usize; circuit.gate_count()];
+    for g in 0..circuit.gate_count() {
+        let inputs = circuit
+            .gate_inputs(g)
+            .expect("gate index is in range by construction");
+        let max_in = inputs
+            .iter()
+            .map(|s| match *s {
+                Signal::Input(_) => 0,
+                Signal::Gate(p) => depth[p],
+            })
+            .max()
+            .unwrap_or(0);
+        depth[g] = max_in + 1;
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
+/// Convenience: compares the FO2 and replicated implementations of a
+/// circuit, returning `(fo2, replicated, energy_saving_fraction)`.
+pub fn fanout_advantage(circuit: &Circuit, me: &MeCell) -> (CircuitCost, CircuitCost, f64) {
+    let fo2 = fanout2_cost(circuit, me);
+    let rep = replicated_cost(circuit, me);
+    let saving = if rep.energy > 0.0 {
+        1.0 - fo2.energy / rep.energy
+    } else {
+        0.0
+    };
+    (fo2, rep, saving)
+}
+
+/// Area proxy: transducer count × an ME-cell footprint, plus waveguide
+/// area per gate; used for the area-delay-power style comparisons of
+/// \[42\]. Returns m².
+pub fn area_estimate(cost: &CircuitCost, me_cell_area: f64, waveguide_area_per_gate: f64) -> f64 {
+    cost.transducers as f64 * me_cell_area + cost.gates as f64 * waveguide_area_per_gate
+}
+
+/// A [`GateCost`] view of a circuit cost (for uniform reporting).
+pub fn as_gate_cost(cost: &CircuitCost) -> GateCost {
+    GateCost::new(cost.energy, cost.delay, cost.transducers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgates::circuit::GateKind;
+
+    fn me() -> MeCell {
+        MeCell::paper()
+    }
+
+    #[test]
+    fn full_adder_fo2_cost() {
+        let fa = Circuit::full_adder();
+        let cost = fanout2_cost(&fa, &me());
+        // 2 XOR (2 exc) + 1 MAJ3 (3 exc) = 7 excitations -> 24.08 aJ.
+        assert!((cost.energy_aj() - 7.0 * 3.44).abs() < 1e-9);
+        // Critical path: XOR -> XOR = 2 levels.
+        assert!((cost.delay_ns() - 0.84).abs() < 1e-9);
+        assert_eq!(cost.gates, 3);
+        assert_eq!(cost.transducers, 13);
+    }
+
+    #[test]
+    fn replication_costs_more_when_fanout_is_used() {
+        // In the ripple-carry adder every interior carry drives 2 loads,
+        // so the replicated implementation must duplicate those MAJ3s.
+        let adder = Circuit::ripple_carry_adder(8);
+        let (fo2, rep, saving) = fanout_advantage(&adder, &me());
+        assert!(rep.energy > fo2.energy, "replication should cost more");
+        assert!(saving > 0.1, "saving = {saving}");
+        assert!(rep.gates > fo2.gates);
+        // Same logic depth either way.
+        assert_eq!(fo2.delay, rep.delay);
+    }
+
+    #[test]
+    fn fanout_free_circuit_has_no_advantage() {
+        // carry = MAJ3(a, b, cin), single output, no shared signals.
+        let mut c = Circuit::new(3);
+        let g = c
+            .add_gate(
+                GateKind::Maj3,
+                vec![Signal::Input(0), Signal::Input(1), Signal::Input(2)],
+            )
+            .unwrap();
+        c.mark_output(g).unwrap();
+        let (fo2, rep, saving) = fanout_advantage(&c, &me());
+        assert!((fo2.energy - rep.energy).abs() < 1e-30);
+        assert!(saving.abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_counts_longest_chain() {
+        let adder = Circuit::ripple_carry_adder(4);
+        let cost = fanout2_cost(&adder, &me());
+        // Carry chain: 4 MAJ3 levels, plus the first stage's XOR feeding
+        // sum — longest chain is carry[0..3] then stage-3 sum XOR: 5.
+        assert!(cost.delay_ns() >= 4.0 * 0.42 - 1e-9);
+    }
+
+    #[test]
+    fn area_scales_with_transducers() {
+        let fa = Circuit::full_adder();
+        let cost = fanout2_cost(&fa, &me());
+        let a1 = area_estimate(&cost, 100e-9 * 100e-9, 1e-12);
+        let a2 = area_estimate(&cost, 200e-9 * 200e-9, 1e-12);
+        assert!(a2 > a1);
+    }
+
+    #[test]
+    fn gate_cost_view_round_trips() {
+        let fa = Circuit::full_adder();
+        let cost = fanout2_cost(&fa, &me());
+        let gc = as_gate_cost(&cost);
+        assert_eq!(gc.energy(), cost.energy);
+        assert_eq!(gc.delay(), cost.delay);
+    }
+}

@@ -1,0 +1,64 @@
+//! Published CMOS gate data used by Table III.
+//!
+//! The paper compares against 16 nm CMOS \[40\] and 7 nm CMOS \[41\], with a
+//! 3-input Majority gate "built from 4 NAND gates" and the XOR taken
+//! directly from the references. Only the bottom-line per-gate numbers
+//! enter Table III; they are reproduced here as data.
+
+use crate::GateCost;
+
+/// CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmosNode {
+    /// 16 nm CMOS (\[40\]).
+    N16,
+    /// 7 nm CMOS (\[41\]).
+    N7,
+}
+
+/// CMOS gate flavour compared in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmosGate {
+    /// 3-input majority (4-NAND construction; 16 transistors).
+    Maj3,
+    /// 2-input XOR (8 transistors).
+    Xor,
+}
+
+/// Table III's CMOS rows: (energy, delay, transistor count).
+pub fn cmos_cost(node: CmosNode, gate: CmosGate) -> GateCost {
+    match (node, gate) {
+        (CmosNode::N16, CmosGate::Maj3) => GateCost::new(466e-18, 0.03e-9, 16),
+        (CmosNode::N16, CmosGate::Xor) => GateCost::new(303e-18, 0.03e-9, 8),
+        (CmosNode::N7, CmosGate::Maj3) => GateCost::new(16.4e-18, 0.02e-9, 16),
+        (CmosNode::N7, CmosGate::Xor) => GateCost::new(5.4e-18, 0.01e-9, 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values() {
+        let c = cmos_cost(CmosNode::N16, CmosGate::Maj3);
+        assert_eq!(c.energy_aj(), 466.0);
+        assert!((c.delay_ns() - 0.03).abs() < 1e-12);
+        assert_eq!(c.device_count(), 16);
+
+        let c = cmos_cost(CmosNode::N7, CmosGate::Xor);
+        assert!((c.energy_aj() - 5.4).abs() < 1e-9);
+        assert!((c.delay_ns() - 0.01).abs() < 1e-12);
+        assert_eq!(c.device_count(), 8);
+    }
+
+    #[test]
+    fn newer_node_is_cheaper_and_faster() {
+        for gate in [CmosGate::Maj3, CmosGate::Xor] {
+            let old = cmos_cost(CmosNode::N16, gate);
+            let new = cmos_cost(CmosNode::N7, gate);
+            assert!(new.energy() < old.energy());
+            assert!(new.delay() <= old.delay());
+        }
+    }
+}

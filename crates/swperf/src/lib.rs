@@ -1,0 +1,95 @@
+//! # swperf — energy, delay and area models for spin-wave and CMOS gates
+//!
+//! The performance-evaluation layer of the reproduction: everything
+//! needed to regenerate **Table III** of the paper and the ratio claims
+//! of §IV-D, plus a circuit-level estimator in the spirit of the hybrid
+//! benchmarks the paper cites (\[42\]).
+//!
+//! * [`mecell`] — the magnetoelectric transducer model and the paper's
+//!   assumptions (i)–(vi).
+//! * [`swcost`] — per-gate transducer counts and energy/delay for the
+//!   triangle gates (this work) and the ladder baselines (\[22\], \[23\]).
+//! * [`cmos`] — the published 16 nm and 7 nm CMOS gate data (\[40\], \[41\]).
+//! * [`compare`] — Table III assembly and the §IV-D ratio analysis.
+//! * [`circuit_cost`] — energy/delay/area estimates for gate netlists
+//!   built with [`swgates::circuit`].
+//!
+//! ## Example: the headline numbers
+//!
+//! ```
+//! use swperf::compare::Comparison;
+//! let table = Comparison::paper();
+//! // This work: MAJ 10.3 aJ / XOR 6.9 aJ at 0.4 ns (after rounding).
+//! assert!((table.this_work_maj.energy_aj() - 10.3).abs() < 0.1);
+//! assert!((table.this_work_xor.energy_aj() - 6.9).abs() < 0.1);
+//! ```
+
+pub mod circuit_cost;
+pub mod cmos;
+pub mod compare;
+pub mod mecell;
+pub mod swcost;
+
+/// An energy/delay figure of merit for one gate implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateCost {
+    energy_j: f64,
+    delay_s: f64,
+    device_count: usize,
+}
+
+impl GateCost {
+    /// Creates a cost record (energy in joules, delay in seconds,
+    /// transistor/transducer count).
+    pub fn new(energy_j: f64, delay_s: f64, device_count: usize) -> Self {
+        GateCost {
+            energy_j,
+            delay_s,
+            device_count,
+        }
+    }
+
+    /// Energy per evaluation in joules.
+    pub fn energy(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Energy in attojoules (the unit of Table III).
+    pub fn energy_aj(&self) -> f64 {
+        self.energy_j * 1e18
+    }
+
+    /// Delay in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay_s
+    }
+
+    /// Delay in nanoseconds (the unit of Table III).
+    pub fn delay_ns(&self) -> f64 {
+        self.delay_s * 1e9
+    }
+
+    /// Number of devices (transistors for CMOS, transducer cells for SW).
+    pub fn device_count(&self) -> usize {
+        self.device_count
+    }
+
+    /// Energy-delay product in J·s.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy_j * self.delay_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let c = GateCost::new(10.3e-18, 0.4e-9, 5);
+        assert!((c.energy_aj() - 10.3).abs() < 1e-9);
+        assert!((c.delay_ns() - 0.4).abs() < 1e-12);
+        assert_eq!(c.device_count(), 5);
+        assert!((c.energy_delay_product() - 10.3e-18 * 0.4e-9).abs() < 1e-40);
+    }
+}

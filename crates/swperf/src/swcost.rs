@@ -1,0 +1,104 @@
+//! Spin-wave gate cost records: the triangle gates of this work and the
+//! ladder baselines of \[22\], \[23\].
+
+use crate::mecell::MeCell;
+use crate::GateCost;
+
+/// Which spin-wave gate implementation is being costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwGateKind {
+    /// Triangle fan-out-of-2 MAJ3 (this work): 3 excitation + 2
+    /// detection cells.
+    TriangleMaj3,
+    /// Triangle fan-out-of-2 XOR (this work): 2 excitation + 2 detection
+    /// cells.
+    TriangleXor,
+    /// Ladder MAJ3 baseline (\[22\], \[23\]): the fan-out needs a replicated
+    /// input — 4 excitation + 2 detection cells.
+    LadderMaj3,
+    /// Ladder XOR baseline (\[23\]): the programmable structure drives 4
+    /// transducers as well.
+    LadderXor,
+}
+
+impl SwGateKind {
+    /// Number of excitation transducers (the energy-consuming cells
+    /// under the paper's assumptions).
+    pub fn excitation_cells(self) -> usize {
+        match self {
+            SwGateKind::TriangleMaj3 => 3,
+            SwGateKind::TriangleXor => 2,
+            SwGateKind::LadderMaj3 | SwGateKind::LadderXor => 4,
+        }
+    }
+
+    /// Number of detection transducers.
+    pub fn detection_cells(self) -> usize {
+        2
+    }
+
+    /// Total transducer count (the "Used cell No." row of Table III).
+    pub fn cell_count(self) -> usize {
+        self.excitation_cells() + self.detection_cells()
+    }
+
+    /// Cost under a transducer model.
+    pub fn cost(self, me: &MeCell) -> GateCost {
+        GateCost::new(
+            me.gate_energy(self.excitation_cells()),
+            me.gate_delay(),
+            self.cell_count(),
+        )
+    }
+
+    /// Cost under the paper's ME-cell assumptions.
+    pub fn paper_cost(self) -> GateCost {
+        self.cost(&MeCell::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_counts_match_table_iii() {
+        assert_eq!(SwGateKind::TriangleMaj3.cell_count(), 5);
+        assert_eq!(SwGateKind::TriangleXor.cell_count(), 4);
+        assert_eq!(SwGateKind::LadderMaj3.cell_count(), 6);
+        assert_eq!(SwGateKind::LadderXor.cell_count(), 6);
+    }
+
+    #[test]
+    fn energies_match_table_iii() {
+        assert!((SwGateKind::TriangleMaj3.paper_cost().energy_aj() - 10.32).abs() < 0.05);
+        assert!((SwGateKind::TriangleXor.paper_cost().energy_aj() - 6.88).abs() < 0.05);
+        assert!((SwGateKind::LadderMaj3.paper_cost().energy_aj() - 13.76).abs() < 0.05);
+        assert!((SwGateKind::LadderXor.paper_cost().energy_aj() - 13.76).abs() < 0.05);
+    }
+
+    #[test]
+    fn delays_are_the_me_cell_delay() {
+        for kind in [
+            SwGateKind::TriangleMaj3,
+            SwGateKind::TriangleXor,
+            SwGateKind::LadderMaj3,
+            SwGateKind::LadderXor,
+        ] {
+            assert!((kind.paper_cost().delay_ns() - 0.42).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn triangle_saves_25_and_50_percent_vs_ladder() {
+        // §IV-D: 25% (MAJ) and 50% (XOR) energy savings vs [22]/[23].
+        let maj_saving = 1.0
+            - SwGateKind::TriangleMaj3.paper_cost().energy()
+                / SwGateKind::LadderMaj3.paper_cost().energy();
+        let xor_saving = 1.0
+            - SwGateKind::TriangleXor.paper_cost().energy()
+                / SwGateKind::LadderXor.paper_cost().energy();
+        assert!((maj_saving - 0.25).abs() < 1e-9, "MAJ saving = {maj_saving}");
+        assert!((xor_saving - 0.50).abs() < 1e-9, "XOR saving = {xor_saving}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Spin-wave lifetime and propagation decay.
+//!
+//! Gilbert damping gives a spin wave a finite lifetime `τ ≈ 1/(α·ω·η)`
+//! (with `η = ∂ω/∂ω₀` the ellipticity factor, ≈ 1 for forward-volume
+//! waves) and therefore a propagation decay length `L_att = v_g·τ`.
+//! The paper's performance model assumes propagation loss is negligible
+//! against transducer loss (§IV-D assumption (iv)); this module is what
+//! lets the repro *check* that assumption for the gate dimensions.
+
+use crate::dispersion::FvmswDispersion;
+
+/// Amplitude decay model `A(d) = A₀·e^{−d/L_att}` for a propagating wave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attenuation {
+    lifetime: f64,
+    decay_length: f64,
+}
+
+impl Attenuation {
+    /// Computes lifetime and decay length for a wave at wavenumber `k`
+    /// on the given dispersion with Gilbert damping `alpha`.
+    pub fn for_mode(dispersion: &FvmswDispersion, k: f64, alpha: f64) -> Self {
+        let omega = dispersion.omega(k);
+        let vg = dispersion.group_velocity(k);
+        let lifetime = if alpha > 0.0 && omega > 0.0 {
+            1.0 / (alpha * omega)
+        } else {
+            f64::INFINITY
+        };
+        Attenuation {
+            lifetime,
+            decay_length: vg * lifetime,
+        }
+    }
+
+    /// Builds a model directly from a lifetime (s) and group velocity (m/s).
+    pub fn from_lifetime(lifetime: f64, group_velocity: f64) -> Self {
+        Attenuation {
+            lifetime,
+            decay_length: group_velocity * lifetime,
+        }
+    }
+
+    /// Exponential lifetime τ in seconds.
+    pub fn lifetime(&self) -> f64 {
+        self.lifetime
+    }
+
+    /// Amplitude decay length `L_att` in metres.
+    pub fn decay_length(&self) -> f64 {
+        self.decay_length
+    }
+
+    /// Relative amplitude remaining after propagating `distance` metres.
+    pub fn amplitude_after(&self, distance: f64) -> f64 {
+        if self.decay_length.is_infinite() {
+            return 1.0;
+        }
+        (-distance / self.decay_length).exp()
+    }
+
+    /// Relative *energy* (amplitude squared) after `distance` metres.
+    pub fn energy_after(&self, distance: f64) -> f64 {
+        let a = self.amplitude_after(distance);
+        a * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::film::PerpendicularFilm;
+
+    fn paper_mode() -> Attenuation {
+        let film = PerpendicularFilm::fecob(1e-9);
+        let disp = FvmswDispersion::for_film(&film);
+        let k = 2.0 * std::f64::consts::PI / 55e-9;
+        Attenuation::for_mode(&disp, k, film.alpha())
+    }
+
+    #[test]
+    fn lifetime_is_nanosecond_scale_for_low_damping() {
+        let att = paper_mode();
+        assert!(
+            att.lifetime() > 0.5e-9 && att.lifetime() < 10e-9,
+            "τ = {} s",
+            att.lifetime()
+        );
+    }
+
+    #[test]
+    fn decay_length_supports_the_papers_loss_assumption() {
+        // §IV-D (iv): propagation loss negligible. The gate path is
+        // ~1-2 µm; the decay length must be comparable or larger for the
+        // assumption to be defensible.
+        let att = paper_mode();
+        assert!(
+            att.decay_length() > 0.5e-6,
+            "L_att = {} m is too short for the paper's assumption",
+            att.decay_length()
+        );
+    }
+
+    #[test]
+    fn amplitude_decays_exponentially() {
+        let att = Attenuation::from_lifetime(1e-9, 1000.0);
+        let l = att.decay_length();
+        assert!((att.amplitude_after(l) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((att.amplitude_after(0.0) - 1.0).abs() < 1e-15);
+        assert!(att.amplitude_after(10.0 * l) < 1e-4);
+    }
+
+    #[test]
+    fn energy_is_amplitude_squared() {
+        let att = Attenuation::from_lifetime(1e-9, 1000.0);
+        let d = 0.7 * att.decay_length();
+        assert!((att.energy_after(d) - att.amplitude_after(d).powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_damping_never_decays() {
+        let film = PerpendicularFilm::new(1100e3, 18.5e-12, 0.0, 0.832e6, 1e-9, 0.0);
+        let disp = FvmswDispersion::for_film(&film);
+        let att = Attenuation::for_mode(&disp, 1e8, film.alpha());
+        assert!(att.lifetime().is_infinite());
+        assert_eq!(att.amplitude_after(1.0), 1.0);
+    }
+
+    #[test]
+    fn higher_damping_shortens_lifetime() {
+        let disp = FvmswDispersion::for_film(&PerpendicularFilm::fecob(1e-9));
+        let low = Attenuation::for_mode(&disp, 1e8, 0.004);
+        let high = Attenuation::for_mode(&disp, 1e8, 0.04);
+        assert!((low.lifetime() / high.lifetime() - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,284 @@
+//! Kalinikos–Slavin dipole-exchange dispersion.
+//!
+//! For a perpendicular-magnetized film the lowest (uniform-across-the-
+//! thickness) forward-volume mode obeys, in the Kalinikos–Slavin
+//! approximation \[26\]:
+//!
+//! `ω(k)² = Ω(k)·(Ω(k) + ω_M·F(kd))`
+//!
+//! with `Ω(k) = ω₀ + ω_M·λ_ex²·k²`, `ω₀ = γμ₀·H_i`, `ω_M = γμ₀·Ms`,
+//! `F(x) = 1 − (1 − e^{−x})/x`, `d` the film thickness. The dispersion is
+//! **isotropic** in the film plane — the property §II-A singles out as
+//! what makes FVMSWs suitable for circuit layouts with bends.
+
+use crate::film::PerpendicularFilm;
+use crate::{SwPhysError, MU0};
+
+/// Forward-volume dipole-exchange dispersion (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FvmswDispersion {
+    omega0: f64,
+    omega_m: f64,
+    lambda_ex_sq: f64,
+    thickness: f64,
+}
+
+impl FvmswDispersion {
+    /// Builds the dispersion for a stable perpendicular film.
+    pub fn for_film(film: &PerpendicularFilm) -> Self {
+        FvmswDispersion {
+            omega0: film.gamma() * MU0 * film.internal_field(),
+            omega_m: film.gamma() * MU0 * film.ms(),
+            lambda_ex_sq: film.exchange_length_sq(),
+            thickness: film.thickness(),
+        }
+    }
+
+    /// Builds the dispersion from raw angular parameters: `omega0 = γμ₀H_i`
+    /// (rad/s), `omega_m = γμ₀Ms` (rad/s), `lambda_ex_sq = 2A/(μ₀Ms²)`
+    /// (m²), thickness (m).
+    pub fn from_parameters(
+        omega0: f64,
+        omega_m: f64,
+        lambda_ex_sq: f64,
+        thickness: f64,
+    ) -> Self {
+        FvmswDispersion {
+            omega0,
+            omega_m,
+            lambda_ex_sq,
+            thickness,
+        }
+    }
+
+    /// The k = 0 (FMR) angular frequency `ω₀` in rad/s.
+    pub fn omega0(&self) -> f64 {
+        self.omega0
+    }
+
+    /// The magnetization frequency `ω_M = γμ₀Ms` in rad/s.
+    pub fn omega_m(&self) -> f64 {
+        self.omega_m
+    }
+
+    /// The dipolar form factor `F(kd) = 1 − (1 − e^{−kd})/(kd)`.
+    pub fn form_factor(&self, k: f64) -> f64 {
+        let x = k.abs() * self.thickness;
+        if x < 1e-4 {
+            // Series: F(x) = x/2 − x²/6 + x³/24 − …; the exact expression
+            // suffers catastrophic cancellation for small x.
+            return x / 2.0 - x * x / 6.0 + x * x * x / 24.0;
+        }
+        1.0 - (1.0 - (-x).exp()) / x
+    }
+
+    /// Angular frequency ω(k) in rad/s for wavenumber `k` (rad/m).
+    pub fn omega(&self, k: f64) -> f64 {
+        let big_omega = self.omega0 + self.omega_m * self.lambda_ex_sq * k * k;
+        (big_omega * (big_omega + self.omega_m * self.form_factor(k))).sqrt()
+    }
+
+    /// Frequency f(k) in Hz.
+    pub fn frequency(&self, k: f64) -> f64 {
+        self.omega(k) / (2.0 * std::f64::consts::PI)
+    }
+
+    /// Frequency in Hz for a wavelength λ (m).
+    pub fn frequency_for_wavelength(&self, lambda: f64) -> f64 {
+        self.frequency(2.0 * std::f64::consts::PI / lambda)
+    }
+
+    /// Group velocity `dω/dk` in m/s (central finite difference).
+    pub fn group_velocity(&self, k: f64) -> f64 {
+        let dk = (k.abs() * 1e-6).max(1.0);
+        (self.omega(k + dk) - self.omega(k - dk)) / (2.0 * dk)
+    }
+
+    /// Solves `f(k) = frequency` by bisection over `[k_min, k_max]`.
+    ///
+    /// The FVMSW dispersion is monotonically increasing in |k|, so the
+    /// solution is unique when it exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwPhysError::SolveFailed`] if the frequency is outside
+    /// the band spanned by the bracket, and
+    /// [`SwPhysError::InvalidParameter`] for a degenerate bracket.
+    pub fn wavenumber_for_frequency(
+        &self,
+        frequency: f64,
+        k_min: f64,
+        k_max: f64,
+    ) -> Result<f64, SwPhysError> {
+        if !(k_min >= 0.0 && k_max > k_min) {
+            return Err(SwPhysError::InvalidParameter {
+                parameter: "k bracket",
+                reason: format!("need 0 <= k_min < k_max, got [{k_min}, {k_max}]"),
+            });
+        }
+        let f_lo = self.frequency(k_min);
+        let f_hi = self.frequency(k_max);
+        if frequency < f_lo || frequency > f_hi {
+            return Err(SwPhysError::SolveFailed {
+                what: "wavenumber for frequency",
+                reason: format!(
+                    "{:.3} GHz outside the band [{:.3}, {:.3}] GHz",
+                    frequency / 1e9,
+                    f_lo / 1e9,
+                    f_hi / 1e9
+                ),
+            });
+        }
+        let mut lo = k_min;
+        let mut hi = k_max;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.frequency(mid) < frequency {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// Solves for the wavelength (m) carrying the given frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FvmswDispersion::wavenumber_for_frequency`].
+    pub fn wavelength_for_frequency(
+        &self,
+        frequency: f64,
+        lambda_min: f64,
+        lambda_max: f64,
+    ) -> Result<f64, SwPhysError> {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let k = self.wavenumber_for_frequency(frequency, two_pi / lambda_max, two_pi / lambda_min)?;
+        Ok(two_pi / k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::film::PerpendicularFilm;
+
+    fn paper_dispersion() -> FvmswDispersion {
+        FvmswDispersion::for_film(&PerpendicularFilm::fecob(1e-9))
+    }
+
+    #[test]
+    fn band_bottom_is_the_fmr_frequency() {
+        let film = PerpendicularFilm::fecob(1e-9);
+        let disp = FvmswDispersion::for_film(&film);
+        assert!((disp.omega(0.0) - film.fmr_omega()).abs() / film.fmr_omega() < 1e-9);
+    }
+
+    #[test]
+    fn dispersion_is_monotonic_in_k() {
+        let disp = paper_dispersion();
+        let mut last = disp.frequency(0.0);
+        for i in 1..200 {
+            let k = i as f64 * 2e6; // up to 4e8 rad/m
+            let f = disp.frequency(k);
+            assert!(f > last, "dispersion not monotonic at k = {k}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn dispersion_is_isotropic_in_sign() {
+        let disp = paper_dispersion();
+        let k = 1.1e8;
+        assert!((disp.omega(k) - disp.omega(-k)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_operating_point_is_around_ten_gigahertz() {
+        // §IV-A: λ = 55 nm should map to a drive frequency of order
+        // 10 GHz for this film. Our Kalinikos–Slavin evaluation lands in
+        // the 10-20 GHz window (the paper's quoted 10 GHz pairs with its
+        // quoted k = 50 rad/µm; see EXPERIMENTS.md for the discrepancy
+        // between that k and λ = 55 nm).
+        let disp = paper_dispersion();
+        let f = disp.frequency_for_wavelength(55e-9);
+        assert!(
+            f > 8e9 && f < 25e9,
+            "λ = 55 nm maps to f = {} GHz, expected 8-25 GHz",
+            f / 1e9
+        );
+    }
+
+    #[test]
+    fn form_factor_limits() {
+        let disp = paper_dispersion();
+        // F(0) = 0; F(x) -> 1 for large x.
+        assert!(disp.form_factor(0.0).abs() < 1e-12);
+        assert!((disp.form_factor(1e13) - 1.0).abs() < 1e-3);
+        // Continuity across the series/exact switchover at x = 1e-4: the
+        // two branches must agree to within the series truncation error.
+        let k_switch = 1e-4 / disp.thickness;
+        let f1 = disp.form_factor(k_switch * 0.999);
+        let f2 = disp.form_factor(k_switch * 1.001);
+        assert!(f1 > 0.0 && f2 > f1, "form factor must increase: {f1} vs {f2}");
+        // Δx = 0.002·x = 2e-7 ⇒ ΔF ≈ Δx/2 = 1e-7; allow 2x slack. A branch
+        // mismatch would show up as a jump far bigger than this.
+        assert!((f2 - f1) < 2e-7, "jump across switchover: {}", f2 - f1);
+    }
+
+    #[test]
+    fn wavenumber_solver_inverts_frequency() {
+        let disp = paper_dispersion();
+        let k_true = 2.0 * std::f64::consts::PI / 55e-9;
+        let f = disp.frequency(k_true);
+        let k = disp.wavenumber_for_frequency(f, 1e5, 1e9).unwrap();
+        assert!((k - k_true).abs() / k_true < 1e-9);
+    }
+
+    #[test]
+    fn wavelength_solver_round_trips() {
+        let disp = paper_dispersion();
+        let f = disp.frequency_for_wavelength(80e-9);
+        let lambda = disp.wavelength_for_frequency(f, 10e-9, 1e-6).unwrap();
+        assert!((lambda - 80e-9).abs() / 80e-9 < 1e-9);
+    }
+
+    #[test]
+    fn solver_rejects_out_of_band_frequency() {
+        let disp = paper_dispersion();
+        let below_band = disp.frequency(0.0) * 0.5;
+        assert!(matches!(
+            disp.wavenumber_for_frequency(below_band, 0.0, 1e9),
+            Err(SwPhysError::SolveFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn solver_rejects_bad_bracket() {
+        let disp = paper_dispersion();
+        assert!(matches!(
+            disp.wavenumber_for_frequency(10e9, 1e9, 1e5),
+            Err(SwPhysError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn group_velocity_is_positive_and_sublight() {
+        let disp = paper_dispersion();
+        for i in 1..50 {
+            let k = i as f64 * 5e6;
+            let vg = disp.group_velocity(k);
+            assert!(vg > 0.0, "vg({k}) = {vg}");
+            assert!(vg < 1e5, "vg({k}) = {vg} unphysically large");
+        }
+    }
+
+    #[test]
+    fn thicker_film_has_stronger_dipolar_branch() {
+        let thin = FvmswDispersion::for_film(&PerpendicularFilm::fecob(1e-9));
+        let thick = FvmswDispersion::for_film(&PerpendicularFilm::fecob(5e-9));
+        let k = 5e7;
+        assert!(thick.frequency(k) > thin.frequency(k));
+    }
+}

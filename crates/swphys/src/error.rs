@@ -1,0 +1,59 @@
+//! Error type for `swphys`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from analytic spin-wave computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SwPhysError {
+    /// A root finder could not bracket or converge on a solution.
+    SolveFailed {
+        /// What was being solved for (e.g. `"wavenumber for frequency"`).
+        what: &'static str,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// The parameter name.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SwPhysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwPhysError::SolveFailed { what, reason } => {
+                write!(f, "failed to solve for {what}: {reason}")
+            }
+            SwPhysError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter `{parameter}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SwPhysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SwPhysError::SolveFailed {
+            what: "wavenumber for frequency",
+            reason: "frequency below the band bottom".into(),
+        };
+        assert!(e.to_string().contains("wavenumber"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SwPhysError>();
+    }
+}

@@ -1,0 +1,178 @@
+//! Out-of-plane magnetized thin films.
+//!
+//! The paper's gates need **forward-volume** spin waves, which exist only
+//! when the static magnetization points out of the film plane. That
+//! requires the perpendicular anisotropy field to beat the thin-film
+//! demagnetizing field; the margin sets the internal field that anchors
+//! the dispersion relation.
+
+use crate::{GAMMA, MU0};
+
+/// A perpendicular-anisotropy thin film and its static equilibrium.
+///
+/// ```
+/// use swphys::film::PerpendicularFilm;
+/// let film = PerpendicularFilm::fecob(1e-9);
+/// assert!(film.is_stable());
+/// assert!(film.internal_field() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerpendicularFilm {
+    ms: f64,
+    aex: f64,
+    alpha: f64,
+    ku1: f64,
+    thickness: f64,
+    external_field: f64,
+    gamma: f64,
+}
+
+impl PerpendicularFilm {
+    /// Creates a film from raw parameters: Ms (A/m), Aex (J/m), Gilbert α,
+    /// Ku₁ (J/m³), thickness (m), and an out-of-plane bias field (A/m).
+    pub fn new(
+        ms: f64,
+        aex: f64,
+        alpha: f64,
+        ku1: f64,
+        thickness: f64,
+        external_field: f64,
+    ) -> Self {
+        PerpendicularFilm {
+            ms,
+            aex,
+            alpha,
+            ku1,
+            thickness,
+            external_field,
+            gamma: GAMMA,
+        }
+    }
+
+    /// The paper's Fe₆₀Co₂₀B₂₀ film (§IV-A): Ms = 1100 kA/m,
+    /// Aex = 18.5 pJ/m, α = 0.004, Ku = 0.832 MJ/m³, no bias field.
+    pub fn fecob(thickness: f64) -> Self {
+        PerpendicularFilm::new(1100e3, 18.5e-12, 0.004, 0.832e6, thickness, 0.0)
+    }
+
+    /// Saturation magnetization in A/m.
+    pub fn ms(&self) -> f64 {
+        self.ms
+    }
+
+    /// Exchange stiffness in J/m.
+    pub fn aex(&self) -> f64 {
+        self.aex
+    }
+
+    /// Gilbert damping constant.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Film thickness in metres.
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Out-of-plane bias field in A/m.
+    pub fn external_field(&self) -> f64 {
+        self.external_field
+    }
+
+    /// Gyromagnetic ratio in rad/(s·T).
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Perpendicular anisotropy field `2Ku₁/(μ₀Ms)` in A/m.
+    pub fn anisotropy_field(&self) -> f64 {
+        if self.ms == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.ku1 / (MU0 * self.ms)
+    }
+
+    /// Internal field for out-of-plane magnetization:
+    /// `H_i = H_ext + H_anis − Ms` (the −Ms is the thin-film demag).
+    pub fn internal_field(&self) -> f64 {
+        self.external_field + self.anisotropy_field() - self.ms
+    }
+
+    /// Whether the out-of-plane state is stable (positive internal field).
+    pub fn is_stable(&self) -> bool {
+        self.internal_field() > 0.0
+    }
+
+    /// Exchange length constant `λ_ex² = 2A/(μ₀Ms²)` in m².
+    pub fn exchange_length_sq(&self) -> f64 {
+        if self.ms == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.aex / (MU0 * self.ms * self.ms)
+    }
+
+    /// Ferromagnetic-resonance (k = 0) angular frequency in rad/s.
+    pub fn fmr_omega(&self) -> f64 {
+        self.gamma * MU0 * self.internal_field()
+    }
+
+    /// FMR frequency in Hz.
+    pub fn fmr_frequency(&self) -> f64 {
+        self.fmr_omega() / (2.0 * std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fecob_is_perpendicular_with_small_margin() {
+        let film = PerpendicularFilm::fecob(1e-9);
+        assert!(film.is_stable());
+        let hi = film.internal_field();
+        // Anisotropy field ≈ 1.203 MA/m, Ms = 1.1 MA/m -> margin ≈ 103 kA/m.
+        assert!(hi > 80e3 && hi < 130e3, "internal field {hi} out of range");
+    }
+
+    #[test]
+    fn bias_field_adds_to_internal_field() {
+        let base = PerpendicularFilm::fecob(1e-9);
+        let biased = PerpendicularFilm::new(
+            base.ms(),
+            base.aex(),
+            base.alpha(),
+            0.832e6,
+            1e-9,
+            50e3,
+        );
+        assert!((biased.internal_field() - base.internal_field() - 50e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weak_anisotropy_film_is_unstable_out_of_plane() {
+        let film = PerpendicularFilm::new(800e3, 13e-12, 0.01, 0.0, 1e-9, 0.0);
+        assert!(!film.is_stable());
+    }
+
+    #[test]
+    fn fmr_frequency_is_gigahertz_scale() {
+        let f = PerpendicularFilm::fecob(1e-9).fmr_frequency();
+        assert!(f > 1e9 && f < 10e9, "FMR = {f}");
+    }
+
+    #[test]
+    fn exchange_length_matches_known_value() {
+        let film = PerpendicularFilm::fecob(1e-9);
+        let l = film.exchange_length_sq().sqrt();
+        assert!(l > 3e-9 && l < 8e-9);
+    }
+
+    #[test]
+    fn zero_ms_degenerates_gracefully() {
+        let film = PerpendicularFilm::new(0.0, 1e-12, 0.01, 1e5, 1e-9, 0.0);
+        assert_eq!(film.anisotropy_field(), 0.0);
+        assert_eq!(film.exchange_length_sq(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # swphys — analytic spin-wave physics
+//!
+//! The design-flow companion to the micromagnetic solver: closed-form
+//! spin-wave theory used to *choose* the operating point of the paper's
+//! gates before any LLG simulation runs (§IV-A: "from the SW dispersion
+//! relation and for k = 2π/λ, a SW frequency was determined").
+//!
+//! * [`dispersion`] — Kalinikos–Slavin dipole-exchange dispersion for
+//!   forward-volume magnetostatic spin waves (FVMSW), the isotropic wave
+//!   type the paper's out-of-plane film supports.
+//! * [`film`] — internal fields and stability of a perpendicular film.
+//! * [`attenuation`] — lifetime and propagation decay length from the
+//!   Gilbert damping.
+//! * [`waveguide`] — width-quantized modes of a narrow waveguide.
+//!
+//! ## Example: the paper's §IV-A design flow
+//!
+//! ```
+//! use swphys::dispersion::FvmswDispersion;
+//! use swphys::film::PerpendicularFilm;
+//!
+//! // Fe60Co20B20, 1 nm film, as in the paper.
+//! let film = PerpendicularFilm::fecob(1e-9);
+//! assert!(film.is_stable());
+//! let dispersion = FvmswDispersion::for_film(&film);
+//! // λ = 55 nm -> the drive frequency for the gates:
+//! let k = 2.0 * std::f64::consts::PI / 55e-9;
+//! let f = dispersion.frequency(k);
+//! assert!(f > 1e9 && f < 40e9);
+//! ```
+
+pub mod attenuation;
+pub mod dispersion;
+pub mod film;
+pub mod waveguide;
+
+mod error;
+
+pub use error::SwPhysError;
+
+/// Vacuum permeability μ₀ in T·m/A.
+pub const MU0: f64 = 1.256_637_061_435_917e-6;
+
+/// Gyromagnetic ratio of the electron |γ| in rad/(s·T).
+pub const GAMMA: f64 = 1.760_859_630_23e11;

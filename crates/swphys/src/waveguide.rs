@@ -1,0 +1,207 @@
+//! Width-quantized waveguide modes.
+//!
+//! In a waveguide of width `w` the transverse wavenumber is quantized,
+//! `k_y = nπ/w_eff` (n = 1, 2, …, with `w_eff` slightly larger than `w`
+//! for partially pinned edges \[43\]). The n-th mode then disperses as
+//! `ω_n(k_x) = ω(√(k_x² + k_y²))` on the isotropic film dispersion.
+//!
+//! The paper chooses **λ ≥ w** ("the width of the waveguide must be equal
+//! or less than wavelength λ") so only the fundamental n = 1 mode
+//! propagates cleanly — [`WaveguideDispersion::single_mode_at`] checks
+//! that design rule.
+
+use crate::dispersion::FvmswDispersion;
+use crate::SwPhysError;
+
+/// Edge pinning conditions for the transverse mode profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgePinning {
+    /// Fully pinned edges: `w_eff = w`.
+    #[default]
+    Pinned,
+    /// Partially pinned (dipolar) edges: `w_eff = w·(d/w → heuristic)`,
+    /// modelled as `w_eff = 1.25·w`, the typical effective widening
+    /// reported for nanoscopic waveguides \[43\].
+    PartiallyPinned,
+}
+
+/// Dispersion of a laterally confined waveguide built on a film mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveguideDispersion {
+    film: FvmswDispersion,
+    width: f64,
+    effective_width: f64,
+}
+
+impl WaveguideDispersion {
+    /// Wraps a film dispersion for a waveguide of the given width (m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwPhysError::InvalidParameter`] for a non-positive width.
+    pub fn new(
+        film: FvmswDispersion,
+        width: f64,
+        pinning: EdgePinning,
+    ) -> Result<Self, SwPhysError> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(SwPhysError::InvalidParameter {
+                parameter: "width",
+                reason: format!("must be positive and finite, got {width}"),
+            });
+        }
+        let effective_width = match pinning {
+            EdgePinning::Pinned => width,
+            EdgePinning::PartiallyPinned => 1.25 * width,
+        };
+        Ok(WaveguideDispersion {
+            film,
+            width,
+            effective_width,
+        })
+    }
+
+    /// Physical width in metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Effective width (after edge-pinning correction) in metres.
+    pub fn effective_width(&self) -> f64 {
+        self.effective_width
+    }
+
+    /// Transverse wavenumber of mode `n` (1-based) in rad/m.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (mode indices are 1-based).
+    pub fn transverse_wavenumber(&self, n: usize) -> f64 {
+        assert!(n >= 1, "waveguide mode indices are 1-based");
+        n as f64 * std::f64::consts::PI / self.effective_width
+    }
+
+    /// Frequency (Hz) of mode `n` at longitudinal wavenumber `kx` (rad/m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn mode_frequency(&self, n: usize, kx: f64) -> f64 {
+        let ky = self.transverse_wavenumber(n);
+        self.film.frequency((kx * kx + ky * ky).sqrt())
+    }
+
+    /// Cut-off frequency of mode `n` (its frequency at `kx = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn cutoff_frequency(&self, n: usize) -> f64 {
+        self.mode_frequency(n, 0.0)
+    }
+
+    /// True if, at drive frequency `f`, only the fundamental mode
+    /// propagates (f is above the n = 1 cut-off but below n = 2) — the
+    /// paper's clean-interference design rule.
+    pub fn single_mode_at(&self, f: f64) -> bool {
+        f >= self.cutoff_frequency(1) && f < self.cutoff_frequency(2)
+    }
+
+    /// Longitudinal wavenumber of mode `n` carrying frequency `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwPhysError::SolveFailed`] if `f` is below the mode
+    /// cut-off or outside the search bracket.
+    pub fn longitudinal_wavenumber(
+        &self,
+        n: usize,
+        f: f64,
+        kx_max: f64,
+    ) -> Result<f64, SwPhysError> {
+        let ky = self.transverse_wavenumber(n);
+        let k_total = self.film.wavenumber_for_frequency(
+            f,
+            ky,
+            (kx_max * kx_max + ky * ky).sqrt(),
+        )?;
+        Ok((k_total * k_total - ky * ky).max(0.0).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::film::PerpendicularFilm;
+
+    fn paper_waveguide(pinning: EdgePinning) -> WaveguideDispersion {
+        let film = FvmswDispersion::for_film(&PerpendicularFilm::fecob(1e-9));
+        WaveguideDispersion::new(film, 50e-9, pinning).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let film = FvmswDispersion::for_film(&PerpendicularFilm::fecob(1e-9));
+        assert!(WaveguideDispersion::new(film, 0.0, EdgePinning::Pinned).is_err());
+        assert!(WaveguideDispersion::new(film, -1e-9, EdgePinning::Pinned).is_err());
+    }
+
+    #[test]
+    fn cutoffs_increase_with_mode_index() {
+        let wg = paper_waveguide(EdgePinning::Pinned);
+        assert!(wg.cutoff_frequency(1) < wg.cutoff_frequency(2));
+        assert!(wg.cutoff_frequency(2) < wg.cutoff_frequency(3));
+    }
+
+    #[test]
+    fn partially_pinned_widens_the_guide() {
+        let pinned = paper_waveguide(EdgePinning::Pinned);
+        let partial = paper_waveguide(EdgePinning::PartiallyPinned);
+        assert!(partial.effective_width() > pinned.effective_width());
+        // Wider effective guide -> lower cut-off.
+        assert!(partial.cutoff_frequency(1) < pinned.cutoff_frequency(1));
+    }
+
+    #[test]
+    fn mode_frequency_reduces_to_film_at_total_k() {
+        let wg = paper_waveguide(EdgePinning::Pinned);
+        let film = FvmswDispersion::for_film(&PerpendicularFilm::fecob(1e-9));
+        let kx = 5e7;
+        let ky = wg.transverse_wavenumber(1);
+        let expected = film.frequency((kx * kx + ky * ky).sqrt());
+        assert!((wg.mode_frequency(1, kx) - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn longitudinal_wavenumber_round_trips() {
+        let wg = paper_waveguide(EdgePinning::Pinned);
+        let kx_true = 8e7;
+        let f = wg.mode_frequency(1, kx_true);
+        let kx = wg.longitudinal_wavenumber(1, f, 1e9).unwrap();
+        assert!((kx - kx_true).abs() / kx_true < 1e-6);
+    }
+
+    #[test]
+    fn below_cutoff_fails_to_solve() {
+        let wg = paper_waveguide(EdgePinning::Pinned);
+        let f = wg.cutoff_frequency(1) * 0.9;
+        assert!(wg.longitudinal_wavenumber(1, f, 1e9).is_err());
+    }
+
+    #[test]
+    fn single_mode_window_exists_for_the_papers_geometry() {
+        let wg = paper_waveguide(EdgePinning::PartiallyPinned);
+        let f1 = wg.cutoff_frequency(1);
+        let f2 = wg.cutoff_frequency(2);
+        let mid = 0.5 * (f1 + f2);
+        assert!(wg.single_mode_at(mid));
+        assert!(!wg.single_mode_at(f2 * 1.01));
+        assert!(!wg.single_mode_at(f1 * 0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn mode_zero_panics() {
+        paper_waveguide(EdgePinning::Pinned).transverse_wavenumber(0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the analytic spin-wave physics.
+
+use proptest::prelude::*;
+
+use swphys::attenuation::Attenuation;
+use swphys::dispersion::FvmswDispersion;
+use swphys::film::PerpendicularFilm;
+use swphys::waveguide::{EdgePinning, WaveguideDispersion};
+
+fn paper_film() -> PerpendicularFilm {
+    PerpendicularFilm::fecob(1e-9)
+}
+
+proptest! {
+    /// The FVMSW dispersion is monotonically increasing in |k|.
+    #[test]
+    fn dispersion_is_monotone(k1 in 1e5f64..5e8, k2 in 1e5f64..5e8) {
+        let disp = FvmswDispersion::for_film(&paper_film());
+        let (lo, hi) = if k1 < k2 { (k1, k2) } else { (k2, k1) };
+        prop_assume!(hi - lo > 1.0);
+        prop_assert!(disp.omega(hi) > disp.omega(lo));
+    }
+
+    /// The wavenumber solver inverts the dispersion for any in-band k.
+    #[test]
+    fn wavenumber_solver_inverts(k in 1e6f64..4e8) {
+        let disp = FvmswDispersion::for_film(&paper_film());
+        let f = disp.frequency(k);
+        let solved = disp.wavenumber_for_frequency(f, 0.0, 5e8).expect("in band");
+        prop_assert!((solved - k).abs() / k < 1e-6);
+    }
+
+    /// Group velocity is non-negative everywhere in band.
+    #[test]
+    fn group_velocity_is_non_negative(k in 1e6f64..4e8) {
+        let disp = FvmswDispersion::for_film(&paper_film());
+        prop_assert!(disp.group_velocity(k) >= 0.0);
+    }
+
+    /// Attenuation lifetime decreases with damping and frequency.
+    #[test]
+    fn lifetime_decreases_with_damping(
+        k in 1e7f64..3e8,
+        a1 in 1e-4f64..0.05,
+        a2 in 1e-4f64..0.05,
+    ) {
+        let disp = FvmswDispersion::for_film(&paper_film());
+        let (lo, hi) = if a1 < a2 { (a1, a2) } else { (a2, a1) };
+        prop_assume!(hi / lo > 1.001);
+        let t_lo = Attenuation::for_mode(&disp, k, lo).lifetime();
+        let t_hi = Attenuation::for_mode(&disp, k, hi).lifetime();
+        prop_assert!(t_hi < t_lo);
+    }
+
+    /// Amplitude after propagation is always in (0, 1].
+    #[test]
+    fn decay_fraction_is_physical(k in 1e7f64..3e8, d in 0.0f64..1e-5) {
+        let disp = FvmswDispersion::for_film(&paper_film());
+        let att = Attenuation::for_mode(&disp, k, 0.004);
+        let a = att.amplitude_after(d);
+        prop_assert!(a > 0.0 && a <= 1.0);
+    }
+
+    /// Waveguide mode cut-offs increase with the mode index for any
+    /// physical width.
+    #[test]
+    fn waveguide_cutoffs_are_ordered(width in 20e-9f64..200e-9) {
+        let disp = FvmswDispersion::for_film(&paper_film());
+        let wg = WaveguideDispersion::new(disp, width, EdgePinning::Pinned).expect("valid");
+        prop_assert!(wg.cutoff_frequency(1) < wg.cutoff_frequency(2));
+        prop_assert!(wg.cutoff_frequency(2) < wg.cutoff_frequency(3));
+    }
+
+    /// Narrower guides have higher fundamental cut-offs.
+    #[test]
+    fn narrower_guides_cut_off_higher(w1 in 20e-9f64..200e-9, w2 in 20e-9f64..200e-9) {
+        prop_assume!((w1 - w2).abs() > 1e-9);
+        let disp = FvmswDispersion::for_film(&paper_film());
+        let (narrow, wide) = if w1 < w2 { (w1, w2) } else { (w2, w1) };
+        let n = WaveguideDispersion::new(disp, narrow, EdgePinning::Pinned).expect("valid");
+        let w = WaveguideDispersion::new(disp, wide, EdgePinning::Pinned).expect("valid");
+        prop_assert!(n.cutoff_frequency(1) > w.cutoff_frequency(1));
+    }
+
+    /// A biased film has a higher band bottom (ω₀ grows with H_ext).
+    #[test]
+    fn bias_raises_the_band(h in 0.0f64..5e5) {
+        let base = paper_film();
+        let biased = PerpendicularFilm::new(
+            base.ms(), base.aex(), base.alpha(), 0.832e6, 1e-9, h,
+        );
+        let d0 = FvmswDispersion::for_film(&base);
+        let db = FvmswDispersion::for_film(&biased);
+        prop_assert!(db.omega(0.0) >= d0.omega(0.0));
+    }
+}

@@ -1,0 +1,85 @@
+//! The §IV-A design flow: from film parameters to gate dimensions.
+//!
+//! "The spin wave wavelength is chosen to be 55 nm ... Once the
+//! wavelength is determined, the dimensions of the device can be
+//! calculated ... from the SW dispersion relation ... a SW frequency was
+//! determined."
+//!
+//! Run with `cargo run --example dispersion_design`.
+
+use swgates::layout::{TriangleMaj3Layout, TriangleXorLayout};
+use swgates::op::OperatingPoint;
+use swphys::attenuation::Attenuation;
+use swphys::dispersion::FvmswDispersion;
+use swphys::film::PerpendicularFilm;
+use swphys::waveguide::{EdgePinning, WaveguideDispersion};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1: the film (§IV-A material parameters).
+    let film = PerpendicularFilm::fecob(1e-9);
+    println!("Fe60Co20B20 film, 1 nm thick:");
+    println!("  anisotropy field    {:.0} kA/m", film.anisotropy_field() / 1e3);
+    println!("  internal field      {:.0} kA/m", film.internal_field() / 1e3);
+    println!("  out-of-plane stable {}", film.is_stable());
+    println!("  FMR frequency       {:.2} GHz", film.fmr_frequency() / 1e9);
+    assert!(film.is_stable(), "FVMSWs need a perpendicular film");
+
+    // Step 2: dispersion and the operating point at λ = 55 nm.
+    let dispersion = FvmswDispersion::for_film(&film);
+    println!("\nKalinikos–Slavin dispersion f(λ):");
+    for lambda_nm in [200.0, 125.0, 100.0, 80.0, 55.0, 40.0] {
+        let f = dispersion.frequency_for_wavelength(lambda_nm * 1e-9);
+        println!("  λ = {lambda_nm:>5.0} nm -> f = {:>6.2} GHz", f / 1e9);
+    }
+    let op = OperatingPoint::paper()?;
+    println!(
+        "\noperating point: λ = 55 nm, f = {:.2} GHz, k = {:.1} rad/µm, v_g = {:.0} m/s",
+        op.frequency() / 1e9,
+        op.wavenumber() / 1e6,
+        op.group_velocity()
+    );
+    println!(
+        "(the paper quotes 10 GHz with k = 50 rad/µm; note 2π/55 nm = 114 rad/µm — see \
+         EXPERIMENTS.md)"
+    );
+
+    // Step 3: check the paper's loss assumption.
+    let att = Attenuation::for_mode(&dispersion, op.wavenumber(), film.alpha());
+    println!(
+        "\nattenuation: τ = {:.2} ns, L_att = {:.2} µm (gate paths are ≤ {:.2} µm -> \
+         assumption (iv) holds)",
+        att.lifetime() * 1e9,
+        att.decay_length() * 1e6,
+        TriangleMaj3Layout::paper().path_i1() * 1e6
+    );
+
+    // Step 4: waveguide mode structure (w ≤ λ rule).
+    let guide = WaveguideDispersion::new(dispersion, 50e-9, EdgePinning::PartiallyPinned)?;
+    println!(
+        "\n50 nm waveguide (partially pinned edges): n=1 cutoff {:.2} GHz, n=2 cutoff {:.2} GHz",
+        guide.cutoff_frequency(1) / 1e9,
+        guide.cutoff_frequency(2) / 1e9
+    );
+    println!(
+        "single-mode at the operating frequency: {}",
+        guide.single_mode_at(op.frequency())
+    );
+
+    // Step 5: the gate dimensions fall out of λ (§III-A design rules).
+    let maj = TriangleMaj3Layout::paper();
+    let xor = TriangleXorLayout::paper();
+    println!("\nMAJ3 dimensions (all n·λ): d1 = {:.0} nm (6λ), d2 = {:.0} nm (16λ), d3 = {:.0} nm (4λ), d4 = {:.0} nm (1λ)",
+        maj.d1() * 1e9, maj.d2() * 1e9, maj.d3() * 1e9, maj.d4() * 1e9);
+    println!(
+        "input paths: I1 = {:.0}λ, I2 = {:.0}λ, I3 = {:.0}λ — integer multiples ⇒ constructive",
+        maj.path_i1() / maj.wavelength(),
+        maj.path_i2() / maj.wavelength(),
+        maj.path_i3() / maj.wavelength()
+    );
+    println!(
+        "XOR dimensions: d1 = {:.0} nm (6λ), stub d2 = {:.0} nm (as small as possible, §III-B)",
+        xor.d1() * 1e9,
+        xor.d2() * 1e9
+    );
+    Ok(())
+}

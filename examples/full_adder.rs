@@ -1,0 +1,70 @@
+//! Circuit-level demonstration of the fan-out of 2: the full adder of
+//! §II-B ("the Full Adder carry out is computed as a 3-input majority")
+//! and a ripple-carry adder whose interior carries each drive exactly
+//! two next-stage gates — the scenario the paper's FO2 gates exist for.
+//!
+//! Run with `cargo run --example full_adder`.
+
+use swgates::circuit::Circuit;
+use swgates::encoding::{all_patterns, Bit};
+use swperf::circuit_cost::{fanout2_cost, fanout_advantage};
+use swperf::mecell::MeCell;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Full adder: sum = a ⊕ b ⊕ cin, carry = MAJ3(a, b, cin) -----------
+    let fa = Circuit::full_adder();
+    println!("{fa}");
+    println!("a b cin | sum carry");
+    for p in all_patterns::<3>() {
+        let out = fa.evaluate(&p)?;
+        println!("{} {}  {}  |  {}    {}", p[0], p[1], p[2], out[0], out[1]);
+        let total = p.iter().map(|b| b.as_u8() as usize).sum::<usize>();
+        assert_eq!(out[0].as_u8() as usize, total % 2);
+        assert_eq!(out[1].as_u8() as usize, total / 2);
+    }
+
+    let me = MeCell::paper();
+    let cost = fanout2_cost(&fa, &me);
+    println!(
+        "\nfull adder cost (triangle gates): {:.2} aJ, {:.2} ns, {} transducers\n",
+        cost.energy_aj(),
+        cost.delay_ns(),
+        cost.transducers
+    );
+
+    // ---- Ripple-carry adder: the fan-out payoff ----------------------------
+    println!("ripple-carry adders — FO2 triangle gates vs replicated single-output gates:");
+    println!("bits |   FO2 energy | replicated | saving");
+    for n in [4, 8, 16, 32] {
+        let adder = Circuit::ripple_carry_adder(n);
+        assert!(adder.fanout_violations().is_empty(), "FO2 suffices by construction");
+        let (fo2, rep, saving) = fanout_advantage(&adder, &me);
+        println!(
+            "{n:>4} | {:>9.1} aJ | {:>7.1} aJ | {:>5.1}%",
+            fo2.energy_aj(),
+            rep.energy_aj(),
+            saving * 100.0
+        );
+    }
+
+    // Sanity: a 32-bit add.
+    let adder = Circuit::ripple_carry_adder(32);
+    let a: u64 = 0xDEAD_BEEF;
+    let b: u64 = 0x0BAD_F00D;
+    let mut inputs = Vec::new();
+    for i in 0..32 {
+        inputs.push(Bit::from_bool(a >> i & 1 == 1));
+    }
+    for i in 0..32 {
+        inputs.push(Bit::from_bool(b >> i & 1 == 1));
+    }
+    inputs.push(Bit::Zero);
+    let out = adder.evaluate(&inputs)?;
+    let mut sum = 0u64;
+    for (i, bit) in out.iter().enumerate() {
+        sum |= (bit.as_u8() as u64) << i;
+    }
+    assert_eq!(sum, a + b);
+    println!("\n32-bit add check: {a:#x} + {b:#x} = {sum:#x} ✓");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build the paper's triangle MAJ3 gate, evaluate one input
+//! pattern on the fast analytic backend, and inspect both outputs.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use swgates::prelude::*;
+
+fn main() -> Result<(), SwGateError> {
+    // The paper's §IV-A gate: λ = 55 nm, FeCoB film, d1..d4 per Fig. 3.
+    let gate = Maj3Gate::paper();
+    let backend = AnalyticBackend::paper();
+
+    println!("Fan-out of 2 triangle MAJ3 gate (DATE 2021 reproduction)");
+    println!(
+        "operating point: λ = {:.0} nm, f = {:.2} GHz, v_g = {:.0} m/s, L_att = {:.2} µm",
+        backend.operating_point().wavelength() * 1e9,
+        backend.operating_point().frequency() / 1e9,
+        backend.operating_point().group_velocity(),
+        backend.operating_point().attenuation_length() * 1e6,
+    );
+
+    let inputs = [Bit::One, Bit::Zero, Bit::One];
+    let out = gate.evaluate(&backend, inputs)?;
+    println!(
+        "\ninputs (I1, I2, I3) = ({}, {}, {})",
+        inputs[0], inputs[1], inputs[2]
+    );
+    println!(
+        "O1: normalized amplitude {:.3}, phase {:+.3} rad  ->  logic {}",
+        out.o1.normalized, out.o1.phase, out.o1.bit
+    );
+    println!(
+        "O2: normalized amplitude {:.3}, phase {:+.3} rad  ->  logic {}",
+        out.o2.normalized, out.o2.phase, out.o2.bit
+    );
+    assert_eq!(out.o1.bit, Bit::majority(inputs[0], inputs[1], inputs[2]));
+    assert!(out.fanout_consistent(), "both outputs must agree (FO2)");
+    println!("\nfan-out of 2 verified: both outputs carry MAJ(I1, I2, I3) = {}", out.o1.bit);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's Table II (FO2 XOR normalized output
+//! magnetization), sweeps the detection threshold to show why 0.5 is the
+//! right choice (§IV-C), and demonstrates the XNOR polarity flip.
+//!
+//! Run with `cargo run --example xor_threshold`.
+
+use swgates::detect::{Polarity, ThresholdDetector};
+use swgates::encoding::all_patterns;
+use swgates::prelude::*;
+
+fn main() -> Result<(), SwGateError> {
+    let backend = AnalyticBackend::paper();
+    let gate = XorGate::paper();
+
+    // ---- Table II analogue -------------------------------------------------
+    let table = gate.truth_table(&backend)?;
+    println!("{}", table.render("Table II analogue — FO2 XOR normalized output magnetization"));
+    table.verify(|p| Bit::xor(p[0], p[1]))?;
+
+    // ---- Threshold margin analysis -----------------------------------------
+    let strong = table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]);
+    let weak = table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]);
+    println!(
+        "equal-input amplitudes ≥ {strong:.3}, unequal-input ≤ {weak:.3e} — any threshold in \
+         ({weak:.3}, {strong:.3}) decodes XOR; the paper picks 0.5\n"
+    );
+
+    println!("threshold sweep (fraction of patterns decoded correctly):");
+    for threshold in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let detector = ThresholdDetector::new(threshold, Polarity::Xor).with_margin(0.0);
+        let sweep_gate = XorGate::paper().with_detector(detector);
+        let mut correct = 0;
+        for p in all_patterns::<2>() {
+            if let Ok(out) = sweep_gate.evaluate(&backend, p) {
+                if out.o1.bit == Bit::xor(p[0], p[1]) && out.o2.bit == out.o1.bit {
+                    correct += 1;
+                }
+            }
+        }
+        println!("  threshold {threshold:.1}: {correct}/4 correct");
+    }
+
+    // ---- XNOR: the flipped condition ---------------------------------------
+    let xnor = XnorGate::paper();
+    println!("\nXNOR (flipped threshold condition):");
+    for p in all_patterns::<2>() {
+        let out = xnor.evaluate(&backend, p)?;
+        println!("  {} {} -> {}", p[0], p[1], out.o1.bit);
+        assert_eq!(out.o1.bit, !Bit::xor(p[0], p[1]));
+    }
+    Ok(())
+}

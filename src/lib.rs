@@ -1,0 +1,17 @@
+//! # spinwave-repro — umbrella crate
+//!
+//! Reproduction of *"Fan-out of 2 Triangle Shape Spin Wave Logic Gates"*
+//! (Mahmoud et al., DATE 2021). This crate re-exports the workspace
+//! members so examples and integration tests can use one coherent API:
+//!
+//! * [`magnum`] — the micromagnetic (LLG) solver substrate.
+//! * [`swphys`] — analytic spin-wave physics (dispersion, attenuation).
+//! * [`swgates`] — the paper's triangle-shape fan-out-of-2 gates.
+//! * [`swperf`] — the energy/delay performance model (Table III).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use magnum;
+pub use swgates;
+pub use swperf;
+pub use swphys;

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the analytic gate stack end to end
+//! (layout rules → operating point → interference model → detection →
+//! truth tables → performance model).
+
+use swgates::encoding::{all_patterns, Bit};
+use swgates::prelude::*;
+use swperf::compare::Comparison;
+use swperf::swcost::SwGateKind;
+
+#[test]
+fn table_i_shape_holds_on_the_analytic_backend() {
+    let table = Maj3Gate::paper()
+        .truth_table(&AnalyticBackend::paper())
+        .expect("analytic evaluation succeeds");
+    table
+        .verify(|p| Bit::majority(p[0], p[1], p[2]))
+        .expect("majority function");
+    assert!(table.fanout_consistent());
+    assert!(table.max_fanout_mismatch() < 1e-12, "O1 and O2 identical");
+    for row in table.rows() {
+        let unanimous = row.inputs.iter().all(|&b| b == row.inputs[0]);
+        if unanimous {
+            assert!((row.outputs.o1.normalized - 1.0).abs() < 1e-9);
+        } else {
+            // The paper's minority rows are 0.083-0.164; ours are
+            // suppressed below 0.5 (shape, not absolute values).
+            assert!(
+                row.outputs.o1.normalized < 0.5,
+                "minority {:?} too strong: {}",
+                row.inputs,
+                row.outputs.o1.normalized
+            );
+        }
+    }
+}
+
+#[test]
+fn table_ii_shape_holds_on_the_analytic_backend() {
+    let table = XorGate::paper()
+        .truth_table(&AnalyticBackend::paper())
+        .expect("analytic evaluation succeeds");
+    table.verify(|p| Bit::xor(p[0], p[1])).expect("xor function");
+    // Equal inputs: ~1 (paper: 0.99/1); unequal: ~0 (paper: ≈0).
+    assert!(table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]) > 0.95);
+    assert!(table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]) < 0.05);
+}
+
+#[test]
+fn all_derived_gates_realize_their_functions() {
+    let backend = AnalyticBackend::paper();
+    let and = AndGate::paper().expect("layout");
+    let or = OrGate::paper().expect("layout");
+    let nand = NandGate::paper().expect("layout");
+    let nor = NorGate::paper().expect("layout");
+    let xnor = XnorGate::paper();
+    for p in all_patterns::<2>() {
+        let (a, b) = (p[0].as_bool(), p[1].as_bool());
+        assert_eq!(and.evaluate(&backend, p).unwrap().o1.bit.as_bool(), a && b);
+        assert_eq!(or.evaluate(&backend, p).unwrap().o1.bit.as_bool(), a || b);
+        assert_eq!(nand.evaluate(&backend, p).unwrap().o1.bit.as_bool(), !(a && b));
+        assert_eq!(nor.evaluate(&backend, p).unwrap().o1.bit.as_bool(), !(a || b));
+        assert_eq!(xnor.evaluate(&backend, p).unwrap().o1.bit.as_bool(), a == b);
+    }
+}
+
+#[test]
+fn triangle_and_ladder_agree_while_triangle_is_cheaper() {
+    let backend = AnalyticBackend::paper();
+    let triangle = Maj3Gate::paper().truth_table(&backend).unwrap();
+    let ladder = LadderMaj3Gate::paper().truth_table(&backend).unwrap();
+    for (t, l) in triangle.rows().iter().zip(ladder.rows().iter()) {
+        assert_eq!(t.outputs.o1.bit, l.outputs.o1.bit, "{:?}", t.inputs);
+    }
+    // The whole point: same function at 25% lower energy.
+    let tri = SwGateKind::TriangleMaj3.paper_cost();
+    let lad = SwGateKind::LadderMaj3.paper_cost();
+    assert!((1.0 - tri.energy() / lad.energy() - 0.25).abs() < 1e-9);
+}
+
+#[test]
+fn table_iii_rows_match_the_paper_exactly() {
+    let t = Comparison::paper();
+    // Paper Table III (energy aJ, delay ns, cells).
+    let expect = [
+        (t.cmos16_maj, 466.0, 0.03, 16),
+        (t.cmos16_xor, 303.0, 0.03, 8),
+        (t.cmos7_maj, 16.4, 0.02, 16),
+        (t.cmos7_xor, 5.4, 0.01, 8),
+        (t.sw_prior_maj, 13.76, 0.42, 6),
+        (t.sw_prior_xor, 13.76, 0.42, 6),
+        (t.this_work_maj, 10.32, 0.42, 5),
+        (t.this_work_xor, 6.88, 0.42, 4),
+    ];
+    for (cost, energy_aj, delay_ns, cells) in expect {
+        assert!(
+            (cost.energy_aj() - energy_aj).abs() < 0.05,
+            "energy {} != {energy_aj}",
+            cost.energy_aj()
+        );
+        assert!((cost.delay_ns() - delay_ns).abs() < 0.01);
+        assert_eq!(cost.device_count(), cells);
+    }
+}
+
+#[test]
+fn abstract_ratio_claims_hold() {
+    let r = Comparison::paper().ratios();
+    // "energy reduction of 25%-50% in comparison to the other 2-output
+    // spin-wave devices while having the same delay"
+    assert!(r.energy_saving_vs_sw_maj >= 0.249 && r.energy_saving_vs_sw_xor <= 0.501);
+    // "energy reduction of 43x-0.8x when compared to the 16 nm and 7 nm
+    // CMOS counterparts"
+    assert!(r.energy_reduction_vs_cmos16_xor > 40.0);
+    assert!(r.energy_reduction_vs_cmos7_xor < 1.0);
+    // "delay overhead of 11x-40x"
+    assert!(r.delay_overhead_vs_cmos16_maj > 10.0);
+    assert!(r.delay_overhead_vs_cmos7_xor < 45.0);
+}
+
+#[test]
+fn operating_point_supports_the_paper_assumptions() {
+    let op = OperatingPoint::paper().expect("paper film is valid");
+    let layout = TriangleMaj3Layout::paper();
+    // Assumption (iv): propagation loss negligible. Longest path loses
+    // less than half its amplitude.
+    let worst = op.decay_over(layout.path_i1());
+    assert!(worst > 0.5, "attenuation over the longest path: {worst}");
+    // The non-reciprocity-free FVMSW band: drive well above FMR.
+    assert!(op.frequency() > op.film().fmr_frequency());
+}
+
+#[test]
+fn undecodable_conditions_surface_as_errors() {
+    // A threshold detector with a huge margin cannot decode mid-range
+    // amplitudes; the error must propagate, not panic.
+    let gate = XorGate::paper().with_detector(
+        swgates::detect::ThresholdDetector::new(0.5, swgates::detect::Polarity::Xor)
+            .with_margin(0.6),
+    );
+    let result = gate.evaluate(&AnalyticBackend::paper(), [Bit::Zero, Bit::Zero]);
+    assert!(matches!(result, Err(SwGateError::Undecodable { .. })));
+}
+
+#[test]
+fn inverting_stub_produces_the_nmaj_gate_end_to_end() {
+    let layout =
+        TriangleMaj3Layout::new(55e-9, 50e-9, 330e-9, 880e-9, 220e-9, 82.5e-9).unwrap();
+    assert!(layout.inverting_output());
+    let gate = Maj3Gate::new(layout);
+    let table = gate.truth_table(&AnalyticBackend::paper()).unwrap();
+    table
+        .verify(|p| !Bit::majority(p[0], p[1], p[2]))
+        .expect("inverted majority");
+}

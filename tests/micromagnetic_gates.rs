@@ -1,0 +1,133 @@
+//! Cross-crate integration tests for the micromagnetic backend: the
+//! in-silico MuMax3-style validation of §IV on scaled-down gates.
+//!
+//! These run full LLG simulations; the geometries are miniature
+//! (λ-multiples 2-4 instead of the paper's 4-16) so the suite stays in
+//! CI territory while exercising exactly the same code paths as the
+//! full-size `repro --mumag` experiments.
+
+use swgates::encoding::{all_patterns, Bit};
+use swgates::prelude::*;
+
+fn mini_xor_layout() -> TriangleXorLayout {
+    TriangleXorLayout::new(55e-9, 50e-9, 110e-9, 40e-9).expect("valid mini layout")
+}
+
+fn mini_maj3_layout() -> TriangleMaj3Layout {
+    TriangleMaj3Layout::from_multiples(55e-9, 50e-9, 2, 3, 4, 1).expect("valid mini layout")
+}
+
+#[test]
+fn xor_truth_table_is_correct_micromagnetically() {
+    let backend = MumagBackend::fast().with_measure_periods(3);
+    let gate = XorGate::new(mini_xor_layout());
+    let table = gate.truth_table(&backend).expect("simulations run");
+    table
+        .verify(|p| Bit::xor(p[0], p[1]))
+        .expect("XOR decodes with threshold 0.5");
+    // Table II shape: equal inputs strong, unequal suppressed.
+    let strong = table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]);
+    let weak = table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]);
+    assert!(strong > 0.9, "strong rows at {strong}");
+    assert!(weak < 0.35, "weak rows at {weak}");
+    // Fan-out of 2: identical outputs within a few percent.
+    assert!(
+        table.max_fanout_mismatch() < 0.1,
+        "fan-out mismatch {}",
+        table.max_fanout_mismatch()
+    );
+}
+
+#[test]
+fn maj3_decodes_majority_micromagnetically() {
+    let backend = MumagBackend::fast().with_measure_periods(3);
+    let gate = Maj3Gate::new(mini_maj3_layout()).with_phase_margin(std::f64::consts::PI / 32.0);
+    let table = gate.truth_table(&backend).expect("simulations run");
+    table
+        .verify(|p| Bit::majority(p[0], p[1], p[2]))
+        .expect("majority decodes by phase at both outputs");
+    // Unanimous patterns carry full amplitude.
+    for row in table.rows() {
+        let unanimous = row.inputs.iter().all(|&b| b == row.inputs[0]);
+        if unanimous {
+            assert!(
+                (row.outputs.o1.normalized - 1.0).abs() < 0.1,
+                "unanimous {:?} amplitude {}",
+                row.inputs,
+                row.outputs.o1.normalized
+            );
+        }
+    }
+}
+
+#[test]
+fn maj3_transfer_is_cached_and_balanced() {
+    let backend = MumagBackend::fast();
+    let layout = mini_maj3_layout();
+    let trims = backend.maj3_trims(&layout).expect("calibration runs");
+    assert_eq!(trims.len(), 3);
+    // Second call must be served from the cache (same values).
+    let again = backend.maj3_trims(&layout).expect("cached");
+    for (a, b) in trims.iter().zip(again.iter()) {
+        assert_eq!(a.amplitude_scale, b.amplitude_scale);
+        assert_eq!(a.phase_offset, b.phase_offset);
+    }
+    // Trims are physical: scales in (0, 1], phases finite.
+    for t in &trims {
+        assert!(t.amplitude_scale > 0.0 && t.amplitude_scale <= 1.0 + 1e-12);
+        assert!(t.phase_offset.is_finite());
+    }
+}
+
+#[test]
+fn single_input_transfer_reaches_both_outputs() {
+    let backend = MumagBackend::fast();
+    let transfer = backend
+        .xor_transfer(&mini_xor_layout())
+        .expect("transfer runs");
+    assert_eq!(transfer.len(), 2);
+    for (i, (o1, o2)) in transfer.iter().enumerate() {
+        assert!(o1.abs() > 1e-7, "input {i} does not reach O1");
+        assert!(o2.abs() > 1e-7, "input {i} does not reach O2");
+        // The fan-out splitter delivers comparable copies.
+        let ratio = o1.abs() / o2.abs();
+        assert!((0.5..2.0).contains(&ratio), "input {i} split ratio {ratio}");
+    }
+}
+
+#[test]
+fn thermal_noise_at_100k_does_not_corrupt_the_xor() {
+    // §IV-D: "the gates function correctly at different temperatures".
+    // Note the paper itself did NOT simulate temperature (it cites [36],
+    // [43]); this is our extension. At 100 K the thermal-magnon
+    // background in a 1 nm film is comparable to a weakly driven signal,
+    // so the readout needs a stronger drive and a longer DFT window to
+    // average the stochastic field down — with 40 kA/m antennas and 16
+    // measured periods the threshold detector separates the cases with
+    // ample margin (weak ≤ ~0.35, strong ≥ ~0.65).
+    let backend = MumagBackend::fast()
+        .with_temperature(100.0, 1234)
+        .with_drive_amplitude(40e3)
+        .with_measure_periods(16);
+    let gate = XorGate::new(mini_xor_layout());
+    let table = gate.truth_table(&backend).expect("simulations run");
+    table
+        .verify(|p| Bit::xor(p[0], p[1]))
+        .expect("XOR survives thermal noise at 100 K");
+}
+
+#[test]
+fn snapshots_capture_the_wave_pattern() {
+    let backend = MumagBackend::fast().with_measure_periods(2);
+    let run = backend
+        .xor_run(&mini_xor_layout(), [Bit::Zero, Bit::Zero])
+        .expect("run");
+    let snap = &run.snapshot;
+    // The interference pattern leaves a visible m_x ripple.
+    assert!(snap.max() > 1e-4, "no wave recorded: max {}", snap.max());
+    assert!(snap.min() < -1e-4);
+    // CSV export is well-formed.
+    let csv = snap.to_csv();
+    assert!(csv.lines().count() > 100);
+    assert!(csv.starts_with("ix,iy,value"));
+}

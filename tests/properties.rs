@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+
+use magnum::math::{Complex64, Vec3};
+use swgates::circuit::{Circuit, GateKind, Signal};
+use swgates::encoding::Bit;
+use swgates::prelude::*;
+use swgates::wavemodel::JunctionModel;
+
+fn arbitrary_bit() -> impl Strategy<Value = Bit> {
+    prop_oneof![Just(Bit::Zero), Just(Bit::One)]
+}
+
+proptest! {
+    /// Phase encoding is an involution: decode(encode(b)) == b for any
+    /// phase detector reference-consistent setup.
+    #[test]
+    fn phase_encoding_round_trips(b in arbitrary_bit()) {
+        let detector = swgates::detect::PhaseDetector::new(0.0);
+        prop_assert_eq!(detector.decode(b.phase()).unwrap(), b);
+    }
+
+    /// The analytic MAJ3 gate computes the majority for every pattern,
+    /// any valid λ-multiple geometry, with both outputs in agreement.
+    #[test]
+    fn maj3_is_majority_for_random_layouts(
+        n1 in 1u32..6,
+        n2 in 1u32..10,
+        n3 in 1u32..6,
+        n4 in 1u32..3,
+        bits in prop::array::uniform3(arbitrary_bit()),
+    ) {
+        let layout = TriangleMaj3Layout::from_multiples(55e-9, 50e-9, n1, n2, n3, n4)
+            .expect("multiples are valid by construction");
+        let gate = Maj3Gate::new(layout);
+        let backend = AnalyticBackend::paper();
+        let out = gate.evaluate(&backend, bits).expect("decodable");
+        prop_assert_eq!(out.o1.bit, Bit::majority(bits[0], bits[1], bits[2]));
+        prop_assert_eq!(out.o2.bit, out.o1.bit);
+    }
+
+    /// XOR holds for any valid geometry and input pattern.
+    #[test]
+    fn xor_is_xor_for_random_layouts(
+        n1 in 1u32..8,
+        d2_nm in 10.0f64..100.0,
+        bits in prop::array::uniform2(arbitrary_bit()),
+    ) {
+        let layout = TriangleXorLayout::new(
+            55e-9,
+            50e-9,
+            n1 as f64 * 55e-9,
+            d2_nm * 1e-9,
+        ).expect("valid by construction");
+        let gate = XorGate::new(layout);
+        let out = gate.evaluate(&AnalyticBackend::paper(), bits).expect("decodable");
+        prop_assert_eq!(out.o1.bit, Bit::xor(bits[0], bits[1]));
+    }
+
+    /// The junction model never creates energy: |out|² ≤ |a|² + |b|².
+    #[test]
+    fn junction_is_passive(
+        ar in -1.0f64..1.0, ai in -1.0f64..1.0,
+        br in -1.0f64..1.0, bi in -1.0f64..1.0,
+        t in 0.1f64..1.0, beta in 0.0f64..4.0,
+    ) {
+        let j = JunctionModel::new(t, beta).expect("valid");
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let out = j.combine(a, b);
+        prop_assert!(out.abs_sq() <= a.abs_sq() + b.abs_sq() + 1e-12,
+            "junction created energy: |out|² = {} > {}", out.abs_sq(), a.abs_sq() + b.abs_sq());
+    }
+
+    /// Junction output is symmetric in its arguments.
+    #[test]
+    fn junction_is_symmetric(
+        ar in -1.0f64..1.0, ai in -1.0f64..1.0,
+        br in -1.0f64..1.0, bi in -1.0f64..1.0,
+    ) {
+        let j = JunctionModel::calibrated();
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        prop_assert!((j.combine(a, b) - j.combine(b, a)).abs() < 1e-12);
+    }
+
+    /// Vec3 normalization invariants (exercised across every solver step).
+    #[test]
+    fn vec3_normalized_has_unit_norm(
+        x in -1e3f64..1e3, y in -1e3f64..1e3, z in -1e3f64..1e3,
+    ) {
+        let v = Vec3::new(x, y, z);
+        prop_assume!(v.norm() > 1e-9);
+        prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    /// Circuit evaluation matches a plain functional model on random
+    /// 2-level netlists.
+    #[test]
+    fn circuits_match_reference_evaluation(
+        kinds in prop::collection::vec(
+            prop_oneof![
+                Just(GateKind::And), Just(GateKind::Or),
+                Just(GateKind::Xor), Just(GateKind::Nand),
+                Just(GateKind::Nor), Just(GateKind::Xnor),
+            ],
+            1..5,
+        ),
+        inputs in prop::collection::vec(arbitrary_bit(), 4),
+    ) {
+        let mut circuit = Circuit::new(4);
+        let mut reference: Vec<Box<dyn Fn(&[Bit]) -> Bit>> = Vec::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            let a = i % 4;
+            let b = (i + 1) % 4;
+            let signal = circuit
+                .add_gate(*kind, vec![Signal::Input(a), Signal::Input(b)])
+                .expect("valid");
+            circuit.mark_output(signal).expect("valid");
+            let k = *kind;
+            reference.push(Box::new(move |x: &[Bit]| k.eval(&[x[a], x[b]])));
+        }
+        let out = circuit.evaluate(&inputs).expect("evaluates");
+        for (o, r) in out.iter().zip(reference.iter()) {
+            prop_assert_eq!(*o, r(&inputs));
+        }
+    }
+
+    /// The FO2 accounting: a ripple-carry adder of any width stays
+    /// within the fan-out budget and adds correctly.
+    #[test]
+    fn adders_add(n in 1usize..10, a in 0u64..512, b in 0u64..512, cin in 0u64..2) {
+        let mask = (1u64 << n) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let adder = Circuit::ripple_carry_adder(n);
+        prop_assert!(adder.fanout_violations().is_empty());
+        let mut inputs = Vec::new();
+        for i in 0..n { inputs.push(Bit::from_bool(a >> i & 1 == 1)); }
+        for i in 0..n { inputs.push(Bit::from_bool(b >> i & 1 == 1)); }
+        inputs.push(Bit::from_bool(cin == 1));
+        let out = adder.evaluate(&inputs).expect("evaluates");
+        let mut sum = 0u64;
+        for (i, bit) in out.iter().enumerate() {
+            sum |= (bit.as_u8() as u64) << i;
+        }
+        prop_assert_eq!(sum, a + b + cin);
+    }
+
+    /// Attenuation monotonicity: longer paths never increase amplitude.
+    #[test]
+    fn decay_is_monotone(d1 in 0.0f64..5e-6, d2 in 0.0f64..5e-6) {
+        let op = OperatingPoint::paper().expect("valid");
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(op.decay_over(far) <= op.decay_over(near) + 1e-15);
+    }
+}
