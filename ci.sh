@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate for the spinwave-repro workspace.
+#
+# Everything here must pass with no network access: the workspace is
+# std-only and the proptest/criterion stand-ins are vendored in-tree
+# (see DESIGN.md §7), so `--offline` is used throughout.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test -q --workspace --offline
+
+echo "CI OK"

@@ -73,7 +73,11 @@ fn bench_mumag_building_blocks(c: &mut Criterion) {
     let backend = MumagBackend::fast();
     c.bench_function("mumag/discrete wavenumber solve", |b| {
         let f = backend.drive_frequency(55e-9);
-        b.iter(|| backend.discrete_wavenumber(black_box(f), 0.7).expect("in band"))
+        b.iter(|| {
+            backend
+                .discrete_wavenumber(black_box(f), 0.7)
+                .expect("in band")
+        })
     });
     c.bench_function("mumag/maj3 geometry build", |b| {
         let layout = TriangleMaj3Layout::paper();

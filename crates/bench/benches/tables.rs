@@ -90,8 +90,7 @@ fn bench_fig34(c: &mut Criterion) {
         let nx = ((bounds.2 - bounds.0) / backend.cell()).ceil() as usize + 1;
         let ny = ((bounds.3 - bounds.1) / backend.cell()).ceil() as usize + 1;
         b.iter(|| {
-            let mut mesh =
-                Mesh::new(nx, ny, [backend.cell(), backend.cell(), 1e-9]).expect("mesh");
+            let mut mesh = Mesh::new(nx, ny, [backend.cell(), backend.cell(), 1e-9]).expect("mesh");
             struct Shifted<'a> {
                 inner: &'a dyn magnum::geometry::Shape,
                 dx: f64,
@@ -121,8 +120,7 @@ fn bench_fig34(c: &mut Criterion) {
             let nx = ((bounds.2 - bounds.0) / backend.cell()).ceil() as usize + 1;
             let ny = ((bounds.3 - bounds.1) / backend.cell()).ceil() as usize + 1;
             let mut count = 0;
-            let mut mesh =
-                Mesh::new(nx, ny, [backend.cell(), backend.cell(), 1e-9]).expect("mesh");
+            let mut mesh = Mesh::new(nx, ny, [backend.cell(), backend.cell(), 1e-9]).expect("mesh");
             mesh.set_mask_by(|x, y| shape.contains(x + bounds.0, y + bounds.1));
             count += mesh.magnetic_cell_count();
             black_box(count)

@@ -1,6 +1,21 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro <experiment> [--fast] [--mumag]`
+//! Usage: `repro <experiment> [--fast] [--mumag] [--jobs N]
+//!         [--manifest PATH] [--fresh] [--quiet]`
+//!
+//! Micromagnetic experiments (`fig5`, `thermal`, `variability`, and
+//! `table1`/`table2` with `--mumag`) run through the [`swrun`] batch
+//! engine:
+//!
+//! * `--jobs N` runs N LLG simulations in parallel (default 1, i.e.
+//!   serial — identical behaviour and results to the pre-batch runner).
+//! * Every batch writes a JSON-lines manifest (default
+//!   `target/swrun/<experiment>.manifest.jsonl`, override with
+//!   `--manifest PATH`) recording each job's inputs, outputs and wall
+//!   time. Re-running the same experiment **resumes**: jobs already in
+//!   the manifest are skipped. `--fresh` truncates the manifest and
+//!   reruns everything.
+//! * `--quiet` suppresses the per-job progress lines.
 //!
 //! Experiments:
 //! * `table1` — Table I: FO2 MAJ3 normalized output magnetization
@@ -26,23 +41,103 @@ use std::f64::consts::PI;
 
 use magnum::geometry::rasterize;
 use magnum::mesh::Mesh;
-use swgates::encoding::{all_patterns, Bit};
+use swgates::encoding::Bit;
 use swgates::prelude::*;
 use swperf::compare::Comparison;
+use swrun::batch::RunOptions;
+use swrun::gates::{maj3_patterns, xor_patterns, xor_sweep, SweepPoint};
+use swrun::RunError;
+
+/// Batch-runner settings shared by the micromagnetic experiments.
+struct BatchArgs {
+    jobs: usize,
+    manifest: Option<String>,
+    fresh: bool,
+    quiet: bool,
+}
+
+impl BatchArgs {
+    /// The [`RunOptions`] for one experiment: `--manifest` wins,
+    /// otherwise `target/swrun/<experiment>.manifest.jsonl`.
+    fn options(&self, experiment: &str) -> RunOptions {
+        let path = self.manifest.clone().unwrap_or_else(|| {
+            std::path::Path::new("target/swrun")
+                .join(format!("{experiment}.manifest.jsonl"))
+                .to_string_lossy()
+                .into_owned()
+        });
+        // Create the manifest's directory up front so a fresh checkout
+        // (or a user-chosen path) doesn't burn the calibration runs
+        // only to fail at the first checkpoint write.
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        let mut options = RunOptions::default()
+            .with_jobs(self.jobs)
+            .with_manifest(path);
+        if self.fresh {
+            options = options.fresh();
+        }
+        if self.quiet {
+            options = options.quiet();
+        }
+        options
+    }
+}
+
+/// Batch-level failures (manifest I/O, calibration) folded into the
+/// experiment error type.
+fn batch_err(e: RunError) -> SwGateError {
+    SwGateError::Simulation {
+        reason: e.to_string(),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let mumag = args.iter().any(|a| a == "--mumag");
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let jobs = match value_of("--jobs").map(|v| v.parse::<usize>()) {
+        None if !args.iter().any(|a| a == "--jobs") => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        _ => {
+            eprintln!("--jobs needs a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let manifest = value_of("--manifest");
+    if manifest.is_none() && args.iter().any(|a| a == "--manifest") {
+        eprintln!("--manifest needs a path");
+        std::process::exit(2);
+    }
+    let batch = BatchArgs {
+        jobs,
+        manifest,
+        fresh: args.iter().any(|a| a == "--fresh"),
+        quiet: args.iter().any(|a| a == "--quiet"),
+    };
+    // Skip flag values ("--jobs 4") when looking for the command word.
     let command = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || !matches!(args[i - 1].as_str(), "--jobs" | "--manifest"))
+        })
+        .map(|(_, a)| a.as_str())
         .unwrap_or("all");
 
     let result = match command {
-        "table1" => table1(fast, mumag),
-        "table2" => table2(fast, mumag),
+        "table1" => table1(fast, mumag, &batch),
+        "table2" => table2(fast, mumag, &batch),
         "table3" => {
             table3();
             Ok(())
@@ -58,9 +153,9 @@ fn main() {
         "fig2" => fig2(),
         "fig3" => fig3(),
         "fig4" => fig4(),
-        "fig5" => fig5(fast),
-        "thermal" => thermal(),
-        "variability" => variability(),
+        "fig5" => fig5(fast, &batch),
+        "thermal" => thermal(&batch),
+        "variability" => variability(&batch),
         "ablation" => ablation(),
         "all" => all(),
         other => {
@@ -75,9 +170,15 @@ fn main() {
 }
 
 fn all() -> Result<(), SwGateError> {
-    table1(false, false)?;
+    let serial = BatchArgs {
+        jobs: 1,
+        manifest: None,
+        fresh: false,
+        quiet: true,
+    };
+    table1(false, false, &serial)?;
     println!();
-    table2(false, false)?;
+    table2(false, false, &serial)?;
     println!();
     table3();
     println!();
@@ -109,15 +210,21 @@ fn xor_layout(fast: bool) -> Result<TriangleXorLayout, SwGateError> {
 }
 
 /// Table I — FO2 MAJ3 normalized output magnetization.
-fn table1(fast: bool, mumag: bool) -> Result<(), SwGateError> {
+fn table1(fast: bool, mumag: bool, batch: &BatchArgs) -> Result<(), SwGateError> {
     println!("=== Table I — fan-in of 3 fan-out of 2 Majority gate ===");
     println!("paper reference values (O1 ≈ O2): 000/111 -> 1.0; I1-minority -> 0.083,");
     println!("I2-minority -> 0.16, I3-minority -> 0.164\n");
-    let gate = Maj3Gate::new(maj3_layout(fast && mumag)?);
+    let layout = maj3_layout(fast && mumag)?;
+    let gate = Maj3Gate::new(layout);
     let table = if mumag {
         let backend = MumagBackend::fast();
         eprintln!("running 3 calibration + 8 pattern LLG simulations ...");
-        gate.truth_table(&backend)?
+        let report =
+            maj3_patterns(&backend, &layout, &batch.options("table1")).map_err(batch_err)?;
+        if let Some(error) = report.first_error() {
+            eprintln!("warning: a pattern failed: {error}");
+        }
+        gate.truth_table(&report.memo())?
     } else {
         gate.truth_table(&AnalyticBackend::paper())?
     };
@@ -139,14 +246,20 @@ fn table1(fast: bool, mumag: bool) -> Result<(), SwGateError> {
 }
 
 /// Table II — FO2 XOR normalized output magnetization.
-fn table2(fast: bool, mumag: bool) -> Result<(), SwGateError> {
+fn table2(fast: bool, mumag: bool, batch: &BatchArgs) -> Result<(), SwGateError> {
     println!("=== Table II — fan-in of 2 fan-out of 2 XOR gate ===");
     println!("paper reference values: 00 -> 0.99/1, 01/10 -> ≈0, 11 -> 1\n");
-    let gate = XorGate::new(xor_layout(fast && mumag)?);
+    let layout = xor_layout(fast && mumag)?;
+    let gate = XorGate::new(layout);
     let table = if mumag {
         let backend = MumagBackend::fast();
         eprintln!("running 2 calibration + 4 pattern LLG simulations ...");
-        gate.truth_table(&backend)?
+        let report =
+            xor_patterns(&backend, &layout, &batch.options("table2")).map_err(batch_err)?;
+        if let Some(error) = report.first_error() {
+            eprintln!("warning: a pattern failed: {error}");
+        }
+        gate.truth_table(&report.memo())?
     } else {
         gate.truth_table(&AnalyticBackend::paper())?
     };
@@ -190,9 +303,11 @@ fn fig1() {
     let render = |phase: f64, k: u32| {
         let rows = 9;
         let mut grid = vec![vec![' '; width]; rows];
-        for x in 0..width {
+        let ys = (0..width).map(|x| {
             let theta = 2.0 * PI * k as f64 * x as f64 / width as f64 + phase;
-            let y = ((theta.sin() + 1.0) / 2.0 * (rows - 1) as f64).round() as usize;
+            ((theta.sin() + 1.0) / 2.0 * (rows - 1) as f64).round() as usize
+        });
+        for (x, y) in ys.enumerate() {
             grid[rows - 1 - y][x] = '*';
         }
         for row in grid {
@@ -212,8 +327,14 @@ fn fig2() -> Result<(), SwGateError> {
     let layout = xor_layout(false)?;
     let (same, _) = backend.xor_outputs(&layout, [Bit::Zero, Bit::Zero]);
     let (opposite, _) = backend.xor_outputs(&layout, [Bit::Zero, Bit::One]);
-    println!("wave 1 + wave 2, same phase:      |A| = {:.3} (constructive)", same.abs());
-    println!("wave 1 + wave 2, opposite phase:  |A| = {:.3} (destructive)", opposite.abs());
+    println!(
+        "wave 1 + wave 2, same phase:      |A| = {:.3} (constructive)",
+        same.abs()
+    );
+    println!(
+        "wave 1 + wave 2, opposite phase:  |A| = {:.3} (destructive)",
+        opposite.abs()
+    );
     let samples = 48;
     println!("\nsuperposed waveforms over one period:");
     for (label, w2_phase) in [("constructive", 0.0), ("destructive", PI)] {
@@ -297,7 +418,7 @@ fn fig4() -> Result<(), SwGateError> {
 }
 
 /// Fig. 5 — micromagnetic field maps for all 8 MAJ3 input patterns.
-fn fig5(fast: bool) -> Result<(), SwGateError> {
+fn fig5(fast: bool, batch: &BatchArgs) -> Result<(), SwGateError> {
     println!("=== Fig. 5 — MAJ3 micromagnetic simulations (m_x maps) ===\n");
     let backend = MumagBackend::fast();
     let layout = maj3_layout(fast)?;
@@ -305,42 +426,68 @@ fn fig5(fast: bool) -> Result<(), SwGateError> {
         eprintln!("full-size gate: this runs 3 + 8 LLG simulations and may take a while;");
         eprintln!("pass --fast for the scaled-down gate.");
     }
-    for (i, pattern) in all_patterns::<3>().into_iter().enumerate() {
-        let run = backend.maj3_run(&layout, pattern)?;
-        let snap = run.snapshot;
-        let scale = snap.max().max(-snap.min());
+    let report = maj3_patterns(&backend, &layout, &batch.options("fig5")).map_err(batch_err)?;
+    for (i, outcome) in report.patterns.iter().enumerate() {
+        let pattern = outcome.pattern;
+        let (o1, o2) = outcome
+            .phasors
+            .map(|(a, b)| (a.abs(), b.abs()))
+            .unwrap_or((f64::NAN, f64::NAN));
         println!(
             "{}) inputs (I1, I2, I3) = ({}, {}, {}); |O1| = {:.3e}, |O2| = {:.3e}",
             (b'a' + i as u8) as char,
             pattern[0],
             pattern[1],
             pattern[2],
-            run.o1.abs(),
-            run.o2.abs()
+            o1,
+            o2,
         );
-        println!("{}", snap.to_ascii(scale));
+        if let Some(error) = &outcome.error {
+            println!("   FAILED: {error}\n");
+        } else if let Some(run) = &outcome.run {
+            let snap = &run.snapshot;
+            let scale = snap.max().max(-snap.min());
+            println!("{}", snap.to_ascii(scale));
+        } else {
+            println!(
+                "   (resumed from manifest — field map not recorded; rerun with --fresh \
+                 to regenerate it)\n"
+            );
+        }
     }
     Ok(())
 }
 
 /// §IV-D — thermal-noise robustness (micromagnetic, scaled-down XOR).
-fn thermal() -> Result<(), SwGateError> {
+fn thermal(batch: &BatchArgs) -> Result<(), SwGateError> {
     println!("=== §IV-D — gate operation at finite temperature ===\n");
     let layout = xor_layout(true)?;
     let gate = XorGate::new(layout);
-    for temperature in [0.0, 100.0, 300.0] {
-        // T > 0 needs a stronger drive and longer averaging: the
-        // thermal-magnon background of a 1 nm film rivals a weakly
-        // driven signal (see EXPERIMENTS.md, experiment X2).
-        let backend = if temperature > 0.0 {
-            MumagBackend::fast()
-                .with_temperature(temperature, 42)
-                .with_drive_amplitude(40e3)
-                .with_measure_periods(16)
-        } else {
-            MumagBackend::fast()
-        };
-        let table = gate.truth_table(&backend)?;
+    let temperatures = [0.0, 100.0, 300.0];
+    let points: Vec<SweepPoint> = temperatures
+        .iter()
+        .map(|&temperature| {
+            // T > 0 needs a stronger drive and longer averaging: the
+            // thermal-magnon background of a 1 nm film rivals a weakly
+            // driven signal (see EXPERIMENTS.md, experiment X2).
+            let backend = if temperature > 0.0 {
+                MumagBackend::fast()
+                    .with_temperature(temperature, 42)
+                    .with_drive_amplitude(40e3)
+                    .with_measure_periods(16)
+            } else {
+                MumagBackend::fast()
+            };
+            SweepPoint::new(format!("T{temperature:.0}K"), backend)
+        })
+        .collect();
+    let sweep = xor_sweep(&points, &layout, &batch.options("thermal")).map_err(batch_err)?;
+    for (temperature, point) in temperatures.iter().zip(&sweep.points) {
+        if let Some(error) = point.patterns.iter().find_map(|p| p.error.as_deref()) {
+            println!("T = {temperature:>5.0} K: FAILED — {error}");
+            continue;
+        }
+        let table = gate.truth_table(&point.memo())?;
         let ok = table.verify(|p| Bit::xor(p[0], p[1])).is_ok();
         println!(
             "T = {temperature:>5.0} K: XOR truth table {} (min strong {:.2}, max weak {:.2})",
@@ -354,17 +501,29 @@ fn thermal() -> Result<(), SwGateError> {
 }
 
 /// §IV-D — variability: edge roughness on the gate geometry.
-fn variability() -> Result<(), SwGateError> {
+fn variability(batch: &BatchArgs) -> Result<(), SwGateError> {
     println!("=== §IV-D — gate operation with edge roughness ===\n");
     let layout = xor_layout(true)?;
     let gate = XorGate::new(layout);
-    for roughness_nm in [0.0, 1.0, 2.0, 3.0] {
-        let backend = if roughness_nm > 0.0 {
-            MumagBackend::fast().with_edge_roughness(roughness_nm * 1e-9, 20e-9, 7)
-        } else {
-            MumagBackend::fast()
-        };
-        let table = gate.truth_table(&backend)?;
+    let roughnesses = [0.0, 1.0, 2.0, 3.0];
+    let points: Vec<SweepPoint> = roughnesses
+        .iter()
+        .map(|&roughness_nm| {
+            let backend = if roughness_nm > 0.0 {
+                MumagBackend::fast().with_edge_roughness(roughness_nm * 1e-9, 20e-9, 7)
+            } else {
+                MumagBackend::fast()
+            };
+            SweepPoint::new(format!("rough{roughness_nm:.0}nm"), backend)
+        })
+        .collect();
+    let sweep = xor_sweep(&points, &layout, &batch.options("variability")).map_err(batch_err)?;
+    for (roughness_nm, point) in roughnesses.iter().zip(&sweep.points) {
+        if let Some(error) = point.patterns.iter().find_map(|p| p.error.as_deref()) {
+            println!("edge roughness ±{roughness_nm:.0} nm: FAILED — {error}");
+            continue;
+        }
+        let table = gate.truth_table(&point.memo())?;
         let ok = table.verify(|p| Bit::xor(p[0], p[1])).is_ok();
         println!(
             "edge roughness ±{roughness_nm:.0} nm: XOR truth table {} \
@@ -389,8 +548,14 @@ fn ablation() -> Result<(), SwGateError> {
     let layout = maj3_layout(true)?;
     let configs: [(&str, MumagBackend); 3] = [
         ("full (trims + compensation)", MumagBackend::fast()),
-        ("no lattice compensation", MumagBackend::fast().without_compensation()),
-        ("no drive trimming", MumagBackend::fast().without_phase_trim()),
+        (
+            "no lattice compensation",
+            MumagBackend::fast().without_compensation(),
+        ),
+        (
+            "no drive trimming",
+            MumagBackend::fast().without_phase_trim(),
+        ),
     ];
     for (name, backend) in configs {
         let (r, _) = backend.maj3_outputs(&layout, [Bit::Zero; 3])?;
@@ -398,13 +563,21 @@ fn ablation() -> Result<(), SwGateError> {
         // phase π (logic 1) with a suppressed amplitude.
         let (o, _) = backend.maj3_outputs(&layout, [Bit::One, Bit::One, Bit::Zero])?;
         let relphase = (o * r.conj()).arg();
-        let decoded = if relphase.abs() > std::f64::consts::FRAC_PI_2 { 1 } else { 0 };
+        let decoded = if relphase.abs() > std::f64::consts::FRAC_PI_2 {
+            1
+        } else {
+            0
+        };
         println!(
             "{name:<30} norm {:.3}, rel. phase {:+.2} rad -> decodes {} ({})",
             o.abs() / r.abs(),
             relphase,
             decoded,
-            if decoded == 1 { "correct" } else { "WRONG — majority violated" },
+            if decoded == 1 {
+                "correct"
+            } else {
+                "WRONG — majority violated"
+            },
         );
     }
     println!("\n(the drive calibration is what keeps the tie-break semantics of the majority)");

@@ -339,7 +339,9 @@ impl Circuit {
             let b = Signal::Input(n + i);
             let ab = c.add_gate(GateKind::Xor, vec![a, b]).expect("valid");
             let sum = c.add_gate(GateKind::Xor, vec![ab, carry]).expect("valid");
-            let next = c.add_gate(GateKind::Maj3, vec![a, b, carry]).expect("valid");
+            let next = c
+                .add_gate(GateKind::Maj3, vec![a, b, carry])
+                .expect("valid");
             sums.push(sum);
             carry = next;
         }
@@ -379,11 +381,13 @@ pub fn insert_repeaters(circuit: &Circuit) -> Result<Circuit, SwGateError> {
     let mut slots: HashMap<usize, Vec<(Signal, usize)>> = HashMap::new();
 
     let take = |slots: &mut HashMap<usize, Vec<(Signal, usize)>>,
-                    g: usize|
+                g: usize|
      -> Result<Signal, SwGateError> {
-        let queue = slots.get_mut(&g).ok_or_else(|| SwGateError::InvalidLayout {
-            reason: format!("signal Gate({g}) consumed before production"),
-        })?;
+        let queue = slots
+            .get_mut(&g)
+            .ok_or_else(|| SwGateError::InvalidLayout {
+                reason: format!("signal Gate({g}) consumed before production"),
+            })?;
         let front = queue.last_mut().ok_or_else(|| SwGateError::InvalidLayout {
             reason: format!("signal Gate({g}) over-consumed"),
         })?;
@@ -396,7 +400,7 @@ pub fn insert_repeaters(circuit: &Circuit) -> Result<Circuit, SwGateError> {
     };
 
     let map_signal = |slots: &mut HashMap<usize, Vec<(Signal, usize)>>,
-                          s: Signal|
+                      s: Signal|
      -> Result<Signal, SwGateError> {
         match s {
             Signal::Input(i) => Ok(Signal::Input(i)),
@@ -623,7 +627,10 @@ mod tests {
         let fixed = insert_repeaters(&fa).unwrap();
         assert_eq!(fixed.gate_count(), fa.gate_count());
         for pattern in all_patterns::<3>() {
-            assert_eq!(fa.evaluate(&pattern).unwrap(), fixed.evaluate(&pattern).unwrap());
+            assert_eq!(
+                fa.evaluate(&pattern).unwrap(),
+                fixed.evaluate(&pattern).unwrap()
+            );
         }
     }
 

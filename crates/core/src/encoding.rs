@@ -179,8 +179,8 @@ mod tests {
 
     #[test]
     fn bool_round_trip() {
-        assert_eq!(bool::from(Bit::from(true)), true);
-        assert_eq!(bool::from(Bit::from(false)), false);
+        assert!(bool::from(Bit::from(true)));
+        assert!(!bool::from(Bit::from(false)));
     }
 
     #[test]
@@ -190,7 +190,7 @@ mod tests {
         assert_eq!(p3[0], [Bit::Zero; 3]);
         assert_eq!(p3[7], [Bit::One; 3]);
         assert_eq!(p3[5], [Bit::One, Bit::Zero, Bit::One]); // 0b101
-        // All patterns distinct.
+                                                            // All patterns distinct.
         for i in 0..8 {
             for j in i + 1..8 {
                 assert_ne!(p3[i], p3[j]);

@@ -55,13 +55,17 @@ impl Error for SwGateError {}
 
 impl From<magnum::MagnumError> for SwGateError {
     fn from(e: magnum::MagnumError) -> Self {
-        SwGateError::Simulation { reason: e.to_string() }
+        SwGateError::Simulation {
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<swphys::SwPhysError> for SwGateError {
     fn from(e: swphys::SwPhysError) -> Self {
-        SwGateError::InvalidOperatingPoint { reason: e.to_string() }
+        SwGateError::InvalidOperatingPoint {
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -71,7 +75,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SwGateError::InvalidLayout { reason: "d1 is not a multiple of λ".into() };
+        let e = SwGateError::InvalidLayout {
+            reason: "d1 is not a multiple of λ".into(),
+        };
         assert!(e.to_string().contains("d1"));
     }
 

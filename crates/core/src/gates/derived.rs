@@ -183,10 +183,7 @@ impl XnorGate {
     /// # Errors
     ///
     /// Propagates backend and decode failures.
-    pub fn truth_table<B: GateBackend>(
-        &self,
-        backend: &B,
-    ) -> Result<TruthTable<2>, SwGateError> {
+    pub fn truth_table<B: GateBackend>(&self, backend: &B) -> Result<TruthTable<2>, SwGateError> {
         self.inner.truth_table(backend)
     }
 }
@@ -208,7 +205,10 @@ mod tests {
                 expected(pattern[0], pattern[1]),
                 "{name} failed on {pattern:?}"
             );
-            assert!(out.fanout_consistent(), "{name} fan-out broken on {pattern:?}");
+            assert!(
+                out.fanout_consistent(),
+                "{name} fan-out broken on {pattern:?}"
+            );
         }
     }
 
@@ -216,7 +216,11 @@ mod tests {
     fn and_gate_truth_table() {
         let backend = AnalyticBackend::paper();
         let gate = AndGate::paper().unwrap();
-        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), AndGate::logic, "AND");
+        check_two_input(
+            |p| gate.evaluate(&backend, p).unwrap(),
+            AndGate::logic,
+            "AND",
+        );
     }
 
     #[test]
@@ -230,14 +234,22 @@ mod tests {
     fn nand_gate_truth_table() {
         let backend = AnalyticBackend::paper();
         let gate = NandGate::paper().unwrap();
-        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), NandGate::logic, "NAND");
+        check_two_input(
+            |p| gate.evaluate(&backend, p).unwrap(),
+            NandGate::logic,
+            "NAND",
+        );
     }
 
     #[test]
     fn nor_gate_truth_table() {
         let backend = AnalyticBackend::paper();
         let gate = NorGate::paper().unwrap();
-        check_two_input(|p| gate.evaluate(&backend, p).unwrap(), NorGate::logic, "NOR");
+        check_two_input(
+            |p| gate.evaluate(&backend, p).unwrap(),
+            NorGate::logic,
+            "NOR",
+        );
     }
 
     #[test]

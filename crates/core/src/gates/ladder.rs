@@ -82,10 +82,7 @@ impl LadderMaj3Gate {
     /// # Errors
     ///
     /// Propagates backend and decode failures.
-    pub fn truth_table(
-        &self,
-        backend: &AnalyticBackend,
-    ) -> Result<TruthTable<3>, SwGateError> {
+    pub fn truth_table(&self, backend: &AnalyticBackend) -> Result<TruthTable<3>, SwGateError> {
         let mut rows = Vec::with_capacity(8);
         for pattern in all_patterns::<3>() {
             let outputs = self.evaluate(backend, pattern)?;
@@ -118,7 +115,9 @@ mod tests {
         // The whole point of the paper: same function, cheaper gate.
         let backend = AnalyticBackend::paper();
         let ladder = LadderMaj3Gate::paper().truth_table(&backend).unwrap();
-        let triangle = crate::gates::Maj3Gate::paper().truth_table(&backend).unwrap();
+        let triangle = crate::gates::Maj3Gate::paper()
+            .truth_table(&backend)
+            .unwrap();
         for (l, t) in ladder.rows().iter().zip(triangle.rows().iter()) {
             assert_eq!(l.inputs, t.inputs);
             assert_eq!(l.outputs.o1.bit, t.outputs.o1.bit);

@@ -87,10 +87,7 @@ impl Maj3Gate {
     /// # Errors
     ///
     /// Propagates backend and decode failures.
-    pub fn truth_table<B: GateBackend>(
-        &self,
-        backend: &B,
-    ) -> Result<TruthTable<3>, SwGateError> {
+    pub fn truth_table<B: GateBackend>(&self, backend: &B) -> Result<TruthTable<3>, SwGateError> {
         let reference = backend.maj3(&self.layout, [Bit::Zero; 3])?;
         let mut rows = Vec::with_capacity(8);
         for pattern in all_patterns::<3>() {

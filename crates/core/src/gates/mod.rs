@@ -152,10 +152,16 @@ mod tests {
             phase: 0.0,
             bit,
         };
-        let same = GateOutputs { o1: sig(Bit::One, 1.0), o2: sig(Bit::One, 0.9) };
+        let same = GateOutputs {
+            o1: sig(Bit::One, 1.0),
+            o2: sig(Bit::One, 0.9),
+        };
         assert!(same.fanout_consistent());
         assert!((same.amplitude_mismatch() - 0.1).abs() < 1e-12);
-        let diff = GateOutputs { o1: sig(Bit::One, 1.0), o2: sig(Bit::Zero, 1.0) };
+        let diff = GateOutputs {
+            o1: sig(Bit::One, 1.0),
+            o2: sig(Bit::Zero, 1.0),
+        };
         assert!(!diff.fanout_consistent());
         assert_eq!(diff.bits(), (Bit::One, Bit::Zero));
     }

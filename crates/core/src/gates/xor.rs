@@ -81,10 +81,7 @@ impl XorGate {
     /// # Errors
     ///
     /// Propagates backend and decode failures.
-    pub fn truth_table<B: GateBackend>(
-        &self,
-        backend: &B,
-    ) -> Result<TruthTable<2>, SwGateError> {
+    pub fn truth_table<B: GateBackend>(&self, backend: &B) -> Result<TruthTable<2>, SwGateError> {
         let reference = backend.xor(&self.layout, [Bit::Zero; 2])?;
         let mut rows = Vec::with_capacity(4);
         for pattern in all_patterns::<2>() {
@@ -145,7 +142,11 @@ mod tests {
         let backend = AnalyticBackend::paper();
         for pattern in all_patterns::<2>() {
             let out = gate.evaluate(&backend, pattern).unwrap();
-            assert_eq!(out.o1.bit, Bit::xor(pattern[0], pattern[1]), "pattern {pattern:?}");
+            assert_eq!(
+                out.o1.bit,
+                Bit::xor(pattern[0], pattern[1]),
+                "pattern {pattern:?}"
+            );
             assert!(out.fanout_consistent());
         }
     }

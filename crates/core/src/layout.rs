@@ -156,11 +156,12 @@ impl TriangleMaj3Layout {
                 });
             }
         }
-        if matches!(DimensionRule::classify(d4, wavelength), DimensionRule::Unconstrained) {
+        if matches!(
+            DimensionRule::classify(d4, wavelength),
+            DimensionRule::Unconstrained
+        ) {
             return Err(SwGateError::InvalidLayout {
-                reason: format!(
-                    "d4 = {d4:e} must be n·λ (non-inverting) or (n+½)·λ (inverting)"
-                ),
+                reason: format!("d4 = {d4:e} must be n·λ (non-inverting) or (n+½)·λ (inverting)"),
             });
         }
         Ok(TriangleMaj3Layout {
@@ -505,15 +506,30 @@ mod tests {
     #[test]
     fn dimension_rule_classification() {
         let l = 55e-9;
-        assert_eq!(DimensionRule::classify(330e-9, l), DimensionRule::IntegerMultiple(6));
-        assert_eq!(DimensionRule::classify(880e-9, l), DimensionRule::IntegerMultiple(16));
-        assert_eq!(DimensionRule::classify(220e-9, l), DimensionRule::IntegerMultiple(4));
-        assert_eq!(DimensionRule::classify(55e-9, l), DimensionRule::IntegerMultiple(1));
+        assert_eq!(
+            DimensionRule::classify(330e-9, l),
+            DimensionRule::IntegerMultiple(6)
+        );
+        assert_eq!(
+            DimensionRule::classify(880e-9, l),
+            DimensionRule::IntegerMultiple(16)
+        );
+        assert_eq!(
+            DimensionRule::classify(220e-9, l),
+            DimensionRule::IntegerMultiple(4)
+        );
+        assert_eq!(
+            DimensionRule::classify(55e-9, l),
+            DimensionRule::IntegerMultiple(1)
+        );
         assert_eq!(
             DimensionRule::classify(82.5e-9, l),
             DimensionRule::HalfIntegerMultiple(1)
         );
-        assert_eq!(DimensionRule::classify(40e-9, l), DimensionRule::Unconstrained);
+        assert_eq!(
+            DimensionRule::classify(40e-9, l),
+            DimensionRule::Unconstrained
+        );
     }
 
     #[test]

@@ -48,6 +48,10 @@ use crate::encoding::Bit;
 use crate::layout::{TriangleMaj3Layout, TriangleXorLayout};
 use crate::SwGateError;
 
+/// A gate's rasterizable footprint with its `(x0, y0, x1, y1)` bounding
+/// box in metres.
+pub type GateFootprint = (Box<dyn Shape>, (f64, f64, f64, f64));
+
 /// Result of one micromagnetic gate run.
 #[derive(Debug, Clone)]
 pub struct GateRun {
@@ -308,6 +312,45 @@ impl MumagBackend {
         }
     }
 
+    /// Shares `other`'s drive-trim cache with this backend, so a
+    /// calibration computed through either is visible to both.
+    ///
+    /// Clones of one backend already share a cache; this links two
+    /// *independently constructed* backends — e.g. a batch runner's
+    /// per-job variants that differ only in temperature or drive, which
+    /// all use the same T = 0 calibration.
+    pub fn with_trim_cache_from(mut self, other: &MumagBackend) -> Self {
+        self.trim_cache = Arc::clone(&other.trim_cache);
+        self
+    }
+
+    /// Computes (and caches) the MAJ3 drive trims now, so later
+    /// [`MumagBackend::maj3_run`] calls — possibly on clones in other
+    /// threads — find the calibration ready instead of racing to redo
+    /// the 3 single-input LLG simulations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout and solver failures as [`SwGateError`].
+    pub fn prewarm_maj3(&self, layout: &TriangleMaj3Layout) -> Result<(), SwGateError> {
+        self.maj3_trims(layout).map(|_| ())
+    }
+
+    /// Computes (and caches) the XOR drive trims now (see
+    /// [`MumagBackend::prewarm_maj3`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout and solver failures as [`SwGateError`].
+    pub fn prewarm_xor(&self, layout: &TriangleXorLayout) -> Result<(), SwGateError> {
+        self.xor_trims(layout).map(|_| ())
+    }
+
+    /// Number of gate layouts with a cached drive calibration.
+    pub fn cached_trim_count(&self) -> usize {
+        self.trim_cache.lock().expect("trim cache poisoned").len()
+    }
+
     /// The film this backend simulates.
     pub fn film(&self) -> &PerpendicularFilm {
         &self.film
@@ -473,15 +516,17 @@ impl MumagBackend {
     /// # Errors
     ///
     /// Propagates layout and solver failures as [`SwGateError`].
-    pub fn maj3_trims(
-        &self,
-        layout: &TriangleMaj3Layout,
-    ) -> Result<Vec<DriveTrim>, SwGateError> {
+    pub fn maj3_trims(&self, layout: &TriangleMaj3Layout) -> Result<Vec<DriveTrim>, SwGateError> {
         if !self.phase_trim {
             return Ok(vec![DriveTrim::identity(); 3]);
         }
         let key = TrimKey::maj3(layout);
-        if let Some(trims) = self.trim_cache.lock().expect("trim cache poisoned").get(&key) {
+        if let Some(trims) = self
+            .trim_cache
+            .lock()
+            .expect("trim cache poisoned")
+            .get(&key)
+        {
             return Ok(trims.clone());
         }
         let transfer = self.maj3_transfer(layout)?;
@@ -551,15 +596,17 @@ impl MumagBackend {
     /// # Errors
     ///
     /// Propagates layout and solver failures as [`SwGateError`].
-    pub fn xor_trims(
-        &self,
-        layout: &TriangleXorLayout,
-    ) -> Result<Vec<DriveTrim>, SwGateError> {
+    pub fn xor_trims(&self, layout: &TriangleXorLayout) -> Result<Vec<DriveTrim>, SwGateError> {
         if !self.phase_trim {
             return Ok(vec![DriveTrim::identity(); 2]);
         }
         let key = TrimKey::xor(layout);
-        if let Some(trims) = self.trim_cache.lock().expect("trim cache poisoned").get(&key) {
+        if let Some(trims) = self
+            .trim_cache
+            .lock()
+            .expect("trim cache poisoned")
+            .get(&key)
+        {
             return Ok(trims.clone());
         }
         let transfer = self.xor_transfer(layout)?;
@@ -612,10 +659,7 @@ impl MumagBackend {
     /// # Errors
     ///
     /// Propagates layout failures as [`SwGateError`].
-    pub fn maj3_geometry(
-        &self,
-        layout: &TriangleMaj3Layout,
-    ) -> Result<(Box<dyn Shape>, (f64, f64, f64, f64)), SwGateError> {
+    pub fn maj3_geometry(&self, layout: &TriangleMaj3Layout) -> Result<GateFootprint, SwGateError> {
         let plan = self.plan_maj3(layout)?;
         Ok((Box::new(plan.shapes), plan.bounds))
     }
@@ -626,10 +670,7 @@ impl MumagBackend {
     /// # Errors
     ///
     /// Propagates layout failures as [`SwGateError`].
-    pub fn xor_geometry(
-        &self,
-        layout: &TriangleXorLayout,
-    ) -> Result<(Box<dyn Shape>, (f64, f64, f64, f64)), SwGateError> {
+    pub fn xor_geometry(&self, layout: &TriangleXorLayout) -> Result<GateFootprint, SwGateError> {
         let plan = self.plan_xor(layout)?;
         Ok((Box::new(plan.shapes), plan.bounds))
     }
@@ -873,7 +914,13 @@ impl MumagBackend {
         // Damping map with absorbers.
         let mut alpha = vec![self.film.alpha(); mesh.cell_count()];
         for absorber in &plan.absorbers {
-            absorber.apply(&mesh, shift, self.alpha_absorber, self.film.alpha(), &mut alpha);
+            absorber.apply(
+                &mesh,
+                shift,
+                self.alpha_absorber,
+                self.film.alpha(),
+                &mut alpha,
+            );
         }
 
         // Antennas with phase encoding, lattice compensation and antenna
@@ -1074,14 +1121,7 @@ impl AbsorberPlan {
         }
     }
 
-    fn apply(
-        &self,
-        mesh: &Mesh,
-        shift: (f64, f64),
-        alpha_max: f64,
-        alpha0: f64,
-        map: &mut [f64],
-    ) {
+    fn apply(&self, mesh: &Mesh, shift: (f64, f64), alpha_max: f64, alpha0: f64, map: &mut [f64]) {
         let (x0, y0, x1, y1) = shift_rect(self.rect, shift);
         if x1 <= x0 || y1 <= y0 {
             return;
@@ -1158,8 +1198,14 @@ mod tests {
         // 1.0∠-0.7. Equal targets must boost input 0's drive relative to
         // input 1's and rotate input 1 by +1.0 rad.
         let transfer = vec![
-            (Complex64::from_polar(0.5, 0.3), Complex64::from_polar(0.5, 0.3)),
-            (Complex64::from_polar(1.0, -0.7), Complex64::from_polar(1.0, -0.7)),
+            (
+                Complex64::from_polar(0.5, 0.3),
+                Complex64::from_polar(0.5, 0.3),
+            ),
+            (
+                Complex64::from_polar(1.0, -0.7),
+                Complex64::from_polar(1.0, -0.7),
+            ),
         ];
         let trims = trims_from_transfer(&transfer, &[1.0, 1.0]);
         assert_eq!(trims.len(), 2);
@@ -1185,8 +1231,14 @@ mod tests {
     #[test]
     fn trims_never_overdrive() {
         let transfer = vec![
-            (Complex64::from_polar(0.1, 0.0), Complex64::from_polar(0.1, 0.0)),
-            (Complex64::from_polar(2.0, 0.0), Complex64::from_polar(2.0, 0.0)),
+            (
+                Complex64::from_polar(0.1, 0.0),
+                Complex64::from_polar(0.1, 0.0),
+            ),
+            (
+                Complex64::from_polar(2.0, 0.0),
+                Complex64::from_polar(2.0, 0.0),
+            ),
         ];
         for t in trims_from_transfer(&transfer, &[1.0, 1.0]) {
             assert!(t.amplitude_scale <= 1.0 + 1e-12);
@@ -1204,12 +1256,32 @@ mod tests {
     #[test]
     fn trim_keys_distinguish_layouts_and_kinds() {
         let a = TrimKey::maj3(&TriangleMaj3Layout::paper());
-        let b = TrimKey::maj3(
-            &TriangleMaj3Layout::from_multiples(55e-9, 50e-9, 2, 3, 4, 1).unwrap(),
-        );
+        let b =
+            TrimKey::maj3(&TriangleMaj3Layout::from_multiples(55e-9, 50e-9, 2, 3, 4, 1).unwrap());
         assert_ne!(a, b);
         let x = TrimKey::xor(&TriangleXorLayout::paper());
         assert_ne!(a.kind, x.kind);
+    }
+
+    #[test]
+    fn clones_share_the_trim_cache_and_linked_backends_join_it() {
+        let a = fast_backend();
+        let clone = a.clone();
+        let linked = MumagBackend::fast().with_trim_cache_from(&a);
+        let independent = fast_backend();
+        let layout = TriangleXorLayout::new(55e-9, 50e-9, 110e-9, 40e-9).unwrap();
+        assert_eq!(a.cached_trim_count(), 0);
+        a.prewarm_xor(&layout).unwrap();
+        assert_eq!(a.cached_trim_count(), 1);
+        assert_eq!(clone.cached_trim_count(), 1);
+        assert_eq!(linked.cached_trim_count(), 1);
+        assert_eq!(independent.cached_trim_count(), 0);
+        // The linked backend's trims come straight from the cache (same
+        // values, no recomputation drift).
+        assert_eq!(
+            a.xor_trims(&layout).unwrap(),
+            linked.xor_trims(&layout).unwrap()
+        );
     }
 
     #[test]
@@ -1323,7 +1395,9 @@ mod tests {
     // keep the module self-verifying.
     #[test]
     fn mini_xor_run_produces_signal() {
-        let b = MumagBackend::fast().with_measure_periods(2).with_settle_factor(1.2);
+        let b = MumagBackend::fast()
+            .with_measure_periods(2)
+            .with_settle_factor(1.2);
         let layout = TriangleXorLayout::new(55e-9, 50e-9, 110e-9, 40e-9).unwrap();
         let run = b.xor_run(&layout, [Bit::Zero, Bit::Zero]).unwrap();
         assert!(run.o1.abs() > 1e-7, "no signal at O1: {}", run.o1.abs());

@@ -134,11 +134,19 @@ mod tests {
         assert!((op.wavenumber() - k).abs() / k < 1e-12);
         // Our Kalinikos–Slavin evaluation: ~10-25 GHz band (the paper
         // quotes 10 GHz; see EXPERIMENTS.md for the dispersion footnote).
-        assert!(op.frequency() > 8e9 && op.frequency() < 25e9, "f = {}", op.frequency());
+        assert!(
+            op.frequency() > 8e9 && op.frequency() < 25e9,
+            "f = {}",
+            op.frequency()
+        );
         assert!(op.group_velocity() > 100.0 && op.group_velocity() < 1e4);
         // Decay length is micrometres — long against the 55-1210 nm arms,
         // supporting the paper's negligible-propagation-loss assumption.
-        assert!(op.attenuation_length() > 1e-6, "L = {}", op.attenuation_length());
+        assert!(
+            op.attenuation_length() > 1e-6,
+            "L = {}",
+            op.attenuation_length()
+        );
     }
 
     #[test]

@@ -113,8 +113,7 @@ impl<const N: usize> TruthTable<N> {
             width = 3 * N
         ));
         for row in &self.rows {
-            let bits: Vec<String> =
-                row.inputs.iter().rev().map(|b| format!(" {b}")).collect();
+            let bits: Vec<String> = row.inputs.iter().rev().map(|b| format!(" {b}")).collect();
             out.push_str(&format!(
                 "{:<width$}  {:>8.3}  {:>8.3}  {:>4}  {:>4}\n",
                 bits.join(" "),

@@ -72,9 +72,7 @@ impl JunctionModel {
         }
         if !(mismatch_exponent >= 0.0 && mismatch_exponent.is_finite()) {
             return Err(SwGateError::InvalidLayout {
-                reason: format!(
-                    "mismatch exponent must be non-negative, got {mismatch_exponent}"
-                ),
+                reason: format!("mismatch exponent must be non-negative, got {mismatch_exponent}"),
             });
         }
         Ok(JunctionModel {
@@ -171,7 +169,11 @@ impl AnalyticBackend {
 
     /// Propagation phasor over `d` metres.
     fn prop(&self, d: f64) -> Complex64 {
-        let decay = if self.attenuation { self.op.decay_over(d) } else { 1.0 };
+        let decay = if self.attenuation {
+            self.op.decay_over(d)
+        } else {
+            1.0
+        };
         Complex64::cis(self.op.phase_over(d)) * decay
     }
 
@@ -211,8 +213,7 @@ impl AnalyticBackend {
         let a1 = self.prop(layout.d1()) * i1.sign();
         let a2 = self.prop(layout.d1()) * i2.sign();
         let u = self.junction.combine(a1, a2);
-        let out =
-            u * self.split * self.prop(layout.trunk() + layout.d1() + layout.d2());
+        let out = u * self.split * self.prop(layout.trunk() + layout.d1() + layout.d2());
         (out, out)
     }
 
@@ -242,9 +243,7 @@ impl AnalyticBackend {
             let a1 = rung * signs[1];
             let mut acc = self.junction.combine(a0, a1);
             for &s in &signs[2..] {
-                acc = self
-                    .junction
-                    .combine(acc * rail, rung * s);
+                acc = self.junction.combine(acc * rail, rung * s);
             }
             acc * rail
         };
@@ -315,7 +314,8 @@ mod tests {
             let rel = (o1 * reference.conj()).arg().abs();
             let decoded = Bit::from_bool(rel > std::f64::consts::FRAC_PI_2);
             assert_eq!(
-                decoded, expected,
+                decoded,
+                expected,
                 "pattern {pattern:?}: phase {rel}, amp {}",
                 o1.abs() / reference.abs()
             );
@@ -328,7 +328,10 @@ mod tests {
         let layout = TriangleMaj3Layout::paper();
         let (zero, _) = backend.maj3_outputs(&layout, [Bit::Zero; 3]);
         let (one, _) = backend.maj3_outputs(&layout, [Bit::One; 3]);
-        assert!(close(one.abs() / zero.abs(), 1.0, 1e-9), "111 must mirror 000");
+        assert!(
+            close(one.abs() / zero.abs(), 1.0, 1e-9),
+            "111 must mirror 000"
+        );
     }
 
     #[test]
@@ -403,8 +406,7 @@ mod tests {
     fn inverting_d4_flips_the_output_phase() {
         let backend = AnalyticBackend::paper();
         let non_inv = TriangleMaj3Layout::paper();
-        let inv =
-            TriangleMaj3Layout::new(55e-9, 50e-9, 330e-9, 880e-9, 220e-9, 82.5e-9).unwrap();
+        let inv = TriangleMaj3Layout::new(55e-9, 50e-9, 330e-9, 880e-9, 220e-9, 82.5e-9).unwrap();
         let (a, _) = backend.maj3_outputs(&non_inv, [Bit::Zero; 3]);
         let (b, _) = backend.maj3_outputs(&inv, [Bit::Zero; 3]);
         let rel = (a * b.conj()).arg().abs();
@@ -418,9 +420,7 @@ mod tests {
     fn ladder_decodes_majority_and_validates_arity() {
         let backend = AnalyticBackend::paper();
         let layout = LadderLayout::paper_maj3();
-        let (reference, _) = backend
-            .ladder_outputs(&layout, &[Bit::Zero; 3])
-            .unwrap();
+        let (reference, _) = backend.ladder_outputs(&layout, &[Bit::Zero; 3]).unwrap();
         for pattern in all_patterns::<3>() {
             let (o1, o2) = backend.ladder_outputs(&layout, &pattern).unwrap();
             assert_eq!(o1, o2);
@@ -434,11 +434,8 @@ mod tests {
     #[test]
     fn attenuation_reduces_amplitude_but_not_logic() {
         let lossy = AnalyticBackend::paper();
-        let lossless = AnalyticBackend::new(
-            *lossy.operating_point(),
-            JunctionModel::calibrated(),
-            false,
-        );
+        let lossless =
+            AnalyticBackend::new(*lossy.operating_point(), JunctionModel::calibrated(), false);
         let layout = TriangleMaj3Layout::paper();
         let (a, _) = lossy.maj3_outputs(&layout, [Bit::Zero; 3]);
         let (b, _) = lossless.maj3_outputs(&layout, [Bit::Zero; 3]);

@@ -172,7 +172,10 @@ mod tests {
         for d in 0..w {
             let expected = ((w - d) as f64 / w as f64).powi(2);
             let got = map[m.linear_index(d, 8)];
-            assert!((got - expected).abs() < 1e-12, "d = {d}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "d = {d}: {got} vs {expected}"
+            );
         }
     }
 }

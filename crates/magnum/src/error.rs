@@ -54,10 +54,9 @@ impl fmt::Display for MagnumError {
                 f,
                 "magnetization diverged at t = {time:.3e} s (time step too large?)"
             ),
-            MagnumError::StepSizeUnderflow { time } => write!(
-                f,
-                "adaptive step size underflow at t = {time:.3e} s"
-            ),
+            MagnumError::StepSizeUnderflow { time } => {
+                write!(f, "adaptive step size underflow at t = {time:.3e} s")
+            }
         }
     }
 }
@@ -70,7 +69,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = MagnumError::InvalidMesh { reason: "nx is zero".into() };
+        let e = MagnumError::InvalidMesh {
+            reason: "nx is zero".into(),
+        };
         assert_eq!(e.to_string(), "invalid mesh: nx is zero");
         let e = MagnumError::InvalidMaterial {
             parameter: "gilbert_damping",

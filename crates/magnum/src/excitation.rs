@@ -68,7 +68,12 @@ impl Drive {
     /// Instantaneous scalar field value at time `t` (seconds), in A/m.
     pub fn value(&self, t: f64) -> f64 {
         match *self {
-            Drive::ContinuousWave { amplitude, frequency, phase, ramp } => {
+            Drive::ContinuousWave {
+                amplitude,
+                frequency,
+                phase,
+                ramp,
+            } => {
                 if t < 0.0 {
                     return 0.0;
                 }
@@ -80,7 +85,14 @@ impl Drive {
                 };
                 envelope * amplitude * (2.0 * std::f64::consts::PI * frequency * t + phase).sin()
             }
-            Drive::Burst { amplitude, frequency, phase, start, duration, ramp } => {
+            Drive::Burst {
+                amplitude,
+                frequency,
+                phase,
+                start,
+                duration,
+                ramp,
+            } => {
                 let tau = t - start;
                 if tau < 0.0 || tau > duration {
                     return 0.0;
@@ -96,7 +108,11 @@ impl Drive {
                 };
                 envelope * amplitude * (2.0 * std::f64::consts::PI * frequency * t + phase).sin()
             }
-            Drive::Sinc { amplitude, cutoff, center } => {
+            Drive::Sinc {
+                amplitude,
+                cutoff,
+                center,
+            } => {
                 let x = 2.0 * std::f64::consts::PI * cutoff * (t - center);
                 if x.abs() < 1e-12 {
                     amplitude
@@ -187,8 +203,18 @@ mod tests {
     #[test]
     fn cw_respects_phase_encoding() {
         let f = 10e9;
-        let d0 = Drive::ContinuousWave { amplitude: 1.0, frequency: f, phase: 0.0, ramp: 0.0 };
-        let d1 = Drive::ContinuousWave { amplitude: 1.0, frequency: f, phase: PI, ramp: 0.0 };
+        let d0 = Drive::ContinuousWave {
+            amplitude: 1.0,
+            frequency: f,
+            phase: 0.0,
+            ramp: 0.0,
+        };
+        let d1 = Drive::ContinuousWave {
+            amplitude: 1.0,
+            frequency: f,
+            phase: PI,
+            ramp: 0.0,
+        };
         // A π phase shift inverts the waveform.
         for i in 1..20 {
             let t = i as f64 * 7.3e-12;
@@ -236,7 +262,11 @@ mod tests {
 
     #[test]
     fn sinc_peaks_at_center() {
-        let d = Drive::Sinc { amplitude: 3.0, cutoff: 20e9, center: 1e-10 };
+        let d = Drive::Sinc {
+            amplitude: 3.0,
+            cutoff: 20e9,
+            center: 1e-10,
+        };
         assert!((d.value(1e-10) - 3.0).abs() < 1e-9);
         assert!(d.value(0.0).abs() < 3.0);
     }
@@ -247,7 +277,12 @@ mod tests {
         let ant = Antenna::new(
             vec![2, 3],
             Vec3::X,
-            Drive::ContinuousWave { amplitude: 1.0, frequency: 10e9, phase: PI / 2.0, ramp: 0.0 },
+            Drive::ContinuousWave {
+                amplitude: 1.0,
+                frequency: 10e9,
+                phase: PI / 2.0,
+                ramp: 0.0,
+            },
         );
         let mut h = vec![Vec3::ZERO; 8];
         ant.accumulate(0.0, &mut h); // sin(φ=π/2) = 1 at t=0
@@ -291,7 +326,11 @@ mod tests {
 
     #[test]
     fn direction_is_normalized() {
-        let ant = Antenna::new(vec![0], Vec3::new(0.0, 0.0, 5.0), Drive::logic_cw(1.0, 1.0, 0.0));
+        let ant = Antenna::new(
+            vec![0],
+            Vec3::new(0.0, 0.0, 5.0),
+            Drive::logic_cw(1.0, 1.0, 0.0),
+        );
         assert!((ant.direction().norm() - 1.0).abs() < 1e-15);
     }
 }

@@ -30,7 +30,10 @@ pub enum Direction {
 /// ```
 pub fn fft_in_place(data: &mut [Complex64], direction: Direction) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -92,7 +95,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// two.
 pub fn fft2_in_place(data: &mut [Complex64], nx: usize, ny: usize, direction: Direction) {
     assert_eq!(data.len(), nx * ny, "buffer size mismatch");
-    assert!(nx.is_power_of_two() && ny.is_power_of_two(), "dimensions must be powers of two");
+    assert!(
+        nx.is_power_of_two() && ny.is_power_of_two(),
+        "dimensions must be powers of two"
+    );
     // Rows.
     for row in data.chunks_mut(nx) {
         fft_in_place(row, direction);
@@ -176,8 +182,9 @@ mod tests {
     #[test]
     fn linearity() {
         let a: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> =
-            (0..8).map(|i| Complex64::new(0.0, (i as f64).cos())).collect();
+        let b: Vec<Complex64> = (0..8)
+            .map(|i| Complex64::new(0.0, (i as f64).cos()))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         let mut fab: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();

@@ -111,7 +111,10 @@ mod tests {
         let e_along = a.energy(&along, 0.0, ms, v);
         let e_hard = a.energy(&hard, 0.0, ms, v);
         assert!(e_along < e_hard, "easy axis must be the energy minimum");
-        assert!(e_hard.abs() < 1e-30, "hard-axis energy is the zero reference");
+        assert!(
+            e_hard.abs() < 1e-30,
+            "hard-axis energy is the zero reference"
+        );
     }
 
     #[test]

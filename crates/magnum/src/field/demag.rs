@@ -109,9 +109,17 @@ impl NewellDemag {
         for jy in 0..py {
             // Wrap offsets: indices beyond the half-grid represent
             // negative displacements.
-            let oy = if jy <= py / 2 { jy as isize } else { jy as isize - py as isize };
+            let oy = if jy <= py / 2 {
+                jy as isize
+            } else {
+                jy as isize - py as isize
+            };
             for jx in 0..px {
-                let ox = if jx <= px / 2 { jx as isize } else { jx as isize - px as isize };
+                let ox = if jx <= px / 2 {
+                    jx as isize
+                } else {
+                    jx as isize - px as isize
+                };
                 let x = ox as f64 * dx;
                 let y = oy as f64 * dy;
                 let idx = jy * px + jx;
@@ -287,10 +295,7 @@ fn newell_stencil<F: Fn(f64, f64, f64) -> f64>(
     for &(u, wu) in &W {
         for &(v, wv) in &W {
             for &(w, ww) in &W {
-                acc += wu
-                    * wv
-                    * ww
-                    * func(x + u as f64 * dx, y + v as f64 * dy, z + w as f64 * dz);
+                acc += wu * wv * ww * func(x + u as f64 * dx, y + v as f64 * dy, z + w as f64 * dz);
             }
         }
     }
@@ -299,14 +304,12 @@ fn newell_stencil<F: Fn(f64, f64, f64) -> f64>(
 
 /// Demag tensor component `Nxx` between two cells displaced by `(x, y, z)`.
 pub fn newell_nxx(x: f64, y: f64, z: f64, dx: f64, dy: f64, dz: f64) -> f64 {
-    newell_stencil(x, y, z, dx, dy, dz, newell_f)
-        / (4.0 * std::f64::consts::PI * dx * dy * dz)
+    newell_stencil(x, y, z, dx, dy, dz, newell_f) / (4.0 * std::f64::consts::PI * dx * dy * dz)
 }
 
 /// Demag tensor component `Nxy` between two cells displaced by `(x, y, z)`.
 pub fn newell_nxy(x: f64, y: f64, z: f64, dx: f64, dy: f64, dz: f64) -> f64 {
-    newell_stencil(x, y, z, dx, dy, dz, newell_g)
-        / (4.0 * std::f64::consts::PI * dx * dy * dz)
+    newell_stencil(x, y, z, dx, dy, dz, newell_g) / (4.0 * std::f64::consts::PI * dx * dy * dz)
 }
 
 #[cfg(test)]

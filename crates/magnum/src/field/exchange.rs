@@ -31,7 +31,11 @@ impl Exchange {
         let ms = material.saturation_magnetization();
         let aex = material.exchange_stiffness();
         let [dx, dy, _] = mesh.cell_size();
-        let base = if ms > 0.0 { 2.0 * aex / (MU0 * ms) } else { 0.0 };
+        let base = if ms > 0.0 {
+            2.0 * aex / (MU0 * ms)
+        } else {
+            0.0
+        };
         Exchange {
             nx: mesh.nx(),
             ny: mesh.ny(),
@@ -171,11 +175,11 @@ mod tests {
         ex.accumulate(&m, 0.0, &mut h);
         // Interior cells: x-component nearly zero relative to coefficient.
         let scale = ex.coefficient_x() * 1e-4;
-        for i in 2..14 {
+        for (i, hi) in h.iter().enumerate().take(14).skip(2) {
             assert!(
-                h[i].x.abs() < scale * 1e-4,
+                hi.x.abs() < scale * 1e-4,
                 "interior cell {i} has non-vanishing Laplacian: {}",
-                h[i].x
+                hi.x
             );
         }
         // Edge cells are pulled by their single neighbour.

@@ -11,11 +11,9 @@
 //! thermal` experiment uses to show gate operation survives T > 0.
 
 use crate::material::Material;
-use crate::math::Vec3;
+use crate::math::{GaussianSource, Vec3};
 use crate::mesh::Mesh;
 use crate::{KB, MU0};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Stochastic thermal field generator (see module docs).
 #[derive(Debug)]
@@ -24,9 +22,7 @@ pub struct ThermalField {
     /// 2·α·k_B / (γ·Ms·V) — multiplied by T/Δt and square-rooted per draw.
     coeff: f64,
     mask: Vec<bool>,
-    rng: StdRng,
-    /// Cached second Box–Muller variate.
-    spare: Option<f64>,
+    normals: GaussianSource,
 }
 
 impl ThermalField {
@@ -43,32 +39,13 @@ impl ThermalField {
             temperature: temperature.max(0.0),
             coeff,
             mask: mesh.mask().to_vec(),
-            rng: StdRng::seed_from_u64(seed),
-            spare: None,
+            normals: GaussianSource::new(seed),
         }
     }
 
     /// The configured temperature in kelvin.
     pub fn temperature(&self) -> f64 {
         self.temperature
-    }
-
-    /// Standard normal variate via Box–Muller (avoids an extra dependency).
-    fn normal(&mut self) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        loop {
-            let u: f64 = self.rng.gen::<f64>();
-            let v: f64 = self.rng.gen::<f64>();
-            if u <= f64::MIN_POSITIVE {
-                continue;
-            }
-            let r = (-2.0 * u.ln()).sqrt();
-            let theta = 2.0 * std::f64::consts::PI * v;
-            self.spare = Some(r * theta.sin());
-            return r * theta.cos();
-        }
     }
 
     /// Draws a fresh realization of the thermal field (A/m) for a step of
@@ -88,9 +65,9 @@ impl ThermalField {
         for (i, o) in out.iter_mut().enumerate() {
             if self.mask[i] {
                 *o = Vec3::new(
-                    sigma * self.normal(),
-                    sigma * self.normal(),
-                    sigma * self.normal(),
+                    sigma * self.normals.next_normal(),
+                    sigma * self.normals.next_normal(),
+                    sigma * self.normals.next_normal(),
                 );
             } else {
                 *o = Vec3::ZERO;
@@ -177,9 +154,8 @@ mod tests {
         let mut buf = vec![Vec3::ZERO; mesh.cell_count()];
         th.draw(1e-13, &mut buf);
         let mean: Vec3 = buf.iter().copied().sum::<Vec3>() / buf.len() as f64;
-        let sigma = (buf.iter().map(|v| v.norm_sq()).sum::<f64>()
-            / (3.0 * buf.len() as f64))
-            .sqrt();
+        let sigma =
+            (buf.iter().map(|v| v.norm_sq()).sum::<f64>() / (3.0 * buf.len() as f64)).sqrt();
         assert!(mean.norm() < sigma, "mean {mean} too large vs σ = {sigma}");
     }
 

@@ -125,7 +125,11 @@ pub struct Circle {
 impl Circle {
     /// Creates a disc. `r` must be non-negative.
     pub fn new(cx: f64, cy: f64, r: f64) -> Self {
-        Circle { cx, cy, r: r.max(0.0) }
+        Circle {
+            cx,
+            cy,
+            r: r.max(0.0),
+        }
     }
 }
 
@@ -301,7 +305,9 @@ impl Shape for ShapeSet {
 
 impl std::fmt::Debug for ShapeSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShapeSet").field("len", &self.shapes.len()).finish()
+        f.debug_struct("ShapeSet")
+            .field("len", &self.shapes.len())
+            .finish()
     }
 }
 

@@ -106,7 +106,10 @@ impl std::fmt::Debug for LlgSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LlgSystem")
             .field("cells", &self.len())
-            .field("terms", &self.terms.iter().map(|t| t.name()).collect::<Vec<_>>())
+            .field(
+                "terms",
+                &self.terms.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            )
             .field("antennas", &self.antennas.len())
             .field("gamma", &self.gamma)
             .finish()
@@ -161,7 +164,10 @@ mod tests {
         let mut h = vec![Vec3::ZERO];
         sys.rhs(&m, 0.0, &mut dmdt, &mut h);
         // The damping term rotates m towards +z.
-        assert!(dmdt[0].z > 0.0, "damped motion must approach the field axis");
+        assert!(
+            dmdt[0].z > 0.0,
+            "damped motion must approach the field axis"
+        );
     }
 
     #[test]

@@ -175,11 +175,7 @@ impl MaterialBuilder {
     /// non-finite, Ms/Aex/α are negative, γ is not positive, or the
     /// anisotropy axis is zero while Ku₁ is non-zero.
     pub fn build(self) -> Result<Material, MagnumError> {
-        fn check(
-            parameter: &'static str,
-            value: f64,
-            nonneg: bool,
-        ) -> Result<(), MagnumError> {
+        fn check(parameter: &'static str, value: f64, nonneg: bool) -> Result<(), MagnumError> {
             if !value.is_finite() {
                 return Err(MagnumError::InvalidMaterial {
                     parameter,
@@ -251,7 +247,10 @@ mod tests {
     #[test]
     fn exchange_length_is_nanometric_for_fecob() {
         let l = Material::fecob().exchange_length();
-        assert!(l > 3e-9 && l < 8e-9, "exchange length {l} out of expected range");
+        assert!(
+            l > 3e-9 && l < 8e-9,
+            "exchange length {l} out of expected range"
+        );
     }
 
     #[test]
@@ -259,13 +258,19 @@ mod tests {
         let err = Material::builder().saturation_magnetization(-1.0).build();
         assert!(matches!(
             err,
-            Err(MagnumError::InvalidMaterial { parameter: "saturation_magnetization", .. })
+            Err(MagnumError::InvalidMaterial {
+                parameter: "saturation_magnetization",
+                ..
+            })
         ));
     }
 
     #[test]
     fn builder_rejects_nan_damping() {
-        assert!(Material::builder().gilbert_damping(f64::NAN).build().is_err());
+        assert!(Material::builder()
+            .gilbert_damping(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -295,7 +300,10 @@ mod tests {
 
     #[test]
     fn zero_ms_material_has_infinite_exchange_length() {
-        let m = Material::builder().exchange_stiffness(1e-12).build().unwrap();
+        let m = Material::builder()
+            .exchange_stiffness(1e-12)
+            .build()
+            .unwrap();
         assert!(m.exchange_length().is_infinite());
         assert_eq!(m.effective_perpendicular_field(), 0.0);
     }

@@ -173,6 +173,9 @@ impl Mul<Complex64> for f64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // z / w is defined as z * conj(w) / |w|^2, so multiplying by the
+    // reciprocal is the operation itself, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()

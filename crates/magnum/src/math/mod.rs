@@ -5,7 +5,9 @@
 //! operations the solver and the analysis code actually use.
 
 mod complex;
+mod rng;
 mod vec3;
 
 pub use complex::Complex64;
+pub use rng::{GaussianSource, SplitMix64};
 pub use vec3::Vec3;

@@ -120,7 +120,10 @@ impl Mesh {
     /// Panics if the index is outside the mesh.
     #[inline]
     pub fn linear_index(&self, ix: usize, iy: usize) -> usize {
-        assert!(ix < self.nx && iy < self.ny, "cell ({ix}, {iy}) outside mesh");
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix}, {iy}) outside mesh"
+        );
         iy * self.nx + ix
     }
 

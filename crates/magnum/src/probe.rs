@@ -284,7 +284,14 @@ mod tests {
         assert_eq!(probe.cells().len(), 4);
     }
 
-    fn feed_tone(probe: &mut DftProbe, amp: f64, freq: f64, phase: f64, periods: usize, per: usize) {
+    fn feed_tone(
+        probe: &mut DftProbe,
+        amp: f64,
+        freq: f64,
+        phase: f64,
+        periods: usize,
+        per: usize,
+    ) {
         let dt = 1.0 / (freq * per as f64);
         for i in 0..periods * per {
             let t = i as f64 * dt;
@@ -297,8 +304,7 @@ mod tests {
     #[test]
     fn dft_recovers_amplitude_and_phase() {
         for &phase in &[0.0, PI / 3.0, PI, -PI / 2.0] {
-            let mut probe =
-                DftProbe::new(RegionProbe::new(vec![0], Component::X), 10e9);
+            let mut probe = DftProbe::new(RegionProbe::new(vec![0], Component::X), 10e9);
             feed_tone(&mut probe, 0.37, 10e9, phase, 8, 64);
             assert!(
                 (probe.amplitude() - 0.37).abs() < 1e-3,

@@ -178,11 +178,7 @@ impl Simulation {
     /// # Errors
     ///
     /// Propagates integrator failures.
-    pub fn relax(
-        &mut self,
-        torque_tolerance: f64,
-        max_steps: usize,
-    ) -> Result<f64, MagnumError> {
+    pub fn relax(&mut self, torque_tolerance: f64, max_steps: usize) -> Result<f64, MagnumError> {
         let saved_alpha = self.system.alpha.clone();
         let saved_antennas = std::mem::take(&mut self.system.antennas);
         let saved_thermal = std::mem::take(&mut self.system.thermal);
@@ -191,7 +187,10 @@ impl Simulation {
         }
         let mut result = Ok(0.0);
         for _ in 0..max_steps {
-            match self.integrator.step(&self.system, self.time, self.dt, &mut self.m) {
+            match self
+                .integrator
+                .step(&self.system, self.time, self.dt, &mut self.m)
+            {
                 Ok(_) => {}
                 Err(e) => {
                     result = Err(e);
@@ -608,14 +607,8 @@ mod tests {
             .antenna(antenna)
             .build()
             .unwrap();
-        let probe_region = RegionProbe::over_rect(
-            sim.mesh(),
-            400e-9,
-            0.0,
-            420e-9,
-            20e-9,
-            Component::X,
-        );
+        let probe_region =
+            RegionProbe::over_rect(sim.mesh(), 400e-9, 0.0, 420e-9, 20e-9, Component::X);
         let mut probe = DftProbe::new(probe_region, 10e9);
         // Let the front arrive, then measure 2 periods.
         sim.run(1.5e-9).unwrap();
@@ -663,7 +656,10 @@ mod tests {
 
     #[test]
     fn zero_initial_direction_is_rejected() {
-        assert!(fecob_strip(4, 4).uniform_magnetization(Vec3::ZERO).build().is_err());
+        assert!(fecob_strip(4, 4)
+            .uniform_magnetization(Vec3::ZERO)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -689,7 +685,8 @@ mod tests {
         let mut sim = fecob_strip(4, 4).build().unwrap();
         let dt = sim.time_step();
         let mut calls = 0;
-        sim.run_sampled(dt * 10.0, dt * 2.0, |_, _| calls += 1).unwrap();
+        sim.run_sampled(dt * 10.0, dt * 2.0, |_, _| calls += 1)
+            .unwrap();
         assert!(calls >= 5, "observer called {calls} times");
     }
 

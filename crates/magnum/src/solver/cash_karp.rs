@@ -76,30 +76,34 @@ impl CashKarp45 {
 
     /// Evaluates the six stages and returns the max-norm error estimate.
     fn attempt(&mut self, system: &LlgSystem, t: f64, dt: f64, m: &[Vec3]) -> f64 {
-        let n = m.len();
         system.rhs(m, t, &mut self.k[0], &mut self.h_scratch);
         for s in 1..6 {
-            for i in 0..n {
+            for (i, stage) in self.stage.iter_mut().enumerate() {
                 let mut acc = m[i];
                 for (j, a) in A[s - 1].iter().enumerate().take(s) {
                     acc += self.k[j][i] * (a * dt);
                 }
-                self.stage[i] = acc;
+                *stage = acc;
             }
             // Split borrows: k[s] is written, k[0..s] were read above.
             let (head, tail) = self.k.split_at_mut(s);
             let _ = head;
-            system.rhs(&self.stage, t + C[s] * dt, &mut tail[0], &mut self.h_scratch);
+            system.rhs(
+                &self.stage,
+                t + C[s] * dt,
+                &mut tail[0],
+                &mut self.h_scratch,
+            );
         }
         let mut err_max: f64 = 0.0;
-        for i in 0..n {
+        for (i, out) in self.y5.iter_mut().enumerate() {
             let mut y5 = m[i];
             let mut y4 = m[i];
             for s in 0..6 {
                 y5 += self.k[s][i] * (B5[s] * dt);
                 y4 += self.k[s][i] * (B4[s] * dt);
             }
-            self.y5[i] = y5;
+            *out = y5;
             err_max = err_max.max((y5 - y4).norm());
         }
         err_max

@@ -40,12 +40,12 @@ impl Integrator for Heun {
         m: &mut [Vec3],
     ) -> Result<f64, MagnumError> {
         system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
-        for i in 0..m.len() {
-            self.predictor[i] = m[i] + self.k1[i] * dt;
+        for (i, p) in self.predictor.iter_mut().enumerate() {
+            *p = m[i] + self.k1[i] * dt;
         }
         system.rhs(&self.predictor, t + dt, &mut self.k2, &mut self.h_scratch);
-        for i in 0..m.len() {
-            m[i] += (self.k1[i] + self.k2[i]) * (dt / 2.0);
+        for (i, mi) in m.iter_mut().enumerate() {
+            *mi += (self.k1[i] + self.k2[i]) * (dt / 2.0);
         }
         renormalize_and_check(m, &system.mask, t + dt)?;
         Ok(dt)

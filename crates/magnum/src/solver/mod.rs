@@ -50,11 +50,12 @@ pub trait Integrator: Send {
 }
 
 /// Which integrator a [`crate::sim::SimulationBuilder`] should construct.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum IntegratorKind {
     /// Heun predictor-corrector (use with thermal noise).
     Heun,
     /// Classic fixed-step RK4 (default).
+    #[default]
     RungeKutta4,
     /// Adaptive Cash–Karp 5(4) with the given absolute tolerance on `m`.
     CashKarp45 {
@@ -63,21 +64,13 @@ pub enum IntegratorKind {
     },
 }
 
-impl Default for IntegratorKind {
-    fn default() -> Self {
-        IntegratorKind::RungeKutta4
-    }
-}
-
 impl IntegratorKind {
     /// Instantiates the integrator for a system of `cells` cells.
     pub fn instantiate(self, cells: usize) -> Box<dyn Integrator> {
         match self {
             IntegratorKind::Heun => Box::new(Heun::new(cells)),
             IntegratorKind::RungeKutta4 => Box::new(RungeKutta4::new(cells)),
-            IntegratorKind::CashKarp45 { tolerance } => {
-                Box::new(CashKarp45::new(cells, tolerance))
-            }
+            IntegratorKind::CashKarp45 { tolerance } => Box::new(CashKarp45::new(cells, tolerance)),
         }
     }
 }
@@ -134,7 +127,11 @@ pub(crate) mod test_support {
         let phi = omega * t;
         let theta0: f64 = std::f64::consts::FRAC_PI_2;
         let theta = 2.0 * ((theta0 / 2.0).tan() * (-alpha * omega * t).exp()).atan();
-        Vec3::new(theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos())
+        Vec3::new(
+            theta.sin() * phi.cos(),
+            theta.sin() * phi.sin(),
+            theta.cos(),
+        )
     }
 }
 
@@ -189,7 +186,10 @@ mod tests {
             IntegratorKind::CashKarp45 { tolerance: 1e-7 },
         ] {
             let m = run_integrator(kind.instantiate(1), 0.02, 5e5, 100e-12, 1e-14);
-            assert!((m.norm() - 1.0).abs() < 1e-12, "{kind:?} drifted off the unit sphere");
+            assert!(
+                (m.norm() - 1.0).abs() < 1e-12,
+                "{kind:?} drifted off the unit sphere"
+            );
         }
     }
 
@@ -203,8 +203,7 @@ mod tests {
         let err_heun =
             (run_integrator(Box::new(Heun::new(1)), alpha, h, t_end, dt) - expected).norm();
         let err_rk4 =
-            (run_integrator(Box::new(RungeKutta4::new(1)), alpha, h, t_end, dt) - expected)
-                .norm();
+            (run_integrator(Box::new(RungeKutta4::new(1)), alpha, h, t_end, dt) - expected).norm();
         assert!(
             err_rk4 < err_heun,
             "RK4 ({err_rk4}) should beat Heun ({err_heun}) at dt = {dt}"

@@ -39,22 +39,21 @@ impl Integrator for RungeKutta4 {
         dt: f64,
         m: &mut [Vec3],
     ) -> Result<f64, MagnumError> {
-        let n = m.len();
         system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
-        for i in 0..n {
-            self.stage[i] = m[i] + self.k1[i] * (dt / 2.0);
+        for (i, s) in self.stage.iter_mut().enumerate() {
+            *s = m[i] + self.k1[i] * (dt / 2.0);
         }
         system.rhs(&self.stage, t + dt / 2.0, &mut self.k2, &mut self.h_scratch);
-        for i in 0..n {
-            self.stage[i] = m[i] + self.k2[i] * (dt / 2.0);
+        for (i, s) in self.stage.iter_mut().enumerate() {
+            *s = m[i] + self.k2[i] * (dt / 2.0);
         }
         system.rhs(&self.stage, t + dt / 2.0, &mut self.k3, &mut self.h_scratch);
-        for i in 0..n {
-            self.stage[i] = m[i] + self.k3[i] * dt;
+        for (i, s) in self.stage.iter_mut().enumerate() {
+            *s = m[i] + self.k3[i] * dt;
         }
         system.rhs(&self.stage, t + dt, &mut self.k4, &mut self.h_scratch);
-        for i in 0..n {
-            m[i] += (self.k1[i] + (self.k2[i] + self.k3[i]) * 2.0 + self.k4[i]) * (dt / 6.0);
+        for (i, mi) in m.iter_mut().enumerate() {
+            *mi += (self.k1[i] + (self.k2[i] + self.k3[i]) * 2.0 + self.k4[i]) * (dt / 6.0);
         }
         renormalize_and_check(m, &system.mask, t + dt)?;
         Ok(dt)

@@ -10,15 +10,17 @@ use magnum::prelude::*;
 use magnum::solver::IntegratorKind;
 
 fn unit_vec3() -> impl Strategy<Value = Vec3> {
-    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)
-        .prop_filter_map("non-degenerate direction", |(x, y, z)| {
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_filter_map(
+        "non-degenerate direction",
+        |(x, y, z)| {
             let v = Vec3::new(x, y, z);
             if v.norm() > 1e-3 {
                 Some(v.normalized())
             } else {
                 None
             }
-        })
+        },
+    )
 }
 
 proptest! {

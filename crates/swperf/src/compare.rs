@@ -175,7 +175,11 @@ mod tests {
         assert!((r.energy_saving_vs_sw_maj - 0.25).abs() < 0.01);
         assert!((r.energy_saving_vs_sw_xor - 0.50).abs() < 0.01);
         // Abstract: 43x-0.8x vs CMOS.
-        assert!((r.energy_reduction_vs_cmos16_xor - 44.0).abs() < 1.5, "{}", r.energy_reduction_vs_cmos16_xor);
+        assert!(
+            (r.energy_reduction_vs_cmos16_xor - 44.0).abs() < 1.5,
+            "{}",
+            r.energy_reduction_vs_cmos16_xor
+        );
         assert!((r.energy_reduction_vs_cmos7_xor - 0.78).abs() < 0.05);
         assert!((r.energy_reduction_vs_cmos7_maj - 1.59).abs() < 0.05);
         // §IV-D: 13x/20x/40x delay overheads (ME delay 0.42 vs table 0.4

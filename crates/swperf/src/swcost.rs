@@ -98,7 +98,13 @@ mod tests {
         let xor_saving = 1.0
             - SwGateKind::TriangleXor.paper_cost().energy()
                 / SwGateKind::LadderXor.paper_cost().energy();
-        assert!((maj_saving - 0.25).abs() < 1e-9, "MAJ saving = {maj_saving}");
-        assert!((xor_saving - 0.50).abs() < 1e-9, "XOR saving = {xor_saving}");
+        assert!(
+            (maj_saving - 0.25).abs() < 1e-9,
+            "MAJ saving = {maj_saving}"
+        );
+        assert!(
+            (xor_saving - 0.50).abs() < 1e-9,
+            "XOR saving = {xor_saving}"
+        );
     }
 }

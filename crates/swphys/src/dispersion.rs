@@ -37,12 +37,7 @@ impl FvmswDispersion {
     /// Builds the dispersion from raw angular parameters: `omega0 = γμ₀H_i`
     /// (rad/s), `omega_m = γμ₀Ms` (rad/s), `lambda_ex_sq = 2A/(μ₀Ms²)`
     /// (m²), thickness (m).
-    pub fn from_parameters(
-        omega0: f64,
-        omega_m: f64,
-        lambda_ex_sq: f64,
-        thickness: f64,
-    ) -> Self {
+    pub fn from_parameters(omega0: f64, omega_m: f64, lambda_ex_sq: f64, thickness: f64) -> Self {
         FvmswDispersion {
             omega0,
             omega_m,
@@ -154,7 +149,8 @@ impl FvmswDispersion {
         lambda_max: f64,
     ) -> Result<f64, SwPhysError> {
         let two_pi = 2.0 * std::f64::consts::PI;
-        let k = self.wavenumber_for_frequency(frequency, two_pi / lambda_max, two_pi / lambda_min)?;
+        let k =
+            self.wavenumber_for_frequency(frequency, two_pi / lambda_max, two_pi / lambda_min)?;
         Ok(two_pi / k)
     }
 }
@@ -221,7 +217,10 @@ mod tests {
         let k_switch = 1e-4 / disp.thickness;
         let f1 = disp.form_factor(k_switch * 0.999);
         let f2 = disp.form_factor(k_switch * 1.001);
-        assert!(f1 > 0.0 && f2 > f1, "form factor must increase: {f1} vs {f2}");
+        assert!(
+            f1 > 0.0 && f2 > f1,
+            "form factor must increase: {f1} vs {f2}"
+        );
         // Δx = 0.002·x = 2e-7 ⇒ ΔF ≈ Δx/2 = 1e-7; allow 2x slack. A branch
         // mismatch would show up as a jump far bigger than this.
         assert!((f2 - f1) < 2e-7, "jump across switchover: {}", f2 - f1);

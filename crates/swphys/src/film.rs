@@ -139,14 +139,8 @@ mod tests {
     #[test]
     fn bias_field_adds_to_internal_field() {
         let base = PerpendicularFilm::fecob(1e-9);
-        let biased = PerpendicularFilm::new(
-            base.ms(),
-            base.aex(),
-            base.alpha(),
-            0.832e6,
-            1e-9,
-            50e3,
-        );
+        let biased =
+            PerpendicularFilm::new(base.ms(), base.aex(), base.alpha(), 0.832e6, 1e-9, 50e3);
         assert!((biased.internal_field() - base.internal_field() - 50e3).abs() < 1e-6);
     }
 

@@ -120,11 +120,9 @@ impl WaveguideDispersion {
         kx_max: f64,
     ) -> Result<f64, SwPhysError> {
         let ky = self.transverse_wavenumber(n);
-        let k_total = self.film.wavenumber_for_frequency(
-            f,
-            ky,
-            (kx_max * kx_max + ky * ky).sqrt(),
-        )?;
+        let k_total =
+            self.film
+                .wavenumber_for_frequency(f, ky, (kx_max * kx_max + ky * ky).sqrt())?;
         Ok((k_total * k_total - ky * ky).max(0.0).sqrt())
     }
 }

@@ -1,0 +1,123 @@
+//! # swrun — std-only parallel batch execution for spin-wave gate runs
+//!
+//! Micromagnetic gate validation is embarrassingly parallel — 8 MAJ3
+//! patterns, 4 XOR patterns, temperature and roughness sweeps — but each
+//! LLG run takes seconds to minutes and a killed sweep used to restart
+//! from zero. This crate is the batch layer the `repro` binary runs on:
+//!
+//! * [`pool`] — a `std::thread`-based job pool (`--jobs N`) with per-job
+//!   panic isolation and wall-time measurement.
+//! * [`json`] — a hand-rolled minimal JSON value/writer/parser (the
+//!   workspace is dependency-free by policy; see README).
+//! * [`manifest`] — JSON-lines run manifests: one flushed line per
+//!   completed job, giving crash-safe checkpoint/resume.
+//! * [`metrics`] — live `[k/n]` progress and aggregate batch metrics
+//!   (wall time, summed job time, realized speedup vs serial).
+//! * [`batch`] — the engine tying those together: [`batch::Batch::run`]
+//!   skips manifest-completed jobs, fans the rest out, logs and reports.
+//! * [`gates`] — the bridge to [`swgates`]: pattern batches for the
+//!   triangle MAJ3/XOR gates with shared drive-trim calibration, sweep
+//!   helpers, and [`gates::MemoBackend`] to feed batch results back into
+//!   the ordinary truth-table decoding.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use swgates::layout::TriangleMaj3Layout;
+//! use swgates::mumag::MumagBackend;
+//! use swrun::batch::RunOptions;
+//! use swrun::gates::maj3_patterns;
+//!
+//! let backend = MumagBackend::fast();
+//! let layout = TriangleMaj3Layout::paper();
+//! let options = RunOptions::default()
+//!     .with_jobs(4)
+//!     .with_manifest("fig5.manifest.jsonl");
+//! let report = maj3_patterns(&backend, &layout, &options).unwrap();
+//! println!("{}", report.metrics.summary_line());
+//! // Re-running with the same manifest skips everything already done.
+//! ```
+
+pub mod batch;
+pub mod gates;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod pool;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use batch::{Batch, BatchReport, JobSpec, Outcome, RunOptions};
+pub use json::Json;
+pub use manifest::{Manifest, ManifestWriter};
+pub use metrics::{BatchMetrics, Progress};
+pub use pool::{JobFailure, JobOutcome, JobPool};
+
+/// Errors that abort a batch (individual job failures do not — they are
+/// reported per job as [`Outcome::Failed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A manifest file could not be opened, read or written.
+    Io {
+        /// The manifest path.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+    /// Shared batch setup failed (e.g. the drive-trim calibration that
+    /// every job depends on).
+    Setup {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl RunError {
+    pub(crate) fn io(path: &Path, error: &dyn fmt::Display) -> RunError {
+        RunError::Io {
+            path: path.to_path_buf(),
+            reason: error.to_string(),
+        }
+    }
+
+    pub(crate) fn setup(error: &dyn fmt::Display) -> RunError {
+        RunError::Setup {
+            reason: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Io { path, reason } => {
+                write!(f, "manifest {}: {reason}", path.display())
+            }
+            RunError::Setup { reason } => write!(f, "batch setup failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_error_displays_context() {
+        let e = RunError::io(Path::new("/tmp/x.jsonl"), &"denied");
+        assert!(e.to_string().contains("/tmp/x.jsonl"));
+        assert!(e.to_string().contains("denied"));
+        let s = RunError::setup(&"calibration diverged");
+        assert!(s.to_string().contains("calibration diverged"));
+    }
+
+    #[test]
+    fn run_error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RunError>();
+    }
+}

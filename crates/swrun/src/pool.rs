@@ -1,0 +1,288 @@
+//! The parallel job pool: scoped worker threads over a shared queue.
+//!
+//! Built entirely on `std`: a `Mutex<VecDeque>` of pending job indices
+//! feeds `--jobs N` scoped threads ([`std::thread::scope`]); each worker
+//! pops, runs, and stores its result until the queue drains. A panic in
+//! one job is caught ([`std::panic::catch_unwind`]) and reported as that
+//! job's failure — it never takes down the batch or the other workers.
+//!
+//! `jobs = 1` degenerates to a strictly serial in-order run on the pool
+//! thread, so serial execution remains the default-compatible path.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Why a job did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job returned an error message.
+    Error(String),
+    /// The job panicked; the payload rendered as text if possible.
+    Panic(String),
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Error(e) => write!(f, "error: {e}"),
+            JobFailure::Panic(p) => write!(f, "panic: {p}"),
+        }
+    }
+}
+
+/// One job's outcome with its measured wall time.
+#[derive(Debug, Clone)]
+pub struct JobOutcome<R> {
+    /// The job's value, or why it failed.
+    pub result: Result<R, JobFailure>,
+    /// Wall-clock time this job spent executing.
+    pub wall: Duration,
+}
+
+/// A fixed-width parallel executor.
+#[derive(Debug, Clone, Copy)]
+pub struct JobPool {
+    workers: usize,
+}
+
+impl JobPool {
+    /// A pool running at most `workers` jobs concurrently (clamped to at
+    /// least 1).
+    pub fn new(workers: usize) -> Self {
+        JobPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        JobPool::new(workers)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `worker` over every item, `self.workers()` at a time, and
+    /// returns outcomes in input order. `observer` is called after each
+    /// job completes (from the thread that ran it) with the item index
+    /// and its outcome — the progress/metrics hook.
+    ///
+    /// Jobs that panic are reported as [`JobFailure::Panic`] without
+    /// poisoning the pool; jobs that return `Err` become
+    /// [`JobFailure::Error`].
+    pub fn run<T, R, F, O>(&self, items: &[T], worker: F, observer: O) -> Vec<JobOutcome<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R, String> + Sync,
+        O: Fn(usize, &JobOutcome<R>) + Sync,
+    {
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..items.len()).collect());
+        let results: Vec<Mutex<Option<JobOutcome<R>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+
+        let execute_one = |index: usize| {
+            let item = &items[index];
+            let start = Instant::now();
+            let result = match catch_unwind(AssertUnwindSafe(|| worker(index, item))) {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(message)) => Err(JobFailure::Error(message)),
+                Err(payload) => Err(JobFailure::Panic(panic_message(payload.as_ref()))),
+            };
+            let outcome = JobOutcome {
+                result,
+                wall: start.elapsed(),
+            };
+            observer(index, &outcome);
+            *results[index].lock().expect("result slot poisoned") = Some(outcome);
+        };
+
+        let drain = || {
+            while let Some(index) = {
+                let mut q = queue.lock().expect("job queue poisoned");
+                q.pop_front()
+            } {
+                execute_one(index);
+            }
+        };
+
+        let threads = self.workers.min(items.len().max(1));
+        if threads <= 1 {
+            drain();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(drain);
+                }
+            });
+        }
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every queued job stores an outcome")
+            })
+            .collect()
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let outcomes = JobPool::new(4).run(
+            &items,
+            |_, &x| {
+                // Stagger finish order: later items finish first.
+                std::thread::sleep(Duration::from_micros(200 * (32 - x)));
+                Ok(x * x)
+            },
+            |_, _| {},
+        );
+        let values: Vec<u64> = outcomes
+            .into_iter()
+            .map(|o| o.result.expect("job succeeds"))
+            .collect();
+        assert_eq!(values, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_pool_matches_parallel_pool() {
+        let items: Vec<u64> = (0..16).collect();
+        let run = |workers| {
+            JobPool::new(workers)
+                .run(&items, |_, &x| Ok(x.wrapping_mul(0x9E3779B9)), |_, _| {})
+                .into_iter()
+                .map(|o| o.result.unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let items: Vec<u32> = (0..8).collect();
+        let outcomes = JobPool::new(3).run(
+            &items,
+            |_, &x| {
+                if x == 3 {
+                    panic!("job {x} exploded");
+                }
+                Ok(x)
+            },
+            |_, _| {},
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 3 {
+                match &outcome.result {
+                    Err(JobFailure::Panic(msg)) => assert!(msg.contains("exploded")),
+                    other => panic!("expected panic failure, got {other:?}"),
+                }
+            } else {
+                assert_eq!(outcome.result.as_ref().unwrap(), &(i as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn error_results_are_reported_not_propagated() {
+        let items = [1, 2];
+        let outcomes = JobPool::new(2).run(
+            &items,
+            |_, &x| {
+                if x == 2 {
+                    Err("backend refused".to_string())
+                } else {
+                    Ok(x)
+                }
+            },
+            |_, _| {},
+        );
+        assert!(outcomes[0].result.is_ok());
+        assert_eq!(
+            outcomes[1].result,
+            Err(JobFailure::Error("backend refused".into()))
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_job_exactly_once() {
+        let items: Vec<u32> = (0..20).collect();
+        let seen = AtomicUsize::new(0);
+        JobPool::new(5).run(
+            &items,
+            |_, &x| Ok(x),
+            |_, outcome| {
+                assert!(outcome.result.is_ok());
+                seen.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(seen.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn parallel_pool_actually_overlaps_work() {
+        // 4 workers × 4 jobs of ~40 ms: parallel wall time must come in
+        // well under the 160 ms serial total, even on a loaded machine.
+        // On a single-core host this can't be asserted, so skip there.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return;
+        }
+        let items = [0u8; 4];
+        let start = Instant::now();
+        JobPool::new(4).run(
+            &items,
+            |_, _| {
+                std::thread::sleep(Duration::from_millis(40));
+                Ok(())
+            },
+            |_, _| {},
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(140),
+            "4×40 ms jobs took {:?} on 4 workers",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let outcomes: Vec<JobOutcome<()>> =
+            JobPool::new(4).run(&[] as &[u8], |_, _| Ok(()), |_, _| {});
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(JobPool::new(0).workers(), 1);
+        assert!(JobPool::auto().workers() >= 1);
+    }
+}

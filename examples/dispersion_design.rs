@@ -18,10 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1: the film (§IV-A material parameters).
     let film = PerpendicularFilm::fecob(1e-9);
     println!("Fe60Co20B20 film, 1 nm thick:");
-    println!("  anisotropy field    {:.0} kA/m", film.anisotropy_field() / 1e3);
-    println!("  internal field      {:.0} kA/m", film.internal_field() / 1e3);
+    println!(
+        "  anisotropy field    {:.0} kA/m",
+        film.anisotropy_field() / 1e3
+    );
+    println!(
+        "  internal field      {:.0} kA/m",
+        film.internal_field() / 1e3
+    );
     println!("  out-of-plane stable {}", film.is_stable());
-    println!("  FMR frequency       {:.2} GHz", film.fmr_frequency() / 1e9);
+    println!(
+        "  FMR frequency       {:.2} GHz",
+        film.fmr_frequency() / 1e9
+    );
     assert!(film.is_stable(), "FVMSWs need a perpendicular film");
 
     // Step 2: dispersion and the operating point at λ = 55 nm.

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bits |   FO2 energy | replicated | saving");
     for n in [4, 8, 16, 32] {
         let adder = Circuit::ripple_carry_adder(n);
-        assert!(adder.fanout_violations().is_empty(), "FO2 suffices by construction");
+        assert!(
+            adder.fanout_violations().is_empty(),
+            "FO2 suffices by construction"
+        );
         let (fo2, rep, saving) = fanout_advantage(&adder, &me);
         println!(
             "{n:>4} | {:>9.1} aJ | {:>7.1} aJ | {:>5.1}%",

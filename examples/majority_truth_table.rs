@@ -14,7 +14,10 @@ fn main() -> Result<(), SwGateError> {
     // ---- Table I analogue -------------------------------------------------
     let gate = Maj3Gate::paper();
     let table = gate.truth_table(&backend)?;
-    println!("{}", table.render("Table I analogue — FO2 MAJ3 normalized output magnetization"));
+    println!(
+        "{}",
+        table.render("Table I analogue — FO2 MAJ3 normalized output magnetization")
+    );
     table.verify(|p| Bit::majority(p[0], p[1], p[2]))?;
     println!(
         "majority verified on all 8 patterns; max O1/O2 mismatch = {:.2e}\n",

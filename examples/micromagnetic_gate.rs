@@ -58,7 +58,11 @@ fn main() -> Result<(), SwGateError> {
         } else {
             TriangleMaj3Layout::from_multiples(55e-9, 50e-9, 2, 3, 4, 1)?
         };
-        let bits = [pattern[0], pattern[1], pattern.get(2).copied().unwrap_or(Bit::Zero)];
+        let bits = [
+            pattern[0],
+            pattern[1],
+            pattern.get(2).copied().unwrap_or(Bit::Zero),
+        ];
         println!(
             "running MAJ3 gate, inputs ({}, {}, {}) ...",
             bits[0], bits[1], bits[2]

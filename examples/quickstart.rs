@@ -35,6 +35,9 @@ fn main() -> Result<(), SwGateError> {
     );
     assert_eq!(out.o1.bit, Bit::majority(inputs[0], inputs[1], inputs[2]));
     assert!(out.fanout_consistent(), "both outputs must agree (FO2)");
-    println!("\nfan-out of 2 verified: both outputs carry MAJ(I1, I2, I3) = {}", out.o1.bit);
+    println!(
+        "\nfan-out of 2 verified: both outputs carry MAJ(I1, I2, I3) = {}",
+        out.o1.bit
+    );
     Ok(())
 }

@@ -43,7 +43,14 @@ fn measure_wavelength(
     let separation = (4.0 * lambda_expected / cell).round() * cell;
     let x2 = x1 + separation;
     let region = |x: f64| {
-        RegionProbe::over_rect(sim.mesh(), x - cell * 0.6, 0.0, x + cell * 0.6, width, Component::X)
+        RegionProbe::over_rect(
+            sim.mesh(),
+            x - cell * 0.6,
+            0.0,
+            x + cell * 0.6,
+            width,
+            Component::X,
+        )
     };
     let mut p1 = DftProbe::new(region(x1), frequency);
     let mut p2 = DftProbe::new(region(x2), frequency);
@@ -65,8 +72,14 @@ fn measure_wavelength(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let backend = MumagBackend::fast();
-    println!("straight-waveguide dispersion spectroscopy ({}x{} nm cells)\n", 6.875, 6.875);
-    println!("{:>10}  {:>12}  {:>12}  {:>7}", "f (GHz)", "λ design", "λ measured", "error");
+    println!(
+        "straight-waveguide dispersion spectroscopy ({}x{} nm cells)\n",
+        6.875, 6.875
+    );
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>7}",
+        "f (GHz)", "λ design", "λ measured", "error"
+    );
     for lambda_design in [82.5e-9, 68.75e-9, 55e-9] {
         let f = backend.drive_frequency(lambda_design);
         let measured = measure_wavelength(&backend, f, lambda_design)?;

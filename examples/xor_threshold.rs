@@ -14,7 +14,10 @@ fn main() -> Result<(), SwGateError> {
 
     // ---- Table II analogue -------------------------------------------------
     let table = gate.truth_table(&backend)?;
-    println!("{}", table.render("Table II analogue — FO2 XOR normalized output magnetization"));
+    println!(
+        "{}",
+        table.render("Table II analogue — FO2 XOR normalized output magnetization")
+    );
     table.verify(|p| Bit::xor(p[0], p[1]))?;
 
     // ---- Threshold margin analysis -----------------------------------------

@@ -8,6 +8,8 @@
 //! * [`swphys`] — analytic spin-wave physics (dispersion, attenuation).
 //! * [`swgates`] — the paper's triangle-shape fan-out-of-2 gates.
 //! * [`swperf`] — the energy/delay performance model (Table III).
+//! * [`swrun`] — parallel batch execution with run manifests and
+//!   checkpoint/resume (drives the micromagnetic experiments).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -15,3 +17,4 @@ pub use magnum;
 pub use swgates;
 pub use swperf;
 pub use swphys;
+pub use swrun;

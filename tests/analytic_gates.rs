@@ -39,7 +39,9 @@ fn table_ii_shape_holds_on_the_analytic_backend() {
     let table = XorGate::paper()
         .truth_table(&AnalyticBackend::paper())
         .expect("analytic evaluation succeeds");
-    table.verify(|p| Bit::xor(p[0], p[1])).expect("xor function");
+    table
+        .verify(|p| Bit::xor(p[0], p[1]))
+        .expect("xor function");
     // Equal inputs: ~1 (paper: 0.99/1); unequal: ~0 (paper: ≈0).
     assert!(table.min_normalized_where(|r| r.inputs[0] == r.inputs[1]) > 0.95);
     assert!(table.max_normalized_where(|r| r.inputs[0] != r.inputs[1]) < 0.05);
@@ -57,8 +59,14 @@ fn all_derived_gates_realize_their_functions() {
         let (a, b) = (p[0].as_bool(), p[1].as_bool());
         assert_eq!(and.evaluate(&backend, p).unwrap().o1.bit.as_bool(), a && b);
         assert_eq!(or.evaluate(&backend, p).unwrap().o1.bit.as_bool(), a || b);
-        assert_eq!(nand.evaluate(&backend, p).unwrap().o1.bit.as_bool(), !(a && b));
-        assert_eq!(nor.evaluate(&backend, p).unwrap().o1.bit.as_bool(), !(a || b));
+        assert_eq!(
+            nand.evaluate(&backend, p).unwrap().o1.bit.as_bool(),
+            !(a && b)
+        );
+        assert_eq!(
+            nor.evaluate(&backend, p).unwrap().o1.bit.as_bool(),
+            !(a || b)
+        );
         assert_eq!(xnor.evaluate(&backend, p).unwrap().o1.bit.as_bool(), a == b);
     }
 }
@@ -143,8 +151,7 @@ fn undecodable_conditions_surface_as_errors() {
 
 #[test]
 fn inverting_stub_produces_the_nmaj_gate_end_to_end() {
-    let layout =
-        TriangleMaj3Layout::new(55e-9, 50e-9, 330e-9, 880e-9, 220e-9, 82.5e-9).unwrap();
+    let layout = TriangleMaj3Layout::new(55e-9, 50e-9, 330e-9, 880e-9, 220e-9, 82.5e-9).unwrap();
     assert!(layout.inverting_output());
     let gate = Maj3Gate::new(layout);
     let table = gate.truth_table(&AnalyticBackend::paper()).unwrap();

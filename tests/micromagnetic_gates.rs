@@ -6,7 +6,7 @@
 //! CI territory while exercising exactly the same code paths as the
 //! full-size `repro --mumag` experiments.
 
-use swgates::encoding::{all_patterns, Bit};
+use swgates::encoding::Bit;
 use swgates::prelude::*;
 
 fn mini_xor_layout() -> TriangleXorLayout {

@@ -48,7 +48,14 @@ fn measured_wavelength_matches_the_discrete_dispersion() {
     let separation_cells = (4.0 * lambda_target / cell).round();
     let x2 = x1 + separation_cells * cell;
     let region = |x: f64| {
-        RegionProbe::over_rect(sim.mesh(), x - cell * 0.6, 0.0, x + cell * 0.6, width, Component::X)
+        RegionProbe::over_rect(
+            sim.mesh(),
+            x - cell * 0.6,
+            0.0,
+            x + cell * 0.6,
+            width,
+            Component::X,
+        )
     };
     let mut p1 = DftProbe::new(region(x1), f);
     let mut p2 = DftProbe::new(region(x2), f);

@@ -1,0 +1,232 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds with no network access (see the dependency
+//! policy in the repository README), so the real criterion cannot be
+//! fetched. This crate supplies the API subset the `bench` crate's
+//! benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`]
+//! — as a plain timing loop: no statistics, plots, or baselines, just a
+//! warm-up call and a mean wall-time over a bounded number of
+//! iterations, printed to stdout.
+//!
+//! Tuning: `CRITERION_STUB_MS` caps the measurement budget per benchmark
+//! in milliseconds (default 300).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; the stand-in runs one setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_STUB_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{id:<44} (no iterations recorded)");
+        } else {
+            let mean = bencher.elapsed / bencher.iterations;
+            println!("{id:<44} {mean:>12.3?}/iter ({} iters)", bencher.iterations);
+        }
+        self
+    }
+
+    /// Starts a named benchmark group; ids are prefixed `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's iteration count is
+    /// governed by the time budget, not a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; maps onto the stand-in's budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark under the group's name prefix.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timing loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iterations: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the budget is exhausted.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warm-up call outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u32;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= self.budget || iterations >= 100_000 {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u32;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iterations += 1;
+            if wall.elapsed() >= self.budget || iterations >= 100_000 {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = measured;
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn iter_records_iterations() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    mod as_macro_target {
+        use super::super::*;
+
+        fn bench_one(c: &mut Criterion) {
+            c.bench_function("macro target", |b| b.iter(|| 2 * 2));
+        }
+
+        criterion_group!(benches, bench_one);
+
+        #[test]
+        fn group_runs() {
+            benches();
+        }
+    }
+}

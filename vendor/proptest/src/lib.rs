@@ -1,0 +1,655 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace builds in environments with **no network access** (see
+//! the dependency policy in the repository README), so the real proptest
+//! cannot be fetched from the registry. This crate implements the API
+//! subset the workspace's property tests actually use — `proptest!`,
+//! `prop_assert*`/`prop_assume!`, `prop_oneof!`, `Just`, numeric-range
+//! and tuple strategies, `prop_filter_map`/`prop_map`/`prop_filter`,
+//! `prop::array::uniform*` and `prop::collection::vec` — over a
+//! deterministic SplitMix64 generator, entirely std-only.
+//!
+//! Semantics deliberately kept from the real crate:
+//!
+//! * Each `#[test]` inside `proptest!` runs `Config::cases` random cases
+//!   (default 64, overridable with the `PROPTEST_CASES` environment
+//!   variable or `#![proptest_config(ProptestConfig::with_cases(n))]`).
+//! * `prop_assume!` and filtered-out samples reject the case and draw a
+//!   fresh one, up to a global rejection budget.
+//! * Failures panic with the formatted assertion message.
+//!
+//! Deliberately **not** implemented: shrinking, persisted failure seeds,
+//! and the `Arbitrary` trait. The per-test seed derives from the test's
+//! name, so runs are reproducible from one invocation to the next.
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded from an arbitrary value.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// A generator seeded deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Rng { state: h }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` (`n = 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the tests use.
+
+    use super::Rng;
+    use std::ops::Range;
+
+    /// A generator of random values. `new_value` returns `None` when the
+    /// drawn sample was filtered out (the runner redraws).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value, or `None` if the draw was rejected.
+        fn new_value(&self, rng: &mut Rng) -> Option<Self::Value>;
+
+        /// Keeps only samples for which `f` returns `Some`, mapping them.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                source: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Maps every sample through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keeps only samples for which `f` returns true.
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                f,
+                whence,
+            }
+        }
+    }
+
+    /// Draws from `s`, redrawing up to `tries` times on rejection.
+    pub fn sample<S: Strategy>(s: &S, rng: &mut Rng, tries: u32) -> Option<S::Value> {
+        for _ in 0..tries {
+            if let Some(v) = s.new_value(rng) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut Rng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Uniform choice between same-typed strategies (`prop_oneof!`).
+    #[derive(Debug, Clone)]
+    pub struct Union<S> {
+        branches: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// A union over the given branches.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `branches` is empty.
+        pub fn new(branches: Vec<S>) -> Self {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut Rng) -> Option<S::Value> {
+            let i = rng.below(self.branches.len() as u64) as usize;
+            self.branches[i].new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        source: S,
+        f: F,
+        #[allow(dead_code)]
+        whence: &'static str,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut Rng) -> Option<O> {
+            self.source.new_value(rng).and_then(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut Rng) -> Option<O> {
+            self.source.new_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        f: F,
+        #[allow(dead_code)]
+        whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut Rng) -> Option<S::Value> {
+            self.source.new_value(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut Rng) -> Option<f64> {
+            Some(self.start + rng.next_f64() * (self.end - self.start))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut Rng) -> Option<$t> {
+                    let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                    Some((self.start as i128 + rng.below(span) as i128) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut Rng) -> Option<Self::Value> {
+                    let ($($s,)+) = self;
+                    $(let $v = $s.new_value(rng)?;)+
+                    Some(($($v,)+))
+                }
+            }
+        };
+    }
+    tuple_strategy!(S1 / v1);
+    tuple_strategy!(S1 / v1, S2 / v2);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+    tuple_strategy!(
+        S1 / v1,
+        S2 / v2,
+        S3 / v3,
+        S4 / v4,
+        S5 / v5,
+        S6 / v6,
+        S7 / v7
+    );
+    tuple_strategy!(
+        S1 / v1,
+        S2 / v2,
+        S3 / v3,
+        S4 / v4,
+        S5 / v5,
+        S6 / v6,
+        S7 / v7,
+        S8 / v8
+    );
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`prop::array::uniform*`).
+
+    use super::strategy::Strategy;
+    use super::Rng;
+
+    /// `N` independent draws from one strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn new_value(&self, rng: &mut Rng) -> Option<Self::Value> {
+            let mut out = Vec::with_capacity(N);
+            for _ in 0..N {
+                out.push(self.element.new_value(rng)?);
+            }
+            out.try_into().ok()
+        }
+    }
+
+    /// An array of 2 independent draws.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArrayStrategy<S, 2> {
+        UniformArrayStrategy { element }
+    }
+
+    /// An array of 3 independent draws.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArrayStrategy<S, 3> {
+        UniformArrayStrategy { element }
+    }
+
+    /// An array of 4 independent draws.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::Rng;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive length range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// A vector of independent draws with random length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy of `size` elements (a count or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut Rng) -> Option<Self::Value> {
+            let span = (self.size.max - self.size.min).max(1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.new_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case configuration and the error type `prop_assert*` produce.
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases each test must pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (`prop_assume!`) — redraw, don't fail.
+        Reject(String),
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+    }
+
+    /// Result type of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr);
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::Rng::from_name(::std::stringify!($name));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                'cases: while passed < config.cases {
+                    if rejected > 10 * config.cases + 1000 {
+                        ::std::panic!(
+                            "proptest stand-in: too many rejected inputs in `{}` \
+                             ({} rejects for {} passes)",
+                            ::std::stringify!($name), rejected, passed
+                        );
+                    }
+                    $(
+                        let $arg = match $crate::strategy::sample(&$strat, &mut rng, 100) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => {
+                                rejected += 1;
+                                continue 'cases;
+                            }
+                        };
+                    )*
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => rejected += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => ::std::panic!(
+                            "proptest case {} of `{}` failed: {}",
+                            passed, ::std::stringify!($name), message
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Written without `!` so callers asserting partial-ord
+        // comparisons don't trip `neg_cmp_op_on_partial_ord`.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if both operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (redraw) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::ToString::to_string(::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec::Vec::from([$($branch),+]))
+    };
+}
+
+pub mod prelude {
+    //! The glob-imported surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_oneof, proptest};
+
+    /// `prop::array::...` / `prop::collection::...` paths, as in the
+    /// real crate's prelude (which re-exports the crate root as `prop`).
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::Rng::new(1);
+        for _ in 0..1000 {
+            let x = crate::strategy::sample(&(2.0f64..3.0), &mut rng, 1).unwrap();
+            assert!((2.0..3.0).contains(&x));
+            let n = crate::strategy::sample(&(5u32..9), &mut rng, 1).unwrap();
+            assert!((5..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_branch() {
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::Rng::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[crate::strategy::sample(&s, &mut rng, 1).unwrap() as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn filter_map_rejects_and_maps() {
+        let s =
+            (0u32..10).prop_filter_map(
+                "even only",
+                |n| {
+                    if n % 2 == 0 {
+                        Some(n * 100)
+                    } else {
+                        None
+                    }
+                },
+            );
+        let mut rng = crate::Rng::new(3);
+        for _ in 0..100 {
+            let v = crate::strategy::sample(&s, &mut rng, 100).unwrap();
+            assert_eq!(v % 200, 0);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let s = prop::collection::vec(0u32..5, 2..6);
+        let mut rng = crate::Rng::new(11);
+        for _ in 0..100 {
+            let v = crate::strategy::sample(&s, &mut rng, 1).unwrap();
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn uniform_array_has_fixed_len() {
+        let s = prop::array::uniform3(0u32..4);
+        let mut rng = crate::Rng::new(13);
+        let arr = crate::strategy::sample(&s, &mut rng, 1).unwrap();
+        assert_eq!(arr.len(), 3);
+    }
+
+    // The macro must accept the same shapes the workspace tests use.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and multiple args parse.
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x > 4);
+            prop_assert!(x > 4, "assume should have filtered {}", x);
+        }
+
+        #[test]
+        fn tuples_and_filters_compose(
+            v in (0.0f64..1.0, 0.0f64..1.0).prop_filter_map("sum < 1", |(a, b)| {
+                if a + b < 1.0 { Some(a + b) } else { None }
+            }),
+        ) {
+            prop_assert!(v < 1.0);
+        }
+    }
+}
