@@ -24,4 +24,7 @@ cargo test -q --offline
 echo "==> workspace tests"
 cargo test -q --workspace --offline
 
+echo "==> magnum tests with MAGNUM_THREADS=4 (parallel field engine)"
+MAGNUM_THREADS=4 cargo test -q -p magnum --offline
+
 echo "CI OK"

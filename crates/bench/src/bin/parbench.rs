@@ -1,0 +1,93 @@
+//! `parbench` — wall-clock scaling of magnum's intra-simulation threading.
+//!
+//! Usage: `parbench [--size N] [--steps N] [--threads LIST]`
+//!
+//! Runs the same deterministic LLG workload (an N×N film with exchange,
+//! anisotropy, local demag and an antenna) at each thread count and
+//! reports wall time, speedup over the serial run, and whether the final
+//! magnetization is bitwise identical to the serial trajectory.
+//!
+//! Defaults: a 256×256 mesh, 50 steps, thread counts `1,2,4`.
+
+use std::time::Instant;
+
+use magnum::field::demag::DemagMethod;
+use magnum::prelude::*;
+use magnum::solver::IntegratorKind;
+
+fn build(size: usize, threads: usize) -> Simulation {
+    let cell = 5e-9;
+    let mesh = Mesh::new(size, size, [cell, cell, 1e-9]).unwrap();
+    let h = size as f64 * cell;
+    let antenna = Antenna::over_rect(
+        &mesh,
+        0.0,
+        0.0,
+        2.0 * cell,
+        h,
+        Vec3::X,
+        Drive::logic_cw(3e3, 9e9, 0.0),
+    );
+    Simulation::builder(mesh, Material::fecob())
+        .uniform_magnetization(Vec3::Z)
+        .demag(DemagMethod::ThinFilmLocal)
+        .absorbing_frame(AbsorbingFrame::new(8, 0.5))
+        .antenna(antenna)
+        .integrator(IntegratorKind::RungeKutta4)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+fn run(size: usize, steps: usize, threads: usize) -> (f64, Vec<Vec3>) {
+    let mut sim = build(size, threads);
+    let start = Instant::now();
+    for _ in 0..steps {
+        sim.step().unwrap();
+    }
+    (start.elapsed().as_secs_f64(), sim.magnetization().to_vec())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let size: usize = value_of("--size")
+        .map(|v| v.parse().expect("--size needs an integer"))
+        .unwrap_or(256);
+    let steps: usize = value_of("--steps")
+        .map(|v| v.parse().expect("--steps needs an integer"))
+        .unwrap_or(50);
+    let threads: Vec<usize> = value_of("--threads")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--threads needs integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    println!(
+        "mesh {size}x{size}, {steps} RK4 steps (exchange + anisotropy + local demag + antenna)"
+    );
+    // Warm-up run so page faults and lazy allocation don't skew t(1).
+    run(size, steps.min(5), 1);
+    let (t_serial, m_serial) = run(size, steps, 1);
+    println!("threads  1: {:8.3} s  (baseline)", t_serial);
+    for &n in threads.iter().filter(|&&n| n != 1) {
+        let (t, m) = run(size, steps, n);
+        let identical = m == m_serial;
+        println!(
+            "threads {n:2}: {t:8.3} s  speedup {:.2}x  bitwise-identical: {}",
+            t_serial / t,
+            if identical { "yes" } else { "NO" },
+        );
+        assert!(
+            identical,
+            "parallel run diverged from serial at {n} threads"
+        );
+    }
+}

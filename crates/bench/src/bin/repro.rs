@@ -1,6 +1,6 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro <experiment> [--fast] [--mumag] [--jobs N]
+//! Usage: `repro <experiment> [--fast] [--mumag] [--jobs N] [--threads N]
 //!         [--manifest PATH] [--fresh] [--quiet]`
 //!
 //! Micromagnetic experiments (`fig5`, `thermal`, `variability`, and
@@ -9,6 +9,11 @@
 //!
 //! * `--jobs N` runs N LLG simulations in parallel (default 1, i.e.
 //!   serial — identical behaviour and results to the pre-batch runner).
+//! * `--threads N` gives each simulation N worker threads (0 = one per
+//!   core). The default splits the machine's cores across the batch
+//!   jobs (`swrun::thread_budget`), so `--jobs 4` on a 16-core box runs
+//!   each simulation on 4 threads. Results are bitwise independent of
+//!   the thread count.
 //! * Every batch writes a JSON-lines manifest (default
 //!   `target/swrun/<experiment>.manifest.jsonl`, override with
 //!   `--manifest PATH`) recording each job's inputs, outputs and wall
@@ -51,6 +56,8 @@ use swrun::RunError;
 /// Batch-runner settings shared by the micromagnetic experiments.
 struct BatchArgs {
     jobs: usize,
+    /// Worker threads per simulation (0 = auto-detect in magnum).
+    threads: usize,
     manifest: Option<String>,
     fresh: bool,
     quiet: bool,
@@ -113,6 +120,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = match value_of("--threads").map(|v| v.parse::<usize>()) {
+        None if !args.iter().any(|a| a == "--threads") => swrun::thread_budget(jobs),
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("--threads needs a non-negative integer (0 = auto)");
+            std::process::exit(2);
+        }
+    };
     let manifest = value_of("--manifest");
     if manifest.is_none() && args.iter().any(|a| a == "--manifest") {
         eprintln!("--manifest needs a path");
@@ -120,6 +135,7 @@ fn main() {
     }
     let batch = BatchArgs {
         jobs,
+        threads,
         manifest,
         fresh: args.iter().any(|a| a == "--fresh"),
         quiet: args.iter().any(|a| a == "--quiet"),
@@ -130,7 +146,8 @@ fn main() {
         .enumerate()
         .find(|(i, a)| {
             !a.starts_with("--")
-                && (*i == 0 || !matches!(args[i - 1].as_str(), "--jobs" | "--manifest"))
+                && (*i == 0
+                    || !matches!(args[i - 1].as_str(), "--jobs" | "--threads" | "--manifest"))
         })
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
@@ -172,6 +189,7 @@ fn main() {
 fn all() -> Result<(), SwGateError> {
     let serial = BatchArgs {
         jobs: 1,
+        threads: 1,
         manifest: None,
         fresh: false,
         quiet: true,
@@ -217,7 +235,7 @@ fn table1(fast: bool, mumag: bool, batch: &BatchArgs) -> Result<(), SwGateError>
     let layout = maj3_layout(fast && mumag)?;
     let gate = Maj3Gate::new(layout);
     let table = if mumag {
-        let backend = MumagBackend::fast();
+        let backend = MumagBackend::fast().with_threads(batch.threads);
         eprintln!("running 3 calibration + 8 pattern LLG simulations ...");
         let report =
             maj3_patterns(&backend, &layout, &batch.options("table1")).map_err(batch_err)?;
@@ -252,7 +270,7 @@ fn table2(fast: bool, mumag: bool, batch: &BatchArgs) -> Result<(), SwGateError>
     let layout = xor_layout(fast && mumag)?;
     let gate = XorGate::new(layout);
     let table = if mumag {
-        let backend = MumagBackend::fast();
+        let backend = MumagBackend::fast().with_threads(batch.threads);
         eprintln!("running 2 calibration + 4 pattern LLG simulations ...");
         let report =
             xor_patterns(&backend, &layout, &batch.options("table2")).map_err(batch_err)?;
@@ -420,7 +438,7 @@ fn fig4() -> Result<(), SwGateError> {
 /// Fig. 5 — micromagnetic field maps for all 8 MAJ3 input patterns.
 fn fig5(fast: bool, batch: &BatchArgs) -> Result<(), SwGateError> {
     println!("=== Fig. 5 — MAJ3 micromagnetic simulations (m_x maps) ===\n");
-    let backend = MumagBackend::fast();
+    let backend = MumagBackend::fast().with_threads(batch.threads);
     let layout = maj3_layout(fast)?;
     if !fast {
         eprintln!("full-size gate: this runs 3 + 8 LLG simulations and may take a while;");
@@ -469,16 +487,21 @@ fn thermal(batch: &BatchArgs) -> Result<(), SwGateError> {
         .map(|&temperature| {
             // T > 0 needs a stronger drive and longer averaging: the
             // thermal-magnon background of a 1 nm film rivals a weakly
-            // driven signal (see EXPERIMENTS.md, experiment X2).
+            // driven signal (see EXPERIMENTS.md, experiment X2), and with
+            // per-cell fluctuation–dissipation the film sits at a genuine
+            // thermal magnon equilibrium (absorbing frames radiate too).
             let backend = if temperature > 0.0 {
                 MumagBackend::fast()
                     .with_temperature(temperature, 42)
-                    .with_drive_amplitude(40e3)
-                    .with_measure_periods(16)
+                    .with_drive_amplitude(80e3)
+                    .with_measure_periods(32)
             } else {
                 MumagBackend::fast()
             };
-            SweepPoint::new(format!("T{temperature:.0}K"), backend)
+            SweepPoint::new(
+                format!("T{temperature:.0}K"),
+                backend.with_threads(batch.threads),
+            )
         })
         .collect();
     let sweep = xor_sweep(&points, &layout, &batch.options("thermal")).map_err(batch_err)?;
@@ -514,7 +537,10 @@ fn variability(batch: &BatchArgs) -> Result<(), SwGateError> {
             } else {
                 MumagBackend::fast()
             };
-            SweepPoint::new(format!("rough{roughness_nm:.0}nm"), backend)
+            SweepPoint::new(
+                format!("rough{roughness_nm:.0}nm"),
+                backend.with_threads(batch.threads),
+            )
         })
         .collect();
     let sweep = xor_sweep(&points, &layout, &batch.options("variability")).map_err(batch_err)?;

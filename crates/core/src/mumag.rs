@@ -85,6 +85,7 @@ pub struct MumagBackend {
     /// Edge roughness (amplitude, correlation length, seed), if enabled.
     roughness: Option<(f64, f64, u64)>,
     phase_trim: bool,
+    threads: Option<usize>,
     trim_cache: Arc<Mutex<HashMap<TrimKey, Vec<DriveTrim>>>>,
 }
 
@@ -225,6 +226,7 @@ impl MumagBackend {
             guide_width: None,
             roughness: None,
             phase_trim: true,
+            threads: None,
             trim_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -239,6 +241,15 @@ impl MumagBackend {
     pub fn with_temperature(mut self, temperature: f64, seed: u64) -> Self {
         self.temperature = temperature;
         self.seed = seed;
+        self
+    }
+
+    /// Number of worker threads per simulation (0 = auto-detect). The
+    /// default leaves the choice to magnum (serial unless the
+    /// `MAGNUM_THREADS` environment variable says otherwise), so batch
+    /// drivers can budget cores across concurrent jobs.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -986,6 +997,9 @@ impl MumagBackend {
             } else {
                 IntegratorKind::RungeKutta4
             });
+        if let Some(threads) = self.threads {
+            builder = builder.threads(threads);
+        }
         for antenna in antennas {
             builder = builder.antenna(antenna);
         }

@@ -5,7 +5,7 @@
 //! thin-film demag) holds the magnetization out-of-plane, enabling
 //! forward-volume spin waves.
 
-use super::FieldTerm;
+use super::{FieldTerm, FusedTerm};
 use crate::material::Material;
 use crate::math::Vec3;
 use crate::mesh::Mesh;
@@ -56,6 +56,13 @@ impl FieldTerm for UniaxialAnisotropy {
                 *hi += self.axis * (self.coeff * mi.dot(self.axis));
             }
         }
+    }
+
+    fn fused(&self) -> Option<FusedTerm> {
+        Some(FusedTerm::Uniaxial {
+            coeff: self.coeff,
+            axis: self.axis,
+        })
     }
 }
 

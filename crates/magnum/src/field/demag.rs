@@ -13,7 +13,7 @@
 
 use std::sync::Mutex;
 
-use super::FieldTerm;
+use super::{FieldTerm, FusedTerm};
 use crate::fft::{fft2_in_place, next_power_of_two, Direction};
 use crate::material::Material;
 use crate::math::{Complex64, Vec3};
@@ -60,6 +60,10 @@ impl FieldTerm for ThinFilmDemag {
                 hi.z -= self.ms * mi.z;
             }
         }
+    }
+
+    fn fused(&self) -> Option<FusedTerm> {
+        Some(FusedTerm::ThinFilm { ms: self.ms })
     }
 }
 

@@ -5,7 +5,7 @@
 //! conditions: a missing neighbour simply contributes nothing, which is
 //! equivalent to reflecting `m` across the boundary.
 
-use super::FieldTerm;
+use super::{FieldTerm, FusedTerm};
 use crate::material::Material;
 use crate::math::Vec3;
 use crate::mesh::Mesh;
@@ -90,6 +90,13 @@ impl FieldTerm for Exchange {
                 h[i] += acc;
             }
         }
+    }
+
+    fn fused(&self) -> Option<FusedTerm> {
+        Some(FusedTerm::Exchange {
+            coeff_x: self.coeff_x,
+            coeff_y: self.coeff_y,
+        })
     }
 }
 

@@ -16,6 +16,37 @@ pub mod zeeman;
 use crate::math::Vec3;
 use crate::MU0;
 
+/// A field term compiled down to a branch-light per-cell operation, so the
+/// parallel engine can evaluate the whole effective field in one fused
+/// pass over the magnetic cells instead of one full-mesh traversal per
+/// term. The per-cell arithmetic mirrors the term's `accumulate` exactly
+/// (same operations in the same order), keeping fused results bitwise
+/// identical to the term-by-term path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedTerm {
+    /// Uniform field added to every cell (Zeeman).
+    Uniform(Vec3),
+    /// Uniaxial anisotropy `h += axis·(coeff·m·axis)`.
+    Uniaxial {
+        /// 2Ku₁/(μ₀Ms) in A/m.
+        coeff: f64,
+        /// Easy axis (unit vector).
+        axis: Vec3,
+    },
+    /// Thin-film demag `h_z -= Ms·m_z`.
+    ThinFilm {
+        /// Saturation magnetization in A/m.
+        ms: f64,
+    },
+    /// 4-neighbour exchange Laplacian with per-axis coefficients.
+    Exchange {
+        /// 2A/(μ₀·Ms·dx²) in A/m.
+        coeff_x: f64,
+        /// 2A/(μ₀·Ms·dy²) in A/m.
+        coeff_y: f64,
+    },
+}
+
 /// One contribution to the effective field.
 ///
 /// Implementations add their field (in A/m) into `h`, indexed identically
@@ -26,6 +57,14 @@ pub trait FieldTerm: Send + Sync {
 
     /// Adds this term's field at simulation time `t` (seconds) into `h`.
     fn accumulate(&self, m: &[Vec3], t: f64, h: &mut [Vec3]);
+
+    /// The fused per-cell form of this term, if it has one. Terms that
+    /// return `None` (non-local fields such as the FFT demag) are
+    /// evaluated by `accumulate` in a serial pre-pass; everything else is
+    /// executed inside the fused parallel kernel.
+    fn fused(&self) -> Option<FusedTerm> {
+        None
+    }
 
     /// Energy prefactor: 0.5 for self-consistent (quadratic-in-m) terms
     /// such as exchange, anisotropy and demag; 1.0 for external fields.

@@ -6,6 +6,14 @@
 //! step and held fixed across the integrator stages (Heun converges to
 //! the Stratonovich solution this way).
 //!
+//! The damping constant `α` in the variance is the *local* one: with an
+//! absorbing boundary frame the frame cells run at α ≈ 0.5 while the
+//! interior sits at the material's intrinsic damping, and the
+//! fluctuation–dissipation theorem requires the noise power to track
+//! that spatial profile cell by cell. [`ThermalField::with_damping`]
+//! takes the per-cell damping map; [`ThermalField::new`] is the uniform
+//! special case.
+//!
 //! The paper leaves thermal effects to the literature it cites (\[36\],
 //! \[43\]) but discusses them in §IV-D; this module is what the `repro
 //! thermal` experiment uses to show gate operation survives T > 0.
@@ -19,26 +27,53 @@ use crate::{KB, MU0};
 #[derive(Debug)]
 pub struct ThermalField {
     temperature: f64,
-    /// 2·α·k_B / (γ·Ms·V) — multiplied by T/Δt and square-rooted per draw.
-    coeff: f64,
+    /// Per-cell `sqrt(2·α_i·k_B / (γ·Ms·V)) / μ₀` — multiplied by
+    /// `sqrt(T/Δt)` at draw time. Zero for vacuum cells.
+    sigma_base: Vec<f64>,
     mask: Vec<bool>,
     normals: GaussianSource,
 }
 
 impl ThermalField {
-    /// Creates a generator for the given temperature (kelvin) and RNG seed.
+    /// Creates a generator with spatially uniform damping taken from the
+    /// material, for the given temperature (kelvin) and RNG seed.
     pub fn new(mesh: &Mesh, material: &Material, temperature: f64, seed: u64) -> Self {
+        let alpha = vec![material.gilbert_damping(); mesh.cell_count()];
+        Self::with_damping(mesh, material, &alpha, temperature, seed)
+    }
+
+    /// Creates a generator whose noise power follows the per-cell damping
+    /// map `alpha` (fluctuation–dissipation with absorbing frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha.len()` differs from the mesh cell count.
+    pub fn with_damping(
+        mesh: &Mesh,
+        material: &Material,
+        alpha: &[f64],
+        temperature: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(alpha.len(), mesh.cell_count(), "damping map size mismatch");
         let ms = material.saturation_magnetization();
         let v = mesh.cell_volume();
-        let coeff = if ms > 0.0 {
-            2.0 * material.gilbert_damping() * KB / (material.gamma() * ms * v)
-        } else {
-            0.0
-        };
+        let mask = mesh.mask().to_vec();
+        let sigma_base = alpha
+            .iter()
+            .zip(&mask)
+            .map(|(&a, &magnetic)| {
+                if magnetic && ms > 0.0 && a > 0.0 {
+                    (2.0 * a * KB / (material.gamma() * ms * v)).sqrt() / MU0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         ThermalField {
             temperature: temperature.max(0.0),
-            coeff,
-            mask: mesh.mask().to_vec(),
+            sigma_base,
+            mask,
             normals: GaussianSource::new(seed),
         }
     }
@@ -56,14 +91,14 @@ impl ThermalField {
     /// Panics if `out.len()` differs from the mesh cell count.
     pub fn draw(&mut self, dt: f64, out: &mut [Vec3]) {
         assert_eq!(out.len(), self.mask.len(), "thermal buffer size mismatch");
-        if self.temperature == 0.0 || self.coeff == 0.0 || dt <= 0.0 {
+        if self.temperature == 0.0 || dt <= 0.0 {
             out.fill(Vec3::ZERO);
             return;
         }
-        // σ in Tesla, converted to A/m.
-        let sigma = (self.coeff * self.temperature / dt).sqrt() / MU0;
+        let scale = (self.temperature / dt).sqrt();
         for (i, o) in out.iter_mut().enumerate() {
             if self.mask[i] {
+                let sigma = self.sigma_base[i] * scale;
                 *o = Vec3::new(
                     sigma * self.normals.next_normal(),
                     sigma * self.normals.next_normal(),
@@ -168,5 +203,46 @@ mod tests {
         th.draw(1e-13, &mut buf);
         assert_eq!(buf[0], Vec3::ZERO);
         assert!(buf[1].norm() > 0.0);
+    }
+
+    #[test]
+    fn uniform_map_matches_legacy_constructor() {
+        let (mesh, mat) = setup();
+        let alpha = vec![mat.gilbert_damping(); mesh.cell_count()];
+        let mut a = ThermalField::new(&mesh, &mat, 300.0, 13);
+        let mut b = ThermalField::with_damping(&mesh, &mat, &alpha, 300.0, 13);
+        let mut ba = vec![Vec3::ZERO; mesh.cell_count()];
+        let mut bb = vec![Vec3::ZERO; mesh.cell_count()];
+        a.draw(1e-13, &mut ba);
+        b.draw(1e-13, &mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn variance_tracks_local_damping() {
+        // Fluctuation–dissipation regression: a cell running at 100× the
+        // interior damping (an absorbing-frame cell) must draw noise with
+        // 100× the variance — i.e. σ ∝ sqrt(α_local), not sqrt(α_bulk).
+        let (mesh, mat) = setup();
+        let n = mesh.cell_count();
+        let a_bulk = mat.gilbert_damping();
+        let a_frame = 100.0 * a_bulk;
+        let mut alpha = vec![a_bulk; n];
+        alpha[0] = a_frame;
+        // Many redraws of the same two cells estimate the variances.
+        let mut th = ThermalField::with_damping(&mesh, &mat, &alpha, 300.0, 21);
+        let mut buf = vec![Vec3::ZERO; n];
+        let (mut var_frame, mut var_bulk) = (0.0, 0.0);
+        let draws = 400;
+        for _ in 0..draws {
+            th.draw(1e-13, &mut buf);
+            var_frame += buf[0].norm_sq();
+            var_bulk += buf[1].norm_sq();
+        }
+        let ratio = var_frame / var_bulk;
+        assert!(
+            (ratio - 100.0).abs() < 15.0,
+            "frame/bulk variance ratio should be ≈100 (α ratio), got {ratio}"
+        );
     }
 }

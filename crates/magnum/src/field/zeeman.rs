@@ -5,7 +5,7 @@
 //! separate lets the energy bookkeeping use the correct prefactor (1
 //! instead of ½).
 
-use super::FieldTerm;
+use super::{FieldTerm, FusedTerm};
 use crate::math::Vec3;
 
 /// Uniform static external field (A/m).
@@ -42,6 +42,10 @@ impl FieldTerm for Zeeman {
 
     fn energy_prefactor(&self) -> f64 {
         1.0
+    }
+
+    fn fused(&self) -> Option<FusedTerm> {
+        Some(FusedTerm::Uniform(self.field))
     }
 }
 

@@ -45,6 +45,7 @@ pub mod llg;
 pub mod material;
 pub mod math;
 pub mod mesh;
+pub mod par;
 pub mod probe;
 pub mod sim;
 pub mod solver;
@@ -53,7 +54,7 @@ pub use error::MagnumError;
 pub use material::{Material, MaterialBuilder};
 pub use math::{Complex64, Vec3};
 pub use mesh::{CellIndex, Mesh};
-pub use sim::{Simulation, SimulationBuilder};
+pub use sim::{Relaxation, Simulation, SimulationBuilder};
 
 /// Commonly used items, re-exported for ergonomic glob imports.
 pub mod prelude {
@@ -66,7 +67,7 @@ pub mod prelude {
     pub use crate::math::{Complex64, Vec3};
     pub use crate::mesh::Mesh;
     pub use crate::probe::{DftProbe, RegionProbe, Snapshot};
-    pub use crate::sim::{Simulation, SimulationBuilder};
+    pub use crate::sim::{Relaxation, Simulation, SimulationBuilder};
     pub use crate::solver::Integrator;
     pub use crate::MagnumError;
 }

@@ -7,11 +7,168 @@
 //! with per-cell damping α (so absorbing frames are just a damping map)
 //! and `H_eff` the sum of all [`crate::field::FieldTerm`]s, the antenna
 //! fields and the per-step thermal realization.
+//!
+//! ## Fused parallel evaluation
+//!
+//! The hot path does **not** run one full-mesh pass per field term.
+//! At construction every local term is compiled to a [`FusedTerm`] op, the
+//! magnetic cells are gathered into an index list with a precomputed
+//! 4-neighbour stencil, and antenna coverage is flattened into a CSR map.
+//! `rhs` then makes a single pass over the magnetic cells — evaluating
+//! every op, the antenna drives, the thermal field and the LLG torque per
+//! cell — split into contiguous blocks executed by the simulation's
+//! [`WorkerTeam`]. Each cell's arithmetic is independent of the block
+//! partition and each block writes a disjoint output range, so results
+//! are bitwise identical for any thread count. Non-local terms (the FFT
+//! demag) are evaluated by `accumulate` in a serial pre-pass.
 
 use crate::excitation::Antenna;
-use crate::field::FieldTerm;
+use crate::field::{FieldTerm, FusedTerm};
 use crate::math::Vec3;
+use crate::par::{chunk_bounds, SendPtr, WorkerTeam};
 use crate::MU0;
+
+/// Sentinel for "no neighbour" (mesh edge or vacuum) in the stencil.
+const NO_NEIGHBOUR: u32 = u32::MAX;
+
+/// One contiguous slice of the mesh assigned to a worker block.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    /// Flat cell-index range `[start, end)` — used to zero vacuum cells.
+    flat: (usize, usize),
+    /// Range into the magnetic-cell list — the actual compute work.
+    list: (usize, usize),
+}
+
+/// The precompiled single-pass kernel (see module docs).
+#[derive(Debug)]
+struct FusedKernel {
+    /// Flat indices of the magnetic cells, ascending.
+    cells: Vec<u32>,
+    /// Per magnetic cell: `[left, right, down, up]` neighbour flat index,
+    /// or [`NO_NEIGHBOUR`] where the stencil hits an edge or vacuum.
+    nbrs: Vec<[u32; 4]>,
+    /// Fused ops in field-term order.
+    ops: Vec<FusedTerm>,
+    /// Indices into `terms` of non-fusable terms (serial pre-pass).
+    unfused: Vec<usize>,
+    /// CSR offsets into `ant_ids`, one entry per magnetic cell plus one.
+    /// Empty when there are no antennas.
+    ant_off: Vec<u32>,
+    /// Antenna indices covering each magnetic cell.
+    ant_ids: Vec<u32>,
+    blocks: Vec<Block>,
+}
+
+/// Everything needed to assemble an [`LlgSystem`].
+pub(crate) struct SystemSpec {
+    pub terms: Vec<Box<dyn FieldTerm>>,
+    pub antennas: Vec<Antenna>,
+    /// Thermal buffer (empty at T = 0, one entry per cell otherwise).
+    pub thermal: Vec<Vec3>,
+    /// Per-cell Gilbert damping.
+    pub alpha: Vec<f64>,
+    /// |γ| in rad/(s·T).
+    pub gamma: f64,
+    pub mask: Vec<bool>,
+    /// Mesh row length (cells per row).
+    pub nx: usize,
+    /// Worker-team size (1 = serial).
+    pub threads: usize,
+}
+
+impl SystemSpec {
+    /// Compiles the fused kernel and spins up the worker team.
+    pub(crate) fn build(self) -> LlgSystem {
+        let SystemSpec {
+            terms,
+            antennas,
+            thermal,
+            alpha,
+            gamma,
+            mask,
+            nx,
+            threads,
+        } = self;
+        let n = mask.len();
+        assert!(n > 0, "system must have at least one cell");
+        assert!(
+            nx > 0 && n % nx == 0,
+            "mask length {n} is not a multiple of the row length {nx}"
+        );
+        assert!(n <= u32::MAX as usize, "mesh too large for u32 indexing");
+        assert_eq!(alpha.len(), n, "damping map length mismatch");
+
+        let cells: Vec<u32> = (0..n).filter(|&i| mask[i]).map(|i| i as u32).collect();
+        let nbrs: Vec<[u32; 4]> = cells
+            .iter()
+            .map(|&c| {
+                let i = c as usize;
+                let ix = i % nx;
+                let present = |cond: bool, j: usize| {
+                    if cond && mask[j] {
+                        j as u32
+                    } else {
+                        NO_NEIGHBOUR
+                    }
+                };
+                [
+                    present(ix > 0, i.wrapping_sub(1)),
+                    present(ix + 1 < nx, i + 1),
+                    present(i >= nx, i.wrapping_sub(nx)),
+                    present(i + nx < n, i + nx),
+                ]
+            })
+            .collect();
+
+        // Fused ops in term order, dropping ops the term-by-term path
+        // would also skip (`accumulate` early returns).
+        let ops: Vec<FusedTerm> = terms
+            .iter()
+            .filter_map(|t| t.fused())
+            .filter(|op| match *op {
+                FusedTerm::Uniform(f) => f != Vec3::ZERO,
+                FusedTerm::Uniaxial { coeff, .. } => coeff != 0.0,
+                _ => true,
+            })
+            .collect();
+        let unfused: Vec<usize> = terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.fused().is_none())
+            .map(|(i, _)| i)
+            .collect();
+
+        let threads = threads.clamp(1, n);
+        let blocks = (0..threads)
+            .map(|b| Block {
+                flat: chunk_bounds(n, threads, b),
+                list: chunk_bounds(cells.len(), threads, b),
+            })
+            .collect();
+
+        let mut system = LlgSystem {
+            terms,
+            antennas,
+            thermal,
+            alpha,
+            gamma,
+            mask,
+            kernel: FusedKernel {
+                cells,
+                nbrs,
+                ops,
+                unfused,
+                ant_off: Vec::new(),
+                ant_ids: Vec::new(),
+                blocks,
+            },
+            team: WorkerTeam::new(threads),
+        };
+        system.rebuild_antenna_map();
+        system
+    }
+}
 
 /// The assembled LLG system: field terms, antennas, damping map and the
 /// frozen thermal-field buffer for the current step.
@@ -28,6 +185,8 @@ pub struct LlgSystem {
     /// |γ| in rad/(s·T).
     pub(crate) gamma: f64,
     pub(crate) mask: Vec<bool>,
+    kernel: FusedKernel,
+    team: WorkerTeam,
 }
 
 impl LlgSystem {
@@ -42,7 +201,153 @@ impl LlgSystem {
         self.mask.is_empty()
     }
 
+    /// The worker team shared by every parallel region of this system.
+    pub(crate) fn par(&self) -> &WorkerTeam {
+        &self.team
+    }
+
+    /// Registers an antenna and recompiles the per-cell antenna map.
+    pub(crate) fn add_antenna(&mut self, antenna: Antenna) {
+        self.antennas.push(antenna);
+        self.rebuild_antenna_map();
+    }
+
+    /// Removes all antennas.
+    pub(crate) fn clear_antennas(&mut self) {
+        self.antennas.clear();
+        self.rebuild_antenna_map();
+    }
+
+    /// Flattens antenna coverage into a CSR (cell → antenna ids) map.
+    ///
+    /// `relax` temporarily empties `antennas` without touching the map —
+    /// the hot path skips antenna evaluation entirely while the list is
+    /// empty, so the stale map is never read.
+    fn rebuild_antenna_map(&mut self) {
+        self.kernel.ant_off.clear();
+        self.kernel.ant_ids.clear();
+        if self.antennas.is_empty() {
+            return;
+        }
+        let n = self.mask.len();
+        let mut per_cell: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (ai, antenna) in self.antennas.iter().enumerate() {
+            for &c in antenna.cells() {
+                if c < n {
+                    per_cell[c].push(ai as u32);
+                }
+            }
+        }
+        self.kernel.ant_off.reserve(self.kernel.cells.len() + 1);
+        self.kernel.ant_off.push(0);
+        for &c in &self.kernel.cells {
+            self.kernel.ant_ids.extend_from_slice(&per_cell[c as usize]);
+            self.kernel.ant_off.push(self.kernel.ant_ids.len() as u32);
+        }
+    }
+
+    /// Per-antenna drive fields at time `t` (empty when no antennas).
+    fn antenna_fields(&self, t: f64) -> Vec<Vec3> {
+        if self.antennas.is_empty() {
+            return Vec::new();
+        }
+        self.antennas
+            .iter()
+            .map(|a| a.direction() * a.drive().value(t))
+            .collect()
+    }
+
+    /// Effective field at one magnetic cell, assembled from the serial
+    /// pre-pass (`base`), the fused ops, the antenna drives and the
+    /// thermal buffer — in exactly the order the term-by-term path uses.
+    #[inline]
+    fn fused_field(
+        &self,
+        ci: usize,
+        i: usize,
+        mi: Vec3,
+        m: &[Vec3],
+        base: Option<&[Vec3]>,
+        ant_fields: &[Vec3],
+    ) -> Vec3 {
+        let mut h = match base {
+            Some(b) => b[i],
+            None => Vec3::ZERO,
+        };
+        for op in &self.kernel.ops {
+            match *op {
+                FusedTerm::Exchange { coeff_x, coeff_y } => {
+                    let nb = self.kernel.nbrs[ci];
+                    let mut acc = Vec3::ZERO;
+                    if nb[0] != NO_NEIGHBOUR {
+                        acc += (m[nb[0] as usize] - mi) * coeff_x;
+                    }
+                    if nb[1] != NO_NEIGHBOUR {
+                        acc += (m[nb[1] as usize] - mi) * coeff_x;
+                    }
+                    if nb[2] != NO_NEIGHBOUR {
+                        acc += (m[nb[2] as usize] - mi) * coeff_y;
+                    }
+                    if nb[3] != NO_NEIGHBOUR {
+                        acc += (m[nb[3] as usize] - mi) * coeff_y;
+                    }
+                    h += acc;
+                }
+                FusedTerm::Uniaxial { coeff, axis } => {
+                    h += axis * (coeff * mi.dot(axis));
+                }
+                FusedTerm::ThinFilm { ms } => {
+                    h.z -= ms * mi.z;
+                }
+                FusedTerm::Uniform(f) => {
+                    h += f;
+                }
+            }
+        }
+        if !ant_fields.is_empty() {
+            let a0 = self.kernel.ant_off[ci] as usize;
+            let a1 = self.kernel.ant_off[ci + 1] as usize;
+            for &ai in &self.kernel.ant_ids[a0..a1] {
+                let f = ant_fields[ai as usize];
+                if f != Vec3::ZERO {
+                    h += f;
+                }
+            }
+        }
+        if !self.thermal.is_empty() {
+            h += self.thermal[i];
+        }
+        h
+    }
+
+    /// The LLG torque at cell `i` for field `h`.
+    #[inline]
+    fn torque(&self, i: usize, mi: Vec3, h: Vec3) -> Vec3 {
+        let alpha = self.alpha[i];
+        let prefactor = -self.gamma * MU0 / (1.0 + alpha * alpha);
+        let mxh = mi.cross(h);
+        let mxmxh = mi.cross(mxh);
+        (mxh + mxmxh * alpha) * prefactor
+    }
+
+    /// Runs the non-fusable terms into `h` (zeroing it first). Returns
+    /// whether anything was written.
+    fn unfused_prepass(&self, m: &[Vec3], t: f64, h: &mut [Vec3]) -> bool {
+        if self.kernel.unfused.is_empty() {
+            return false;
+        }
+        h.fill(Vec3::ZERO);
+        for &ti in &self.kernel.unfused {
+            self.terms[ti].accumulate(m, t, h);
+        }
+        true
+    }
+
     /// Computes the effective field (A/m) into `h` at time `t`.
+    ///
+    /// This is the term-by-term reference path (used by energy accounting,
+    /// probes and tests); the integrator hot loop uses the fused kernel in
+    /// [`LlgSystem::rhs`] instead.
     pub fn effective_field(&self, m: &[Vec3], t: f64, h: &mut [Vec3]) {
         h.fill(Vec3::ZERO);
         for term in &self.terms {
@@ -69,28 +374,65 @@ impl LlgSystem {
         debug_assert_eq!(m.len(), self.len());
         debug_assert_eq!(dmdt.len(), self.len());
         debug_assert_eq!(h_scratch.len(), self.len());
-        self.effective_field(m, t, h_scratch);
-        for i in 0..m.len() {
-            if !self.mask[i] {
-                dmdt[i] = Vec3::ZERO;
-                continue;
+        let base = if self.unfused_prepass(m, t, h_scratch) {
+            Some(&*h_scratch)
+        } else {
+            None
+        };
+        let ant_fields = self.antenna_fields(t);
+        let out = SendPtr::new(dmdt.as_mut_ptr());
+        self.team.run(&|b| {
+            let block = self.kernel.blocks[b];
+            // Vacuum cells in this block's flat range get zero torque;
+            // magnetic cells are written by the list loop below. The two
+            // partitions are disjoint per cell, so every `dmdt` element is
+            // written exactly once across all blocks.
+            for i in block.flat.0..block.flat.1 {
+                if !self.mask[i] {
+                    // Safety: flat ranges are disjoint across blocks and
+                    // only vacuum cells are touched here.
+                    unsafe { *out.add(i) = Vec3::ZERO };
+                }
             }
-            let alpha = self.alpha[i];
-            let prefactor = -self.gamma * MU0 / (1.0 + alpha * alpha);
-            let mi = m[i];
-            let mxh = mi.cross(h_scratch[i]);
-            let mxmxh = mi.cross(mxh);
-            dmdt[i] = (mxh + mxmxh * alpha) * prefactor;
-        }
+            for ci in block.list.0..block.list.1 {
+                let i = self.kernel.cells[ci] as usize;
+                let mi = m[i];
+                let h = self.fused_field(ci, i, mi, m, base, &ant_fields);
+                // Safety: list ranges are disjoint across blocks and only
+                // magnetic cells are touched here.
+                unsafe { *out.add(i) = self.torque(i, mi, h) };
+            }
+        });
     }
 
     /// Maximum torque |dm/dt| over all cells, in 1/s — used as a
     /// convergence criterion by [`crate::sim::Simulation::relax`].
+    ///
+    /// Evaluated block-parallel with a per-block running maximum, so no
+    /// full-mesh buffers are allocated (the old implementation allocated
+    /// two per call); only a non-fusable term forces one field buffer.
     pub fn max_torque(&self, m: &[Vec3], t: f64) -> f64 {
-        let mut dmdt = vec![Vec3::ZERO; self.len()];
-        let mut h = vec![Vec3::ZERO; self.len()];
-        self.rhs(m, t, &mut dmdt, &mut h);
-        dmdt.iter().map(|v| v.norm()).fold(0.0, f64::max)
+        let mut pre: Vec<Vec3> = Vec::new();
+        let base = if self.kernel.unfused.is_empty() {
+            None
+        } else {
+            pre.resize(self.len(), Vec3::ZERO);
+            self.unfused_prepass(m, t, &mut pre);
+            Some(&pre[..])
+        };
+        let ant_fields = self.antenna_fields(t);
+        let partials = self.team.map_blocks(|b| {
+            let block = self.kernel.blocks[b];
+            let mut local: f64 = 0.0;
+            for ci in block.list.0..block.list.1 {
+                let i = self.kernel.cells[ci] as usize;
+                let mi = m[i];
+                let h = self.fused_field(ci, i, mi, m, base, &ant_fields);
+                local = local.max(self.torque(i, mi, h).norm());
+            }
+            local
+        });
+        partials.into_iter().fold(0.0, f64::max)
     }
 
     /// Sum of the energies of all conservative field terms, in joules.
@@ -112,6 +454,7 @@ impl std::fmt::Debug for LlgSystem {
             )
             .field("antennas", &self.antennas.len())
             .field("gamma", &self.gamma)
+            .field("threads", &self.team.threads())
             .finish()
     }
 }
@@ -119,18 +462,27 @@ impl std::fmt::Debug for LlgSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::excitation::Drive;
+    use crate::field::anisotropy::UniaxialAnisotropy;
+    use crate::field::demag::ThinFilmDemag;
+    use crate::field::exchange::Exchange;
     use crate::field::zeeman::Zeeman;
+    use crate::material::Material;
+    use crate::mesh::Mesh;
     use crate::GAMMA;
 
     fn single_cell_system(alpha: f64, field: Vec3) -> LlgSystem {
-        LlgSystem {
+        SystemSpec {
             terms: vec![Box::new(Zeeman::uniform(field))],
             antennas: Vec::new(),
             thermal: Vec::new(),
             alpha: vec![alpha],
             gamma: GAMMA,
             mask: vec![true],
+            nx: 1,
+            threads: 1,
         }
+        .build()
     }
 
     #[test]
@@ -183,10 +535,23 @@ mod tests {
 
     #[test]
     fn vacuum_cells_have_zero_torque() {
-        let mut sys = single_cell_system(0.01, Vec3::Z * 1e5);
-        sys.mask = vec![false];
+        let sys = SystemSpec {
+            terms: vec![Box::new(Zeeman::uniform(Vec3::Z * 1e5))],
+            antennas: Vec::new(),
+            thermal: Vec::new(),
+            alpha: vec![0.01],
+            gamma: GAMMA,
+            mask: vec![false],
+            nx: 1,
+            threads: 1,
+        }
+        .build();
         let m = vec![Vec3::X];
         assert_eq!(sys.max_torque(&m, 0.0), 0.0);
+        let mut dmdt = vec![Vec3::X];
+        let mut h = vec![Vec3::ZERO];
+        sys.rhs(&m, 0.0, &mut dmdt, &mut h);
+        assert_eq!(dmdt[0], Vec3::ZERO, "rhs must overwrite vacuum torque");
     }
 
     #[test]
@@ -197,6 +562,8 @@ mod tests {
         let mut h = vec![Vec3::ZERO];
         sys.effective_field(&m, 0.0, &mut h);
         assert!((h[0].x - 123.0).abs() < 1e-12);
+        // And the fused path sees it too: torque on m ∥ ẑ under H ∥ x̂.
+        assert!(sys.max_torque(&m, 0.0) > 0.0);
     }
 
     #[test]
@@ -209,5 +576,109 @@ mod tests {
         single_cell_system(0.0, Vec3::Z * 1e5).rhs(&m, 0.0, &mut dmdt_lo, &mut h);
         single_cell_system(1.0, Vec3::Z * 1e5).rhs(&m, 0.0, &mut dmdt_hi, &mut h);
         assert!((dmdt_hi[0].y.abs() - dmdt_lo[0].y.abs() / 2.0).abs() < 1.0);
+    }
+
+    /// Builds a full multi-term system on a masked mesh with an antenna,
+    /// for cross-checking the fused kernel against the reference path.
+    fn masked_multiterm_system(threads: usize) -> (LlgSystem, Vec<Vec3>) {
+        let mut mesh = Mesh::new(16, 8, [5e-9, 5e-9, 1e-9]).unwrap();
+        // Punch some vacuum holes, including on a block boundary.
+        mesh.set_magnetic(3, 2, false);
+        mesh.set_magnetic(7, 4, false);
+        mesh.set_magnetic(0, 0, false);
+        let material = Material::fecob();
+        let antenna = Antenna::over_rect(
+            &mesh,
+            0.0,
+            0.0,
+            20e-9,
+            40e-9,
+            Vec3::X,
+            Drive::logic_cw(3e3, 10e9, 0.1),
+        );
+        let n = mesh.cell_count();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| {
+                if mesh.mask()[i] {
+                    Vec3::new(0.1 * (i as f64).sin(), 0.1 * (i as f64).cos(), 1.0).normalized()
+                } else {
+                    Vec3::ZERO
+                }
+            })
+            .collect();
+        let sys = SystemSpec {
+            terms: vec![
+                Box::new(Exchange::new(&mesh, &material)),
+                Box::new(UniaxialAnisotropy::new(&mesh, &material)),
+                Box::new(ThinFilmDemag::new(&mesh, &material)),
+                Box::new(Zeeman::uniform(Vec3::new(1e3, 0.0, 2e3))),
+            ],
+            antennas: vec![antenna],
+            thermal: Vec::new(),
+            alpha: (0..n).map(|i| 0.004 + 1e-5 * i as f64).collect(),
+            gamma: material.gamma(),
+            mask: mesh.mask().to_vec(),
+            nx: mesh.nx(),
+            threads,
+        }
+        .build();
+        (sys, m)
+    }
+
+    #[test]
+    fn fused_rhs_matches_reference_effective_field() {
+        let (sys, m) = masked_multiterm_system(1);
+        let t = 13e-12;
+        let n = m.len();
+        let mut dmdt = vec![Vec3::ZERO; n];
+        let mut scratch = vec![Vec3::ZERO; n];
+        sys.rhs(&m, t, &mut dmdt, &mut scratch);
+        // Reference: term-by-term field, then the LLG formula.
+        let mut h = vec![Vec3::ZERO; n];
+        sys.effective_field(&m, t, &mut h);
+        for i in 0..n {
+            if !sys.mask[i] {
+                assert_eq!(dmdt[i], Vec3::ZERO);
+                continue;
+            }
+            let alpha = sys.alpha[i];
+            let prefactor = -sys.gamma * MU0 / (1.0 + alpha * alpha);
+            let mxh = m[i].cross(h[i]);
+            let expected = (mxh + m[i].cross(mxh) * alpha) * prefactor;
+            assert_eq!(dmdt[i], expected, "cell {i} diverges from reference");
+        }
+    }
+
+    #[test]
+    fn rhs_is_bitwise_identical_across_thread_counts() {
+        let t = 7e-12;
+        let (serial, m) = masked_multiterm_system(1);
+        let n = m.len();
+        let mut expected = vec![Vec3::ZERO; n];
+        let mut scratch = vec![Vec3::ZERO; n];
+        serial.rhs(&m, t, &mut expected, &mut scratch);
+        let torque_serial = serial.max_torque(&m, t);
+        for threads in [2, 3, 4, 7] {
+            let (sys, m2) = masked_multiterm_system(threads);
+            assert_eq!(m, m2);
+            let mut dmdt = vec![Vec3::ZERO; n];
+            sys.rhs(&m2, t, &mut dmdt, &mut scratch);
+            assert_eq!(dmdt, expected, "threads={threads} diverged");
+            assert_eq!(sys.max_torque(&m2, t), torque_serial);
+        }
+    }
+
+    #[test]
+    fn antenna_map_follows_add_and_clear() {
+        let (mut sys, m) = masked_multiterm_system(2);
+        let t = 11e-12;
+        let with_antenna = sys.max_torque(&m, t);
+        let saved = std::mem::take(&mut sys.antennas);
+        let without = sys.max_torque(&m, t);
+        assert_ne!(with_antenna, without, "antenna must influence the torque");
+        sys.antennas = saved;
+        assert_eq!(sys.max_torque(&m, t), with_antenna);
+        sys.clear_antennas();
+        assert_eq!(sys.max_torque(&m, t), without);
     }
 }

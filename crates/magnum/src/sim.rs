@@ -11,7 +11,7 @@ use crate::field::thermal::ThermalField;
 use crate::field::zeeman::Zeeman;
 use crate::field::FieldTerm;
 use crate::geometry::{rasterize, Shape};
-use crate::llg::LlgSystem;
+use crate::llg::{LlgSystem, SystemSpec};
 use crate::material::Material;
 use crate::math::Vec3;
 use crate::mesh::Mesh;
@@ -100,12 +100,18 @@ impl Simulation {
 
     /// Adds an antenna after construction (e.g. per-input-pattern drives).
     pub fn add_antenna(&mut self, antenna: Antenna) {
-        self.system.antennas.push(antenna);
+        self.system.add_antenna(antenna);
     }
 
     /// Removes all antennas.
     pub fn clear_antennas(&mut self) {
-        self.system.antennas.clear();
+        self.system.clear_antennas();
+    }
+
+    /// The number of worker threads the simulation's parallel engine uses
+    /// (1 = serial). Results are bitwise independent of this value.
+    pub fn threads(&self) -> usize {
+        self.system.par().threads()
     }
 
     /// Advances the simulation by exactly one time step.
@@ -142,9 +148,17 @@ impl Simulation {
     /// time and state every `sample_interval` seconds of simulated time
     /// (and once at the start).
     ///
+    /// Sample times are computed as `t0 + k·interval` (no accumulated
+    /// floating-point drift), and each scheduled sample fires exactly
+    /// once: for whole-multiple durations the final sample lands on the
+    /// end time, otherwise the run ends without an extra unscheduled
+    /// call — so probe accumulators (e.g. [`crate::probe::DftProbe`]) see
+    /// exactly `⌊duration/interval⌋ + 1` samples.
+    ///
     /// # Errors
     ///
-    /// Propagates the first step failure.
+    /// Returns [`MagnumError::InvalidConfig`] for a non-positive sample
+    /// interval, and propagates the first step failure.
     pub fn run_sampled<F>(
         &mut self,
         duration: f64,
@@ -154,16 +168,29 @@ impl Simulation {
     where
         F: FnMut(f64, &Simulation),
     {
-        let t_end = self.time + duration;
-        let mut next_sample = self.time;
+        if !(sample_interval.is_finite() && sample_interval > 0.0) {
+            return Err(MagnumError::InvalidConfig {
+                reason: format!(
+                    "sample interval must be positive and finite, got {sample_interval}"
+                ),
+            });
+        }
+        let t0 = self.time;
+        let t_end = t0 + duration;
+        let mut taken: u64 = 0;
         while self.time < t_end - 1e-21 {
-            if self.time >= next_sample - 1e-21 {
+            if self.time >= t0 + taken as f64 * sample_interval - 1e-21 {
                 observer(self.time, self);
-                next_sample += sample_interval;
+                taken += 1;
             }
             self.step()?;
         }
-        observer(self.time, self);
+        // The loop exits at t_end, so a sample scheduled for the final
+        // instant has not fired yet; take it now. If the next scheduled
+        // sample lies beyond the run, everything due has already fired.
+        if taken == 0 || t0 + taken as f64 * sample_interval <= t_end + 1e-21 {
+            observer(self.time, self);
+        }
         Ok(())
     }
 
@@ -173,41 +200,54 @@ impl Simulation {
     /// Antennas and thermal noise are suspended during relaxation, and
     /// the simulation clock is not advanced.
     ///
-    /// Returns the final maximum torque.
+    /// Returns a [`Relaxation`] report; check
+    /// [`converged`](Relaxation::converged) — running out of steps is not
+    /// an error, but proceeding from an unrelaxed state is rarely what a
+    /// caller wants.
     ///
     /// # Errors
     ///
     /// Propagates integrator failures.
-    pub fn relax(&mut self, torque_tolerance: f64, max_steps: usize) -> Result<f64, MagnumError> {
+    pub fn relax(
+        &mut self,
+        torque_tolerance: f64,
+        max_steps: usize,
+    ) -> Result<Relaxation, MagnumError> {
         let saved_alpha = self.system.alpha.clone();
         let saved_antennas = std::mem::take(&mut self.system.antennas);
         let saved_thermal = std::mem::take(&mut self.system.thermal);
         for a in self.system.alpha.iter_mut() {
             *a = 0.5;
         }
-        let mut result = Ok(0.0);
-        for _ in 0..max_steps {
+        let mut error = None;
+        let mut outcome = Relaxation {
+            converged: false,
+            torque: self.system.max_torque(&self.m, self.time),
+            steps: 0,
+        };
+        outcome.converged = outcome.torque < torque_tolerance;
+        while !outcome.converged && outcome.steps < max_steps {
             match self
                 .integrator
                 .step(&self.system, self.time, self.dt, &mut self.m)
             {
                 Ok(_) => {}
                 Err(e) => {
-                    result = Err(e);
+                    error = Some(e);
                     break;
                 }
             }
-            let torque = self.system.max_torque(&self.m, self.time);
-            if torque < torque_tolerance {
-                result = Ok(torque);
-                break;
-            }
-            result = Ok(torque);
+            outcome.steps += 1;
+            outcome.torque = self.system.max_torque(&self.m, self.time);
+            outcome.converged = outcome.torque < torque_tolerance;
         }
         self.system.alpha = saved_alpha;
         self.system.antennas = saved_antennas;
         self.system.thermal = saved_thermal;
-        result
+        match error {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
     }
 
     /// Total energy of the conservative field terms, in joules.
@@ -242,6 +282,18 @@ impl std::fmt::Debug for Simulation {
     }
 }
 
+/// Outcome of [`Simulation::relax`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relaxation {
+    /// Whether the torque dropped below the tolerance within the step
+    /// budget.
+    pub converged: bool,
+    /// The final maximum torque |dm/dt| in 1/s.
+    pub torque: f64,
+    /// Integration steps actually taken.
+    pub steps: usize,
+}
+
 /// Builder for [`Simulation`] (see [`Simulation::builder`]).
 pub struct SimulationBuilder {
     mesh: Mesh,
@@ -254,10 +306,12 @@ pub struct SimulationBuilder {
     seed: u64,
     frame: Option<AbsorbingFrame>,
     damping_map: Option<Vec<f64>>,
-    integrator: IntegratorKind,
+    integrator: Option<IntegratorKind>,
+    allow_non_stratonovich: bool,
     dt: Option<f64>,
     dt_safety: f64,
     antennas: Vec<Antenna>,
+    threads: Option<usize>,
 }
 
 impl SimulationBuilder {
@@ -275,10 +329,12 @@ impl SimulationBuilder {
             seed: 0,
             frame: None,
             damping_map: None,
-            integrator: IntegratorKind::default(),
+            integrator: None,
+            allow_non_stratonovich: false,
             dt: None,
             dt_safety: 0.25,
             antennas: Vec::new(),
+            threads: None,
         }
     }
 
@@ -331,8 +387,35 @@ impl SimulationBuilder {
     }
 
     /// Chooses the time integrator.
+    ///
+    /// Without an explicit choice the builder picks RK4 for deterministic
+    /// runs and Heun when `temperature > 0` (the stochastic-Heun scheme is
+    /// the only provided integrator that converges to the Stratonovich
+    /// solution of the thermal LLG equation). Explicitly combining a
+    /// non-Heun integrator with `temperature > 0` is rejected at build
+    /// time unless [`allow_non_stratonovich`](Self::allow_non_stratonovich)
+    /// is set.
     pub fn integrator(mut self, kind: IntegratorKind) -> Self {
-        self.integrator = kind;
+        self.integrator = Some(kind);
+        self
+    }
+
+    /// Permits a non-Heun integrator together with `temperature > 0`.
+    ///
+    /// The result does not converge to the Stratonovich solution — the
+    /// physically correct interpretation of Brown's thermal field — so
+    /// this is only meant for convergence studies and ablations.
+    pub fn allow_non_stratonovich(mut self) -> Self {
+        self.allow_non_stratonovich = true;
+        self
+    }
+
+    /// Sets the worker-thread count for the intra-simulation parallel
+    /// engine. `0` means "auto" (all logical CPUs). Without this call the
+    /// `MAGNUM_THREADS` environment variable decides, defaulting to 1
+    /// (serial). Results are bitwise identical for every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -360,8 +443,10 @@ impl SimulationBuilder {
     /// # Errors
     ///
     /// Returns [`MagnumError::InvalidConfig`] if a custom damping map has
-    /// the wrong length, the time step is invalid, or the geometry leaves
-    /// no magnetic cells.
+    /// the wrong length, the time step is invalid, the geometry leaves no
+    /// magnetic cells, `MAGNUM_THREADS` is unparsable, or a non-Heun
+    /// integrator is combined with `temperature > 0` without
+    /// [`allow_non_stratonovich`](Self::allow_non_stratonovich).
     pub fn build(self) -> Result<Simulation, MagnumError> {
         let SimulationBuilder {
             mut mesh,
@@ -375,10 +460,33 @@ impl SimulationBuilder {
             frame,
             damping_map,
             integrator,
+            allow_non_stratonovich,
             dt,
             dt_safety,
             antennas,
+            threads,
         } = self;
+
+        let threads =
+            crate::par::resolve_threads(threads, std::env::var("MAGNUM_THREADS").ok().as_deref())
+                .map_err(|reason| MagnumError::InvalidConfig { reason })?;
+
+        let integrator = match integrator {
+            None if temperature > 0.0 => IntegratorKind::Heun,
+            None => IntegratorKind::default(),
+            Some(kind) => {
+                if temperature > 0.0 && kind != IntegratorKind::Heun && !allow_non_stratonovich {
+                    return Err(MagnumError::InvalidConfig {
+                        reason: format!(
+                            "temperature > 0 requires the Heun integrator ({kind:?} does not \
+                             converge to the Stratonovich solution); use IntegratorKind::Heun \
+                             or opt out via allow_non_stratonovich()"
+                        ),
+                    });
+                }
+                kind
+            }
+        };
 
         if let Some(shape) = shape {
             rasterize(&mut mesh, &shape);
@@ -441,9 +549,16 @@ impl SimulationBuilder {
             vec![alpha0; n]
         };
 
-        // Thermal field.
+        // Thermal field, driven by the *per-cell* damping so absorbing
+        // frames satisfy fluctuation–dissipation locally.
         let thermal = if temperature > 0.0 {
-            Some(ThermalField::new(&mesh, &material, temperature, seed))
+            Some(ThermalField::with_damping(
+                &mesh,
+                &material,
+                &alpha,
+                temperature,
+                seed,
+            ))
         } else {
             None
         };
@@ -487,14 +602,17 @@ impl SimulationBuilder {
             }
         };
 
-        let system = LlgSystem {
+        let system = SystemSpec {
             terms,
             antennas,
             thermal: thermal_buffer,
             alpha,
             gamma: material.gamma(),
             mask: mesh.mask().to_vec(),
-        };
+            nx: mesh.nx(),
+            threads,
+        }
+        .build();
         let integrator = integrator.instantiate(n);
 
         Ok(Simulation {
@@ -517,6 +635,7 @@ impl std::fmt::Debug for SimulationBuilder {
             .field("demag", &self.demag)
             .field("temperature", &self.temperature)
             .field("integrator", &self.integrator)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -571,10 +690,45 @@ mod tests {
             .build()
             .unwrap();
         let t0 = sim.max_torque();
-        sim.relax(t0 * 1e-3, 10_000).unwrap();
+        let report = sim.relax(t0 * 1e-3, 10_000).unwrap();
+        assert!(report.converged, "relaxation should converge: {report:?}");
+        assert!(report.torque < t0 * 1e-3);
+        assert!(report.steps > 0);
         assert!(sim.max_torque() < t0 * 1e-2);
         // Relaxation lands on the easy axis (either pole).
         assert!(sim.magnetization_mean().z.abs() > 0.99);
+    }
+
+    #[test]
+    fn relax_reports_non_convergence_when_steps_run_out() {
+        let mut sim = fecob_strip(8, 4)
+            .uniform_magnetization(Vec3::new(0.5, 0.0, 1.0))
+            .build()
+            .unwrap();
+        // One step cannot possibly reach a 1e-9 relative torque.
+        let report = sim.relax(sim.max_torque() * 1e-9, 1).unwrap();
+        assert!(!report.converged, "must report non-convergence: {report:?}");
+        assert_eq!(report.steps, 1);
+        assert!(report.torque.is_finite());
+    }
+
+    #[test]
+    fn relax_with_zero_steps_reports_initial_torque() {
+        let mut sim = fecob_strip(8, 4)
+            .uniform_magnetization(Vec3::new(0.5, 0.0, 1.0))
+            .build()
+            .unwrap();
+        // Zero steps: the initial torque (measured under relaxation
+        // conditions, α = 0.5) is reported without any stepping.
+        let report = sim.relax(1e-30, 0).unwrap();
+        assert!(!report.converged);
+        assert_eq!(report.steps, 0);
+        assert!(report.torque > 0.0);
+        // An already-converged state needs no steps at all.
+        let relaxed = sim.relax(report.torque * 2.0, 100).unwrap();
+        assert!(relaxed.converged);
+        assert_eq!(relaxed.steps, 0);
+        assert_eq!(relaxed.torque, report.torque);
     }
 
     #[test]
@@ -681,13 +835,113 @@ mod tests {
     }
 
     #[test]
-    fn run_sampled_invokes_observer() {
+    fn run_sampled_takes_exact_sample_count() {
+        // duration = 10 dt, interval = 2 dt → samples at k·2dt for
+        // k = 0..=5: exactly ⌊duration/interval⌋ + 1 = 6 calls, with the
+        // final one at t_end (no double invocation, no drift).
+        let mut sim = fecob_strip(4, 4).build().unwrap();
+        let dt = sim.time_step();
+        let mut times = Vec::new();
+        sim.run_sampled(dt * 10.0, dt * 2.0, |t, _| times.push(t))
+            .unwrap();
+        assert_eq!(times.len(), 6, "sample times: {times:?}");
+        for (k, &t) in times.iter().enumerate() {
+            let expected = k as f64 * 2.0 * dt;
+            assert!(
+                (t - expected).abs() < 1e-3 * dt,
+                "sample {k} drifted: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_sampled_non_multiple_duration_samples_floor_plus_one() {
+        // duration = 5 dt, interval = 2 dt → samples at 0, 2dt, 4dt only;
+        // the next scheduled sample (6dt) is past t_end, so no trailing
+        // call fires and the observer runs exactly ⌊5/2⌋ + 1 = 3 times.
         let mut sim = fecob_strip(4, 4).build().unwrap();
         let dt = sim.time_step();
         let mut calls = 0;
-        sim.run_sampled(dt * 10.0, dt * 2.0, |_, _| calls += 1)
+        sim.run_sampled(dt * 5.0, dt * 2.0, |_, _| calls += 1)
             .unwrap();
-        assert!(calls >= 5, "observer called {calls} times");
+        assert_eq!(calls, 3, "observer called {calls} times");
+    }
+
+    #[test]
+    fn run_sampled_second_call_does_not_drift() {
+        // Sampling must anchor to the *current* time, not t = 0: a second
+        // run_sampled call on the same simulation gets the same cadence.
+        let mut sim = fecob_strip(4, 4).build().unwrap();
+        let dt = sim.time_step();
+        sim.run(dt * 3.0).unwrap();
+        let t0 = sim.time();
+        let mut times = Vec::new();
+        sim.run_sampled(dt * 4.0, dt * 2.0, |t, _| times.push(t))
+            .unwrap();
+        assert_eq!(times.len(), 3, "sample times: {times:?}");
+        for (k, &t) in times.iter().enumerate() {
+            let expected = t0 + k as f64 * 2.0 * dt;
+            assert!(
+                (t - expected).abs() < 1e-3 * dt,
+                "sample {k} drifted: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_sampled_rejects_bad_interval() {
+        let mut sim = fecob_strip(4, 4).build().unwrap();
+        let dt = sim.time_step();
+        assert!(sim.run_sampled(dt, 0.0, |_, _| {}).is_err());
+        assert!(sim.run_sampled(dt, -dt, |_, _| {}).is_err());
+        assert!(sim.run_sampled(dt, f64::NAN, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn thermal_run_requires_heun_unless_overridden() {
+        // Explicit non-Heun integrator at T > 0 is rejected...
+        let err = fecob_strip(4, 4)
+            .temperature(300.0)
+            .integrator(IntegratorKind::RungeKutta4)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, MagnumError::InvalidConfig { .. }),
+            "unexpected error: {err:?}"
+        );
+        // ...unless explicitly permitted.
+        assert!(fecob_strip(4, 4)
+            .temperature(300.0)
+            .integrator(IntegratorKind::RungeKutta4)
+            .allow_non_stratonovich()
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn thermal_run_defaults_to_heun() {
+        let sim = fecob_strip(4, 4).temperature(300.0).build().unwrap();
+        assert_eq!(sim.integrator.name(), "heun");
+        // Deterministic runs keep the RK4 default.
+        let sim = fecob_strip(4, 4).build().unwrap();
+        assert_eq!(sim.integrator.name(), "rk4");
+    }
+
+    #[test]
+    fn builder_threads_are_plumbed_through() {
+        // An explicit builder value wins over any environment setting.
+        let sim = fecob_strip(8, 4).threads(3).build().unwrap();
+        assert_eq!(sim.threads(), 3);
+        // Default: serial, unless the MAGNUM_THREADS environment variable
+        // overrides it (the CI gate re-runs this suite with it set).
+        let sim = fecob_strip(8, 4).build().unwrap();
+        match std::env::var("MAGNUM_THREADS") {
+            Err(_) => assert_eq!(sim.threads(), 1),
+            Ok(_) => assert!(sim.threads() >= 1),
+        }
+        // Thread count is capped by the cell count.
+        let sim = fecob_strip(2, 2).threads(64).build().unwrap();
+        assert!(sim.threads() <= 4);
     }
 
     #[test]

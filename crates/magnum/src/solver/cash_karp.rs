@@ -75,15 +75,26 @@ impl CashKarp45 {
     }
 
     /// Evaluates the six stages and returns the max-norm error estimate.
+    ///
+    /// The per-block error maxima are folded in block order; `f64::max`
+    /// over disjoint index sets is exact, so the estimate (and therefore
+    /// the step-size control path) is identical for any thread count.
     fn attempt(&mut self, system: &LlgSystem, t: f64, dt: f64, m: &[Vec3]) -> f64 {
+        let team = system.par();
         system.rhs(m, t, &mut self.k[0], &mut self.h_scratch);
         for s in 1..6 {
-            for (i, stage) in self.stage.iter_mut().enumerate() {
-                let mut acc = m[i];
-                for (j, a) in A[s - 1].iter().enumerate().take(s) {
-                    acc += self.k[j][i] * (a * dt);
-                }
-                *stage = acc;
+            {
+                let k = &self.k;
+                team.for_each_chunk(&mut self.stage, |start, chunk| {
+                    for (j, stage) in chunk.iter_mut().enumerate() {
+                        let i = start + j;
+                        let mut acc = m[i];
+                        for (jj, a) in A[s - 1].iter().enumerate().take(s) {
+                            acc += k[jj][i] * (a * dt);
+                        }
+                        *stage = acc;
+                    }
+                });
             }
             // Split borrows: k[s] is written, k[0..s] were read above.
             let (head, tail) = self.k.split_at_mut(s);
@@ -95,18 +106,27 @@ impl CashKarp45 {
                 &mut self.h_scratch,
             );
         }
-        let mut err_max: f64 = 0.0;
-        for (i, out) in self.y5.iter_mut().enumerate() {
-            let mut y5 = m[i];
-            let mut y4 = m[i];
-            for s in 0..6 {
-                y5 += self.k[s][i] * (B5[s] * dt);
-                y4 += self.k[s][i] * (B4[s] * dt);
+        let n = m.len();
+        let nb = team.threads().max(1);
+        let k = &self.k;
+        let out = crate::par::SendPtr::new(self.y5.as_mut_ptr());
+        let partials = team.map_blocks(|b| {
+            let (start, end) = crate::par::chunk_bounds(n, nb, b);
+            let mut err: f64 = 0.0;
+            for i in start..end {
+                let mut y5 = m[i];
+                let mut y4 = m[i];
+                for s in 0..6 {
+                    y5 += k[s][i] * (B5[s] * dt);
+                    y4 += k[s][i] * (B4[s] * dt);
+                }
+                // Safety: chunk ranges are disjoint across blocks.
+                unsafe { *out.add(i) = y5 };
+                err = err.max((y5 - y4).norm());
             }
-            *out = y5;
-            err_max = err_max.max((y5 - y4).norm());
-        }
-        err_max
+            err
+        });
+        partials.into_iter().fold(0.0, f64::max)
     }
 }
 
@@ -132,7 +152,7 @@ impl Integrator for CashKarp45 {
             }
             if err <= self.tolerance {
                 m.copy_from_slice(&self.y5);
-                renormalize_and_check(m, &system.mask, t + h)?;
+                renormalize_and_check(m, &system.mask, t + h, system.par())?;
                 // Controller: grow conservatively, cap at the hint `dt`.
                 let factor = if err == 0.0 {
                     5.0

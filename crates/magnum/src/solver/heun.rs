@@ -39,15 +39,24 @@ impl Integrator for Heun {
         dt: f64,
         m: &mut [Vec3],
     ) -> Result<f64, MagnumError> {
+        let team = system.par();
         system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
-        for (i, p) in self.predictor.iter_mut().enumerate() {
-            *p = m[i] + self.k1[i] * dt;
-        }
+        let k1 = &self.k1;
+        team.for_each_chunk(&mut self.predictor, |start, chunk| {
+            for (j, p) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                *p = m[i] + k1[i] * dt;
+            }
+        });
         system.rhs(&self.predictor, t + dt, &mut self.k2, &mut self.h_scratch);
-        for (i, mi) in m.iter_mut().enumerate() {
-            *mi += (self.k1[i] + self.k2[i]) * (dt / 2.0);
-        }
-        renormalize_and_check(m, &system.mask, t + dt)?;
+        let k2 = &self.k2;
+        team.for_each_chunk(m, |start, chunk| {
+            for (j, mi) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                *mi += (k1[i] + k2[i]) * (dt / 2.0);
+            }
+        });
+        renormalize_and_check(m, &system.mask, t + dt, team)?;
         Ok(dt)
     }
 

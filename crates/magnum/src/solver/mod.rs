@@ -25,6 +25,7 @@ pub use rk4::RungeKutta4;
 use crate::error::MagnumError;
 use crate::llg::LlgSystem;
 use crate::math::Vec3;
+use crate::par::{chunk_bounds, SendPtr, WorkerTeam};
 
 /// A time integrator advancing the magnetization state.
 pub trait Integrator: Send {
@@ -76,45 +77,62 @@ impl IntegratorKind {
 }
 
 /// Renormalizes magnetic cells to |m| = 1 and reports divergence.
+///
+/// Runs block-parallel on the system's worker team; per-block results are
+/// collected in block order, so the reported error (first bad block) is
+/// deterministic for a fixed thread count.
 pub(crate) fn renormalize_and_check(
     m: &mut [Vec3],
     mask: &[bool],
     t: f64,
+    team: &WorkerTeam,
 ) -> Result<(), MagnumError> {
-    for (mi, &magnetic) in m.iter_mut().zip(mask.iter()) {
-        if !magnetic {
-            continue;
+    let n = m.len();
+    let nb = team.threads().max(1);
+    let out = SendPtr::new(m.as_mut_ptr());
+    let results = team.map_blocks(|b| {
+        let (start, end) = chunk_bounds(n, nb, b);
+        for (i, &magnetic) in mask.iter().enumerate().take(end).skip(start) {
+            if !magnetic {
+                continue;
+            }
+            // Safety: chunk ranges are disjoint across blocks.
+            let mi = unsafe { &mut *out.add(i) };
+            if !mi.is_finite() {
+                return Err(MagnumError::Diverged { time: t });
+            }
+            let norm = mi.norm();
+            if norm == 0.0 {
+                return Err(MagnumError::Diverged { time: t });
+            }
+            *mi /= norm;
         }
-        if !mi.is_finite() {
-            return Err(MagnumError::Diverged { time: t });
-        }
-        let n = mi.norm();
-        if n == 0.0 {
-            return Err(MagnumError::Diverged { time: t });
-        }
-        *mi /= n;
-    }
-    Ok(())
+        Ok(())
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
 pub(crate) mod test_support {
     use crate::field::zeeman::Zeeman;
-    use crate::llg::LlgSystem;
+    use crate::llg::{LlgSystem, SystemSpec};
     use crate::math::Vec3;
     use crate::GAMMA;
 
     /// A single macrospin in a uniform +z field — the one LLG problem with
     /// a closed-form solution, used to validate every integrator.
     pub fn macrospin(alpha: f64, h: f64) -> LlgSystem {
-        LlgSystem {
+        SystemSpec {
             terms: vec![Box::new(Zeeman::uniform(Vec3::Z * h))],
             antennas: Vec::new(),
             thermal: Vec::new(),
             alpha: vec![alpha],
             gamma: GAMMA,
             mask: vec![true],
+            nx: 1,
+            threads: 1,
         }
+        .build()
     }
 
     /// Analytic macrospin solution starting from m = x̂ at t = 0:
@@ -212,16 +230,38 @@ mod tests {
 
     #[test]
     fn renormalize_rejects_nan() {
+        let team = WorkerTeam::new(1);
         let mut m = vec![Vec3::new(f64::NAN, 0.0, 0.0)];
-        let err = renormalize_and_check(&mut m, &[true], 1e-9);
+        let err = renormalize_and_check(&mut m, &[true], 1e-9, &team);
         assert!(matches!(err, Err(MagnumError::Diverged { .. })));
     }
 
     #[test]
     fn renormalize_skips_vacuum() {
+        let team = WorkerTeam::new(1);
         let mut m = vec![Vec3::ZERO];
-        renormalize_and_check(&mut m, &[false], 0.0).expect("vacuum zero vector is fine");
+        renormalize_and_check(&mut m, &[false], 0.0, &team).expect("vacuum zero vector is fine");
         assert_eq!(m[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn renormalize_is_identical_serial_and_parallel() {
+        let n = 137;
+        let mask: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+        let original: Vec<Vec3> = (0..n)
+            .map(|i| {
+                if mask[i] {
+                    Vec3::new(1.0 + 0.01 * i as f64, -0.3, 0.5 * (i as f64).sin())
+                } else {
+                    Vec3::ZERO
+                }
+            })
+            .collect();
+        let mut serial = original.clone();
+        renormalize_and_check(&mut serial, &mask, 0.0, &WorkerTeam::new(1)).unwrap();
+        let mut parallel = original;
+        renormalize_and_check(&mut parallel, &mask, 0.0, &WorkerTeam::new(4)).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

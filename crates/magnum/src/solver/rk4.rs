@@ -39,23 +39,40 @@ impl Integrator for RungeKutta4 {
         dt: f64,
         m: &mut [Vec3],
     ) -> Result<f64, MagnumError> {
+        let team = system.par();
         system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
-        for (i, s) in self.stage.iter_mut().enumerate() {
-            *s = m[i] + self.k1[i] * (dt / 2.0);
-        }
+        let k1 = &self.k1;
+        team.for_each_chunk(&mut self.stage, |start, chunk| {
+            for (j, s) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                *s = m[i] + k1[i] * (dt / 2.0);
+            }
+        });
         system.rhs(&self.stage, t + dt / 2.0, &mut self.k2, &mut self.h_scratch);
-        for (i, s) in self.stage.iter_mut().enumerate() {
-            *s = m[i] + self.k2[i] * (dt / 2.0);
-        }
+        let k2 = &self.k2;
+        team.for_each_chunk(&mut self.stage, |start, chunk| {
+            for (j, s) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                *s = m[i] + k2[i] * (dt / 2.0);
+            }
+        });
         system.rhs(&self.stage, t + dt / 2.0, &mut self.k3, &mut self.h_scratch);
-        for (i, s) in self.stage.iter_mut().enumerate() {
-            *s = m[i] + self.k3[i] * dt;
-        }
+        let k3 = &self.k3;
+        team.for_each_chunk(&mut self.stage, |start, chunk| {
+            for (j, s) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                *s = m[i] + k3[i] * dt;
+            }
+        });
         system.rhs(&self.stage, t + dt, &mut self.k4, &mut self.h_scratch);
-        for (i, mi) in m.iter_mut().enumerate() {
-            *mi += (self.k1[i] + (self.k2[i] + self.k3[i]) * 2.0 + self.k4[i]) * (dt / 6.0);
-        }
-        renormalize_and_check(m, &system.mask, t + dt)?;
+        let k4 = &self.k4;
+        team.for_each_chunk(m, |start, chunk| {
+            for (j, mi) in chunk.iter_mut().enumerate() {
+                let i = start + j;
+                *mi += (k1[i] + (k2[i] + k3[i]) * 2.0 + k4[i]) * (dt / 6.0);
+            }
+        });
+        renormalize_and_check(m, &system.mask, t + dt, team)?;
         Ok(dt)
     }
 

@@ -1,0 +1,121 @@
+//! Parallel-vs-serial bitwise-equality tests.
+//!
+//! The magnum threading model promises that the thread count is purely a
+//! performance knob: every trajectory must be bitwise identical whether
+//! it runs on one thread or many. These tests drive a masked triangle
+//! geometry (the paper's gate shape) with an antenna and an absorbing
+//! frame through all three integrators and compare `f64` bit patterns.
+
+use magnum::field::demag::DemagMethod;
+use magnum::geometry::Polygon;
+use magnum::prelude::*;
+use magnum::solver::IntegratorKind;
+
+const NX: usize = 48;
+const NY: usize = 24;
+const CELL: f64 = 5e-9;
+
+/// A triangle-shaped film (apex to the right, like the paper's gates)
+/// with an antenna on the left edge and an absorbing frame.
+fn triangle_sim(threads: usize, kind: IntegratorKind) -> Simulation {
+    let mut mesh = Mesh::new(NX, NY, [CELL, CELL, 1e-9]).unwrap();
+    let w = NX as f64 * CELL;
+    let h = NY as f64 * CELL;
+    let triangle = Polygon::new(vec![(0.0, 0.0), (0.0, h), (w, h / 2.0)]);
+    magnum::geometry::rasterize(&mut mesh, &triangle);
+    let antenna = Antenna::over_rect(
+        &mesh,
+        0.0,
+        0.0,
+        2.0 * CELL,
+        h,
+        Vec3::X,
+        Drive::logic_cw(3e3, 9e9, 0.0),
+    );
+    Simulation::builder(mesh, Material::fecob())
+        .uniform_magnetization(Vec3::Z)
+        .demag(DemagMethod::ThinFilmLocal)
+        .absorbing_frame(AbsorbingFrame::new(3, 0.5))
+        .antenna(antenna)
+        .integrator(kind)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+fn run_and_collect(threads: usize, kind: IntegratorKind, steps: usize) -> Vec<Vec3> {
+    let mut sim = triangle_sim(threads, kind);
+    for _ in 0..steps {
+        sim.step().unwrap();
+    }
+    sim.magnetization().to_vec()
+}
+
+fn assert_bitwise_equal(kind: IntegratorKind, steps: usize) {
+    let serial = run_and_collect(1, kind, steps);
+    for threads in [2, 4, 7] {
+        let parallel = run_and_collect(threads, kind, steps);
+        assert_eq!(
+            serial, parallel,
+            "{kind:?} trajectory diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn heun_is_bitwise_identical_across_thread_counts() {
+    assert_bitwise_equal(IntegratorKind::Heun, 25);
+}
+
+#[test]
+fn rk4_is_bitwise_identical_across_thread_counts() {
+    assert_bitwise_equal(IntegratorKind::RungeKutta4, 25);
+}
+
+#[test]
+fn cash_karp_is_bitwise_identical_across_thread_counts() {
+    // Adaptive stepping exercises the error-estimate reduction: the
+    // f64::max fold must make step-size control thread-count-independent.
+    assert_bitwise_equal(IntegratorKind::CashKarp45 { tolerance: 1e-7 }, 25);
+}
+
+#[test]
+fn thermal_heun_is_bitwise_identical_across_thread_counts() {
+    // The thermal field is drawn serially once per step, so even T > 0
+    // trajectories are bitwise reproducible under threading.
+    let run = |threads: usize| {
+        let mesh = Mesh::new(16, 8, [CELL, CELL, 1e-9]).unwrap();
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .uniform_magnetization(Vec3::Z)
+            .temperature(300.0)
+            .seed(17)
+            .threads(threads)
+            .build()
+            .unwrap();
+        for _ in 0..20 {
+            sim.step().unwrap();
+        }
+        sim.magnetization().to_vec()
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "thermal trajectory diverged at 4 threads");
+}
+
+#[test]
+fn relax_is_bitwise_identical_across_thread_counts() {
+    // Start tilted off the easy axis so the torque is nonzero and relax
+    // actually steps.
+    let relax = |threads: usize| {
+        let mesh = Mesh::new(24, 12, [CELL, CELL, 1e-9]).unwrap();
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .uniform_magnetization(Vec3::new(0.4, 0.1, 1.0))
+            .demag(DemagMethod::ThinFilmLocal)
+            .threads(threads)
+            .build()
+            .unwrap();
+        let report = sim.relax(1e-30, 15).unwrap();
+        assert_eq!(report.steps, 15);
+        sim.magnetization().to_vec()
+    };
+    assert_eq!(relax(1), relax(4));
+}

@@ -54,6 +54,19 @@ pub use manifest::{Manifest, ManifestWriter};
 pub use metrics::{BatchMetrics, Progress};
 pub use pool::{JobFailure, JobOutcome, JobPool};
 
+/// Splits the machine's cores between `jobs` concurrently running
+/// simulations, returning the per-simulation thread count (≥ 1).
+///
+/// Use this to compose batch-level parallelism (swrun jobs) with
+/// magnum's intra-simulation threading without oversubscribing: a batch
+/// of 4 jobs on a 16-core machine gets 4 threads per simulation.
+pub fn thread_budget(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores / jobs.max(1)).max(1)
+}
+
 /// Errors that abort a batch (individual job failures do not — they are
 /// reported per job as [`Outcome::Failed`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,5 +132,22 @@ mod tests {
     fn run_error_is_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<RunError>();
+    }
+
+    #[test]
+    fn thread_budget_splits_cores_without_oversubscribing() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(thread_budget(1), cores);
+        // jobs × threads never exceeds the core count (unless a single
+        // job cannot go below one thread).
+        for jobs in 1..=2 * cores {
+            let t = thread_budget(jobs);
+            assert!(t >= 1);
+            assert!(jobs * t <= cores || t == 1, "jobs {jobs} threads {t}");
+        }
+        // Degenerate input is clamped rather than dividing by zero.
+        assert_eq!(thread_budget(0), cores);
     }
 }
