@@ -27,4 +27,9 @@ cargo test -q --workspace --offline
 echo "==> magnum tests with MAGNUM_THREADS=4 (parallel field engine)"
 MAGNUM_THREADS=4 cargo test -q -p magnum --offline
 
+echo "==> demag bench smoke (one small grid, JSON emitter)"
+./target/release/parbench --demag --grids 32 --evals 2 --threads 1,2 \
+    --out target/BENCH_demag_smoke.json
+test -s target/BENCH_demag_smoke.json
+
 echo "CI OK"

@@ -1,19 +1,222 @@
 //! `parbench` — wall-clock scaling of magnum's intra-simulation threading.
 //!
-//! Usage: `parbench [--size N] [--steps N] [--threads LIST]`
+//! Two modes:
 //!
-//! Runs the same deterministic LLG workload (an N×N film with exchange,
-//! anisotropy, local demag and an antenna) at each thread count and
-//! reports wall time, speedup over the serial run, and whether the final
-//! magnetization is bitwise identical to the serial trajectory.
+//! * Default: `parbench [--size N] [--steps N] [--threads LIST]` runs the
+//!   same deterministic LLG workload (an N×N film with exchange,
+//!   anisotropy, local demag and an antenna) at each thread count and
+//!   reports wall time, speedup over the serial run, and whether the
+//!   final magnetization is bitwise identical to the serial trajectory.
+//!   Defaults: a 256×256 mesh, 50 steps, thread counts `1,2,4`.
 //!
-//! Defaults: a 256×256 mesh, 50 steps, thread counts `1,2,4`.
+//! * `parbench --demag [--grids LIST] [--threads LIST] [--evals N]
+//!   [--out PATH]` benchmarks one Newell demag field evaluation per grid
+//!   size against the pre-optimization implementation (running-product
+//!   twiddles, per-column gather/scatter 2-D FFT, complex kernel tables,
+//!   six transforms per evaluation — reimplemented verbatim in the
+//!   [`legacy`] module), checks the new path's error against that
+//!   reference and its bitwise identity across thread counts, and writes
+//!   a machine-readable JSON report. Defaults: grids `64,128,256`,
+//!   threads `1,2,4`, auto eval count, output `BENCH_demag.json`.
 
 use std::time::Instant;
 
-use magnum::field::demag::DemagMethod;
+use magnum::field::demag::{DemagMethod, NewellDemag};
+use magnum::field::FieldTerm;
+use magnum::par::WorkerTeam;
 use magnum::prelude::*;
 use magnum::solver::IntegratorKind;
+use swrun::json::Json;
+
+/// The pre-optimization Newell demag pipeline, preserved as the benchmark
+/// reference. Every design decision the optimization removed is kept on
+/// purpose: the FFT grows its twiddle with a per-butterfly running
+/// product, the 2-D transform gathers and scatters each column through a
+/// freshly allocated scratch vector, the kernel tables store complex
+/// values whose imaginary halves are always zero, and each field
+/// evaluation runs six full complex transforms (three forward, three
+/// inverse) strictly serially.
+mod legacy {
+    use magnum::fft::next_power_of_two;
+    use magnum::field::demag::{newell_nxx, newell_nxy};
+    use magnum::{Complex64, Material, Mesh, Vec3};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Direction {
+        Forward,
+        Inverse,
+    }
+
+    /// The pre-PR radix-2 FFT with running-product twiddles.
+    pub fn fft_in_place(data: &mut [Complex64], direction: Direction) {
+        let n = data.len();
+        assert!(n.is_power_of_two() && n > 0);
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let sign = match direction {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        };
+        let mut len = 2;
+        while len <= n {
+            let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex64::cis(angle);
+            for start in (0..n).step_by(len) {
+                let mut w = Complex64::ONE;
+                for k in 0..len / 2 {
+                    let a = data[start + k];
+                    let b = data[start + k + len / 2] * w;
+                    data[start + k] = a + b;
+                    data[start + k + len / 2] = a - b;
+                    w *= wlen;
+                }
+            }
+            len <<= 1;
+        }
+        if direction == Direction::Inverse {
+            let inv = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(inv);
+            }
+        }
+    }
+
+    /// The pre-PR 2-D FFT: rows in place, columns through a gather/scatter
+    /// scratch vector allocated per call.
+    pub fn fft2_in_place(data: &mut [Complex64], nx: usize, ny: usize, direction: Direction) {
+        assert_eq!(data.len(), nx * ny);
+        for row in data.chunks_mut(nx) {
+            fft_in_place(row, direction);
+        }
+        let mut column = vec![Complex64::ZERO; ny];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                column[iy] = data[iy * nx + ix];
+            }
+            fft_in_place(&mut column, direction);
+            for iy in 0..ny {
+                data[iy * nx + ix] = column[iy];
+            }
+        }
+    }
+
+    /// The pre-PR FFT-accelerated Newell demag field.
+    pub struct LegacyNewellDemag {
+        nx: usize,
+        ny: usize,
+        px: usize,
+        py: usize,
+        ms: f64,
+        mask: Vec<bool>,
+        kxx: Vec<Complex64>,
+        kyy: Vec<Complex64>,
+        kzz: Vec<Complex64>,
+        kxy: Vec<Complex64>,
+        mx: Vec<Complex64>,
+        my: Vec<Complex64>,
+        mz: Vec<Complex64>,
+    }
+
+    impl LegacyNewellDemag {
+        pub fn new(mesh: &Mesh, material: &Material) -> Self {
+            let nx = mesh.nx();
+            let ny = mesh.ny();
+            let px = next_power_of_two(2 * nx);
+            let py = next_power_of_two(2 * ny);
+            let [dx, dy, dz] = mesh.cell_size();
+            let mut kxx = vec![Complex64::ZERO; px * py];
+            let mut kyy = vec![Complex64::ZERO; px * py];
+            let mut kzz = vec![Complex64::ZERO; px * py];
+            let mut kxy = vec![Complex64::ZERO; px * py];
+            for jy in 0..py {
+                let oy = if jy <= py / 2 {
+                    jy as isize
+                } else {
+                    jy as isize - py as isize
+                };
+                for jx in 0..px {
+                    let ox = if jx <= px / 2 {
+                        jx as isize
+                    } else {
+                        jx as isize - px as isize
+                    };
+                    let x = ox as f64 * dx;
+                    let y = oy as f64 * dy;
+                    let idx = jy * px + jx;
+                    kxx[idx] = Complex64::new(-newell_nxx(x, y, 0.0, dx, dy, dz), 0.0);
+                    kyy[idx] = Complex64::new(-newell_nxx(y, x, 0.0, dy, dx, dz), 0.0);
+                    kzz[idx] = Complex64::new(-newell_nxx(0.0, y, x, dz, dy, dx), 0.0);
+                    kxy[idx] = Complex64::new(-newell_nxy(x, y, 0.0, dx, dy, dz), 0.0);
+                }
+            }
+            for k in [&mut kxx, &mut kyy, &mut kzz, &mut kxy] {
+                fft2_in_place(k, px, py, Direction::Forward);
+            }
+            LegacyNewellDemag {
+                nx,
+                ny,
+                px,
+                py,
+                ms: material.saturation_magnetization(),
+                mask: mesh.mask().to_vec(),
+                kxx,
+                kyy,
+                kzz,
+                kxy,
+                mx: vec![Complex64::ZERO; px * py],
+                my: vec![Complex64::ZERO; px * py],
+                mz: vec![Complex64::ZERO; px * py],
+            }
+        }
+
+        pub fn accumulate(&mut self, m: &[Vec3], h: &mut [Vec3]) {
+            self.mx.fill(Complex64::ZERO);
+            self.my.fill(Complex64::ZERO);
+            self.mz.fill(Complex64::ZERO);
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    let i = iy * self.nx + ix;
+                    if !self.mask[i] {
+                        continue;
+                    }
+                    let p = iy * self.px + ix;
+                    self.mx[p] = Complex64::new(self.ms * m[i].x, 0.0);
+                    self.my[p] = Complex64::new(self.ms * m[i].y, 0.0);
+                    self.mz[p] = Complex64::new(self.ms * m[i].z, 0.0);
+                }
+            }
+            for buf in [&mut self.mx, &mut self.my, &mut self.mz] {
+                fft2_in_place(buf, self.px, self.py, Direction::Forward);
+            }
+            for i in 0..self.px * self.py {
+                let hx = self.kxx[i] * self.mx[i] + self.kxy[i] * self.my[i];
+                let hy = self.kxy[i] * self.mx[i] + self.kyy[i] * self.my[i];
+                let hz = self.kzz[i] * self.mz[i];
+                self.mx[i] = hx;
+                self.my[i] = hy;
+                self.mz[i] = hz;
+            }
+            for buf in [&mut self.mx, &mut self.my, &mut self.mz] {
+                fft2_in_place(buf, self.px, self.py, Direction::Inverse);
+            }
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    let i = iy * self.nx + ix;
+                    if !self.mask[i] {
+                        continue;
+                    }
+                    let p = iy * self.px + ix;
+                    h[i] += Vec3::new(self.mx[p].re, self.my[p].re, self.mz[p].re);
+                }
+            }
+        }
+    }
+}
 
 fn build(size: usize, threads: usize) -> Simulation {
     let cell = 5e-9;
@@ -48,6 +251,139 @@ fn run(size: usize, steps: usize, threads: usize) -> (f64, Vec<Vec3>) {
     (start.elapsed().as_secs_f64(), sim.magnetization().to_vec())
 }
 
+/// A deterministic non-uniform test magnetization: tilted unit vectors
+/// with spatially varying in-plane components.
+fn test_magnetization(n: usize) -> Vec<Vec3> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 * 0.7;
+            Vec3::new(0.4 * (0.3 * x).sin(), 0.4 * (0.2 * x).cos(), 1.0).normalized()
+        })
+        .collect()
+}
+
+/// One evaluation of the optimized demag path (zero + accumulate).
+fn eval_new(
+    demag: &NewellDemag,
+    m: &[Vec3],
+    h: &mut [Vec3],
+    team: &WorkerTeam,
+    scratch: &mut Option<Box<dyn std::any::Any + Send + Sync>>,
+) {
+    h.fill(Vec3::ZERO);
+    demag.accumulate_par(m, 0.0, h, team, scratch.as_mut().map(|s| &mut **s));
+}
+
+/// Benchmarks one grid size; returns its JSON report fragment.
+fn demag_grid_report(size: usize, threads: &[usize], evals: usize) -> Json {
+    let cell = 5e-9;
+    let mesh = Mesh::new(size, size, [cell, cell, 1e-9]).unwrap();
+    let material = Material::fecob();
+    let n = mesh.cell_count();
+    let m = test_magnetization(n);
+
+    // Reference: the pre-optimization path, serial by construction.
+    let mut reference = legacy::LegacyNewellDemag::new(&mesh, &material);
+    let mut h_ref = vec![Vec3::ZERO; n];
+    reference.accumulate(&m, &mut h_ref); // warm-up + reference field
+    let start = Instant::now();
+    for _ in 0..evals {
+        h_ref.fill(Vec3::ZERO);
+        reference.accumulate(&m, &mut h_ref);
+    }
+    let legacy_ns = start.elapsed().as_secs_f64() * 1e9 / evals as f64;
+
+    let h_peak = h_ref.iter().map(|v| v.norm()).fold(0.0, f64::max);
+
+    // Optimized path at each thread count. The serial run doubles as the
+    // accuracy and bitwise baselines.
+    let mut h_serial: Vec<Vec3> = Vec::new();
+    let mut max_rel_err = 0.0_f64;
+    let mut rows = Vec::new();
+    for &t in threads {
+        let team = WorkerTeam::new(t);
+        let demag = NewellDemag::new_with_team(&mesh, &material, &team);
+        let mut scratch = demag.make_scratch();
+        let mut h = vec![Vec3::ZERO; n];
+        eval_new(&demag, &m, &mut h, &team, &mut scratch); // warm-up
+        let start = Instant::now();
+        for _ in 0..evals {
+            eval_new(&demag, &m, &mut h, &team, &mut scratch);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / evals as f64;
+
+        let bitwise = if h_serial.is_empty() {
+            max_rel_err = h
+                .iter()
+                .zip(h_ref.iter())
+                .map(|(a, b)| (*a - *b).norm())
+                .fold(0.0, f64::max)
+                / h_peak;
+            h_serial = h.clone();
+            true
+        } else {
+            h == h_serial
+        };
+        assert!(
+            bitwise,
+            "{size}x{size} demag diverged from the serial evaluation at {t} threads"
+        );
+        println!(
+            "  {size:3}x{size:<3} threads {t:2}: {:>12.0} ns/eval  speedup vs legacy {:5.2}x",
+            ns,
+            legacy_ns / ns
+        );
+        rows.push(Json::obj([
+            ("threads", Json::Num(t as f64)),
+            ("ns_per_eval", Json::Num(ns)),
+            ("speedup_vs_legacy", Json::Num(legacy_ns / ns)),
+            ("bitwise_identical_to_serial", Json::Bool(bitwise)),
+        ]));
+    }
+    println!(
+        "  {size:3}x{size:<3} legacy    : {legacy_ns:>12.0} ns/eval  max rel err {max_rel_err:.3e}"
+    );
+    assert!(
+        max_rel_err <= 1e-10,
+        "{size}x{size} optimized demag drifted {max_rel_err:.3e} from the legacy reference"
+    );
+
+    Json::obj([
+        ("size", Json::Num(size as f64)),
+        ("cells", Json::Num(n as f64)),
+        ("evals", Json::Num(evals as f64)),
+        ("legacy_ns_per_eval", Json::Num(legacy_ns)),
+        ("max_rel_err_vs_legacy", Json::Num(max_rel_err)),
+        ("results", Json::Arr(rows)),
+    ])
+}
+
+fn demag_main(grids: Vec<usize>, threads: Vec<usize>, evals: usize, out: String) {
+    println!("demag benchmark: optimized NewellFft vs pre-optimization reference");
+    let mut reports = Vec::new();
+    for &size in &grids {
+        // Fewer repetitions on big grids keep the wall time bounded while
+        // the per-eval cost is large enough to time accurately.
+        let evals = if evals > 0 {
+            evals
+        } else {
+            ((1 << 22) / (size * size)).clamp(3, 40)
+        };
+        reports.push(demag_grid_report(size, &threads, evals));
+    }
+    let report = Json::obj([
+        ("benchmark", Json::str("demag_field_eval")),
+        ("unit", Json::str("ns_per_eval")),
+        (
+            "reference",
+            Json::str("pre-optimization serial Newell FFT path"),
+        ),
+        ("grids", Json::Arr(reports)),
+    ]);
+    std::fs::write(&out, report.render() + "\n").expect("failed to write report");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let value_of = |flag: &str| {
@@ -56,19 +392,42 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    let parse_list = |v: String, flag: &str| -> Vec<usize> {
+        v.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{flag} needs integers"))
+            })
+            .collect()
+    };
+    let threads: Vec<usize> = value_of("--threads")
+        .map(|v| parse_list(v, "--threads"))
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    if args.iter().any(|a| a == "--demag") {
+        let grids: Vec<usize> = value_of("--grids")
+            .map(|v| parse_list(v, "--grids"))
+            .unwrap_or_else(|| vec![64, 128, 256]);
+        let evals: usize = value_of("--evals")
+            .map(|v| v.parse().expect("--evals needs an integer"))
+            .unwrap_or(0);
+        let out = value_of("--out").unwrap_or_else(|| "BENCH_demag.json".to_string());
+        // The demag benchmark times the serial path first, so make sure 1
+        // is in the sweep and leads it.
+        let mut threads = threads;
+        threads.retain(|&t| t != 1);
+        threads.insert(0, 1);
+        demag_main(grids, threads, evals, out);
+        return;
+    }
+
     let size: usize = value_of("--size")
         .map(|v| v.parse().expect("--size needs an integer"))
         .unwrap_or(256);
     let steps: usize = value_of("--steps")
         .map(|v| v.parse().expect("--steps needs an integer"))
         .unwrap_or(50);
-    let threads: Vec<usize> = value_of("--threads")
-        .map(|v| {
-            v.split(',')
-                .map(|s| s.trim().parse().expect("--threads needs integers"))
-                .collect()
-        })
-        .unwrap_or_else(|| vec![1, 2, 4]);
 
     println!(
         "mesh {size}x{size}, {steps} RK4 steps (exchange + anisotropy + local demag + antenna)"

@@ -10,14 +10,43 @@
 //!   magnetization with the Newell demagnetization tensor via the
 //!   crate's own FFT. Exact for the discretization, but O(N log N) per
 //!   evaluation; used for validation and ablation studies.
+//!
+//! ## Real-spectrum convolution pipeline
+//!
+//! The Newell kernels are symmetric in real space — `Kxx/Kyy/Kzz` are
+//! even in both offsets, `Kxy` is odd in each but even under full
+//! inversion — so their 2-D DFTs are purely real. (The `Kxy` Nyquist rows
+//! `jx = px/2` / `jy = py/2` are the one exception: they map to
+//! themselves under inversion while the function is odd across them.
+//! Those kernel entries only ever influence the discarded padding region
+//! — every physical output–input displacement satisfies
+//! `|Δ| ≤ n−1 < p/2` — so they are zeroed before the transform, making
+//! the spectrum exactly real without changing the physical field.)
+//!
+//! Storing the spectra as `Vec<f64>` halves the kernel memory and turns
+//! the spectral multiply into real×complex products. Each evaluation then
+//! costs four 2-D transforms instead of six: `Ms·mx` and `Ms·my` are
+//! packed into one complex grid (re/im channels), convolved per
+//! conjugate-pair of bins, and the two output fields come back out of a
+//! single inverse transform's re/im channels; `Ms·mz` rides alone through
+//! the second pair of transforms (its kernel multiply is a plain real
+//! scaling per bin).
+//!
+//! Every stage — grid load, row/column FFT batches, per-pair spectral
+//! multiply, field unload — runs on the caller's [`WorkerTeam`] with
+//! per-bin arithmetic independent of the block partition, so results are
+//! bitwise identical at any thread count, and identical to the
+//! single-threaded fallback used by [`FieldTerm::accumulate`].
 
+use std::any::Any;
 use std::sync::Mutex;
 
 use super::{FieldTerm, FusedTerm};
-use crate::fft::{fft2_in_place, next_power_of_two, Direction};
+use crate::fft::{next_power_of_two, Direction, Fft2Plan};
 use crate::material::Material;
 use crate::math::{Complex64, Vec3};
 use crate::mesh::Mesh;
+use crate::par::{SendPtr, WorkerTeam};
 
 /// Which demagnetization model a simulation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,10 +97,10 @@ impl FieldTerm for ThinFilmDemag {
 }
 
 /// Non-local demagnetizing field via Newell-tensor FFT convolution
-/// (see [`DemagMethod::NewellFft`]).
+/// (see [`DemagMethod::NewellFft`] and the module docs for the pipeline).
 ///
-/// The kernel is precomputed once at construction; each field evaluation
-/// costs six 2-D FFTs on the zero-padded grid.
+/// The real spectral kernels are precomputed once at construction; each
+/// field evaluation costs four parallel 2-D FFTs on the zero-padded grid.
 pub struct NewellDemag {
     nx: usize,
     ny: usize,
@@ -79,64 +108,73 @@ pub struct NewellDemag {
     py: usize,
     ms: f64,
     mask: Vec<bool>,
-    /// FFT'd kernels K = −N (so that Ĥ = K̂·M̂).
-    kxx: Vec<Complex64>,
-    kyy: Vec<Complex64>,
-    kzz: Vec<Complex64>,
-    kxy: Vec<Complex64>,
-    scratch: Mutex<Scratch>,
+    /// Real spectra of K = −N (so that Ĥ = K̂·M̂); see module docs for
+    /// why they are exactly real.
+    kxx: Vec<f64>,
+    kyy: Vec<f64>,
+    kzz: Vec<f64>,
+    kxy: Vec<f64>,
+    plan: Fft2Plan,
+    /// Scratch for the thread-safe reference path ([`FieldTerm::accumulate`],
+    /// used by energy accounting and probes). The hot path threads its own
+    /// lock-free scratch through [`FieldTerm::accumulate_par`].
+    fallback: Mutex<DemagScratch>,
 }
 
-struct Scratch {
-    mx: Vec<Complex64>,
-    my: Vec<Complex64>,
-    mz: Vec<Complex64>,
+/// Working buffers for one convolution, sized to the padded grid.
+struct DemagScratch {
+    /// Packed `Ms·mx + i·Ms·my` grid, becomes `hx + i·hy` after the
+    /// inverse transform.
+    xy: Vec<Complex64>,
+    /// `Ms·mz` grid (imaginary channel unused).
+    z: Vec<Complex64>,
+    /// Transpose scratch for [`Fft2Plan::process`].
+    tmp: Vec<Complex64>,
+}
+
+impl DemagScratch {
+    fn new(padded: usize) -> Self {
+        DemagScratch {
+            xy: vec![Complex64::ZERO; padded],
+            z: vec![Complex64::ZERO; padded],
+            tmp: vec![Complex64::ZERO; padded],
+        }
+    }
 }
 
 impl NewellDemag {
-    /// Precomputes the demag kernel for the mesh (single layer).
+    /// Precomputes the demag kernel for the mesh (single layer), serially.
     ///
     /// Construction cost is O(P·27) Newell evaluations for P padded cells;
-    /// this is done once per simulation.
+    /// this is done once per simulation. [`NewellDemag::new_with_team`]
+    /// spreads the pre-pass over a worker team.
     pub fn new(mesh: &Mesh, material: &Material) -> Self {
+        Self::new_with_team(mesh, material, &WorkerTeam::new(1))
+    }
+
+    /// Precomputes the demag kernel with the Newell pre-pass and the
+    /// kernel FFTs batched across `team`. Bitwise identical to
+    /// [`NewellDemag::new`] for any team size.
+    pub fn new_with_team(mesh: &Mesh, material: &Material, team: &WorkerTeam) -> Self {
         let nx = mesh.nx();
         let ny = mesh.ny();
         let px = next_power_of_two(2 * nx);
         let py = next_power_of_two(2 * ny);
-        let [dx, dy, dz] = mesh.cell_size();
-
-        let mut kxx = vec![Complex64::ZERO; px * py];
-        let mut kyy = vec![Complex64::ZERO; px * py];
-        let mut kzz = vec![Complex64::ZERO; px * py];
-        let mut kxy = vec![Complex64::ZERO; px * py];
-
-        for jy in 0..py {
-            // Wrap offsets: indices beyond the half-grid represent
-            // negative displacements.
-            let oy = if jy <= py / 2 {
-                jy as isize
-            } else {
-                jy as isize - py as isize
-            };
-            for jx in 0..px {
-                let ox = if jx <= px / 2 {
-                    jx as isize
-                } else {
-                    jx as isize - px as isize
-                };
-                let x = ox as f64 * dx;
-                let y = oy as f64 * dy;
-                let idx = jy * px + jx;
-                // K = −N so that the convolution yields H directly.
-                kxx[idx] = Complex64::new(-newell_nxx(x, y, 0.0, dx, dy, dz), 0.0);
-                kyy[idx] = Complex64::new(-newell_nxx(y, x, 0.0, dy, dx, dz), 0.0);
-                kzz[idx] = Complex64::new(-newell_nxx(0.0, y, x, dz, dy, dx), 0.0);
-                kxy[idx] = Complex64::new(-newell_nxy(x, y, 0.0, dx, dy, dz), 0.0);
+        let plan = Fft2Plan::new(px, py);
+        let spectra = kernel_spectra(px, py, mesh.cell_size(), &plan, team);
+        let mut max_re: f64 = 0.0;
+        let mut max_im: f64 = 0.0;
+        for k in &spectra {
+            for z in k.iter() {
+                max_re = max_re.max(z.re.abs());
+                max_im = max_im.max(z.im.abs());
             }
         }
-        for k in [&mut kxx, &mut kyy, &mut kzz, &mut kxy] {
-            fft2_in_place(k, px, py, Direction::Forward);
-        }
+        assert!(
+            max_im <= 1e-10 * max_re,
+            "Newell spectra should be real: max |Im| = {max_im:e} vs max |Re| = {max_re:e}"
+        );
+        let [kxx, kyy, kzz, kxy] = spectra.map(|k| k.iter().map(|z| z.re).collect());
         NewellDemag {
             nx,
             ny,
@@ -148,11 +186,8 @@ impl NewellDemag {
             kyy,
             kzz,
             kxy,
-            scratch: Mutex::new(Scratch {
-                mx: vec![Complex64::ZERO; px * py],
-                my: vec![Complex64::ZERO; px * py],
-                mz: vec![Complex64::ZERO; px * py],
-            }),
+            plan,
+            fallback: Mutex::new(DemagScratch::new(px * py)),
         }
     }
 
@@ -165,6 +200,217 @@ impl NewellDemag {
             newell_nxx(0.0, 0.0, 0.0, dz, dy, dx),
         )
     }
+
+    /// Runs one convolution: load `Ms·m` into the padded grids, transform,
+    /// multiply by the real kernel spectra, transform back, add the field
+    /// into `h`. Per-bin arithmetic is independent of the team partition.
+    fn convolve(&self, m: &[Vec3], h: &mut [Vec3], team: &WorkerTeam, s: &mut DemagScratch) {
+        let (nx, ny, px) = (self.nx, self.ny, self.px);
+        let ms = self.ms;
+        let mask = &self.mask;
+        // Zero-fill and load in one parallel pass over padded rows.
+        {
+            let xy = SendPtr::new(s.xy.as_mut_ptr());
+            let z = SendPtr::new(s.z.as_mut_ptr());
+            team.for_each_span(self.py, |r0, r1| {
+                for iy in r0..r1 {
+                    let row = iy * px;
+                    for jx in 0..px {
+                        // Safety: padded rows are disjoint across spans.
+                        unsafe {
+                            *xy.add(row + jx) = Complex64::ZERO;
+                            *z.add(row + jx) = Complex64::ZERO;
+                        }
+                    }
+                    if iy >= ny {
+                        continue;
+                    }
+                    for ix in 0..nx {
+                        let i = iy * nx + ix;
+                        if !mask[i] {
+                            continue;
+                        }
+                        unsafe {
+                            *xy.add(row + ix) = Complex64::new(ms * m[i].x, ms * m[i].y);
+                            *z.add(row + ix) = Complex64::new(ms * m[i].z, 0.0);
+                        }
+                    }
+                }
+            });
+        }
+        // Padded-aware transforms: the forward pass skips the all-zero
+        // rows ny..py, the inverse pass only materializes the rows the
+        // unload below actually reads.
+        self.plan.process_padded(&mut s.xy, &mut s.tmp, team, ny);
+        self.plan.process_padded(&mut s.z, &mut s.tmp, team, ny);
+        self.spectral_multiply(&mut s.xy, &mut s.z, team);
+        self.plan.process_truncated(&mut s.xy, &mut s.tmp, team, ny);
+        self.plan.process_truncated(&mut s.z, &mut s.tmp, team, ny);
+        // Unload: hx/hy come out of the packed grid's re/im channels.
+        {
+            let xy = &s.xy;
+            let z = &s.z;
+            let out = SendPtr::new(h.as_mut_ptr());
+            team.for_each_span(ny, |r0, r1| {
+                for iy in r0..r1 {
+                    for ix in 0..nx {
+                        let i = iy * nx + ix;
+                        if !mask[i] {
+                            continue;
+                        }
+                        let p = iy * px + ix;
+                        // Safety: mesh rows are disjoint across spans.
+                        unsafe {
+                            *out.add(i) += Vec3::new(xy[p].re, xy[p].im, z[p].re);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Applies Ĥ = K̂·M̂ in place. The `z` channel is a plain real scaling
+    /// per bin. The packed `xy` channel is processed per conjugate pair:
+    /// the pair `(k, −k)` holds enough information to unpack the two real
+    /// spectra `M̂x/M̂y`, multiply by the (real) kernels at both bins, and
+    /// repack `Ĥx + i·Ĥy`. Pairs are grouped by row so each parallel task
+    /// owns the disjoint row set `{ky, (py−ky) mod py}`.
+    fn spectral_multiply(&self, xy: &mut [Complex64], z: &mut [Complex64], team: &WorkerTeam) {
+        let (px, py) = (self.px, self.py);
+        {
+            let kzz = &self.kzz;
+            let zp = SendPtr::new(z.as_mut_ptr());
+            team.for_each_span(px * py, |i0, i1| {
+                for (i, &k) in kzz.iter().enumerate().take(i1).skip(i0) {
+                    // Safety: bin ranges are disjoint across spans.
+                    unsafe { *zp.add(i) = (*zp.add(i)).scale(k) };
+                }
+            });
+        }
+        let xyp = SendPtr::new(xy.as_mut_ptr());
+        team.for_each_span(py / 2 + 1, |t0, t1| {
+            for ky in t0..t1 {
+                let ky2 = (py - ky) % py;
+                if ky2 != ky {
+                    // Bins of row ky pair with bins of row ky2; iterating
+                    // kx over the full row covers both rows exactly once.
+                    for kx in 0..px {
+                        let i1 = ky * px + kx;
+                        let i2 = ky2 * px + (px - kx) % px;
+                        // Safety: this task owns rows ky and ky2.
+                        unsafe { self.multiply_pair(xyp, i1, i2) };
+                    }
+                } else {
+                    // Self-inverse row (ky = 0 or py/2): pairs live within
+                    // the row; the half-range covers it without repeats.
+                    for kx in 0..=px / 2 {
+                        let i1 = ky * px + kx;
+                        let i2 = ky * px + (px - kx) % px;
+                        // Safety: this task owns row ky.
+                        unsafe { self.multiply_pair(xyp, i1, i2) };
+                    }
+                }
+            }
+        });
+    }
+
+    /// Processes one conjugate pair of packed-spectrum bins (writing only
+    /// `i1` when the bin is its own partner).
+    ///
+    /// With `Z = M̂x + i·M̂y` and real fields, `M̂x(k) = (Z(k) + Z̄(−k))/2`
+    /// and `M̂y(k) = −i·(Z(k) − Z̄(−k))/2`; at `−k` both spectra are the
+    /// conjugates. After the kernel multiply the result is repacked as
+    /// `Ĥx + i·Ĥy`, whose inverse transform carries `hx`/`hy` in its
+    /// re/im channels.
+    ///
+    /// # Safety
+    ///
+    /// `i1`/`i2` must be in bounds and owned exclusively by the caller.
+    unsafe fn multiply_pair(&self, xyp: SendPtr<Complex64>, i1: usize, i2: usize) {
+        let z1 = *xyp.add(i1);
+        let z2 = *xyp.add(i2);
+        let mx = Complex64::new(0.5 * (z1.re + z2.re), 0.5 * (z1.im - z2.im));
+        let my = Complex64::new(0.5 * (z1.im + z2.im), 0.5 * (z2.re - z1.re));
+        let hx = mx.scale(self.kxx[i1]) + my.scale(self.kxy[i1]);
+        let hy = mx.scale(self.kxy[i1]) + my.scale(self.kyy[i1]);
+        *xyp.add(i1) = Complex64::new(hx.re - hy.im, hx.im + hy.re);
+        if i2 != i1 {
+            let mxc = mx.conj();
+            let myc = my.conj();
+            let hx = mxc.scale(self.kxx[i2]) + myc.scale(self.kxy[i2]);
+            let hy = mxc.scale(self.kxy[i2]) + myc.scale(self.kyy[i2]);
+            *xyp.add(i2) = Complex64::new(hx.re - hy.im, hx.im + hy.re);
+        }
+    }
+}
+
+/// Builds the four Newell kernel spectra (still complex, for
+/// introspection): real-space K = −N over the padded grid with wrap
+/// offsets, `Kxy` Nyquist lines zeroed (see module docs), then the
+/// forward 2-D transform of each. Order: `[Kxx, Kyy, Kzz, Kxy]`.
+fn kernel_spectra(
+    px: usize,
+    py: usize,
+    [dx, dy, dz]: [f64; 3],
+    plan: &Fft2Plan,
+    team: &WorkerTeam,
+) -> [Vec<Complex64>; 4] {
+    let mut kernels: [Vec<Complex64>; 4] = std::array::from_fn(|_| vec![Complex64::ZERO; px * py]);
+    {
+        let ptrs: [SendPtr<Complex64>; 4] =
+            std::array::from_fn(|i| SendPtr::new(kernels[i].as_mut_ptr()));
+        team.for_each_span(py, |r0, r1| {
+            for jy in r0..r1 {
+                // Wrap offsets: indices beyond the half-grid represent
+                // negative displacements. Kernel values are evaluated at
+                // the canonical |offset| (the tensor components are even
+                // or odd per axis), so mirror entries are bitwise equal —
+                // the per-axis symmetry must be exact, not just to
+                // rounding, for the spectra to be purely real.
+                let oy = if jy <= py / 2 {
+                    jy as isize
+                } else {
+                    jy as isize - py as isize
+                };
+                let y = oy.unsigned_abs() as f64 * dy;
+                for jx in 0..px {
+                    let ox = if jx <= px / 2 {
+                        jx as isize
+                    } else {
+                        jx as isize - px as isize
+                    };
+                    let x = ox.unsigned_abs() as f64 * dx;
+                    let idx = jy * px + jx;
+                    // K = −N so that the convolution yields H directly.
+                    let values = [
+                        -newell_nxx(x, y, 0.0, dx, dy, dz),
+                        -newell_nxx(y, x, 0.0, dy, dx, dz),
+                        -newell_nxx(0.0, y, x, dz, dy, dx),
+                        if ox == 0 || oy == 0 || jx == px / 2 || jy == py / 2 {
+                            // Kxy is odd per axis: it vanishes identically
+                            // on the axes, and the Nyquist lines (odd
+                            // across a self-inverse coordinate, never
+                            // reaching the physical output region) are
+                            // zeroed to keep the spectrum exactly real.
+                            0.0
+                        } else {
+                            let sign = (ox.signum() * oy.signum()) as f64;
+                            -sign * newell_nxy(x, y, 0.0, dx, dy, dz)
+                        },
+                    ];
+                    for (p, v) in ptrs.iter().zip(values) {
+                        // Safety: rows are disjoint across spans.
+                        unsafe { *p.add(idx) = Complex64::new(v, 0.0) };
+                    }
+                }
+            }
+        });
+    }
+    let mut tmp = vec![Complex64::ZERO; px * py];
+    for k in kernels.iter_mut() {
+        plan.process(k, &mut tmp, team, Direction::Forward);
+    }
+    kernels
 }
 
 impl std::fmt::Debug for NewellDemag {
@@ -184,48 +430,25 @@ impl FieldTerm for NewellDemag {
     }
 
     fn accumulate(&self, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
-        let mut scratch = self.scratch.lock().expect("demag scratch poisoned");
-        let Scratch { mx, my, mz } = &mut *scratch;
-        mx.fill(Complex64::ZERO);
-        my.fill(Complex64::ZERO);
-        mz.fill(Complex64::ZERO);
-        // Load Ms·m into the padded buffers (vacuum stays zero).
-        for iy in 0..self.ny {
-            for ix in 0..self.nx {
-                let i = iy * self.nx + ix;
-                if !self.mask[i] {
-                    continue;
-                }
-                let p = iy * self.px + ix;
-                mx[p] = Complex64::new(self.ms * m[i].x, 0.0);
-                my[p] = Complex64::new(self.ms * m[i].y, 0.0);
-                mz[p] = Complex64::new(self.ms * m[i].z, 0.0);
-            }
-        }
-        for buf in [&mut *mx, &mut *my, &mut *mz] {
-            fft2_in_place(buf, self.px, self.py, Direction::Forward);
-        }
-        // Multiply in Fourier space: Ĥ = K̂·M̂ (Kxz = Kyz = 0 in-plane).
-        for i in 0..self.px * self.py {
-            let hx = self.kxx[i] * mx[i] + self.kxy[i] * my[i];
-            let hy = self.kxy[i] * mx[i] + self.kyy[i] * my[i];
-            let hz = self.kzz[i] * mz[i];
-            mx[i] = hx;
-            my[i] = hy;
-            mz[i] = hz;
-        }
-        for buf in [&mut *mx, &mut *my, &mut *mz] {
-            fft2_in_place(buf, self.px, self.py, Direction::Inverse);
-        }
-        for iy in 0..self.ny {
-            for ix in 0..self.nx {
-                let i = iy * self.nx + ix;
-                if !self.mask[i] {
-                    continue;
-                }
-                let p = iy * self.px + ix;
-                h[i] += Vec3::new(mx[p].re, my[p].re, mz[p].re);
-            }
+        let mut scratch = self.fallback.lock().expect("demag scratch poisoned");
+        self.convolve(m, h, &WorkerTeam::new(1), &mut scratch);
+    }
+
+    fn make_scratch(&self) -> Option<Box<dyn Any + Send + Sync>> {
+        Some(Box::new(DemagScratch::new(self.px * self.py)))
+    }
+
+    fn accumulate_par(
+        &self,
+        m: &[Vec3],
+        t: f64,
+        h: &mut [Vec3],
+        team: &WorkerTeam,
+        scratch: Option<&mut (dyn Any + Send + Sync)>,
+    ) {
+        match scratch.and_then(|s| s.downcast_mut::<DemagScratch>()) {
+            Some(s) => self.convolve(m, h, team, s),
+            None => self.accumulate(m, t, h),
         }
     }
 }
@@ -307,13 +530,32 @@ fn newell_stencil<F: Fn(f64, f64, f64) -> f64>(
 }
 
 /// Demag tensor component `Nxx` between two cells displaced by `(x, y, z)`.
+///
+/// `Nxx` is even in every displacement component. Evaluating the stencil
+/// at the canonical absolute offsets makes that symmetry hold **bitwise**:
+/// the summation order — and with it the cancellation noise of the
+/// second-difference stencil, which grows with distance — is identical at
+/// `±x`, so kernel tables built from signed and from absolute offsets
+/// agree exactly.
 pub fn newell_nxx(x: f64, y: f64, z: f64, dx: f64, dy: f64, dz: f64) -> f64 {
+    let (x, y, z) = (x.abs(), y.abs(), z.abs());
     newell_stencil(x, y, z, dx, dy, dz, newell_f) / (4.0 * std::f64::consts::PI * dx * dy * dz)
 }
 
 /// Demag tensor component `Nxy` between two cells displaced by `(x, y, z)`.
+///
+/// `Nxy` is odd in `x` and `y` and even in `z`; the stencil runs on the
+/// canonical absolute offsets with the sign restored afterwards, so the
+/// antisymmetry is bitwise exact and the component vanishes identically
+/// on the coordinate planes (where the raw stencil would only cancel to
+/// rounding noise).
 pub fn newell_nxy(x: f64, y: f64, z: f64, dx: f64, dy: f64, dz: f64) -> f64 {
-    newell_stencil(x, y, z, dx, dy, dz, newell_g) / (4.0 * std::f64::consts::PI * dx * dy * dz)
+    if x == 0.0 || y == 0.0 {
+        return 0.0;
+    }
+    let sign = x.signum() * y.signum();
+    sign * newell_stencil(x.abs(), y.abs(), z.abs(), dx, dy, dz, newell_g)
+        / (4.0 * std::f64::consts::PI * dx * dy * dz)
 }
 
 #[cfg(test)]
@@ -369,16 +611,119 @@ mod tests {
         assert!(a.abs() > 0.0, "off-axis Nxy should be non-zero");
     }
 
-    #[test]
-    fn nxx_is_even() {
-        let a = newell_nxx(2e-9, 3e-9, 0.0, 1e-9, 1e-9, 1e-9);
-        let b = newell_nxx(-2e-9, -3e-9, 0.0, 1e-9, 1e-9, 1e-9);
-        assert!((a - b).abs() < 1e-15);
-    }
-
     fn film_setup(nx: usize, ny: usize) -> (Mesh, Material) {
         let mesh = Mesh::new(nx, ny, [5e-9, 5e-9, 1e-9]).unwrap();
         (mesh, Material::fecob())
+    }
+
+    #[test]
+    fn spectral_kernels_have_vanishing_imaginary_parts() {
+        // The real-storage conversion relies on the four spectra being
+        // exactly real (up to FFT rounding). Check on a non-square grid so
+        // both Nyquist lines are exercised.
+        let (mesh, _) = film_setup(12, 5);
+        let px = next_power_of_two(2 * mesh.nx());
+        let py = next_power_of_two(2 * mesh.ny());
+        let plan = Fft2Plan::new(px, py);
+        let spectra = kernel_spectra(px, py, mesh.cell_size(), &plan, &WorkerTeam::new(1));
+        for (name, k) in ["Kxx", "Kyy", "Kzz", "Kxy"].iter().zip(&spectra) {
+            let max_re = k.iter().map(|z| z.re.abs()).fold(0.0, f64::max);
+            let max_im = k.iter().map(|z| z.im.abs()).fold(0.0, f64::max);
+            assert!(
+                max_im <= 1e-12 * max_re,
+                "{name} spectrum is not real: max |Im| = {max_im:e}, max |Re| = {max_re:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_construction_is_bitwise_identical() {
+        let (mesh, mat) = film_setup(9, 6);
+        let serial = NewellDemag::new(&mesh, &mat);
+        for threads in [2, 4, 7] {
+            let team = WorkerTeam::new(threads);
+            let par = NewellDemag::new_with_team(&mesh, &mat, &team);
+            assert_eq!(serial.kxx, par.kxx, "Kxx diverged at {threads} threads");
+            assert_eq!(serial.kyy, par.kyy, "Kyy diverged at {threads} threads");
+            assert_eq!(serial.kzz, par.kzz, "Kzz diverged at {threads} threads");
+            assert_eq!(serial.kxy, par.kxy, "Kxy diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_field_is_bitwise_identical_to_fallback() {
+        let (mut mesh, mat) = film_setup(11, 7);
+        mesh.set_magnetic(4, 3, false);
+        let demag = NewellDemag::new(&mesh, &mat);
+        let n = mesh.cell_count();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| {
+                if mesh.mask()[i] {
+                    Vec3::new(
+                        (0.3 * i as f64).sin(),
+                        (0.7 * i as f64).cos(),
+                        1.0 - 0.01 * i as f64,
+                    )
+                    .normalized()
+                } else {
+                    Vec3::ZERO
+                }
+            })
+            .collect();
+        let mut reference = vec![Vec3::ZERO; n];
+        demag.accumulate(&m, 0.0, &mut reference);
+        for threads in [1, 2, 4, 7] {
+            let team = WorkerTeam::new(threads);
+            let mut scratch = demag.make_scratch().expect("demag needs scratch");
+            let mut h = vec![Vec3::ZERO; n];
+            demag.accumulate_par(&m, 0.0, &mut h, &team, Some(scratch.as_mut()));
+            assert_eq!(h, reference, "demag field diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn convolution_matches_direct_newell_sum() {
+        // Small grid: the FFT convolution must reproduce the O(N²) direct
+        // tensor sum h_i = Σ_j K(r_i − r_j)·Ms·m_j to rounding accuracy.
+        let (mesh, mat) = film_setup(6, 3);
+        let demag = NewellDemag::new(&mesh, &mat);
+        let n = mesh.cell_count();
+        let ms = mat.saturation_magnetization();
+        let [dx, dy, dz] = mesh.cell_size();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new(0.5 * (i as f64).cos(), 0.4, 0.8 + 0.02 * i as f64).normalized())
+            .collect();
+        let mut fft_field = vec![Vec3::ZERO; n];
+        demag.accumulate(&m, 0.0, &mut fft_field);
+        for iy in 0..mesh.ny() {
+            for ix in 0..mesh.nx() {
+                let i = iy * mesh.nx() + ix;
+                let mut direct = Vec3::ZERO;
+                for jy in 0..mesh.ny() {
+                    for jx in 0..mesh.nx() {
+                        let j = jy * mesh.nx() + jx;
+                        let x = (ix as isize - jx as isize) as f64 * dx;
+                        let y = (iy as isize - jy as isize) as f64 * dy;
+                        let nxx = newell_nxx(x, y, 0.0, dx, dy, dz);
+                        let nyy = newell_nxx(y, x, 0.0, dy, dx, dz);
+                        let nzz = newell_nxx(0.0, y, x, dz, dy, dx);
+                        let nxy = newell_nxy(x, y, 0.0, dx, dy, dz);
+                        let mj = m[j] * ms;
+                        direct += Vec3::new(
+                            -(nxx * mj.x + nxy * mj.y),
+                            -(nxy * mj.x + nyy * mj.y),
+                            -nzz * mj.z,
+                        );
+                    }
+                }
+                let err = (fft_field[i] - direct).norm() / ms;
+                assert!(
+                    err < 1e-12,
+                    "cell ({ix},{iy}): FFT {:?} vs direct {direct:?} (err {err:e})",
+                    fft_field[i]
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub mod exchange;
 pub mod thermal;
 pub mod zeeman;
 
+use std::any::Any;
+
 use crate::math::Vec3;
+use crate::par::WorkerTeam;
 use crate::MU0;
 
 /// A field term compiled down to a branch-light per-cell operation, so the
@@ -56,7 +59,42 @@ pub trait FieldTerm: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Adds this term's field at simulation time `t` (seconds) into `h`.
+    ///
+    /// This is the thread-safe reference path: it must work from any
+    /// thread without external state (terms with internal scratch guard
+    /// it themselves). Energy accounting, probes and `effective_field`
+    /// all go through here.
     fn accumulate(&self, m: &[Vec3], t: f64, h: &mut [Vec3]);
+
+    /// Allocates this term's per-system scratch state, if it needs any.
+    ///
+    /// The [`crate::llg::LlgSystem`] owns one scratch per term and
+    /// threads it back through [`FieldTerm::accumulate_par`] on the hot
+    /// path, so terms with large working buffers (the FFT demag) avoid
+    /// both per-call allocation and lock contention. Terms without
+    /// scratch return `None` (the default).
+    fn make_scratch(&self) -> Option<Box<dyn Any + Send + Sync>> {
+        None
+    }
+
+    /// Hot-path variant of [`FieldTerm::accumulate`]: may use the
+    /// system's worker `team` and the term's own `scratch` (as created by
+    /// [`FieldTerm::make_scratch`]).
+    ///
+    /// Must produce bitwise-identical fields to `accumulate` for any
+    /// team size — the per-cell arithmetic may not depend on the thread
+    /// partition. The default ignores both extras and delegates.
+    fn accumulate_par(
+        &self,
+        m: &[Vec3],
+        t: f64,
+        h: &mut [Vec3],
+        team: &WorkerTeam,
+        scratch: Option<&mut (dyn Any + Send + Sync)>,
+    ) {
+        let _ = (team, scratch);
+        self.accumulate(m, t, h);
+    }
 
     /// The fused per-cell form of this term, if it has one. Terms that
     /// return `None` (non-local fields such as the FFT demag) are

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::material::Material;
     pub use crate::math::{Complex64, Vec3};
     pub use crate::mesh::Mesh;
-    pub use crate::probe::{DftProbe, RegionProbe, Snapshot};
+    pub use crate::probe::{DftProbe, RegionProbe, Snapshot, SpectrumProbe};
     pub use crate::sim::{Relaxation, Simulation, SimulationBuilder};
     pub use crate::solver::Integrator;
     pub use crate::MagnumError;

@@ -20,7 +20,11 @@
 //! [`WorkerTeam`]. Each cell's arithmetic is independent of the block
 //! partition and each block writes a disjoint output range, so results
 //! are bitwise identical for any thread count. Non-local terms (the FFT
-//! demag) are evaluated by `accumulate` in a serial pre-pass.
+//! demag) run in a pre-pass through [`FieldTerm::accumulate_par`] on the
+//! same worker team, using per-term scratch owned by the system (no
+//! locks, no per-call allocation); the reference paths (`effective_field`,
+//! `max_torque`, energy accounting) use the terms' thread-safe
+//! `accumulate` fallback, which is bitwise identical by contract.
 
 use crate::excitation::Antenna;
 use crate::field::{FieldTerm, FusedTerm};
@@ -147,8 +151,10 @@ impl SystemSpec {
             })
             .collect();
 
+        let term_scratch = terms.iter().map(|t| t.make_scratch()).collect();
         let mut system = LlgSystem {
             terms,
+            term_scratch,
             antennas,
             thermal,
             alpha,
@@ -177,6 +183,9 @@ impl SystemSpec {
 /// [`LlgSystem::rhs`].
 pub struct LlgSystem {
     pub(crate) terms: Vec<Box<dyn FieldTerm>>,
+    /// Per-term hot-path scratch (`None` for terms without any), indexed
+    /// like `terms` and threaded through `accumulate_par` by `rhs`.
+    term_scratch: Vec<Option<Box<dyn std::any::Any + Send + Sync>>>,
     pub(crate) antennas: Vec<Antenna>,
     /// Thermal field realization for the current step (all zeros at T=0).
     pub(crate) thermal: Vec<Vec3>,
@@ -330,8 +339,8 @@ impl LlgSystem {
         (mxh + mxmxh * alpha) * prefactor
     }
 
-    /// Runs the non-fusable terms into `h` (zeroing it first). Returns
-    /// whether anything was written.
+    /// Runs the non-fusable terms into `h` (zeroing it first) via the
+    /// thread-safe reference path. Returns whether anything was written.
     fn unfused_prepass(&self, m: &[Vec3], t: f64, h: &mut [Vec3]) -> bool {
         if self.kernel.unfused.is_empty() {
             return false;
@@ -339,6 +348,31 @@ impl LlgSystem {
         h.fill(Vec3::ZERO);
         for &ti in &self.kernel.unfused {
             self.terms[ti].accumulate(m, t, h);
+        }
+        true
+    }
+
+    /// Hot-path variant of [`LlgSystem::unfused_prepass`]: runs each
+    /// non-fusable term through `accumulate_par` with the worker team and
+    /// the term's own scratch — lock-free and allocation-free, bitwise
+    /// identical to the reference pre-pass for any team size.
+    fn unfused_prepass_par(&mut self, m: &[Vec3], t: f64, h: &mut [Vec3]) -> bool {
+        if self.kernel.unfused.is_empty() {
+            return false;
+        }
+        h.fill(Vec3::ZERO);
+        let LlgSystem {
+            terms,
+            term_scratch,
+            kernel,
+            team,
+            ..
+        } = self;
+        for &ti in &kernel.unfused {
+            let scratch = term_scratch[ti]
+                .as_mut()
+                .map(|s| &mut **s as &mut (dyn std::any::Any + Send + Sync));
+            terms[ti].accumulate_par(m, t, h, team, scratch);
         }
         true
     }
@@ -370,37 +404,37 @@ impl LlgSystem {
     /// # Panics
     ///
     /// Panics (debug assertions) if buffer lengths mismatch.
-    pub fn rhs(&self, m: &[Vec3], t: f64, dmdt: &mut [Vec3], h_scratch: &mut [Vec3]) {
+    pub fn rhs(&mut self, m: &[Vec3], t: f64, dmdt: &mut [Vec3], h_scratch: &mut [Vec3]) {
         debug_assert_eq!(m.len(), self.len());
         debug_assert_eq!(dmdt.len(), self.len());
         debug_assert_eq!(h_scratch.len(), self.len());
-        let base = if self.unfused_prepass(m, t, h_scratch) {
-            Some(&*h_scratch)
-        } else {
-            None
-        };
-        let ant_fields = self.antenna_fields(t);
+        let wrote_base = self.unfused_prepass_par(m, t, h_scratch);
+        // The mutable phase (per-term scratch) is over; the fused region
+        // only reads the system.
+        let this: &LlgSystem = &*self;
+        let base = if wrote_base { Some(&*h_scratch) } else { None };
+        let ant_fields = this.antenna_fields(t);
         let out = SendPtr::new(dmdt.as_mut_ptr());
-        self.team.run(&|b| {
-            let block = self.kernel.blocks[b];
+        this.team.run(&|b| {
+            let block = this.kernel.blocks[b];
             // Vacuum cells in this block's flat range get zero torque;
             // magnetic cells are written by the list loop below. The two
             // partitions are disjoint per cell, so every `dmdt` element is
             // written exactly once across all blocks.
             for i in block.flat.0..block.flat.1 {
-                if !self.mask[i] {
+                if !this.mask[i] {
                     // Safety: flat ranges are disjoint across blocks and
                     // only vacuum cells are touched here.
                     unsafe { *out.add(i) = Vec3::ZERO };
                 }
             }
             for ci in block.list.0..block.list.1 {
-                let i = self.kernel.cells[ci] as usize;
+                let i = this.kernel.cells[ci] as usize;
                 let mi = m[i];
-                let h = self.fused_field(ci, i, mi, m, base, &ant_fields);
+                let h = this.fused_field(ci, i, mi, m, base, &ant_fields);
                 // Safety: list ranges are disjoint across blocks and only
                 // magnetic cells are touched here.
-                unsafe { *out.add(i) = self.torque(i, mi, h) };
+                unsafe { *out.add(i) = this.torque(i, mi, h) };
             }
         });
     }
@@ -496,7 +530,7 @@ mod tests {
     fn undamped_motion_is_pure_precession() {
         // α = 0: dm/dt ⊥ m and ⊥ H; |dm/dt| = γμ₀|H| sinθ.
         let h0 = 1e5;
-        let sys = single_cell_system(0.0, Vec3::Z * h0);
+        let mut sys = single_cell_system(0.0, Vec3::Z * h0);
         let m = vec![Vec3::X];
         let mut dmdt = vec![Vec3::ZERO];
         let mut h = vec![Vec3::ZERO];
@@ -510,7 +544,7 @@ mod tests {
 
     #[test]
     fn damping_pulls_towards_field() {
-        let sys = single_cell_system(0.1, Vec3::Z * 1e5);
+        let mut sys = single_cell_system(0.1, Vec3::Z * 1e5);
         let m = vec![Vec3::X];
         let mut dmdt = vec![Vec3::ZERO];
         let mut h = vec![Vec3::ZERO];
@@ -525,7 +559,7 @@ mod tests {
     #[test]
     fn torque_preserves_magnitude() {
         // dm/dt ⊥ m always, so d|m|²/dt = 2 m·dm/dt = 0.
-        let sys = single_cell_system(0.25, Vec3::new(3e4, -2e4, 5e4));
+        let mut sys = single_cell_system(0.25, Vec3::new(3e4, -2e4, 5e4));
         let m = vec![Vec3::new(0.6, 0.64, 0.48).normalized()];
         let mut dmdt = vec![Vec3::ZERO];
         let mut h = vec![Vec3::ZERO];
@@ -535,7 +569,7 @@ mod tests {
 
     #[test]
     fn vacuum_cells_have_zero_torque() {
-        let sys = SystemSpec {
+        let mut sys = SystemSpec {
             terms: vec![Box::new(Zeeman::uniform(Vec3::Z * 1e5))],
             antennas: Vec::new(),
             thermal: Vec::new(),
@@ -627,7 +661,7 @@ mod tests {
 
     #[test]
     fn fused_rhs_matches_reference_effective_field() {
-        let (sys, m) = masked_multiterm_system(1);
+        let (mut sys, m) = masked_multiterm_system(1);
         let t = 13e-12;
         let n = m.len();
         let mut dmdt = vec![Vec3::ZERO; n];
@@ -652,14 +686,14 @@ mod tests {
     #[test]
     fn rhs_is_bitwise_identical_across_thread_counts() {
         let t = 7e-12;
-        let (serial, m) = masked_multiterm_system(1);
+        let (mut serial, m) = masked_multiterm_system(1);
         let n = m.len();
         let mut expected = vec![Vec3::ZERO; n];
         let mut scratch = vec![Vec3::ZERO; n];
         serial.rhs(&m, t, &mut expected, &mut scratch);
         let torque_serial = serial.max_torque(&m, t);
         for threads in [2, 3, 4, 7] {
-            let (sys, m2) = masked_multiterm_system(threads);
+            let (mut sys, m2) = masked_multiterm_system(threads);
             assert_eq!(m, m2);
             let mut dmdt = vec![Vec3::ZERO; n];
             sys.rhs(&m2, t, &mut dmdt, &mut scratch);

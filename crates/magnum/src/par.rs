@@ -247,6 +247,28 @@ impl WorkerTeam {
         });
     }
 
+    /// Partitions `0..n` into `threads()` contiguous spans (via
+    /// [`chunk_bounds`]) and calls `f(start, end)` for each span in
+    /// parallel. Unlike [`WorkerTeam::for_each_chunk`] no buffer is
+    /// handed out — callers that need disjoint writes (e.g. batched row
+    /// transforms) manage their own pointers, keyed by the span.
+    pub fn for_each_span<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let nb = self.threads;
+        if nb == 1 {
+            f(0, n);
+            return;
+        }
+        self.run(&|b| {
+            let (start, end) = chunk_bounds(n, nb, b);
+            if start < end {
+                f(start, end);
+            }
+        });
+    }
+
     /// Runs `f(block)` for every block and returns the per-block results
     /// in block order (deterministic reduction input).
     pub fn map_blocks<R, F>(&self, f: F) -> Vec<R>
@@ -384,6 +406,27 @@ mod tests {
         });
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn for_each_span_covers_every_index_once() {
+        for threads in [1, 3, 8] {
+            let team = WorkerTeam::new(threads);
+            let n = 97;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            team.for_each_span(n, |start, end| {
+                for h in hits.iter().take(end).skip(start) {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::SeqCst),
+                    1,
+                    "index {i} at {threads} threads"
+                );
+            }
         }
     }
 

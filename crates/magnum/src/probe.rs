@@ -8,6 +8,7 @@
 //! component at the drive frequency — exactly what [`DftProbe`]
 //! accumulates on the fly, without storing the whole time trace.
 
+use crate::fft::{fft_real, next_power_of_two};
 use crate::math::{Complex64, Vec3};
 use crate::mesh::Mesh;
 
@@ -157,6 +158,105 @@ impl DftProbe {
     pub fn reset(&mut self) {
         self.accumulator = Complex64::ZERO;
         self.samples = 0;
+    }
+}
+
+/// Records the region-averaged signal at a fixed cadence and exposes its
+/// full one-sided amplitude spectrum.
+///
+/// Where [`DftProbe`] projects onto one known frequency on the fly, this
+/// probe keeps the whole trace and transforms it at readout time through
+/// the real-to-complex FFT path ([`fft_real`]) — one complex transform of
+/// half the trace length instead of a full complex FFT. Use it to survey
+/// an unknown spectrum (e.g. locating the FVMSW band edge) rather than to
+/// read out a known drive tone.
+#[derive(Debug, Clone)]
+pub struct SpectrumProbe {
+    region: RegionProbe,
+    sample_interval: f64,
+    trace: Vec<f64>,
+}
+
+impl SpectrumProbe {
+    /// Creates a spectrum probe sampling the region every
+    /// `sample_interval` seconds of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not positive and finite.
+    pub fn new(region: RegionProbe, sample_interval: f64) -> Self {
+        assert!(
+            sample_interval.is_finite() && sample_interval > 0.0,
+            "sample interval must be positive and finite"
+        );
+        SpectrumProbe {
+            region,
+            sample_interval,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn sample_count(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// The sampling cadence in seconds.
+    pub fn sample_interval(&self) -> f64 {
+        self.sample_interval
+    }
+
+    /// Records one sample of the magnetization state. The caller is
+    /// responsible for invoking this at the cadence given at construction
+    /// (e.g. from [`crate::sim::Simulation::run_sampled`]).
+    pub fn sample(&mut self, m: &[Vec3]) {
+        self.trace.push(self.region.mean(m));
+    }
+
+    /// The recorded time trace.
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+
+    /// One-sided amplitude spectrum as `(frequency_hz, peak_amplitude)`
+    /// pairs for bins `0..=n/2`, where `n` is the trace length zero-padded
+    /// to the next power of two. Amplitudes are scaled so a pure sinusoid
+    /// landing on a bin reports its peak amplitude.
+    pub fn spectrum(&self) -> Vec<(f64, f64)> {
+        if self.trace.is_empty() {
+            return Vec::new();
+        }
+        let n = next_power_of_two(self.trace.len());
+        let mut padded = self.trace.clone();
+        padded.resize(n, 0.0);
+        let bins = fft_real(&padded);
+        let df = 1.0 / (n as f64 * self.sample_interval);
+        let norm = 2.0 / self.trace.len() as f64;
+        (0..=n / 2)
+            .map(|k| {
+                let amp = bins[k].abs()
+                    * if k == 0 || k == n / 2 {
+                        norm / 2.0
+                    } else {
+                        norm
+                    };
+                (k as f64 * df, amp)
+            })
+            .collect()
+    }
+
+    /// The `(frequency, amplitude)` of the strongest non-DC bin, or `None`
+    /// before any samples arrive.
+    pub fn dominant(&self) -> Option<(f64, f64)> {
+        self.spectrum()
+            .into_iter()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Clears the trace so the probe can record a new window.
+    pub fn reset(&mut self) {
+        self.trace.clear();
     }
 }
 
@@ -346,6 +446,51 @@ mod tests {
             assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "wrap({p}) = {w}");
         }
         assert!((wrap_phase(2.0 * PI + 0.1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrum_probe_finds_a_pure_tone() {
+        // 8 periods of a 10 GHz tone at 32 samples/period: the tone lands
+        // exactly on bin 8 of a 256-point transform.
+        let freq = 10e9;
+        let per = 32;
+        let dt = 1.0 / (freq * per as f64);
+        let mut probe = SpectrumProbe::new(RegionProbe::new(vec![0], Component::X), dt);
+        for i in 0..8 * per {
+            let t = i as f64 * dt;
+            let value = 0.42 * (2.0 * PI * freq * t).sin();
+            probe.sample(&[Vec3::new(value, 0.0, 0.0)]);
+        }
+        let (f, a) = probe.dominant().unwrap();
+        assert!((f - freq).abs() < 1e-3 * freq, "dominant frequency {f}");
+        assert!((a - 0.42).abs() < 1e-6, "dominant amplitude {a}");
+        // Every other non-DC bin is empty for an on-bin tone.
+        for (fk, ak) in probe.spectrum().into_iter().skip(1) {
+            if (fk - freq).abs() > 1e-3 * freq {
+                assert!(ak < 1e-9, "leakage {ak} at {fk}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_probe_zero_pads_non_power_of_two_traces() {
+        let dt = 1e-12;
+        let mut probe = SpectrumProbe::new(RegionProbe::new(vec![0], Component::Z), dt);
+        for _ in 0..100 {
+            probe.sample(&[Vec3::Z]);
+        }
+        assert_eq!(probe.sample_count(), 100);
+        let spec = probe.spectrum();
+        // Padded to 128 bins → 65 one-sided entries at df = 1/(128 dt).
+        assert_eq!(spec.len(), 65);
+        assert!((spec[1].0 - 1.0 / (128.0 * dt)).abs() < 1.0);
+        // A constant signal is pure DC: amplitude 2·(100/128)/2 scaled by
+        // the trace-length normalization = 1 at bin 0.
+        assert!((spec[0].1 - 1.0).abs() < 1e-12, "DC bin {}", spec[0].1);
+        probe.reset();
+        assert_eq!(probe.sample_count(), 0);
+        assert!(probe.spectrum().is_empty());
+        assert!(probe.dominant().is_none());
     }
 
     #[test]

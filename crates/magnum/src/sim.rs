@@ -126,7 +126,7 @@ impl Simulation {
         }
         let taken = self
             .integrator
-            .step(&self.system, self.time, self.dt, &mut self.m)?;
+            .step(&mut self.system, self.time, self.dt, &mut self.m)?;
         self.time += taken;
         Ok(())
     }
@@ -229,7 +229,7 @@ impl Simulation {
         while !outcome.converged && outcome.steps < max_steps {
             match self
                 .integrator
-                .step(&self.system, self.time, self.dt, &mut self.m)
+                .step(&mut self.system, self.time, self.dt, &mut self.m)
             {
                 Ok(_) => {}
                 Err(e) => {
@@ -524,7 +524,13 @@ impl SimulationBuilder {
                 terms.push(Box::new(ThinFilmDemag::new(&mesh, &material)));
             }
             DemagMethod::NewellFft => {
-                terms.push(Box::new(NewellDemag::new(&mesh, &material)));
+                // Build the Newell kernel tables on a temporary worker team
+                // of the same width the simulation will run with; the
+                // construction is bitwise independent of the thread count.
+                let team = crate::par::WorkerTeam::new(threads);
+                terms.push(Box::new(NewellDemag::new_with_team(
+                    &mesh, &material, &team,
+                )));
             }
         }
         if external_field != Vec3::ZERO {

@@ -79,22 +79,23 @@ impl CashKarp45 {
     /// The per-block error maxima are folded in block order; `f64::max`
     /// over disjoint index sets is exact, so the estimate (and therefore
     /// the step-size control path) is identical for any thread count.
-    fn attempt(&mut self, system: &LlgSystem, t: f64, dt: f64, m: &[Vec3]) -> f64 {
-        let team = system.par();
+    fn attempt(&mut self, system: &mut LlgSystem, t: f64, dt: f64, m: &[Vec3]) -> f64 {
         system.rhs(m, t, &mut self.k[0], &mut self.h_scratch);
         for s in 1..6 {
             {
                 let k = &self.k;
-                team.for_each_chunk(&mut self.stage, |start, chunk| {
-                    for (j, stage) in chunk.iter_mut().enumerate() {
-                        let i = start + j;
-                        let mut acc = m[i];
-                        for (jj, a) in A[s - 1].iter().enumerate().take(s) {
-                            acc += k[jj][i] * (a * dt);
+                system
+                    .par()
+                    .for_each_chunk(&mut self.stage, |start, chunk| {
+                        for (j, stage) in chunk.iter_mut().enumerate() {
+                            let i = start + j;
+                            let mut acc = m[i];
+                            for (jj, a) in A[s - 1].iter().enumerate().take(s) {
+                                acc += k[jj][i] * (a * dt);
+                            }
+                            *stage = acc;
                         }
-                        *stage = acc;
-                    }
-                });
+                    });
             }
             // Split borrows: k[s] is written, k[0..s] were read above.
             let (head, tail) = self.k.split_at_mut(s);
@@ -107,6 +108,7 @@ impl CashKarp45 {
             );
         }
         let n = m.len();
+        let team = system.par();
         let nb = team.threads().max(1);
         let k = &self.k;
         let out = crate::par::SendPtr::new(self.y5.as_mut_ptr());
@@ -133,7 +135,7 @@ impl CashKarp45 {
 impl Integrator for CashKarp45 {
     fn step(
         &mut self,
-        system: &LlgSystem,
+        system: &mut LlgSystem,
         t: f64,
         dt: f64,
         m: &mut [Vec3],
@@ -185,12 +187,14 @@ mod tests {
         let alpha = 0.1;
         let h0 = 1e5;
         let t_end = 100e-12;
-        let sys = macrospin(alpha, h0);
+        let mut sys = macrospin(alpha, h0);
         let mut integ = CashKarp45::new(1, 1e-10);
         let mut m = vec![Vec3::X];
         let mut t = 0.0;
         while t < t_end - 1e-18 {
-            let taken = integ.step(&sys, t, (t_end - t).min(1e-12), &mut m).unwrap();
+            let taken = integ
+                .step(&mut sys, t, (t_end - t).min(1e-12), &mut m)
+                .unwrap();
             t += taken;
         }
         let expected = macrospin_analytic(alpha, h0, t_end);
@@ -203,30 +207,32 @@ mod tests {
 
     #[test]
     fn shrinks_step_when_tolerance_is_tight() {
-        let sys = macrospin(0.1, 1e6);
+        let mut sys = macrospin(0.1, 1e6);
         let mut integ = CashKarp45::new(1, 1e-12);
         let mut m = vec![Vec3::X];
-        let taken = integ.step(&sys, 0.0, 1e-11, &mut m).unwrap();
+        let taken = integ.step(&mut sys, 0.0, 1e-11, &mut m).unwrap();
         assert!(taken <= 1e-11);
         assert!(integ.suggested_dt().is_some());
     }
 
     #[test]
     fn loose_tolerance_accepts_the_hint() {
-        let sys = macrospin(0.1, 1e4);
+        let mut sys = macrospin(0.1, 1e4);
         let mut integ = CashKarp45::new(1, 1e-3);
         let mut m = vec![Vec3::X];
-        let taken = integ.step(&sys, 0.0, 1e-14, &mut m).unwrap();
+        let taken = integ.step(&mut sys, 0.0, 1e-14, &mut m).unwrap();
         assert_eq!(taken, 1e-14);
     }
 
     #[test]
     fn suggestion_never_exceeds_hint() {
-        let sys = macrospin(0.05, 1e5);
+        let mut sys = macrospin(0.05, 1e5);
         let mut integ = CashKarp45::new(1, 1e-6);
         let mut m = vec![Vec3::X];
         for i in 0..50 {
-            integ.step(&sys, i as f64 * 1e-13, 1e-13, &mut m).unwrap();
+            integ
+                .step(&mut sys, i as f64 * 1e-13, 1e-13, &mut m)
+                .unwrap();
             assert!(integ.suggested_dt().unwrap() <= 1e-13 + 1e-30);
         }
     }

@@ -34,29 +34,31 @@ impl Heun {
 impl Integrator for Heun {
     fn step(
         &mut self,
-        system: &LlgSystem,
+        system: &mut LlgSystem,
         t: f64,
         dt: f64,
         m: &mut [Vec3],
     ) -> Result<f64, MagnumError> {
-        let team = system.par();
         system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
         let k1 = &self.k1;
-        team.for_each_chunk(&mut self.predictor, |start, chunk| {
-            for (j, p) in chunk.iter_mut().enumerate() {
-                let i = start + j;
-                *p = m[i] + k1[i] * dt;
-            }
-        });
+        system
+            .par()
+            .for_each_chunk(&mut self.predictor, |start, chunk| {
+                for (j, p) in chunk.iter_mut().enumerate() {
+                    let i = start + j;
+                    *p = m[i] + k1[i] * dt;
+                }
+            });
         system.rhs(&self.predictor, t + dt, &mut self.k2, &mut self.h_scratch);
+        let k1 = &self.k1;
         let k2 = &self.k2;
-        team.for_each_chunk(m, |start, chunk| {
+        system.par().for_each_chunk(m, |start, chunk| {
             for (j, mi) in chunk.iter_mut().enumerate() {
                 let i = start + j;
                 *mi += (k1[i] + k2[i]) * (dt / 2.0);
             }
         });
-        renormalize_and_check(m, &system.mask, t + dt, team)?;
+        renormalize_and_check(m, &system.mask, t + dt, system.par())?;
         Ok(dt)
     }
 
@@ -76,7 +78,7 @@ mod tests {
         let h = 1e5;
         let t_end = 40e-12;
         let expected = macrospin_analytic(alpha, h, t_end);
-        let sys = macrospin(alpha, h);
+        let mut sys = macrospin(alpha, h);
         let mut errors = Vec::new();
         for &dt in &[2e-14, 1e-14, 5e-15] {
             let mut m = vec![Vec3::X];
@@ -84,7 +86,7 @@ mod tests {
             let steps = (t_end / dt).round() as usize;
             let mut t = 0.0;
             for _ in 0..steps {
-                integ.step(&sys, t, dt, &mut m).unwrap();
+                integ.step(&mut sys, t, dt, &mut m).unwrap();
                 t += dt;
             }
             errors.push((m[0] - expected).norm());
@@ -101,9 +103,9 @@ mod tests {
 
     #[test]
     fn step_returns_dt() {
-        let sys = macrospin(0.01, 1e5);
+        let mut sys = macrospin(0.01, 1e5);
         let mut m = vec![Vec3::X];
-        let taken = Heun::new(1).step(&sys, 0.0, 1e-14, &mut m).unwrap();
+        let taken = Heun::new(1).step(&mut sys, 0.0, 1e-14, &mut m).unwrap();
         assert_eq!(taken, 1e-14);
     }
 }

@@ -40,7 +40,7 @@ pub trait Integrator: Send {
     ///   cannot meet its tolerance.
     fn step(
         &mut self,
-        system: &LlgSystem,
+        system: &mut LlgSystem,
         t: f64,
         dt: f64,
         m: &mut [Vec3],
@@ -165,12 +165,14 @@ mod tests {
         t_end: f64,
         dt: f64,
     ) -> Vec3 {
-        let sys = macrospin(alpha, h);
+        let mut sys = macrospin(alpha, h);
         let mut m = vec![Vec3::X];
         let mut t = 0.0;
         while t < t_end - 1e-18 {
             let step = dt.min(t_end - t);
-            let taken = integrator.step(&sys, t, step, &mut m).expect("step failed");
+            let taken = integrator
+                .step(&mut sys, t, step, &mut m)
+                .expect("step failed");
             t += taken;
         }
         m[0]

@@ -34,45 +34,51 @@ impl RungeKutta4 {
 impl Integrator for RungeKutta4 {
     fn step(
         &mut self,
-        system: &LlgSystem,
+        system: &mut LlgSystem,
         t: f64,
         dt: f64,
         m: &mut [Vec3],
     ) -> Result<f64, MagnumError> {
-        let team = system.par();
         system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
         let k1 = &self.k1;
-        team.for_each_chunk(&mut self.stage, |start, chunk| {
-            for (j, s) in chunk.iter_mut().enumerate() {
-                let i = start + j;
-                *s = m[i] + k1[i] * (dt / 2.0);
-            }
-        });
+        system
+            .par()
+            .for_each_chunk(&mut self.stage, |start, chunk| {
+                for (j, s) in chunk.iter_mut().enumerate() {
+                    let i = start + j;
+                    *s = m[i] + k1[i] * (dt / 2.0);
+                }
+            });
         system.rhs(&self.stage, t + dt / 2.0, &mut self.k2, &mut self.h_scratch);
         let k2 = &self.k2;
-        team.for_each_chunk(&mut self.stage, |start, chunk| {
-            for (j, s) in chunk.iter_mut().enumerate() {
-                let i = start + j;
-                *s = m[i] + k2[i] * (dt / 2.0);
-            }
-        });
+        system
+            .par()
+            .for_each_chunk(&mut self.stage, |start, chunk| {
+                for (j, s) in chunk.iter_mut().enumerate() {
+                    let i = start + j;
+                    *s = m[i] + k2[i] * (dt / 2.0);
+                }
+            });
         system.rhs(&self.stage, t + dt / 2.0, &mut self.k3, &mut self.h_scratch);
         let k3 = &self.k3;
-        team.for_each_chunk(&mut self.stage, |start, chunk| {
-            for (j, s) in chunk.iter_mut().enumerate() {
-                let i = start + j;
-                *s = m[i] + k3[i] * dt;
-            }
-        });
+        system
+            .par()
+            .for_each_chunk(&mut self.stage, |start, chunk| {
+                for (j, s) in chunk.iter_mut().enumerate() {
+                    let i = start + j;
+                    *s = m[i] + k3[i] * dt;
+                }
+            });
         system.rhs(&self.stage, t + dt, &mut self.k4, &mut self.h_scratch);
+        let k1 = &self.k1;
         let k4 = &self.k4;
-        team.for_each_chunk(m, |start, chunk| {
+        system.par().for_each_chunk(m, |start, chunk| {
             for (j, mi) in chunk.iter_mut().enumerate() {
                 let i = start + j;
                 *mi += (k1[i] + (k2[i] + k3[i]) * 2.0 + k4[i]) * (dt / 6.0);
             }
         });
-        renormalize_and_check(m, &system.mask, t + dt, team)?;
+        renormalize_and_check(m, &system.mask, t + dt, system.par())?;
         Ok(dt)
     }
 
@@ -92,13 +98,13 @@ mod tests {
         let h = 2e5;
         let t_end: f64 = 100e-12;
         let dt = 2e-14;
-        let sys = macrospin(alpha, h);
+        let mut sys = macrospin(alpha, h);
         let mut integ = RungeKutta4::new(1);
         let mut m = vec![Vec3::X];
         let steps = (t_end / dt).round() as usize;
         let mut t = 0.0;
         for _ in 0..steps {
-            integ.step(&sys, t, dt, &mut m).unwrap();
+            integ.step(&mut sys, t, dt, &mut m).unwrap();
             t += dt;
         }
         let expected = macrospin_analytic(alpha, h, t_end);
@@ -113,13 +119,13 @@ mod tests {
     fn diverges_cleanly_on_absurd_step() {
         // A gigantic dt makes the update blow up; the integrator must
         // report divergence rather than silently continuing.
-        let sys = macrospin(0.01, 1e7);
+        let mut sys = macrospin(0.01, 1e7);
         let mut integ = RungeKutta4::new(1);
         let mut m = vec![Vec3::X];
         let mut failed = false;
         for i in 0..100 {
             let t = i as f64;
-            match integ.step(&sys, t, 1.0, &mut m) {
+            match integ.step(&mut sys, t, 1.0, &mut m) {
                 Err(MagnumError::Diverged { .. }) => {
                     failed = true;
                     break;

@@ -18,6 +18,10 @@ const CELL: f64 = 5e-9;
 /// A triangle-shaped film (apex to the right, like the paper's gates)
 /// with an antenna on the left edge and an absorbing frame.
 fn triangle_sim(threads: usize, kind: IntegratorKind) -> Simulation {
+    triangle_sim_with_demag(threads, kind, DemagMethod::ThinFilmLocal)
+}
+
+fn triangle_sim_with_demag(threads: usize, kind: IntegratorKind, demag: DemagMethod) -> Simulation {
     let mut mesh = Mesh::new(NX, NY, [CELL, CELL, 1e-9]).unwrap();
     let w = NX as f64 * CELL;
     let h = NY as f64 * CELL;
@@ -34,7 +38,7 @@ fn triangle_sim(threads: usize, kind: IntegratorKind) -> Simulation {
     );
     Simulation::builder(mesh, Material::fecob())
         .uniform_magnetization(Vec3::Z)
-        .demag(DemagMethod::ThinFilmLocal)
+        .demag(demag)
         .absorbing_frame(AbsorbingFrame::new(3, 0.5))
         .antenna(antenna)
         .integrator(kind)
@@ -77,6 +81,30 @@ fn cash_karp_is_bitwise_identical_across_thread_counts() {
     // Adaptive stepping exercises the error-estimate reduction: the
     // f64::max fold must make step-size control thread-count-independent.
     assert_bitwise_equal(IntegratorKind::CashKarp45 { tolerance: 1e-7 }, 25);
+}
+
+#[test]
+fn newell_fft_demag_is_bitwise_identical_across_thread_counts() {
+    // The FFT-accelerated Newell demag parallelizes kernel construction,
+    // the 2-D transforms, and the spectral multiply; every stage promises
+    // block-ordered determinism, so whole trajectories must match bit for
+    // bit at 1, 2, 4, and 7 threads.
+    let run = |threads: usize| {
+        let mut sim =
+            triangle_sim_with_demag(threads, IntegratorKind::RungeKutta4, DemagMethod::NewellFft);
+        for _ in 0..15 {
+            sim.step().unwrap();
+        }
+        sim.magnetization().to_vec()
+    };
+    let serial = run(1);
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "NewellFft trajectory diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
