@@ -32,4 +32,9 @@ echo "==> demag bench smoke (one small grid, JSON emitter)"
     --out target/BENCH_demag_smoke.json
 test -s target/BENCH_demag_smoke.json
 
+echo "==> rhs bench smoke (asserts bitwise identity across threads and rel err <= 1e-12)"
+./target/release/parbench --rhs --grids 32 --steps 10 --threads 1,2,4 \
+    --out target/BENCH_rhs_smoke.json
+test -s target/BENCH_rhs_smoke.json
+
 echo "CI OK"

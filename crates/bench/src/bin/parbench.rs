@@ -1,6 +1,6 @@
 //! `parbench` — wall-clock scaling of magnum's intra-simulation threading.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * Default: `parbench [--size N] [--steps N] [--threads LIST]` runs the
 //!   same deterministic LLG workload (an N×N film with exchange,
@@ -18,9 +18,22 @@
 //!   reference and its bitwise identity across thread counts, and writes
 //!   a machine-readable JSON report. Defaults: grids `64,128,256`,
 //!   threads `1,2,4`, auto eval count, output `BENCH_demag.json`.
+//!
+//! * `parbench --rhs [--grids LIST] [--threads LIST] [--steps N]
+//!   [--out PATH]` benchmarks the fused single-sweep SoA RHS against the
+//!   pre-refactor shape (array-of-structs state, one full-mesh pass per
+//!   integrator stage, per-cell prefactor division — reimplemented
+//!   faithfully in [`legacy::LegacyLlg`]): both run the same RK4 workload
+//!   (full film, exchange + anisotropy + thin-film demag + Zeeman bias,
+//!   no antenna) and the report records ns/cell per RHS evaluation, the
+//!   error of the new path's final state against the legacy trajectory,
+//!   and bitwise identity across thread counts. Defaults: grids
+//!   `64,128,256`, threads `1,2,4`, auto step count, output
+//!   `BENCH_rhs.json`.
 
 use std::time::Instant;
 
+use bench::write_bench_json;
 use magnum::field::demag::{DemagMethod, NewellDemag};
 use magnum::field::FieldTerm;
 use magnum::par::WorkerTeam;
@@ -39,7 +52,7 @@ use swrun::json::Json;
 mod legacy {
     use magnum::fft::next_power_of_two;
     use magnum::field::demag::{newell_nxx, newell_nxy};
-    use magnum::{Complex64, Material, Mesh, Vec3};
+    use magnum::{Complex64, Material, Mesh, Vec3, MU0};
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum Direction {
@@ -216,6 +229,149 @@ mod legacy {
             }
         }
     }
+
+    /// The pre-refactor LLG right-hand side and RK4 step, preserved as
+    /// the RHS benchmark reference. The shape the structure-of-arrays
+    /// refactor replaced is kept on purpose: the state is an
+    /// array-of-structs `Vec<Vec3>`, each integrator stage materializes
+    /// its trial state in a separate full-mesh pass before the next RHS
+    /// evaluation, the final combination and the renormalization are two
+    /// more full-mesh passes, and the torque prefactor divides per cell
+    /// per evaluation. The per-cell arithmetic — term order, neighbour
+    /// order, stage expressions, renormalization — matches the fused
+    /// kernel exactly, so the new path's trajectory can be checked
+    /// against this reference to machine precision.
+    pub struct LegacyLlg {
+        nx: usize,
+        mask: Vec<bool>,
+        coeff_x: f64,
+        coeff_y: f64,
+        ku_coeff: f64,
+        ku_axis: Vec3,
+        ms: f64,
+        zeeman: Vec3,
+        alpha: f64,
+        gamma: f64,
+    }
+
+    impl LegacyLlg {
+        pub fn new(mesh: &Mesh, material: &Material, zeeman: Vec3) -> Self {
+            let [dx, dy, _] = mesh.cell_size();
+            let ms = material.saturation_magnetization();
+            let base = 2.0 * material.exchange_stiffness() / (MU0 * ms);
+            LegacyLlg {
+                nx: mesh.nx(),
+                mask: mesh.mask().to_vec(),
+                coeff_x: base / (dx * dx),
+                coeff_y: base / (dy * dy),
+                ku_coeff: 2.0 * material.anisotropy_constant() / (MU0 * ms),
+                ku_axis: material.anisotropy_axis(),
+                ms,
+                zeeman,
+                alpha: material.gilbert_damping(),
+                gamma: material.gamma(),
+            }
+        }
+
+        /// `dm/dt` into `k`: effective field (exchange, uniaxial
+        /// anisotropy, thin-film demag, Zeeman — in term order) and the
+        /// LLG torque, serially, cell by cell.
+        fn rhs(&self, m: &[Vec3], k: &mut [Vec3]) {
+            let n = m.len();
+            for i in 0..n {
+                if !self.mask[i] {
+                    k[i] = Vec3::ZERO;
+                    continue;
+                }
+                let mi = m[i];
+                let mut h = Vec3::ZERO;
+                let ix = i % self.nx;
+                let mut acc = Vec3::ZERO;
+                if ix > 0 && self.mask[i - 1] {
+                    acc += (m[i - 1] - mi) * self.coeff_x;
+                }
+                if ix + 1 < self.nx && self.mask[i + 1] {
+                    acc += (m[i + 1] - mi) * self.coeff_x;
+                }
+                if i >= self.nx && self.mask[i - self.nx] {
+                    acc += (m[i - self.nx] - mi) * self.coeff_y;
+                }
+                if i + self.nx < n && self.mask[i + self.nx] {
+                    acc += (m[i + self.nx] - mi) * self.coeff_y;
+                }
+                h += acc;
+                h += self.ku_axis * (self.ku_coeff * mi.dot(self.ku_axis));
+                h.z -= self.ms * mi.z;
+                h += self.zeeman;
+                let prefactor = -self.gamma * MU0 / (1.0 + self.alpha * self.alpha);
+                let mxh = mi.cross(h);
+                let mxmxh = mi.cross(mxh);
+                k[i] = (mxh + mxmxh * self.alpha) * prefactor;
+            }
+        }
+
+        /// One classic RK4 step in the pre-refactor shape: four RHS
+        /// passes interleaved with separate full-mesh stage-combination
+        /// passes, then the combination pass and the renormalization
+        /// pass.
+        #[allow(clippy::too_many_arguments)]
+        pub fn rk4_step(&self, m: &mut [Vec3], dt: f64, scratch: &mut LegacyRk4Scratch) {
+            let n = m.len();
+            let LegacyRk4Scratch {
+                k1,
+                k2,
+                k3,
+                k4,
+                stage,
+            } = scratch;
+            self.rhs(m, k1);
+            for i in 0..n {
+                stage[i] = m[i] + k1[i] * (dt / 2.0);
+            }
+            self.rhs(stage, k2);
+            for i in 0..n {
+                stage[i] = m[i] + k2[i] * (dt / 2.0);
+            }
+            self.rhs(stage, k3);
+            for i in 0..n {
+                stage[i] = m[i] + k3[i] * dt;
+            }
+            self.rhs(stage, k4);
+            for i in 0..n {
+                m[i] += (k1[i] + (k2[i] + k3[i]) * 2.0 + k4[i]) * (dt / 6.0);
+            }
+            for (i, mi) in m.iter_mut().enumerate() {
+                if !self.mask[i] {
+                    continue;
+                }
+                let norm = mi.norm();
+                assert!(norm.is_finite() && norm != 0.0, "legacy step diverged");
+                *mi /= norm;
+            }
+        }
+    }
+
+    /// The pre-refactor RK4 working buffers (one array per stage slope
+    /// plus the trial state).
+    pub struct LegacyRk4Scratch {
+        k1: Vec<Vec3>,
+        k2: Vec<Vec3>,
+        k3: Vec<Vec3>,
+        k4: Vec<Vec3>,
+        stage: Vec<Vec3>,
+    }
+
+    impl LegacyRk4Scratch {
+        pub fn new(cells: usize) -> Self {
+            LegacyRk4Scratch {
+                k1: vec![Vec3::ZERO; cells],
+                k2: vec![Vec3::ZERO; cells],
+                k3: vec![Vec3::ZERO; cells],
+                k4: vec![Vec3::ZERO; cells],
+                stage: vec![Vec3::ZERO; cells],
+            }
+        }
+    }
 }
 
 fn build(size: usize, threads: usize) -> Simulation {
@@ -265,8 +421,8 @@ fn test_magnetization(n: usize) -> Vec<Vec3> {
 /// One evaluation of the optimized demag path (zero + accumulate).
 fn eval_new(
     demag: &NewellDemag,
-    m: &[Vec3],
-    h: &mut [Vec3],
+    m: &Field3,
+    h: &mut Field3,
     team: &WorkerTeam,
     scratch: &mut Option<Box<dyn std::any::Any + Send + Sync>>,
 ) {
@@ -297,6 +453,7 @@ fn demag_grid_report(size: usize, threads: &[usize], evals: usize) -> Json {
 
     // Optimized path at each thread count. The serial run doubles as the
     // accuracy and bitwise baselines.
+    let mf = Field3::from_vec3s(&m);
     let mut h_serial: Vec<Vec3> = Vec::new();
     let mut max_rel_err = 0.0_f64;
     let mut rows = Vec::new();
@@ -304,14 +461,15 @@ fn demag_grid_report(size: usize, threads: &[usize], evals: usize) -> Json {
         let team = WorkerTeam::new(t);
         let demag = NewellDemag::new_with_team(&mesh, &material, &team);
         let mut scratch = demag.make_scratch();
-        let mut h = vec![Vec3::ZERO; n];
-        eval_new(&demag, &m, &mut h, &team, &mut scratch); // warm-up
+        let mut h = Field3::zeros(n);
+        eval_new(&demag, &mf, &mut h, &team, &mut scratch); // warm-up
         let start = Instant::now();
         for _ in 0..evals {
-            eval_new(&demag, &m, &mut h, &team, &mut scratch);
+            eval_new(&demag, &mf, &mut h, &team, &mut scratch);
         }
         let ns = start.elapsed().as_secs_f64() * 1e9 / evals as f64;
 
+        let h = h.to_vec();
         let bitwise = if h_serial.is_empty() {
             max_rel_err = h
                 .iter()
@@ -319,7 +477,7 @@ fn demag_grid_report(size: usize, threads: &[usize], evals: usize) -> Json {
                 .map(|(a, b)| (*a - *b).norm())
                 .fold(0.0, f64::max)
                 / h_peak;
-            h_serial = h.clone();
+            h_serial = h;
             true
         } else {
             h == h_serial
@@ -371,17 +529,153 @@ fn demag_main(grids: Vec<usize>, threads: Vec<usize>, evals: usize, out: String)
         };
         reports.push(demag_grid_report(size, &threads, evals));
     }
-    let report = Json::obj([
-        ("benchmark", Json::str("demag_field_eval")),
-        ("unit", Json::str("ns_per_eval")),
-        (
-            "reference",
-            Json::str("pre-optimization serial Newell FFT path"),
-        ),
-        ("grids", Json::Arr(reports)),
-    ]);
-    std::fs::write(&out, report.render() + "\n").expect("failed to write report");
-    println!("wrote {out}");
+    write_bench_json(
+        &out,
+        "demag_field_eval",
+        "ns_per_eval",
+        "pre-optimization serial Newell FFT path",
+        reports,
+    );
+}
+
+/// Zeeman bias for the RHS benchmark workload (A/m, out of plane).
+const RHS_BIAS: Vec3 = Vec3::new(0.0, 0.0, 5e4);
+
+/// Tilted initial magnetization for the RHS benchmark (normalized by the
+/// builder), so the exchange and torque terms all do real work.
+const RHS_TILT: Vec3 = Vec3::new(0.3, 0.2, 1.0);
+
+/// The RHS benchmark simulation: an N×N full film with every fusable
+/// term active (exchange + uniaxial anisotropy + thin-film demag +
+/// Zeeman bias) and nothing else — no antenna, no absorbing frame, no
+/// FFT pre-pass — so the measurement isolates the fused sweep the SoA
+/// refactor targets, and the legacy reimplementation can mirror the
+/// workload exactly.
+fn build_rhs_sim(size: usize, threads: usize) -> Simulation {
+    let cell = 5e-9;
+    let mesh = Mesh::new(size, size, [cell, cell, 1e-9]).unwrap();
+    Simulation::builder(mesh, Material::fecob())
+        .uniform_magnetization(RHS_TILT)
+        .demag(DemagMethod::ThinFilmLocal)
+        .external_field(RHS_BIAS)
+        .integrator(IntegratorKind::RungeKutta4)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+/// Benchmarks the RHS at one grid size; returns its JSON report fragment.
+fn rhs_grid_report(size: usize, threads: &[usize], steps: usize) -> Json {
+    let cell = 5e-9;
+    let mesh = Mesh::new(size, size, [cell, cell, 1e-9]).unwrap();
+    let material = Material::fecob();
+    let n = mesh.cell_count();
+    let evals = steps * 4; // four RHS evaluations per RK4 step
+
+    // The time step and initial state come from the simulation itself so
+    // both paths integrate the identical problem.
+    let dt = build_rhs_sim(size, 1).time_step();
+    let m0 = RHS_TILT.normalized();
+
+    // Reference: the pre-refactor shape, serial by construction.
+    let reference = legacy::LegacyLlg::new(&mesh, &material, RHS_BIAS);
+    let mut scratch = legacy::LegacyRk4Scratch::new(n);
+    let mut m_legacy = vec![m0; n];
+    for _ in 0..steps.min(3) {
+        reference.rk4_step(&mut m_legacy, dt, &mut scratch); // warm-up
+    }
+    m_legacy.fill(m0);
+    let start = Instant::now();
+    for _ in 0..steps {
+        reference.rk4_step(&mut m_legacy, dt, &mut scratch);
+    }
+    let legacy_ns = start.elapsed().as_secs_f64() * 1e9 / (evals * n) as f64;
+
+    // Fused single-sweep path at each thread count. The serial run
+    // doubles as the accuracy and bitwise baselines.
+    let mut m_serial: Vec<Vec3> = Vec::new();
+    let mut max_rel_err = 0.0_f64;
+    let mut rows = Vec::new();
+    for &t in threads {
+        {
+            let mut warm = build_rhs_sim(size, t);
+            for _ in 0..steps.min(3) {
+                warm.step().unwrap();
+            }
+        }
+        let mut sim = build_rhs_sim(size, t);
+        let start = Instant::now();
+        for _ in 0..steps {
+            sim.step().unwrap();
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / (evals * n) as f64;
+
+        let m = sim.magnetization().to_vec();
+        let bitwise = if m_serial.is_empty() {
+            // |m| = 1, so the absolute deviation is the relative error.
+            max_rel_err = m
+                .iter()
+                .zip(m_legacy.iter())
+                .map(|(a, b)| (*a - *b).norm())
+                .fold(0.0, f64::max);
+            m_serial = m;
+            true
+        } else {
+            m == m_serial
+        };
+        assert!(
+            bitwise,
+            "{size}x{size} RHS diverged from the serial trajectory at {t} threads"
+        );
+        println!(
+            "  {size:3}x{size:<3} threads {t:2}: {ns:8.2} ns/cell/eval  speedup vs legacy {:5.2}x",
+            legacy_ns / ns
+        );
+        rows.push(Json::obj([
+            ("threads", Json::Num(t as f64)),
+            ("ns_per_cell_eval", Json::Num(ns)),
+            ("speedup_vs_legacy", Json::Num(legacy_ns / ns)),
+            ("bitwise_identical_to_serial", Json::Bool(bitwise)),
+        ]));
+    }
+    println!(
+        "  {size:3}x{size:<3} legacy    : {legacy_ns:8.2} ns/cell/eval  max rel err {max_rel_err:.3e}"
+    );
+    assert!(
+        max_rel_err <= 1e-12,
+        "{size}x{size} fused RHS drifted {max_rel_err:.3e} from the legacy trajectory"
+    );
+
+    Json::obj([
+        ("size", Json::Num(size as f64)),
+        ("cells", Json::Num(n as f64)),
+        ("steps", Json::Num(steps as f64)),
+        ("legacy_ns_per_cell_eval", Json::Num(legacy_ns)),
+        ("max_rel_err_vs_legacy", Json::Num(max_rel_err)),
+        ("results", Json::Arr(rows)),
+    ])
+}
+
+fn rhs_main(grids: Vec<usize>, threads: Vec<usize>, steps: usize, out: String) {
+    println!("RHS benchmark: fused single-sweep SoA path vs pre-refactor shape");
+    let mut reports = Vec::new();
+    for &size in &grids {
+        // Fewer steps on big grids keep the wall time bounded while the
+        // per-step cost is large enough to time accurately.
+        let steps = if steps > 0 {
+            steps
+        } else {
+            ((1 << 21) / (size * size)).clamp(10, 200)
+        };
+        reports.push(rhs_grid_report(size, &threads, steps));
+    }
+    write_bench_json(
+        &out,
+        "llg_rhs_eval",
+        "ns_per_cell_eval",
+        "pre-refactor serial AoS RHS with separate stage passes",
+        reports,
+    );
 }
 
 fn main() {
@@ -419,6 +713,23 @@ fn main() {
         threads.retain(|&t| t != 1);
         threads.insert(0, 1);
         demag_main(grids, threads, evals, out);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--rhs") {
+        let grids: Vec<usize> = value_of("--grids")
+            .map(|v| parse_list(v, "--grids"))
+            .unwrap_or_else(|| vec![64, 128, 256]);
+        let steps: usize = value_of("--steps")
+            .map(|v| v.parse().expect("--steps needs an integer"))
+            .unwrap_or(0);
+        let out = value_of("--out").unwrap_or_else(|| "BENCH_rhs.json".to_string());
+        // The serial run is the accuracy and bitwise baseline, so make
+        // sure 1 is in the sweep and leads it.
+        let mut threads = threads;
+        threads.retain(|&t| t != 1);
+        threads.insert(0, 1);
+        rhs_main(grids, threads, steps, out);
         return;
     }
 

@@ -1,0 +1,25 @@
+//! Shared helpers for the benchmark binaries.
+//!
+//! The `parbench` reports (`BENCH_demag.json`, `BENCH_rhs.json`) use a
+//! common machine-readable envelope so downstream tooling can parse them
+//! uniformly: a benchmark name, the metric unit, a one-line description of
+//! the reference implementation, and one entry per benchmarked grid size.
+
+use swrun::json::Json;
+
+/// Assembles the common benchmark-report envelope, writes it to `out`
+/// with a trailing newline, and prints the path.
+///
+/// # Panics
+///
+/// Panics if the report file cannot be written.
+pub fn write_bench_json(out: &str, benchmark: &str, unit: &str, reference: &str, grids: Vec<Json>) {
+    let report = Json::obj([
+        ("benchmark", Json::str(benchmark)),
+        ("unit", Json::str(unit)),
+        ("reference", Json::str(reference)),
+        ("grids", Json::Arr(grids)),
+    ]);
+    std::fs::write(out, report.render() + "\n").expect("failed to write report");
+    println!("wrote {out}");
+}

@@ -39,10 +39,12 @@
 //! single-threaded fallback used by [`FieldTerm::accumulate`].
 
 use std::any::Any;
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use super::{FieldTerm, FusedTerm};
 use crate::fft::{next_power_of_two, Direction, Fft2Plan};
+use crate::field3::Field3;
 use crate::material::Material;
 use crate::math::{Complex64, Vec3};
 use crate::mesh::Mesh;
@@ -108,12 +110,9 @@ pub struct NewellDemag {
     py: usize,
     ms: f64,
     mask: Vec<bool>,
-    /// Real spectra of K = −N (so that Ĥ = K̂·M̂); see module docs for
-    /// why they are exactly real.
-    kxx: Vec<f64>,
-    kyy: Vec<f64>,
-    kzz: Vec<f64>,
-    kxy: Vec<f64>,
+    /// Real spectra of K = −N (so that Ĥ = K̂·M̂), shared through the
+    /// in-process cache; see module docs for why they are exactly real.
+    spectra: Arc<KernelSpectra>,
     plan: Fft2Plan,
     /// Scratch for the thread-safe reference path ([`FieldTerm::accumulate`],
     /// used by energy accounting and probes). The hot path threads its own
@@ -142,26 +141,51 @@ impl DemagScratch {
     }
 }
 
-impl NewellDemag {
-    /// Precomputes the demag kernel for the mesh (single layer), serially.
-    ///
-    /// Construction cost is O(P·27) Newell evaluations for P padded cells;
-    /// this is done once per simulation. [`NewellDemag::new_with_team`]
-    /// spreads the pre-pass over a worker team.
-    pub fn new(mesh: &Mesh, material: &Material) -> Self {
-        Self::new_with_team(mesh, material, &WorkerTeam::new(1))
-    }
+/// The four real Newell kernel spectra of one padded grid, in the order
+/// they are applied (`Kxx`, `Kyy`, `Kzz`, `Kxy`).
+///
+/// Instances are immutable and shared via [`Arc`] through a process-wide
+/// cache, so a batch of simulations over the same geometry (the `swrun`
+/// sweep case: many jobs, one mesh) pays the O(P·27) Newell pre-pass and
+/// the four kernel FFTs exactly once.
+#[derive(Debug)]
+struct KernelSpectra {
+    kxx: Vec<f64>,
+    kyy: Vec<f64>,
+    kzz: Vec<f64>,
+    kxy: Vec<f64>,
+}
 
-    /// Precomputes the demag kernel with the Newell pre-pass and the
-    /// kernel FFTs batched across `team`. Bitwise identical to
-    /// [`NewellDemag::new`] for any team size.
-    pub fn new_with_team(mesh: &Mesh, material: &Material, team: &WorkerTeam) -> Self {
-        let nx = mesh.nx();
-        let ny = mesh.ny();
-        let px = next_power_of_two(2 * nx);
-        let py = next_power_of_two(2 * ny);
-        let plan = Fft2Plan::new(px, py);
-        let spectra = kernel_spectra(px, py, mesh.cell_size(), &plan, team);
+/// Cache key: padded grid dimensions plus the cell size as exact bit
+/// patterns. The padded sizes are derived from `(nx, ny)` and `dz` is the
+/// film thickness, so the key subsumes the mesh identity
+/// `(nx, ny, dx, dy, dz)` — it is strictly more general: meshes that pad
+/// to the same grid with the same cell share one kernel table.
+type SpectraKey = (usize, usize, u64, u64, u64);
+
+static SPECTRA_CACHE: OnceLock<Mutex<HashMap<SpectraKey, Arc<KernelSpectra>>>> = OnceLock::new();
+
+/// Fetches the real kernel spectra for a padded grid from the process-wide
+/// cache, building them on first use.
+///
+/// The lock is held across the build on purpose: concurrent constructions
+/// of the same geometry (parallel batch jobs) block on one build instead
+/// of duplicating it. Which worker team performs the build does not matter
+/// for the cached values — [`kernel_spectra`] is bitwise identical for any
+/// team size.
+fn cached_spectra(
+    px: usize,
+    py: usize,
+    cell: [f64; 3],
+    plan: &Fft2Plan,
+    team: &WorkerTeam,
+) -> Arc<KernelSpectra> {
+    let [dx, dy, dz] = cell;
+    let key = (px, py, dx.to_bits(), dy.to_bits(), dz.to_bits());
+    let cache = SPECTRA_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("demag spectra cache poisoned");
+    Arc::clone(map.entry(key).or_insert_with(|| {
+        let spectra = kernel_spectra(px, py, cell, plan, team);
         let mut max_re: f64 = 0.0;
         let mut max_im: f64 = 0.0;
         for k in &spectra {
@@ -175,6 +199,35 @@ impl NewellDemag {
             "Newell spectra should be real: max |Im| = {max_im:e} vs max |Re| = {max_re:e}"
         );
         let [kxx, kyy, kzz, kxy] = spectra.map(|k| k.iter().map(|z| z.re).collect());
+        Arc::new(KernelSpectra { kxx, kyy, kzz, kxy })
+    }))
+}
+
+impl NewellDemag {
+    /// Precomputes the demag kernel for the mesh (single layer), serially.
+    ///
+    /// Construction cost is O(P·27) Newell evaluations for P padded cells;
+    /// this is done once per simulation. [`NewellDemag::new_with_team`]
+    /// spreads the pre-pass over a worker team.
+    pub fn new(mesh: &Mesh, material: &Material) -> Self {
+        Self::new_with_team(mesh, material, &WorkerTeam::new(1))
+    }
+
+    /// Precomputes the demag kernel with the Newell pre-pass and the
+    /// kernel FFTs batched across `team`. Bitwise identical to
+    /// [`NewellDemag::new`] for any team size.
+    ///
+    /// The kernel spectra are looked up in a process-wide cache keyed by
+    /// the padded grid and cell size, so repeated constructions over the
+    /// same geometry (batch sweeps) share one table; only the FFT plan and
+    /// scratch buffers are per-instance.
+    pub fn new_with_team(mesh: &Mesh, material: &Material, team: &WorkerTeam) -> Self {
+        let nx = mesh.nx();
+        let ny = mesh.ny();
+        let px = next_power_of_two(2 * nx);
+        let py = next_power_of_two(2 * ny);
+        let plan = Fft2Plan::new(px, py);
+        let spectra = cached_spectra(px, py, mesh.cell_size(), &plan, team);
         NewellDemag {
             nx,
             ny,
@@ -182,10 +235,7 @@ impl NewellDemag {
             py,
             ms: material.saturation_magnetization(),
             mask: mesh.mask().to_vec(),
-            kxx,
-            kyy,
-            kzz,
-            kxy,
+            spectra,
             plan,
             fallback: Mutex::new(DemagScratch::new(px * py)),
         }
@@ -201,9 +251,10 @@ impl NewellDemag {
         )
     }
 
-    /// Runs one convolution: load `Ms·m` into the padded grids, transform,
-    /// multiply by the real kernel spectra, transform back, add the field
-    /// into `h`. Per-bin arithmetic is independent of the team partition.
+    /// Runs one convolution on AoS buffers: load `Ms·m` into the padded
+    /// grids, transform, multiply by the real kernel spectra, transform
+    /// back, add the field into `h`. Per-bin arithmetic is independent of
+    /// the team partition.
     fn convolve(&self, m: &[Vec3], h: &mut [Vec3], team: &WorkerTeam, s: &mut DemagScratch) {
         let (nx, ny, px) = (self.nx, self.ny, self.px);
         let ms = self.ms;
@@ -238,14 +289,7 @@ impl NewellDemag {
                 }
             });
         }
-        // Padded-aware transforms: the forward pass skips the all-zero
-        // rows ny..py, the inverse pass only materializes the rows the
-        // unload below actually reads.
-        self.plan.process_padded(&mut s.xy, &mut s.tmp, team, ny);
-        self.plan.process_padded(&mut s.z, &mut s.tmp, team, ny);
-        self.spectral_multiply(&mut s.xy, &mut s.z, team);
-        self.plan.process_truncated(&mut s.xy, &mut s.tmp, team, ny);
-        self.plan.process_truncated(&mut s.z, &mut s.tmp, team, ny);
+        self.transform_multiply(s, team);
         // Unload: hx/hy come out of the packed grid's re/im channels.
         {
             let xy = &s.xy;
@@ -269,6 +313,83 @@ impl NewellDemag {
         }
     }
 
+    /// SoA variant of [`NewellDemag::convolve`]: the load pass packs the
+    /// padded grids straight from the `mx`/`my`/`mz` planes (no gather
+    /// into `Vec3`s), and the unload streams the inverse transform back
+    /// into the field planes. The per-cell arithmetic — and therefore the
+    /// result, bitwise — is identical to the AoS path: the layouts differ
+    /// only by a permutation of the same `f64` values.
+    fn convolve_planes(&self, m: &Field3, h: &mut Field3, team: &WorkerTeam, s: &mut DemagScratch) {
+        let (nx, ny, px) = (self.nx, self.ny, self.px);
+        let ms = self.ms;
+        let mask = &self.mask;
+        let (mx, my, mz) = (m.xs(), m.ys(), m.zs());
+        {
+            let xy = SendPtr::new(s.xy.as_mut_ptr());
+            let z = SendPtr::new(s.z.as_mut_ptr());
+            team.for_each_span(self.py, |r0, r1| {
+                for iy in r0..r1 {
+                    let row = iy * px;
+                    for jx in 0..px {
+                        // Safety: padded rows are disjoint across spans.
+                        unsafe {
+                            *xy.add(row + jx) = Complex64::ZERO;
+                            *z.add(row + jx) = Complex64::ZERO;
+                        }
+                    }
+                    if iy >= ny {
+                        continue;
+                    }
+                    for ix in 0..nx {
+                        let i = iy * nx + ix;
+                        if !mask[i] {
+                            continue;
+                        }
+                        unsafe {
+                            *xy.add(row + ix) = Complex64::new(ms * mx[i], ms * my[i]);
+                            *z.add(row + ix) = Complex64::new(ms * mz[i], 0.0);
+                        }
+                    }
+                }
+            });
+        }
+        self.transform_multiply(s, team);
+        {
+            let xy = &s.xy;
+            let z = &s.z;
+            let out = h.ptrs();
+            team.for_each_span(ny, |r0, r1| {
+                for iy in r0..r1 {
+                    for ix in 0..nx {
+                        let i = iy * nx + ix;
+                        if !mask[i] {
+                            continue;
+                        }
+                        let p = iy * px + ix;
+                        // Safety: mesh rows are disjoint across spans.
+                        unsafe {
+                            let hv = out.read(i);
+                            out.write(i, hv + Vec3::new(xy[p].re, xy[p].im, z[p].re));
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// The layout-independent middle of a convolution: padded-aware
+    /// forward transforms (skipping the all-zero rows `ny..py`), spectral
+    /// multiply, truncated inverse transforms (materializing only the rows
+    /// the unload reads).
+    fn transform_multiply(&self, s: &mut DemagScratch, team: &WorkerTeam) {
+        let ny = self.ny;
+        self.plan.process_padded(&mut s.xy, &mut s.tmp, team, ny);
+        self.plan.process_padded(&mut s.z, &mut s.tmp, team, ny);
+        self.spectral_multiply(&mut s.xy, &mut s.z, team);
+        self.plan.process_truncated(&mut s.xy, &mut s.tmp, team, ny);
+        self.plan.process_truncated(&mut s.z, &mut s.tmp, team, ny);
+    }
+
     /// Applies Ĥ = K̂·M̂ in place. The `z` channel is a plain real scaling
     /// per bin. The packed `xy` channel is processed per conjugate pair:
     /// the pair `(k, −k)` holds enough information to unpack the two real
@@ -278,7 +399,7 @@ impl NewellDemag {
     fn spectral_multiply(&self, xy: &mut [Complex64], z: &mut [Complex64], team: &WorkerTeam) {
         let (px, py) = (self.px, self.py);
         {
-            let kzz = &self.kzz;
+            let kzz = &self.spectra.kzz;
             let zp = SendPtr::new(z.as_mut_ptr());
             team.for_each_span(px * py, |i0, i1| {
                 for (i, &k) in kzz.iter().enumerate().take(i1).skip(i0) {
@@ -327,18 +448,19 @@ impl NewellDemag {
     ///
     /// `i1`/`i2` must be in bounds and owned exclusively by the caller.
     unsafe fn multiply_pair(&self, xyp: SendPtr<Complex64>, i1: usize, i2: usize) {
+        let k = &*self.spectra;
         let z1 = *xyp.add(i1);
         let z2 = *xyp.add(i2);
         let mx = Complex64::new(0.5 * (z1.re + z2.re), 0.5 * (z1.im - z2.im));
         let my = Complex64::new(0.5 * (z1.im + z2.im), 0.5 * (z2.re - z1.re));
-        let hx = mx.scale(self.kxx[i1]) + my.scale(self.kxy[i1]);
-        let hy = mx.scale(self.kxy[i1]) + my.scale(self.kyy[i1]);
+        let hx = mx.scale(k.kxx[i1]) + my.scale(k.kxy[i1]);
+        let hy = mx.scale(k.kxy[i1]) + my.scale(k.kyy[i1]);
         *xyp.add(i1) = Complex64::new(hx.re - hy.im, hx.im + hy.re);
         if i2 != i1 {
             let mxc = mx.conj();
             let myc = my.conj();
-            let hx = mxc.scale(self.kxx[i2]) + myc.scale(self.kxy[i2]);
-            let hy = mxc.scale(self.kxy[i2]) + myc.scale(self.kyy[i2]);
+            let hx = mxc.scale(k.kxx[i2]) + myc.scale(k.kxy[i2]);
+            let hy = mxc.scale(k.kxy[i2]) + myc.scale(k.kyy[i2]);
             *xyp.add(i2) = Complex64::new(hx.re - hy.im, hx.im + hy.re);
         }
     }
@@ -440,15 +562,21 @@ impl FieldTerm for NewellDemag {
 
     fn accumulate_par(
         &self,
-        m: &[Vec3],
-        t: f64,
-        h: &mut [Vec3],
+        m: &Field3,
+        _t: f64,
+        h: &mut Field3,
         team: &WorkerTeam,
         scratch: Option<&mut (dyn Any + Send + Sync)>,
     ) {
         match scratch.and_then(|s| s.downcast_mut::<DemagScratch>()) {
-            Some(s) => self.convolve(m, h, team, s),
-            None => self.accumulate(m, t, h),
+            Some(s) => self.convolve_planes(m, h, team, s),
+            None => {
+                // No caller-provided scratch: fall back to the shared
+                // (locked) buffers but stay on the planar path — no AoS
+                // round trip.
+                let mut s = self.fallback.lock().expect("demag scratch poisoned");
+                self.convolve_planes(m, h, team, &mut s);
+            }
         }
     }
 }
@@ -637,17 +765,41 @@ mod tests {
     }
 
     #[test]
-    fn parallel_construction_is_bitwise_identical() {
-        let (mesh, mat) = film_setup(9, 6);
-        let serial = NewellDemag::new(&mesh, &mat);
+    fn parallel_kernel_build_is_bitwise_identical() {
+        // The cache hands every construction the spectra built first, so
+        // team-invariance of the build is checked on `kernel_spectra`
+        // directly — through `NewellDemag::new_with_team` the comparison
+        // would be vacuous.
+        let (mesh, _) = film_setup(9, 6);
+        let px = next_power_of_two(2 * mesh.nx());
+        let py = next_power_of_two(2 * mesh.ny());
+        let plan = Fft2Plan::new(px, py);
+        let serial = kernel_spectra(px, py, mesh.cell_size(), &plan, &WorkerTeam::new(1));
         for threads in [2, 4, 7] {
             let team = WorkerTeam::new(threads);
-            let par = NewellDemag::new_with_team(&mesh, &mat, &team);
-            assert_eq!(serial.kxx, par.kxx, "Kxx diverged at {threads} threads");
-            assert_eq!(serial.kyy, par.kyy, "Kyy diverged at {threads} threads");
-            assert_eq!(serial.kzz, par.kzz, "Kzz diverged at {threads} threads");
-            assert_eq!(serial.kxy, par.kxy, "Kxy diverged at {threads} threads");
+            let par = kernel_spectra(px, py, mesh.cell_size(), &plan, &team);
+            for (name, (s, p)) in ["Kxx", "Kyy", "Kzz", "Kxy"]
+                .iter()
+                .zip(serial.iter().zip(&par))
+            {
+                assert_eq!(s, p, "{name} diverged at {threads} threads");
+            }
         }
+    }
+
+    #[test]
+    fn spectra_are_shared_through_the_cache() {
+        let (mesh, mat) = film_setup(10, 4);
+        let a = NewellDemag::new(&mesh, &mat);
+        let b = NewellDemag::new_with_team(&mesh, &mat, &WorkerTeam::new(3));
+        assert!(
+            Arc::ptr_eq(&a.spectra, &b.spectra),
+            "same geometry must share one kernel table"
+        );
+        // A different padded grid gets its own entry.
+        let (other, _) = film_setup(20, 4);
+        let c = NewellDemag::new(&other, &mat);
+        assert!(!Arc::ptr_eq(&a.spectra, &c.spectra));
     }
 
     #[test]
@@ -672,12 +824,17 @@ mod tests {
             .collect();
         let mut reference = vec![Vec3::ZERO; n];
         demag.accumulate(&m, 0.0, &mut reference);
+        let mf = Field3::from_vec3s(&m);
         for threads in [1, 2, 4, 7] {
             let team = WorkerTeam::new(threads);
             let mut scratch = demag.make_scratch().expect("demag needs scratch");
-            let mut h = vec![Vec3::ZERO; n];
-            demag.accumulate_par(&m, 0.0, &mut h, &team, Some(scratch.as_mut()));
-            assert_eq!(h, reference, "demag field diverged at {threads} threads");
+            let mut h = Field3::zeros(n);
+            demag.accumulate_par(&mf, 0.0, &mut h, &team, Some(scratch.as_mut()));
+            assert_eq!(
+                h.to_vec(),
+                reference,
+                "demag field diverged at {threads} threads"
+            );
         }
     }
 

@@ -15,6 +15,7 @@ pub mod zeeman;
 
 use std::any::Any;
 
+use crate::field3::Field3;
 use crate::math::Vec3;
 use crate::par::WorkerTeam;
 use crate::MU0;
@@ -77,23 +78,30 @@ pub trait FieldTerm: Send + Sync {
         None
     }
 
-    /// Hot-path variant of [`FieldTerm::accumulate`]: may use the
-    /// system's worker `team` and the term's own `scratch` (as created by
-    /// [`FieldTerm::make_scratch`]).
+    /// Hot-path variant of [`FieldTerm::accumulate`]: reads the SoA
+    /// magnetization planes and adds into SoA field planes, and may use
+    /// the system's worker `team` and the term's own `scratch` (as
+    /// created by [`FieldTerm::make_scratch`]).
     ///
     /// Must produce bitwise-identical fields to `accumulate` for any
     /// team size — the per-cell arithmetic may not depend on the thread
-    /// partition. The default ignores both extras and delegates.
+    /// partition, and the SoA↔AoS layout change is a pure permutation of
+    /// `f64` values. The default round-trips through `accumulate`; terms
+    /// on the hot path (the FFT demag) override it to stream the planes
+    /// directly.
     fn accumulate_par(
         &self,
-        m: &[Vec3],
+        m: &Field3,
         t: f64,
-        h: &mut [Vec3],
+        h: &mut Field3,
         team: &WorkerTeam,
         scratch: Option<&mut (dyn Any + Send + Sync)>,
     ) {
         let _ = (team, scratch);
-        self.accumulate(m, t, h);
+        let mv = m.to_vec();
+        let mut hv = h.to_vec();
+        self.accumulate(&mv, t, &mut hv);
+        h.copy_from_vec3s(&hv);
     }
 
     /// The fused per-cell form of this term, if it has one. Terms that

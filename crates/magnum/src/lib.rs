@@ -40,6 +40,7 @@ pub mod error;
 pub mod excitation;
 pub mod fft;
 pub mod field;
+pub mod field3;
 pub mod geometry;
 pub mod llg;
 pub mod material;
@@ -51,6 +52,7 @@ pub mod sim;
 pub mod solver;
 
 pub use error::MagnumError;
+pub use field3::{Field3, MagRead};
 pub use material::{Material, MaterialBuilder};
 pub use math::{Complex64, Vec3};
 pub use mesh::{CellIndex, Mesh};
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::excitation::{Antenna, Drive};
     pub use crate::field::demag::DemagMethod;
     pub use crate::field::thermal::ThermalField;
+    pub use crate::field3::{Field3, MagRead};
     pub use crate::geometry::Shape;
     pub use crate::material::Material;
     pub use crate::math::{Complex64, Vec3};

@@ -14,22 +14,36 @@
 //! At construction every local term is compiled to a [`FusedTerm`] op, the
 //! magnetic cells are gathered into an index list with a precomputed
 //! 4-neighbour stencil, and antenna coverage is flattened into a CSR map.
-//! `rhs` then makes a single pass over the magnetic cells — evaluating
-//! every op, the antenna drives, the thermal field and the LLG torque per
-//! cell — split into contiguous blocks executed by the simulation's
-//! [`WorkerTeam`]. Each cell's arithmetic is independent of the block
-//! partition and each block writes a disjoint output range, so results
-//! are bitwise identical for any thread count. Non-local terms (the FFT
-//! demag) run in a pre-pass through [`FieldTerm::accumulate_par`] on the
-//! same worker team, using per-term scratch owned by the system (no
-//! locks, no per-call allocation); the reference paths (`effective_field`,
+//! [`LlgSystem::rhs_stage`] then makes a single pass over the magnetic
+//! cells — evaluating every op, the antenna drives, the thermal field,
+//! the LLG torque *and* the caller's fused stage update per cell — split
+//! into contiguous blocks executed by the simulation's [`WorkerTeam`].
+//! Each cell's arithmetic is independent of the block partition and each
+//! block writes a disjoint output range, so results are bitwise identical
+//! for any thread count. Non-local terms (the FFT demag) run in a
+//! pre-pass through [`FieldTerm::accumulate_par`] on the same worker
+//! team, using per-term scratch owned by the system (no locks, no
+//! per-call allocation); the reference paths (`effective_field`,
 //! `max_torque`, energy accounting) use the terms' thread-safe
 //! `accumulate` fallback, which is bitwise identical by contract.
+//!
+//! ## Single-sweep stage fusion
+//!
+//! The state and torque buffers are SoA [`Field3`] planes. Integrators
+//! pass a `fuse` closure to [`LlgSystem::rhs_stage`]; it is invoked with
+//! `(i, k_i)` right after the torque for cell `i` is computed, while the
+//! cell is still hot in cache, and typically writes the next stage input
+//! (`m + dt·b·k` style combinations) through disjoint-range raw plane
+//! pointers. Vacuum cells get `fuse(i, Vec3::ZERO)` so the stage
+//! arithmetic covers exactly the same cells the old full-mesh axpy passes
+//! did. Every cell is visited once per stage instead of once for the
+//! field, once for the torque and once per stage combination.
 
 use crate::excitation::Antenna;
 use crate::field::{FieldTerm, FusedTerm};
+use crate::field3::{Field3, Field3Ptr};
 use crate::math::Vec3;
-use crate::par::{chunk_bounds, SendPtr, WorkerTeam};
+use crate::par::{chunk_bounds, WorkerTeam};
 use crate::MU0;
 
 /// Sentinel for "no neighbour" (mesh edge or vacuum) in the stencil.
@@ -42,6 +56,71 @@ struct Block {
     flat: (usize, usize),
     /// Range into the magnetic-cell list — the actual compute work.
     list: (usize, usize),
+    /// Range into [`FusedKernel::segs`] covering `list`.
+    segs: (usize, usize),
+    /// Whether `flat` contains any vacuum cells (skips the zeroing scan
+    /// on full films).
+    has_vacuum: bool,
+}
+
+/// A contiguous piece of a block's magnetic-cell list: either an interior
+/// run — consecutive flat indices whose four neighbours all exist, so the
+/// branchless unchecked sweep applies — or a scalar stretch handled by
+/// the general (boundary/vacuum-adjacent) path. Splitting the list this
+/// way changes nothing about per-cell arithmetic, only which loop body
+/// executes it.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    /// Start index into the magnetic-cell list.
+    ci0: u32,
+    /// One past the end.
+    ci1: u32,
+    /// True for interior runs.
+    interior: bool,
+}
+
+/// Interior runs shorter than this stay in the scalar stretch — the
+/// branchless loop only pays off once it amortizes its setup.
+const MIN_RUN: usize = 8;
+
+/// The builder's canonical term sequence — optional exchange, uniaxial
+/// anisotropy, thin-film demag, uniform Zeeman, in exactly that order —
+/// unpacked into loop-invariant scalars so the interior sweep compiles to
+/// straight-line code. `None` when the op sequence deviates from the
+/// canonical order (hand-assembled systems); the generic ops loop then
+/// runs instead. Evaluation order matches the ops loop exactly, so both
+/// paths are bitwise identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct StdOps {
+    ex: Option<(f64, f64)>,
+    uni: Option<(f64, Vec3)>,
+    film: Option<f64>,
+    zee: Option<Vec3>,
+}
+
+/// Matches `ops` against the canonical order (each slot at most once).
+fn std_ops(ops: &[FusedTerm]) -> Option<StdOps> {
+    let mut std = StdOps::default();
+    let mut rank = 0;
+    for op in ops {
+        let r = match *op {
+            FusedTerm::Exchange { .. } => 1,
+            FusedTerm::Uniaxial { .. } => 2,
+            FusedTerm::ThinFilm { .. } => 3,
+            FusedTerm::Uniform(_) => 4,
+        };
+        if r <= rank {
+            return None;
+        }
+        rank = r;
+        match *op {
+            FusedTerm::Exchange { coeff_x, coeff_y } => std.ex = Some((coeff_x, coeff_y)),
+            FusedTerm::Uniaxial { coeff, axis } => std.uni = Some((coeff, axis)),
+            FusedTerm::ThinFilm { ms } => std.film = Some(ms),
+            FusedTerm::Uniform(f) => std.zee = Some(f),
+        }
+    }
+    Some(std)
 }
 
 /// The precompiled single-pass kernel (see module docs).
@@ -62,6 +141,15 @@ struct FusedKernel {
     /// Antenna indices covering each magnetic cell.
     ant_ids: Vec<u32>,
     blocks: Vec<Block>,
+    /// Interior-run/scalar partition of every block's list range.
+    segs: Vec<Segment>,
+    /// The canonical op sequence, when the terms match it.
+    std_ops: Option<StdOps>,
+    /// Mesh row length — interior neighbours are `i±1` and `i±nx`.
+    nx: usize,
+    /// No vacuum anywhere: every block's list range equals its flat
+    /// range, so stage fusion can run inside the sweep pass.
+    full_film: bool,
 }
 
 /// Everything needed to assemble an [`LlgSystem`].
@@ -144,13 +232,60 @@ impl SystemSpec {
             .collect();
 
         let threads = threads.clamp(1, n);
-        let blocks = (0..threads)
-            .map(|b| Block {
-                flat: chunk_bounds(n, threads, b),
-                list: chunk_bounds(cells.len(), threads, b),
-            })
-            .collect();
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut blocks: Vec<Block> = Vec::with_capacity(threads);
+        for b in 0..threads {
+            let flat = chunk_bounds(n, threads, b);
+            let list = chunk_bounds(cells.len(), threads, b);
+            let seg0 = segs.len();
+            let mut scalar_start = list.0;
+            let mut ci = list.0;
+            while ci < list.1 {
+                // Grow a maximal interior run: every cell has all four
+                // neighbours and the flat indices are consecutive.
+                let run_start = ci;
+                while ci < list.1
+                    && nbrs[ci].iter().all(|&x| x != NO_NEIGHBOUR)
+                    && (ci == run_start || cells[ci] == cells[ci - 1] + 1)
+                {
+                    ci += 1;
+                }
+                if ci - run_start >= MIN_RUN {
+                    if run_start > scalar_start {
+                        segs.push(Segment {
+                            ci0: scalar_start as u32,
+                            ci1: run_start as u32,
+                            interior: false,
+                        });
+                    }
+                    segs.push(Segment {
+                        ci0: run_start as u32,
+                        ci1: ci as u32,
+                        interior: true,
+                    });
+                    scalar_start = ci;
+                } else if ci == run_start {
+                    // Not interior: absorb into the current scalar stretch.
+                    ci += 1;
+                }
+                // Short runs simply stay inside the scalar stretch.
+            }
+            if list.1 > scalar_start {
+                segs.push(Segment {
+                    ci0: scalar_start as u32,
+                    ci1: list.1 as u32,
+                    interior: false,
+                });
+            }
+            blocks.push(Block {
+                flat,
+                list,
+                segs: (seg0, segs.len()),
+                has_vacuum: (flat.0..flat.1).any(|i| !mask[i]),
+            });
+        }
 
+        let full_film = mask.iter().all(|&m| m);
         let term_scratch = terms.iter().map(|t| t.make_scratch()).collect();
         let mut system = LlgSystem {
             terms,
@@ -158,9 +293,11 @@ impl SystemSpec {
             antennas,
             thermal,
             alpha,
+            prefactor: Vec::new(),
             gamma,
             mask,
             kernel: FusedKernel {
+                std_ops: std_ops(&ops),
                 cells,
                 nbrs,
                 ops,
@@ -168,9 +305,13 @@ impl SystemSpec {
                 ant_off: Vec::new(),
                 ant_ids: Vec::new(),
                 blocks,
+                segs,
+                nx,
+                full_film,
             },
             team: WorkerTeam::new(threads),
         };
+        system.refresh_prefactors();
         system.rebuild_antenna_map();
         system
     }
@@ -191,6 +332,12 @@ pub struct LlgSystem {
     pub(crate) thermal: Vec<Vec3>,
     /// Per-cell Gilbert damping.
     pub(crate) alpha: Vec<f64>,
+    /// Per-cell `−γμ₀/(1+α²)`, derived from `alpha` — precomputing it
+    /// removes a division from every cell of every stage sweep. Kept in
+    /// sync by [`LlgSystem::refresh_prefactors`]; the stored value is the
+    /// exact same expression the torque used to evaluate inline, so the
+    /// result is bitwise unchanged.
+    prefactor: Vec<f64>,
     /// |γ| in rad/(s·T).
     pub(crate) gamma: f64,
     pub(crate) mask: Vec<bool>,
@@ -213,6 +360,31 @@ impl LlgSystem {
     /// The worker team shared by every parallel region of this system.
     pub(crate) fn par(&self) -> &WorkerTeam {
         &self.team
+    }
+
+    /// True when the mask has no vacuum cells (see
+    /// [`renormalize_and_check`][crate::solver] for why integrators care).
+    pub(crate) fn full_film(&self) -> bool {
+        self.kernel.full_film
+    }
+
+    /// Rebuilds the per-cell torque prefactor table from `alpha`.
+    fn refresh_prefactors(&mut self) {
+        self.prefactor.clear();
+        self.prefactor.extend(
+            self.alpha
+                .iter()
+                .map(|&a| -self.gamma * MU0 / (1.0 + a * a)),
+        );
+    }
+
+    /// Swaps the damping map wholesale (used by `relax` to install and
+    /// restore its high-damping map without allocating) and refreshes the
+    /// derived prefactor table.
+    pub(crate) fn swap_alpha(&mut self, other: &mut Vec<f64>) {
+        assert_eq!(other.len(), self.alpha.len(), "damping map length mismatch");
+        std::mem::swap(&mut self.alpha, other);
+        self.refresh_prefactors();
     }
 
     /// Registers an antenna and recompiles the per-cell antenna map.
@@ -269,36 +441,43 @@ impl LlgSystem {
     /// Effective field at one magnetic cell, assembled from the serial
     /// pre-pass (`base`), the fused ops, the antenna drives and the
     /// thermal buffer — in exactly the order the term-by-term path uses.
-    #[inline]
+    ///
+    /// `mx`/`my`/`mz` are the component planes of the stage input; the
+    /// exchange stencil gathers neighbours from them directly.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
     fn fused_field(
         &self,
         ci: usize,
         i: usize,
         mi: Vec3,
-        m: &[Vec3],
-        base: Option<&[Vec3]>,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&Field3>,
         ant_fields: &[Vec3],
     ) -> Vec3 {
         let mut h = match base {
-            Some(b) => b[i],
+            Some(b) => b.get(i),
             None => Vec3::ZERO,
         };
         for op in &self.kernel.ops {
             match *op {
                 FusedTerm::Exchange { coeff_x, coeff_y } => {
                     let nb = self.kernel.nbrs[ci];
+                    let at = |j: usize| Vec3::new(mx[j], my[j], mz[j]);
                     let mut acc = Vec3::ZERO;
                     if nb[0] != NO_NEIGHBOUR {
-                        acc += (m[nb[0] as usize] - mi) * coeff_x;
+                        acc += (at(nb[0] as usize) - mi) * coeff_x;
                     }
                     if nb[1] != NO_NEIGHBOUR {
-                        acc += (m[nb[1] as usize] - mi) * coeff_x;
+                        acc += (at(nb[1] as usize) - mi) * coeff_x;
                     }
                     if nb[2] != NO_NEIGHBOUR {
-                        acc += (m[nb[2] as usize] - mi) * coeff_y;
+                        acc += (at(nb[2] as usize) - mi) * coeff_y;
                     }
                     if nb[3] != NO_NEIGHBOUR {
-                        acc += (m[nb[3] as usize] - mi) * coeff_y;
+                        acc += (at(nb[3] as usize) - mi) * coeff_y;
                     }
                     h += acc;
                 }
@@ -330,33 +509,21 @@ impl LlgSystem {
     }
 
     /// The LLG torque at cell `i` for field `h`.
-    #[inline]
+    #[inline(always)]
     fn torque(&self, i: usize, mi: Vec3, h: Vec3) -> Vec3 {
         let alpha = self.alpha[i];
-        let prefactor = -self.gamma * MU0 / (1.0 + alpha * alpha);
+        let prefactor = self.prefactor[i];
         let mxh = mi.cross(h);
         let mxmxh = mi.cross(mxh);
         (mxh + mxmxh * alpha) * prefactor
     }
 
-    /// Runs the non-fusable terms into `h` (zeroing it first) via the
-    /// thread-safe reference path. Returns whether anything was written.
-    fn unfused_prepass(&self, m: &[Vec3], t: f64, h: &mut [Vec3]) -> bool {
-        if self.kernel.unfused.is_empty() {
-            return false;
-        }
-        h.fill(Vec3::ZERO);
-        for &ti in &self.kernel.unfused {
-            self.terms[ti].accumulate(m, t, h);
-        }
-        true
-    }
-
-    /// Hot-path variant of [`LlgSystem::unfused_prepass`]: runs each
-    /// non-fusable term through `accumulate_par` with the worker team and
-    /// the term's own scratch — lock-free and allocation-free, bitwise
-    /// identical to the reference pre-pass for any team size.
-    fn unfused_prepass_par(&mut self, m: &[Vec3], t: f64, h: &mut [Vec3]) -> bool {
+    /// Hot-path pre-pass: runs each non-fusable term through
+    /// `accumulate_par` with the worker team and the term's own scratch —
+    /// lock-free and allocation-free, bitwise identical to the reference
+    /// `accumulate` path for any team size. Returns whether anything was
+    /// written into `h`.
+    fn unfused_prepass_par(&mut self, m: &Field3, t: f64, h: &mut Field3) -> bool {
         if self.kernel.unfused.is_empty() {
             return false;
         }
@@ -400,68 +567,291 @@ impl LlgSystem {
     /// Evaluates `dm/dt` into `dmdt`, using `h_scratch` for the field.
     ///
     /// Vacuum cells get zero torque.
+    pub fn rhs(&mut self, m: &Field3, t: f64, dmdt: &mut Field3, h_scratch: &mut Field3) {
+        self.rhs_stage(m, t, dmdt, h_scratch, |_, _, _| {});
+    }
+
+    /// The fused stage kernel: evaluates `dm/dt` of the stage input `y`
+    /// into `k_out`, then invokes `fuse(i0, i1, k)` once per worker block
+    /// with the block's flat cell range and a raw view of `k_out`, while
+    /// the block's data is still cache-resident. Integrators use `fuse`
+    /// to apply the axpy-style stage combinations (`m + dt·b·k`, the
+    /// final RK update, …) that used to be separate full-mesh passes.
+    ///
+    /// `fuse` gets a whole contiguous range rather than one cell at a
+    /// time so its loop stays a plain streaming axpy the compiler can
+    /// vectorize on its own — a per-cell callback inside the field sweep
+    /// defeats the sweep's vectorization through opaque raw-pointer
+    /// aliasing.
+    ///
+    /// Vacuum cells have `k = 0` written before `fuse` runs, so the fused
+    /// arithmetic covers exactly the index set the old full-mesh stage
+    /// passes did.
+    ///
+    /// `fuse` runs on worker threads; each block invokes it for a
+    /// disjoint cell range, so writing through raw plane pointers inside
+    /// `i0..i1` is sound. It must not read any cell another block may
+    /// write concurrently.
     ///
     /// # Panics
     ///
     /// Panics (debug assertions) if buffer lengths mismatch.
-    pub fn rhs(&mut self, m: &[Vec3], t: f64, dmdt: &mut [Vec3], h_scratch: &mut [Vec3]) {
-        debug_assert_eq!(m.len(), self.len());
-        debug_assert_eq!(dmdt.len(), self.len());
+    pub(crate) fn rhs_stage<F>(
+        &mut self,
+        y: &Field3,
+        t: f64,
+        k_out: &mut Field3,
+        h_scratch: &mut Field3,
+        fuse: F,
+    ) where
+        F: Fn(usize, usize, Field3Ptr) + Sync,
+    {
+        debug_assert_eq!(y.len(), self.len());
+        debug_assert_eq!(k_out.len(), self.len());
         debug_assert_eq!(h_scratch.len(), self.len());
-        let wrote_base = self.unfused_prepass_par(m, t, h_scratch);
+        let wrote_base = self.unfused_prepass_par(y, t, h_scratch);
+        let out = k_out.ptrs();
         // The mutable phase (per-term scratch) is over; the fused region
         // only reads the system.
         let this: &LlgSystem = &*self;
         let base = if wrote_base { Some(&*h_scratch) } else { None };
         let ant_fields = this.antenna_fields(t);
-        let out = SendPtr::new(dmdt.as_mut_ptr());
+        let (mx, my, mz) = (y.xs(), y.ys(), y.zs());
         this.team.run(&|b| {
             let block = this.kernel.blocks[b];
             // Vacuum cells in this block's flat range get zero torque;
-            // magnetic cells are written by the list loop below. The two
-            // partitions are disjoint per cell, so every `dmdt` element is
-            // written exactly once across all blocks.
-            for i in block.flat.0..block.flat.1 {
-                if !this.mask[i] {
-                    // Safety: flat ranges are disjoint across blocks and
-                    // only vacuum cells are touched here.
-                    unsafe { *out.add(i) = Vec3::ZERO };
+            // magnetic cells are written by the segment loops below. The
+            // two partitions are disjoint per cell, so every `k_out`
+            // element is written exactly once across all blocks.
+            if block.has_vacuum {
+                for i in block.flat.0..block.flat.1 {
+                    if !this.mask[i] {
+                        // Safety: flat ranges are disjoint across blocks
+                        // and only vacuum cells are touched here.
+                        unsafe { out.write(i, Vec3::ZERO) };
+                    }
                 }
             }
-            for ci in block.list.0..block.list.1 {
-                let i = this.kernel.cells[ci] as usize;
-                let mi = m[i];
-                let h = this.fused_field(ci, i, mi, m, base, &ant_fields);
-                // Safety: list ranges are disjoint across blocks and only
-                // magnetic cells are touched here.
-                unsafe { *out.add(i) = this.torque(i, mi, h) };
+            match this.kernel.std_ops {
+                Some(std) => {
+                    for seg in &this.kernel.segs[block.segs.0..block.segs.1] {
+                        if seg.interior {
+                            this.sweep_interior(*seg, std, mx, my, mz, base, &ant_fields, out);
+                        } else {
+                            this.sweep_scalar(
+                                seg.ci0 as usize,
+                                seg.ci1 as usize,
+                                mx,
+                                my,
+                                mz,
+                                base,
+                                &ant_fields,
+                                out,
+                            );
+                        }
+                    }
+                }
+                None => this.sweep_scalar(
+                    block.list.0,
+                    block.list.1,
+                    mx,
+                    my,
+                    mz,
+                    base,
+                    &ant_fields,
+                    out,
+                ),
+            }
+            // On a full film every block's list range is its flat range,
+            // so the block fuses exactly the cells it just wrote — no
+            // cross-block ordering is needed and the data is still
+            // cache-resident.
+            if this.kernel.full_film {
+                fuse(block.flat.0, block.flat.1, out);
             }
         });
+        if !this.kernel.full_film {
+            // With vacuum the flat and list chunkings own different cell
+            // sets, so a block may fuse a cell another block wrote. The
+            // `team.run` barrier above orders every `k_out` write before
+            // the fuse reads.
+            this.team.run(&|b| {
+                let block = this.kernel.blocks[b];
+                fuse(block.flat.0, block.flat.1, out);
+            });
+        }
+    }
+
+    /// The general sweep body: handles boundary and vacuum-adjacent cells
+    /// (and arbitrary op sequences) via the stencil table and the ops
+    /// loop.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_scalar(
+        &self,
+        ci0: usize,
+        ci1: usize,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&Field3>,
+        ant_fields: &[Vec3],
+        out: Field3Ptr,
+    ) {
+        for ci in ci0..ci1 {
+            let i = self.kernel.cells[ci] as usize;
+            let mi = Vec3::new(mx[i], my[i], mz[i]);
+            let h = self.fused_field(ci, i, mi, mx, my, mz, base, ant_fields);
+            let k = self.torque(i, mi, h);
+            // Safety: list ranges are disjoint across blocks and only
+            // magnetic cells are touched here.
+            unsafe { out.write(i, k) };
+        }
+    }
+
+    /// The branchless interior sweep: every cell of the run has all four
+    /// neighbours at `i±1`/`i±nx` and consecutive flat indices, so the
+    /// stencil needs no table, no presence checks and no bounds checks —
+    /// the loop body is straight-line code over the component planes,
+    /// which is what lets LLVM vectorize it. Each cell evaluates the
+    /// exact same expression tree as [`LlgSystem::fused_field`] +
+    /// [`LlgSystem::torque`] (same terms, same order), so the result is
+    /// bitwise identical to the scalar path.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn sweep_interior(
+        &self,
+        seg: Segment,
+        std: StdOps,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&Field3>,
+        ant_fields: &[Vec3],
+        out: Field3Ptr,
+    ) {
+        let i0 = self.kernel.cells[seg.ci0 as usize] as usize;
+        let len = (seg.ci1 - seg.ci0) as usize;
+        let nx = self.kernel.nx;
+        let (mxp, myp, mzp) = (mx.as_ptr(), my.as_ptr(), mz.as_ptr());
+        let ap = self.alpha.as_ptr();
+        let pp = self.prefactor.as_ptr();
+        // The branch-free arm: every standard term present and no
+        // per-cell extras. Pulling the term parameters out of their
+        // `Option`s ahead of the loop leaves a straight-line body that
+        // LLVM can unswitch and vectorize; the generic arm below keeps
+        // loop-invariant conditionals per cell, which blocks that.
+        if ant_fields.is_empty() && self.thermal.is_empty() && base.is_none() {
+            if let (Some((coeff_x, coeff_y)), Some((ku, axis)), Some(ms), Some(zee)) =
+                (std.ex, std.uni, std.film, std.zee)
+            {
+                for off in 0..len {
+                    let i = i0 + off;
+                    // Safety: as below — interior-run indices are
+                    // validated at build time.
+                    let at = |j: usize| unsafe { Vec3::new(*mxp.add(j), *myp.add(j), *mzp.add(j)) };
+                    let mi = at(i);
+                    let mut h = Vec3::ZERO;
+                    let mut acc = Vec3::ZERO;
+                    acc += (at(i - 1) - mi) * coeff_x;
+                    acc += (at(i + 1) - mi) * coeff_x;
+                    acc += (at(i - nx) - mi) * coeff_y;
+                    acc += (at(i + nx) - mi) * coeff_y;
+                    h += acc;
+                    h += axis * (ku * mi.dot(axis));
+                    h.z -= ms * mi.z;
+                    h += zee;
+                    let (alpha, prefactor) = unsafe { (*ap.add(i), *pp.add(i)) };
+                    let mxh = mi.cross(h);
+                    let mxmxh = mi.cross(mxh);
+                    let k = (mxh + mxmxh * alpha) * prefactor;
+                    // Safety: disjoint index ownership as in the scalar
+                    // sweep.
+                    unsafe { out.write(i, k) };
+                }
+                return;
+            }
+        }
+        for off in 0..len {
+            let i = i0 + off;
+            // Safety: interior runs are validated at build time — `i` and
+            // all four neighbour indices are in bounds for every plane,
+            // and `alpha`/`prefactor` have one entry per cell.
+            let at = |j: usize| unsafe { Vec3::new(*mxp.add(j), *myp.add(j), *mzp.add(j)) };
+            let mi = at(i);
+            let mut h = match base {
+                Some(b) => b.get(i),
+                None => Vec3::ZERO,
+            };
+            if let Some((coeff_x, coeff_y)) = std.ex {
+                let mut acc = Vec3::ZERO;
+                acc += (at(i - 1) - mi) * coeff_x;
+                acc += (at(i + 1) - mi) * coeff_x;
+                acc += (at(i - nx) - mi) * coeff_y;
+                acc += (at(i + nx) - mi) * coeff_y;
+                h += acc;
+            }
+            if let Some((coeff, axis)) = std.uni {
+                h += axis * (coeff * mi.dot(axis));
+            }
+            if let Some(ms) = std.film {
+                h.z -= ms * mi.z;
+            }
+            if let Some(f) = std.zee {
+                h += f;
+            }
+            if !ant_fields.is_empty() {
+                let ci = seg.ci0 as usize + off;
+                let a0 = self.kernel.ant_off[ci] as usize;
+                let a1 = self.kernel.ant_off[ci + 1] as usize;
+                for &ai in &self.kernel.ant_ids[a0..a1] {
+                    let f = ant_fields[ai as usize];
+                    if f != Vec3::ZERO {
+                        h += f;
+                    }
+                }
+            }
+            if !self.thermal.is_empty() {
+                h += self.thermal[i];
+            }
+            let (alpha, prefactor) = unsafe { (*ap.add(i), *pp.add(i)) };
+            let mxh = mi.cross(h);
+            let mxmxh = mi.cross(mxh);
+            let k = (mxh + mxmxh * alpha) * prefactor;
+            // Safety: disjoint index ownership as in the scalar sweep.
+            unsafe { out.write(i, k) };
+        }
     }
 
     /// Maximum torque |dm/dt| over all cells, in 1/s — used as a
     /// convergence criterion by [`crate::sim::Simulation::relax`].
     ///
     /// Evaluated block-parallel with a per-block running maximum, so no
-    /// full-mesh buffers are allocated (the old implementation allocated
-    /// two per call); only a non-fusable term forces one field buffer.
-    pub fn max_torque(&self, m: &[Vec3], t: f64) -> f64 {
-        let mut pre: Vec<Vec3> = Vec::new();
-        let base = if self.kernel.unfused.is_empty() {
+    /// full-mesh buffers are allocated; only a non-fusable term forces
+    /// field buffers (it runs through the AoS reference path).
+    pub fn max_torque(&self, m: &Field3, t: f64) -> f64 {
+        let pre: Option<Field3> = if self.kernel.unfused.is_empty() {
             None
         } else {
-            pre.resize(self.len(), Vec3::ZERO);
-            self.unfused_prepass(m, t, &mut pre);
-            Some(&pre[..])
+            // Non-fusable terms use the thread-safe AoS reference path;
+            // the layout round-trip is a pure permutation (bitwise
+            // lossless).
+            let mv = m.to_vec();
+            let mut hv = vec![Vec3::ZERO; self.len()];
+            for &ti in &self.kernel.unfused {
+                self.terms[ti].accumulate(&mv, t, &mut hv);
+            }
+            Some(Field3::from_vec3s(&hv))
         };
+        let base = pre.as_ref();
         let ant_fields = self.antenna_fields(t);
+        let (mx, my, mz) = (m.xs(), m.ys(), m.zs());
         let partials = self.team.map_blocks(|b| {
             let block = self.kernel.blocks[b];
             let mut local: f64 = 0.0;
             for ci in block.list.0..block.list.1 {
                 let i = self.kernel.cells[ci] as usize;
-                let mi = m[i];
-                let h = self.fused_field(ci, i, mi, m, base, &ant_fields);
+                let mi = Vec3::new(mx[i], my[i], mz[i]);
+                let h = self.fused_field(ci, i, mi, mx, my, mz, base, &ant_fields);
                 local = local.max(self.torque(i, mi, h).norm());
             }
             local
@@ -522,7 +912,7 @@ mod tests {
     #[test]
     fn torque_is_zero_at_equilibrium() {
         let sys = single_cell_system(0.01, Vec3::Z * 1e5);
-        let m = vec![Vec3::Z];
+        let m = Field3::from_vec3s(&[Vec3::Z]);
         assert!(sys.max_torque(&m, 0.0) < 1e-6);
     }
 
@@ -531,27 +921,27 @@ mod tests {
         // α = 0: dm/dt ⊥ m and ⊥ H; |dm/dt| = γμ₀|H| sinθ.
         let h0 = 1e5;
         let mut sys = single_cell_system(0.0, Vec3::Z * h0);
-        let m = vec![Vec3::X];
-        let mut dmdt = vec![Vec3::ZERO];
-        let mut h = vec![Vec3::ZERO];
+        let m = Field3::from_vec3s(&[Vec3::X]);
+        let mut dmdt = Field3::zeros(1);
+        let mut h = Field3::zeros(1);
         sys.rhs(&m, 0.0, &mut dmdt, &mut h);
         // m×H = X×Z·h0 = -Y·h0; prefactor −γμ₀ ⇒ dm/dt = +γμ₀h0·Y
         let expected = GAMMA * MU0 * h0;
-        assert!((dmdt[0].y - expected).abs() / expected < 1e-12);
-        assert!(dmdt[0].x.abs() < 1e-3);
-        assert!(dmdt[0].z.abs() < 1e-3);
+        assert!((dmdt.get(0).y - expected).abs() / expected < 1e-12);
+        assert!(dmdt.get(0).x.abs() < 1e-3);
+        assert!(dmdt.get(0).z.abs() < 1e-3);
     }
 
     #[test]
     fn damping_pulls_towards_field() {
         let mut sys = single_cell_system(0.1, Vec3::Z * 1e5);
-        let m = vec![Vec3::X];
-        let mut dmdt = vec![Vec3::ZERO];
-        let mut h = vec![Vec3::ZERO];
+        let m = Field3::from_vec3s(&[Vec3::X]);
+        let mut dmdt = Field3::zeros(1);
+        let mut h = Field3::zeros(1);
         sys.rhs(&m, 0.0, &mut dmdt, &mut h);
         // The damping term rotates m towards +z.
         assert!(
-            dmdt[0].z > 0.0,
+            dmdt.get(0).z > 0.0,
             "damped motion must approach the field axis"
         );
     }
@@ -560,11 +950,11 @@ mod tests {
     fn torque_preserves_magnitude() {
         // dm/dt ⊥ m always, so d|m|²/dt = 2 m·dm/dt = 0.
         let mut sys = single_cell_system(0.25, Vec3::new(3e4, -2e4, 5e4));
-        let m = vec![Vec3::new(0.6, 0.64, 0.48).normalized()];
-        let mut dmdt = vec![Vec3::ZERO];
-        let mut h = vec![Vec3::ZERO];
+        let m = Field3::from_vec3s(&[Vec3::new(0.6, 0.64, 0.48).normalized()]);
+        let mut dmdt = Field3::zeros(1);
+        let mut h = Field3::zeros(1);
         sys.rhs(&m, 0.0, &mut dmdt, &mut h);
-        assert!(m[0].dot(dmdt[0]).abs() < 1e-3);
+        assert!(m.get(0).dot(dmdt.get(0)).abs() < 1e-3);
     }
 
     #[test]
@@ -580,12 +970,12 @@ mod tests {
             threads: 1,
         }
         .build();
-        let m = vec![Vec3::X];
+        let m = Field3::from_vec3s(&[Vec3::X]);
         assert_eq!(sys.max_torque(&m, 0.0), 0.0);
-        let mut dmdt = vec![Vec3::X];
-        let mut h = vec![Vec3::ZERO];
+        let mut dmdt = Field3::from_vec3s(&[Vec3::X]);
+        let mut h = Field3::zeros(1);
         sys.rhs(&m, 0.0, &mut dmdt, &mut h);
-        assert_eq!(dmdt[0], Vec3::ZERO, "rhs must overwrite vacuum torque");
+        assert_eq!(dmdt.get(0), Vec3::ZERO, "rhs must overwrite vacuum torque");
     }
 
     #[test]
@@ -597,19 +987,19 @@ mod tests {
         sys.effective_field(&m, 0.0, &mut h);
         assert!((h[0].x - 123.0).abs() < 1e-12);
         // And the fused path sees it too: torque on m ∥ ẑ under H ∥ x̂.
-        assert!(sys.max_torque(&m, 0.0) > 0.0);
+        assert!(sys.max_torque(&Field3::from_vec3s(&m), 0.0) > 0.0);
     }
 
     #[test]
     fn higher_damping_slows_precession_rate() {
         // The 1/(1+α²) prefactor reduces the precession component.
-        let m = vec![Vec3::X];
-        let mut dmdt_lo = vec![Vec3::ZERO];
-        let mut dmdt_hi = vec![Vec3::ZERO];
-        let mut h = vec![Vec3::ZERO];
+        let m = Field3::from_vec3s(&[Vec3::X]);
+        let mut dmdt_lo = Field3::zeros(1);
+        let mut dmdt_hi = Field3::zeros(1);
+        let mut h = Field3::zeros(1);
         single_cell_system(0.0, Vec3::Z * 1e5).rhs(&m, 0.0, &mut dmdt_lo, &mut h);
         single_cell_system(1.0, Vec3::Z * 1e5).rhs(&m, 0.0, &mut dmdt_hi, &mut h);
-        assert!((dmdt_hi[0].y.abs() - dmdt_lo[0].y.abs() / 2.0).abs() < 1.0);
+        assert!((dmdt_hi.get(0).y.abs() - dmdt_lo.get(0).y.abs() / 2.0).abs() < 1.0);
     }
 
     /// Builds a full multi-term system on a masked mesh with an antenna,
@@ -664,22 +1054,89 @@ mod tests {
         let (mut sys, m) = masked_multiterm_system(1);
         let t = 13e-12;
         let n = m.len();
-        let mut dmdt = vec![Vec3::ZERO; n];
-        let mut scratch = vec![Vec3::ZERO; n];
-        sys.rhs(&m, t, &mut dmdt, &mut scratch);
+        let ms = Field3::from_vec3s(&m);
+        let mut dmdt = Field3::zeros(n);
+        let mut scratch = Field3::zeros(n);
+        sys.rhs(&ms, t, &mut dmdt, &mut scratch);
         // Reference: term-by-term field, then the LLG formula.
         let mut h = vec![Vec3::ZERO; n];
         sys.effective_field(&m, t, &mut h);
         for i in 0..n {
             if !sys.mask[i] {
-                assert_eq!(dmdt[i], Vec3::ZERO);
+                assert_eq!(dmdt.get(i), Vec3::ZERO);
                 continue;
             }
             let alpha = sys.alpha[i];
             let prefactor = -sys.gamma * MU0 / (1.0 + alpha * alpha);
             let mxh = m[i].cross(h[i]);
             let expected = (mxh + m[i].cross(mxh) * alpha) * prefactor;
-            assert_eq!(dmdt[i], expected, "cell {i} diverges from reference");
+            assert_eq!(dmdt.get(i), expected, "cell {i} diverges from reference");
+        }
+    }
+
+    /// A full film with exactly the canonical term set and no antennas —
+    /// the configuration the branch-free interior sweep specializes on.
+    fn full_film_std_system(threads: usize) -> (LlgSystem, Vec<Vec3>) {
+        let mesh = Mesh::new(32, 16, [5e-9, 5e-9, 1e-9]).unwrap();
+        let material = Material::fecob();
+        let n = mesh.cell_count();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| {
+                Vec3::new(
+                    0.3 * (0.7 * i as f64).sin(),
+                    0.2 * (0.4 * i as f64).cos(),
+                    1.0,
+                )
+                .normalized()
+            })
+            .collect();
+        let sys = SystemSpec {
+            terms: vec![
+                Box::new(Exchange::new(&mesh, &material)),
+                Box::new(UniaxialAnisotropy::new(&mesh, &material)),
+                Box::new(ThinFilmDemag::new(&mesh, &material)),
+                Box::new(Zeeman::uniform(Vec3::new(0.0, 0.0, 5e4))),
+            ],
+            antennas: Vec::new(),
+            thermal: Vec::new(),
+            alpha: vec![material.gilbert_damping(); n],
+            gamma: material.gamma(),
+            mask: vec![true; n],
+            nx: mesh.nx(),
+            threads,
+        }
+        .build();
+        (sys, m)
+    }
+
+    #[test]
+    fn branch_free_interior_sweep_matches_reference() {
+        // The full-film std-term fast arm must agree bitwise with the
+        // term-by-term reference (which exercises none of the interior
+        // specializations), for serial and threaded partitions alike.
+        let t = 0.0;
+        let (reference_sys, m) = full_film_std_system(1);
+        let n = m.len();
+        let mut h = vec![Vec3::ZERO; n];
+        reference_sys.effective_field(&m, t, &mut h);
+        for threads in [1, 3, 4] {
+            let (mut sys, m2) = full_film_std_system(threads);
+            assert_eq!(m, m2);
+            let ms = Field3::from_vec3s(&m2);
+            let mut dmdt = Field3::zeros(n);
+            let mut scratch = Field3::zeros(n);
+            sys.rhs(&ms, t, &mut dmdt, &mut scratch);
+            for i in 0..n {
+                let alpha = sys.alpha[i];
+                let prefactor = -sys.gamma * MU0 / (1.0 + alpha * alpha);
+                let mxh = m[i].cross(h[i]);
+                let expected = (mxh + m[i].cross(mxh) * alpha) * prefactor;
+                assert_eq!(
+                    dmdt.get(i),
+                    expected,
+                    "cell {i} diverges from reference at {threads} threads"
+                );
+            }
         }
     }
 
@@ -688,23 +1145,86 @@ mod tests {
         let t = 7e-12;
         let (mut serial, m) = masked_multiterm_system(1);
         let n = m.len();
-        let mut expected = vec![Vec3::ZERO; n];
-        let mut scratch = vec![Vec3::ZERO; n];
-        serial.rhs(&m, t, &mut expected, &mut scratch);
-        let torque_serial = serial.max_torque(&m, t);
+        let ms = Field3::from_vec3s(&m);
+        let mut expected = Field3::zeros(n);
+        let mut scratch = Field3::zeros(n);
+        serial.rhs(&ms, t, &mut expected, &mut scratch);
+        let torque_serial = serial.max_torque(&ms, t);
         for threads in [2, 3, 4, 7] {
             let (mut sys, m2) = masked_multiterm_system(threads);
             assert_eq!(m, m2);
-            let mut dmdt = vec![Vec3::ZERO; n];
-            sys.rhs(&m2, t, &mut dmdt, &mut scratch);
+            let ms2 = Field3::from_vec3s(&m2);
+            let mut dmdt = Field3::zeros(n);
+            sys.rhs(&ms2, t, &mut dmdt, &mut scratch);
             assert_eq!(dmdt, expected, "threads={threads} diverged");
-            assert_eq!(sys.max_torque(&m2, t), torque_serial);
+            assert_eq!(sys.max_torque(&ms2, t), torque_serial);
         }
+    }
+
+    #[test]
+    fn stage_fusion_covers_every_cell_exactly_once() {
+        // The fuse ranges must cover every cell — magnetic and vacuum
+        // alike — exactly once, with the vacuum cells reporting zero
+        // torque in `k`. That is what lets the integrators fold their
+        // old full-mesh stage passes into the fuse hook without changing
+        // which cells they touch.
+        for threads in [1, 3, 4] {
+            let (mut sys, m) = masked_multiterm_system(threads);
+            let n = m.len();
+            let ms = Field3::from_vec3s(&m);
+            let mut k = Field3::zeros(n);
+            let mut scratch = Field3::zeros(n);
+            let hits: Vec<std::sync::atomic::AtomicU32> = (0..n)
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect();
+            sys.rhs_stage(&ms, 3e-12, &mut k, &mut scratch, |i0, i1, kv| {
+                for (i, hit) in hits.iter().enumerate().take(i1).skip(i0) {
+                    hit.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let ki = unsafe { kv.read(i) };
+                    if !sys_mask_is_magnetic(&m, i) {
+                        assert_eq!(ki, Vec3::ZERO, "vacuum cell {i} got nonzero k");
+                    }
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(std::sync::atomic::Ordering::Relaxed),
+                    1,
+                    "cell {i} fused {threads} threads"
+                );
+            }
+        }
+    }
+
+    /// The multiterm fixture zeroes m on vacuum cells, so a nonzero m
+    /// marks a magnetic cell.
+    fn sys_mask_is_magnetic(m: &[Vec3], i: usize) -> bool {
+        m[i] != Vec3::ZERO
+    }
+
+    #[test]
+    fn swap_alpha_refreshes_the_prefactor_table() {
+        let (mut sys, m) = masked_multiterm_system(2);
+        let ms = Field3::from_vec3s(&m);
+        let t = 5e-12;
+        let before = sys.max_torque(&ms, t);
+        let mut relax_map = vec![0.5; sys.len()];
+        sys.swap_alpha(&mut relax_map);
+        let damped = sys.max_torque(&ms, t);
+        assert_ne!(before, damped, "new damping map must change the torque");
+        sys.swap_alpha(&mut relax_map);
+        assert_eq!(
+            sys.max_torque(&ms, t),
+            before,
+            "restoring the damping map must restore the torque bitwise"
+        );
+        assert!(relax_map.iter().all(|&a| a == 0.5));
     }
 
     #[test]
     fn antenna_map_follows_add_and_clear() {
         let (mut sys, m) = masked_multiterm_system(2);
+        let m = Field3::from_vec3s(&m);
         let t = 11e-12;
         let with_antenna = sys.max_torque(&m, t);
         let saved = std::mem::take(&mut sys.antennas);

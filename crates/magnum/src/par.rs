@@ -1,9 +1,9 @@
 //! Intra-simulation data parallelism: a persistent worker team.
 //!
 //! One simulation owns one [`WorkerTeam`]. The team holds `threads - 1`
-//! parked OS threads; every parallel region (`rhs` evaluation, integrator
-//! stage combination, renormalization, `max_torque` reduction) publishes a
-//! job, wakes the workers, runs block 0 on the calling thread and blocks
+//! parked OS threads; every parallel region (the fused RHS-plus-stage
+//! sweep, renormalization, `max_torque` reduction, FFT batches) publishes
+//! a job, wakes the workers, runs block 0 on the calling thread and blocks
 //! until every worker has finished its block. With `threads == 1` no
 //! threads are spawned and jobs run inline on the caller, so the serial
 //! path has zero synchronization overhead.
@@ -12,6 +12,10 @@
 //! every per-cell computation depends only on the cell (never on the block
 //! partition), so results are bitwise identical for any thread count.
 //! Reductions return one partial per block, combined in block order.
+//! Since the SoA refactor, block jobs read and write the state through
+//! per-component plane slices ([`crate::Field3`]); the layout is a pure
+//! permutation of the same `f64` values, so the contract carries over
+//! unchanged — disjoint cell indices are disjoint in every plane.
 //!
 //! The module is `std`-only: `Mutex` + `Condvar` for the rendezvous, a
 //! lifetime-erased job pointer for the closure hand-off (the caller blocks
@@ -81,6 +85,11 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
     pub(crate) fn new(ptr: *mut T) -> Self {
         SendPtr(ptr)
+    }
+
+    /// The wrapped base pointer.
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
     }
 
     /// Pointer to element `i`.

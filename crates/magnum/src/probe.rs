@@ -9,6 +9,7 @@
 //! accumulates on the fly, without storing the whole time trace.
 
 use crate::fft::{fft_real, next_power_of_two};
+use crate::field3::MagRead;
 use crate::math::{Complex64, Vec3};
 use crate::mesh::Mesh;
 
@@ -82,9 +83,11 @@ impl RegionProbe {
         &self.cells
     }
 
-    /// Mean of the selected component over the region.
-    pub fn mean(&self, m: &[Vec3]) -> f64 {
-        let sum: f64 = self.cells.iter().map(|&c| self.component.of(m[c])).sum();
+    /// Mean of the selected component over the region. Accepts any
+    /// magnetization view — the simulation's SoA [`crate::Field3`] or a
+    /// plain `Vec3` buffer.
+    pub fn mean<M: MagRead + ?Sized>(&self, m: &M) -> f64 {
+        let sum: f64 = self.cells.iter().map(|&c| self.component.of(m.at(c))).sum();
         sum / self.cells.len() as f64
     }
 }
@@ -125,7 +128,7 @@ impl DftProbe {
     }
 
     /// Adds one sample of the magnetization state at time `t`.
-    pub fn sample(&mut self, t: f64, m: &[Vec3]) {
+    pub fn sample<M: MagRead + ?Sized>(&mut self, t: f64, m: &M) {
         let value = self.region.mean(m);
         let phase = -2.0 * std::f64::consts::PI * self.frequency * t;
         self.accumulator += Complex64::cis(phase) * value;
@@ -209,7 +212,7 @@ impl SpectrumProbe {
     /// Records one sample of the magnetization state. The caller is
     /// responsible for invoking this at the cadence given at construction
     /// (e.g. from [`crate::sim::Simulation::run_sampled`]).
-    pub fn sample(&mut self, m: &[Vec3]) {
+    pub fn sample<M: MagRead + ?Sized>(&mut self, m: &M) {
         self.trace.push(self.region.mean(m));
     }
 
@@ -284,8 +287,8 @@ pub struct Snapshot {
 impl Snapshot {
     /// Captures `component` of `m` over the whole mesh (vacuum cells are
     /// recorded as 0).
-    pub fn capture(mesh: &Mesh, m: &[Vec3], component: Component) -> Self {
-        let data = m.iter().map(|&v| component.of(v)).collect();
+    pub fn capture<M: MagRead + ?Sized>(mesh: &Mesh, m: &M, component: Component) -> Self {
+        let data = (0..m.len()).map(|i| component.of(m.at(i))).collect();
         Snapshot {
             nx: mesh.nx(),
             ny: mesh.ny(),

@@ -10,6 +10,7 @@ use crate::field::exchange::Exchange;
 use crate::field::thermal::ThermalField;
 use crate::field::zeeman::Zeeman;
 use crate::field::FieldTerm;
+use crate::field3::Field3;
 use crate::geometry::{rasterize, Shape};
 use crate::llg::{LlgSystem, SystemSpec};
 use crate::material::Material;
@@ -25,10 +26,13 @@ use crate::{GAMMA, MU0};
 pub struct Simulation {
     mesh: Mesh,
     material: Material,
-    m: Vec<Vec3>,
+    m: Field3,
     system: LlgSystem,
     integrator: Box<dyn Integrator>,
     thermal: Option<ThermalField>,
+    /// Uniform α = 0.5 map swapped into the system during [`Simulation::relax`]
+    /// (allocated on first use, reused afterwards).
+    relax_alpha: Vec<f64>,
     time: f64,
     dt: f64,
 }
@@ -75,14 +79,16 @@ impl Simulation {
     }
 
     /// Read-only view of the unit magnetization (row-major mesh order;
-    /// vacuum cells are zero).
-    pub fn magnetization(&self) -> &[Vec3] {
+    /// vacuum cells are zero), stored as SoA component planes. Use
+    /// [`Field3::get`]/[`Field3::iter`] for `Vec3`-shaped access or
+    /// [`Field3::to_vec`] for an AoS copy.
+    pub fn magnetization(&self) -> &Field3 {
         &self.m
     }
 
     /// Magnetization at cell `(ix, iy)`.
     pub fn magnetization_at(&self, ix: usize, iy: usize) -> Vec3 {
-        self.m[self.mesh.linear_index(ix, iy)]
+        self.m.get(self.mesh.linear_index(ix, iy))
     }
 
     /// Mean unit magnetization over the magnetic cells.
@@ -93,7 +99,7 @@ impl Simulation {
             .iter()
             .zip(self.mesh.mask().iter())
             .filter(|(_, &mag)| mag)
-            .map(|(v, _)| *v)
+            .map(|(v, _)| v)
             .sum();
         sum / count as f64
     }
@@ -213,12 +219,15 @@ impl Simulation {
         torque_tolerance: f64,
         max_steps: usize,
     ) -> Result<Relaxation, MagnumError> {
-        let saved_alpha = self.system.alpha.clone();
+        // Swap the relaxation damping map in instead of cloning the live
+        // one: after the first call this allocates nothing, and the swap
+        // keeps the system's precomputed torque prefactors in sync.
+        if self.relax_alpha.len() != self.m.len() {
+            self.relax_alpha = vec![0.5; self.m.len()];
+        }
+        self.system.swap_alpha(&mut self.relax_alpha);
         let saved_antennas = std::mem::take(&mut self.system.antennas);
         let saved_thermal = std::mem::take(&mut self.system.thermal);
-        for a in self.system.alpha.iter_mut() {
-            *a = 0.5;
-        }
         let mut error = None;
         let mut outcome = Relaxation {
             converged: false,
@@ -241,7 +250,9 @@ impl Simulation {
             outcome.torque = self.system.max_torque(&self.m, self.time);
             outcome.converged = outcome.torque < torque_tolerance;
         }
-        self.system.alpha = saved_alpha;
+        // Swap back: the system regains its original damping (and
+        // prefactors), `relax_alpha` is the α = 0.5 map again.
+        self.system.swap_alpha(&mut self.relax_alpha);
         self.system.antennas = saved_antennas;
         self.system.thermal = saved_thermal;
         match error {
@@ -252,8 +263,10 @@ impl Simulation {
 
     /// Total energy of the conservative field terms, in joules.
     pub fn total_energy(&self) -> f64 {
+        // Diagnostics path: the one AoS copy here keeps every term's
+        // reference `accumulate` usable for energy accounting.
         self.system.energy(
-            &self.m,
+            &self.m.to_vec(),
             self.time,
             self.material.saturation_magnetization(),
             self.mesh.cell_volume(),
@@ -504,11 +517,12 @@ impl SimulationBuilder {
                 reason: "initial magnetization direction must be non-zero".into(),
             });
         }
-        let m: Vec<Vec3> = mesh
-            .mask()
-            .iter()
-            .map(|&mag| if mag { direction } else { Vec3::ZERO })
-            .collect();
+        let mut m = Field3::zeros(n);
+        for (i, &mag) in mesh.mask().iter().enumerate() {
+            if mag {
+                m.set(i, direction);
+            }
+        }
 
         // Field terms.
         let mut terms: Vec<Box<dyn FieldTerm>> = Vec::new();
@@ -614,6 +628,8 @@ impl SimulationBuilder {
             thermal: thermal_buffer,
             alpha,
             gamma: material.gamma(),
+            // One-time setup copy: the system owns its mask so the hot
+            // path never chases a reference into the mesh.
             mask: mesh.mask().to_vec(),
             nx: mesh.nx(),
             threads,
@@ -628,6 +644,7 @@ impl SimulationBuilder {
             system,
             integrator,
             thermal,
+            relax_alpha: Vec::new(),
             time: 0.0,
             dt,
         })

@@ -2,8 +2,9 @@
 
 use super::{renormalize_and_check, Integrator};
 use crate::error::MagnumError;
+use crate::field3::Field3;
 use crate::llg::LlgSystem;
-use crate::math::Vec3;
+use crate::par::chunk_bounds;
 
 /// Adaptive 5th-order integrator with an embedded 4th-order error
 /// estimate (Cash–Karp coefficients).
@@ -12,14 +13,23 @@ use crate::math::Vec3;
 /// difference between the 5th- and 4th-order solutions is below the
 /// configured tolerance; the accepted step size is returned and the next
 /// suggestion is available via [`CashKarp45::suggested_dt`].
+///
+/// Each of the six stages is one fused sweep: the sweep computing `k_s`
+/// also assembles the stage input for `k_{s+1}` (the `m + Σ a·dt·k`
+/// combination, accumulated in the same ascending order as the old
+/// separate stage pass) in its fuse hook. Two stage buffers ping-pong so
+/// a sweep never writes the buffer its field evaluation reads. The
+/// embedded-error finish remains its own block-parallel reduction, as it
+/// was before the fusion.
 #[derive(Debug)]
 pub struct CashKarp45 {
     tolerance: f64,
     suggested: Option<f64>,
-    k: [Vec<Vec3>; 6],
-    stage: Vec<Vec3>,
-    y5: Vec<Vec3>,
-    h_scratch: Vec<Vec3>,
+    k: [Field3; 6],
+    stage_a: Field3,
+    stage_b: Field3,
+    y5: Field3,
+    h_scratch: Field3,
 }
 
 // Cash–Karp Butcher tableau.
@@ -61,10 +71,11 @@ impl CashKarp45 {
         CashKarp45 {
             tolerance: tolerance.max(1e-14),
             suggested: None,
-            k: std::array::from_fn(|_| vec![Vec3::ZERO; cells]),
-            stage: vec![Vec3::ZERO; cells],
-            y5: vec![Vec3::ZERO; cells],
-            h_scratch: vec![Vec3::ZERO; cells],
+            k: std::array::from_fn(|_| Field3::zeros(cells)),
+            stage_a: Field3::zeros(cells),
+            stage_b: Field3::zeros(cells),
+            y5: Field3::zeros(cells),
+            h_scratch: Field3::zeros(cells),
         }
     }
 
@@ -79,51 +90,59 @@ impl CashKarp45 {
     /// The per-block error maxima are folded in block order; `f64::max`
     /// over disjoint index sets is exact, so the estimate (and therefore
     /// the step-size control path) is identical for any thread count.
-    fn attempt(&mut self, system: &mut LlgSystem, t: f64, dt: f64, m: &[Vec3]) -> f64 {
-        system.rhs(m, t, &mut self.k[0], &mut self.h_scratch);
-        for s in 1..6 {
-            {
-                let k = &self.k;
-                system
-                    .par()
-                    .for_each_chunk(&mut self.stage, |start, chunk| {
-                        for (j, stage) in chunk.iter_mut().enumerate() {
-                            let i = start + j;
-                            let mut acc = m[i];
-                            for (jj, a) in A[s - 1].iter().enumerate().take(s) {
-                                acc += k[jj][i] * (a * dt);
-                            }
-                            *stage = acc;
-                        }
-                    });
-            }
-            // Split borrows: k[s] is written, k[0..s] were read above.
+    fn attempt(&mut self, system: &mut LlgSystem, t: f64, dt: f64, m: &Field3) -> f64 {
+        let m_r = m.read_ptr();
+        for s in 0..6 {
+            // Split borrows: k[s] is written, k[0..s] are read in the
+            // fuse hook — through unchecked `Field3Read` pointers taken
+            // after the split, so the fused inner loop stays branch-free.
             let (head, tail) = self.k.split_at_mut(s);
-            let _ = head;
-            system.rhs(
-                &self.stage,
-                t + C[s] * dt,
-                &mut tail[0],
-                &mut self.h_scratch,
-            );
+            let head_r: Vec<_> = head.iter().map(|kb| kb.read_ptr()).collect();
+            let k_out = &mut tail[0];
+            let (y, out): (&Field3, _) = match s {
+                0 => (m, self.stage_a.ptrs()),
+                _ if s % 2 == 1 => (&self.stage_a, self.stage_b.ptrs()),
+                _ => (&self.stage_b, self.stage_a.ptrs()),
+            };
+            let ts = if s == 0 { t } else { t + C[s] * dt };
+            // Safety (all unchecked reads below): each block fuses a
+            // disjoint index set, `i` is in bounds for every buffer, and
+            // the buffers behind `m_r`/`head_r` are not mutated during
+            // the sweep.
+            system.rhs_stage(y, ts, k_out, &mut self.h_scratch, |i0, i1, k| {
+                if s == 5 {
+                    return;
+                }
+                for i in i0..i1 {
+                    let mut acc = unsafe { m_r.get(i) };
+                    for (jj, kb) in head_r.iter().enumerate() {
+                        acc += unsafe { kb.get(i) } * (A[s][jj] * dt);
+                    }
+                    acc += unsafe { k.read(i) } * (A[s][s] * dt);
+                    // Safety: the sweep's field evaluation never reads
+                    // `out`.
+                    unsafe { out.write(i, acc) };
+                }
+            });
         }
         let n = m.len();
         let team = system.par();
         let nb = team.threads().max(1);
         let k = &self.k;
-        let out = crate::par::SendPtr::new(self.y5.as_mut_ptr());
+        let out = self.y5.ptrs();
         let partials = team.map_blocks(|b| {
-            let (start, end) = crate::par::chunk_bounds(n, nb, b);
+            let (start, end) = chunk_bounds(n, nb, b);
             let mut err: f64 = 0.0;
             for i in start..end {
-                let mut y5 = m[i];
-                let mut y4 = m[i];
-                for s in 0..6 {
-                    y5 += k[s][i] * (B5[s] * dt);
-                    y4 += k[s][i] * (B4[s] * dt);
+                let mut y5 = m.get(i);
+                let mut y4 = m.get(i);
+                for (s, kb) in k.iter().enumerate() {
+                    let ks = kb.get(i);
+                    y5 += ks * (B5[s] * dt);
+                    y4 += ks * (B4[s] * dt);
                 }
                 // Safety: chunk ranges are disjoint across blocks.
-                unsafe { *out.add(i) = y5 };
+                unsafe { out.write(i, y5) };
                 err = err.max((y5 - y4).norm());
             }
             err
@@ -138,7 +157,7 @@ impl Integrator for CashKarp45 {
         system: &mut LlgSystem,
         t: f64,
         dt: f64,
-        m: &mut [Vec3],
+        m: &mut Field3,
     ) -> Result<f64, MagnumError> {
         let mut h = self.suggested.map_or(dt, |s| s.min(dt));
         let min_step = dt * 1e-6;
@@ -153,8 +172,8 @@ impl Integrator for CashKarp45 {
                 continue;
             }
             if err <= self.tolerance {
-                m.copy_from_slice(&self.y5);
-                renormalize_and_check(m, &system.mask, t + h, system.par())?;
+                m.copy_from(&self.y5);
+                renormalize_and_check(m, &system.mask, system.full_film(), t + h, system.par())?;
                 // Controller: grow conservatively, cap at the hint `dt`.
                 let factor = if err == 0.0 {
                     5.0
@@ -180,6 +199,7 @@ impl Integrator for CashKarp45 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::math::Vec3;
     use crate::solver::test_support::{macrospin, macrospin_analytic};
 
     #[test]
@@ -189,7 +209,7 @@ mod tests {
         let t_end = 100e-12;
         let mut sys = macrospin(alpha, h0);
         let mut integ = CashKarp45::new(1, 1e-10);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         let mut t = 0.0;
         while t < t_end - 1e-18 {
             let taken = integ
@@ -199,9 +219,9 @@ mod tests {
         }
         let expected = macrospin_analytic(alpha, h0, t_end);
         assert!(
-            (m[0] - expected).norm() < 1e-6,
+            (m.get(0) - expected).norm() < 1e-6,
             "adaptive error {}",
-            (m[0] - expected).norm()
+            (m.get(0) - expected).norm()
         );
     }
 
@@ -209,7 +229,7 @@ mod tests {
     fn shrinks_step_when_tolerance_is_tight() {
         let mut sys = macrospin(0.1, 1e6);
         let mut integ = CashKarp45::new(1, 1e-12);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         let taken = integ.step(&mut sys, 0.0, 1e-11, &mut m).unwrap();
         assert!(taken <= 1e-11);
         assert!(integ.suggested_dt().is_some());
@@ -219,7 +239,7 @@ mod tests {
     fn loose_tolerance_accepts_the_hint() {
         let mut sys = macrospin(0.1, 1e4);
         let mut integ = CashKarp45::new(1, 1e-3);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         let taken = integ.step(&mut sys, 0.0, 1e-14, &mut m).unwrap();
         assert_eq!(taken, 1e-14);
     }
@@ -228,7 +248,7 @@ mod tests {
     fn suggestion_never_exceeds_hint() {
         let mut sys = macrospin(0.05, 1e5);
         let mut integ = CashKarp45::new(1, 1e-6);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         for i in 0..50 {
             integ
                 .step(&mut sys, i as f64 * 1e-13, 1e-13, &mut m)

@@ -23,11 +23,51 @@ pub use heun::Heun;
 pub use rk4::RungeKutta4;
 
 use crate::error::MagnumError;
+use crate::field3::{Field3, Field3Ptr, Field3Read};
 use crate::llg::LlgSystem;
-use crate::math::Vec3;
-use crate::par::{chunk_bounds, SendPtr, WorkerTeam};
+use crate::par::{chunk_bounds, WorkerTeam};
+
+/// `out[i] = a[i] + k[i]·c` over `i0..i1`, one component plane at a time.
+///
+/// The common stage combination of the fixed-step integrators. Per-plane
+/// loops keep each loop at three pointers, within the loop vectorizer's
+/// runtime alias-check budget; a single interleaved `Vec3` loop over nine
+/// pointers falls back to scalar code. `Vec3` arithmetic is componentwise,
+/// so the results are bitwise identical to the fused-per-cell form.
+///
+/// # Safety
+///
+/// `i0..i1` must be in bounds for all three buffers, `out` must be owned
+/// exclusively by the calling block over that range, and `a`/`k` must not
+/// be mutated concurrently there.
+#[inline(always)]
+pub(crate) unsafe fn axpy_range(
+    i0: usize,
+    i1: usize,
+    out: Field3Ptr,
+    a: Field3Read,
+    k: Field3Ptr,
+    c: f64,
+) {
+    let (ox, oy, oz) = out.planes();
+    let (ax, ay, az) = a.planes();
+    let (kx, ky, kz) = k.planes();
+    for i in i0..i1 {
+        *ox.add(i) = *ax.add(i) + *kx.add(i) * c;
+    }
+    for i in i0..i1 {
+        *oy.add(i) = *ay.add(i) + *ky.add(i) * c;
+    }
+    for i in i0..i1 {
+        *oz.add(i) = *az.add(i) + *kz.add(i) * c;
+    }
+}
 
 /// A time integrator advancing the magnetization state.
+///
+/// The state is a SoA [`Field3`]; every stage is a single fused sweep
+/// through [`LlgSystem::rhs_stage`], with the stage combination applied
+/// in the sweep's `fuse` hook instead of a separate full-mesh pass.
 pub trait Integrator: Send {
     /// Advances `m` by one step starting at time `t` with suggested step
     /// `dt`, returning the step size actually taken (adaptive integrators
@@ -43,7 +83,7 @@ pub trait Integrator: Send {
         system: &mut LlgSystem,
         t: f64,
         dt: f64,
-        m: &mut [Vec3],
+        m: &mut Field3,
     ) -> Result<f64, MagnumError>;
 
     /// Short human-readable name.
@@ -81,35 +121,99 @@ impl IntegratorKind {
 /// Runs block-parallel on the system's worker team; per-block results are
 /// collected in block order, so the reported error (first bad block) is
 /// deterministic for a fixed thread count.
+///
+/// On a full film (no vacuum anywhere) the mask test disappears and the
+/// loop runs tiled: norms for a small tile first, then one divide loop
+/// per component plane. Divide and square root are exactly rounded in
+/// IEEE 754, so the vectorized tile produces bitwise the same `m` as the
+/// per-cell loop; only the state left behind on a `Diverged` error (which
+/// aborts the run) can differ within the failing tile.
 pub(crate) fn renormalize_and_check(
-    m: &mut [Vec3],
+    m: &mut Field3,
     mask: &[bool],
+    full_film: bool,
     t: f64,
     team: &WorkerTeam,
 ) -> Result<(), MagnumError> {
     let n = m.len();
     let nb = team.threads().max(1);
-    let out = SendPtr::new(m.as_mut_ptr());
+    debug_assert_eq!(full_film, mask.iter().all(|&magnetic| magnetic));
+    let out = m.ptrs();
     let results = team.map_blocks(|b| {
         let (start, end) = chunk_bounds(n, nb, b);
-        for (i, &magnetic) in mask.iter().enumerate().take(end).skip(start) {
-            if !magnetic {
-                continue;
+        if full_film {
+            // Safety: chunk ranges are disjoint across blocks and in
+            // bounds for all three planes.
+            unsafe { renormalize_range(out, start, end, t) }
+        } else {
+            for (i, &magnetic) in mask.iter().enumerate().take(end).skip(start) {
+                if !magnetic {
+                    continue;
+                }
+                // Safety: chunk ranges are disjoint across blocks.
+                let mut mi = unsafe { out.read(i) };
+                if !mi.is_finite() {
+                    return Err(MagnumError::Diverged { time: t });
+                }
+                let norm = mi.norm();
+                if norm == 0.0 {
+                    return Err(MagnumError::Diverged { time: t });
+                }
+                mi /= norm;
+                unsafe { out.write(i, mi) };
             }
-            // Safety: chunk ranges are disjoint across blocks.
-            let mi = unsafe { &mut *out.add(i) };
-            if !mi.is_finite() {
-                return Err(MagnumError::Diverged { time: t });
-            }
-            let norm = mi.norm();
-            if norm == 0.0 {
-                return Err(MagnumError::Diverged { time: t });
-            }
-            *mi /= norm;
+            Ok(())
         }
-        Ok(())
     });
     results.into_iter().collect()
+}
+
+/// The tiled full-film renormalization body: same per-cell arithmetic as
+/// the masked loop (`norm = sqrt(x²+y²+z²)` with the same summation
+/// order, componentwise `/= norm`), restructured so each loop touches few
+/// enough pointers to vectorize.
+///
+/// # Safety
+///
+/// `start..end` must be in bounds for all three planes and owned
+/// exclusively by the calling block.
+unsafe fn renormalize_range(
+    out: Field3Ptr,
+    start: usize,
+    end: usize,
+    t: f64,
+) -> Result<(), MagnumError> {
+    const TILE: usize = 128;
+    let (px, py, pz) = out.planes();
+    let mut norms = [0.0f64; TILE];
+    let mut i0 = start;
+    while i0 < end {
+        let i1 = (i0 + TILE).min(end);
+        let mut ok = true;
+        for i in i0..i1 {
+            let (x, y, z) = (*px.add(i), *py.add(i), *pz.add(i));
+            let norm = (x * x + y * y + z * z).sqrt();
+            norms[i - i0] = norm;
+            // Same acceptance test as the masked loop: all components
+            // finite and a nonzero norm. An overflowed (infinite) norm
+            // with finite components divides through, as before.
+            ok &= x.is_finite() && y.is_finite() && z.is_finite() && norm != 0.0;
+        }
+        if !ok {
+            return Err(MagnumError::Diverged { time: t });
+        }
+        for i in i0..i1 {
+            *px.add(i) /= norms[i - i0];
+        }
+        for i in i0..i1 {
+            *py.add(i) /= norms[i - i0];
+        }
+        for i in i0..i1 {
+            *pz.add(i) /= norms[i - i0];
+        }
+        i0 = i1;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -157,6 +261,7 @@ pub(crate) mod test_support {
 mod tests {
     use super::test_support::*;
     use super::*;
+    use crate::math::Vec3;
 
     fn run_integrator(
         mut integrator: Box<dyn Integrator>,
@@ -166,7 +271,7 @@ mod tests {
         dt: f64,
     ) -> Vec3 {
         let mut sys = macrospin(alpha, h);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         let mut t = 0.0;
         while t < t_end - 1e-18 {
             let step = dt.min(t_end - t);
@@ -175,7 +280,7 @@ mod tests {
                 .expect("step failed");
             t += taken;
         }
-        m[0]
+        m.get(0)
     }
 
     #[test]
@@ -233,17 +338,18 @@ mod tests {
     #[test]
     fn renormalize_rejects_nan() {
         let team = WorkerTeam::new(1);
-        let mut m = vec![Vec3::new(f64::NAN, 0.0, 0.0)];
-        let err = renormalize_and_check(&mut m, &[true], 1e-9, &team);
+        let mut m = Field3::from_vec3s(&[Vec3::new(f64::NAN, 0.0, 0.0)]);
+        let err = renormalize_and_check(&mut m, &[true], true, 1e-9, &team);
         assert!(matches!(err, Err(MagnumError::Diverged { .. })));
     }
 
     #[test]
     fn renormalize_skips_vacuum() {
         let team = WorkerTeam::new(1);
-        let mut m = vec![Vec3::ZERO];
-        renormalize_and_check(&mut m, &[false], 0.0, &team).expect("vacuum zero vector is fine");
-        assert_eq!(m[0], Vec3::ZERO);
+        let mut m = Field3::zeros(1);
+        renormalize_and_check(&mut m, &[false], false, 0.0, &team)
+            .expect("vacuum zero vector is fine");
+        assert_eq!(m.get(0), Vec3::ZERO);
     }
 
     #[test]
@@ -259,10 +365,10 @@ mod tests {
                 }
             })
             .collect();
-        let mut serial = original.clone();
-        renormalize_and_check(&mut serial, &mask, 0.0, &WorkerTeam::new(1)).unwrap();
-        let mut parallel = original;
-        renormalize_and_check(&mut parallel, &mask, 0.0, &WorkerTeam::new(4)).unwrap();
+        let mut serial = Field3::from_vec3s(&original);
+        renormalize_and_check(&mut serial, &mask, false, 0.0, &WorkerTeam::new(1)).unwrap();
+        let mut parallel = Field3::from_vec3s(&original);
+        renormalize_and_check(&mut parallel, &mask, false, 0.0, &WorkerTeam::new(4)).unwrap();
         assert_eq!(serial, parallel);
     }
 

@@ -1,32 +1,39 @@
 //! Classic fixed-step fourth-order Runge–Kutta integrator.
 
-use super::{renormalize_and_check, Integrator};
+use super::{axpy_range, renormalize_and_check, Integrator};
 use crate::error::MagnumError;
+use crate::field3::Field3;
 use crate::llg::LlgSystem;
-use crate::math::Vec3;
 
 /// The classic RK4 scheme — the default workhorse for deterministic
 /// spin-wave runs (MuMax3's default family as well).
+///
+/// Every stage is one fused sweep: the RHS evaluation writes the next
+/// stage input (`m + k·dt/2`, …) through the fuse hook, and the final
+/// stage applies the `(k1 + 2k2 + 2k3 + k4)·dt/6` combination in place.
+/// Two stage buffers ping-pong so a sweep never writes the buffer its
+/// field evaluation is reading; `k4` is consumed inside its own sweep, so
+/// only its scratch output reuses the idle ping-pong buffer.
 #[derive(Debug)]
 pub struct RungeKutta4 {
-    k1: Vec<Vec3>,
-    k2: Vec<Vec3>,
-    k3: Vec<Vec3>,
-    k4: Vec<Vec3>,
-    stage: Vec<Vec3>,
-    h_scratch: Vec<Vec3>,
+    k1: Field3,
+    k2: Field3,
+    k3: Field3,
+    stage_a: Field3,
+    stage_b: Field3,
+    h_scratch: Field3,
 }
 
 impl RungeKutta4 {
     /// Creates an RK4 integrator for `cells` cells.
     pub fn new(cells: usize) -> Self {
         RungeKutta4 {
-            k1: vec![Vec3::ZERO; cells],
-            k2: vec![Vec3::ZERO; cells],
-            k3: vec![Vec3::ZERO; cells],
-            k4: vec![Vec3::ZERO; cells],
-            stage: vec![Vec3::ZERO; cells],
-            h_scratch: vec![Vec3::ZERO; cells],
+            k1: Field3::zeros(cells),
+            k2: Field3::zeros(cells),
+            k3: Field3::zeros(cells),
+            stage_a: Field3::zeros(cells),
+            stage_b: Field3::zeros(cells),
+            h_scratch: Field3::zeros(cells),
         }
     }
 }
@@ -37,48 +44,89 @@ impl Integrator for RungeKutta4 {
         system: &mut LlgSystem,
         t: f64,
         dt: f64,
-        m: &mut [Vec3],
+        m: &mut Field3,
     ) -> Result<f64, MagnumError> {
-        system.rhs(m, t, &mut self.k1, &mut self.h_scratch);
-        let k1 = &self.k1;
-        system
-            .par()
-            .for_each_chunk(&mut self.stage, |start, chunk| {
-                for (j, s) in chunk.iter_mut().enumerate() {
-                    let i = start + j;
-                    *s = m[i] + k1[i] * (dt / 2.0);
-                }
-            });
-        system.rhs(&self.stage, t + dt / 2.0, &mut self.k2, &mut self.h_scratch);
-        let k2 = &self.k2;
-        system
-            .par()
-            .for_each_chunk(&mut self.stage, |start, chunk| {
-                for (j, s) in chunk.iter_mut().enumerate() {
-                    let i = start + j;
-                    *s = m[i] + k2[i] * (dt / 2.0);
-                }
-            });
-        system.rhs(&self.stage, t + dt / 2.0, &mut self.k3, &mut self.h_scratch);
-        let k3 = &self.k3;
-        system
-            .par()
-            .for_each_chunk(&mut self.stage, |start, chunk| {
-                for (j, s) in chunk.iter_mut().enumerate() {
-                    let i = start + j;
-                    *s = m[i] + k3[i] * dt;
-                }
-            });
-        system.rhs(&self.stage, t + dt, &mut self.k4, &mut self.h_scratch);
-        let k1 = &self.k1;
-        let k4 = &self.k4;
-        system.par().for_each_chunk(m, |start, chunk| {
-            for (j, mi) in chunk.iter_mut().enumerate() {
-                let i = start + j;
-                *mi += (k1[i] + (k2[i] + k3[i]) * 2.0 + k4[i]) * (dt / 6.0);
-            }
-        });
-        renormalize_and_check(m, &system.mask, t + dt, system.par())?;
+        // Safety for every fuse hook below: blocks fuse disjoint cell
+        // ranges, no sweep writes a buffer its field evaluation reads,
+        // and every read pointer's buffer outlives the sweep. Reads go
+        // through unchecked `Field3Read` so the axpy loops stay
+        // branch-free and vectorizable.
+        {
+            let out = self.stage_a.ptrs();
+            let m_in = m.read_ptr();
+            system.rhs_stage(
+                &*m,
+                t,
+                &mut self.k1,
+                &mut self.h_scratch,
+                |i0, i1, k| unsafe {
+                    axpy_range(i0, i1, out, m_in, k, dt / 2.0);
+                },
+            );
+        }
+        {
+            let out = self.stage_b.ptrs();
+            let m_in = m.read_ptr();
+            system.rhs_stage(
+                &self.stage_a,
+                t + dt / 2.0,
+                &mut self.k2,
+                &mut self.h_scratch,
+                |i0, i1, k| unsafe {
+                    axpy_range(i0, i1, out, m_in, k, dt / 2.0);
+                },
+            );
+        }
+        {
+            let out = self.stage_a.ptrs();
+            let m_in = m.read_ptr();
+            system.rhs_stage(
+                &self.stage_b,
+                t + dt / 2.0,
+                &mut self.k3,
+                &mut self.h_scratch,
+                |i0, i1, k| unsafe {
+                    axpy_range(i0, i1, out, m_in, k, dt);
+                },
+            );
+        }
+        {
+            let k1 = self.k1.read_ptr();
+            let k2 = self.k2.read_ptr();
+            let k3 = self.k3.read_ptr();
+            let m_out = m.ptrs();
+            system.rhs_stage(
+                &self.stage_a,
+                t + dt,
+                &mut self.stage_b,
+                &mut self.h_scratch,
+                |i0, i1, k| unsafe {
+                    // Per-plane loops, as in `axpy_range`: each loop
+                    // reads four k planes and updates one m plane.
+                    let (mx, my, mz) = m_out.planes();
+                    let (k1x, k1y, k1z) = k1.planes();
+                    let (k2x, k2y, k2z) = k2.planes();
+                    let (k3x, k3y, k3z) = k3.planes();
+                    let (k4x, k4y, k4z) = k.planes();
+                    for i in i0..i1 {
+                        *mx.add(i) +=
+                            (*k1x.add(i) + (*k2x.add(i) + *k3x.add(i)) * 2.0 + *k4x.add(i))
+                                * (dt / 6.0);
+                    }
+                    for i in i0..i1 {
+                        *my.add(i) +=
+                            (*k1y.add(i) + (*k2y.add(i) + *k3y.add(i)) * 2.0 + *k4y.add(i))
+                                * (dt / 6.0);
+                    }
+                    for i in i0..i1 {
+                        *mz.add(i) +=
+                            (*k1z.add(i) + (*k2z.add(i) + *k3z.add(i)) * 2.0 + *k4z.add(i))
+                                * (dt / 6.0);
+                    }
+                },
+            );
+        }
+        renormalize_and_check(m, &system.mask, system.full_film(), t + dt, system.par())?;
         Ok(dt)
     }
 
@@ -90,6 +138,7 @@ impl Integrator for RungeKutta4 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::math::Vec3;
     use crate::solver::test_support::{macrospin, macrospin_analytic};
 
     #[test]
@@ -100,7 +149,7 @@ mod tests {
         let dt = 2e-14;
         let mut sys = macrospin(alpha, h);
         let mut integ = RungeKutta4::new(1);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         let steps = (t_end / dt).round() as usize;
         let mut t = 0.0;
         for _ in 0..steps {
@@ -109,9 +158,9 @@ mod tests {
         }
         let expected = macrospin_analytic(alpha, h, t_end);
         assert!(
-            (m[0] - expected).norm() < 1e-8,
+            (m.get(0) - expected).norm() < 1e-8,
             "RK4 error {} too large",
-            (m[0] - expected).norm()
+            (m.get(0) - expected).norm()
         );
     }
 
@@ -121,7 +170,7 @@ mod tests {
         // report divergence rather than silently continuing.
         let mut sys = macrospin(0.01, 1e7);
         let mut integ = RungeKutta4::new(1);
-        let mut m = vec![Vec3::X];
+        let mut m = Field3::from_vec3s(&[Vec3::X]);
         let mut failed = false;
         for i in 0..100 {
             let t = i as f64;
@@ -138,7 +187,7 @@ mod tests {
         }
         // Either it diverged and said so, or the projection kept |m| = 1.
         if !failed {
-            assert!((m[0].norm() - 1.0).abs() < 1e-9);
+            assert!((m.get(0).norm() - 1.0).abs() < 1e-9);
         }
     }
 }
