@@ -18,6 +18,9 @@ cargo clippy --workspace --offline --all-targets -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release --offline
 
+echo "==> release harness binaries (repro, parbench)"
+cargo build --release --offline --workspace
+
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline
 
@@ -36,5 +39,23 @@ echo "==> rhs bench smoke (asserts bitwise identity across threads and rel err <
 ./target/release/parbench --rhs --grids 32 --steps 10 --threads 1,2,4 \
     --out target/BENCH_rhs_smoke.json
 test -s target/BENCH_rhs_smoke.json
+
+echo "==> swserve smoke (boot, healthz, one gate eval byte-checked, graceful shutdown)"
+rm -f target/swserve.addr
+./target/release/repro serve --addr 127.0.0.1:0 --addr-file target/swserve.addr \
+    --workers 1 --queue-depth 8 --manifest target/swrun/ci-serve.manifest.jsonl &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    test -s target/swserve.addr && break
+    sleep 0.1
+done
+test -s target/swserve.addr
+./target/release/parbench --probe "$(cat target/swserve.addr)" --shutdown
+wait "$SERVE_PID"
+
+echo "==> swserve loadtest smoke (in-process server, zero dropped requests)"
+./target/release/parbench --serve --connections 8 --requests 16 \
+    --out target/BENCH_serve_smoke.json
+test -s target/BENCH_serve_smoke.json
 
 echo "CI OK"

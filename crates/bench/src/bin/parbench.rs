@@ -1,6 +1,7 @@
-//! `parbench` — wall-clock scaling of magnum's intra-simulation threading.
+//! `parbench` — wall-clock scaling of magnum's intra-simulation threading,
+//! plus the `swserve` loadtest and smoke probe.
 //!
-//! Three modes:
+//! Five modes:
 //!
 //! * Default: `parbench [--size N] [--steps N] [--threads LIST]` runs the
 //!   same deterministic LLG workload (an N×N film with exchange,
@@ -30,10 +31,29 @@
 //!   and bitwise identity across thread counts. Defaults: grids
 //!   `64,128,256`, threads `1,2,4`, auto step count, output
 //!   `BENCH_rhs.json`.
+//!
+//! * `parbench --serve [--addr HOST:PORT] [--connections N]
+//!   [--requests N] [--out PATH]` loadtests the `swserve` HTTP service
+//!   over real sockets: N concurrent keep-alive connections each issue R
+//!   gate-evaluation requests drawn from a rotating pool of distinct
+//!   inputs, and the report (`BENCH_serve.json`) records throughput,
+//!   client-side p50/p99 latency, and the server's cache hit/coalesce
+//!   counters. Without `--addr` an in-process server is booted on an
+//!   ephemeral port and drained afterwards. Defaults: 64 connections,
+//!   32 requests each.
+//!
+//! * `parbench --probe ADDR [--shutdown]` smoke-tests a running server:
+//!   `/healthz`, one `/v1/gate/eval` (checked byte-for-byte against the
+//!   local evaluator), `/metrics`, and optionally a graceful
+//!   `/v1/admin/shutdown`. Exits non-zero on any mismatch.
 
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Instant;
 
-use bench::write_bench_json;
+use bench::httpc::Client;
+use bench::{write_bench_json, write_report};
+
 use magnum::field::demag::{DemagMethod, NewellDemag};
 use magnum::field::FieldTerm;
 use magnum::par::WorkerTeam;
@@ -678,6 +698,263 @@ fn rhs_main(grids: Vec<usize>, threads: Vec<usize>, steps: usize, out: String) {
     );
 }
 
+/// Resolves `HOST:PORT` to a socket address or dies with a usage error.
+fn resolve(addr: &str) -> SocketAddr {
+    addr.to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+        .unwrap_or_else(|| {
+            eprintln!("cannot resolve address `{addr}`");
+            std::process::exit(2);
+        })
+}
+
+/// The rotating pool of distinct gate-evaluation requests the loadtest
+/// draws from: all 8 MAJ3 patterns, all 4 XOR patterns, all 4 NAND
+/// patterns. Each connection starts at a different offset, so early on
+/// the server sees misses and coalescing, and once the pool is covered
+/// everything hits the cache.
+fn request_pool() -> Vec<String> {
+    let mut pool = Vec::new();
+    for p in 0..8u8 {
+        pool.push(format!(
+            r#"{{"gate":"maj3","inputs":[{},{},{}]}}"#,
+            p & 1,
+            (p >> 1) & 1,
+            (p >> 2) & 1
+        ));
+    }
+    for gate in ["xor", "nand"] {
+        for p in 0..4u8 {
+            pool.push(format!(
+                r#"{{"gate":"{gate}","inputs":[{},{}]}}"#,
+                p & 1,
+                (p >> 1) & 1
+            ));
+        }
+    }
+    pool
+}
+
+/// `--serve`: loadtest a server (external via `--addr`, else an
+/// in-process one) and write `BENCH_serve.json`.
+fn serve_main(external: Option<String>, connections: usize, requests: usize, out: String) {
+    let booted = if external.is_some() {
+        None
+    } else {
+        let server =
+            swserve::Server::bind(&swserve::ServerConfig::default()).expect("bind loadtest server");
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().expect("loadtest server run"));
+        Some((handle, runner))
+    };
+    let addr = match &external {
+        Some(addr) => resolve(addr),
+        None => booted.as_ref().expect("just booted").0.addr(),
+    };
+    println!(
+        "loadtest: {connections} connections x {requests} requests against {addr}{}",
+        if external.is_some() {
+            ""
+        } else {
+            " (in-process server)"
+        }
+    );
+
+    let pool = Arc::new(request_pool());
+    let start = Instant::now();
+    let clients: Vec<_> = (0..connections)
+        .map(|c| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("loadtest connect");
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut failures = 0usize;
+                let mut shed = 0usize;
+                let mut hits = 0usize;
+                for r in 0..requests {
+                    let body = &pool[(c + r) % pool.len()];
+                    let sent = Instant::now();
+                    let response = client
+                        .request("POST", "/v1/gate/eval", body)
+                        .expect("loadtest request");
+                    latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    match response.status {
+                        200 => {
+                            if matches!(response.header("x-cache"), Some("hit" | "coalesced")) {
+                                hits += 1;
+                            }
+                        }
+                        429 => shed += 1,
+                        _ => failures += 1,
+                    }
+                }
+                (latencies_us, failures, shed, hits)
+            })
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(connections * requests);
+    let mut failures = 0usize;
+    let mut shed = 0usize;
+    let mut client_hits = 0usize;
+    for client in clients {
+        let (lat, f, s, h) = client.join().expect("loadtest client panicked");
+        latencies_us.extend(lat);
+        failures += f;
+        shed += s;
+        client_hits += h;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let total = latencies_us.len();
+    let throughput = total as f64 / elapsed;
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let quantile = |q: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as usize).clamp(1, total);
+        latencies_us[rank - 1]
+    };
+    let (p50, p99) = (quantile(0.50), quantile(0.99));
+    let mean = latencies_us.iter().sum::<f64>() / total.max(1) as f64;
+
+    // Server-side cache counters over the same socket API.
+    let mut control = Client::connect(addr).expect("metrics connect");
+    let metrics_doc = control
+        .request("GET", "/metrics", "")
+        .expect("GET /metrics");
+    let metrics = Json::parse(&metrics_doc.body).expect("metrics JSON");
+    let cache_counter = |name: &str| {
+        metrics
+            .get("cache")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let (cache_hits, misses, coalesced) = (
+        cache_counter("hits"),
+        cache_counter("misses"),
+        cache_counter("coalesced"),
+    );
+    let served = cache_hits + misses + coalesced;
+    let hit_rate = if served > 0.0 {
+        (cache_hits + coalesced) / served
+    } else {
+        0.0
+    };
+
+    if let Some((handle, runner)) = booted {
+        control
+            .request("POST", "/v1/admin/shutdown", "")
+            .expect("graceful shutdown");
+        drop(control);
+        runner.join().expect("server thread");
+        assert!(handle.draining());
+    }
+
+    println!(
+        "  {total} requests in {elapsed:.2}s = {throughput:.0} req/s; \
+         p50 {p50:.0} us, p99 {p99:.0} us; cache hit rate {:.1}% \
+         ({cache_hits:.0} hits + {coalesced:.0} coalesced / {misses:.0} misses); \
+         {shed} shed, {failures} failed",
+        hit_rate * 100.0
+    );
+    write_report(
+        &out,
+        &Json::obj([
+            ("benchmark", Json::str("swserve_loadtest")),
+            ("connections", Json::Num(connections as f64)),
+            ("requests_per_connection", Json::Num(requests as f64)),
+            ("total_requests", Json::Num(total as f64)),
+            ("elapsed_s", Json::Num(elapsed)),
+            ("throughput_rps", Json::Num(throughput)),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::Num(p50)),
+                    ("p99", Json::Num(p99)),
+                    ("mean", Json::Num(mean)),
+                    (
+                        "max",
+                        Json::Num(latencies_us.last().copied().unwrap_or(0.0)),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Num(cache_hits)),
+                    ("misses", Json::Num(misses)),
+                    ("coalesced", Json::Num(coalesced)),
+                    ("hit_rate", Json::Num(hit_rate)),
+                    ("client_observed_hits", Json::Num(client_hits as f64)),
+                ]),
+            ),
+            ("shed", Json::Num(shed as f64)),
+            ("failures", Json::Num(failures as f64)),
+        ]),
+    );
+    assert_eq!(failures, 0, "loadtest must drop zero non-shed requests");
+}
+
+/// `--probe`: smoke-test a running server; exits non-zero on failure.
+fn probe_main(addr: &str, shutdown: bool) {
+    let addr = resolve(addr);
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("probe: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut step = |what: &str, method: &str, path: &str, body: &str| -> bench::httpc::Response {
+        match client.request(method, path, body) {
+            Ok(response) if response.status == 200 => response,
+            Ok(response) => {
+                eprintln!(
+                    "probe: {what} answered {}: {}",
+                    response.status, response.body
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("probe: {what} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let health = step("GET /healthz", "GET", "/healthz", "");
+    if !health.body.contains(r#""status":"ok""#) {
+        eprintln!("probe: unexpected health body: {}", health.body);
+        std::process::exit(1);
+    }
+
+    let raw = r#"{"gate":"maj3","inputs":[0,1,1]}"#;
+    let eval = step("POST /v1/gate/eval", "POST", "/v1/gate/eval", raw);
+    let local =
+        swserve::respond(&Json::parse(raw).expect("probe request")).expect("local evaluation");
+    if eval.body != local {
+        eprintln!(
+            "probe: HTTP response differs from the local evaluator\n  http:  {}\n  local: {local}",
+            eval.body
+        );
+        std::process::exit(1);
+    }
+
+    let metrics = step("GET /metrics", "GET", "/metrics", "");
+    if Json::parse(&metrics.body).is_err() {
+        eprintln!("probe: /metrics is not valid JSON");
+        std::process::exit(1);
+    }
+
+    if shutdown {
+        step("POST /v1/admin/shutdown", "POST", "/v1/admin/shutdown", "");
+    }
+    println!(
+        "probe ok: healthz, gate eval (byte-identical to local), metrics{}",
+        if shutdown { ", shutdown" } else { "" }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let value_of = |flag: &str| {
@@ -686,6 +963,27 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+
+    if let Some(position) = args.iter().position(|a| a == "--probe") {
+        let addr = args.get(position + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--probe needs an address (HOST:PORT)");
+            std::process::exit(2);
+        });
+        probe_main(&addr, args.iter().any(|a| a == "--shutdown"));
+        return;
+    }
+
+    if args.iter().any(|a| a == "--serve") {
+        let connections: usize = value_of("--connections")
+            .map(|v| v.parse().expect("--connections needs an integer"))
+            .unwrap_or(64);
+        let requests: usize = value_of("--requests")
+            .map(|v| v.parse().expect("--requests needs an integer"))
+            .unwrap_or(32);
+        let out = value_of("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+        serve_main(value_of("--addr"), connections, requests, out);
+        return;
+    }
     let parse_list = |v: String, flag: &str| -> Vec<usize> {
         v.split(',')
             .map(|s| {

@@ -41,6 +41,17 @@
 //! * `ablation` — effect of the backend's numerical-fidelity features
 //!   (lattice compensation, drive trimming).
 //! * `all` — every analytic experiment (tables 1-3, ratios, figs 1-4).
+//!
+//! Service commands (see the `swserve` crate):
+//! * `eval [REQUEST_JSON]` — evaluate one gate/circuit request locally
+//!   and print the canonical JSON response (reads stdin when no request
+//!   argument is given). The bytes are identical to what `POST
+//!   /v1/gate/eval` returns for the same request.
+//! * `serve [--addr A] [--workers N] [--queue-depth N]
+//!   [--cache-capacity N] [--manifest PATH] [--addr-file PATH]` — run
+//!   the HTTP gate-evaluation service until `POST /v1/admin/shutdown`.
+//!   `--addr 127.0.0.1:0` binds an ephemeral port; `--addr-file` writes
+//!   the resolved address for scripts to pick up.
 
 use std::f64::consts::PI;
 
@@ -147,7 +158,17 @@ fn main() {
         .find(|(i, a)| {
             !a.starts_with("--")
                 && (*i == 0
-                    || !matches!(args[i - 1].as_str(), "--jobs" | "--threads" | "--manifest"))
+                    || !matches!(
+                        args[i - 1].as_str(),
+                        "--jobs"
+                            | "--threads"
+                            | "--manifest"
+                            | "--addr"
+                            | "--workers"
+                            | "--queue-depth"
+                            | "--cache-capacity"
+                            | "--addr-file"
+                    ))
         })
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
@@ -174,6 +195,8 @@ fn main() {
         "thermal" => thermal(&batch),
         "variability" => variability(&batch),
         "ablation" => ablation(),
+        "eval" => eval_command(&args),
+        "serve" => serve(&args),
         "all" => all(),
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -608,4 +631,110 @@ fn ablation() -> Result<(), SwGateError> {
     }
     println!("\n(the drive calibration is what keeps the tie-break semantics of the majority)");
     Ok(())
+}
+
+/// Positional (non-flag, non-flag-value) arguments, in order.
+fn positionals(args: &[String]) -> Vec<&str> {
+    args.iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0
+                    || !matches!(
+                        args[i - 1].as_str(),
+                        "--jobs"
+                            | "--threads"
+                            | "--manifest"
+                            | "--addr"
+                            | "--workers"
+                            | "--queue-depth"
+                            | "--cache-capacity"
+                            | "--addr-file"
+                    ))
+        })
+        .map(|(_, a)| a.as_str())
+        .collect()
+}
+
+/// `repro eval [REQUEST_JSON]` — one local gate/circuit evaluation,
+/// byte-identical to the server's `POST /v1/gate/eval` response.
+fn eval_command(args: &[String]) -> Result<(), SwGateError> {
+    // The request is the positional after the `eval` command word;
+    // without one, read it from stdin (`echo '{...}' | repro eval`).
+    let raw = match positionals(args).get(1) {
+        Some(request) => (*request).to_string(),
+        None => {
+            let mut buffer = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buffer).map_err(|e| {
+                SwGateError::Simulation {
+                    reason: format!("reading request from stdin: {e}"),
+                }
+            })?;
+            buffer
+        }
+    };
+    let request = swjson::Json::parse(raw.trim()).map_err(|e| SwGateError::Simulation {
+        reason: format!("bad request JSON: {e}"),
+    })?;
+    let response = swserve::respond(&request).map_err(|e| SwGateError::Simulation {
+        reason: e.to_string(),
+    })?;
+    println!("{response}");
+    Ok(())
+}
+
+/// `repro serve` — the HTTP gate-evaluation service (see `swserve`).
+fn serve(args: &[String]) -> Result<(), SwGateError> {
+    let io_err = |context: &str| {
+        let context = context.to_string();
+        move |e: std::io::Error| SwGateError::Simulation {
+            reason: format!("{context}: {e}"),
+        }
+    };
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_count = |flag: &str, default: usize| -> usize {
+        match value_of(flag).map(|v| v.parse::<usize>()) {
+            None => default,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => {
+                eprintln!("{flag} needs a non-negative integer");
+                std::process::exit(2);
+            }
+        }
+    };
+    let manifest = value_of("--manifest")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            Some(std::path::PathBuf::from(
+                "target/swrun/serve.manifest.jsonl",
+            ))
+        });
+    if let Some(parent) = manifest.as_deref().and_then(std::path::Path::parent) {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    let config = swserve::ServerConfig {
+        addr: value_of("--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        workers: parse_count("--workers", 2),
+        queue_depth: parse_count("--queue-depth", 64),
+        cache_capacity: parse_count("--cache-capacity", 1024),
+        manifest,
+    };
+    let server = swserve::Server::bind(&config).map_err(io_err("binding the server"))?;
+    let addr = server.local_addr();
+    if let Some(path) = value_of("--addr-file") {
+        std::fs::write(&path, addr.to_string()).map_err(io_err("writing the address file"))?;
+    }
+    eprintln!(
+        "swserve listening on http://{addr} ({} job workers, queue depth {}); \
+         POST /v1/admin/shutdown to drain",
+        config.workers, config.queue_depth
+    );
+    server.run().map_err(io_err("serving"))
 }

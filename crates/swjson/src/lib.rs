@@ -1,0 +1,606 @@
+//! # swjson — hand-rolled minimal JSON for the whole workspace
+//!
+//! The workspace is std-only (no `serde`), and two subsystems speak
+//! JSON: the `swrun` run manifests and the `swserve` HTTP request and
+//! response bodies. Both use this one small, predictable subset of
+//! JSON: objects, arrays, strings, finite numbers, booleans and null.
+//! [`Json`] is the value tree, with a writer ([`Json::render`]) that
+//! always emits valid JSON and a recursive-descent parser
+//! ([`Json::parse`] / [`Json::parse_bytes`]).
+//!
+//! Because `swserve` feeds the parser bytes from the network, it is
+//! hardened against hostile input instead of just accepting what the
+//! writer emits:
+//!
+//! * nesting depth is capped at [`MAX_DEPTH`] so deeply nested bodies
+//!   fail cleanly instead of overflowing the stack;
+//! * [`Json::parse_bytes`] rejects non-UTF-8 input with a
+//!   [`JsonError`] (never a panic);
+//! * numbers that overflow `f64` (`1e999`) are rejected rather than
+//!   silently becoming `∞`;
+//! * truncated documents and invalid escapes fail with a byte offset;
+//! * duplicate object keys follow the common last-one-wins rule (the
+//!   behaviour of `serde_json` and JavaScript's `JSON.parse`), which is
+//!   documented and pinned by regression test.
+//!
+//! Rendering is canonical: object keys are sorted (the map is a
+//! `BTreeMap`) and numbers use the shortest round-trip form, so
+//! `parse(text).render()` is a normal form — `swserve` hashes exactly
+//! that for its content-addressed cache.
+//!
+//! Non-finite numbers (`NaN`, `±∞`) serialize as `null`, mirroring what
+//! `serde_json` does — manifests must stay loadable by stock JSON tools.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum container nesting the parser accepts. Deeper input returns a
+/// [`JsonError`] instead of risking a stack overflow on hostile bodies.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite double (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys are sorted so rendering is deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<I>(pairs: I) -> Json
+    where
+        I: IntoIterator<Item = (&'static str, Json)>,
+    {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value under `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a finite number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value's array elements, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// This value's key/value map, if it is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` round-trips f64 exactly (shortest form).
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON value from `text` (surrounding whitespace
+    /// allowed). Duplicate object keys are accepted, last one wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset on malformed input,
+    /// trailing garbage, nesting deeper than [`MAX_DEPTH`], or numbers
+    /// outside the finite `f64` range.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        skip_ws(bytes, &mut pos);
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                at: pos,
+                reason: "trailing characters after JSON value".into(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Parses one JSON value from raw bytes, as read off a socket.
+    /// Non-UTF-8 input is rejected with a [`JsonError`] at the first
+    /// invalid byte — it never panics.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Json::parse`] rejects, plus invalid UTF-8.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, JsonError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| JsonError {
+            at: e.valid_up_to(),
+            reason: "invalid UTF-8 in input".into(),
+        })?;
+        Json::parse(text)
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, reason: impl Into<String>) -> JsonError {
+    JsonError {
+        at: pos,
+        reason: reason.into(),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(fail(*pos, format!("expected `{token}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth >= MAX_DEPTH {
+        return Err(fail(
+            *pos,
+            format!("nesting deeper than {MAX_DEPTH} levels"),
+        ));
+    }
+    match bytes.get(*pos) {
+        None => Err(fail(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(fail(*pos, "expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(fail(*pos, "expected `:` after object key"));
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                let value = parse_value(bytes, pos, depth + 1)?;
+                // Duplicate keys: last one wins (serde_json behaviour).
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(fail(*pos, "expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(fail(*pos, "expected `\"`"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(fail(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| fail(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| fail(*pos, "non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| fail(*pos, "invalid \\u escape"))?;
+                        // Surrogates are not produced by our writer;
+                        // map unpaired ones to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(fail(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (the input came from a
+                // &str, so boundaries are valid).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| fail(*pos, "invalid UTF-8"))?;
+                let c = rest.chars().next().expect("non-empty by construction");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(fail(start, "expected a JSON value"));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII by construction");
+    match text.parse::<f64>() {
+        // `f64::from_str` saturates huge literals to ±∞; a server must
+        // not quietly turn `1e999` into infinity, so reject instead.
+        Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+        Ok(_) => Err(fail(start, format!("number `{text}` overflows f64"))),
+        Err(_) => Err(fail(start, format!("invalid number `{text}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &Json) {
+        let text = value.render();
+        let parsed = Json::parse(&text).expect("parse back");
+        assert_eq!(&parsed, value, "round trip failed for `{text}`");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-1.5),
+            Json::Num(1e-30),
+            Json::Num(1234567890.125),
+            Json::str(""),
+            Json::str("plain"),
+            Json::str("esc \" \\ \n \t ü λ"),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        round_trip(&Json::obj([
+            ("id", Json::str("maj3/011")),
+            ("ok", Json::Bool(true)),
+            (
+                "outputs",
+                Json::obj([("o1", Json::Num(1.25e-3)), ("o2", Json::Num(0.9e-3))]),
+            ),
+            (
+                "pattern",
+                Json::Arr(vec![Json::Num(0.0), Json::Num(1.0), Json::Num(1.0)]),
+            ),
+            ("note", Json::Null),
+        ]));
+    }
+
+    #[test]
+    fn numbers_keep_full_precision() {
+        let x = 0.123_456_789_012_345_68;
+        let Json::Num(back) = Json::parse(&Json::Num(x).render()).unwrap() else {
+            panic!("expected number");
+        };
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parses_foreign_whitespace_and_escapes() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2.5e1 ] , \"b\\u0041\" : null } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::Num(25.0));
+        assert!(v.get("bA").unwrap() == &Json::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\":}", "12x", "true false"] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn object_keys_render_sorted_and_deterministic() {
+        let v = Json::obj([("zeta", Json::Num(1.0)), ("alpha", Json::Num(2.0))]);
+        assert_eq!(v.render(), "{\"alpha\":2.0,\"zeta\":1.0}");
+    }
+
+    #[test]
+    fn accessors_return_expected_views() {
+        let v = Json::obj([
+            ("s", Json::str("x")),
+            ("n", Json::Num(4.0)),
+            ("b", Json::Bool(true)),
+        ]);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("s"), None);
+        assert!(v.as_obj().is_some());
+        assert!(Json::Null.as_obj().is_none());
+    }
+
+    // ---- server-facing hardening regressions ------------------------
+
+    #[test]
+    fn all_escape_sequences_decode() {
+        let v = Json::parse(r#""\" \\ \/ \n \r \t \b \f A é λ""#).unwrap();
+        assert_eq!(
+            v.as_str(),
+            Some("\" \\ / \n \r \t \u{8} \u{c} A \u{e9} \u{3bb}")
+        );
+    }
+
+    #[test]
+    fn control_characters_round_trip_as_escapes() {
+        let s = "\u{0}\u{1}\u{1f} end";
+        let rendered = Json::str(s).render();
+        assert!(rendered.contains("\\u0000"));
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn unpaired_surrogate_escapes_become_replacement_chars() {
+        let v = Json::parse(r#""\ud83d""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}"));
+    }
+
+    #[test]
+    fn invalid_escapes_are_rejected() {
+        for bad in [r#""\x""#, r#""\u12""#, r#""\u12zz""#, "\"\\"] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn nesting_up_to_the_limit_parses() {
+        let depth = MAX_DEPTH;
+        let text = "[".repeat(depth) + &"]".repeat(depth);
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        for depth in [MAX_DEPTH + 1, 10_000] {
+            let text = "[".repeat(depth) + &"]".repeat(depth);
+            let err = Json::parse(&text).expect_err("must reject deep nesting");
+            assert!(err.reason.contains("nesting"), "{err}");
+            let text = "{\"k\":".repeat(depth) + "null" + &"}".repeat(depth);
+            assert!(Json::parse(&text).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_error_at_every_prefix() {
+        let full = r#"{"gate":"maj3","inputs":[0,1,1],"note":"esc A","nested":{"x":1.5e3}}"#;
+        assert!(Json::parse(full).is_ok());
+        for cut in 1..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &full[..cut];
+            assert!(
+                Json::parse(prefix).is_err(),
+                "truncated prefix `{prefix}` must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_last_one_wins() {
+        let v = Json::parse(r#"{"a":1,"b":2,"a":3}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("b").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.as_obj().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_bytes_rejects_non_utf8_without_panicking() {
+        let cases: [&[u8]; 3] = [b"{\"a\":\"\xff\xfe\"}", b"\xc3", b"[1,2,\x80]"];
+        for bytes in cases {
+            let err = Json::parse_bytes(bytes).expect_err("must reject non-UTF-8");
+            assert!(err.reason.contains("UTF-8"), "{err}");
+        }
+        assert_eq!(
+            Json::parse_bytes(br#"{"ok":true}"#).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e400"] {
+            let err = Json::parse(bad).expect_err("must reject overflow");
+            assert!(err.reason.contains("overflows"), "{err}");
+        }
+        // Subnormal underflow to zero is fine (still finite).
+        assert_eq!(Json::parse("1e-999").unwrap(), Json::Num(0.0));
+    }
+
+    #[test]
+    fn error_offsets_point_at_the_problem() {
+        let err = Json::parse(r#"{"a": nope}"#).unwrap_err();
+        assert_eq!(err.at, 6);
+        let err = Json::parse("[1, 2,]").unwrap_err();
+        assert_eq!(err.at, 6);
+    }
+}

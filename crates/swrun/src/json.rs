@@ -1,438 +1,9 @@
-//! Hand-rolled minimal JSON — the manifest format's only serializer.
+//! Manifest JSON — re-exported from the shared [`swjson`] crate.
 //!
-//! The workspace is std-only (no `serde`), and run manifests need just a
-//! small, predictable subset of JSON: objects, arrays, strings, finite
-//! numbers, booleans and null. [`Json`] is the value tree, with a writer
-//! ([`Json::render`]) that always emits valid JSON and a recursive-descent
-//! parser ([`Json::parse`]) that accepts exactly what the writer emits
-//! (plus whitespace and escapes), which is all checkpoint/resume needs.
-//!
-//! Non-finite numbers (`NaN`, `±∞`) serialize as `null`, mirroring what
-//! `serde_json` does — manifests must stay loadable by stock JSON tools.
+//! The JSON value/writer/parser started life here as the manifest
+//! format's private serializer. Once `swserve` needed the same machinery
+//! for HTTP bodies it was promoted to the `swjson` crate (with parser
+//! hardening for network input); this module stays as a re-export so
+//! `swrun::json::Json` and `swrun::Json` keep working.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite double (non-finite values render as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; keys are sorted so rendering is deterministic.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    pub fn obj<I>(pairs: I) -> Json
-    where
-        I: IntoIterator<Item = (&'static str, Json)>,
-    {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// A string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// The value under `key`, if this is an object that has it.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(map) => map.get(key),
-            _ => None,
-        }
-    }
-
-    /// This value as a finite number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// This value as a string slice, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// This value as a bool, if it is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// This value's array elements, if it is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Serializes to a single-line JSON string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // `{:?}` round-trips f64 exactly (shortest form).
-                    out.push_str(&format!("{x:?}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(map) => {
-                out.push('{');
-                for (i, (k, v)) in map.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(k, out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses one JSON value from `text` (surrounding whitespace allowed).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`JsonError`] with a byte offset on malformed input or
-    /// trailing garbage.
-    pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        skip_ws(bytes, &mut pos);
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(JsonError {
-                at: pos,
-                reason: "trailing characters after JSON value".into(),
-            });
-        }
-        Ok(value)
-    }
-}
-
-/// A parse failure with its byte offset.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the failure.
-    pub at: usize,
-    /// What went wrong.
-    pub reason: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.at, self.reason)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn fail(pos: usize, reason: impl Into<String>) -> JsonError {
-    JsonError {
-        at: pos,
-        reason: reason.into(),
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
-    if bytes[*pos..].starts_with(token.as_bytes()) {
-        *pos += token.len();
-        Ok(())
-    } else {
-        Err(fail(*pos, format!("expected `{token}`")))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    match bytes.get(*pos) {
-        None => Err(fail(*pos, "unexpected end of input")),
-        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
-        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
-        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(fail(*pos, "expected `,` or `]` in array")),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(fail(*pos, "expected `:` after object key"));
-                }
-                *pos += 1;
-                skip_ws(bytes, pos);
-                let value = parse_value(bytes, pos)?;
-                map.insert(key, value);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(map));
-                    }
-                    _ => return Err(fail(*pos, "expected `,` or `}` in object")),
-                }
-            }
-        }
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(fail(*pos, "expected `\"`"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err(fail(*pos, "unterminated string")),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| fail(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| fail(*pos, "non-ASCII \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| fail(*pos, "invalid \\u escape"))?;
-                        // Surrogates are not produced by our writer;
-                        // map unpaired ones to the replacement char.
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(fail(*pos, "invalid escape")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 character (input is a &str, so
-                // boundaries are valid).
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| fail(*pos, "invalid UTF-8"))?;
-                let c = rest.chars().next().expect("non-empty by construction");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    if start == *pos {
-        return Err(fail(start, "expected a JSON value"));
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII by construction");
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| fail(start, format!("invalid number `{text}`")))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn round_trip(value: &Json) {
-        let text = value.render();
-        let parsed = Json::parse(&text).expect("parse back");
-        assert_eq!(&parsed, value, "round trip failed for `{text}`");
-    }
-
-    #[test]
-    fn scalars_round_trip() {
-        for v in [
-            Json::Null,
-            Json::Bool(true),
-            Json::Bool(false),
-            Json::Num(0.0),
-            Json::Num(-1.5),
-            Json::Num(1e-30),
-            Json::Num(1234567890.125),
-            Json::str(""),
-            Json::str("plain"),
-            Json::str("esc \" \\ \n \t ü λ"),
-        ] {
-            round_trip(&v);
-        }
-    }
-
-    #[test]
-    fn nested_structures_round_trip() {
-        round_trip(&Json::obj([
-            ("id", Json::str("maj3/011")),
-            ("ok", Json::Bool(true)),
-            (
-                "outputs",
-                Json::obj([("o1", Json::Num(1.25e-3)), ("o2", Json::Num(0.9e-3))]),
-            ),
-            (
-                "pattern",
-                Json::Arr(vec![Json::Num(0.0), Json::Num(1.0), Json::Num(1.0)]),
-            ),
-            ("note", Json::Null),
-        ]));
-    }
-
-    #[test]
-    fn numbers_keep_full_precision() {
-        let x = 0.123_456_789_012_345_68;
-        let Json::Num(back) = Json::parse(&Json::Num(x).render()).unwrap() else {
-            panic!("expected number");
-        };
-        assert_eq!(back, x);
-    }
-
-    #[test]
-    fn non_finite_numbers_become_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
-    }
-
-    #[test]
-    fn parses_foreign_whitespace_and_escapes() {
-        let v = Json::parse(" { \"a\" : [ 1 , 2.5e1 ] , \"b\\u0041\" : null } ").unwrap();
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::Num(25.0));
-        assert!(v.get("bA").unwrap() == &Json::Null);
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "\"abc", "{\"a\":}", "12x", "true false"] {
-            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
-        }
-    }
-
-    #[test]
-    fn object_keys_render_sorted_and_deterministic() {
-        let v = Json::obj([("zeta", Json::Num(1.0)), ("alpha", Json::Num(2.0))]);
-        assert_eq!(v.render(), "{\"alpha\":2.0,\"zeta\":1.0}");
-    }
-
-    #[test]
-    fn accessors_return_expected_views() {
-        let v = Json::obj([
-            ("s", Json::str("x")),
-            ("n", Json::Num(4.0)),
-            ("b", Json::Bool(true)),
-        ]);
-        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
-        assert_eq!(v.get("n").unwrap().as_f64(), Some(4.0));
-        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
-        assert_eq!(v.get("missing"), None);
-        assert_eq!(Json::Null.get("s"), None);
-    }
-}
+pub use swjson::{Json, JsonError, MAX_DEPTH};

@@ -15,6 +15,9 @@
 //!   (wall time, summed job time, realized speedup vs serial).
 //! * [`batch`] — the engine tying those together: [`batch::Batch::run`]
 //!   skips manifest-completed jobs, fans the rest out, logs and reports.
+//! * [`resident`] — a long-lived worker pool with per-job handles for
+//!   resident processes (the `swserve` HTTP service), with graceful
+//!   drain on close.
 //! * [`gates`] — the bridge to [`swgates`]: pattern batches for the
 //!   triangle MAJ3/XOR gates with shared drive-trim calibration, sweep
 //!   helpers, and [`gates::MemoBackend`] to feed batch results back into
@@ -44,6 +47,7 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod pool;
+pub mod resident;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -53,6 +57,7 @@ pub use json::Json;
 pub use manifest::{Manifest, ManifestWriter};
 pub use metrics::{BatchMetrics, Progress};
 pub use pool::{JobFailure, JobOutcome, JobPool};
+pub use resident::{JobHandle, JobStage, PoolClosed, ResidentPool};
 
 /// Splits the machine's cores between `jobs` concurrently running
 /// simulations, returning the per-simulation thread count (≥ 1).

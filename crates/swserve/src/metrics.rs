@@ -1,0 +1,267 @@
+//! Live service metrics: per-endpoint counters and latency histograms.
+//!
+//! Everything here is lock-free atomics so the hot path never blocks on
+//! a metrics mutex. Latencies go into log2-spaced microsecond buckets —
+//! coarse, but enough to read p50/p99 off `/metrics` without keeping
+//! every sample; the loadtest measures exact client-side latencies
+//! separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use swjson::Json;
+
+/// Number of log2 latency buckets: bucket `i` holds samples with
+/// `latency_us < 2^i`, the last bucket is a catch-all.
+pub const BUCKETS: usize = 28;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn observe(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1) in
+    /// microseconds: the upper edge of the bucket containing it.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds samples in [2^(i-1), 2^i).
+                return 1u64 << i;
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The histogram as JSON: count, mean/max, bucketed counts (only
+    /// non-empty buckets, as `{"le_us": 2^i, "count": n}`), and p50/p99
+    /// upper-bound estimates.
+    pub fn render(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    Json::obj([
+                        ("le_us", Json::Num((1u64 << i) as f64)),
+                        ("count", Json::Num(count as f64)),
+                    ])
+                })
+            })
+            .collect();
+        let count = self.count();
+        let mean = if count > 0 {
+            self.total_us.load(Ordering::Relaxed) as f64 / count as f64
+        } else {
+            0.0
+        };
+        Json::obj([
+            ("count", Json::Num(count as f64)),
+            ("mean_us", Json::Num(mean)),
+            (
+                "max_us",
+                Json::Num(self.max_us.load(Ordering::Relaxed) as f64),
+            ),
+            ("p50_us", Json::Num(self.quantile_us(0.50) as f64)),
+            ("p99_us", Json::Num(self.quantile_us(0.99) as f64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Counters and latency for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+impl EndpointMetrics {
+    /// Records one served request (any status) with its latency;
+    /// `error` marks 4xx/5xx responses.
+    pub fn observe(&self, latency: Duration, error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.observe(latency);
+    }
+
+    /// Total requests seen.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with an error status.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The endpoint's metrics as JSON.
+    pub fn render(&self) -> Json {
+        Json::obj([
+            ("requests", Json::Num(self.requests() as f64)),
+            ("errors", Json::Num(self.errors() as f64)),
+            ("latency", self.latency.render()),
+        ])
+    }
+}
+
+/// The whole server's metrics, surfaced at `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// `POST /v1/gate/eval`.
+    pub gate_eval: EndpointMetrics,
+    /// `POST /v1/jobs`.
+    pub jobs_submit: EndpointMetrics,
+    /// `GET /v1/jobs/:id`.
+    pub jobs_get: EndpointMetrics,
+    /// `GET /healthz`.
+    pub healthz: EndpointMetrics,
+    /// `GET /metrics`.
+    pub metrics: EndpointMetrics,
+    /// Everything else (404s, admin).
+    pub other: EndpointMetrics,
+
+    /// Gate-eval answers served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Gate-eval answers computed fresh (single-flight leaders).
+    pub cache_misses: AtomicU64,
+    /// Gate-eval answers that piggybacked on an identical in-flight
+    /// evaluation.
+    pub cache_coalesced: AtomicU64,
+    /// Requests shed with 429 by admission control.
+    pub shed: AtomicU64,
+    /// Micromagnetic jobs accepted.
+    pub jobs_accepted: AtomicU64,
+    /// Micromagnetic jobs finished successfully.
+    pub jobs_done: AtomicU64,
+    /// Micromagnetic jobs that failed.
+    pub jobs_failed: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// The full metrics document.
+    pub fn render(&self) -> Json {
+        Json::obj([
+            (
+                "endpoints",
+                Json::obj([
+                    ("gate_eval", self.gate_eval.render()),
+                    ("jobs_submit", self.jobs_submit.render()),
+                    ("jobs_get", self.jobs_get.render()),
+                    ("healthz", self.healthz.render()),
+                    ("metrics", self.metrics.render()),
+                    ("other", self.other.render()),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", load(&self.cache_hits)),
+                    ("misses", load(&self.cache_misses)),
+                    ("coalesced", load(&self.cache_coalesced)),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::obj([
+                    ("accepted", load(&self.jobs_accepted)),
+                    ("done", load(&self.jobs_done)),
+                    ("failed", load(&self.jobs_failed)),
+                ]),
+            ),
+            ("shed", load(&self.shed)),
+            ("connections", load(&self.connections)),
+        ])
+    }
+}
+
+fn load(counter: &AtomicU64) -> Json {
+    Json::Num(counter.load(Ordering::Relaxed) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for us in [1u64, 3, 3, 7, 100, 1000] {
+            h.observe(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        // p50 rank 3 → the 3 µs samples live in the [2,4) bucket → 4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99 rank 6 → 1000 µs lives in [512,1024) → 1024.
+        assert_eq!(h.quantile_us(0.99), 1024);
+        let json = h.render();
+        assert_eq!(json.get("count").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(json.get("max_us").and_then(Json::as_f64), Some(1000.0));
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        let json = h.render();
+        assert_eq!(json.get("p99_us").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(json.get("buckets").and_then(Json::as_arr).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn endpoint_metrics_count_errors_separately() {
+        let m = EndpointMetrics::default();
+        m.observe(Duration::from_micros(10), false);
+        m.observe(Duration::from_micros(20), true);
+        assert_eq!(m.requests(), 2);
+        assert_eq!(m.errors(), 1);
+    }
+
+    #[test]
+    fn server_metrics_render_is_valid_json() {
+        let m = ServerMetrics::default();
+        m.gate_eval.observe(Duration::from_micros(5), false);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        let text = m.render().render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+    }
+}

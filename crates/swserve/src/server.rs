@@ -1,0 +1,614 @@
+//! The HTTP server: accept loop, routing, and the serving policies that
+//! tie the crate together.
+//!
+//! * `POST /v1/gate/eval` — behavioral gate/circuit evaluation, answered
+//!   inline through the single-flight [`ResultCache`]: concurrent
+//!   identical requests cost one evaluation, repeats are cache hits, and
+//!   the `X-Cache` response header says which (`hit`/`miss`/`coalesced`)
+//!   without perturbing the body (bodies stay byte-identical to the CLI
+//!   `repro eval` output).
+//! * `POST /v1/jobs`, `GET /v1/jobs/:id` — micromagnetic evaluations
+//!   dispatched onto the resident pool; see [`crate::jobs`].
+//! * `GET /healthz`, `GET /metrics` — liveness and live counters.
+//! * `POST /v1/admin/shutdown` — graceful drain: stop accepting work,
+//!   finish in-flight requests and jobs, flush the manifest. (A pure-std
+//!   binary cannot trap SIGTERM, so drain is an endpoint.)
+//!
+//! Backpressure: evaluation work (cache-miss leaders and job
+//! submissions) passes admission control bounded by `queue_depth`;
+//! beyond it requests are shed with `429` + `Retry-After` instead of
+//! queueing unboundedly. Cache hits and coalesced followers bypass
+//! admission — they cost no evaluation.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use swjson::Json;
+use swrun::ManifestWriter;
+
+use crate::cache::{content_key, Begin, FlightError, ResultCache};
+use crate::eval;
+use crate::http::{error_body, read_request, write_json, ReadError, Request};
+use crate::jobs::{JobStore, SubmitError};
+use crate::metrics::ServerMetrics;
+
+/// How a [`Server`] is configured; see `repro serve --help` for the
+/// CLI surface.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads for micromagnetic jobs.
+    pub workers: usize,
+    /// Admission bound: concurrent evaluations (gate-eval leaders, and
+    /// unfinished jobs) beyond this are shed with 429.
+    pub queue_depth: usize,
+    /// Result-cache capacity (distinct canonical requests).
+    pub cache_capacity: usize,
+    /// Manifest path for job results (`None` disables the manifest).
+    pub manifest: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 1024,
+            manifest: None,
+        }
+    }
+}
+
+struct Shared {
+    metrics: ServerMetrics,
+    cache: ResultCache,
+    jobs: JobStore,
+    manifest: Option<Arc<ManifestWriter>>,
+    queue_depth: usize,
+    /// Gate-eval leader evaluations currently running.
+    admitted: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A cheap handle onto a running server: its address, live metrics, and
+/// the shutdown trigger. This is how in-process tests observe the
+/// server without going through the socket.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Begins a graceful drain, as `POST /v1/admin/shutdown` would.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The gate-evaluation service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener and starts the job subsystem. The server does
+    /// not serve until [`run`](Server::run).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures and manifest-open failures.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let manifest = match &config.manifest {
+            None => None,
+            Some(path) => Some(Arc::new(ManifestWriter::open(path, false).map_err(
+                |e| std::io::Error::other(format!("manifest `{}`: {e}", path.display())),
+            )?)),
+        };
+        let shared = Arc::new(Shared {
+            metrics: ServerMetrics::default(),
+            cache: ResultCache::new(config.cache_capacity),
+            jobs: JobStore::start(config.workers, config.queue_depth, manifest.clone()),
+            manifest,
+            queue_depth: config.queue_depth,
+            admitted: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            shared,
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for observing and shutting down the server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a drain is triggered (`POST /v1/admin/shutdown` or
+    /// [`ServerHandle::shutdown`]), then drains gracefully: stops
+    /// accepting connections, lets open connections and accepted jobs
+    /// finish, and flushes a metrics summary to the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Only listener-level failures; per-connection errors are contained.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared
+                        .metrics
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(thread::spawn(move || handle_connection(stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            // Reap finished connection threads so the vec stays small on
+            // long-lived servers.
+            connections.retain(|c| !c.is_finished());
+        }
+        // Drain: no new connections; open ones notice the flag within
+        // one read-timeout tick and close after their in-flight request.
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.shared.jobs.drain();
+        sync_job_counters(&self.shared);
+        if let Some(writer) = &self.shared.manifest {
+            if let Err(e) = writer.summary(&self.shared.metrics.render()) {
+                eprintln!("swserve: manifest summary failed: {e}");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Copies the job store's lifetime counts into the metrics atomics so
+/// `/metrics` renders them without the store needing a metrics handle.
+fn sync_job_counters(shared: &Shared) {
+    let (accepted, done, failed) = shared.jobs.stats();
+    shared
+        .metrics
+        .jobs_accepted
+        .store(accepted, Ordering::Relaxed);
+    shared.metrics.jobs_done.store(done, Ordering::Relaxed);
+    shared.metrics.jobs_failed.store(failed, Ordering::Relaxed);
+}
+
+/// One response, ready to write: status, extra headers, JSON body.
+struct Reply {
+    status: u16,
+    extra: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Reply {
+        Reply::json(status, error_body(message))
+    }
+
+    fn shed() -> Reply {
+        let mut reply = Reply::error(429, "server overloaded; retry shortly");
+        reply.extra.push(("retry-after", "1".to_string()));
+        reply
+    }
+
+    fn cached(body: &str, x_cache: &str) -> Reply {
+        let mut reply = Reply::json(200, body.to_string());
+        reply.extra.push(("x-cache", x_cache.to_string()));
+        reply
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Short read timeout so idle keep-alive connections notice a drain.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&stream) {
+            Ok(request) => request,
+            Err(ReadError::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Malformed(message)) => {
+                let _ = write_json(&mut stream, 400, &[], &error_body(&message), false);
+                return;
+            }
+            Err(ReadError::BodyTooLarge) => {
+                let _ = write_json(&mut stream, 413, &[], &error_body("body too large"), false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        let close = request.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+
+        let started = Instant::now();
+        let (reply, endpoint) = route(&request, shared);
+        let latency = started.elapsed();
+        endpoint_metrics(endpoint, shared).observe(latency, reply.status >= 400);
+
+        let extra: Vec<(&str, &str)> = reply
+            .extra
+            .iter()
+            .map(|(name, value)| (*name, value.as_str()))
+            .collect();
+        if write_json(&mut stream, reply.status, &extra, &reply.body, !close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Which endpoint a request landed on, for metrics attribution.
+#[derive(Clone, Copy)]
+enum Endpoint {
+    GateEval,
+    JobsSubmit,
+    JobsGet,
+    Healthz,
+    Metrics,
+    Other,
+}
+
+fn endpoint_metrics(endpoint: Endpoint, shared: &Shared) -> &crate::metrics::EndpointMetrics {
+    match endpoint {
+        Endpoint::GateEval => &shared.metrics.gate_eval,
+        Endpoint::JobsSubmit => &shared.metrics.jobs_submit,
+        Endpoint::JobsGet => &shared.metrics.jobs_get,
+        Endpoint::Healthz => &shared.metrics.healthz,
+        Endpoint::Metrics => &shared.metrics.metrics,
+        Endpoint::Other => &shared.metrics.other,
+    }
+}
+
+fn route(request: &Request, shared: &Shared) -> (Reply, Endpoint) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (healthz(shared), Endpoint::Healthz),
+        ("POST", "/v1/gate/eval") => (gate_eval(request, shared), Endpoint::GateEval),
+        ("POST", "/v1/jobs") => (jobs_submit(request, shared), Endpoint::JobsSubmit),
+        ("GET", "/metrics") => (metrics_reply(shared), Endpoint::Metrics),
+        ("POST", "/v1/admin/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (
+                Reply::json(200, r#"{"draining":true}"#.to_string()),
+                Endpoint::Other,
+            )
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let id = &path["/v1/jobs/".len()..];
+            (jobs_get(id, shared), Endpoint::JobsGet)
+        }
+        (_, "/healthz" | "/metrics" | "/v1/gate/eval" | "/v1/jobs" | "/v1/admin/shutdown") => {
+            (Reply::error(405, "method not allowed"), Endpoint::Other)
+        }
+        _ => (Reply::error(404, "no such endpoint"), Endpoint::Other),
+    }
+}
+
+fn healthz(shared: &Shared) -> Reply {
+    let body = Json::obj([
+        ("status", Json::str("ok")),
+        (
+            "draining",
+            Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
+        ),
+        ("jobs_in_flight", Json::Num(shared.jobs.in_flight() as f64)),
+    ])
+    .render();
+    Reply::json(200, body)
+}
+
+fn metrics_reply(shared: &Shared) -> Reply {
+    sync_job_counters(shared);
+    Reply::json(200, shared.metrics.render().render())
+}
+
+fn gate_eval(request: &Request, shared: &Shared) -> Reply {
+    let parsed = match Json::parse_bytes(&request.body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Reply::error(400, &format!("bad JSON: {e}")),
+    };
+    let normalized = match eval::normalize(&parsed) {
+        Ok(normalized) => normalized,
+        Err(e) => return Reply::error(400, &e.message),
+    };
+    let key = content_key(&normalized.render());
+    match shared.cache.begin(key) {
+        Begin::Hit(body) => {
+            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            Reply::cached(&body, "hit")
+        }
+        Begin::Follower(flight) => match flight.wait() {
+            Ok(body) => {
+                shared
+                    .metrics
+                    .cache_coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+                Reply::cached(&body, "coalesced")
+            }
+            Err(FlightError::Shed) => {
+                shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                Reply::shed()
+            }
+            Err(FlightError::Eval(message)) => Reply::error(400, &message),
+            Err(FlightError::Aborted) => Reply::error(500, "evaluation aborted"),
+        },
+        Begin::Leader(token) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.cache.abandon(token, FlightError::Shed);
+                return Reply::error(503, "server is draining");
+            }
+            if shared.admitted.fetch_add(1, Ordering::SeqCst) >= shared.queue_depth {
+                shared.admitted.fetch_sub(1, Ordering::SeqCst);
+                shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                shared.cache.abandon(token, FlightError::Shed);
+                return Reply::shed();
+            }
+            let outcome = eval::evaluate(&normalized).map(|result| result.render());
+            shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            match outcome {
+                Ok(body) => {
+                    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    let body = shared.cache.complete(token, body);
+                    Reply::cached(&body, "miss")
+                }
+                Err(e) => {
+                    shared
+                        .cache
+                        .abandon(token, FlightError::Eval(e.message.clone()));
+                    Reply::error(400, &e.message)
+                }
+            }
+        }
+    }
+}
+
+fn jobs_submit(request: &Request, shared: &Shared) -> Reply {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Reply::error(503, "server is draining");
+    }
+    let parsed = match Json::parse_bytes(&request.body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Reply::error(400, &format!("bad JSON: {e}")),
+    };
+    match shared.jobs.submit(&parsed) {
+        Ok((id, resubmitted)) => {
+            let status = shared
+                .jobs
+                .status(&id)
+                .and_then(|s| s.get("status").and_then(Json::as_str).map(str::to_string))
+                .unwrap_or_else(|| "queued".to_string());
+            let body = Json::obj([
+                ("id", Json::str(&id)),
+                ("status", Json::str(&status)),
+                ("resubmitted", Json::Bool(resubmitted)),
+            ])
+            .render();
+            Reply::json(202, body)
+        }
+        Err(SubmitError::Invalid(e)) => Reply::error(400, &e.message),
+        Err(SubmitError::Overloaded) => {
+            shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            Reply::shed()
+        }
+        Err(SubmitError::Closed) => Reply::error(503, "server is draining"),
+    }
+}
+
+fn jobs_get(id: &str, shared: &Shared) -> Reply {
+    match shared.jobs.status(id) {
+        Some(status) => Reply::json(200, status.render()),
+        None => Reply::error(404, "no such job"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared(queue_depth: usize) -> Arc<Shared> {
+        Arc::new(Shared {
+            metrics: ServerMetrics::default(),
+            cache: ResultCache::new(8),
+            jobs: JobStore::start(1, queue_depth, None),
+            manifest: None,
+            queue_depth,
+            admitted: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routes_and_statuses() {
+        let shared = test_shared(4);
+        let cases = [
+            (get("/healthz"), 200),
+            (get("/metrics"), 200),
+            (get("/nope"), 404),
+            (post("/healthz", ""), 405),
+            (post("/v1/gate/eval", "not json"), 400),
+            (post("/v1/gate/eval", r#"{"gate":"warp"}"#), 400),
+            (post("/v1/jobs", r#"{"kind":"explode"}"#), 400),
+            (get("/v1/jobs/job-0-dead"), 404),
+        ];
+        for (request, expected) in cases {
+            let (reply, _) = route(&request, &shared);
+            assert_eq!(
+                reply.status, expected,
+                "{} {} → {}",
+                request.method, request.path, reply.body
+            );
+        }
+    }
+
+    #[test]
+    fn gate_eval_miss_then_hit_with_identical_bodies() {
+        let shared = test_shared(4);
+        let request = post("/v1/gate/eval", r#"{"gate":"maj3","inputs":[0,1,1]}"#);
+        let (first, _) = route(&request, &shared);
+        assert_eq!(first.status, 200);
+        assert_eq!(first.extra, vec![("x-cache", "miss".to_string())]);
+        // Same meaning, different field order — still the same entry.
+        let reordered = post("/v1/gate/eval", r#"{"inputs":[0,1,1],"gate":"maj3"}"#);
+        let (second, _) = route(&reordered, &shared);
+        assert_eq!(second.status, 200);
+        assert_eq!(second.extra, vec![("x-cache", "hit".to_string())]);
+        assert_eq!(first.body, second.body, "cache must not change bytes");
+        assert_eq!(shared.metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn gate_eval_body_matches_cli_responder() {
+        let shared = test_shared(4);
+        let raw = r#"{"gate":"xor","inputs":[1,0],"backend":"paper"}"#;
+        let (reply, _) = route(&post("/v1/gate/eval", raw), &shared);
+        let cli = eval::respond(&Json::parse(raw).unwrap()).unwrap();
+        assert_eq!(reply.body, cli, "server and CLI must emit identical bytes");
+    }
+
+    #[test]
+    fn zero_queue_depth_sheds_every_evaluation() {
+        let shared = test_shared(0);
+        let (reply, _) = route(
+            &post("/v1/gate/eval", r#"{"gate":"maj3","inputs":[0,1,1]}"#),
+            &shared,
+        );
+        assert_eq!(reply.status, 429);
+        assert!(reply
+            .extra
+            .iter()
+            .any(|(name, value)| *name == "retry-after" && value == "1"));
+        assert_eq!(shared.metrics.shed.load(Ordering::Relaxed), 1);
+        // Errors/sheds are not cached: capacity remains unused.
+        assert!(shared.cache.is_empty());
+    }
+
+    #[test]
+    fn job_lifecycle_over_routes() {
+        let shared = test_shared(4);
+        let (submit, _) = route(&post("/v1/jobs", r#"{"kind":"sleep","ms":5}"#), &shared);
+        assert_eq!(submit.status, 202);
+        let body = Json::parse(&submit.body).unwrap();
+        let id = body.get("id").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(body.get("resubmitted").and_then(Json::as_bool), Some(false));
+        shared.jobs.wait(&id);
+        let (status, _) = route(&get(&format!("/v1/jobs/{id}")), &shared);
+        assert_eq!(status.status, 200);
+        let status_body = Json::parse(&status.body).unwrap();
+        assert_eq!(
+            status_body.get("status").and_then(Json::as_str),
+            Some("done")
+        );
+        // Resubmission returns the same id without new work.
+        let (again, _) = route(&post("/v1/jobs", r#"{"kind":"sleep","ms":5}"#), &shared);
+        let again_body = Json::parse(&again.body).unwrap();
+        assert_eq!(
+            again_body.get("id").and_then(Json::as_str),
+            Some(id.as_str())
+        );
+        assert_eq!(
+            again_body.get("resubmitted").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn draining_rejects_new_work() {
+        let shared = test_shared(4);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let (eval_reply, _) = route(
+            &post("/v1/gate/eval", r#"{"gate":"maj3","inputs":[0,1,1]}"#),
+            &shared,
+        );
+        assert_eq!(eval_reply.status, 503);
+        let (job_reply, _) = route(&post("/v1/jobs", r#"{"kind":"sleep","ms":1}"#), &shared);
+        assert_eq!(job_reply.status, 503);
+        // Health stays observable while draining.
+        let (health, _) = route(&get("/healthz"), &shared);
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains(r#""draining":true"#));
+    }
+
+    #[test]
+    fn shutdown_endpoint_sets_the_flag() {
+        let shared = test_shared(4);
+        assert!(!shared.shutdown.load(Ordering::SeqCst));
+        let (reply, _) = route(&post("/v1/admin/shutdown", ""), &shared);
+        assert_eq!(reply.status, 200);
+        assert!(shared.shutdown.load(Ordering::SeqCst));
+    }
+}

@@ -10,11 +10,17 @@
 //! * [`swperf`] — the energy/delay performance model (Table III).
 //! * [`swrun`] — parallel batch execution with run manifests and
 //!   checkpoint/resume (drives the micromagnetic experiments).
+//! * [`swjson`] — the shared std-only JSON value/writer/parser used by
+//!   manifests and HTTP bodies.
+//! * [`swserve`] — the gate-evaluation HTTP service (`repro serve`)
+//!   with coalescing, content-addressed caching, and backpressure.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
 pub use magnum;
 pub use swgates;
+pub use swjson;
 pub use swperf;
 pub use swphys;
 pub use swrun;
+pub use swserve;
