@@ -40,6 +40,13 @@ echo "==> rhs bench smoke (asserts bitwise identity across threads and rel err <
     --out target/BENCH_rhs_smoke.json
 test -s target/BENCH_rhs_smoke.json
 
+echo "==> netlist compiler smoke (rca16/mul4/table cases, fan-out legality asserted)"
+./target/release/parbench --netlist --patterns 2048 \
+    --out target/BENCH_netlist_smoke.json
+test -s target/BENCH_netlist_smoke.json
+./target/release/repro compile --demo full_adder > target/compile_smoke.json
+grep -q '"legal":true' target/compile_smoke.json
+
 echo "==> swserve smoke (boot, healthz, one gate eval byte-checked, graceful shutdown)"
 rm -f target/swserve.addr
 ./target/release/repro serve --addr 127.0.0.1:0 --addr-file target/swserve.addr \

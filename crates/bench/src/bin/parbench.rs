@@ -1,7 +1,7 @@
 //! `parbench` — wall-clock scaling of magnum's intra-simulation threading,
 //! plus the `swserve` loadtest and smoke probe.
 //!
-//! Five modes:
+//! Six modes:
 //!
 //! * Default: `parbench [--size N] [--steps N] [--threads LIST]` runs the
 //!   same deterministic LLG workload (an N×N film with exchange,
@@ -32,6 +32,16 @@
 //!   `64,128,256`, threads `1,2,4`, auto step count, output
 //!   `BENCH_rhs.json`.
 //!
+//! * `parbench --netlist [--patterns N] [--out PATH]` benchmarks the
+//!   `swnet` circuit compiler end to end: the 16-bit ripple-carry adder,
+//!   the 4×4 array multiplier, and a truth-table-synthesized full adder
+//!   are each compiled (construct/synthesize → legalize → lower) to a
+//!   fan-out-legal `swgates` circuit, then N pseudo-random patterns are
+//!   verified against integer arithmetic with the 64-lane word-parallel
+//!   evaluator. The report (`BENCH_netlist.json`) records compile time,
+//!   verification throughput, and the logical-effort scorecard (energy,
+//!   delay, CMOS ratios) per case. Defaults: 65536 patterns.
+//!
 //! * `parbench --serve [--addr HOST:PORT] [--connections N]
 //!   [--requests N] [--out PATH]` loadtests the `swserve` HTTP service
 //!   over real sockets: N concurrent keep-alive connections each issue R
@@ -59,6 +69,7 @@ use magnum::field::FieldTerm;
 use magnum::par::WorkerTeam;
 use magnum::prelude::*;
 use magnum::solver::IntegratorKind;
+use swperf::cmos::CmosNode;
 use swrun::json::Json;
 
 /// The pre-optimization Newell demag pipeline, preserved as the benchmark
@@ -698,6 +709,107 @@ fn rhs_main(grids: Vec<usize>, threads: Vec<usize>, steps: usize, out: String) {
     );
 }
 
+/// One `--netlist` case: compile the netlist `build` produces into a
+/// circuit (timed), assert the result is fan-out legal, then verify
+/// `patterns` pseudo-random patterns against `expect` (timed) with the
+/// word-parallel evaluator. Returns the case's report row.
+fn netlist_case(
+    name: &str,
+    patterns: usize,
+    build: impl FnOnce() -> swnet::ir::Netlist,
+    expect: impl Fn(u64) -> u64,
+) -> Json {
+    let start = Instant::now();
+    let netlist = build();
+    let legal = swnet::legalize::legalize(&netlist).expect("legalize");
+    let circuit = swnet::lower::to_circuit(&legal).expect("lower");
+    let compile_us = start.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        circuit.fanout_violations().is_empty(),
+        "{name}: compiled circuit must be fan-out legal"
+    );
+    let stats = swnet::legalize::stats(&legal).expect("legal netlist");
+    let card = swnet::effort::score(&legal, &swnet::effort::EffortModel::paper()).expect("score");
+
+    let start = Instant::now();
+    let verified = swnet::sim::verify_against(&circuit, patterns, 0x5117_c0de, expect);
+    let per_sec = verified as f64 / start.elapsed().as_secs_f64();
+    println!(
+        "  {name:9} compile {compile_us:9.1} µs  {:4} gates  depth {:3}  verified {verified} patterns at {per_sec:10.0}/s",
+        stats.gates, stats.depth
+    );
+    Json::obj([
+        ("name", Json::str(name)),
+        ("inputs", Json::Num(circuit.input_count() as f64)),
+        ("outputs", Json::Num(circuit.outputs().len() as f64)),
+        ("gates", Json::Num(stats.gates as f64)),
+        ("buffers", Json::Num(stats.buffers as f64)),
+        ("depth", Json::Num(stats.depth as f64)),
+        ("compile_us", Json::Num(compile_us)),
+        ("patterns", Json::Num(verified as f64)),
+        ("patterns_per_sec", Json::Num(per_sec)),
+        ("energy_aj", Json::Num(card.spinwave.energy_aj())),
+        ("delay_ns", Json::Num(card.spinwave.delay_ns())),
+        (
+            "energy_ratio_n16",
+            Json::Num(card.energy_ratio(CmosNode::N16)),
+        ),
+        (
+            "delay_ratio_n16",
+            Json::Num(card.delay_ratio(CmosNode::N16)),
+        ),
+    ])
+}
+
+/// `--netlist`: benchmark the swnet compiler and the word-parallel
+/// verifier, then write `BENCH_netlist.json`.
+fn netlist_main(patterns: usize, out: String) {
+    println!("netlist benchmark: swnet compile + word-parallel verification, {patterns} patterns per case");
+    let cases = vec![
+        netlist_case(
+            "rca16",
+            patterns,
+            || swnet::arith::ripple_carry_adder(16),
+            |p| (p & 0xffff) + (p >> 16 & 0xffff) + (p >> 32 & 1),
+        ),
+        netlist_case(
+            "mul4",
+            patterns,
+            || swnet::arith::array_multiplier(4),
+            |p| (p & 0xf) * (p >> 4 & 0xf),
+        ),
+        netlist_case(
+            "fa_table",
+            patterns,
+            || {
+                // The full adder again, but re-synthesized from its raw
+                // truth tables (sum, cout) so the compile time covers
+                // MAJ/XOR synthesis rather than netlist construction.
+                let tables = [
+                    swnet::synth::Table::parse("01101001").expect("sum table"),
+                    swnet::synth::Table::parse("00010111").expect("cout table"),
+                ];
+                swnet::synth::synthesize(&tables).expect("synthesize full adder")
+            },
+            |p| (p & 1) + (p >> 1 & 1) + (p >> 2 & 1),
+        ),
+    ];
+    let report = Json::obj([
+        ("benchmark", Json::str("netlist_compile_eval")),
+        ("unit", Json::str("patterns_per_sec")),
+        (
+            "reference",
+            Json::str(
+                "swnet compile (construct/synthesize + legalize + lower) verified \
+                 against integer arithmetic by the 64-lane word-parallel evaluator",
+            ),
+        ),
+        ("patterns", Json::Num(patterns as f64)),
+        ("cases", Json::Arr(cases)),
+    ]);
+    write_report(&out, &report);
+}
+
 /// Resolves `HOST:PORT` to a socket address or dies with a usage error.
 fn resolve(addr: &str) -> SocketAddr {
     addr.to_socket_addrs()
@@ -982,6 +1094,15 @@ fn main() {
             .unwrap_or(32);
         let out = value_of("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
         serve_main(value_of("--addr"), connections, requests, out);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--netlist") {
+        let patterns: usize = value_of("--patterns")
+            .map(|v| v.parse().expect("--patterns needs an integer"))
+            .unwrap_or(1 << 16);
+        let out = value_of("--out").unwrap_or_else(|| "BENCH_netlist.json".to_string());
+        netlist_main(patterns, out);
         return;
     }
     let parse_list = |v: String, flag: &str| -> Vec<usize> {

@@ -47,6 +47,13 @@
 //!   and print the canonical JSON response (reads stdin when no request
 //!   argument is given). The bytes are identical to what `POST
 //!   /v1/gate/eval` returns for the same request.
+//! * `compile [REQUEST_JSON] [--demo NAME]` — compile a netlist request
+//!   (a `demo` name, swnet netlist text under `source`, structural
+//!   JSON under `netlist`, or truth tables under `table`) into a
+//!   legalized, splitter/repeater-sized, CMOS-scored circuit.
+//!   `--demo full_adder|rca4|rca8|rca16|mul2|mul4` is shorthand for
+//!   `{"demo":"..."}`. The bytes are identical to what `POST
+//!   /v1/netlist/eval` returns for the same request.
 //! * `serve [--addr A] [--workers N] [--queue-depth N]
 //!   [--cache-capacity N] [--manifest PATH] [--addr-file PATH]` — run
 //!   the HTTP gate-evaluation service until `POST /v1/admin/shutdown`.
@@ -168,6 +175,7 @@ fn main() {
                             | "--queue-depth"
                             | "--cache-capacity"
                             | "--addr-file"
+                            | "--demo"
                     ))
         })
         .map(|(_, a)| a.as_str())
@@ -196,6 +204,7 @@ fn main() {
         "variability" => variability(&batch),
         "ablation" => ablation(),
         "eval" => eval_command(&args),
+        "compile" => compile_command(&args),
         "serve" => serve(&args),
         "all" => all(),
         other => {
@@ -650,19 +659,18 @@ fn positionals(args: &[String]) -> Vec<&str> {
                             | "--queue-depth"
                             | "--cache-capacity"
                             | "--addr-file"
+                            | "--demo"
                     ))
         })
         .map(|(_, a)| a.as_str())
         .collect()
 }
 
-/// `repro eval [REQUEST_JSON]` — one local gate/circuit evaluation,
-/// byte-identical to the server's `POST /v1/gate/eval` response.
-fn eval_command(args: &[String]) -> Result<(), SwGateError> {
-    // The request is the positional after the `eval` command word;
-    // without one, read it from stdin (`echo '{...}' | repro eval`).
-    let raw = match positionals(args).get(1) {
-        Some(request) => (*request).to_string(),
+/// Reads the request document for `eval`/`compile`: the positional
+/// after the command word, or stdin when absent.
+fn request_arg(args: &[String]) -> Result<String, SwGateError> {
+    match positionals(args).get(1) {
+        Some(request) => Ok((*request).to_string()),
         None => {
             let mut buffer = String::new();
             std::io::Read::read_to_string(&mut std::io::stdin(), &mut buffer).map_err(|e| {
@@ -670,13 +678,51 @@ fn eval_command(args: &[String]) -> Result<(), SwGateError> {
                     reason: format!("reading request from stdin: {e}"),
                 }
             })?;
-            buffer
+            Ok(buffer)
         }
-    };
+    }
+}
+
+/// `repro eval [REQUEST_JSON]` — one local gate/circuit evaluation,
+/// byte-identical to the server's `POST /v1/gate/eval` response.
+fn eval_command(args: &[String]) -> Result<(), SwGateError> {
+    // The request is the positional after the `eval` command word;
+    // without one, read it from stdin (`echo '{...}' | repro eval`).
+    let raw = request_arg(args)?;
     let request = swjson::Json::parse(raw.trim()).map_err(|e| SwGateError::Simulation {
         reason: format!("bad request JSON: {e}"),
     })?;
     let response = swserve::respond(&request).map_err(|e| SwGateError::Simulation {
+        reason: e.to_string(),
+    })?;
+    println!("{response}");
+    Ok(())
+}
+
+/// `repro compile [REQUEST_JSON] [--demo NAME]` — one local netlist
+/// compilation, byte-identical to `POST /v1/netlist/eval`.
+fn compile_command(args: &[String]) -> Result<(), SwGateError> {
+    let request = match args
+        .iter()
+        .position(|a| a == "--demo")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(name) => swjson::Json::obj([("demo", swjson::Json::str(name))]),
+        None => {
+            if args.iter().any(|a| a == "--demo") {
+                eprintln!(
+                    "--demo needs a name (one of {})",
+                    swserve::netlist::DEMOS.join(", ")
+                );
+                std::process::exit(2);
+            }
+            let raw = request_arg(args)?;
+            swjson::Json::parse(raw.trim()).map_err(|e| SwGateError::Simulation {
+                reason: format!("bad request JSON: {e}"),
+            })?
+        }
+    };
+    let response = swserve::netlist::respond(&request).map_err(|e| SwGateError::Simulation {
         reason: e.to_string(),
     })?;
     println!("{response}");

@@ -304,6 +304,11 @@ impl Circuit {
     /// — the §II-B motivating example ("the Full Adder carry out is
     /// computed as a 3-input majority"). Inputs: `[a, b, cin]`; outputs:
     /// `[sum, carry]`.
+    ///
+    /// The `swnet` compiler builds the same circuit from its netlist IR:
+    /// `swnet::arith::full_adder()` lowers to a structurally identical
+    /// `Circuit` (asserted by `swnet/tests/parity.rs`), so this
+    /// hand-built constructor is kept as the dependency-free reference.
     pub fn full_adder() -> Circuit {
         let mut c = Circuit::new(3);
         let (a, b, cin) = (Signal::Input(0), Signal::Input(1), Signal::Input(2));
@@ -325,6 +330,11 @@ impl Circuit {
     /// Inputs: `a[0..n], b[0..n], cin`; outputs: `sum[0..n], cout`.
     /// Every carry drives exactly 2 loads (the next stage's XOR and
     /// MAJ3) — the canonical use of the fan-out of 2.
+    ///
+    /// `swnet::arith::ripple_carry_adder(n)` compiles to a structurally
+    /// identical `Circuit` from the netlist IR (see
+    /// `swnet/tests/parity.rs`); this constructor remains as the
+    /// dependency-free reference.
     ///
     /// # Panics
     ///
@@ -361,6 +371,11 @@ impl Circuit {
 /// Primary inputs are assumed externally buffered (unlimited fan-out).
 /// The rewritten circuit computes the same function; its extra repeater
 /// levels show up in the `swperf` delay/energy estimates.
+///
+/// This is the chain-based legalizer; `swnet::arith::legalize_circuit`
+/// does the same job through the netlist IR with *balanced* splitter
+/// trees (logarithmic added depth instead of linear) and is what the
+/// compiler pipeline uses. Both outputs are functionally equivalent.
 ///
 /// # Errors
 ///

@@ -1,0 +1,254 @@
+//! Generated arithmetic netlists: the ROADMAP's adders and a small
+//! array multiplier.
+//!
+//! These are the swnet equivalents of the hand-built
+//! [`Circuit::full_adder`] / [`Circuit::ripple_carry_adder`]: the
+//! netlists here elaborate and lower to *structurally identical*
+//! circuits (same gates, same order — `tests/parity.rs` asserts
+//! equality), so the hand-built constructors in `swgates` are now thin
+//! hand-rolled copies of what the compiler produces.
+//!
+//! The multiplier is a classic row-accumulating array multiplier built
+//! from half/full-adder macro cells. Its wiring discipline keeps every
+//! internal net at fan-out ≤ 2 — it is fan-out-legal as generated,
+//! demonstrating the paper's claim that FO2 suffices for array
+//! arithmetic.
+
+use swgates::circuit::Circuit;
+
+use crate::ir::{CellKind, NetId, Netlist};
+use crate::legalize;
+use crate::lower;
+use crate::SwNetError;
+
+/// A one-bit full adder as a netlist: inputs `[a, b, cin]`, outputs
+/// `[sum, cout]`. Lowers to exactly [`Circuit::full_adder`].
+pub fn full_adder() -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.add_input("a").expect("fresh netlist");
+    let b = nl.add_input("b").expect("fresh netlist");
+    let cin = nl.add_input("cin").expect("fresh netlist");
+    let sum = nl.net("sum");
+    let cout = nl.net("cout");
+    nl.add_cell(CellKind::FullAdder, &[a, b, cin], &[sum, cout])
+        .expect("fresh nets");
+    nl.mark_output(sum);
+    nl.mark_output(cout);
+    nl
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0…a{n-1}, b0…b{n-1}, cin`;
+/// outputs `s0…s{n-1}, cout`. Lowers to exactly
+/// [`Circuit::ripple_carry_adder`]. Every carry drives two loads — the
+/// canonical use of the triangle gates' fan-out of 2.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be at least 1");
+    let mut nl = Netlist::new();
+    let a: Vec<NetId> = (0..n)
+        .map(|i| nl.add_input(&format!("a{i}")).expect("unique names"))
+        .collect();
+    let b: Vec<NetId> = (0..n)
+        .map(|i| nl.add_input(&format!("b{i}")).expect("unique names"))
+        .collect();
+    let mut carry = nl.add_input("cin").expect("unique names");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let sum = nl.net(&format!("s{i}"));
+        let next = if i + 1 == n {
+            nl.net("cout")
+        } else {
+            nl.net(&format!("c{}", i + 1))
+        };
+        nl.add_cell(CellKind::FullAdder, &[a[i], b[i], carry], &[sum, next])
+            .expect("fresh nets");
+        sums.push(sum);
+        carry = next;
+    }
+    for sum in sums {
+        nl.mark_output(sum);
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// An `n`×`n` array multiplier: inputs `a0…a{n-1}, b0…b{n-1}`; outputs
+/// `p0…` (the product, least-significant first; `2n` bits for `n ≥ 2`,
+/// one bit for `n = 1`).
+///
+/// Rows of AND partial products are accumulated with a ripple chain of
+/// half/full adders. Every internal net drives at most two loads
+/// (both sinks inside one adder macro), so the netlist is fan-out-legal
+/// without any splitter insertion; only the primary inputs — which the
+/// paper excites with replicated transducers — fan out wider.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_multiplier(n: usize) -> Netlist {
+    assert!(n > 0, "multiplier width must be at least 1");
+    let mut nl = Netlist::new();
+    let a: Vec<NetId> = (0..n)
+        .map(|i| nl.add_input(&format!("a{i}")).expect("unique names"))
+        .collect();
+    let b: Vec<NetId> = (0..n)
+        .map(|i| nl.add_input(&format!("b{i}")).expect("unique names"))
+        .collect();
+    // Partial-product row j: pp[i][j] = a_i ∧ b_j, weight i + j.
+    let pp = |nl: &mut Netlist, i: usize, j: usize| -> NetId {
+        let out = nl.net(&format!("pp{i}_{j}"));
+        nl.add_cell(CellKind::And, &[a[i], b[j]], &[out])
+            .expect("fresh nets");
+        out
+    };
+    // `acc[k]` has weight `j + k` while processing row `j`.
+    let mut acc: Vec<NetId> = (0..n).map(|i| pp(&mut nl, i, 0)).collect();
+    let mut product = Vec::with_capacity(2 * n);
+    for j in 1..n {
+        product.push(acc[0]);
+        let high = &acc[1..];
+        let addend: Vec<NetId> = (0..n).map(|i| pp(&mut nl, i, j)).collect();
+        let mut next = Vec::with_capacity(n + 1);
+        let mut carry: Option<NetId> = None;
+        for (k, &add_bit) in addend.iter().enumerate() {
+            let sum = nl.fresh("m");
+            let cout = nl.fresh("k");
+            match (high.get(k).copied(), carry) {
+                (Some(high_bit), None) => {
+                    nl.add_cell(CellKind::HalfAdder, &[high_bit, add_bit], &[sum, cout])
+                        .expect("fresh nets");
+                }
+                (Some(high_bit), Some(c)) => {
+                    nl.add_cell(CellKind::FullAdder, &[high_bit, add_bit, c], &[sum, cout])
+                        .expect("fresh nets");
+                }
+                (None, Some(c)) => {
+                    nl.add_cell(CellKind::HalfAdder, &[add_bit, c], &[sum, cout])
+                        .expect("fresh nets");
+                }
+                (None, None) => unreachable!("k = 0 always has a high bit for n ≥ 2"),
+            }
+            next.push(sum);
+            carry = Some(cout);
+        }
+        next.push(carry.expect("n ≥ 2 rows have at least one adder"));
+        acc = next;
+    }
+    product.extend(acc);
+    for net in product {
+        nl.mark_output(net);
+    }
+    nl
+}
+
+/// The swnet equivalent of [`swgates::circuit::insert_repeaters`]:
+/// lifts a circuit into the IR, legalizes its fan-out with balanced
+/// splitter trees, and lowers it back. Unlike the chain-based
+/// `insert_repeaters`, the tree insertion keeps added depth
+/// logarithmic in the fan-out.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the circuit cannot be lifted (cannot
+/// happen for circuits built through `Circuit`'s validated API).
+pub fn legalize_circuit(circuit: &Circuit) -> Result<Circuit, SwNetError> {
+    let lifted = lower::from_circuit(circuit)?;
+    let legal = legalize::legalize(&lifted)?;
+    lower::to_circuit(&legal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::row_bits;
+
+    /// Evaluates a netlist on integer-packed inputs and repacks the
+    /// output bits little-endian.
+    fn eval_int(nl: &Netlist, value: u64) -> u64 {
+        let bits = row_bits(value, nl.inputs().len());
+        nl.evaluate(&bits)
+            .unwrap()
+            .iter()
+            .enumerate()
+            .fold(0u64, |word, (k, bit)| word | (bit.as_u8() as u64) << k)
+    }
+
+    #[test]
+    fn adders_add_exhaustively() {
+        for n in [1usize, 2, 3, 4] {
+            let nl = ripple_carry_adder(n);
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    for cin in 0..2u64 {
+                        let packed = a | b << n | cin << (2 * n);
+                        assert_eq!(
+                            eval_int(&nl, packed),
+                            a + b + cin,
+                            "n={n} a={a} b={b} cin={cin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multipliers_multiply_exhaustively() {
+        for n in [1usize, 2, 3, 4] {
+            let nl = array_multiplier(n);
+            assert_eq!(nl.outputs().len(), if n == 1 { 1 } else { 2 * n });
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    let packed = a | b << n;
+                    assert_eq!(eval_int(&nl, packed), a * b, "n={n} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_is_fanout_legal_as_generated() {
+        for n in [2usize, 3, 4, 6] {
+            let flat = array_multiplier(n).elaborate();
+            assert!(legalize::is_legal(&flat), "n={n}");
+        }
+    }
+
+    #[test]
+    fn adder_is_fanout_legal_as_generated() {
+        let flat = ripple_carry_adder(8).elaborate();
+        assert!(legalize::is_legal(&flat));
+    }
+
+    #[test]
+    fn legalize_circuit_matches_insert_repeaters_behaviour() {
+        use swgates::circuit::{GateKind, Signal};
+        // An AND fanned out to 5 XORs — illegal under FO2.
+        let mut c = Circuit::new(2);
+        let t = c
+            .add_gate(GateKind::And, vec![Signal::Input(0), Signal::Input(1)])
+            .unwrap();
+        for _ in 0..5 {
+            let y = c
+                .add_gate(GateKind::Xor, vec![t, Signal::Input(1)])
+                .unwrap();
+            c.mark_output(y).unwrap();
+        }
+        assert!(!c.fanout_violations().is_empty());
+        let ours = legalize_circuit(&c).unwrap();
+        let theirs = swgates::circuit::insert_repeaters(&c).unwrap();
+        assert!(ours.fanout_violations().is_empty());
+        assert!(theirs.fanout_violations().is_empty());
+        for row in 0..4u64 {
+            let bits = row_bits(row, 2);
+            assert_eq!(
+                ours.evaluate(&bits).unwrap(),
+                theirs.evaluate(&bits).unwrap()
+            );
+            assert_eq!(ours.evaluate(&bits).unwrap(), c.evaluate(&bits).unwrap());
+        }
+    }
+}

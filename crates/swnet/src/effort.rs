@@ -1,0 +1,456 @@
+//! Logical-effort-style sizing of splitter/repeater trees, and
+//! energy/delay scoring against the CMOS baselines.
+//!
+//! CMOS logical effort sizes a chain by `d = γ·p + g·h` per stage. The
+//! spin-wave analogue trades amplitude instead of capacitance: every
+//! passive directional-coupler split divides the wave amplitude by √2,
+//! and a detector only reads phase reliably above a threshold fraction
+//! `θ` of the excitation amplitude. The *effort budget* of a
+//! regenerated wave is therefore
+//!
+//! ```text
+//! B = ⌊ log(1/θ) / log(√2) ⌋            (= 2 splits for θ = 0.5)
+//! ```
+//!
+//! splits before an active repeater (an ME detect–re-excite pair,
+//! \[36\], \[37\]) must restore the amplitude. [`assign_roles`] walks a
+//! legalized netlist in topological order and greedily keeps every
+//! [`CellKind::Buf`] passive while the delivered amplitude stays above
+//! `θ`, promoting it to a repeater otherwise — which reproduces the
+//! closed-form budget: exactly one repeater per `B` consecutive splits.
+//!
+//! Pricing follows the paper's §IV-D assumptions via
+//! [`swperf::mecell::MeCell`]: passive splitters are free (no ME cell),
+//! repeaters cost one excitation (3.44 aJ) and one ME delay (0.42 ns),
+//! and logic gates cost their excitation-transducer count. The CMOS
+//! side prices MAJ-class gates as Table III's 4-NAND majority and
+//! XOR-class gates as the reference XOR, on both the 16 nm and 7 nm
+//! nodes.
+
+use swperf::cmos::{cmos_cost, CmosGate, CmosNode};
+use swperf::mecell::MeCell;
+use swperf::GateCost;
+
+use crate::ir::{CellKind, Driver, FanoutView, Netlist};
+use crate::SwNetError;
+
+/// Tolerance for amplitude-threshold comparisons, so a delivered
+/// amplitude of exactly θ (e.g. 1/√2 · 1/√2 = 0.5) counts as readable.
+const EPS: f64 = 1e-9;
+
+/// The amplitude model: ME transducer parameters plus the detection
+/// threshold as a fraction of the excitation amplitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffortModel {
+    me: MeCell,
+    threshold: f64,
+}
+
+impl EffortModel {
+    /// The paper's operating point: `MeCell::paper()` with a detection
+    /// threshold of half the excitation amplitude.
+    pub fn paper() -> EffortModel {
+        EffortModel {
+            me: MeCell::paper(),
+            threshold: 0.5,
+        }
+    }
+
+    /// A custom model. `threshold` must lie in `(0, 1]`.
+    pub fn new(me: MeCell, threshold: f64) -> EffortModel {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        EffortModel { me, threshold }
+    }
+
+    /// The transducer parameters.
+    pub fn me(&self) -> &MeCell {
+        &self.me
+    }
+
+    /// The detection threshold (fraction of excitation amplitude).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The effort budget `B`: how many √2 splits a regenerated wave
+    /// survives before dropping below the threshold (2 for θ = 0.5).
+    pub fn split_budget(&self) -> usize {
+        ((1.0 / self.threshold).ln() / std::f64::consts::SQRT_2.ln() + EPS).floor() as usize
+    }
+
+    /// How many loads one regenerated wave feeds through purely
+    /// passive splitting: `2^B`.
+    pub fn passive_reach(&self) -> usize {
+        1usize << self.split_budget()
+    }
+}
+
+/// The role the sizing pass assigns to one [`CellKind::Buf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufRole {
+    /// Passive directional-coupler arm: free, but divides amplitude.
+    Splitter,
+    /// Active ME detect–re-excite repeater: one excitation of energy,
+    /// one ME delay, restores full amplitude.
+    Repeater,
+}
+
+/// The sizing result for one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sizing {
+    /// Per-cell role; `None` for logic cells.
+    pub roles: Vec<Option<BufRole>>,
+    /// Buffers kept passive.
+    pub splitters: usize,
+    /// Buffers promoted to repeaters.
+    pub repeaters: usize,
+    /// The smallest amplitude delivered to any sink — ≥ θ on a
+    /// legalized netlist.
+    pub min_delivered: f64,
+}
+
+/// Greedy amplitude-tracking role assignment over a primitive netlist
+/// (macros are elaborated first). Buffers stay passive while their
+/// delivered amplitude holds above the threshold and are promoted to
+/// repeaters otherwise.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the netlist fails [`Netlist::check`].
+pub fn assign_roles(netlist: &Netlist, model: &EffortModel) -> Result<Sizing, SwNetError> {
+    let flat = netlist.elaborate();
+    let order = flat.check()?;
+    let view = FanoutView::new(&flat);
+    // delivered[net]: the amplitude each sink of the net receives.
+    let mut delivered = vec![0.0f64; flat.net_count()];
+    for (index, amplitude) in delivered.iter_mut().enumerate() {
+        if matches!(
+            flat.driver(crate::ir::NetId(index as u32)),
+            Some(Driver::Input(_))
+        ) {
+            *amplitude = 1.0;
+        }
+    }
+    let mut roles = vec![None; flat.cell_count()];
+    let mut min_delivered = 1.0f64;
+    let mut splitters = 0;
+    let mut repeaters = 0;
+    for cell_index in order {
+        let cell = flat.cell(cell_index);
+        let out = cell.outs[0];
+        let sinks = view.fanout(out).max(1) as f64;
+        let value = if cell.kind == CellKind::Buf {
+            // One coupler port splitting `sinks` ways: amplitude
+            // divides by √sinks. A triangle logic gate, by contrast,
+            // has two native output ports at full amplitude.
+            let arriving = delivered[cell.ins[0].index()];
+            let passive = arriving / sinks.sqrt();
+            if passive + EPS >= model.threshold {
+                roles[cell_index] = Some(BufRole::Splitter);
+                splitters += 1;
+                passive
+            } else {
+                roles[cell_index] = Some(BufRole::Repeater);
+                repeaters += 1;
+                1.0
+            }
+        } else {
+            1.0
+        };
+        delivered[out.index()] = value;
+        if view.fanout(out) > 0 {
+            min_delivered = min_delivered.min(value);
+        }
+    }
+    Ok(Sizing {
+        roles,
+        splitters,
+        repeaters,
+        min_delivered,
+    })
+}
+
+/// Prices a sized netlist under the spin-wave model: energy is the
+/// excitation count (logic-gate inputs plus one per repeater) times
+/// the ME pulse energy; delay is the longest path where logic gates
+/// and repeaters each cost one ME delay and splitters are free; the
+/// device count is the total of excitation and detection transducers.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the netlist fails [`Netlist::check`].
+pub fn spinwave_cost(netlist: &Netlist, model: &EffortModel) -> Result<GateCost, SwNetError> {
+    let flat = netlist.elaborate();
+    let sizing = assign_roles(&flat, model)?;
+    let order = flat.check()?;
+    let mut excitations = 0usize;
+    let mut devices = 0usize;
+    let mut arrival = vec![0.0f64; flat.net_count()];
+    for cell_index in order {
+        let cell = flat.cell(cell_index);
+        let at = cell
+            .ins
+            .iter()
+            .map(|net| arrival[net.index()])
+            .fold(0.0f64, f64::max);
+        let kind = cell.kind.gate_kind();
+        let delay = match sizing.roles[cell_index] {
+            Some(BufRole::Splitter) => 0.0,
+            Some(BufRole::Repeater) | None => {
+                if sizing.roles[cell_index].is_none() {
+                    excitations += kind.excitation_cells();
+                } else {
+                    excitations += 1;
+                }
+                devices += kind.excitation_cells() + kind.detection_cells();
+                model.me.delay()
+            }
+        };
+        for &out in &cell.outs {
+            arrival[out.index()] = at + delay;
+        }
+    }
+    let delay = flat
+        .outputs()
+        .iter()
+        .map(|net| arrival[net.index()])
+        .fold(0.0f64, f64::max);
+    Ok(GateCost::new(
+        excitations as f64 * model.me.excitation_energy(),
+        delay,
+        devices,
+    ))
+}
+
+/// Prices the same logic in CMOS on `node`: MAJ-class cells (MAJ3 and
+/// the AND/OR/NAND/NOR it subsumes) as Table III's 4-NAND majority,
+/// XOR-class cells as the reference XOR. Inverters and buffers are
+/// counted as free, which *favours* CMOS — the comparison stays
+/// conservative for the spin-wave side.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the netlist fails [`Netlist::check`].
+pub fn cmos_baseline(netlist: &Netlist, node: CmosNode) -> Result<GateCost, SwNetError> {
+    let flat = netlist.elaborate();
+    let order = flat.check()?;
+    let mut energy = 0.0f64;
+    let mut devices = 0usize;
+    let mut arrival = vec![0.0f64; flat.net_count()];
+    for cell_index in order {
+        let cell = flat.cell(cell_index);
+        let at = cell
+            .ins
+            .iter()
+            .map(|net| arrival[net.index()])
+            .fold(0.0f64, f64::max);
+        let gate = match cell.kind {
+            CellKind::Maj3 | CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor => {
+                Some(CmosGate::Maj3)
+            }
+            CellKind::Xor | CellKind::Xnor => Some(CmosGate::Xor),
+            CellKind::Inv | CellKind::Buf => None,
+            CellKind::FullAdder | CellKind::HalfAdder => unreachable!("elaborated above"),
+        };
+        let delay = match gate {
+            Some(gate) => {
+                let cost = cmos_cost(node, gate);
+                energy += cost.energy();
+                devices += cost.device_count();
+                cost.delay()
+            }
+            None => 0.0,
+        };
+        for &out in &cell.outs {
+            arrival[out.index()] = at + delay;
+        }
+    }
+    let delay = flat
+        .outputs()
+        .iter()
+        .map(|net| arrival[net.index()])
+        .fold(0.0f64, f64::max);
+    Ok(GateCost::new(energy, delay, devices))
+}
+
+/// The full scorecard for one compiled netlist: the sized spin-wave
+/// implementation against both CMOS nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// Spin-wave cost of the *legalized* netlist under `model`.
+    pub spinwave: GateCost,
+    /// Splitter/repeater split of the buffers.
+    pub sizing: Sizing,
+    /// 16 nm CMOS baseline for the same logic.
+    pub cmos16: GateCost,
+    /// 7 nm CMOS baseline for the same logic.
+    pub cmos7: GateCost,
+}
+
+impl Scorecard {
+    /// CMOS energy divided by spin-wave energy on `node` (> 1 means
+    /// the spin-wave circuit wins).
+    pub fn energy_ratio(&self, node: CmosNode) -> f64 {
+        let cmos = match node {
+            CmosNode::N16 => &self.cmos16,
+            CmosNode::N7 => &self.cmos7,
+        };
+        cmos.energy() / self.spinwave.energy()
+    }
+
+    /// Spin-wave delay divided by CMOS delay on `node` (> 1 means
+    /// CMOS is faster — the paper's usual outcome).
+    pub fn delay_ratio(&self, node: CmosNode) -> f64 {
+        let cmos = match node {
+            CmosNode::N16 => &self.cmos16,
+            CmosNode::N7 => &self.cmos7,
+        };
+        self.spinwave.delay() / cmos.delay()
+    }
+}
+
+/// Scores a legalized netlist: spin-wave pricing on `legal` (with its
+/// splitter trees), CMOS pricing on the logic alone (CMOS needs no
+/// splitters, so buffers do not burden the baseline).
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the netlist fails [`Netlist::check`].
+pub fn score(legal: &Netlist, model: &EffortModel) -> Result<Scorecard, SwNetError> {
+    Ok(Scorecard {
+        spinwave: spinwave_cost(legal, model)?,
+        sizing: assign_roles(legal, model)?,
+        cmos16: cmos_baseline(legal, CmosNode::N16)?,
+        cmos7: cmos_baseline(legal, CmosNode::N7)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+    use crate::legalize::legalize;
+
+    #[test]
+    fn paper_budget_is_two_splits() {
+        let model = EffortModel::paper();
+        assert_eq!(model.split_budget(), 2);
+        assert_eq!(model.passive_reach(), 4);
+        // A stricter detector tolerates only one split (1/√2 ≈ 0.707),
+        // and one above 1/√2 tolerates none.
+        let strict = EffortModel::new(MeCell::paper(), 0.7);
+        assert_eq!(strict.split_budget(), 1);
+        let strictest = EffortModel::new(MeCell::paper(), 0.75);
+        assert_eq!(strictest.split_budget(), 0);
+    }
+
+    /// A chain of `len` Bufs, each fanning out to one XOR tap and the
+    /// next Buf — every stage is a 2-way split.
+    fn split_chain(len: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let head = nl.net("h0");
+        nl.add_cell(CellKind::And, &[a, b], &[head]).unwrap();
+        let mut carry = head;
+        for i in 0..len {
+            let next = nl.net(&format!("h{}", i + 1));
+            let tap = nl.net(&format!("t{i}"));
+            nl.add_cell(CellKind::Buf, &[carry], &[next]).unwrap();
+            nl.add_cell(CellKind::Xor, &[next, b], &[tap]).unwrap();
+            nl.mark_output(tap);
+            carry = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn greedy_roles_repeat_every_budget_splits() {
+        let model = EffortModel::paper();
+        let nl = split_chain(7);
+        let sizing = assign_roles(&nl, &model).unwrap();
+        let roles: Vec<BufRole> = sizing.roles.iter().filter_map(|r| *r).collect();
+        // Budget 2: splitter, splitter, repeater, repeating. The final
+        // Buf drives a single load (no split), so it stays passive.
+        assert_eq!(
+            roles,
+            vec![
+                BufRole::Splitter,
+                BufRole::Splitter,
+                BufRole::Repeater,
+                BufRole::Splitter,
+                BufRole::Splitter,
+                BufRole::Repeater,
+                BufRole::Splitter,
+            ]
+        );
+        assert!(sizing.min_delivered + 1e-9 >= model.threshold());
+    }
+
+    #[test]
+    fn legalized_netlists_always_deliver_above_threshold() {
+        let model = EffortModel::paper();
+        for netlist in [
+            arith::ripple_carry_adder(8),
+            arith::array_multiplier(4),
+            crate::synth::synthesize(&[crate::synth::Table::parse("0110100110010110").unwrap()])
+                .unwrap(),
+        ] {
+            let legal = legalize(&netlist).unwrap();
+            let sizing = assign_roles(&legal, &model).unwrap();
+            assert!(
+                sizing.min_delivered + 1e-9 >= model.threshold(),
+                "min delivered {} in\n{legal}",
+                sizing.min_delivered
+            );
+        }
+    }
+
+    #[test]
+    fn full_adder_cost_matches_hand_count() {
+        let model = EffortModel::paper();
+        let legal = legalize(&arith::full_adder()).unwrap();
+        let cost = spinwave_cost(&legal, &model).unwrap();
+        // 2 XOR (2 excitations each) + 1 MAJ3 (3) = 7 excitations.
+        assert!((cost.energy_aj() - 7.0 * 3.44).abs() < 1e-9);
+        // Critical path: XOR → XOR = 2 ME delays.
+        assert!((cost.delay_ns() - 0.84).abs() < 1e-9);
+        // Transducers: 2·(2+2) + (3+2) = 13.
+        assert_eq!(cost.device_count(), 13);
+    }
+
+    #[test]
+    fn splitters_are_free_but_repeaters_cost_one_excitation() {
+        let model = EffortModel::paper();
+        let nl = split_chain(4);
+        let base = spinwave_cost(&split_chain(0), &model).unwrap();
+        let cost = spinwave_cost(&nl, &model).unwrap();
+        let sizing = assign_roles(&nl, &model).unwrap();
+        assert_eq!(sizing.repeaters, 1);
+        assert_eq!(sizing.splitters, 3);
+        // 4 extra XOR taps (2 excitations each) + 1 repeater.
+        let extra = (4 * 2 + 1) as f64 * 3.44;
+        assert!(
+            (cost.energy_aj() - base.energy_aj() - extra).abs() < 1e-9,
+            "base {} cost {}",
+            base.energy_aj(),
+            cost.energy_aj()
+        );
+    }
+
+    #[test]
+    fn scorecard_compares_against_both_nodes() {
+        let model = EffortModel::paper();
+        let legal = legalize(&arith::ripple_carry_adder(4)).unwrap();
+        let card = score(&legal, &model).unwrap();
+        // 4 FA stages: 8 XOR + 4 MAJ3 in both technologies.
+        assert!((card.cmos16.energy() - (8.0 * 303e-18 + 4.0 * 466e-18)).abs() < 1e-27);
+        assert_eq!(card.cmos16.device_count(), 8 * 8 + 4 * 16);
+        // The paper's headline: spin waves win on energy, CMOS on delay.
+        assert!(card.energy_ratio(CmosNode::N16) > 1.0);
+        assert!(card.delay_ratio(CmosNode::N16) > 1.0);
+    }
+}

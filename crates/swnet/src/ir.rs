@@ -1,0 +1,880 @@
+//! The netlist intermediate representation: named nets, multi-output
+//! cells, and the structural fan-out view.
+//!
+//! Where [`swgates::circuit::Circuit`] is a strictly feed-forward gate
+//! list (every input must reference an earlier gate), a [`Netlist`]
+//! wires **cells** — which may have several outputs, like a full-adder
+//! macro — through **named nets**, in any order. Forward references are
+//! legal; [`Netlist::check`] topologically sorts the design and rejects
+//! combinational cycles and undriven or doubly-driven nets.
+//!
+//! The [`FanoutView`] materializes the sink list of every net once, so
+//! the paper's fan-out-of-2 legality question ("does any triangle-gate
+//! output drive more than two loads?") is a structural query instead of
+//! an after-the-fact scan of the whole gate list.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use swgates::circuit::GateKind;
+use swgates::encoding::Bit;
+
+use crate::SwNetError;
+
+/// A net index inside one [`Netlist`]. Nets are interned by name; the
+/// id is stable for the lifetime of the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The net's index into [`Netlist`] storage.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The function of one netlist cell.
+///
+/// The primitive kinds are exactly the triangle-gate library of the
+/// paper (MAJ3/XOR and the derived gates, all fan-out-of-2, plus the
+/// inverter and the repeater/buffer of §III-A). `FullAdder` and
+/// `HalfAdder` are **multi-output macro cells**: they carry two output
+/// nets (sum, carry) and expand into primitives in
+/// [`Netlist::elaborate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// 3-input majority (triangle MAJ3).
+    Maj3,
+    /// 2-input XOR (triangle XOR).
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2-input AND (MAJ3 with the third input tied to 0).
+    And,
+    /// 2-input OR (MAJ3 with the third input tied to 1).
+    Or,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// Inverter (an (n+½)λ waveguide section).
+    Inv,
+    /// Buffer: a directional-coupler splitter arm, possibly with a
+    /// repeater regenerating the wave (\[36\], \[37\]). Logically the
+    /// identity; the effort model decides which buffers need active
+    /// regeneration.
+    Buf,
+    /// Full-adder macro: inputs `[a, b, cin]`, outputs `[sum, carry]`.
+    FullAdder,
+    /// Half-adder macro: inputs `[a, b]`, outputs `[sum, carry]`.
+    HalfAdder,
+}
+
+impl CellKind {
+    /// Every kind, in the order the text format documents them.
+    pub const ALL: [CellKind; 11] = [
+        CellKind::Maj3,
+        CellKind::Xor,
+        CellKind::Xnor,
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Nand,
+        CellKind::Nor,
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::FullAdder,
+        CellKind::HalfAdder,
+    ];
+
+    /// The operation name used by the text and JSON formats.
+    pub fn op_name(self) -> &'static str {
+        match self {
+            CellKind::Maj3 => "maj3",
+            CellKind::Xor => "xor",
+            CellKind::Xnor => "xnor",
+            CellKind::And => "and",
+            CellKind::Or => "or",
+            CellKind::Nand => "nand",
+            CellKind::Nor => "nor",
+            CellKind::Inv => "inv",
+            CellKind::Buf => "buf",
+            CellKind::FullAdder => "fa",
+            CellKind::HalfAdder => "ha",
+        }
+    }
+
+    /// Parses an operation name from the text/JSON formats.
+    pub fn from_op_name(name: &str) -> Option<CellKind> {
+        CellKind::ALL.iter().copied().find(|k| k.op_name() == name)
+    }
+
+    /// Number of input pins.
+    pub fn input_arity(self) -> usize {
+        match self {
+            CellKind::Maj3 | CellKind::FullAdder => 3,
+            CellKind::Inv | CellKind::Buf => 1,
+            _ => 2,
+        }
+    }
+
+    /// Number of output pins.
+    pub fn output_arity(self) -> usize {
+        match self {
+            CellKind::FullAdder | CellKind::HalfAdder => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for macro cells that [`Netlist::elaborate`] expands.
+    pub fn is_macro(self) -> bool {
+        matches!(self, CellKind::FullAdder | CellKind::HalfAdder)
+    }
+
+    /// Maximum loads one output of this cell drives without splitting:
+    /// the paper's fan-out of 2 for the triangle gates and repeaters,
+    /// 1 for the inverter (a waveguide section has a single far end).
+    pub fn max_fanout(self) -> usize {
+        match self {
+            CellKind::Inv => 1,
+            _ => 2,
+        }
+    }
+
+    /// The [`GateKind`] a primitive cell lowers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics on macro cells; elaborate first.
+    pub fn gate_kind(self) -> GateKind {
+        match self {
+            CellKind::Maj3 => GateKind::Maj3,
+            CellKind::Xor => GateKind::Xor,
+            CellKind::Xnor => GateKind::Xnor,
+            CellKind::And => GateKind::And,
+            CellKind::Or => GateKind::Or,
+            CellKind::Nand => GateKind::Nand,
+            CellKind::Nor => GateKind::Nor,
+            CellKind::Inv => GateKind::Not,
+            CellKind::Buf => GateKind::Repeater,
+            CellKind::FullAdder | CellKind::HalfAdder => {
+                panic!("macro cell {self:?} must be elaborated before lowering")
+            }
+        }
+    }
+
+    /// Evaluates the cell on its inputs, producing one bit per output
+    /// pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_arity()`.
+    pub fn eval(self, inputs: &[Bit]) -> Vec<Bit> {
+        assert_eq!(
+            inputs.len(),
+            self.input_arity(),
+            "arity mismatch for {self:?}"
+        );
+        match self {
+            CellKind::FullAdder => {
+                let sum = Bit::xor(Bit::xor(inputs[0], inputs[1]), inputs[2]);
+                let carry = Bit::majority(inputs[0], inputs[1], inputs[2]);
+                vec![sum, carry]
+            }
+            CellKind::HalfAdder => {
+                let sum = Bit::xor(inputs[0], inputs[1]);
+                let carry = Bit::from_bool(inputs[0].as_bool() && inputs[1].as_bool());
+                vec![sum, carry]
+            }
+            _ => vec![self.gate_kind().eval(inputs)],
+        }
+    }
+}
+
+/// What produces a net's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Primary input at this position of the input list.
+    Input(usize),
+    /// Output pin `pin` of cell `cell`.
+    Cell {
+        /// Index into [`Netlist::cell`].
+        cell: usize,
+        /// Output-pin position on that cell.
+        pin: usize,
+    },
+}
+
+/// One cell instance: a kind plus its input and output nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The cell's function.
+    pub kind: CellKind,
+    /// Input nets, one per input pin.
+    pub ins: Vec<NetId>,
+    /// Output nets, one per output pin.
+    pub outs: Vec<NetId>,
+}
+
+/// A named-net, multi-output-cell netlist.
+///
+/// ```
+/// use swnet::ir::{CellKind, Netlist};
+/// use swgates::encoding::Bit;
+///
+/// # fn main() -> Result<(), swnet::SwNetError> {
+/// let mut nl = Netlist::new();
+/// let a = nl.add_input("a")?;
+/// let b = nl.add_input("b")?;
+/// let cin = nl.add_input("cin")?;
+/// let sum = nl.net("sum");
+/// let cout = nl.net("cout");
+/// nl.add_cell(CellKind::FullAdder, &[a, b, cin], &[sum, cout])?;
+/// nl.mark_output(sum);
+/// nl.mark_output(cout);
+/// let out = nl.evaluate(&[Bit::One, Bit::One, Bit::Zero])?;
+/// assert_eq!(out, vec![Bit::Zero, Bit::One]); // 1 + 1 = 0b10
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    by_name: HashMap<String, NetId>,
+    drivers: Vec<Option<Driver>>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    fresh_counter: u32,
+}
+
+impl PartialEq for Netlist {
+    /// Structural equality *by net name*: the same inputs, outputs, and
+    /// cells in the same order, wired through nets of the same names.
+    /// Interning order (the numeric `NetId`s) and the fresh-name
+    /// counter are bookkeeping, not structure — so a netlist printed
+    /// and reparsed compares equal to its source even though the parser
+    /// interns nets in reading order.
+    fn eq(&self, other: &Netlist) -> bool {
+        let nets_eq = |a: &[NetId], b: &[NetId]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(&x, &y)| self.name(x) == other.name(y))
+        };
+        nets_eq(&self.inputs, &other.inputs)
+            && nets_eq(&self.outputs, &other.outputs)
+            && self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(x, y)| {
+                x.kind == y.kind && nets_eq(&x.ins, &y.ins) && nets_eq(&x.outs, &y.outs)
+            })
+    }
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// Interns `name`, creating the net on first use.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NetId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.drivers.push(None);
+        id
+    }
+
+    /// Creates a fresh net with a generated `$<prefix><n>` name that
+    /// cannot collide with an existing net.
+    pub fn fresh(&mut self, prefix: &str) -> NetId {
+        loop {
+            let name = format!("${prefix}{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.by_name.contains_key(&name) {
+                return self.net(&name);
+            }
+        }
+    }
+
+    /// Looks a net up by name without creating it.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The net's name.
+    pub fn name(&self, net: NetId) -> &str {
+        &self.names[net.index()]
+    }
+
+    /// The net's driver, if it has one yet.
+    pub fn driver(&self, net: NetId) -> Option<Driver> {
+        self.drivers[net.index()]
+    }
+
+    /// Declares a primary input. The net must not be driven already.
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] if the net already has a driver.
+    pub fn add_input(&mut self, name: &str) -> Result<NetId, SwNetError> {
+        let id = self.net(name);
+        if self.drivers[id.index()].is_some() {
+            return Err(SwNetError::invalid(format!(
+                "net `{name}` is already driven and cannot be an input"
+            )));
+        }
+        self.drivers[id.index()] = Some(Driver::Input(self.inputs.len()));
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a cell, wiring `ins` and `outs` by net. Output nets must be
+    /// undriven so far (single-driver rule).
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] on arity mismatch or double-driven nets.
+    pub fn add_cell(
+        &mut self,
+        kind: CellKind,
+        ins: &[NetId],
+        outs: &[NetId],
+    ) -> Result<usize, SwNetError> {
+        if ins.len() != kind.input_arity() {
+            return Err(SwNetError::invalid(format!(
+                "{} takes {} inputs, got {}",
+                kind.op_name(),
+                kind.input_arity(),
+                ins.len()
+            )));
+        }
+        if outs.len() != kind.output_arity() {
+            return Err(SwNetError::invalid(format!(
+                "{} produces {} outputs, got {}",
+                kind.op_name(),
+                kind.output_arity(),
+                outs.len()
+            )));
+        }
+        let cell = self.cells.len();
+        for (pin, &net) in outs.iter().enumerate() {
+            if self.drivers[net.index()].is_some() {
+                return Err(SwNetError::invalid(format!(
+                    "net `{}` has two drivers",
+                    self.name(net)
+                )));
+            }
+            self.drivers[net.index()] = Some(Driver::Cell { cell, pin });
+        }
+        self.cells.push(Cell {
+            kind,
+            ins: ins.to_vec(),
+            outs: outs.to_vec(),
+        });
+        Ok(cell)
+    }
+
+    /// Declares a primary output (a net may be listed more than once).
+    pub fn mark_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Repoints input pin `pin` of cell `cell` at `net` (used by the
+    /// legalizer to move sinks onto splitter trees).
+    pub(crate) fn rewire_input(&mut self, cell: usize, pin: usize, net: NetId) {
+        self.cells[cell].ins[pin] = net;
+    }
+
+    /// Repoints primary output `position` at `net`.
+    pub(crate) fn rewire_output(&mut self, position: usize, net: NetId) {
+        self.outputs[position] = net;
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Cell `index`.
+    pub fn cell(&self, index: usize) -> &Cell {
+        &self.cells[index]
+    }
+
+    /// All cells, in insertion order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Validates the netlist and returns the cells in a deterministic
+    /// topological order (lowest cell index first among ready cells, so
+    /// an already-feed-forward netlist keeps its insertion order).
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] on undriven nets or combinational
+    /// cycles.
+    pub fn check(&self) -> Result<Vec<usize>, SwNetError> {
+        for (index, driver) in self.drivers.iter().enumerate() {
+            if driver.is_none() {
+                return Err(SwNetError::invalid(format!(
+                    "net `{}` is never driven",
+                    self.names[index]
+                )));
+            }
+        }
+        // Kahn's algorithm over cells; a min-heap keeps the order
+        // deterministic and insertion-stable.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut pending: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                cell.ins
+                    .iter()
+                    .filter(|&&net| matches!(self.drivers[net.index()], Some(Driver::Cell { .. })))
+                    .count()
+            })
+            .collect();
+        let mut ready: BinaryHeap<Reverse<usize>> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(i, _)| Reverse(i))
+            .collect();
+        let view = FanoutView::new(self);
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(Reverse(cell)) = ready.pop() {
+            order.push(cell);
+            for &out in &self.cells[cell].outs {
+                for sink in view.sinks(out) {
+                    if let Sink::Cell { cell: consumer, .. } = *sink {
+                        pending[consumer] -= 1;
+                        if pending[consumer] == 0 {
+                            ready.push(Reverse(consumer));
+                        }
+                    }
+                }
+            }
+        }
+        if order.len() != self.cells.len() {
+            let stuck = (0..self.cells.len())
+                .find(|&i| pending[i] > 0)
+                .expect("some cell is unordered");
+            return Err(SwNetError::invalid(format!(
+                "combinational cycle through `{}`",
+                self.name(self.cells[stuck].outs[0])
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Evaluates the netlist on a primary-input assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] if the assignment length mismatches or
+    /// the netlist fails [`check`](Netlist::check).
+    pub fn evaluate(&self, inputs: &[Bit]) -> Result<Vec<Bit>, SwNetError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(SwNetError::invalid(format!(
+                "netlist has {} inputs, assignment has {}",
+                self.inputs.len(),
+                inputs.len()
+            )));
+        }
+        let order = self.check()?;
+        let mut values: Vec<Option<Bit>> = vec![None; self.names.len()];
+        for (position, &net) in self.inputs.iter().enumerate() {
+            values[net.index()] = Some(inputs[position]);
+        }
+        for cell_index in order {
+            let cell = &self.cells[cell_index];
+            let args: Vec<Bit> = cell
+                .ins
+                .iter()
+                .map(|net| values[net.index()].expect("topological order"))
+                .collect();
+            for (pin, bit) in cell.kind.eval(&args).into_iter().enumerate() {
+                values[cell.outs[pin].index()] = Some(bit);
+            }
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|net| values[net.index()].expect("outputs are driven"))
+            .collect())
+    }
+
+    /// Expands macro cells (full/half adders) into primitives, keeping
+    /// net names, input/output order, and behaviour. Primitive-only
+    /// netlists come back structurally identical.
+    pub fn elaborate(&self) -> Netlist {
+        let mut out = Netlist::new();
+        for &input in &self.inputs {
+            out.add_input(self.name(input))
+                .expect("input nets are uniquely named");
+        }
+        for cell in &self.cells {
+            let ins: Vec<NetId> = cell.ins.iter().map(|&n| out.net(self.name(n))).collect();
+            let outs: Vec<NetId> = cell.outs.iter().map(|&n| out.net(self.name(n))).collect();
+            match cell.kind {
+                CellKind::FullAdder => {
+                    // Same primitive order as the hand-built
+                    // `Circuit::full_adder`: XOR(a,b), XOR(t,cin),
+                    // MAJ3(a,b,cin).
+                    let t = out.fresh("t");
+                    out.add_cell(CellKind::Xor, &[ins[0], ins[1]], &[t])
+                        .expect("valid by construction");
+                    out.add_cell(CellKind::Xor, &[t, ins[2]], &[outs[0]])
+                        .expect("valid by construction");
+                    out.add_cell(CellKind::Maj3, &[ins[0], ins[1], ins[2]], &[outs[1]])
+                        .expect("valid by construction");
+                }
+                CellKind::HalfAdder => {
+                    out.add_cell(CellKind::Xor, &[ins[0], ins[1]], &[outs[0]])
+                        .expect("valid by construction");
+                    out.add_cell(CellKind::And, &[ins[0], ins[1]], &[outs[1]])
+                        .expect("valid by construction");
+                }
+                kind => {
+                    out.add_cell(kind, &ins, &outs)
+                        .expect("valid by construction");
+                }
+            }
+        }
+        for &output in &self.outputs {
+            let net = out.net(self.name(output));
+            out.mark_output(net);
+        }
+        out
+    }
+
+    /// Logic depth: the longest input-to-output cell chain (macro cells
+    /// count as their elaborated depth: 2 for adders).
+    pub fn depth(&self) -> Result<usize, SwNetError> {
+        let order = self.check()?;
+        let mut net_depth = vec![0usize; self.names.len()];
+        for cell_index in order {
+            let cell = &self.cells[cell_index];
+            let at = cell
+                .ins
+                .iter()
+                .map(|net| net_depth[net.index()])
+                .max()
+                .unwrap_or(0);
+            let weight = if cell.kind.is_macro() { 2 } else { 1 };
+            for &out in &cell.outs {
+                net_depth[out.index()] = at + weight;
+            }
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|net| net_depth[net.index()])
+            .max()
+            .unwrap_or(0))
+    }
+}
+
+impl fmt::Display for Netlist {
+    /// Renders the structural text format (parseable by
+    /// [`crate::text::parse`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.inputs.is_empty() {
+            write!(f, "input")?;
+            for &net in &self.inputs {
+                write!(f, " {}", self.name(net))?;
+            }
+            writeln!(f)?;
+        }
+        if !self.outputs.is_empty() {
+            write!(f, "output")?;
+            for &net in &self.outputs {
+                write!(f, " {}", self.name(net))?;
+            }
+            writeln!(f)?;
+        }
+        for cell in &self.cells {
+            let outs: Vec<&str> = cell.outs.iter().map(|&n| self.name(n)).collect();
+            let ins: Vec<&str> = cell.ins.iter().map(|&n| self.name(n)).collect();
+            writeln!(
+                f,
+                "{} = {} {}",
+                outs.join(" "),
+                cell.kind.op_name(),
+                ins.join(" ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One load on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sink {
+    /// Input pin `pin` of cell `cell`.
+    Cell {
+        /// Index into [`Netlist::cell`].
+        cell: usize,
+        /// Input-pin position on that cell.
+        pin: usize,
+    },
+    /// Primary output at this position of the output list.
+    Output(usize),
+}
+
+/// A net's fan-out exceeding what its driver supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The overloaded net.
+    pub net: NetId,
+    /// Its name (kept for reporting after the netlist is rewritten).
+    pub name: String,
+    /// Loads on the net.
+    pub fanout: usize,
+    /// What the driving cell supports.
+    pub limit: usize,
+}
+
+/// Per-net sink adjacency, built once in one pass over the cells
+/// (quaigh-style): fan-out questions become slice lookups.
+#[derive(Debug, Clone, Default)]
+pub struct FanoutView {
+    sinks: Vec<Vec<Sink>>,
+}
+
+impl FanoutView {
+    /// Builds the view for `netlist`.
+    pub fn new(netlist: &Netlist) -> FanoutView {
+        let mut sinks = vec![Vec::new(); netlist.net_count()];
+        for (cell, instance) in netlist.cells.iter().enumerate() {
+            for (pin, &net) in instance.ins.iter().enumerate() {
+                sinks[net.index()].push(Sink::Cell { cell, pin });
+            }
+        }
+        for (position, &net) in netlist.outputs.iter().enumerate() {
+            sinks[net.index()].push(Sink::Output(position));
+        }
+        FanoutView { sinks }
+    }
+
+    /// The loads on `net`, in deterministic (cell-index, then
+    /// primary-output) order.
+    pub fn sinks(&self, net: NetId) -> &[Sink] {
+        &self.sinks[net.index()]
+    }
+
+    /// Number of loads on `net`.
+    pub fn fanout(&self, net: NetId) -> usize {
+        self.sinks[net.index()].len()
+    }
+
+    /// Nets whose fan-out exceeds their driver's limit. Primary inputs
+    /// are exempt (externally buffered, as in `swgates::circuit`).
+    pub fn violations(&self, netlist: &Netlist) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for index in 0..netlist.net_count() {
+            let net = NetId(index as u32);
+            let limit = match netlist.driver(net) {
+                Some(Driver::Cell { cell, .. }) => netlist.cell(cell).kind.max_fanout(),
+                _ => continue,
+            };
+            let fanout = self.fanout(net);
+            if fanout > limit {
+                violations.push(Violation {
+                    net,
+                    name: netlist.name(net).to_string(),
+                    fanout,
+                    limit,
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgates::encoding::all_patterns;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let cin = nl.add_input("cin").unwrap();
+        let sum = nl.net("sum");
+        let cout = nl.net("cout");
+        nl.add_cell(CellKind::FullAdder, &[a, b, cin], &[sum, cout])
+            .unwrap();
+        nl.mark_output(sum);
+        nl.mark_output(cout);
+        nl
+    }
+
+    #[test]
+    fn cell_kind_round_trips_names() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_op_name(kind.op_name()), Some(kind));
+        }
+        assert_eq!(CellKind::from_op_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn full_adder_macro_adds() {
+        let nl = full_adder();
+        for pattern in all_patterns::<3>() {
+            let out = nl.evaluate(&pattern).unwrap();
+            let total = pattern.iter().map(|b| b.as_u8() as usize).sum::<usize>();
+            assert_eq!(out[0].as_u8() as usize, total % 2, "sum for {pattern:?}");
+            assert_eq!(out[1].as_u8() as usize, total / 2, "carry for {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn elaboration_preserves_behaviour_and_expands_macros() {
+        let nl = full_adder();
+        let flat = nl.elaborate();
+        assert_eq!(flat.cell_count(), 3);
+        assert!(flat.cells().iter().all(|c| !c.kind.is_macro()));
+        for pattern in all_patterns::<3>() {
+            assert_eq!(
+                nl.evaluate(&pattern).unwrap(),
+                flat.evaluate(&pattern).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_references_are_legal() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        // The consumer of `t` is added before the producer.
+        let t = nl.net("t");
+        let y = nl.net("y");
+        nl.add_cell(CellKind::Inv, &[t], &[y]).unwrap();
+        nl.add_cell(CellKind::And, &[a, b], &[t]).unwrap();
+        nl.mark_output(y);
+        let order = nl.check().unwrap();
+        assert_eq!(order, vec![1, 0], "producer must sort before consumer");
+        assert_eq!(nl.evaluate(&[Bit::One, Bit::One]).unwrap(), vec![Bit::Zero]);
+    }
+
+    #[test]
+    fn undriven_and_doubly_driven_nets_are_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let ghost = nl.net("ghost");
+        let y = nl.net("y");
+        nl.add_cell(CellKind::And, &[a, ghost], &[y]).unwrap();
+        nl.mark_output(y);
+        let err = nl.check().unwrap_err().to_string();
+        assert!(err.contains("ghost"), "{err}");
+
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let y = nl.net("y");
+        nl.add_cell(CellKind::Inv, &[a], &[y]).unwrap();
+        assert!(nl.add_cell(CellKind::Buf, &[a], &[y]).is_err());
+        assert!(nl.add_input("y").is_err());
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let p = nl.net("p");
+        let q = nl.net("q");
+        nl.add_cell(CellKind::And, &[a, q], &[p]).unwrap();
+        nl.add_cell(CellKind::Buf, &[p], &[q]).unwrap();
+        nl.mark_output(q);
+        let err = nl.check().unwrap_err().to_string();
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn fanout_view_counts_all_sinks() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let t = nl.net("t");
+        let u = nl.net("u");
+        let v = nl.net("v");
+        nl.add_cell(CellKind::And, &[a, b], &[t]).unwrap();
+        nl.add_cell(CellKind::Xor, &[t, t], &[u]).unwrap();
+        nl.add_cell(CellKind::Or, &[t, b], &[v]).unwrap();
+        nl.mark_output(u);
+        nl.mark_output(v);
+        nl.mark_output(t);
+        let view = FanoutView::new(&nl);
+        assert_eq!(view.fanout(t), 4, "two XOR pins + one OR pin + output");
+        assert_eq!(
+            view.sinks(t),
+            &[
+                Sink::Cell { cell: 1, pin: 0 },
+                Sink::Cell { cell: 1, pin: 1 },
+                Sink::Cell { cell: 2, pin: 0 },
+                Sink::Output(2),
+            ]
+        );
+        let violations = view.violations(&nl);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].name, "t");
+        assert_eq!(violations[0].fanout, 4);
+        assert_eq!(violations[0].limit, 2);
+        // Primary inputs are exempt even at high fan-out.
+        assert_eq!(view.fanout(b), 2);
+    }
+
+    #[test]
+    fn inverter_fanout_limit_is_one() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let n = nl.net("n");
+        let y = nl.net("y");
+        nl.add_cell(CellKind::Inv, &[a], &[n]).unwrap();
+        nl.add_cell(CellKind::Xor, &[n, n], &[y]).unwrap();
+        nl.mark_output(y);
+        let view = FanoutView::new(&nl);
+        let violations = view.violations(&nl);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].limit, 1);
+    }
+
+    #[test]
+    fn display_round_trips_through_names() {
+        let nl = full_adder();
+        let text = nl.to_string();
+        assert!(text.contains("input a b cin"));
+        assert!(text.contains("output sum cout"));
+        assert!(text.contains("sum cout = fa a b cin"));
+    }
+
+    #[test]
+    fn depth_counts_macros_as_two_levels() {
+        let nl = full_adder();
+        assert_eq!(nl.depth().unwrap(), 2);
+        assert_eq!(nl.elaborate().depth().unwrap(), 2);
+    }
+}

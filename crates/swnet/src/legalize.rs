@@ -1,0 +1,221 @@
+//! Fan-out legalization: splitter/repeater-tree insertion.
+//!
+//! The triangle gates drive at most two loads (§IV: "a fan-out of 2 is
+//! enacted in each design") and the inverter drives one. When a net in
+//! the source netlist has more sinks than its driver supports,
+//! [`legalize`] inserts a balanced tree of [`CellKind::Buf`] cells —
+//! physically, directional-coupler splitter arms, some of which the
+//! [`crate::effort`] model later promotes to active repeaters — so that
+//! every driver obeys its limit.
+//!
+//! Primary inputs are exempt: they are excited by external transducers,
+//! which the paper replicates at will.
+
+use crate::ir::{CellKind, Driver, FanoutView, Netlist, Sink};
+use crate::SwNetError;
+
+/// Elaborates macro cells, then inserts balanced buffer trees until no
+/// net exceeds its driver's fan-out limit. The result is
+/// primitive-only and passes [`FanoutView::violations`] empty.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the input netlist fails
+/// [`Netlist::check`].
+pub fn legalize(netlist: &Netlist) -> Result<Netlist, SwNetError> {
+    let mut flat = netlist.elaborate();
+    flat.check()?;
+    loop {
+        let view = FanoutView::new(&flat);
+        let violations = view.violations(&flat);
+        if violations.is_empty() {
+            return Ok(flat);
+        }
+        // Rewire one pass of violations; buffers added this pass may
+        // themselves need splitting (an Inv driving 2+ loads first gets
+        // one Buf, which then fans out), so loop to a fixed point.
+        let mut next = flat.clone();
+        for violation in &violations {
+            let sinks: Vec<Sink> = view.sinks(violation.net).to_vec();
+            let limit = violation.limit;
+            // Partition the sinks into `limit` near-equal groups; each
+            // group of one keeps its direct connection, larger groups
+            // go through a fresh Buf. This yields a balanced tree once
+            // the loop reaches a fixed point.
+            let per_group = sinks.len().div_ceil(limit);
+            for group in sinks.chunks(per_group) {
+                if group.len() == 1 {
+                    continue;
+                }
+                let branch = next.fresh("s");
+                next.add_cell(CellKind::Buf, &[violation.net], &[branch])
+                    .expect("fresh net is undriven");
+                for sink in group {
+                    rewire(&mut next, *sink, violation.net, branch);
+                }
+            }
+        }
+        flat = next;
+    }
+}
+
+/// Points one sink of `from` at `to` instead.
+fn rewire(netlist: &mut Netlist, sink: Sink, from: crate::ir::NetId, to: crate::ir::NetId) {
+    match sink {
+        Sink::Cell { cell, pin } => {
+            debug_assert_eq!(netlist.cell(cell).ins[pin], from);
+            netlist.rewire_input(cell, pin, to);
+        }
+        Sink::Output(position) => {
+            debug_assert_eq!(netlist.outputs()[position], from);
+            netlist.rewire_output(position, to);
+        }
+    }
+}
+
+/// Splitter statistics after legalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegalizeStats {
+    /// Primitive logic cells (everything except Buf).
+    pub gates: usize,
+    /// Buf cells inserted (splitter arms / repeater candidates).
+    pub buffers: usize,
+    /// Logic depth of the legalized netlist.
+    pub depth: usize,
+}
+
+/// Summarizes a legalized netlist.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the netlist fails [`Netlist::check`].
+pub fn stats(netlist: &Netlist) -> Result<LegalizeStats, SwNetError> {
+    let buffers = netlist
+        .cells()
+        .iter()
+        .filter(|c| c.kind == CellKind::Buf)
+        .count();
+    Ok(LegalizeStats {
+        gates: netlist.cell_count() - buffers,
+        buffers,
+        depth: netlist.depth()?,
+    })
+}
+
+/// True when no net exceeds its driver's fan-out limit.
+pub fn is_legal(netlist: &Netlist) -> bool {
+    FanoutView::new(netlist).violations(netlist).is_empty()
+}
+
+/// The fan-out limit of whatever drives `net` (`None` for primary
+/// inputs, which are unlimited).
+pub fn driver_limit(netlist: &Netlist, net: crate::ir::NetId) -> Option<usize> {
+    match netlist.driver(net) {
+        Some(Driver::Cell { cell, .. }) => Some(netlist.cell(cell).kind.max_fanout()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::row_bits;
+    use swgates::encoding::Bit;
+
+    /// A net driven by one AND gate fanned out to `loads` XOR sinks.
+    fn wide(loads: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let t = nl.net("t");
+        nl.add_cell(CellKind::And, &[a, b], &[t]).unwrap();
+        for i in 0..loads {
+            let y = nl.net(&format!("y{i}"));
+            nl.add_cell(CellKind::Xor, &[t, b], &[y]).unwrap();
+            nl.mark_output(y);
+        }
+        nl
+    }
+
+    #[test]
+    fn wide_fanout_becomes_legal_and_keeps_behaviour() {
+        for loads in [3, 4, 5, 9, 17] {
+            let nl = wide(loads);
+            assert!(!is_legal(&nl));
+            let legal = legalize(&nl).unwrap();
+            assert!(is_legal(&legal), "loads={loads}:\n{legal}");
+            for row in 0..4u64 {
+                let bits = row_bits(row, 2);
+                assert_eq!(
+                    nl.evaluate(&bits).unwrap(),
+                    legal.evaluate(&bits).unwrap(),
+                    "loads={loads} row={row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_tree_depth_is_logarithmic() {
+        let legal = legalize(&wide(16)).unwrap();
+        let stats = stats(&legal).unwrap();
+        // 16 sinks under fan-out 2 need ≥ 8 extra drivers; a balanced
+        // tree keeps depth near log2(16) + 2 logic levels.
+        assert!(stats.buffers >= 8, "{stats:?}");
+        assert!(stats.depth <= 7, "{stats:?}");
+    }
+
+    #[test]
+    fn inverter_fanout_gets_a_buffer() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let n = nl.net("n");
+        let y = nl.net("y");
+        nl.add_cell(CellKind::Inv, &[a], &[n]).unwrap();
+        nl.add_cell(CellKind::Xor, &[n, n], &[y]).unwrap();
+        nl.mark_output(y);
+        let legal = legalize(&nl).unwrap();
+        assert!(is_legal(&legal), "{legal}");
+        assert_eq!(
+            legal.evaluate(&[Bit::Zero]).unwrap(),
+            vec![Bit::Zero],
+            "¬a ⊕ ¬a = 0"
+        );
+    }
+
+    #[test]
+    fn legal_netlists_pass_through_unchanged() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.net("y");
+        nl.add_cell(CellKind::And, &[a, b], &[y]).unwrap();
+        nl.mark_output(y);
+        let legal = legalize(&nl).unwrap();
+        assert_eq!(nl, legal);
+    }
+
+    #[test]
+    fn outputs_can_ride_splitters() {
+        // One AND output feeding two gates *and* a primary output: the
+        // primary output must move onto the tree too.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let t = nl.net("t");
+        let u = nl.net("u");
+        let v = nl.net("v");
+        nl.add_cell(CellKind::And, &[a, b], &[t]).unwrap();
+        nl.add_cell(CellKind::Inv, &[t], &[u]).unwrap();
+        nl.add_cell(CellKind::Buf, &[t], &[v]).unwrap();
+        nl.mark_output(t);
+        nl.mark_output(u);
+        nl.mark_output(v);
+        let legal = legalize(&nl).unwrap();
+        assert!(is_legal(&legal), "{legal}");
+        for row in 0..4u64 {
+            let bits = row_bits(row, 2);
+            assert_eq!(nl.evaluate(&bits).unwrap(), legal.evaluate(&bits).unwrap());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! swnet — a netlist IR and MAJ-synthesis compiler for the triangle
+//! spin-wave gate library.
+//!
+//! The paper's fan-out-of-2 triangle gates exist so gates can
+//! *compose*. This crate supplies the composition layer the hand-built
+//! circuits in `swgates` stop short of:
+//!
+//! - [`ir`] — a netlist IR with named nets, multi-output cells
+//!   (full/half-adder macros), and a [`ir::FanoutView`] that makes
+//!   fan-out-of-2 legality a structural query.
+//! - [`text`] — a small structural netlist text format and a JSON form,
+//!   both round-trippable, with byte-offset parse errors.
+//! - [`synth`] — truth-table → MAJ3/XOR/INV synthesis via Shannon
+//!   decomposition with XOR detection and structural hashing.
+//! - [`legalize`] — splitter/repeater-tree insertion that makes any
+//!   netlist obey the triangle-gate fan-out limits.
+//! - [`effort`] — a logical-effort-style amplitude model that decides
+//!   which buffers must actively regenerate (repeaters) and which are
+//!   passive splitter arms, then prices the result against the
+//!   16 nm/7 nm CMOS baselines in `swperf::cmos`.
+//! - [`lower`] — conversion to and from [`swgates::circuit::Circuit`]
+//!   so compiled netlists run through the existing evaluation path.
+//! - [`arith`] — generated adders and an array multiplier matching the
+//!   hand-built `swgates` circuits gate for gate.
+//! - [`sim`] — a 64-way word-parallel circuit simulator for
+//!   exhaustive/bulk verification.
+//!
+//! ```
+//! use swnet::synth::Table;
+//! use swnet::{legalize, lower};
+//!
+//! # fn main() -> Result<(), swnet::SwNetError> {
+//! // Compile a 3-input truth table (one-bit full-adder sum, 0b10010110)
+//! // into a fan-out-legal spin-wave circuit.
+//! let table = Table::parse("01101001")?;
+//! let netlist = swnet::synth::synthesize(&[table.clone()])?;
+//! let legal = legalize::legalize(&netlist)?;
+//! let circuit = lower::to_circuit(&legal)?;
+//! assert!(circuit.fanout_violations().is_empty());
+//! for row in 0..8u64 {
+//!     let bits = swnet::synth::row_bits(row, 3);
+//!     assert_eq!(circuit.evaluate(&bits)?[0], table.bit(row));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arith;
+pub mod effort;
+pub mod ir;
+pub mod legalize;
+pub mod lower;
+pub mod sim;
+pub mod synth;
+pub mod text;
+
+use std::fmt;
+
+/// Errors from netlist construction, parsing, synthesis, and lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwNetError {
+    /// A structural rule was broken (double driver, cycle, arity…).
+    Invalid(String),
+    /// The text or JSON format failed to parse; `offset` is the byte
+    /// position of the error in the input.
+    Parse {
+        /// Byte offset of the error in the source text.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl SwNetError {
+    pub(crate) fn invalid(message: impl Into<String>) -> SwNetError {
+        SwNetError::Invalid(message.into())
+    }
+
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> SwNetError {
+        SwNetError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SwNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwNetError::Invalid(message) => write!(f, "invalid netlist: {message}"),
+            SwNetError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwNetError {}
+
+impl From<swgates::SwGateError> for SwNetError {
+    fn from(err: swgates::SwGateError) -> SwNetError {
+        SwNetError::Invalid(err.to_string())
+    }
+}

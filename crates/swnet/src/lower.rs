@@ -1,0 +1,202 @@
+//! Lowering between [`Netlist`] and [`swgates::circuit::Circuit`].
+//!
+//! [`to_circuit`] flattens macros, orders the cells topologically, and
+//! emits the feed-forward gate list the rest of the repo evaluates,
+//! renders, and prices. [`from_circuit`] lifts an existing circuit into
+//! the IR (inputs `i0…`, gate outputs `g0…`) so hand-built circuits can
+//! be inspected, legalized, and re-scored with netlist tooling.
+//!
+//! Both directions preserve behaviour exactly; `to_circuit ∘
+//! from_circuit` reproduces the original circuit gate for gate (the
+//! parity tests in `tests/parity.rs` lean on `Circuit: PartialEq`).
+
+use swgates::circuit::{Circuit, GateKind, Signal};
+
+use crate::ir::{CellKind, Driver, Netlist};
+use crate::SwNetError;
+
+/// Lowers a netlist to a feed-forward circuit. Macro cells are
+/// elaborated first; cell order follows [`Netlist::check`]'s
+/// deterministic topological order, so an already-ordered netlist
+/// lowers in insertion order.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] if the netlist fails [`Netlist::check`].
+pub fn to_circuit(netlist: &Netlist) -> Result<Circuit, SwNetError> {
+    let flat = netlist.elaborate();
+    let order = flat.check()?;
+    let mut circuit = Circuit::new(flat.inputs().len());
+    // Net → lowered signal, filled as cells are emitted.
+    let mut signal_of: Vec<Option<Signal>> = vec![None; flat.net_count()];
+    for (position, &net) in flat.inputs().iter().enumerate() {
+        signal_of[net.index()] = Some(Signal::Input(position));
+    }
+    for cell_index in order {
+        let cell = flat.cell(cell_index);
+        let inputs: Vec<Signal> = cell
+            .ins
+            .iter()
+            .map(|net| signal_of[net.index()].expect("topological order"))
+            .collect();
+        let kind: GateKind = cell.kind.gate_kind();
+        let signal = circuit.add_gate(kind, inputs)?;
+        signal_of[cell.outs[0].index()] = Some(signal);
+    }
+    for &net in flat.outputs() {
+        circuit.mark_output(signal_of[net.index()].expect("outputs are driven"))?;
+    }
+    Ok(circuit)
+}
+
+/// Lifts a circuit into the IR. Inputs become nets `i0…`, gate `g`
+/// drives net `g<g>`; outputs are marked in declaration order.
+pub fn from_circuit(circuit: &Circuit) -> Result<Netlist, SwNetError> {
+    let mut netlist = Netlist::new();
+    let input_nets: Vec<_> = (0..circuit.input_count())
+        .map(|i| netlist.add_input(&format!("i{i}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut gate_nets = Vec::with_capacity(circuit.gate_count());
+    for g in 0..circuit.gate_count() {
+        let kind = gate_cell_kind(circuit.gate_kind(g).expect("gate exists"));
+        let ins: Vec<_> = circuit
+            .gate_inputs(g)
+            .expect("gate exists")
+            .iter()
+            .map(|&signal| match signal {
+                Signal::Input(i) => input_nets[i],
+                Signal::Gate(earlier) => gate_nets[earlier],
+            })
+            .collect();
+        let out = netlist.net(&format!("g{g}"));
+        netlist.add_cell(kind, &ins, &[out])?;
+        gate_nets.push(out);
+    }
+    for &signal in circuit.outputs() {
+        let net = match signal {
+            Signal::Input(i) => input_nets[i],
+            Signal::Gate(g) => gate_nets[g],
+        };
+        netlist.mark_output(net);
+    }
+    Ok(netlist)
+}
+
+/// The [`CellKind`] a circuit gate lifts to (inverse of
+/// [`CellKind::gate_kind`]).
+pub fn gate_cell_kind(kind: GateKind) -> CellKind {
+    match kind {
+        GateKind::Maj3 => CellKind::Maj3,
+        GateKind::Xor => CellKind::Xor,
+        GateKind::Xnor => CellKind::Xnor,
+        GateKind::And => CellKind::And,
+        GateKind::Or => CellKind::Or,
+        GateKind::Nand => CellKind::Nand,
+        GateKind::Nor => CellKind::Nor,
+        GateKind::Not => CellKind::Inv,
+        GateKind::Repeater => CellKind::Buf,
+    }
+}
+
+/// The number of splitter arms and repeater candidates (`Repeater`
+/// gates) in a lowered circuit.
+pub fn repeater_count(circuit: &Circuit) -> usize {
+    (0..circuit.gate_count())
+        .filter(|&g| circuit.gate_kind(g) == Some(GateKind::Repeater))
+        .count()
+}
+
+/// True when the driver of `net` is a primary input (exempt from
+/// fan-out limits).
+pub fn driven_by_input(netlist: &Netlist, net: crate::ir::NetId) -> bool {
+    matches!(netlist.driver(net), Some(Driver::Input(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::CellKind;
+    use swgates::encoding::{all_patterns, Bit};
+
+    fn fa_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let cin = nl.add_input("cin").unwrap();
+        let sum = nl.net("sum");
+        let cout = nl.net("cout");
+        nl.add_cell(CellKind::FullAdder, &[a, b, cin], &[sum, cout])
+            .unwrap();
+        nl.mark_output(sum);
+        nl.mark_output(cout);
+        nl
+    }
+
+    #[test]
+    fn full_adder_macro_lowers_to_the_hand_built_circuit() {
+        let circuit = to_circuit(&fa_netlist()).unwrap();
+        assert_eq!(circuit, Circuit::full_adder());
+    }
+
+    #[test]
+    fn lowering_preserves_evaluation() {
+        let nl = fa_netlist();
+        let circuit = to_circuit(&nl).unwrap();
+        for pattern in all_patterns::<3>() {
+            assert_eq!(
+                nl.evaluate(&pattern).unwrap(),
+                circuit.evaluate(&pattern).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_round_trips_through_the_ir() {
+        let original = Circuit::ripple_carry_adder(3);
+        let lifted = from_circuit(&original).unwrap();
+        let back = to_circuit(&lifted).unwrap();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn repeaters_survive_the_round_trip() {
+        let mut circuit = Circuit::new(1);
+        let r = circuit
+            .add_gate(GateKind::Repeater, vec![Signal::Input(0)])
+            .unwrap();
+        circuit.mark_output(r).unwrap();
+        let lifted = from_circuit(&circuit).unwrap();
+        assert_eq!(lifted.cells()[0].kind, CellKind::Buf);
+        assert_eq!(to_circuit(&lifted).unwrap(), circuit);
+        assert_eq!(repeater_count(&circuit), 1);
+    }
+
+    #[test]
+    fn gate_kinds_round_trip() {
+        for kind in [
+            GateKind::Maj3,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Not,
+            GateKind::Repeater,
+        ] {
+            assert_eq!(gate_cell_kind(kind).gate_kind(), kind);
+        }
+    }
+
+    #[test]
+    fn outputs_may_be_primary_inputs() {
+        let mut circuit = Circuit::new(2);
+        circuit.mark_output(Signal::Input(1)).unwrap();
+        let lifted = from_circuit(&circuit).unwrap();
+        assert_eq!(
+            lifted.evaluate(&[Bit::Zero, Bit::One]).unwrap(),
+            vec![Bit::One]
+        );
+        assert_eq!(to_circuit(&lifted).unwrap(), circuit);
+    }
+}

@@ -1,0 +1,211 @@
+//! Word-parallel circuit simulation: 64 input patterns per `u64`.
+//!
+//! Exhaustive verification of a 16-bit adder (2³³ input patterns) is
+//! out of reach bit-by-bit; packing 64 patterns per machine word makes
+//! dense sampling cheap. Gates become bitwise expressions —
+//! `MAJ3(a,b,c) = (a&b)|(b&c)|(a&c)` — evaluated once per word.
+
+use swgates::circuit::{Circuit, GateKind, Signal};
+
+/// Evaluates `circuit` on 64 input patterns at once. `inputs[i]` holds
+/// input `i`'s bit for each of the 64 patterns (bit `p` of the word is
+/// pattern `p`); the result holds one word per circuit output.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != circuit.input_count()`.
+pub fn eval_words(circuit: &Circuit, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(
+        inputs.len(),
+        circuit.input_count(),
+        "one input word per primary input"
+    );
+    let mut gates = Vec::with_capacity(circuit.gate_count());
+    let value = |gates: &Vec<u64>, signal: Signal| -> u64 {
+        match signal {
+            Signal::Input(i) => inputs[i],
+            Signal::Gate(g) => gates[g],
+        }
+    };
+    for g in 0..circuit.gate_count() {
+        let kind = circuit.gate_kind(g).expect("index in range");
+        let pins = circuit.gate_inputs(g).expect("index in range");
+        let word = match kind {
+            GateKind::Maj3 => {
+                let (a, b, c) = (
+                    value(&gates, pins[0]),
+                    value(&gates, pins[1]),
+                    value(&gates, pins[2]),
+                );
+                a & b | b & c | a & c
+            }
+            GateKind::Xor => value(&gates, pins[0]) ^ value(&gates, pins[1]),
+            GateKind::Xnor => !(value(&gates, pins[0]) ^ value(&gates, pins[1])),
+            GateKind::And => value(&gates, pins[0]) & value(&gates, pins[1]),
+            GateKind::Or => value(&gates, pins[0]) | value(&gates, pins[1]),
+            GateKind::Nand => !(value(&gates, pins[0]) & value(&gates, pins[1])),
+            GateKind::Nor => !(value(&gates, pins[0]) | value(&gates, pins[1])),
+            GateKind::Not => !value(&gates, pins[0]),
+            GateKind::Repeater => value(&gates, pins[0]),
+        };
+        gates.push(word);
+    }
+    circuit
+        .outputs()
+        .iter()
+        .map(|&signal| value(&gates, signal))
+        .collect()
+}
+
+/// Runs `patterns` pseudo-random patterns through an adder/multiplier
+/// style circuit and checks each against `expect` (little-endian input
+/// decode → little-endian expected outputs). Returns the number of
+/// patterns evaluated. Used by the parity tests and `parbench
+/// --netlist`.
+///
+/// `seed` drives a SplitMix64 stream, so runs are reproducible.
+pub fn verify_against<F>(circuit: &Circuit, patterns: usize, seed: u64, expect: F) -> usize
+where
+    F: Fn(u64) -> u64,
+{
+    let n = circuit.input_count();
+    assert!(n <= 64, "word-packed inputs support up to 64 bits");
+    let mut state = seed;
+    let mut next = move || {
+        // SplitMix64: cheap, well-distributed, dependency-free.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut done = 0usize;
+    while done < patterns {
+        let lanes = (patterns - done).min(64);
+        // Draw one pattern per lane, transpose into per-input words.
+        let rows: Vec<u64> = (0..lanes).map(|_| next()).collect();
+        let mut inputs = vec![0u64; n];
+        for (lane, row) in rows.iter().enumerate() {
+            for (i, word) in inputs.iter_mut().enumerate() {
+                *word |= (row >> i & 1) << lane;
+            }
+        }
+        let outputs = eval_words(circuit, &inputs);
+        for (lane, row) in rows.iter().enumerate() {
+            let masked = row & mask(n);
+            let got = outputs
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (k, word)| acc | (word >> lane & 1) << k);
+            let want = expect(masked) & mask(outputs.len());
+            assert_eq!(
+                got, want,
+                "pattern {masked:#x}: circuit returned {got:#x}, expected {want:#x}"
+            );
+        }
+        done += lanes;
+    }
+    done
+}
+
+fn mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::row_bits;
+    use crate::{arith, legalize, lower};
+
+    #[test]
+    fn words_agree_with_bit_by_bit_evaluation() {
+        let circuit = Circuit::ripple_carry_adder(3);
+        let n = circuit.input_count();
+        // Pack all 128 patterns into two 64-lane batches.
+        for batch in 0..2u64 {
+            let mut inputs = vec![0u64; n];
+            for lane in 0..64u64 {
+                let row = batch * 64 + lane;
+                for (i, word) in inputs.iter_mut().enumerate() {
+                    *word |= (row >> i & 1) << lane;
+                }
+            }
+            let outputs = eval_words(&circuit, &inputs);
+            for lane in 0..64u64 {
+                let row = batch * 64 + lane;
+                let slow = circuit.evaluate(&row_bits(row, n)).unwrap();
+                for (k, bit) in slow.iter().enumerate() {
+                    assert_eq!(
+                        outputs[k] >> lane & 1,
+                        bit.as_u8() as u64,
+                        "row {row} output {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_gate_kind_matches_its_scalar_eval() {
+        use swgates::encoding::Bit;
+        for kind in [
+            GateKind::Maj3,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Not,
+            GateKind::Repeater,
+        ] {
+            let arity = kind.arity();
+            let mut circuit = Circuit::new(arity);
+            let signals: Vec<Signal> = (0..arity).map(Signal::Input).collect();
+            let out = circuit.add_gate(kind, signals).unwrap();
+            circuit.mark_output(out).unwrap();
+            for row in 0..(1u64 << arity) {
+                let bits = row_bits(row, arity);
+                let slow = circuit.evaluate(&bits).unwrap()[0];
+                let inputs: Vec<u64> = bits
+                    .iter()
+                    .map(|b| if *b == Bit::One { u64::MAX } else { 0 })
+                    .collect();
+                let fast = eval_words(&circuit, &inputs)[0];
+                assert_eq!(fast, if slow == Bit::One { u64::MAX } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn random_verification_catches_the_multiplier() {
+        let nl = arith::array_multiplier(4);
+        let legal = legalize::legalize(&nl).unwrap();
+        let circuit = lower::to_circuit(&legal).unwrap();
+        let n = 4;
+        let checked = verify_against(&circuit, 1000, 7, |packed| {
+            let a = packed & 0xf;
+            let b = packed >> n & 0xf;
+            a * b
+        });
+        assert_eq!(checked, 1000);
+    }
+
+    #[test]
+    fn random_verification_covers_the_16_bit_adder() {
+        let nl = arith::ripple_carry_adder(16);
+        let circuit = lower::to_circuit(&nl).unwrap();
+        let checked = verify_against(&circuit, 4096, 11, |packed| {
+            let a = packed & 0xffff;
+            let b = packed >> 16 & 0xffff;
+            let cin = packed >> 32 & 1;
+            a + b + cin
+        });
+        assert_eq!(checked, 4096);
+    }
+}

@@ -1,0 +1,547 @@
+//! Truth-table → MAJ3/XOR/INV synthesis.
+//!
+//! Shannon decomposition with two majority-specific refinements:
+//!
+//! - **XOR detection**: when the two cofactors are complements
+//!   (`f₁ = ¬f₀`), the whole function is `x ⊕ f₀` — one triangle XOR
+//!   gate instead of a MUX. This is what keeps adder-style functions
+//!   small on the paper's gate library.
+//! - **Structural hashing**: sub-functions are memoized by their
+//!   truth-table bits, and a complement hit reuses the existing net
+//!   through one shared inverter. Multi-output tables share a single
+//!   memo, so an adder's sum and carry share their common logic.
+//!
+//! AND/OR are kept as named cells because the triangle library
+//! implements them directly as MAJ3 with a constant third input
+//! (`swgates::circuit::GateKind` prices them identically to MAJ3).
+
+use std::collections::HashMap;
+
+use swgates::encoding::Bit;
+
+use crate::ir::{CellKind, NetId, Netlist};
+use crate::SwNetError;
+
+/// Largest supported input count for a single table (2^12 rows = 64
+/// words per table — synthesis stays instant, requests stay bounded).
+pub const MAX_SYNTH_INPUTS: usize = 12;
+
+/// A single-output truth table over `n` inputs, packed 64 rows per
+/// word. Row `r` holds `f(r)` where input `i` is bit `i` of `r`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Table {
+    n: usize,
+    words: Vec<u64>,
+}
+
+/// The input bits of row `r` for an `n`-input table, lowest input
+/// first — the decoding [`Table`] rows use everywhere.
+pub fn row_bits(row: u64, n: usize) -> Vec<Bit> {
+    (0..n).map(|i| Bit::from_bool(row >> i & 1 == 1)).collect()
+}
+
+impl Table {
+    fn word_count(n: usize) -> usize {
+        1usize << n.saturating_sub(6)
+    }
+
+    /// An all-zero table over `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] when `n` exceeds [`MAX_SYNTH_INPUTS`].
+    pub fn zeros(n: usize) -> Result<Table, SwNetError> {
+        if n > MAX_SYNTH_INPUTS {
+            return Err(SwNetError::invalid(format!(
+                "truth tables support at most {MAX_SYNTH_INPUTS} inputs, got {n}"
+            )));
+        }
+        Ok(Table {
+            n,
+            words: vec![0; Table::word_count(n)],
+        })
+    }
+
+    /// Parses a `0`/`1` string of length `2^n`, row 0 first.
+    ///
+    /// ```
+    /// use swnet::synth::Table;
+    /// let and = Table::parse("0001").unwrap();
+    /// assert_eq!(and.bit(3), swgates::encoding::Bit::One);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] on non-binary characters or a length
+    /// that is not a power of two in `1..=2^12`.
+    pub fn parse(bits: &str) -> Result<Table, SwNetError> {
+        let len = bits.len();
+        if !len.is_power_of_two() || len < 2 {
+            return Err(SwNetError::invalid(format!(
+                "truth table length must be a power of two ≥ 2, got {len}"
+            )));
+        }
+        let n = len.trailing_zeros() as usize;
+        let mut table = Table::zeros(n)?;
+        for (row, ch) in bits.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => table.set(row as u64, Bit::One),
+                other => {
+                    return Err(SwNetError::invalid(format!(
+                        "truth table may contain only 0 and 1, found `{other}` at position {row}"
+                    )))
+                }
+            }
+        }
+        Ok(table)
+    }
+
+    /// Builds a table by evaluating `f` on every row.
+    ///
+    /// # Errors
+    ///
+    /// [`SwNetError::Invalid`] when `n` exceeds [`MAX_SYNTH_INPUTS`].
+    pub fn from_fn(n: usize, mut f: impl FnMut(&[Bit]) -> Bit) -> Result<Table, SwNetError> {
+        let mut table = Table::zeros(n)?;
+        for row in 0..(1u64 << n) {
+            table.set(row, f(&row_bits(row, n)));
+        }
+        Ok(table)
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows (`2^n`).
+    pub fn rows(&self) -> u64 {
+        1u64 << self.n
+    }
+
+    /// The output for row `row`.
+    pub fn bit(&self, row: u64) -> Bit {
+        let word = self.words[(row >> 6) as usize];
+        Bit::from_bool(word >> (row & 63) & 1 == 1)
+    }
+
+    /// Sets the output for row `row`.
+    pub fn set(&mut self, row: u64, value: Bit) {
+        let word = &mut self.words[(row >> 6) as usize];
+        match value {
+            Bit::One => *word |= 1 << (row & 63),
+            Bit::Zero => *word &= !(1 << (row & 63)),
+        }
+    }
+
+    /// The `0`/`1` string form, row 0 first.
+    pub fn bits_string(&self) -> String {
+        (0..self.rows())
+            .map(|row| self.bit(row).to_string())
+            .collect()
+    }
+
+    fn mask(&self) -> u64 {
+        if self.n >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1u64 << self.n)) - 1
+        }
+    }
+
+    fn is_const(&self) -> Option<Bit> {
+        let mask = self.mask();
+        if self.words.iter().all(|&w| w & mask == 0) {
+            Some(Bit::Zero)
+        } else if self.words.iter().all(|&w| w & mask == mask) {
+            Some(Bit::One)
+        } else {
+            None
+        }
+    }
+
+    fn complement(&self) -> Table {
+        let mask = self.mask();
+        Table {
+            n: self.n,
+            words: self.words.iter().map(|&w| !w & mask).collect(),
+        }
+    }
+
+    /// True when the output depends on input `var`.
+    fn depends_on(&self, var: usize) -> bool {
+        let (f0, f1) = self.cofactors(var);
+        f0 != f1
+    }
+
+    /// The negative and positive cofactors with respect to input
+    /// `var`, each over the same `n` inputs (the variable goes unused).
+    fn cofactors(&self, var: usize) -> (Table, Table) {
+        let mut f0 = Table {
+            n: self.n,
+            words: self.words.clone(),
+        };
+        let mut f1 = f0.clone();
+        if var >= 6 {
+            // The variable selects whole words.
+            let stride = 1usize << (var - 6);
+            let mut i = 0;
+            while i < self.words.len() {
+                for j in 0..stride {
+                    f0.words[i + stride + j] = self.words[i + j];
+                    f1.words[i + j] = self.words[i + stride + j];
+                }
+                i += 2 * stride;
+            }
+        } else {
+            // The variable selects bit groups inside each word.
+            let stride = 1u32 << var;
+            let group: u64 = match stride {
+                1 => 0x5555_5555_5555_5555,
+                2 => 0x3333_3333_3333_3333,
+                4 => 0x0f0f_0f0f_0f0f_0f0f,
+                8 => 0x00ff_00ff_00ff_00ff,
+                16 => 0x0000_ffff_0000_ffff,
+                _ => 0x0000_0000_ffff_ffff,
+            };
+            for (slot0, (slot1, &word)) in f0
+                .words
+                .iter_mut()
+                .zip(f1.words.iter_mut().zip(self.words.iter()))
+            {
+                let low = word & group;
+                let high = word >> stride & group;
+                *slot0 = low | low << stride;
+                *slot1 = high | high << stride;
+            }
+        }
+        (f0, f1)
+    }
+}
+
+/// What a synthesized sub-function evaluates to.
+#[derive(Clone, Copy)]
+enum Value {
+    Const(Bit),
+    Net(NetId),
+}
+
+struct Synth {
+    netlist: Netlist,
+    input_nets: Vec<NetId>,
+    /// Truth-table words → already-built net.
+    memo: HashMap<Vec<u64>, NetId>,
+    /// Net → its inverter output, shared across all complement hits.
+    inverters: HashMap<NetId, NetId>,
+    /// (kind, a, b) → output net, for structural 2-input gate sharing.
+    gate_memo: HashMap<(CellKind, NetId, NetId), NetId>,
+}
+
+impl Synth {
+    fn new(n: usize) -> Result<Synth, SwNetError> {
+        let mut netlist = Netlist::new();
+        let input_nets = (0..n)
+            .map(|i| netlist.add_input(&format!("x{i}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Synth {
+            netlist,
+            input_nets,
+            memo: HashMap::new(),
+            inverters: HashMap::new(),
+            gate_memo: HashMap::new(),
+        })
+    }
+
+    fn invert(&mut self, net: NetId) -> NetId {
+        if let Some(&out) = self.inverters.get(&net) {
+            return out;
+        }
+        let out = self.netlist.fresh("n");
+        self.netlist
+            .add_cell(CellKind::Inv, &[net], &[out])
+            .expect("fresh net is undriven");
+        self.inverters.insert(net, out);
+        out
+    }
+
+    /// Emits a 2-input gate with constant folding and structural
+    /// sharing (commutative kinds are canonicalized by operand order).
+    fn apply(&mut self, kind: CellKind, a: Value, b: Value) -> Value {
+        use CellKind::{And, Or, Xor};
+        match (kind, a, b) {
+            (And, Value::Const(Bit::Zero), _) | (And, _, Value::Const(Bit::Zero)) => {
+                return Value::Const(Bit::Zero)
+            }
+            (And, Value::Const(Bit::One), other) | (And, other, Value::Const(Bit::One)) => {
+                return other
+            }
+            (Or, Value::Const(Bit::One), _) | (Or, _, Value::Const(Bit::One)) => {
+                return Value::Const(Bit::One)
+            }
+            (Or, Value::Const(Bit::Zero), other) | (Or, other, Value::Const(Bit::Zero)) => {
+                return other
+            }
+            (Xor, Value::Const(Bit::Zero), other) | (Xor, other, Value::Const(Bit::Zero)) => {
+                return other
+            }
+            (Xor, Value::Const(Bit::One), Value::Net(net))
+            | (Xor, Value::Net(net), Value::Const(Bit::One)) => {
+                return Value::Net(self.invert(net))
+            }
+            (Xor, Value::Const(x), Value::Const(y)) => return Value::Const(Bit::xor(x, y)),
+            _ => {}
+        }
+        let (Value::Net(a), Value::Net(b)) = (a, b) else {
+            unreachable!("constant operands were folded above");
+        };
+        if a == b {
+            return match kind {
+                And | Or => Value::Net(a),
+                Xor => Value::Const(Bit::Zero),
+                _ => unreachable!("apply only emits and/or/xor"),
+            };
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&out) = self.gate_memo.get(&(kind, a, b)) {
+            return Value::Net(out);
+        }
+        let out = self.netlist.fresh("n");
+        self.netlist
+            .add_cell(kind, &[a, b], &[out])
+            .expect("fresh net is undriven");
+        self.gate_memo.insert((kind, a, b), out);
+        Value::Net(out)
+    }
+
+    fn build(&mut self, table: &Table) -> Value {
+        if let Some(bit) = table.is_const() {
+            return Value::Const(bit);
+        }
+        if let Some(&net) = self.memo.get(&table.words) {
+            return Value::Net(net);
+        }
+        let complement = table.complement();
+        if let Some(&net) = self.memo.get(&complement.words) {
+            let out = self.invert(net);
+            self.memo.insert(table.words.clone(), out);
+            return Value::Net(out);
+        }
+        // Single-variable functions need no decomposition.
+        let top = (0..table.inputs())
+            .rev()
+            .find(|&var| table.depends_on(var))
+            .expect("non-constant table depends on some input");
+        let x = Value::Net(self.input_nets[top]);
+        let (f0, f1) = table.cofactors(top);
+        let result = if f1 == f0.complement() {
+            // f = x ⊕ f0 — the triangle XOR shortcut.
+            let low = self.build(&f0);
+            self.apply(CellKind::Xor, x, low)
+        } else {
+            // f = (x ∧ f1) ∨ (¬x ∧ f0). Constant cofactors fold inside
+            // `apply`, so AND/OR degenerate to wires automatically.
+            let high = self.build(&f1);
+            let low = self.build(&f0);
+            let x_net = self.input_nets[top];
+            let not_x = Value::Net(self.invert(x_net));
+            let take_high = self.apply(CellKind::And, x, high);
+            let take_low = self.apply(CellKind::And, not_x, low);
+            self.apply(CellKind::Or, take_high, take_low)
+        };
+        if let Value::Net(net) = result {
+            self.memo.insert(table.words.clone(), net);
+        }
+        result
+    }
+
+    /// Materializes a value as a driven net (constants become
+    /// `x ⊕ x` / `x ⊙ x` on input 0, the only constant generators the
+    /// gate library offers).
+    fn materialize(&mut self, value: Value) -> NetId {
+        match value {
+            Value::Net(net) => net,
+            Value::Const(bit) => {
+                let x0 = self.input_nets[0];
+                let kind = match bit {
+                    Bit::Zero => CellKind::Xor,
+                    Bit::One => CellKind::Xnor,
+                };
+                let out = self.netlist.fresh("c");
+                self.netlist
+                    .add_cell(kind, &[x0, x0], &[out])
+                    .expect("fresh net is undriven");
+                out
+            }
+        }
+    }
+}
+
+/// Synthesizes one netlist computing every table in `tables` (all over
+/// the same input count), output `k` driven by `tables[k]`. Logic is
+/// shared across outputs through a common structural-hashing memo.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] when `tables` is empty, the input counts
+/// disagree, or an input count is 0 or exceeds [`MAX_SYNTH_INPUTS`].
+pub fn synthesize(tables: &[Table]) -> Result<Netlist, SwNetError> {
+    let Some(first) = tables.first() else {
+        return Err(SwNetError::invalid("need at least one truth table"));
+    };
+    let n = first.inputs();
+    if n == 0 {
+        return Err(SwNetError::invalid(
+            "constant functions need at least one input to reference",
+        ));
+    }
+    if tables.iter().any(|t| t.inputs() != n) {
+        return Err(SwNetError::invalid(
+            "all truth tables must have the same number of inputs",
+        ));
+    }
+    let mut synth = Synth::new(n)?;
+    let mut outputs = Vec::with_capacity(tables.len());
+    for table in tables {
+        let value = synth.build(table);
+        outputs.push(synth.materialize(value));
+    }
+    let mut netlist = synth.netlist;
+    for (k, net) in outputs.into_iter().enumerate() {
+        // Give outputs stable names where possible; generated nets keep
+        // their `$` names but gain a `y<k>` alias via output order.
+        let _ = k;
+        netlist.mark_output(net);
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(tables: &[Table]) {
+        let netlist = synthesize(tables).unwrap();
+        let n = tables[0].inputs();
+        for row in 0..(1u64 << n) {
+            let out = netlist.evaluate(&row_bits(row, n)).unwrap();
+            for (k, table) in tables.iter().enumerate() {
+                assert_eq!(
+                    out[k],
+                    table.bit(row),
+                    "output {k} row {row} of {}",
+                    table.bits_string()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_bits_string() {
+        let table = Table::parse("01101001").unwrap();
+        assert_eq!(table.inputs(), 3);
+        assert_eq!(table.bits_string(), "01101001");
+        assert!(Table::parse("012").is_err());
+        assert!(Table::parse("0").is_err());
+        assert!(Table::parse("011").is_err());
+    }
+
+    #[test]
+    fn cofactors_split_rows_correctly() {
+        // f = x2 (8 rows): cofactor on x2 gives constants.
+        let table = Table::parse("00001111").unwrap();
+        let (f0, f1) = table.cofactors(2);
+        assert_eq!(f0.is_const(), Some(Bit::Zero));
+        assert_eq!(f1.is_const(), Some(Bit::One));
+        assert!(table.depends_on(2));
+        assert!(!table.depends_on(0));
+    }
+
+    #[test]
+    fn cofactors_work_across_word_boundaries() {
+        // 7 inputs: 128 rows, 2 words; f = x6.
+        let table = Table::from_fn(7, |bits| bits[6]).unwrap();
+        let (f0, f1) = table.cofactors(6);
+        assert_eq!(f0.is_const(), Some(Bit::Zero));
+        assert_eq!(f1.is_const(), Some(Bit::One));
+    }
+
+    #[test]
+    fn synthesizes_every_two_input_function() {
+        for code in 0..16u32 {
+            let table = Table::from_fn(2, |bits| {
+                let row = bits[0].as_u8() | bits[1].as_u8() << 1;
+                Bit::from_bool(code >> row & 1 == 1)
+            })
+            .unwrap();
+            verify(&[table]);
+        }
+    }
+
+    #[test]
+    fn synthesizes_every_three_input_function() {
+        for code in 0..256u32 {
+            let table = Table::from_fn(3, |bits| {
+                let row = bits[0].as_u8() | bits[1].as_u8() << 1 | bits[2].as_u8() << 2;
+                Bit::from_bool(code >> row & 1 == 1)
+            })
+            .unwrap();
+            verify(&[table]);
+        }
+    }
+
+    #[test]
+    fn xor_detection_keeps_parity_small() {
+        // 6-input parity is 5 XOR gates under detection; a plain MUX
+        // tree would need dozens of cells.
+        let parity = Table::from_fn(6, |bits| {
+            Bit::from_bool(bits.iter().filter(|b| b.as_bool()).count() % 2 == 1)
+        })
+        .unwrap();
+        let netlist = synthesize(std::slice::from_ref(&parity)).unwrap();
+        assert_eq!(netlist.cell_count(), 5, "{netlist}");
+        verify(&[parity]);
+    }
+
+    #[test]
+    fn multi_output_tables_share_logic() {
+        // Full adder: sum and carry over the same 3 inputs.
+        let sum = Table::parse("01101001").unwrap();
+        let carry = Table::parse("00010111").unwrap();
+        verify(&[sum.clone(), carry.clone()]);
+        let both = synthesize(&[sum.clone(), carry.clone()]).unwrap();
+        let separate =
+            synthesize(&[sum]).unwrap().cell_count() + synthesize(&[carry]).unwrap().cell_count();
+        assert!(
+            both.cell_count() <= separate,
+            "shared {} vs separate {separate}",
+            both.cell_count()
+        );
+    }
+
+    #[test]
+    fn constant_tables_synthesize_via_xor_xnor() {
+        let zero = Table::zeros(2).unwrap();
+        let one = zero.complement();
+        verify(&[zero, one]);
+    }
+
+    #[test]
+    fn seven_input_tables_cross_word_boundaries() {
+        let majority7 = Table::from_fn(7, |bits| {
+            Bit::from_bool(bits.iter().filter(|b| b.as_bool()).count() >= 4)
+        })
+        .unwrap();
+        verify(&[majority7]);
+    }
+
+    #[test]
+    fn input_count_limits_are_enforced() {
+        assert!(Table::zeros(MAX_SYNTH_INPUTS).is_ok());
+        assert!(Table::zeros(MAX_SYNTH_INPUTS + 1).is_err());
+        assert!(synthesize(&[]).is_err());
+        let a = Table::zeros(2).unwrap();
+        let b = Table::zeros(3).unwrap();
+        assert!(synthesize(&[a, b]).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! The structural netlist text format and its JSON twin.
+//!
+//! The text format is line-oriented:
+//!
+//! ```text
+//! # one-bit full adder
+//! input a b cin
+//! output sum cout
+//! sum cout = fa a b cin
+//! ```
+//!
+//! - `#` starts a comment running to end of line.
+//! - `input` / `output` lines declare primary inputs and outputs; both
+//!   may appear more than once and accumulate.
+//! - Every other non-empty line is a cell: `out... = op in...`, where
+//!   `op` is one of `maj3 xor xnor and or nand nor inv buf fa ha`.
+//! - Identifiers are `[A-Za-z0-9_$.\[\]]+` — `$` so generated splitter
+//!   names round-trip, brackets so bus-style names like `a[3]` read
+//!   naturally.
+//!
+//! Parse errors carry the byte offset of the offending token. The JSON
+//! form (`{"inputs": [...], "outputs": [...], "cells": [{"op", "ins",
+//! "outs"}]}`) expresses the same structure for the HTTP endpoint.
+
+use swjson::Json;
+
+use crate::ir::{CellKind, Netlist};
+use crate::SwNetError;
+
+fn is_ident_byte(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || matches!(byte, b'_' | b'$' | b'.' | b'[' | b']')
+}
+
+/// Splits one line into `(token, byte_offset)` pairs, with offsets
+/// relative to the whole source.
+fn tokenize(line: &str, line_start: usize) -> Result<Vec<(&str, usize)>, SwNetError> {
+    let bytes = line.as_bytes();
+    let mut tokens = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let byte = bytes[at];
+        if byte == b'#' {
+            break;
+        }
+        if byte.is_ascii_whitespace() {
+            at += 1;
+            continue;
+        }
+        if byte == b'=' {
+            tokens.push(("=", line_start + at));
+            at += 1;
+            continue;
+        }
+        if is_ident_byte(byte) {
+            let start = at;
+            while at < bytes.len() && is_ident_byte(bytes[at]) {
+                at += 1;
+            }
+            tokens.push((&line[start..at], line_start + start));
+            continue;
+        }
+        return Err(SwNetError::parse(
+            line_start + at,
+            format!("unexpected character `{}`", byte as char),
+        ));
+    }
+    Ok(tokens)
+}
+
+/// Parses the text format into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`SwNetError::Parse`] with a byte offset on malformed input;
+/// [`SwNetError::Invalid`] when the structure is ill-formed (e.g. a
+/// doubly-driven net).
+pub fn parse(source: &str) -> Result<Netlist, SwNetError> {
+    let mut netlist = Netlist::new();
+    let mut line_start = 0;
+    for line in source.split_inclusive('\n') {
+        let start = line_start;
+        line_start += line.len();
+        let line = line.strip_suffix('\n').unwrap_or(line);
+        let tokens = tokenize(line, start)?;
+        let Some(&(head, head_at)) = tokens.first() else {
+            continue;
+        };
+        match head {
+            "input" => {
+                if tokens.len() < 2 {
+                    return Err(SwNetError::parse(head_at, "`input` needs at least one net"));
+                }
+                for &(name, at) in &tokens[1..] {
+                    if name == "=" {
+                        return Err(SwNetError::parse(at, "`=` not allowed in an input list"));
+                    }
+                    let id = netlist.net(name);
+                    if netlist.add_input(name).is_err() {
+                        return Err(SwNetError::parse(
+                            at,
+                            format!("net `{}` is already driven", netlist.name(id)),
+                        ));
+                    }
+                }
+            }
+            "output" => {
+                if tokens.len() < 2 {
+                    return Err(SwNetError::parse(
+                        head_at,
+                        "`output` needs at least one net",
+                    ));
+                }
+                for &(name, at) in &tokens[1..] {
+                    if name == "=" {
+                        return Err(SwNetError::parse(at, "`=` not allowed in an output list"));
+                    }
+                    let id = netlist.net(name);
+                    netlist.mark_output(id);
+                }
+            }
+            _ => {
+                let equals = tokens.iter().position(|&(t, _)| t == "=").ok_or_else(|| {
+                    SwNetError::parse(head_at, "expected `outs... = op ins...` cell line")
+                })?;
+                if equals == 0 {
+                    return Err(SwNetError::parse(tokens[0].1, "cell has no output nets"));
+                }
+                let Some(&(op, op_at)) = tokens.get(equals + 1) else {
+                    return Err(SwNetError::parse(
+                        tokens[equals].1,
+                        "expected an operation after `=`",
+                    ));
+                };
+                let kind = CellKind::from_op_name(op)
+                    .ok_or_else(|| SwNetError::parse(op_at, format!("unknown operation `{op}`")))?;
+                let outs: Vec<_> = tokens[..equals]
+                    .iter()
+                    .map(|&(name, _)| netlist.net(name))
+                    .collect();
+                let ins: Vec<_> = tokens[equals + 2..]
+                    .iter()
+                    .map(|&(name, _)| netlist.net(name))
+                    .collect();
+                if ins.len() != kind.input_arity() || outs.len() != kind.output_arity() {
+                    return Err(SwNetError::parse(
+                        op_at,
+                        format!(
+                            "`{op}` takes {} inputs and {} outputs, got {} and {}",
+                            kind.input_arity(),
+                            kind.output_arity(),
+                            ins.len(),
+                            outs.len()
+                        ),
+                    ));
+                }
+                netlist
+                    .add_cell(kind, &ins, &outs)
+                    .map_err(|err| SwNetError::parse(tokens[0].1, err.to_string()))?;
+            }
+        }
+    }
+    Ok(netlist)
+}
+
+/// Renders a netlist as its JSON form.
+pub fn to_json(netlist: &Netlist) -> Json {
+    let inputs = netlist
+        .inputs()
+        .iter()
+        .map(|&net| Json::str(netlist.name(net)))
+        .collect();
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .map(|&net| Json::str(netlist.name(net)))
+        .collect();
+    let cells = netlist
+        .cells()
+        .iter()
+        .map(|cell| {
+            let ins = cell
+                .ins
+                .iter()
+                .map(|&net| Json::str(netlist.name(net)))
+                .collect();
+            let outs = cell
+                .outs
+                .iter()
+                .map(|&net| Json::str(netlist.name(net)))
+                .collect();
+            Json::obj(vec![
+                ("op", Json::str(cell.kind.op_name())),
+                ("ins", Json::Arr(ins)),
+                ("outs", Json::Arr(outs)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("inputs", Json::Arr(inputs)),
+        ("outputs", Json::Arr(outputs)),
+        ("cells", Json::Arr(cells)),
+    ])
+}
+
+fn string_list<'a>(value: &'a Json, what: &str) -> Result<Vec<&'a str>, SwNetError> {
+    let items = value
+        .as_arr()
+        .ok_or_else(|| SwNetError::invalid(format!("`{what}` must be an array of strings")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .ok_or_else(|| SwNetError::invalid(format!("`{what}` must contain only strings")))
+        })
+        .collect()
+}
+
+/// Builds a netlist from its JSON form.
+///
+/// # Errors
+///
+/// [`SwNetError::Invalid`] describing the first malformed field.
+pub fn from_json(value: &Json) -> Result<Netlist, SwNetError> {
+    let obj = value
+        .as_obj()
+        .ok_or_else(|| SwNetError::invalid("netlist JSON must be an object"))?;
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "inputs" | "outputs" | "cells") {
+            return Err(SwNetError::invalid(format!(
+                "unknown netlist field `{key}`"
+            )));
+        }
+    }
+    let mut netlist = Netlist::new();
+    let inputs = value
+        .get("inputs")
+        .ok_or_else(|| SwNetError::invalid("netlist JSON needs an `inputs` array"))?;
+    for name in string_list(inputs, "inputs")? {
+        netlist.add_input(name)?;
+    }
+    let cells = value
+        .get("cells")
+        .ok_or_else(|| SwNetError::invalid("netlist JSON needs a `cells` array"))?
+        .as_arr()
+        .ok_or_else(|| SwNetError::invalid("`cells` must be an array"))?;
+    for cell in cells {
+        let op = cell
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SwNetError::invalid("each cell needs a string `op`"))?;
+        let kind = CellKind::from_op_name(op)
+            .ok_or_else(|| SwNetError::invalid(format!("unknown operation `{op}`")))?;
+        let ins: Vec<_> = string_list(
+            cell.get("ins")
+                .ok_or_else(|| SwNetError::invalid("each cell needs an `ins` array"))?,
+            "ins",
+        )?
+        .into_iter()
+        .map(|name| netlist.net(name))
+        .collect();
+        let outs: Vec<_> = string_list(
+            cell.get("outs")
+                .ok_or_else(|| SwNetError::invalid("each cell needs an `outs` array"))?,
+            "outs",
+        )?
+        .into_iter()
+        .map(|name| netlist.net(name))
+        .collect();
+        netlist.add_cell(kind, &ins, &outs)?;
+    }
+    let outputs = value
+        .get("outputs")
+        .ok_or_else(|| SwNetError::invalid("netlist JSON needs an `outputs` array"))?;
+    for name in string_list(outputs, "outputs")? {
+        let id = netlist.net(name);
+        netlist.mark_output(id);
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swgates::encoding::all_patterns;
+
+    const FULL_ADDER: &str = "\
+# one-bit full adder
+input a b cin
+output sum cout
+sum cout = fa a b cin
+";
+
+    #[test]
+    fn parses_the_full_adder_example() {
+        let nl = parse(FULL_ADDER).unwrap();
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.cell_count(), 1);
+        for pattern in all_patterns::<3>() {
+            let total = pattern.iter().map(|b| b.as_u8() as usize).sum::<usize>();
+            let out = nl.evaluate(&pattern).unwrap();
+            assert_eq!(out[0].as_u8() as usize, total % 2);
+            assert_eq!(out[1].as_u8() as usize, total / 2);
+        }
+    }
+
+    #[test]
+    fn display_then_parse_round_trips() {
+        let nl = parse(FULL_ADDER).unwrap();
+        let again = parse(&nl.to_string()).unwrap();
+        assert_eq!(nl, again);
+    }
+
+    #[test]
+    fn json_round_trips_through_render_and_parse() {
+        let nl = parse(FULL_ADDER).unwrap();
+        let rendered = to_json(&nl).render();
+        let back = from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(nl, back);
+        // Canonical rendering is deterministic.
+        assert_eq!(rendered, to_json(&back).render());
+    }
+
+    #[test]
+    fn generated_names_survive_the_text_format() {
+        let mut nl = parse(FULL_ADDER).unwrap();
+        let split = nl.fresh("s");
+        let sum = nl.find("sum").unwrap();
+        nl.add_cell(crate::ir::CellKind::Buf, &[sum], &[split])
+            .unwrap();
+        nl.mark_output(split);
+        let again = parse(&nl.to_string()).unwrap();
+        assert_eq!(nl, again);
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let source = "input a b\noutput y\ny = quux a b\n";
+        let err = parse(source).unwrap_err();
+        match err {
+            SwNetError::Parse {
+                offset,
+                ref message,
+            } => {
+                assert_eq!(offset, source.find("quux").unwrap());
+                assert!(message.contains("quux"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        let source = "input a\noutput y\ny = inv a a\n";
+        let err = parse(source).unwrap_err();
+        match err {
+            SwNetError::Parse { offset, .. } => {
+                assert_eq!(offset, source.rfind("inv").unwrap());
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+
+        let source = "input a\ny @ inv a\n";
+        let err = parse(source).unwrap_err();
+        match err {
+            SwNetError::Parse { offset, .. } => {
+                assert_eq!(offset, source.find('@').unwrap());
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_drivers_are_rejected_at_the_offending_line() {
+        let source = "input a b\noutput y\ny = and a b\ny = or a b\n";
+        let err = parse(source).unwrap_err();
+        match err {
+            SwNetError::Parse {
+                offset,
+                ref message,
+            } => {
+                assert_eq!(offset, source.rfind('y').unwrap());
+                assert!(message.contains("two drivers"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_fields_are_rejected() {
+        let bad = [
+            r#"{"outputs": [], "cells": []}"#,
+            r#"{"inputs": [1], "outputs": [], "cells": []}"#,
+            r#"{"inputs": [], "outputs": [], "cells": [{"op": "frob", "ins": [], "outs": []}]}"#,
+            r#"{"inputs": [], "outputs": [], "cells": [], "extra": 1}"#,
+        ];
+        for source in bad {
+            let value = Json::parse(source).unwrap();
+            assert!(from_json(&value).is_err(), "{source}");
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! and the server sends exactly the same bytes as the response body, so
 //! HTTP and CLI answers are byte-identical by construction.
 
-use swgates::circuit::Circuit;
+use swgates::circuit::{Circuit, Signal};
 use swgates::encoding::Bit;
 use swgates::gates::{
     AndGate, GateOutputs, Maj3Gate, NandGate, NorGate, OrGate, XnorGate, XorGate,
@@ -43,7 +43,7 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-fn bad(message: impl Into<String>) -> EvalError {
+pub(crate) fn bad(message: impl Into<String>) -> EvalError {
     EvalError {
         message: message.into(),
     }
@@ -62,7 +62,7 @@ fn gate_arity(gate: &str) -> usize {
     }
 }
 
-fn parse_bits(value: &Json, expected: usize, what: &str) -> Result<Vec<Bit>, EvalError> {
+pub(crate) fn parse_bits(value: &Json, expected: usize, what: &str) -> Result<Vec<Bit>, EvalError> {
     let items = value
         .as_arr()
         .ok_or_else(|| bad(format!("`inputs` must be an array of 0/1 for {what}")))?;
@@ -82,7 +82,7 @@ fn parse_bits(value: &Json, expected: usize, what: &str) -> Result<Vec<Bit>, Eva
         .collect()
 }
 
-fn bits_json(bits: &[Bit]) -> Json {
+pub(crate) fn bits_json(bits: &[Bit]) -> Json {
     Json::Arr(
         bits.iter()
             .map(|b| Json::Num(f64::from(b.as_u8())))
@@ -422,9 +422,37 @@ fn eval_circuit(normalized: &Json) -> Result<Json, EvalError> {
             ("detection", Json::Num(detections as f64)),
         ]),
     ));
+    let violations = circuit.fanout_violations();
+    fields.push(("fanout_violations", Json::Num(violations.len() as f64)));
     fields.push((
-        "fanout_violations",
-        Json::Num(circuit.fanout_violations().len() as f64),
+        "fanout",
+        Json::obj([
+            ("legal", Json::Bool(violations.is_empty())),
+            (
+                "violations",
+                Json::Arr(
+                    violations
+                        .iter()
+                        .map(|&(signal, fanout)| {
+                            let (of, index, limit) = match signal {
+                                Signal::Gate(g) => (
+                                    "gate",
+                                    g,
+                                    circuit.gate_kind(g).map_or(0, |k| k.max_fanout()),
+                                ),
+                                Signal::Input(i) => ("input", i, 0),
+                            };
+                            Json::obj([
+                                ("of", Json::str(of)),
+                                ("index", Json::Num(index as f64)),
+                                ("fanout", Json::Num(fanout as f64)),
+                                ("limit", Json::Num(limit as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
     ));
     let me = MeCell::paper();
     let (fo2, replicated, saving) = circuit_cost::fanout_advantage(&circuit, &me);

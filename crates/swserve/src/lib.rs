@@ -11,6 +11,10 @@
 //!   netlist circuits, with canonical request normalization. The CLI
 //!   `repro eval` and `POST /v1/gate/eval` share [`eval::respond`], so
 //!   HTTP answers are byte-identical to local ones.
+//! * [`netlist`] — the circuit compiler service: `POST
+//!   /v1/netlist/eval` accepts a demo name, swnet netlist text/JSON,
+//!   or raw truth tables, and answers with the legalized, sized, and
+//!   CMOS-scored circuit. `repro compile` shares [`netlist::respond`].
 //! * [`cache`] — a content-addressed result cache with single-flight
 //!   coalescing: N identical concurrent requests cost one evaluation.
 //! * [`jobs`] — micromagnetic evaluations dispatched async onto an
@@ -30,6 +34,7 @@ pub mod eval;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
+pub mod netlist;
 pub mod server;
 
 pub use cache::{content_key, Begin, FlightError, ResultCache};

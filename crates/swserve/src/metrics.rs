@@ -141,6 +141,8 @@ impl EndpointMetrics {
 pub struct ServerMetrics {
     /// `POST /v1/gate/eval`.
     pub gate_eval: EndpointMetrics,
+    /// `POST /v1/netlist/eval`.
+    pub netlist_eval: EndpointMetrics,
     /// `POST /v1/jobs`.
     pub jobs_submit: EndpointMetrics,
     /// `GET /v1/jobs/:id`.
@@ -179,6 +181,7 @@ impl ServerMetrics {
                 "endpoints",
                 Json::obj([
                     ("gate_eval", self.gate_eval.render()),
+                    ("netlist_eval", self.netlist_eval.render()),
                     ("jobs_submit", self.jobs_submit.render()),
                     ("jobs_get", self.jobs_get.render()),
                     ("healthz", self.healthz.render()),

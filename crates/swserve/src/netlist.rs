@@ -1,0 +1,439 @@
+//! Netlist compilation and evaluation for `POST /v1/netlist/eval`.
+//!
+//! The same two-stage shape as [`crate::eval`], but the payload is a
+//! *circuit description* rather than a named gate:
+//!
+//! 1. [`normalize`] accepts exactly one of four source forms — a
+//!    `demo` name, the swnet `source` text format, a structural
+//!    `netlist` JSON object, or a `table` of truth-table bit strings
+//!    (synthesized with `swnet::synth`) — compiles it to a primitive
+//!    netlist, and rewrites the request into canonical form: the
+//!    elaborated netlist JSON plus any `inputs`/`tag`. Equivalent
+//!    requests (a demo vs. its text spelling, reordered fields,
+//!    comments) normalize to identical bytes, so the server's
+//!    content-addressed cache coalesces them.
+//! 2. [`evaluate`] legalizes fan-out with swnet's balanced splitter
+//!    trees, sizes the splitter/repeater roles with the
+//!    logical-effort amplitude model, lowers to a `swgates::Circuit`,
+//!    and reports structure, fan-out legality, transducer counts,
+//!    behaviour (explicit `outputs` or enumerated `rows`), and the
+//!    energy/delay scorecard against the 16 nm and 7 nm CMOS
+//!    baselines.
+//!
+//! `repro compile` prints `respond(request)` and the server sends the
+//! same bytes, so CLI and HTTP answers are byte-identical by
+//! construction — the property the gate endpoint already has.
+
+use swjson::Json;
+use swnet::effort::{self, EffortModel};
+use swnet::ir::{FanoutView, Netlist};
+use swnet::synth::{synthesize, Table};
+use swnet::{arith, legalize, lower, text};
+use swperf::GateCost;
+
+use crate::eval::{bad, bits_json, parse_bits, EvalError};
+
+/// The built-in demo circuits: the ROADMAP's adders plus the array
+/// multipliers that exercise macro-cell elaboration.
+pub const DEMOS: [&str; 6] = ["full_adder", "rca4", "rca8", "rca16", "mul2", "mul4"];
+
+/// Truth-table enumeration bound, shared with the gate endpoint.
+const MAX_ENUM_INPUTS: usize = 10;
+
+/// Maps a compile-stage failure (parse, synthesis, check) to a client
+/// error, preserving swnet's byte-offset diagnostics.
+fn compile(error: swnet::SwNetError) -> EvalError {
+    bad(format!("netlist rejected: {error}"))
+}
+
+fn demo_netlist(name: &str) -> Option<Netlist> {
+    match name {
+        "full_adder" => Some(arith::full_adder()),
+        "rca4" => Some(arith::ripple_carry_adder(4)),
+        "rca8" => Some(arith::ripple_carry_adder(8)),
+        "rca16" => Some(arith::ripple_carry_adder(16)),
+        "mul2" => Some(arith::array_multiplier(2)),
+        "mul4" => Some(arith::array_multiplier(4)),
+        _ => None,
+    }
+}
+
+/// Validates a netlist request and rewrites it into canonical form:
+/// `{"netlist": <elaborated structural JSON>, "inputs"?, "tag"?}`.
+///
+/// Exactly one of `demo`, `source`, `netlist`, or `table` must be
+/// present. Because the canonical form is the *compiled* netlist, all
+/// spellings of the same circuit share one cache entry.
+///
+/// # Errors
+///
+/// [`EvalError`] on unknown fields or demos, malformed netlist text or
+/// JSON (with swnet's byte offsets in the message), unsynthesizable
+/// tables, or an `inputs` vector of the wrong width.
+pub fn normalize(request: &Json) -> Result<Json, EvalError> {
+    let fields = request
+        .as_obj()
+        .ok_or_else(|| bad("request body must be a JSON object"))?;
+    for key in fields.keys() {
+        if !matches!(
+            key.as_str(),
+            "demo" | "source" | "netlist" | "table" | "inputs" | "tag"
+        ) {
+            return Err(bad(format!("unknown field `{key}` in netlist request")));
+        }
+    }
+    let sources = ["demo", "source", "netlist", "table"]
+        .iter()
+        .filter(|key| request.get(key).is_some())
+        .count();
+    if sources != 1 {
+        return Err(bad(
+            "supply exactly one of `demo`, `source`, `netlist`, or `table`",
+        ));
+    }
+    let netlist = if let Some(demo) = request.get("demo") {
+        let name = demo
+            .as_str()
+            .ok_or_else(|| bad("`demo` must be a string"))?;
+        demo_netlist(name).ok_or_else(|| {
+            bad(format!(
+                "unknown demo `{name}` (expected one of {})",
+                DEMOS.join(", ")
+            ))
+        })?
+    } else if let Some(source) = request.get("source") {
+        let source = source
+            .as_str()
+            .ok_or_else(|| bad("`source` must be a string"))?;
+        text::parse(source).map_err(compile)?
+    } else if let Some(value) = request.get("netlist") {
+        text::from_json(value).map_err(compile)?
+    } else {
+        let rows = request
+            .get("table")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("`table` must be an array of 0/1 strings"))?;
+        if rows.is_empty() {
+            return Err(bad("`table` needs at least one output column"));
+        }
+        let tables: Vec<Table> = rows
+            .iter()
+            .map(|row| {
+                let bits = row
+                    .as_str()
+                    .ok_or_else(|| bad("`table` entries must be 0/1 strings"))?;
+                Table::parse(bits).map_err(compile)
+            })
+            .collect::<Result<_, _>>()?;
+        synthesize(&tables).map_err(compile)?
+    };
+    netlist.check().map_err(compile)?;
+    let flat = netlist.elaborate();
+    let mut out = vec![("netlist", text::to_json(&flat))];
+    if let Some(inputs) = request.get("inputs") {
+        let bits = parse_bits(inputs, flat.inputs().len(), "netlist")?;
+        out.push(("inputs", bits_json(&bits)));
+    }
+    if let Some(tag) = request.get("tag") {
+        let tag = tag.as_str().ok_or_else(|| bad("`tag` must be a string"))?;
+        out.push(("tag", Json::str(tag)));
+    }
+    Ok(Json::obj(out))
+}
+
+fn spinwave_cost_json(cost: &GateCost) -> Json {
+    Json::obj([
+        ("energy_aj", Json::Num(cost.energy_aj())),
+        ("delay_ns", Json::Num(cost.delay_ns())),
+        ("transducers", Json::Num(cost.device_count() as f64)),
+    ])
+}
+
+fn cmos_cost_json(cost: &GateCost) -> Json {
+    Json::obj([
+        ("energy_aj", Json::Num(cost.energy_aj())),
+        ("delay_ns", Json::Num(cost.delay_ns())),
+        ("transistors", Json::Num(cost.device_count() as f64)),
+    ])
+}
+
+/// Evaluates a **normalized** netlist request (see [`normalize`]):
+/// legalize → size → lower → score. Deterministic: equal canonical
+/// requests produce byte-identical responses.
+///
+/// # Errors
+///
+/// [`EvalError`] if the canonical netlist fails re-validation (cannot
+/// happen for documents produced by [`normalize`]).
+pub fn evaluate(normalized: &Json) -> Result<Json, EvalError> {
+    let netlist = text::from_json(
+        normalized
+            .get("netlist")
+            .ok_or_else(|| bad("normalized netlist requests carry a `netlist`"))?,
+    )
+    .map_err(compile)?;
+    let source_violations = FanoutView::new(&netlist).violations(&netlist);
+    let legal = legalize::legalize(&netlist).map_err(compile)?;
+    let stats = legalize::stats(&legal).map_err(compile)?;
+    let model = EffortModel::paper();
+    let card = effort::score(&legal, &model).map_err(compile)?;
+    let circuit = lower::to_circuit(&legal).map_err(compile)?;
+    let (excitations, detections) = circuit.transducer_counts();
+
+    let mut fields = vec![("request", normalized.clone())];
+    fields.push((
+        "netlist",
+        Json::obj([
+            ("inputs", Json::Num(netlist.inputs().len() as f64)),
+            ("outputs", Json::Num(netlist.outputs().len() as f64)),
+            ("cells", Json::Num(netlist.cell_count() as f64)),
+            ("depth", Json::Num(netlist.depth().map_err(compile)? as f64)),
+        ]),
+    ));
+    fields.push((
+        "legalized",
+        Json::obj([
+            ("gates", Json::Num(stats.gates as f64)),
+            ("buffers", Json::Num(stats.buffers as f64)),
+            ("splitters", Json::Num(card.sizing.splitters as f64)),
+            ("repeaters", Json::Num(card.sizing.repeaters as f64)),
+            ("depth", Json::Num(stats.depth as f64)),
+            ("min_delivered", Json::Num(card.sizing.min_delivered)),
+        ]),
+    ));
+    fields.push((
+        "fanout",
+        Json::obj([
+            ("legal", Json::Bool(circuit.fanout_violations().is_empty())),
+            (
+                "source_violations",
+                Json::Arr(
+                    source_violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj([
+                                ("net", Json::str(&v.name)),
+                                ("fanout", Json::Num(v.fanout as f64)),
+                                ("limit", Json::Num(v.limit as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    ));
+    fields.push((
+        "transducers",
+        Json::obj([
+            ("excitation", Json::Num(excitations as f64)),
+            ("detection", Json::Num(detections as f64)),
+        ]),
+    ));
+    match normalized.get("inputs") {
+        Some(inputs) => {
+            let bits = parse_bits(inputs, circuit.input_count(), "netlist")?;
+            let outputs = circuit
+                .evaluate(&bits)
+                .map_err(|e| bad(format!("evaluation failed: {e}")))?;
+            fields.push(("outputs", bits_json(&outputs)));
+        }
+        None if circuit.input_count() <= MAX_ENUM_INPUTS => {
+            let n = circuit.input_count();
+            let rows: Result<Vec<Json>, EvalError> = (0..1usize << n)
+                .map(|pattern| {
+                    let bits: Vec<_> = (0..n)
+                        .map(|i| swgates::encoding::Bit::from_bool(pattern >> i & 1 == 1))
+                        .collect();
+                    let outputs = circuit
+                        .evaluate(&bits)
+                        .map_err(|e| bad(format!("evaluation failed: {e}")))?;
+                    Ok(Json::obj([
+                        ("inputs", bits_json(&bits)),
+                        ("outputs", bits_json(&outputs)),
+                    ]))
+                })
+                .collect();
+            fields.push(("rows", Json::Arr(rows?)));
+        }
+        // Wide netlists (the 16-bit adder has 33 inputs) skip row
+        // enumeration: structure and cost are still reported.
+        None => {}
+    }
+    fields.push((
+        "cost",
+        Json::obj([
+            ("spinwave", spinwave_cost_json(&card.spinwave)),
+            ("cmos16", cmos_cost_json(&card.cmos16)),
+            ("cmos7", cmos_cost_json(&card.cmos7)),
+            (
+                "ratios",
+                Json::obj([
+                    (
+                        "energy_n16",
+                        Json::Num(card.energy_ratio(swperf::cmos::CmosNode::N16)),
+                    ),
+                    (
+                        "energy_n7",
+                        Json::Num(card.energy_ratio(swperf::cmos::CmosNode::N7)),
+                    ),
+                    (
+                        "delay_n16",
+                        Json::Num(card.delay_ratio(swperf::cmos::CmosNode::N16)),
+                    ),
+                    (
+                        "delay_n7",
+                        Json::Num(card.delay_ratio(swperf::cmos::CmosNode::N7)),
+                    ),
+                ]),
+            ),
+        ]),
+    ));
+    Ok(Json::obj(fields))
+}
+
+/// Convenience for the CLI and tests: normalize, evaluate, render.
+///
+/// # Errors
+///
+/// [`EvalError`] from either stage.
+pub fn respond(request: &Json) -> Result<String, EvalError> {
+    Ok(evaluate(&normalize(request)?)?.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Json {
+        Json::parse(text).expect("test request parses")
+    }
+
+    #[test]
+    fn demo_and_text_spellings_share_one_canonical_form() {
+        let demo = normalize(&parse(r#"{"demo":"full_adder"}"#)).unwrap();
+        let source = arith::full_adder().to_string();
+        let text_form = normalize(&Json::obj([("source", Json::str(&source))])).unwrap();
+        assert_eq!(demo.render(), text_form.render());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            r#"{"demo":"alu"}"#,
+            r#"{"demo":"rca4","source":"input a\n"}"#,
+            r#"{"bogus":1}"#,
+            r#"{}"#,
+            r#"{"source":"input a b\ny = frob a b\n"}"#,
+            r#"{"table":[]}"#,
+            r#"{"table":["011"]}"#,
+            r#"{"demo":"rca4","inputs":[1,0]}"#,
+            "[1]",
+        ] {
+            assert!(normalize(&parse(bad)).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_byte_offsets() {
+        let err = normalize(&parse(
+            r#"{"source":"input a b\noutput y\ny = frob a b\n"}"#,
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("byte 23"), "{}", err.message);
+    }
+
+    #[test]
+    fn synthesized_table_adds_like_a_full_adder() {
+        let response =
+            evaluate(&normalize(&parse(r#"{"table":["01101001","00010111"]}"#)).unwrap()).unwrap();
+        let rows = response.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 8);
+        for row in rows {
+            let bits = |key: &str| -> Vec<u64> {
+                row.get(key)
+                    .and_then(Json::as_arr)
+                    .unwrap()
+                    .iter()
+                    .filter_map(Json::as_f64)
+                    .map(|x| x as u64)
+                    .collect()
+            };
+            let inputs = bits("inputs");
+            let outputs = bits("outputs");
+            let total = inputs[0] + inputs[1] + inputs[2];
+            assert_eq!(outputs[0] | outputs[1] << 1, total, "{inputs:?}");
+        }
+        assert_eq!(
+            response
+                .get("fanout")
+                .and_then(|f| f.get("legal"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn the_wide_adder_reports_cost_without_rows() {
+        let response = evaluate(&normalize(&parse(r#"{"demo":"rca16"}"#)).unwrap()).unwrap();
+        assert!(response.get("rows").is_none());
+        assert!(response.get("outputs").is_none());
+        let netlist = response.get("netlist").unwrap();
+        assert_eq!(netlist.get("inputs").and_then(Json::as_f64), Some(33.0));
+        // 16 FA stages: 2 XOR + 1 MAJ3 each, 7 excitations per stage.
+        let energy = response
+            .get("cost")
+            .and_then(|c| c.get("spinwave"))
+            .and_then(|s| s.get("energy_aj"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((energy - 16.0 * 7.0 * 3.44).abs() < 1e-6, "{energy}");
+        // The paper's headline holds at width 16 too.
+        let ratios = response.get("cost").and_then(|c| c.get("ratios")).unwrap();
+        assert!(ratios.get("energy_n16").and_then(Json::as_f64).unwrap() > 1.0);
+        assert!(ratios.get("delay_n16").and_then(Json::as_f64).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn illegal_source_fanout_is_reported_and_fixed() {
+        // One AND output feeding five XORs: illegal as written,
+        // legalized by the compiler.
+        let mut source = String::from("input a b c\n");
+        let mut outputs = Vec::new();
+        source.push_str("t = and a b\n");
+        for i in 0..5 {
+            source.push_str(&format!("y{i} = xor t c\n"));
+            outputs.push(format!("y{i}"));
+        }
+        source.push_str(&format!("output {}\n", outputs.join(" ")));
+        let response =
+            evaluate(&normalize(&Json::obj([("source", Json::str(&source))])).unwrap()).unwrap();
+        let fanout = response.get("fanout").unwrap();
+        assert_eq!(fanout.get("legal").and_then(Json::as_bool), Some(true));
+        let violations = fanout
+            .get("source_violations")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].get("net").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            violations[0].get("fanout").and_then(Json::as_f64),
+            Some(5.0)
+        );
+        let legalized = response.get("legalized").unwrap();
+        assert!(legalized.get("buffers").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(
+            legalized
+                .get("min_delivered")
+                .and_then(Json::as_f64)
+                .unwrap()
+                + 1e-9
+                >= 0.5
+        );
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let request = parse(r#"{"demo":"mul2"}"#);
+        assert_eq!(respond(&request).unwrap(), respond(&request).unwrap());
+    }
+}

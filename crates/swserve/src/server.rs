@@ -7,6 +7,10 @@
 //!   the `X-Cache` response header says which (`hit`/`miss`/`coalesced`)
 //!   without perturbing the body (bodies stay byte-identical to the CLI
 //!   `repro eval` output).
+//! * `POST /v1/netlist/eval` — the circuit compiler: netlist text/JSON,
+//!   truth tables, or demo names in; legalized, sized, CMOS-scored
+//!   circuits out. Same cache, same single-flight policy, bodies
+//!   byte-identical to `repro compile`.
 //! * `POST /v1/jobs`, `GET /v1/jobs/:id` — micromagnetic evaluations
 //!   dispatched onto the resident pool; see [`crate::jobs`].
 //! * `GET /healthz`, `GET /metrics` — liveness and live counters.
@@ -35,6 +39,7 @@ use crate::eval;
 use crate::http::{error_body, read_request, write_json, ReadError, Request};
 use crate::jobs::{JobStore, SubmitError};
 use crate::metrics::ServerMetrics;
+use crate::netlist;
 
 /// How a [`Server`] is configured; see `repro serve --help` for the
 /// CLI surface.
@@ -298,6 +303,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 #[derive(Clone, Copy)]
 enum Endpoint {
     GateEval,
+    NetlistEval,
     JobsSubmit,
     JobsGet,
     Healthz,
@@ -308,6 +314,7 @@ enum Endpoint {
 fn endpoint_metrics(endpoint: Endpoint, shared: &Shared) -> &crate::metrics::EndpointMetrics {
     match endpoint {
         Endpoint::GateEval => &shared.metrics.gate_eval,
+        Endpoint::NetlistEval => &shared.metrics.netlist_eval,
         Endpoint::JobsSubmit => &shared.metrics.jobs_submit,
         Endpoint::JobsGet => &shared.metrics.jobs_get,
         Endpoint::Healthz => &shared.metrics.healthz,
@@ -319,7 +326,14 @@ fn endpoint_metrics(endpoint: Endpoint, shared: &Shared) -> &crate::metrics::End
 fn route(request: &Request, shared: &Shared) -> (Reply, Endpoint) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (healthz(shared), Endpoint::Healthz),
-        ("POST", "/v1/gate/eval") => (gate_eval(request, shared), Endpoint::GateEval),
+        ("POST", "/v1/gate/eval") => (
+            cached_eval(request, shared, eval::normalize, eval::evaluate),
+            Endpoint::GateEval,
+        ),
+        ("POST", "/v1/netlist/eval") => (
+            cached_eval(request, shared, netlist::normalize, netlist::evaluate),
+            Endpoint::NetlistEval,
+        ),
         ("POST", "/v1/jobs") => (jobs_submit(request, shared), Endpoint::JobsSubmit),
         ("GET", "/metrics") => (metrics_reply(shared), Endpoint::Metrics),
         ("POST", "/v1/admin/shutdown") => {
@@ -333,9 +347,11 @@ fn route(request: &Request, shared: &Shared) -> (Reply, Endpoint) {
             let id = &path["/v1/jobs/".len()..];
             (jobs_get(id, shared), Endpoint::JobsGet)
         }
-        (_, "/healthz" | "/metrics" | "/v1/gate/eval" | "/v1/jobs" | "/v1/admin/shutdown") => {
-            (Reply::error(405, "method not allowed"), Endpoint::Other)
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/gate/eval" | "/v1/netlist/eval" | "/v1/jobs"
+            | "/v1/admin/shutdown",
+        ) => (Reply::error(405, "method not allowed"), Endpoint::Other),
         _ => (Reply::error(404, "no such endpoint"), Endpoint::Other),
     }
 }
@@ -358,12 +374,23 @@ fn metrics_reply(shared: &Shared) -> Reply {
     Reply::json(200, shared.metrics.render().render())
 }
 
-fn gate_eval(request: &Request, shared: &Shared) -> Reply {
+/// The canonicalize-then-cache serving policy shared by the gate and
+/// netlist evaluation endpoints. Both stages are pure functions of the
+/// request JSON, so distinct endpoints can share one [`ResultCache`]:
+/// canonical forms are disjoint by construction (gate requests carry a
+/// `kind`, netlist requests a `netlist`), and the single-flight
+/// admission accounting applies across both.
+fn cached_eval(
+    request: &Request,
+    shared: &Shared,
+    normalize: fn(&Json) -> Result<Json, eval::EvalError>,
+    evaluate: fn(&Json) -> Result<Json, eval::EvalError>,
+) -> Reply {
     let parsed = match Json::parse_bytes(&request.body) {
         Ok(parsed) => parsed,
         Err(e) => return Reply::error(400, &format!("bad JSON: {e}")),
     };
-    let normalized = match eval::normalize(&parsed) {
+    let normalized = match normalize(&parsed) {
         Ok(normalized) => normalized,
         Err(e) => return Reply::error(400, &e.message),
     };
@@ -399,7 +426,7 @@ fn gate_eval(request: &Request, shared: &Shared) -> Reply {
                 shared.cache.abandon(token, FlightError::Shed);
                 return Reply::shed();
             }
-            let outcome = eval::evaluate(&normalized).map(|result| result.render());
+            let outcome = evaluate(&normalized).map(|result| result.render());
             shared.admitted.fetch_sub(1, Ordering::SeqCst);
             match outcome {
                 Ok(body) => {
@@ -501,6 +528,8 @@ mod tests {
             (post("/healthz", ""), 405),
             (post("/v1/gate/eval", "not json"), 400),
             (post("/v1/gate/eval", r#"{"gate":"warp"}"#), 400),
+            (post("/v1/netlist/eval", r#"{"demo":"alu"}"#), 400),
+            (get("/v1/netlist/eval"), 405),
             (post("/v1/jobs", r#"{"kind":"explode"}"#), 400),
             (get("/v1/jobs/job-0-dead"), 404),
         ];
@@ -529,6 +558,48 @@ mod tests {
         assert_eq!(first.body, second.body, "cache must not change bytes");
         assert_eq!(shared.metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(shared.metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn netlist_eval_coalesces_equivalent_spellings() {
+        let shared = test_shared(4);
+        let (first, endpoint) = route(&post("/v1/netlist/eval", r#"{"demo":"mul2"}"#), &shared);
+        assert!(matches!(endpoint, Endpoint::NetlistEval));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(first.extra, vec![("x-cache", "miss".to_string())]);
+        // The same circuit spelled as netlist text lands on the same
+        // cache entry: normalization compiles both to one canonical
+        // form.
+        let source = swnet::arith::array_multiplier(2).to_string();
+        let spelled = Json::obj([("source", Json::str(&source))]).render();
+        let (second, _) = route(&post("/v1/netlist/eval", &spelled), &shared);
+        assert_eq!(second.status, 200);
+        assert_eq!(second.extra, vec![("x-cache", "hit".to_string())]);
+        assert_eq!(first.body, second.body);
+        // And the body matches the CLI responder byte for byte.
+        let cli = netlist::respond(&Json::parse(r#"{"demo":"mul2"}"#).unwrap()).unwrap();
+        assert_eq!(first.body, cli);
+    }
+
+    #[test]
+    fn gate_and_netlist_requests_do_not_collide_in_the_cache() {
+        let shared = test_shared(4);
+        let (gate, _) = route(
+            &post(
+                "/v1/gate/eval",
+                r#"{"kind":"circuit","circuit":"full_adder"}"#,
+            ),
+            &shared,
+        );
+        let (net, _) = route(
+            &post("/v1/netlist/eval", r#"{"demo":"full_adder"}"#),
+            &shared,
+        );
+        assert_eq!(gate.status, 200);
+        assert_eq!(net.status, 200);
+        assert_eq!(net.extra, vec![("x-cache", "miss".to_string())]);
+        assert_ne!(gate.body, net.body);
+        assert_eq!(shared.metrics.cache_misses.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -107,6 +107,58 @@ fn responses_are_byte_identical_to_the_cli_evaluation() {
 }
 
 #[test]
+fn netlist_endpoint_compiles_scores_and_caches() {
+    let (handle, runner) = boot(ServerConfig::default());
+    let addr = handle.addr();
+    let requests = [
+        r#"{"demo":"rca4"}"#,
+        r#"{"demo":"mul2","inputs":[1,1,1,0]}"#,
+        r#"{"table":["01101001","00010111"]}"#,
+        r#"{"source":"input a b\noutput y\ny = maj3 a a b\n"}"#,
+    ];
+    for raw in requests {
+        let response = call(addr, "POST", "/v1/netlist/eval", raw);
+        assert_eq!(response.status, 200, "{raw}: {}", response.body);
+        let cli = swserve::netlist::respond(&Json::parse(raw).unwrap()).unwrap();
+        assert_eq!(response.body, cli, "{raw}: HTTP and CLI bytes must match");
+        let doc = Json::parse(&response.body).unwrap();
+        assert_eq!(
+            doc.get("fanout")
+                .and_then(|f| f.get("legal"))
+                .and_then(Json::as_bool),
+            Some(true),
+            "{raw}: every compiled netlist must be fan-out legal"
+        );
+        let ratios = doc.get("cost").and_then(|c| c.get("ratios")).unwrap();
+        for key in ["energy_n16", "energy_n7", "delay_n16", "delay_n7"] {
+            let value = ratios.get(key).and_then(Json::as_f64).unwrap();
+            assert!(value.is_finite() && value > 0.0, "{raw}: {key}={value}");
+        }
+    }
+    // A repeat is a cache hit with identical bytes.
+    let first = call(addr, "POST", "/v1/netlist/eval", r#"{"demo":"rca4"}"#);
+    assert_eq!(first.header("x-cache"), Some("hit"));
+    // The 2-bit multiplier evaluated at 3×2: outputs are 6 = 0110 LE.
+    let mul = call(
+        addr,
+        "POST",
+        "/v1/netlist/eval",
+        r#"{"demo":"mul2","inputs":[1,1,0,1]}"#,
+    );
+    let outputs: Vec<f64> = Json::parse(&mul.body)
+        .unwrap()
+        .get("outputs")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_f64)
+        .collect();
+    assert_eq!(outputs, vec![0.0, 1.0, 1.0, 0.0]);
+    handle.shutdown();
+    runner.join().unwrap();
+}
+
+#[test]
 fn repeats_hit_the_cache_and_concurrent_identicals_coalesce() {
     let (handle, runner) = boot(ServerConfig::default());
     let addr = handle.addr();

@@ -12,6 +12,9 @@
 //!   checkpoint/resume (drives the micromagnetic experiments).
 //! * [`swjson`] — the shared std-only JSON value/writer/parser used by
 //!   manifests and HTTP bodies.
+//! * [`swnet`] — the netlist IR and MAJ-synthesis compiler: truth
+//!   tables and structural netlists to fan-out-legal, energy/delay
+//!   scored circuits (`repro compile`).
 //! * [`swserve`] — the gate-evaluation HTTP service (`repro serve`)
 //!   with coalescing, content-addressed caching, and backpressure.
 //!
@@ -20,6 +23,7 @@
 pub use magnum;
 pub use swgates;
 pub use swjson;
+pub use swnet;
 pub use swperf;
 pub use swphys;
 pub use swrun;
