@@ -40,6 +40,11 @@ echo "==> rhs bench smoke (asserts bitwise identity across threads and rel err <
     --out target/BENCH_rhs_smoke.json
 test -s target/BENCH_rhs_smoke.json
 
+echo "==> batch bench smoke (asserts batch/independent bitwise parity and >=1.5x at K=8)"
+./target/release/parbench --batch --ks 1,4,8 --steps 100 \
+    --out target/BENCH_batch_smoke.json
+test -s target/BENCH_batch_smoke.json
+
 echo "==> netlist compiler smoke (rca16/mul4/table cases, fan-out legality asserted)"
 ./target/release/parbench --netlist --patterns 2048 \
     --out target/BENCH_netlist_smoke.json

@@ -1,7 +1,7 @@
 //! `parbench` — wall-clock scaling of magnum's intra-simulation threading,
 //! plus the `swserve` loadtest and smoke probe.
 //!
-//! Six modes:
+//! Seven modes:
 //!
 //! * Default: `parbench [--size N] [--steps N] [--threads LIST]` runs the
 //!   same deterministic LLG workload (an N×N film with exchange,
@@ -30,7 +30,20 @@
 //!   error of the new path's final state against the legacy trajectory,
 //!   and bitwise identity across thread counts. Defaults: grids
 //!   `64,128,256`, threads `1,2,4`, auto step count, output
-//!   `BENCH_rhs.json`.
+//!   `BENCH_rhs.json`. The scaling runs disable the small-grid serial
+//!   clamp so they measure the genuine parallel sweeps; a separate guard
+//!   then re-times the *default* build (clamp active) at the highest
+//!   requested thread count and fails if it loses more than 5% to the
+//!   serial arm — the regression the clamp exists to prevent.
+//!
+//! * `parbench --batch [--ks LIST] [--steps N] [--out PATH]` benchmarks
+//!   the batched K-way advance: for each K it times K independent serial
+//!   runs of the triangle-gate workload (each member with its own drive
+//!   phase) against one `BatchedSimulation` advancing all K in lockstep,
+//!   asserts every member's final state is bitwise identical to its
+//!   independent run, and requires the batch at the largest K to be at
+//!   least 1.5x faster. Writes `BENCH_batch.json`. Defaults: Ks `1,4,8`,
+//!   2000 steps.
 //!
 //! * `parbench --netlist [--patterns N] [--out PATH]` benchmarks the
 //!   `swnet` circuit compiler end to end: the 16-bit ripple-carry adder,
@@ -425,6 +438,9 @@ fn build(size: usize, threads: usize) -> Simulation {
         .antenna(antenna)
         .integrator(IntegratorKind::RungeKutta4)
         .threads(threads)
+        // This mode measures raw thread scaling, so the small-grid serial
+        // clamp must not silently rewrite the thread count.
+        .min_cells_per_thread(0)
         .build()
         .unwrap()
 }
@@ -582,7 +598,7 @@ const RHS_TILT: Vec3 = Vec3::new(0.3, 0.2, 1.0);
 /// FFT pre-pass — so the measurement isolates the fused sweep the SoA
 /// refactor targets, and the legacy reimplementation can mirror the
 /// workload exactly.
-fn build_rhs_sim(size: usize, threads: usize) -> Simulation {
+fn rhs_sim_builder(size: usize, threads: usize) -> SimulationBuilder {
     let cell = 5e-9;
     let mesh = Mesh::new(size, size, [cell, cell, 1e-9]).unwrap();
     Simulation::builder(mesh, Material::fecob())
@@ -591,6 +607,14 @@ fn build_rhs_sim(size: usize, threads: usize) -> Simulation {
         .external_field(RHS_BIAS)
         .integrator(IntegratorKind::RungeKutta4)
         .threads(threads)
+}
+
+fn build_rhs_sim(size: usize, threads: usize) -> Simulation {
+    // The scaling sweep measures the genuine parallel path, so the
+    // small-grid serial clamp is disabled here; the clamp itself is
+    // exercised (and guarded) separately in `rhs_grid_report`.
+    rhs_sim_builder(size, threads)
+        .min_cells_per_thread(0)
         .build()
         .unwrap()
 }
@@ -677,12 +701,64 @@ fn rhs_grid_report(size: usize, threads: &[usize], steps: usize) -> Json {
         "{size}x{size} fused RHS drifted {max_rel_err:.3e} from the legacy trajectory"
     );
 
+    // Regression guard for the small-grid serial clamp: a *default* build
+    // (clamp active) at the highest requested thread count must never
+    // lose more than 5% to the serial arm. Sub-threshold grids silently
+    // take the serial path, so requesting threads can't regress them; on
+    // grids above the threshold the parallel sweeps have to carry their
+    // own weight. The two arms are measured interleaved, best-of-5 each,
+    // so CPU-frequency drift between them cannot fake a regression (on a
+    // sub-threshold grid both arms run the identical serial path and any
+    // ratio away from 1.0 is pure timer noise). The guard picks its own
+    // step count — enough cell-updates per timed run to push the wall
+    // time well past timer jitter even when `--steps` is a smoke value.
+    let max_threads = threads.iter().copied().max().unwrap_or(1);
+    let guard_steps = steps.max(2_000_000 / n);
+    let timed_run = |make: &dyn Fn() -> Simulation| -> f64 {
+        let mut sim = make();
+        let start = Instant::now();
+        for _ in 0..guard_steps {
+            sim.step().unwrap();
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let clamped_threads = rhs_sim_builder(size, max_threads)
+        .build()
+        .unwrap()
+        .threads();
+    let (mut t_clamped, mut t_serial) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        t_clamped = t_clamped.min(timed_run(&|| {
+            rhs_sim_builder(size, max_threads).build().unwrap()
+        }));
+        t_serial = t_serial.min(timed_run(&|| build_rhs_sim(size, 1)));
+    }
+    let clamp_ratio = t_clamped / t_serial;
+    println!(
+        "  {size:3}x{size:<3} clamp     : requested {max_threads} -> effective {clamped_threads} \
+         threads, {:.3}x the serial wall time",
+        clamp_ratio
+    );
+    assert!(
+        clamp_ratio <= 1.05,
+        "{size}x{size}: default (clamped) build at {max_threads} threads took {clamp_ratio:.3}x \
+         the serial wall time — the small-grid serial clamp is not protecting this grid"
+    );
+
     Json::obj([
         ("size", Json::Num(size as f64)),
         ("cells", Json::Num(n as f64)),
         ("steps", Json::Num(steps as f64)),
         ("legacy_ns_per_cell_eval", Json::Num(legacy_ns)),
         ("max_rel_err_vs_legacy", Json::Num(max_rel_err)),
+        (
+            "clamp_guard",
+            Json::obj([
+                ("threads_requested", Json::Num(max_threads as f64)),
+                ("threads_effective", Json::Num(clamped_threads as f64)),
+                ("wall_time_ratio_vs_serial", Json::Num(clamp_ratio)),
+            ]),
+        ),
         ("results", Json::Arr(rows)),
     ])
 }
@@ -706,6 +782,122 @@ fn rhs_main(grids: Vec<usize>, threads: Vec<usize>, steps: usize, out: String) {
         "ns_per_cell_eval",
         "pre-refactor serial AoS RHS with separate stage passes",
         reports,
+    );
+}
+
+/// The batched-advance workload: the paper's triangle gate shape (apex
+/// to the right) driven by a phase-encoded antenna on the left edge —
+/// the geometry of the parity suites, at serial thread count, so the
+/// measurement isolates what batching itself buys.
+fn build_gate_sim(phase: f64) -> Simulation {
+    const NX: usize = 48;
+    const NY: usize = 24;
+    let cell = 5e-9;
+    let mut mesh = Mesh::new(NX, NY, [cell, cell, 1e-9]).unwrap();
+    let w = NX as f64 * cell;
+    let h = NY as f64 * cell;
+    let triangle = magnum::geometry::Polygon::new(vec![(0.0, 0.0), (0.0, h), (w, h / 2.0)]);
+    magnum::geometry::rasterize(&mut mesh, &triangle);
+    let antenna = Antenna::over_rect(
+        &mesh,
+        0.0,
+        0.0,
+        2.0 * cell,
+        h,
+        Vec3::X,
+        Drive::logic_cw(3e3, 9e9, phase),
+    );
+    Simulation::builder(mesh, Material::fecob())
+        .uniform_magnetization(Vec3::Z)
+        .demag(DemagMethod::ThinFilmLocal)
+        .absorbing_frame(AbsorbingFrame::new(3, 0.5))
+        .antenna(antenna)
+        .integrator(IntegratorKind::RungeKutta4)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// `--batch`: K independent serial runs vs one batched K-way advance on
+/// the triangle-gate workload, with bitwise parity checked per member.
+/// Writes `BENCH_batch.json` and fails unless the largest K is at least
+/// 1.5x faster batched.
+fn batch_main(ks: Vec<usize>, steps: usize, out: String) {
+    println!(
+        "batch benchmark: K-way lockstep advance vs K independent serial runs, {steps} RK4 steps"
+    );
+    let kmax = ks.iter().copied().max().unwrap_or(1);
+    let mut speedup_at_kmax = f64::INFINITY;
+    let mut rows = Vec::new();
+    // Warm-up so page faults and lazy allocation hit neither timer.
+    {
+        let mut sim = build_gate_sim(0.0);
+        for _ in 0..steps.min(100) {
+            sim.step().unwrap();
+        }
+    }
+    for &k in &ks {
+        // One drive phase per member, like the patterns of a logic sweep.
+        let phases: Vec<f64> = (0..k)
+            .map(|s| s as f64 * std::f64::consts::PI / 4.0)
+            .collect();
+
+        let start = Instant::now();
+        let independent: Vec<Vec<Vec3>> = phases
+            .iter()
+            .map(|&p| {
+                let mut sim = build_gate_sim(p);
+                for _ in 0..steps {
+                    sim.step().unwrap();
+                }
+                sim.magnetization().to_vec()
+            })
+            .collect();
+        let t_independent = start.elapsed().as_secs_f64();
+
+        let sims: Vec<Simulation> = phases.iter().map(|&p| build_gate_sim(p)).collect();
+        let mut batch = BatchedSimulation::new(sims).expect("members are structurally identical");
+        let start = Instant::now();
+        for _ in 0..steps {
+            batch.step().unwrap();
+        }
+        let t_batch = start.elapsed().as_secs_f64();
+
+        let members = batch.into_members();
+        for (s, sim) in members.iter().enumerate() {
+            assert!(
+                sim.magnetization().to_vec() == independent[s],
+                "K={k}: member {s} diverged bitwise from its independent run"
+            );
+        }
+        let speedup = t_independent / t_batch;
+        if k == kmax {
+            speedup_at_kmax = speedup;
+        }
+        println!(
+            "  K={k}: independent {t_independent:7.3} s, batched {t_batch:7.3} s, \
+             speedup {speedup:5.2}x, bitwise-identical: yes"
+        );
+        rows.push(Json::obj([
+            ("k", Json::Num(k as f64)),
+            ("steps", Json::Num(steps as f64)),
+            ("independent_s", Json::Num(t_independent)),
+            ("batched_s", Json::Num(t_batch)),
+            ("speedup_vs_independent", Json::Num(speedup)),
+            ("bitwise_identical_to_independent", Json::Bool(true)),
+        ]));
+    }
+    write_bench_json(
+        &out,
+        "batched_llg_advance",
+        "speedup_vs_independent",
+        "K independent serial runs of the triangle-gate workload",
+        rows,
+    );
+    assert!(
+        speedup_at_kmax >= 1.5,
+        "K={kmax} batch ran only {speedup_at_kmax:.2}x faster than {kmax} independent serial \
+         runs (the acceptance floor is 1.5x)"
     );
 }
 
@@ -1117,6 +1309,18 @@ fn main() {
     let threads: Vec<usize> = value_of("--threads")
         .map(|v| parse_list(v, "--threads"))
         .unwrap_or_else(|| vec![1, 2, 4]);
+
+    if args.iter().any(|a| a == "--batch") {
+        let ks: Vec<usize> = value_of("--ks")
+            .map(|v| parse_list(v, "--ks"))
+            .unwrap_or_else(|| vec![1, 4, 8]);
+        let steps: usize = value_of("--steps")
+            .map(|v| v.parse().expect("--steps needs an integer"))
+            .unwrap_or(2000);
+        let out = value_of("--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+        batch_main(ks, steps, out);
+        return;
+    }
 
     if args.iter().any(|a| a == "--demag") {
         let grids: Vec<usize> = value_of("--grids")

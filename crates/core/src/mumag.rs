@@ -487,6 +487,75 @@ impl MumagBackend {
         self.execute(plan, &drives, layout.wavelength())
     }
 
+    /// Runs the triangle MAJ3 gate for several input patterns at once,
+    /// advancing all of them in lockstep through one batched LLG solve.
+    ///
+    /// Element `i` of the result is bitwise identical to
+    /// `self.maj3_run(layout, patterns[i])` — batching is purely a
+    /// throughput optimization (one shared geometry, K interleaved
+    /// magnetization lanes per cell; see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout and solver failures as [`SwGateError`].
+    pub fn maj3_run_batch(
+        &self,
+        layout: &TriangleMaj3Layout,
+        patterns: &[[Bit; 3]],
+    ) -> Result<Vec<GateRun>, SwGateError> {
+        if patterns.is_empty() {
+            return Ok(Vec::new());
+        }
+        let trims = self.maj3_trims(layout)?;
+        let prepared = patterns
+            .iter()
+            .map(|inputs| {
+                let drives: Vec<DriveSpec> = inputs
+                    .iter()
+                    .zip(trims.iter())
+                    .map(|(bit, trim)| DriveSpec {
+                        amplitude_scale: trim.amplitude_scale,
+                        phase: bit.phase() + trim.phase_offset,
+                    })
+                    .collect();
+                self.prepare(self.plan_maj3(layout)?, &drives, layout.wavelength())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.measure_batch(prepared)
+    }
+
+    /// Runs the triangle XOR gate for several input patterns at once
+    /// (see [`MumagBackend::maj3_run_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout and solver failures as [`SwGateError`].
+    pub fn xor_run_batch(
+        &self,
+        layout: &TriangleXorLayout,
+        patterns: &[[Bit; 2]],
+    ) -> Result<Vec<GateRun>, SwGateError> {
+        if patterns.is_empty() {
+            return Ok(Vec::new());
+        }
+        let trims = self.xor_trims(layout)?;
+        let prepared = patterns
+            .iter()
+            .map(|inputs| {
+                let drives: Vec<DriveSpec> = inputs
+                    .iter()
+                    .zip(trims.iter())
+                    .map(|(bit, trim)| DriveSpec {
+                        amplitude_scale: trim.amplitude_scale,
+                        phase: bit.phase() + trim.phase_offset,
+                    })
+                    .collect();
+                self.prepare(self.plan_xor(layout)?, &drives, layout.wavelength())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.measure_batch(prepared)
+    }
+
     /// Raw complex output amplitudes `(O1, O2)` of the MAJ3 gate.
     ///
     /// # Errors
@@ -888,6 +957,17 @@ impl MumagBackend {
         drives: &[DriveSpec],
         wavelength: f64,
     ) -> Result<GateRun, SwGateError> {
+        self.measure(self.prepare(plan, drives, wavelength)?)
+    }
+
+    /// Rasterizes and wires a gate plan into a ready-to-run simulation
+    /// plus the timing and probe metadata the measurement phase needs.
+    fn prepare(
+        &self,
+        plan: GatePlan,
+        drives: &[DriveSpec],
+        wavelength: f64,
+    ) -> Result<PreparedGate, SwGateError> {
         assert_eq!(
             drives.len(),
             plan.antennas.len(),
@@ -1016,16 +1096,38 @@ impl MumagBackend {
         let vg = self.group_velocity(wavelength).max(1.0);
         let transit = plan.transit_distance / vg;
         let settle = (transit * self.settle_factor / period).ceil() * period;
+
+        Ok(PreparedGate {
+            sim,
+            frequency,
+            period,
+            settle,
+            probes: [
+                shift_rect(plan.probes[0], shift),
+                shift_rect(plan.probes[1], shift),
+            ],
+        })
+    }
+
+    /// Settles and measures one prepared gate with single-bin DFT probes
+    /// at both outputs.
+    fn measure(&self, prepared: PreparedGate) -> Result<GateRun, SwGateError> {
+        let PreparedGate {
+            mut sim,
+            frequency,
+            period,
+            settle,
+            probes,
+        } = prepared;
         sim.run(settle)?;
 
-        // Measure with single-bin DFT probes at both outputs.
         let probe_region = |rect: (f64, f64, f64, f64)| {
-            let (rx0, ry0, rx1, ry1) = shift_rect(rect, shift);
+            let (rx0, ry0, rx1, ry1) = rect;
             RegionProbe::over_rect(sim.mesh(), rx0, ry0, rx1, ry1, Component::X)
         };
-        let mut probe1 = DftProbe::new(probe_region(plan.probes[0]), frequency);
-        let mut probe2 = DftProbe::new(probe_region(plan.probes[1]), frequency);
-        let sample_interval = period / samples;
+        let mut probe1 = DftProbe::new(probe_region(probes[0]), frequency);
+        let mut probe2 = DftProbe::new(probe_region(probes[1]), frequency);
+        let sample_interval = period / self.samples_per_period as f64;
         sim.run_sampled(
             self.measure_periods as f64 * period,
             sample_interval,
@@ -1044,6 +1146,81 @@ impl MumagBackend {
             simulated_time: sim.time(),
         })
     }
+
+    /// Settles and measures K prepared gates in lockstep through one
+    /// batched LLG advance. Every member's trajectory — and therefore
+    /// every returned [`GateRun`] — is bitwise identical to running
+    /// [`MumagBackend::measure`] on it alone; batching K same-layout
+    /// patterns only amortizes the field sweeps.
+    fn measure_batch(&self, prepared: Vec<PreparedGate>) -> Result<Vec<GateRun>, SwGateError> {
+        let k = prepared.len();
+        let host = &prepared[0];
+        let (frequency, period, settle) = (host.frequency, host.period, host.settle);
+        for p in &prepared[1..] {
+            if p.frequency != frequency || p.settle != settle {
+                return Err(SwGateError::Simulation {
+                    reason: "batched gate runs must share one layout (frequency and \
+                             settle schedule differ)"
+                        .into(),
+                });
+            }
+        }
+        let probe_rects: Vec<[(f64, f64, f64, f64); 2]> =
+            prepared.iter().map(|p| p.probes).collect();
+        let mut batch =
+            magnum::BatchedSimulation::new(prepared.into_iter().map(|p| p.sim).collect())?;
+        batch.run(settle)?;
+
+        let mut probes: Vec<(DftProbe, DftProbe)> = (0..k)
+            .map(|s| {
+                let mesh = batch.member_sim(s).mesh();
+                let region = |rect: (f64, f64, f64, f64)| {
+                    RegionProbe::over_rect(mesh, rect.0, rect.1, rect.2, rect.3, Component::X)
+                };
+                (
+                    DftProbe::new(region(probe_rects[s][0]), frequency),
+                    DftProbe::new(region(probe_rects[s][1]), frequency),
+                )
+            })
+            .collect();
+        let sample_interval = period / self.samples_per_period as f64;
+        batch.run_sampled(
+            self.measure_periods as f64 * period,
+            sample_interval,
+            |t, b| {
+                for (s, (p1, p2)) in probes.iter_mut().enumerate() {
+                    let view = b.member(s);
+                    p1.sample(t, &view);
+                    p2.sample(t, &view);
+                }
+            },
+        )?;
+
+        let sims = batch.into_members();
+        Ok(sims
+            .into_iter()
+            .zip(probes)
+            .map(|(sim, (p1, p2))| GateRun {
+                o1: Complex64::from_polar(p1.amplitude(), p1.phase()),
+                o2: Complex64::from_polar(p2.amplitude(), p2.phase()),
+                snapshot: sim.snapshot(Component::X),
+                frequency,
+                simulated_time: sim.time(),
+            })
+            .collect())
+    }
+}
+
+/// A gate simulation assembled by [`MumagBackend::prepare`] and ready to
+/// advance: the simulation plus the timing/probe metadata the
+/// measurement phase consumes.
+struct PreparedGate {
+    sim: Simulation,
+    frequency: f64,
+    period: f64,
+    settle: f64,
+    /// Probe rectangles, already shifted into mesh coordinates.
+    probes: [(f64, f64, f64, f64); 2],
 }
 
 /// One planned antenna: its footprint rectangle (pre-shift coordinates),

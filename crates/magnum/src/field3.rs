@@ -286,6 +286,135 @@ impl Field3Ptr {
     }
 }
 
+/// A batch of `k` same-geometry vector fields, stored K-innermost: the
+/// value of member `s` at cell `i` lives at flat index `i * k + s` of a
+/// single [`Field3`].
+///
+/// With the batch index innermost, one sweep over the shared
+/// geometry/neighbour tables advances all `k` systems: the per-cell
+/// stencil coefficients, neighbour-presence branches and CSR offsets are
+/// loaded once per cell and the per-member arithmetic runs over `k`
+/// consecutive lanes, which is the layout the loop vectorizer wants.
+/// Interleaving and de-interleaving are pure permutations of `f64`
+/// values (no arithmetic), so member round-trips are bitwise lossless —
+/// the same determinism argument [`Field3::from_vec3s`] makes for the
+/// SoA layout itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldBatch {
+    data: Field3,
+    k: usize,
+}
+
+impl FieldBatch {
+    /// An all-zero batch of `k` fields with `cells` cells each.
+    pub fn zeros(cells: usize, k: usize) -> Self {
+        assert!(k > 0, "batch width must be at least 1");
+        FieldBatch {
+            data: Field3::zeros(cells * k),
+            k,
+        }
+    }
+
+    /// An empty batch (no cells) of nominal width `k` — the "feature
+    /// absent" marker, mirroring empty `Field3` scratch buffers.
+    pub fn empty(k: usize) -> Self {
+        FieldBatch {
+            data: Field3::zeros(0),
+            k: k.max(1),
+        }
+    }
+
+    /// Batch width K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of cells per member.
+    pub fn cells(&self) -> usize {
+        self.data.len() / self.k
+    }
+
+    /// True when the batch holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying interleaved storage.
+    pub fn data(&self) -> &Field3 {
+        &self.data
+    }
+
+    /// Mutable access to the underlying interleaved storage.
+    pub fn data_mut(&mut self) -> &mut Field3 {
+        &mut self.data
+    }
+
+    /// The value of member `s` at cell `i`.
+    #[inline]
+    pub fn get(&self, i: usize, s: usize) -> Vec3 {
+        self.data.get(i * self.k + s)
+    }
+
+    /// Overwrites the value of member `s` at cell `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, s: usize, v: Vec3) {
+        self.data.set(i * self.k + s, v);
+    }
+
+    /// Interleaves `src` (one full member field) into member slot `s`.
+    pub fn load_member<M: MagRead + ?Sized>(&mut self, s: usize, src: &M) {
+        assert_eq!(src.len(), self.cells(), "member length mismatch");
+        assert!(s < self.k, "member index out of range");
+        for i in 0..src.len() {
+            self.data.set(i * self.k + s, src.at(i));
+        }
+    }
+
+    /// De-interleaves member `s` into `dst`.
+    pub fn store_member(&self, s: usize, dst: &mut Field3) {
+        assert_eq!(dst.len(), self.cells(), "member length mismatch");
+        assert!(s < self.k, "member index out of range");
+        for i in 0..dst.len() {
+            dst.set(i, self.data.get(i * self.k + s));
+        }
+    }
+
+    /// A zero-copy [`MagRead`] view of member `s` (for probes and
+    /// snapshots, which are generic over `MagRead`).
+    pub fn member(&self, s: usize) -> BatchMemberView<'_> {
+        assert!(s < self.k, "member index out of range");
+        BatchMemberView { batch: self, s }
+    }
+
+    /// Raw interleaved-plane pointers (see [`Field3::ptrs`]).
+    pub(crate) fn ptrs(&mut self) -> Field3Ptr {
+        self.data.ptrs()
+    }
+
+    /// Read-only raw interleaved-plane pointers (see
+    /// [`Field3::read_ptr`]).
+    pub(crate) fn read_ptr(&self) -> Field3Read {
+        self.data.read_ptr()
+    }
+}
+
+/// Read-only `Vec3`-shaped view of one member of a [`FieldBatch`].
+#[derive(Clone, Copy)]
+pub struct BatchMemberView<'a> {
+    batch: &'a FieldBatch,
+    s: usize,
+}
+
+impl MagRead for BatchMemberView<'_> {
+    fn len(&self) -> usize {
+        self.batch.cells()
+    }
+    #[inline]
+    fn at(&self, i: usize) -> Vec3 {
+        self.batch.get(i, self.s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +459,36 @@ mod tests {
         }
         assert_eq!(MagRead::len(&f), 3);
         assert!(!MagRead::is_empty(s));
+    }
+
+    #[test]
+    fn batch_member_round_trip_is_bitwise_lossless() {
+        let members = [
+            vec![Vec3::new(0.1, -2.5e-17, 3e300), Vec3::new(-0.0, 1.0, 2.0)],
+            vec![
+                Vec3::new(5.0, 6.0, 7.0),
+                Vec3::new(f64::MIN_POSITIVE, 0.0, -1.0),
+            ],
+            vec![Vec3::X, Vec3::Y],
+        ];
+        let mut batch = FieldBatch::zeros(2, 3);
+        for (s, m) in members.iter().enumerate() {
+            batch.load_member(s, m.as_slice());
+        }
+        for (s, m) in members.iter().enumerate() {
+            let mut out = Field3::zeros(2);
+            batch.store_member(s, &mut out);
+            let view = batch.member(s);
+            for (i, v) in m.iter().enumerate() {
+                assert_eq!(out.get(i).x.to_bits(), v.x.to_bits());
+                assert_eq!(out.get(i).z.to_bits(), v.z.to_bits());
+                assert_eq!(view.at(i).y.to_bits(), v.y.to_bits());
+            }
+        }
+        // K-innermost layout: cell 0 of members 0..3 are flat 0..3.
+        assert_eq!(batch.data().get(1), members[1][0]);
+        assert_eq!(batch.get(1, 2), members[2][1]);
+        assert_eq!(batch.cells(), 2);
+        assert_eq!(batch.k(), 3);
     }
 }

@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod damping;
 pub mod error;
 pub mod excitation;
@@ -51,8 +52,9 @@ pub mod probe;
 pub mod sim;
 pub mod solver;
 
+pub use batch::BatchedSimulation;
 pub use error::MagnumError;
-pub use field3::{Field3, MagRead};
+pub use field3::{BatchMemberView, Field3, FieldBatch, MagRead};
 pub use material::{Material, MaterialBuilder};
 pub use math::{Complex64, Vec3};
 pub use mesh::{CellIndex, Mesh};
@@ -60,6 +62,7 @@ pub use sim::{Relaxation, Simulation, SimulationBuilder};
 
 /// Commonly used items, re-exported for ergonomic glob imports.
 pub mod prelude {
+    pub use crate::batch::BatchedSimulation;
     pub use crate::damping::AbsorbingFrame;
     pub use crate::excitation::{Antenna, Drive};
     pub use crate::field::demag::DemagMethod;

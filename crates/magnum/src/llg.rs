@@ -41,7 +41,7 @@
 
 use crate::excitation::Antenna;
 use crate::field::{FieldTerm, FusedTerm};
-use crate::field3::{Field3, Field3Ptr};
+use crate::field3::{Field3, Field3Ptr, FieldBatch};
 use crate::math::Vec3;
 use crate::par::{chunk_bounds, WorkerTeam};
 use crate::MU0;
@@ -82,6 +82,213 @@ struct Segment {
 /// Interior runs shorter than this stay in the scalar stretch — the
 /// branchless loop only pays off once it amortizes its setup.
 const MIN_RUN: usize = 8;
+
+/// Lane-chunk width for the batched interior sweep's split
+/// compute/store phases: big enough to cover every realistic batch in
+/// one chunk, small enough for comfortable stack buffers.
+const INTERIOR_LANES: usize = 16;
+
+/// One plane's exchange accumulation for four consecutive lanes:
+/// `(((0 + (m[fi-K]-m)·cx) + (m[fi+K]-m)·cx) + (m[fi-nxK]-m)·cy) +
+/// (m[fi+nxK]-m)·cy`, the exact summation order of the scalar arm.
+///
+/// # Safety
+///
+/// `fi±kk` and `fi±nxk` plus three lanes must be in bounds for `mp`,
+/// and the host must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn exchange4(
+    mp: *const f64,
+    fi: usize,
+    kk: usize,
+    nxk: usize,
+    mi: std::arch::x86_64::__m256d,
+    cx: std::arch::x86_64::__m256d,
+    cy: std::arch::x86_64::__m256d,
+    zero: std::arch::x86_64::__m256d,
+) -> std::arch::x86_64::__m256d {
+    use std::arch::x86_64::*;
+    let t0 = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(mp.add(fi - kk)), mi), cx);
+    let t1 = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(mp.add(fi + kk)), mi), cx);
+    let t2 = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(mp.add(fi - nxk)), mi), cy);
+    let t3 = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(mp.add(fi + nxk)), mi), cy);
+    _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(zero, t0), t1), t2),
+        t3,
+    )
+}
+
+/// The branch-free interior stretch, four members at a time with AVX2
+/// intrinsics — the auto-vectorizer leaves the equivalent scalar loop
+/// 1-wide, so the 4-wide form is written out explicitly. Every
+/// intrinsic is a lanewise correctly-rounded IEEE operation applied in
+/// the scalar arm's exact expression order (no FMA contraction), so
+/// each lane's result is bitwise identical to the scalar stretch; lanes
+/// beyond the last multiple of four run the scalar body itself.
+///
+/// # Safety
+///
+/// Cells `i_lo..i_hi` must be interior (stencil neighbours at `±1`,
+/// `±nx` all magnetic) with all interleaved lanes in bounds, `out` must
+/// be owned exclusively by the calling block, and the host must support
+/// AVX2 (checked at runtime by the dispatching caller).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn interior_stretch_avx2(
+    i_lo: usize,
+    i_hi: usize,
+    kk: usize,
+    nxk: usize,
+    mxp: *const f64,
+    myp: *const f64,
+    mzp: *const f64,
+    ap: *const f64,
+    pp: *const f64,
+    coeff_x: f64,
+    coeff_y: f64,
+    uni: Option<(f64, Vec3)>,
+    film: Option<f64>,
+    zee: Option<Vec3>,
+    out: Field3Ptr,
+) {
+    use std::arch::x86_64::*;
+    let (outx, outy, outz) = out.planes();
+    let cx = _mm256_set1_pd(coeff_x);
+    let cy = _mm256_set1_pd(coeff_y);
+    // Absent terms are skipped, not added as zero: −0.0 + +0.0 = +0.0
+    // would silently flip signed zeros against the generic ops loop.
+    let uni_v = uni.map(|(ku, axis)| {
+        (
+            _mm256_set1_pd(ku),
+            _mm256_set1_pd(axis.x),
+            _mm256_set1_pd(axis.y),
+            _mm256_set1_pd(axis.z),
+        )
+    });
+    let film_v = film.map(|ms| _mm256_set1_pd(ms));
+    let zee_v = zee.map(|z| {
+        (
+            _mm256_set1_pd(z.x),
+            _mm256_set1_pd(z.y),
+            _mm256_set1_pd(z.z),
+        )
+    });
+    let zero = _mm256_setzero_pd();
+    for i in i_lo..i_hi {
+        let alpha = *ap.add(i);
+        let prefactor = *pp.add(i);
+        let av = _mm256_set1_pd(alpha);
+        let pv = _mm256_set1_pd(prefactor);
+        let f0 = i * kk;
+        let mut s = 0;
+        while s + 4 <= kk {
+            let fi = f0 + s;
+            let mix = _mm256_loadu_pd(mxp.add(fi));
+            let miy = _mm256_loadu_pd(myp.add(fi));
+            let miz = _mm256_loadu_pd(mzp.add(fi));
+            let accx = exchange4(mxp, fi, kk, nxk, mix, cx, cy, zero);
+            let accy = exchange4(myp, fi, kk, nxk, miy, cx, cy, zero);
+            let accz = exchange4(mzp, fi, kk, nxk, miz, cx, cy, zero);
+            // h = 0 + acc, as in the scalar arm's `h += acc` from zero.
+            let mut hx = _mm256_add_pd(zero, accx);
+            let mut hy = _mm256_add_pd(zero, accy);
+            let mut hz = _mm256_add_pd(zero, accz);
+            // ani = ku·((m·ax + m·ay) + m·az), the scalar dot's order.
+            if let Some((kuv, axx, axy, axz)) = uni_v {
+                let dot = _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(mix, axx), _mm256_mul_pd(miy, axy)),
+                    _mm256_mul_pd(miz, axz),
+                );
+                let ani = _mm256_mul_pd(kuv, dot);
+                hx = _mm256_add_pd(hx, _mm256_mul_pd(axx, ani));
+                hy = _mm256_add_pd(hy, _mm256_mul_pd(axy, ani));
+                hz = _mm256_add_pd(hz, _mm256_mul_pd(axz, ani));
+            }
+            if let Some(msv) = film_v {
+                hz = _mm256_sub_pd(hz, _mm256_mul_pd(msv, miz));
+            }
+            if let Some((zx, zy, zz)) = zee_v {
+                hx = _mm256_add_pd(hx, zx);
+                hy = _mm256_add_pd(hy, zy);
+                hz = _mm256_add_pd(hz, zz);
+            }
+            let mxhx = _mm256_sub_pd(_mm256_mul_pd(miy, hz), _mm256_mul_pd(miz, hy));
+            let mxhy = _mm256_sub_pd(_mm256_mul_pd(miz, hx), _mm256_mul_pd(mix, hz));
+            let mxhz = _mm256_sub_pd(_mm256_mul_pd(mix, hy), _mm256_mul_pd(miy, hx));
+            let mxmxhx = _mm256_sub_pd(_mm256_mul_pd(miy, mxhz), _mm256_mul_pd(miz, mxhy));
+            let mxmxhy = _mm256_sub_pd(_mm256_mul_pd(miz, mxhx), _mm256_mul_pd(mix, mxhz));
+            let mxmxhz = _mm256_sub_pd(_mm256_mul_pd(mix, mxhy), _mm256_mul_pd(miy, mxhx));
+            _mm256_storeu_pd(
+                outx.add(fi),
+                _mm256_mul_pd(_mm256_add_pd(mxhx, _mm256_mul_pd(mxmxhx, av)), pv),
+            );
+            _mm256_storeu_pd(
+                outy.add(fi),
+                _mm256_mul_pd(_mm256_add_pd(mxhy, _mm256_mul_pd(mxmxhy, av)), pv),
+            );
+            _mm256_storeu_pd(
+                outz.add(fi),
+                _mm256_mul_pd(_mm256_add_pd(mxhz, _mm256_mul_pd(mxmxhz, av)), pv),
+            );
+            s += 4;
+        }
+        // Remainder lanes: the scalar stretch body verbatim.
+        for s in s..kk {
+            let fi = f0 + s;
+            let mix = *mxp.add(fi);
+            let miy = *myp.add(fi);
+            let miz = *mzp.add(fi);
+            let mut accx = 0.0;
+            let mut accy = 0.0;
+            let mut accz = 0.0;
+            accx += (*mxp.add(fi - kk) - mix) * coeff_x;
+            accy += (*myp.add(fi - kk) - miy) * coeff_x;
+            accz += (*mzp.add(fi - kk) - miz) * coeff_x;
+            accx += (*mxp.add(fi + kk) - mix) * coeff_x;
+            accy += (*myp.add(fi + kk) - miy) * coeff_x;
+            accz += (*mzp.add(fi + kk) - miz) * coeff_x;
+            accx += (*mxp.add(fi - nxk) - mix) * coeff_y;
+            accy += (*myp.add(fi - nxk) - miy) * coeff_y;
+            accz += (*mzp.add(fi - nxk) - miz) * coeff_y;
+            accx += (*mxp.add(fi + nxk) - mix) * coeff_y;
+            accy += (*myp.add(fi + nxk) - miy) * coeff_y;
+            accz += (*mzp.add(fi + nxk) - miz) * coeff_y;
+            let mut hx = 0.0;
+            let mut hy = 0.0;
+            let mut hz = 0.0;
+            hx += accx;
+            hy += accy;
+            hz += accz;
+            if let Some((ku, axis)) = uni {
+                let ani = ku * (mix * axis.x + miy * axis.y + miz * axis.z);
+                hx += axis.x * ani;
+                hy += axis.y * ani;
+                hz += axis.z * ani;
+            }
+            if let Some(ms) = film {
+                hz -= ms * miz;
+            }
+            if let Some(z) = zee {
+                hx += z.x;
+                hy += z.y;
+                hz += z.z;
+            }
+            let mxhx = miy * hz - miz * hy;
+            let mxhy = miz * hx - mix * hz;
+            let mxhz = mix * hy - miy * hx;
+            let mxmxhx = miy * mxhz - miz * mxhy;
+            let mxmxhy = miz * mxhx - mix * mxhz;
+            let mxmxhz = mix * mxhy - miy * mxhx;
+            *outx.add(fi) = (mxhx + mxmxhx * alpha) * prefactor;
+            *outy.add(fi) = (mxhy + mxmxhy * alpha) * prefactor;
+            *outz.add(fi) = (mxhz + mxmxhz * alpha) * prefactor;
+        }
+    }
+}
 
 /// The builder's canonical term sequence — optional exchange, uniaxial
 /// anisotropy, thin-film demag, uniform Zeeman, in exactly that order —
@@ -428,7 +635,7 @@ impl LlgSystem {
     }
 
     /// Per-antenna drive fields at time `t` (empty when no antennas).
-    fn antenna_fields(&self, t: f64) -> Vec<Vec3> {
+    pub(crate) fn antenna_fields(&self, t: f64) -> Vec<Vec3> {
         if self.antennas.is_empty() {
             return Vec::new();
         }
@@ -822,6 +1029,709 @@ impl LlgSystem {
         }
     }
 
+    /// True when the system has non-fusable terms (FFT demag) that need
+    /// the pre-pass.
+    pub(crate) fn has_unfused(&self) -> bool {
+        !self.kernel.unfused.is_empty()
+    }
+
+    /// Batched analogue of the unfused pre-pass: de-interleaves each
+    /// member of `y`, runs every non-fusable term through
+    /// `accumulate_par` with the *shared* worker team and per-term
+    /// scratch, and interleaves the result into `base`. Because the K
+    /// members reuse one term instance and one scratch, the K Newell
+    /// demag convolutions share a single FFT plan — twiddle tables,
+    /// transpose buffers and kernel spectra are loaded once per batch
+    /// step instead of once per member. Per member the call sequence is
+    /// exactly the single-system pre-pass (zero-fill, then each term in
+    /// order on the same team), so the result is bitwise identical to K
+    /// independent runs. Returns whether anything was written.
+    pub(crate) fn unfused_prepass_batch(
+        &mut self,
+        y: &FieldBatch,
+        t: f64,
+        base: &mut FieldBatch,
+        m_scratch: &mut Field3,
+        h_scratch: &mut Field3,
+    ) -> bool {
+        if self.kernel.unfused.is_empty() {
+            return false;
+        }
+        debug_assert_eq!(y.cells(), self.len());
+        debug_assert_eq!(base.cells(), self.len());
+        debug_assert_eq!(base.k(), y.k());
+        debug_assert_eq!(m_scratch.len(), self.len());
+        debug_assert_eq!(h_scratch.len(), self.len());
+        for s in 0..y.k() {
+            y.store_member(s, m_scratch);
+            h_scratch.fill(Vec3::ZERO);
+            let LlgSystem {
+                terms,
+                term_scratch,
+                kernel,
+                team,
+                ..
+            } = self;
+            for &ti in &kernel.unfused {
+                let scratch = term_scratch[ti]
+                    .as_mut()
+                    .map(|s| &mut **s as &mut (dyn std::any::Any + Send + Sync));
+                terms[ti].accumulate_par(m_scratch, t, h_scratch, team, scratch);
+            }
+            base.load_member(s, &*h_scratch);
+        }
+        true
+    }
+
+    /// Batched analogue of [`LlgSystem::rhs_stage`]: advances the K
+    /// members of `y` — simulations sharing this system's geometry,
+    /// damping map and fused kernel — through one sweep over the
+    /// K-interleaved planes.
+    ///
+    /// Per-member inputs that differ across the batch are explicit:
+    /// `ant_fields[s]` holds member `s`'s per-antenna drive fields at
+    /// the stage time (members must have antennas covering the same
+    /// cells so the shared CSR map applies; only drive values differ),
+    /// `thermal` is the K-interleaved per-member thermal realization
+    /// (empty at T = 0), and `base` is the K-interleaved output of
+    /// [`LlgSystem::unfused_prepass_batch`] (or `None`).
+    ///
+    /// `k_out`'s vacuum lanes must already be zero on entry: only
+    /// magnetic lanes are written, so a `FieldBatch::zeros` buffer
+    /// reused across stages keeps its vacuum zeros without the
+    /// single-system path's per-stage vacuum pass.
+    ///
+    /// Per (cell, member) the arithmetic — term order, neighbour
+    /// gathers, antenna accumulation, torque — is the exact expression
+    /// sequence the single-system sweep evaluates, so each member's
+    /// slice of `k_out` is bitwise identical to an independent run. The
+    /// win is structural: the stencil table, neighbour-presence
+    /// branches, CSR offsets and per-cell damping loads are amortized
+    /// over K members, and with K innermost the member loop runs over
+    /// consecutive lanes the vectorizer can use.
+    ///
+    /// `fuse` receives interleaved flat ranges (cell range × K) with
+    /// the same disjoint-ownership contract as in `rhs_stage` — but on
+    /// shaped meshes the ranges cover only the magnetic runs: vacuum
+    /// lanes are never fused (their values are zero on both sides of
+    /// every fuse, so the single-system result `0 + 0·c = 0` is what
+    /// skipping leaves in place).
+    pub(crate) fn rhs_stage_batch<F>(
+        &self,
+        y: &FieldBatch,
+        k_out: &mut FieldBatch,
+        base: Option<&FieldBatch>,
+        ant_fields: &[Vec<Vec3>],
+        thermal: &FieldBatch,
+        fuse: F,
+    ) where
+        F: Fn(usize, usize, Field3Ptr) + Sync,
+    {
+        let kk = y.k();
+        debug_assert_eq!(y.cells(), self.len());
+        debug_assert_eq!(k_out.cells(), self.len());
+        debug_assert_eq!(k_out.k(), kk);
+        debug_assert!(ant_fields.is_empty() || ant_fields.len() == kk);
+        debug_assert!(thermal.is_empty() || (thermal.cells() == self.len() && thermal.k() == kk));
+        let out = k_out.ptrs();
+        let this: &LlgSystem = self;
+        let (mx, my, mz) = (y.data().xs(), y.data().ys(), y.data().zs());
+        // One runtime check per stage: the batch sweep's inner loops run
+        // over consecutive interleaved lanes, which pays off most when
+        // compiled 4-wide — so the whole per-block sweep exists twice,
+        // baseline and AVX2, and the AVX2 copy is picked when the host
+        // supports it. Same Rust code, so identical IEEE results: wider
+        // lanes change throughput, never rounding.
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+        this.team.run(&|b| {
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // Safety: AVX2 support was checked at runtime above.
+                unsafe {
+                    this.sweep_block_batch_avx2(b, mx, my, mz, base, ant_fields, thermal, kk, out)
+                };
+            } else {
+                this.sweep_block_batch(b, mx, my, mz, base, ant_fields, thermal, kk, out, false);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            this.sweep_block_batch(b, mx, my, mz, base, ant_fields, thermal, kk, out, false);
+            if this.kernel.full_film {
+                let block = this.kernel.blocks[b];
+                fuse(block.flat.0 * kk, block.flat.1 * kk, out);
+            }
+        });
+        if !this.kernel.full_film {
+            this.team.run(&|b| {
+                // Fuse only the magnetic lanes. Vacuum lanes of every
+                // batch buffer are zero (the builder zeroes vacuum
+                // magnetization and nothing here writes it), so a fuse
+                // over them would only recompute `0 + 0·c = 0` — on
+                // shaped meshes like the triangle gates that is half the
+                // flat range. Magnetic cells come in runs of consecutive
+                // flat indices, and a run's lanes form one contiguous
+                // interleaved range.
+                let block = this.kernel.blocks[b];
+                let cells = &this.kernel.cells[block.list.0..block.list.1];
+                let mut p = 0;
+                while p < cells.len() {
+                    let run0 = cells[p] as usize;
+                    let mut q = p + 1;
+                    while q < cells.len() && cells[q] as usize == run0 + (q - p) {
+                        q += 1;
+                    }
+                    fuse(run0 * kk, (run0 + (q - p)) * kk, out);
+                    p = q;
+                }
+            });
+        }
+    }
+
+    /// One block's share of the batched sweep: the segment walk
+    /// dispatching interior runs and scalar stretches.
+    ///
+    /// Unlike `rhs_stage`, vacuum lanes are NOT re-zeroed here: the
+    /// contract is that the caller provides `k_out` with vacuum lanes
+    /// already zero (`FieldBatch::zeros`), and this sweep only ever
+    /// writes magnetic lanes — so the zeros persist across calls and
+    /// the batch skips K·vacuum stores per stage. The batch steppers
+    /// allocate with `zeros` and reuse the buffers, satisfying this by
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn sweep_block_batch(
+        &self,
+        b: usize,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&FieldBatch>,
+        ant_fields: &[Vec<Vec3>],
+        thermal: &FieldBatch,
+        kk: usize,
+        out: Field3Ptr,
+        avx2: bool,
+    ) {
+        let block = self.kernel.blocks[b];
+        match self.kernel.std_ops {
+            Some(std) => {
+                for seg in &self.kernel.segs[block.segs.0..block.segs.1] {
+                    if seg.interior {
+                        self.sweep_interior_batch(
+                            *seg, std, mx, my, mz, base, ant_fields, thermal, kk, out, avx2,
+                        );
+                    } else {
+                        self.sweep_scalar_batch(
+                            seg.ci0 as usize,
+                            seg.ci1 as usize,
+                            mx,
+                            my,
+                            mz,
+                            base,
+                            ant_fields,
+                            thermal,
+                            kk,
+                            out,
+                        );
+                    }
+                }
+            }
+            None => self.sweep_scalar_batch(
+                block.list.0,
+                block.list.1,
+                mx,
+                my,
+                mz,
+                base,
+                ant_fields,
+                thermal,
+                kk,
+                out,
+            ),
+        }
+    }
+
+    /// [`LlgSystem::sweep_block_batch`] compiled with AVX2 enabled, for
+    /// hosts that have it (checked at runtime by the caller). The inlined
+    /// sweep bodies auto-vectorize 4-wide over the consecutive
+    /// interleaved lanes; every operation is the same correctly-rounded
+    /// IEEE arithmetic, so results are bitwise identical to the baseline
+    /// copy.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_block_batch_avx2(
+        &self,
+        b: usize,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&FieldBatch>,
+        ant_fields: &[Vec<Vec3>],
+        thermal: &FieldBatch,
+        kk: usize,
+        out: Field3Ptr,
+    ) {
+        self.sweep_block_batch(b, mx, my, mz, base, ant_fields, thermal, kk, out, true);
+    }
+
+    /// Batched general sweep body (see [`LlgSystem::sweep_scalar`]): the
+    /// stencil table, CSR offsets and damping loads are hoisted per cell
+    /// and the member loop runs innermost over the interleaved planes.
+    ///
+    /// The member loop is chunked into groups of up to
+    /// [`SCALAR_LANES`] consecutive lanes so every data-independent
+    /// branch — the op dispatch, the four neighbour-presence tests, the
+    /// antenna CSR walk — runs once per cell (per chunk) instead of once
+    /// per cell per member. Each lane's `h` still accumulates its terms
+    /// in exactly the single-system order, so members remain bitwise
+    /// identical to independent runs; only the interleaving of work
+    /// across lanes changes.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn sweep_scalar_batch(
+        &self,
+        ci0: usize,
+        ci1: usize,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&FieldBatch>,
+        ant_fields: &[Vec<Vec3>],
+        thermal: &FieldBatch,
+        kk: usize,
+        out: Field3Ptr,
+    ) {
+        /// Lane-chunk width for the batched scalar sweep: big enough to
+        /// amortize per-cell branch hoisting for every realistic batch,
+        /// small enough for comfortable stack buffers.
+        const SCALAR_LANES: usize = 16;
+        let has_ant = ant_fields.iter().any(|f| !f.is_empty());
+        let (mxp, myp, mzp) = (mx.as_ptr(), my.as_ptr(), mz.as_ptr());
+        let at = |j: usize| unsafe { Vec3::new(*mxp.add(j), *myp.add(j), *mzp.add(j)) };
+        // Allocated once and reused across cells; every chunk rewrites
+        // lanes `0..sl` before reading them.
+        let mut mis = [Vec3::ZERO; SCALAR_LANES];
+        let mut hs = [Vec3::ZERO; SCALAR_LANES];
+        let mut accs = [Vec3::ZERO; SCALAR_LANES];
+        for ci in ci0..ci1 {
+            let i = self.kernel.cells[ci] as usize;
+            let alpha = self.alpha[i];
+            let prefactor = self.prefactor[i];
+            let nb = self.kernel.nbrs[ci];
+            let (a0, a1) = if has_ant {
+                (
+                    self.kernel.ant_off[ci] as usize,
+                    self.kernel.ant_off[ci + 1] as usize,
+                )
+            } else {
+                (0, 0)
+            };
+            let mut s0 = 0;
+            while s0 < kk {
+                let sl = (kk - s0).min(SCALAR_LANES);
+                let f0 = i * kk + s0;
+                for (t, mi) in mis.iter_mut().enumerate().take(sl) {
+                    // Safety: list ranges are disjoint across blocks and
+                    // only magnetic lanes are touched; `f0 + t` indexes
+                    // lanes of magnetic cell `i`.
+                    *mi = at(f0 + t);
+                }
+                match base {
+                    Some(b) => {
+                        let bd = b.data();
+                        for (t, h) in hs.iter_mut().enumerate().take(sl) {
+                            *h = bd.get(f0 + t);
+                        }
+                    }
+                    None => {
+                        for h in hs.iter_mut().take(sl) {
+                            *h = Vec3::ZERO;
+                        }
+                    }
+                }
+                for op in &self.kernel.ops {
+                    match *op {
+                        FusedTerm::Exchange { coeff_x, coeff_y } => {
+                            for acc in accs.iter_mut().take(sl) {
+                                *acc = Vec3::ZERO;
+                            }
+                            if nb[0] != NO_NEIGHBOUR {
+                                let n0 = nb[0] as usize * kk + s0;
+                                for (t, acc) in accs.iter_mut().enumerate().take(sl) {
+                                    *acc += (at(n0 + t) - mis[t]) * coeff_x;
+                                }
+                            }
+                            if nb[1] != NO_NEIGHBOUR {
+                                let n0 = nb[1] as usize * kk + s0;
+                                for (t, acc) in accs.iter_mut().enumerate().take(sl) {
+                                    *acc += (at(n0 + t) - mis[t]) * coeff_x;
+                                }
+                            }
+                            if nb[2] != NO_NEIGHBOUR {
+                                let n0 = nb[2] as usize * kk + s0;
+                                for (t, acc) in accs.iter_mut().enumerate().take(sl) {
+                                    *acc += (at(n0 + t) - mis[t]) * coeff_y;
+                                }
+                            }
+                            if nb[3] != NO_NEIGHBOUR {
+                                let n0 = nb[3] as usize * kk + s0;
+                                for (t, acc) in accs.iter_mut().enumerate().take(sl) {
+                                    *acc += (at(n0 + t) - mis[t]) * coeff_y;
+                                }
+                            }
+                            for (t, h) in hs.iter_mut().enumerate().take(sl) {
+                                *h += accs[t];
+                            }
+                        }
+                        FusedTerm::Uniaxial { coeff, axis } => {
+                            for (t, h) in hs.iter_mut().enumerate().take(sl) {
+                                *h += axis * (coeff * mis[t].dot(axis));
+                            }
+                        }
+                        FusedTerm::ThinFilm { ms } => {
+                            for (t, h) in hs.iter_mut().enumerate().take(sl) {
+                                h.z -= ms * mis[t].z;
+                            }
+                        }
+                        FusedTerm::Uniform(f) => {
+                            for h in hs.iter_mut().take(sl) {
+                                *h += f;
+                            }
+                        }
+                    }
+                }
+                if has_ant {
+                    for &ai in &self.kernel.ant_ids[a0..a1] {
+                        for (t, h) in hs.iter_mut().enumerate().take(sl) {
+                            let f = ant_fields[s0 + t][ai as usize];
+                            if f != Vec3::ZERO {
+                                *h += f;
+                            }
+                        }
+                    }
+                }
+                if !thermal.is_empty() {
+                    let td = thermal.data();
+                    for (t, h) in hs.iter_mut().enumerate().take(sl) {
+                        *h += td.get(f0 + t);
+                    }
+                }
+                for t in 0..sl {
+                    let mi = mis[t];
+                    let mxh = mi.cross(hs[t]);
+                    let mxmxh = mi.cross(mxh);
+                    // Safety: list ranges are disjoint across blocks and
+                    // only magnetic cells are touched here.
+                    unsafe { out.write(f0 + t, (mxh + mxmxh * alpha) * prefactor) };
+                }
+                s0 += sl;
+            }
+        }
+    }
+
+    /// Batched interior sweep (see [`LlgSystem::sweep_interior`]): on an
+    /// interior run the K-interleaved neighbour offsets are the
+    /// constants `±K` and `±nx·K`, so the branch-free arm is a
+    /// straight-line body whose inner member loop runs over consecutive
+    /// lanes.
+    ///
+    /// Unlike the single-system sweep, antennas do not force the whole
+    /// mesh onto the generic arm: the run is split at antenna-coverage
+    /// boundaries (a per-cell CSR check, done once per cell rather than
+    /// once per cell per member), so the uncovered stretches — nearly
+    /// everything, since antennas touch a few columns — still take the
+    /// branch-free arm. Covered cells evaluate the identical expression
+    /// sequence plus their antenna drives, so parity with independent
+    /// runs is preserved cell for cell.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn sweep_interior_batch(
+        &self,
+        seg: Segment,
+        std: StdOps,
+        mx: &[f64],
+        my: &[f64],
+        mz: &[f64],
+        base: Option<&FieldBatch>,
+        ant_fields: &[Vec<Vec3>],
+        thermal: &FieldBatch,
+        kk: usize,
+        out: Field3Ptr,
+        #[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))] avx2: bool,
+    ) {
+        let i0 = self.kernel.cells[seg.ci0 as usize] as usize;
+        let len = (seg.ci1 - seg.ci0) as usize;
+        let nxk = self.kernel.nx * kk;
+        let (mxp, myp, mzp) = (mx.as_ptr(), my.as_ptr(), mz.as_ptr());
+        let ap = self.alpha.as_ptr();
+        let pp = self.prefactor.as_ptr();
+        let has_ant = ant_fields.iter().any(|f| !f.is_empty());
+        if thermal.is_empty() && base.is_none() {
+            // Only the exchange term is required for the fast arm: the
+            // remaining canonical terms are applied conditionally, in
+            // the generic ops loop's exact order, so systems without a
+            // uniform Zeeman field (the common case — the triangle
+            // gates apply no static field) still take this arm.
+            if let Some((coeff_x, coeff_y)) = std.ex {
+                let (uni, film, zee) = (std.uni, std.film, std.zee);
+                // True when the cell at run offset `o` lies under an
+                // antenna (a CSR range check, independent of the member).
+                let covered = |o: usize| {
+                    let ci = seg.ci0 as usize + o;
+                    has_ant && self.kernel.ant_off[ci + 1] > self.kernel.ant_off[ci]
+                };
+                let mut off = 0;
+                while off < len {
+                    if !covered(off) {
+                        // Branch-free stretch: every member of every cell
+                        // runs the straight-line body over consecutive
+                        // interleaved lanes.
+                        let start = off;
+                        while off < len && !covered(off) {
+                            off += 1;
+                        }
+                        #[cfg(target_arch = "x86_64")]
+                        if avx2 {
+                            // Safety: AVX2 support was checked by the
+                            // caller; the stretch holds validated
+                            // interior lanes.
+                            unsafe {
+                                interior_stretch_avx2(
+                                    i0 + start,
+                                    i0 + off,
+                                    kk,
+                                    nxk,
+                                    mxp,
+                                    myp,
+                                    mzp,
+                                    ap,
+                                    pp,
+                                    coeff_x,
+                                    coeff_y,
+                                    uni,
+                                    film,
+                                    zee,
+                                    out,
+                                )
+                            };
+                            continue;
+                        }
+                        // The lane loop is split into a compute phase
+                        // writing stack buffers and a store phase
+                        // writing the output planes: with no output
+                        // stores inside it, the compute loop's memory
+                        // accesses are all stride-1 loads plus local
+                        // buffers, which the loop vectorizer can prove
+                        // independent. The arithmetic is the `Vec3` arm
+                        // unfolded component by component in the same
+                        // expression order, so each lane's value is
+                        // unchanged bit for bit.
+                        let (outx, outy, outz) = out.planes();
+                        // Zero-initialized once and reused: only lanes
+                        // `0..sl` are ever written then read, so the
+                        // stale tail is never observed.
+                        let mut ox = [0.0f64; INTERIOR_LANES];
+                        let mut oy = [0.0f64; INTERIOR_LANES];
+                        let mut oz = [0.0f64; INTERIOR_LANES];
+                        for i in i0 + start..i0 + off {
+                            // Safety: interior-run indices are validated
+                            // at build time; interleaved indices scale by
+                            // K everywhere.
+                            let (alpha, prefactor) = unsafe { (*ap.add(i), *pp.add(i)) };
+                            let f0 = i * kk;
+                            let mut s0 = 0;
+                            while s0 < kk {
+                                let sl = (kk - s0).min(INTERIOR_LANES);
+                                let c0 = f0 + s0;
+                                for t in 0..sl {
+                                    let fi = c0 + t;
+                                    // Safety: in-bounds interior lanes,
+                                    // loads only.
+                                    unsafe {
+                                        let mix = *mxp.add(fi);
+                                        let miy = *myp.add(fi);
+                                        let miz = *mzp.add(fi);
+                                        let mut accx = 0.0;
+                                        let mut accy = 0.0;
+                                        let mut accz = 0.0;
+                                        accx += (*mxp.add(fi - kk) - mix) * coeff_x;
+                                        accy += (*myp.add(fi - kk) - miy) * coeff_x;
+                                        accz += (*mzp.add(fi - kk) - miz) * coeff_x;
+                                        accx += (*mxp.add(fi + kk) - mix) * coeff_x;
+                                        accy += (*myp.add(fi + kk) - miy) * coeff_x;
+                                        accz += (*mzp.add(fi + kk) - miz) * coeff_x;
+                                        accx += (*mxp.add(fi - nxk) - mix) * coeff_y;
+                                        accy += (*myp.add(fi - nxk) - miy) * coeff_y;
+                                        accz += (*mzp.add(fi - nxk) - miz) * coeff_y;
+                                        accx += (*mxp.add(fi + nxk) - mix) * coeff_y;
+                                        accy += (*myp.add(fi + nxk) - miy) * coeff_y;
+                                        accz += (*mzp.add(fi + nxk) - miz) * coeff_y;
+                                        let mut hx = 0.0;
+                                        let mut hy = 0.0;
+                                        let mut hz = 0.0;
+                                        hx += accx;
+                                        hy += accy;
+                                        hz += accz;
+                                        if let Some((ku, axis)) = uni {
+                                            let ani =
+                                                ku * (mix * axis.x + miy * axis.y + miz * axis.z);
+                                            hx += axis.x * ani;
+                                            hy += axis.y * ani;
+                                            hz += axis.z * ani;
+                                        }
+                                        if let Some(ms) = film {
+                                            hz -= ms * miz;
+                                        }
+                                        if let Some(z) = zee {
+                                            hx += z.x;
+                                            hy += z.y;
+                                            hz += z.z;
+                                        }
+                                        let mxhx = miy * hz - miz * hy;
+                                        let mxhy = miz * hx - mix * hz;
+                                        let mxhz = mix * hy - miy * hx;
+                                        let mxmxhx = miy * mxhz - miz * mxhy;
+                                        let mxmxhy = miz * mxhx - mix * mxhz;
+                                        let mxmxhz = mix * mxhy - miy * mxhx;
+                                        ox[t] = (mxhx + mxmxhx * alpha) * prefactor;
+                                        oy[t] = (mxhy + mxmxhy * alpha) * prefactor;
+                                        oz[t] = (mxhz + mxmxhz * alpha) * prefactor;
+                                    }
+                                }
+                                // Safety: disjoint index ownership as in
+                                // the scalar sweep.
+                                for (t, &v) in ox.iter().enumerate().take(sl) {
+                                    unsafe { *outx.add(c0 + t) = v };
+                                }
+                                for (t, &v) in oy.iter().enumerate().take(sl) {
+                                    unsafe { *outy.add(c0 + t) = v };
+                                }
+                                for (t, &v) in oz.iter().enumerate().take(sl) {
+                                    unsafe { *outz.add(c0 + t) = v };
+                                }
+                                s0 += sl;
+                            }
+                        }
+                    } else {
+                        // An antenna-covered cell: the same expressions,
+                        // then each member's drives for this cell's CSR
+                        // ids — the exact sequence the generic arm (and
+                        // the single-system sweep) evaluates.
+                        let i = i0 + off;
+                        let ci = seg.ci0 as usize + off;
+                        let a0 = self.kernel.ant_off[ci] as usize;
+                        let a1 = self.kernel.ant_off[ci + 1] as usize;
+                        let ids = &self.kernel.ant_ids[a0..a1];
+                        // Safety: as above.
+                        let (alpha, prefactor) = unsafe { (*ap.add(i), *pp.add(i)) };
+                        let f0 = i * kk;
+                        // `ant_fields` may be empty (no member drives
+                        // antennas this step) while all kk members still
+                        // sweep, so indexing — not zipping — is correct.
+                        #[allow(clippy::needless_range_loop)]
+                        for s in 0..kk {
+                            let fi = f0 + s;
+                            let at = |j: usize| unsafe {
+                                Vec3::new(*mxp.add(j), *myp.add(j), *mzp.add(j))
+                            };
+                            let mi = at(fi);
+                            let mut h = Vec3::ZERO;
+                            let mut acc = Vec3::ZERO;
+                            acc += (at(fi - kk) - mi) * coeff_x;
+                            acc += (at(fi + kk) - mi) * coeff_x;
+                            acc += (at(fi - nxk) - mi) * coeff_y;
+                            acc += (at(fi + nxk) - mi) * coeff_y;
+                            h += acc;
+                            if let Some((ku, axis)) = uni {
+                                h += axis * (ku * mi.dot(axis));
+                            }
+                            if let Some(ms) = film {
+                                h.z -= ms * mi.z;
+                            }
+                            if let Some(z) = zee {
+                                h += z;
+                            }
+                            for &ai in ids {
+                                let f = ant_fields[s][ai as usize];
+                                if f != Vec3::ZERO {
+                                    h += f;
+                                }
+                            }
+                            let mxh = mi.cross(h);
+                            let mxmxh = mi.cross(mxh);
+                            // Safety: disjoint index ownership as in the
+                            // scalar sweep.
+                            unsafe { out.write(fi, (mxh + mxmxh * alpha) * prefactor) };
+                        }
+                        off += 1;
+                    }
+                }
+                return;
+            }
+        }
+        for off in 0..len {
+            let i = i0 + off;
+            let ci = seg.ci0 as usize + off;
+            // Safety: as in the single-system interior sweep.
+            let (alpha, prefactor) = unsafe { (*ap.add(i), *pp.add(i)) };
+            let (a0, a1) = if has_ant {
+                (
+                    self.kernel.ant_off[ci] as usize,
+                    self.kernel.ant_off[ci + 1] as usize,
+                )
+            } else {
+                (0, 0)
+            };
+            let f0 = i * kk;
+            // `ant_fields` may be empty (no antennas) while all kk
+            // members still sweep, so indexing — not zipping — is
+            // correct.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..kk {
+                let fi = f0 + s;
+                let at = |j: usize| unsafe { Vec3::new(*mxp.add(j), *myp.add(j), *mzp.add(j)) };
+                let mi = at(fi);
+                let mut h = match base {
+                    Some(b) => b.data().get(fi),
+                    None => Vec3::ZERO,
+                };
+                if let Some((coeff_x, coeff_y)) = std.ex {
+                    let mut acc = Vec3::ZERO;
+                    acc += (at(fi - kk) - mi) * coeff_x;
+                    acc += (at(fi + kk) - mi) * coeff_x;
+                    acc += (at(fi - nxk) - mi) * coeff_y;
+                    acc += (at(fi + nxk) - mi) * coeff_y;
+                    h += acc;
+                }
+                if let Some((coeff, axis)) = std.uni {
+                    h += axis * (coeff * mi.dot(axis));
+                }
+                if let Some(ms) = std.film {
+                    h.z -= ms * mi.z;
+                }
+                if let Some(f) = std.zee {
+                    h += f;
+                }
+                if has_ant {
+                    for &ai in &self.kernel.ant_ids[a0..a1] {
+                        let f = ant_fields[s][ai as usize];
+                        if f != Vec3::ZERO {
+                            h += f;
+                        }
+                    }
+                }
+                if !thermal.is_empty() {
+                    h += thermal.data().get(fi);
+                }
+                let mxh = mi.cross(h);
+                let mxmxh = mi.cross(mxh);
+                // Safety: disjoint index ownership as in the scalar sweep.
+                unsafe { out.write(fi, (mxh + mxmxh * alpha) * prefactor) };
+            }
+        }
+    }
+
     /// Maximum torque |dm/dt| over all cells, in 1/s — used as a
     /// convergence criterion by [`crate::sim::Simulation::relax`].
     ///
@@ -1200,6 +2110,107 @@ mod tests {
     /// marks a magnetic cell.
     fn sys_mask_is_magnetic(m: &[Vec3], i: usize) -> bool {
         m[i] != Vec3::ZERO
+    }
+
+    #[test]
+    fn batched_rhs_is_bitwise_identical_to_member_runs() {
+        use crate::field3::FieldBatch;
+        // K members share geometry/terms but differ in state, drive
+        // phase (emulated by evaluating the antennas at different
+        // times) and thermal realization. The batched sweep must
+        // reproduce each member's independent rhs bit for bit, at
+        // several thread counts.
+        let kk = 3;
+        let times = [3e-12, 7.5e-12, 11e-12];
+        let (probe_sys, m0) = masked_multiterm_system(1);
+        let n = m0.len();
+        // Distinct per-member states and thermal buffers.
+        let member_m: Vec<Vec<Vec3>> = (0..kk)
+            .map(|s| {
+                m0.iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        if v == Vec3::ZERO {
+                            v
+                        } else {
+                            Vec3::new(v.x + 0.01 * s as f64, v.y, v.z + 0.02 * (i % 5) as f64)
+                                .normalized()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let member_thermal: Vec<Vec<Vec3>> = (0..kk)
+            .map(|s| {
+                (0..n)
+                    .map(|i| Vec3::new(1.0 + s as f64, i as f64 * 0.5, -(s as f64)) * 10.0)
+                    .collect()
+            })
+            .collect();
+        // Reference: independent single-system runs.
+        let mut expected: Vec<Field3> = Vec::new();
+        for s in 0..kk {
+            let (mut sys, _) = masked_multiterm_system(1);
+            sys.thermal = member_thermal[s].clone();
+            let ms = Field3::from_vec3s(&member_m[s]);
+            let mut dmdt = Field3::zeros(n);
+            let mut scratch = Field3::zeros(n);
+            sys.rhs(&ms, times[s], &mut dmdt, &mut scratch);
+            expected.push(dmdt);
+        }
+        let ant_fields: Vec<Vec<Vec3>> =
+            times.iter().map(|&t| probe_sys.antenna_fields(t)).collect();
+        for threads in [1, 2, 4] {
+            let (sys, _) = masked_multiterm_system(threads);
+            let mut y = FieldBatch::zeros(n, kk);
+            let mut thermal = FieldBatch::zeros(n, kk);
+            for s in 0..kk {
+                y.load_member(s, member_m[s].as_slice());
+                thermal.load_member(s, member_thermal[s].as_slice());
+            }
+            let mut k_out = FieldBatch::zeros(n, kk);
+            sys.rhs_stage_batch(&y, &mut k_out, None, &ant_fields, &thermal, |_, _, _| {});
+            for (s, want) in expected.iter().enumerate().take(kk) {
+                let mut got = Field3::zeros(n);
+                k_out.store_member(s, &mut got);
+                assert_eq!(&got, want, "member {s} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fuse_covers_interleaved_ranges_once() {
+        use crate::field3::FieldBatch;
+        let kk = 2;
+        for threads in [1, 3] {
+            let (sys, m) = masked_multiterm_system(threads);
+            let n = m.len();
+            let mut y = FieldBatch::zeros(n, kk);
+            for s in 0..kk {
+                y.load_member(s, m.as_slice());
+            }
+            let mut k_out = FieldBatch::zeros(n, kk);
+            let thermal = FieldBatch::empty(kk);
+            let hits: Vec<std::sync::atomic::AtomicU32> = (0..n * kk)
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect();
+            let ant_fields: Vec<Vec<Vec3>> = (0..kk).map(|_| sys.antenna_fields(1e-12)).collect();
+            sys.rhs_stage_batch(&y, &mut k_out, None, &ant_fields, &thermal, |i0, i1, _| {
+                for hit in hits.iter().take(i1).skip(i0) {
+                    hit.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            for (fi, h) in hits.iter().enumerate() {
+                // Magnetic lanes fuse exactly once; vacuum lanes are
+                // skipped entirely (their buffers stay zero).
+                let expected = if m[fi / kk] == Vec3::ZERO { 0 } else { 1 };
+                assert_eq!(
+                    h.load(std::sync::atomic::Ordering::Relaxed),
+                    expected,
+                    "flat index {fi} fused {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

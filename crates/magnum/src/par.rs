@@ -66,6 +66,30 @@ pub fn resolve_threads(explicit: Option<usize>, env: Option<&str>) -> Result<usi
     })
 }
 
+/// Default minimum number of cells each worker thread must have before a
+/// second thread pays off.
+///
+/// Below this, the per-sweep rendezvous (publish + wake + join, a few µs)
+/// costs more than the cells it offloads save: BENCH_rhs.json shows the
+/// parallel path *losing* to serial at 4096–65536 cells on a machine
+/// where threads contend for cores. Grids under
+/// `threads * MIN_CELLS_PER_THREAD` cells therefore take the serial arm
+/// unless the caller explicitly opts out via
+/// [`crate::SimulationBuilder::min_cells_per_thread`].
+pub const MIN_CELLS_PER_THREAD: usize = 65_536;
+
+/// Clamps a requested thread count so every thread keeps at least
+/// `min_cells_per_thread` cells. `min_cells_per_thread == 0` disables the
+/// clamp (the explicit "I know what I'm doing" escape hatch used by
+/// thread-parity tests, which oversubscribe tiny grids on purpose).
+pub fn effective_threads(requested: usize, cells: usize, min_cells_per_thread: usize) -> usize {
+    let requested = requested.clamp(1, MAX_THREADS);
+    if min_cells_per_thread == 0 {
+        return requested;
+    }
+    requested.min((cells / min_cells_per_thread).max(1))
+}
+
 /// Bounds `[start, end)` of chunk `b` when `n` items are split into `nb`
 /// contiguous chunks of near-equal size.
 pub fn chunk_bounds(n: usize, nb: usize, b: usize) -> (usize, usize) {
@@ -478,6 +502,30 @@ mod tests {
             resolve_threads(Some(usize::MAX), None).unwrap(),
             MAX_THREADS
         );
+    }
+
+    #[test]
+    fn effective_threads_clamps_small_grids_to_serial() {
+        // Sub-threshold grids fall back to one thread.
+        assert_eq!(effective_threads(4, 4096, MIN_CELLS_PER_THREAD), 1);
+        assert_eq!(
+            effective_threads(2, MIN_CELLS_PER_THREAD - 1, MIN_CELLS_PER_THREAD),
+            1
+        );
+        // Exactly one threshold of cells per extra thread is allowed.
+        assert_eq!(
+            effective_threads(2, 2 * MIN_CELLS_PER_THREAD, MIN_CELLS_PER_THREAD),
+            2
+        );
+        assert_eq!(
+            effective_threads(8, 3 * MIN_CELLS_PER_THREAD, MIN_CELLS_PER_THREAD),
+            3
+        );
+        // A zero threshold disables the clamp entirely.
+        assert_eq!(effective_threads(7, 4, 0), 7);
+        // Degenerate requests still resolve to at least one thread.
+        assert_eq!(effective_threads(0, 10, MIN_CELLS_PER_THREAD), 1);
+        assert_eq!(effective_threads(usize::MAX, usize::MAX, 1), MAX_THREADS);
     }
 
     #[test]

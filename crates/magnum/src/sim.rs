@@ -29,6 +29,10 @@ pub struct Simulation {
     m: Field3,
     system: LlgSystem,
     integrator: Box<dyn Integrator>,
+    /// The kind the builder resolved `integrator` from, kept so a
+    /// [`crate::batch::BatchedSimulation`] can instantiate the matching
+    /// batch stepper.
+    integrator_kind: IntegratorKind,
     thermal: Option<ThermalField>,
     /// Uniform α = 0.5 map swapped into the system during [`Simulation::relax`]
     /// (allocated on first use, reused afterwards).
@@ -282,6 +286,42 @@ impl Simulation {
     pub fn snapshot(&self, component: Component) -> Snapshot {
         Snapshot::capture(&self.mesh, &self.m, component)
     }
+
+    /// The assembled LLG system (batch backend plumbing).
+    pub(crate) fn system_ref(&self) -> &LlgSystem {
+        &self.system
+    }
+
+    /// Mutable access to the LLG system — the batched stepper drives a
+    /// host member's system through all K members.
+    pub(crate) fn system_mut(&mut self) -> &mut LlgSystem {
+        &mut self.system
+    }
+
+    /// Mutable access to the magnetization, for batch write-back.
+    pub(crate) fn magnetization_mut(&mut self) -> &mut Field3 {
+        &mut self.m
+    }
+
+    /// The member's own thermal generator (its RNG stream), if T > 0.
+    pub(crate) fn thermal_field_mut(&mut self) -> Option<&mut ThermalField> {
+        self.thermal.as_mut()
+    }
+
+    /// Whether this simulation carries a thermal field (T > 0).
+    pub(crate) fn has_thermal(&self) -> bool {
+        self.thermal.is_some()
+    }
+
+    /// Overwrites the clock, for batch write-back.
+    pub(crate) fn set_time_internal(&mut self, time: f64) {
+        self.time = time;
+    }
+
+    /// The integrator kind the builder resolved.
+    pub(crate) fn integrator_kind(&self) -> IntegratorKind {
+        self.integrator_kind
+    }
 }
 
 impl std::fmt::Debug for Simulation {
@@ -325,6 +365,7 @@ pub struct SimulationBuilder {
     dt_safety: f64,
     antennas: Vec<Antenna>,
     threads: Option<usize>,
+    min_cells_per_thread: Option<usize>,
 }
 
 impl SimulationBuilder {
@@ -348,6 +389,7 @@ impl SimulationBuilder {
             dt_safety: 0.25,
             antennas: Vec::new(),
             threads: None,
+            min_cells_per_thread: None,
         }
     }
 
@@ -432,6 +474,19 @@ impl SimulationBuilder {
         self
     }
 
+    /// Overrides the cells-per-thread threshold below which the build
+    /// clamps the worker count towards serial (default
+    /// [`crate::par::MIN_CELLS_PER_THREAD`]). On sub-threshold grids the
+    /// per-sweep fork/join overhead exceeds the per-cell work, so a
+    /// requested thread count is only honoured once the grid supplies at
+    /// least this many cells per worker. Pass `0` to disable the clamp
+    /// and take the requested count verbatim (thread-scaling studies,
+    /// determinism tests).
+    pub fn min_cells_per_thread(mut self, cells: usize) -> Self {
+        self.min_cells_per_thread = Some(cells);
+        self
+    }
+
     /// Fixes the time step instead of the automatic stability-based one.
     pub fn time_step(mut self, dt: f64) -> Self {
         self.dt = Some(dt);
@@ -478,11 +533,21 @@ impl SimulationBuilder {
             dt_safety,
             antennas,
             threads,
+            min_cells_per_thread,
         } = self;
 
         let threads =
             crate::par::resolve_threads(threads, std::env::var("MAGNUM_THREADS").ok().as_deref())
                 .map_err(|reason| MagnumError::InvalidConfig { reason })?;
+        // Small-grid clamp: honouring a large worker count on a grid with
+        // too few cells per worker makes every sweep slower than serial
+        // (fork/join overhead dominates), so sub-threshold grids take the
+        // serial arm unless the caller disabled the clamp.
+        let threads = crate::par::effective_threads(
+            threads,
+            mesh.cell_count(),
+            min_cells_per_thread.unwrap_or(crate::par::MIN_CELLS_PER_THREAD),
+        );
 
         let integrator = match integrator {
             None if temperature > 0.0 => IntegratorKind::Heun,
@@ -635,6 +700,7 @@ impl SimulationBuilder {
             threads,
         }
         .build();
+        let integrator_kind = integrator;
         let integrator = integrator.instantiate(n);
 
         Ok(Simulation {
@@ -643,6 +709,7 @@ impl SimulationBuilder {
             m,
             system,
             integrator,
+            integrator_kind,
             thermal,
             relax_alpha: Vec::new(),
             time: 0.0,
@@ -952,8 +1019,14 @@ mod tests {
 
     #[test]
     fn builder_threads_are_plumbed_through() {
-        // An explicit builder value wins over any environment setting.
-        let sim = fecob_strip(8, 4).threads(3).build().unwrap();
+        // An explicit builder value wins over any environment setting —
+        // with the small-grid clamp disabled, since a 32-cell strip is
+        // far below the default cells-per-thread threshold.
+        let sim = fecob_strip(8, 4)
+            .threads(3)
+            .min_cells_per_thread(0)
+            .build()
+            .unwrap();
         assert_eq!(sim.threads(), 3);
         // Default: serial, unless the MAGNUM_THREADS environment variable
         // overrides it (the CI gate re-runs this suite with it set).
@@ -963,8 +1036,35 @@ mod tests {
             Ok(_) => assert!(sim.threads() >= 1),
         }
         // Thread count is capped by the cell count.
-        let sim = fecob_strip(2, 2).threads(64).build().unwrap();
+        let sim = fecob_strip(2, 2)
+            .threads(64)
+            .min_cells_per_thread(0)
+            .build()
+            .unwrap();
         assert!(sim.threads() <= 4);
+    }
+
+    #[test]
+    fn small_grids_take_the_serial_arm_by_default() {
+        // BENCH_rhs regression: at 4096 cells the parallel sweep loses to
+        // serial, so a requested thread count on a sub-threshold grid must
+        // clamp to 1 unless the caller opts out.
+        let sim = fecob_strip(64, 64).threads(4).build().unwrap();
+        assert_eq!(sim.threads(), 1, "sub-threshold grid must run serial");
+        // A custom threshold scales the clamp: 4096 cells / 1024 = 4.
+        let sim = fecob_strip(64, 64)
+            .threads(8)
+            .min_cells_per_thread(1024)
+            .build()
+            .unwrap();
+        assert_eq!(sim.threads(), 4);
+        // Opting out honours the request verbatim.
+        let sim = fecob_strip(64, 64)
+            .threads(4)
+            .min_cells_per_thread(0)
+            .build()
+            .unwrap();
+        assert_eq!(sim.threads(), 4);
     }
 
     #[test]

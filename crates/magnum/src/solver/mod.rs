@@ -23,7 +23,7 @@ pub use heun::Heun;
 pub use rk4::RungeKutta4;
 
 use crate::error::MagnumError;
-use crate::field3::{Field3, Field3Ptr, Field3Read};
+use crate::field3::{Field3, Field3Ptr, Field3Read, FieldBatch};
 use crate::llg::LlgSystem;
 use crate::par::{chunk_bounds, WorkerTeam};
 
@@ -168,6 +168,76 @@ pub(crate) fn renormalize_and_check(
     results.into_iter().collect()
 }
 
+/// Batched analogue of [`renormalize_and_check`]: renormalizes every
+/// member of a K-interleaved batch.
+///
+/// The arithmetic per (cell, member) element — finiteness test, norm,
+/// componentwise divide — is exactly the single-system expression
+/// sequence, and blocks chunk over *cells* (each owning its cells' full
+/// K-lanes), so each member's slice is bitwise identical to an
+/// independent run at any thread count.
+pub(crate) fn renormalize_and_check_batch(
+    m: &mut FieldBatch,
+    mask: &[bool],
+    full_film: bool,
+    t: f64,
+    team: &WorkerTeam,
+) -> Result<(), MagnumError> {
+    let kk = m.k();
+    let n = m.cells();
+    let nb = team.threads().max(1);
+    debug_assert_eq!(full_film, mask.iter().all(|&magnetic| magnetic));
+    let out = m.ptrs();
+    // The interleaved ranges here are long (cells × K), so the divide-
+    // and sqrt-heavy tile body is worth compiling 4-wide where the host
+    // supports it; `vdivpd`/`vsqrtpd` are correctly rounded, so results
+    // are bitwise identical to the baseline copy.
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = std::arch::is_x86_feature_detected!("avx2");
+    let renorm = |i0: usize, i1: usize| {
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            // Safety: AVX2 support checked at runtime; range safety is
+            // the caller's obligation, as for `renormalize_range`.
+            return unsafe { renormalize_range_avx2(out, i0, i1, t) };
+        }
+        // Safety: as above.
+        unsafe { renormalize_range(out, i0, i1, t) }
+    };
+    let results = team.map_blocks(|b| {
+        let (start, end) = chunk_bounds(n, nb, b);
+        if full_film {
+            // Elementwise over the interleaved planes: identical per-lane
+            // arithmetic to the single-system tiled body.
+            // Safety: cell chunks are disjoint across blocks, so the
+            // interleaved ranges are too, and in bounds for all planes.
+            renorm(start * kk, end * kk)
+        } else {
+            // Magnetic cells come in contiguous runs (the rows of the
+            // shape), and a run's K lanes are one contiguous interleaved
+            // range — so even the masked arm uses the vectorized tile
+            // body, run by run. Per lane the arithmetic (norm expression,
+            // componentwise divide, acceptance test) is exactly the
+            // single-system sequence, so members stay bitwise identical
+            // to independent runs.
+            let mut i = start;
+            while i < end {
+                if !mask[i] {
+                    i += 1;
+                    continue;
+                }
+                let run0 = i;
+                while i < end && mask[i] {
+                    i += 1;
+                }
+                renorm(run0 * kk, i * kk)?;
+            }
+            Ok(())
+        }
+    });
+    results.into_iter().collect()
+}
+
 /// The tiled full-film renormalization body: same per-cell arithmetic as
 /// the masked loop (`norm = sqrt(x²+y²+z²)` with the same summation
 /// order, componentwise `/= norm`), restructured so each loop touches few
@@ -177,6 +247,7 @@ pub(crate) fn renormalize_and_check(
 ///
 /// `start..end` must be in bounds for all three planes and owned
 /// exclusively by the calling block.
+#[inline(always)]
 unsafe fn renormalize_range(
     out: Field3Ptr,
     start: usize,
@@ -214,6 +285,25 @@ unsafe fn renormalize_range(
         i0 = i1;
     }
     Ok(())
+}
+
+/// [`renormalize_range`] compiled with AVX2 enabled, for hosts that have
+/// it (checked at runtime by the caller).
+///
+/// # Safety
+///
+/// As for [`renormalize_range`]; additionally the host must support
+/// AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn renormalize_range_avx2(
+    out: Field3Ptr,
+    start: usize,
+    end: usize,
+    t: f64,
+) -> Result<(), MagnumError> {
+    // Safety: forwarded contract.
+    unsafe { renormalize_range(out, start, end, t) }
 }
 
 #[cfg(test)]

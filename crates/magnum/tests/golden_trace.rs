@@ -52,6 +52,9 @@ fn triangle_sim(threads: usize, kind: IntegratorKind) -> Simulation {
         .antenna(antenna)
         .integrator(kind)
         .threads(threads)
+        // The grid is far below the small-grid serial clamp; disable it so
+        // the parity runs genuinely exercise the parallel sweeps.
+        .min_cells_per_thread(0)
         .build()
         .unwrap()
 }
@@ -65,6 +68,7 @@ fn thermal_sim(threads: usize) -> Simulation {
         .temperature(300.0)
         .seed(17)
         .threads(threads)
+        .min_cells_per_thread(0)
         .build()
         .unwrap()
 }

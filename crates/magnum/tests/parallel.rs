@@ -43,6 +43,10 @@ fn triangle_sim_with_demag(threads: usize, kind: IntegratorKind, demag: DemagMet
         .antenna(antenna)
         .integrator(kind)
         .threads(threads)
+        // Disable the small-grid serial clamp: these tests exist to prove
+        // the parallel sweeps match serial bit for bit, so they must
+        // actually run parallel on this sub-threshold grid.
+        .min_cells_per_thread(0)
         .build()
         .unwrap()
 }
@@ -118,6 +122,7 @@ fn thermal_heun_is_bitwise_identical_across_thread_counts() {
             .temperature(300.0)
             .seed(17)
             .threads(threads)
+            .min_cells_per_thread(0)
             .build()
             .unwrap();
         for _ in 0..20 {
@@ -139,6 +144,7 @@ fn relax_is_bitwise_identical_across_thread_counts() {
             .uniform_magnetization(Vec3::new(0.4, 0.1, 1.0))
             .demag(DemagMethod::ThinFilmLocal)
             .threads(threads)
+            .min_cells_per_thread(0)
             .build()
             .unwrap();
         let report = sim.relax(1e-30, 15).unwrap();

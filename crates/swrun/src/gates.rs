@@ -273,6 +273,131 @@ pub fn xor_patterns(
     })
 }
 
+/// A gate runner that maps whole pattern sweeps onto **lockstep batched**
+/// LLG solves: instead of fanning `2^N` independent jobs over worker
+/// threads, up to `batch_width` patterns advance together through one
+/// K-wide interleaved solve (see [`MumagBackend::maj3_run_batch`]).
+///
+/// On a core-starved host this is the faster shape — one sweep amortizes
+/// its bookkeeping over K magnetization lanes per cell instead of paying
+/// it K times — while every pattern's phasors stay bitwise identical to
+/// its independent run.
+#[derive(Debug, Clone)]
+pub struct BatchedBackend {
+    backend: MumagBackend,
+    batch_width: usize,
+}
+
+impl BatchedBackend {
+    /// Wraps `backend`, advancing up to `batch_width` patterns per
+    /// lockstep solve (0 is treated as 1; a width larger than the
+    /// pattern count simply runs one full-sweep batch).
+    pub fn new(backend: MumagBackend, batch_width: usize) -> Self {
+        BatchedBackend {
+            backend,
+            batch_width: batch_width.max(1),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &MumagBackend {
+        &self.backend
+    }
+
+    /// The configured batch width K.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
+    }
+
+    /// Runs all 8 MAJ3 patterns in `ceil(8 / K)` lockstep batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the drive-trim calibration fails; pattern
+    /// failures are reported per pattern in the report.
+    pub fn maj3_patterns(
+        &self,
+        layout: &TriangleMaj3Layout,
+    ) -> Result<PatternBatchReport<3>, RunError> {
+        self.backend
+            .prewarm_maj3(layout)
+            .map_err(|e| RunError::setup(&e))?;
+        self.run_batched(all_patterns::<3>(), |chunk| {
+            self.backend.maj3_run_batch(layout, chunk)
+        })
+    }
+
+    /// Runs all 4 XOR patterns in `ceil(4 / K)` lockstep batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the drive-trim calibration fails; pattern
+    /// failures are reported per pattern in the report.
+    pub fn xor_patterns(
+        &self,
+        layout: &TriangleXorLayout,
+    ) -> Result<PatternBatchReport<2>, RunError> {
+        self.backend
+            .prewarm_xor(layout)
+            .map_err(|e| RunError::setup(&e))?;
+        self.run_batched(all_patterns::<2>(), |chunk| {
+            self.backend.xor_run_batch(layout, chunk)
+        })
+    }
+
+    /// Chunks `patterns` by the batch width, runs each chunk through one
+    /// batched solve, and assembles the standard report shape.
+    fn run_batched<const N: usize>(
+        &self,
+        patterns: Vec<[Bit; N]>,
+        run_chunk: impl Fn(&[[Bit; N]]) -> Result<Vec<GateRun>, SwGateError>,
+    ) -> Result<PatternBatchReport<N>, RunError> {
+        let start = std::time::Instant::now();
+        let mut outcomes = Vec::with_capacity(patterns.len());
+        for chunk in patterns.chunks(self.batch_width) {
+            match run_chunk(chunk) {
+                Ok(runs) => {
+                    for (&pattern, run) in chunk.iter().zip(runs) {
+                        outcomes.push(PatternOutcome {
+                            pattern,
+                            phasors: Some((run.o1, run.o2)),
+                            run: Some(run),
+                            resumed: false,
+                            error: None,
+                        });
+                    }
+                }
+                Err(e) => {
+                    let message = e.to_string();
+                    for &pattern in chunk {
+                        outcomes.push(PatternOutcome {
+                            pattern,
+                            phasors: None,
+                            run: None,
+                            resumed: false,
+                            error: Some(message.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        let wall = start.elapsed();
+        let failed = outcomes.iter().filter(|o| o.error.is_some()).count();
+        Ok(PatternBatchReport {
+            metrics: BatchMetrics {
+                total: outcomes.len(),
+                done: outcomes.len() - failed,
+                failed,
+                resumed: 0,
+                workers: 1,
+                wall,
+                cpu: wall,
+            },
+            patterns: outcomes,
+        })
+    }
+}
+
 /// One point of a parameter sweep: a label (used in job ids and
 /// reports) and the backend variant to run it with.
 #[derive(Debug, Clone)]

@@ -77,6 +77,47 @@ fn parallel_maj3_patterns_match_serial_exactly() {
 }
 
 #[test]
+fn batched_maj3_patterns_match_independent_runs_exactly() {
+    // The lockstep batched solve is purely a throughput shape: a K = 4
+    // batch of the 8 MAJ3 patterns must produce bit-for-bit the phasors
+    // of eight independent runs, at serial and parallel sweep widths.
+    use swgates::encoding::all_patterns;
+    use swrun::gates::BatchedBackend;
+
+    let backend = quick_backend();
+    let layout = mini_maj3_layout();
+    backend.prewarm_maj3(&layout).expect("calibration");
+
+    let independent: Vec<_> = all_patterns::<3>()
+        .into_iter()
+        .map(|p| {
+            let run = backend.maj3_run(&layout, p).expect("independent run");
+            (p, run.o1, run.o2)
+        })
+        .collect();
+
+    for threads in [1, 2] {
+        let batched = BatchedBackend::new(backend.clone().with_threads(threads), 4);
+        let report = batched.maj3_patterns(&layout).expect("batched sweep");
+        assert_eq!(report.metrics.total, 8);
+        assert_eq!(report.metrics.failed, 0);
+        for (outcome, &(pattern, o1, o2)) in report.patterns.iter().zip(independent.iter()) {
+            assert_eq!(outcome.pattern, pattern);
+            let (bo1, bo2) = outcome.phasors.expect("batched pattern succeeded");
+            assert_eq!(bo1, o1, "O1 differs for {pattern:?} at {threads} threads");
+            assert_eq!(bo2, o2, "O2 differs for {pattern:?} at {threads} threads");
+        }
+        // The batched truth table decodes to the same majority function.
+        let gate =
+            swgates::gates::Maj3Gate::new(layout).with_phase_margin(std::f64::consts::PI / 32.0);
+        let table = gate.truth_table(&report.memo()).expect("decodes");
+        table
+            .verify(|p| Bit::majority(p[0], p[1], p[2]))
+            .expect("majority decodes");
+    }
+}
+
+#[test]
 fn xor_batch_resumes_from_manifest() {
     let path = temp_manifest("xor-resume.jsonl");
     std::fs::remove_file(&path).ok();

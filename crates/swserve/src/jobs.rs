@@ -25,7 +25,7 @@ use swgates::encoding::Bit;
 use swgates::layout::{TriangleMaj3Layout, TriangleXorLayout};
 use swgates::mumag::MumagBackend;
 use swjson::Json;
-use swrun::gates::run_to_json;
+use swrun::gates::{run_to_json, BatchedBackend, PatternBatchReport};
 use swrun::resident::{JobHandle, JobStage, ResidentPool};
 use swrun::ManifestWriter;
 
@@ -51,10 +51,13 @@ pub enum SubmitError {
 
 /// Validates and canonicalizes a job request.
 ///
-/// Kinds: `maj3` / `xor` run the micromagnetic gate on the fast layout
-/// (`inputs` = bit pattern, optional `threads`); `sleep` (`ms` ≤ 10000)
-/// is a diagnostic no-op job used by tests and smoke runs to exercise
-/// queueing without burning minutes of LLG time.
+/// Kinds: `maj3` / `xor` run the micromagnetic gate on the fast layout.
+/// `inputs` = bit pattern evaluates one pattern; `batch: K` instead
+/// sweeps **every** input pattern through the K-way lockstep batched
+/// solver (`inputs` and `batch` are mutually exclusive). Optional
+/// `threads` sets the per-sweep parallel width either way. `sleep`
+/// (`ms` ≤ 10000) is a diagnostic no-op job used by tests and smoke
+/// runs to exercise queueing without burning minutes of LLG time.
 ///
 /// # Errors
 ///
@@ -70,31 +73,48 @@ pub fn normalize_job(request: &Json) -> Result<Json, EvalError> {
     match kind {
         "maj3" | "xor" => {
             for key in fields.keys() {
-                if !matches!(key.as_str(), "kind" | "inputs" | "threads") {
+                if !matches!(key.as_str(), "kind" | "inputs" | "batch" | "threads") {
                     return Err(bad(format!("unknown field `{key}` in {kind} job")));
                 }
             }
             let arity = if kind == "maj3" { 3 } else { 2 };
-            let inputs = request
-                .get("inputs")
-                .ok_or_else(|| bad(format!("{kind} jobs need `inputs`")))?;
-            let items = inputs
-                .as_arr()
-                .ok_or_else(|| bad("`inputs` must be an array of 0/1"))?;
-            if items.len() != arity {
-                return Err(bad(format!(
-                    "{kind} takes {arity} inputs, got {}",
-                    items.len()
-                )));
-            }
-            let mut bits = Vec::new();
-            for item in items {
-                match item.as_f64() {
-                    Some(x) if x == 0.0 || x == 1.0 => bits.push(Json::Num(x)),
-                    _ => return Err(bad("inputs must be 0 or 1")),
+            let mut out = vec![("kind", Json::str(kind))];
+            match (request.get("inputs"), request.get("batch")) {
+                (Some(_), Some(_)) => {
+                    return Err(bad("`inputs` and `batch` are mutually exclusive"));
+                }
+                (None, Some(batch)) => {
+                    let k = batch
+                        .as_f64()
+                        .ok_or_else(|| bad("`batch` must be a number"))?;
+                    if k.fract() != 0.0 || !(1.0..=16.0).contains(&k) {
+                        return Err(bad("`batch` must be an integer in 1..=16"));
+                    }
+                    out.push(("batch", Json::Num(k)));
+                }
+                (Some(inputs), None) => {
+                    let items = inputs
+                        .as_arr()
+                        .ok_or_else(|| bad("`inputs` must be an array of 0/1"))?;
+                    if items.len() != arity {
+                        return Err(bad(format!(
+                            "{kind} takes {arity} inputs, got {}",
+                            items.len()
+                        )));
+                    }
+                    let mut bits = Vec::new();
+                    for item in items {
+                        match item.as_f64() {
+                            Some(x) if x == 0.0 || x == 1.0 => bits.push(Json::Num(x)),
+                            _ => return Err(bad("inputs must be 0 or 1")),
+                        }
+                    }
+                    out.push(("inputs", Json::Arr(bits)));
+                }
+                (None, None) => {
+                    return Err(bad(format!("{kind} jobs need `inputs` or `batch`")));
                 }
             }
-            let mut out = vec![("kind", Json::str(kind)), ("inputs", Json::Arr(bits))];
             if let Some(threads) = request.get("threads") {
                 let t = threads
                     .as_f64()
@@ -137,6 +157,33 @@ struct JobRecord {
     request: Json,
 }
 
+/// Running total of observed job wall time, shared with the worker
+/// closures so [`JobStore::mean_wall`] reflects finished jobs without
+/// locking the job map.
+#[derive(Default)]
+struct WallStats {
+    total_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl WallStats {
+    fn record(&self, wall: Duration) {
+        let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(
+            self.total_us.load(Ordering::Relaxed) / count,
+        ))
+    }
+}
+
 /// The server's job subsystem.
 pub struct JobStore {
     pool: ResidentPool,
@@ -147,6 +194,7 @@ pub struct JobStore {
     /// Micromagnetic backends by configuration; cloned per job so the
     /// drive-trim calibration is shared across jobs.
     backends: Mutex<HashMap<String, MumagBackend>>,
+    wall: Arc<WallStats>,
     next_id: AtomicU64,
 }
 
@@ -165,6 +213,7 @@ impl JobStore {
             by_key: Mutex::new(HashMap::new()),
             manifest,
             backends: Mutex::new(HashMap::new()),
+            wall: Arc::new(WallStats::default()),
             next_id: AtomicU64::new(1),
         }
     }
@@ -172,6 +221,20 @@ impl JobStore {
     /// Unfinished jobs (queued + running).
     pub fn in_flight(&self) -> usize {
         self.pool.in_flight()
+    }
+
+    /// Mean wall time of finished jobs, or `None` before any finish.
+    /// This is the per-job cost estimate behind the `Retry-After`
+    /// header on shed submissions.
+    pub fn mean_wall(&self) -> Option<Duration> {
+        self.wall.mean()
+    }
+
+    /// Seeds the wall-time statistics directly, so tests can pin the
+    /// observed latency without running multi-second jobs.
+    #[cfg(test)]
+    pub(crate) fn record_wall(&self, wall: Duration) {
+        self.wall.record(wall);
     }
 
     fn backend(&self, kind: &str, threads: usize) -> MumagBackend {
@@ -221,12 +284,15 @@ impl JobStore {
         let manifest = self.manifest.clone();
         let manifest_inputs = normalized.clone();
         let manifest_id = id.clone();
+        let wall_stats = Arc::clone(&self.wall);
         let handle = self
             .pool
             .submit(move || {
                 let started = std::time::Instant::now();
                 let result = work();
-                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let wall = started.elapsed();
+                wall_stats.record(wall);
+                let wall_ms = wall.as_secs_f64() * 1e3;
                 if let Some(writer) = &manifest {
                     let write = match &result {
                         Ok(outputs) => writer.job_done(
@@ -364,11 +430,21 @@ fn job_closure(
                 .map(|t| t as usize)
                 .unwrap_or(0);
             let backend = store.backend(&kind, threads);
+            let batch = normalized
+                .get("batch")
+                .and_then(Json::as_f64)
+                .map(|k| k as usize);
             let bits = bits_from(normalized);
             Box::new(move || {
                 if kind == "maj3" {
                     let layout = TriangleMaj3Layout::from_multiples(55e-9, 50e-9, 2, 3, 4, 1)
                         .map_err(|e| e.to_string())?;
+                    if let Some(k) = batch {
+                        let report = BatchedBackend::new(backend, k)
+                            .maj3_patterns(&layout)
+                            .map_err(|e| e.to_string())?;
+                        return batch_report_json(k, &report);
+                    }
                     let run = backend
                         .maj3_run(&layout, [bits[0], bits[1], bits[2]])
                         .map_err(|e| e.to_string())?;
@@ -376,6 +452,12 @@ fn job_closure(
                 } else {
                     let layout = TriangleXorLayout::new(55e-9, 50e-9, 110e-9, 40e-9)
                         .map_err(|e| e.to_string())?;
+                    if let Some(k) = batch {
+                        let report = BatchedBackend::new(backend, k)
+                            .xor_patterns(&layout)
+                            .map_err(|e| e.to_string())?;
+                        return batch_report_json(k, &report);
+                    }
                     let run = backend
                         .xor_run(&layout, [bits[0], bits[1]])
                         .map_err(|e| e.to_string())?;
@@ -384,6 +466,36 @@ fn job_closure(
             })
         }
     }
+}
+
+/// Result JSON for a `batch: K` sweep: one record per input pattern, in
+/// binary counting order, each nesting the usual single-run document.
+/// Any failed pattern fails the whole job — a partial truth table is
+/// not a usable gate characterization.
+fn batch_report_json<const N: usize>(
+    k: usize,
+    report: &PatternBatchReport<N>,
+) -> Result<Json, String> {
+    if let Some(error) = report.first_error() {
+        return Err(error.to_string());
+    }
+    let patterns: Vec<Json> = report
+        .patterns
+        .iter()
+        .map(|p| {
+            let run = p.run.as_ref().expect("fresh batch patterns carry runs");
+            let inputs: Vec<Json> = p
+                .pattern
+                .iter()
+                .map(|&b| Json::Num(if b == Bit::One { 1.0 } else { 0.0 }))
+                .collect();
+            Json::obj([("inputs", Json::Arr(inputs)), ("result", run_to_json(run))])
+        })
+        .collect();
+    Ok(Json::obj([
+        ("batch", Json::Num(k as f64)),
+        ("patterns", Json::Arr(patterns)),
+    ]))
 }
 
 #[cfg(test)]
@@ -403,17 +515,39 @@ mod tests {
             r#"{"kind":"sleep","ms":5.0}"#
         );
         assert!(normalize_job(&parse(r#"{"kind":"maj3","inputs":[0,1,1]}"#)).is_ok());
+        // `batch: K` replaces `inputs` with a full-pattern sweep.
+        assert_eq!(
+            normalize_job(&parse(r#"{"batch":4,"kind":"xor","threads":2}"#))
+                .unwrap()
+                .render(),
+            r#"{"batch":4.0,"kind":"xor","threads":2.0}"#
+        );
         for bad in [
             r#"{"kind":"explode"}"#,
             r#"{"kind":"maj3"}"#,
             r#"{"kind":"maj3","inputs":[0,1]}"#,
             r#"{"kind":"maj3","inputs":[0,1,1],"bogus":1}"#,
+            r#"{"kind":"maj3","inputs":[0,1,1],"batch":2}"#,
+            r#"{"kind":"maj3","batch":0}"#,
+            r#"{"kind":"xor","batch":3.5}"#,
+            r#"{"kind":"xor","batch":17}"#,
             r#"{"kind":"sleep","ms":999999}"#,
             r#"{"kind":"xor","inputs":[0,1],"threads":0.5}"#,
             "7",
         ] {
             assert!(normalize_job(&parse(bad)).is_err(), "`{bad}` must fail");
         }
+    }
+
+    #[test]
+    fn mean_wall_tracks_finished_jobs() {
+        let store = JobStore::start(1, 4, None);
+        assert!(store.mean_wall().is_none(), "no jobs observed yet");
+        let (id, _) = store.submit(&parse(r#"{"kind":"sleep","ms":20}"#)).unwrap();
+        store.wait(&id);
+        let mean = store.mean_wall().expect("one finished job");
+        assert!(mean >= Duration::from_millis(20), "mean {mean:?}");
+        store.close();
     }
 
     #[test]

@@ -40,6 +40,18 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// The mean observed latency, or `None` before any samples. This is
+    /// what the `Retry-After` derivation uses as its per-request cost
+    /// estimate.
+    pub fn mean(&self) -> Option<Duration> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let total = self.total_us.load(Ordering::Relaxed);
+        Some(Duration::from_micros(total / count))
+    }
+
     /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1) in
     /// microseconds: the upper edge of the bucket containing it.
     pub fn quantile_us(&self, q: f64) -> u64 {
@@ -124,6 +136,12 @@ impl EndpointMetrics {
     /// Requests answered with an error status.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency over every observed request, or `None` before the
+    /// first sample.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        self.latency.mean()
     }
 
     /// The endpoint's metrics as JSON.
@@ -230,6 +248,8 @@ mod tests {
         assert_eq!(h.quantile_us(0.5), 4);
         // p99 rank 6 → 1000 µs lives in [512,1024) → 1024.
         assert_eq!(h.quantile_us(0.99), 1024);
+        // Mean: (1+3+3+7+100+1000)/6 = 185 µs after integer division.
+        assert_eq!(h.mean(), Some(Duration::from_micros(185)));
         let json = h.render();
         assert_eq!(json.get("count").and_then(Json::as_f64), Some(6.0));
         assert_eq!(json.get("max_us").and_then(Json::as_f64), Some(1000.0));
@@ -239,6 +259,7 @@ mod tests {
     fn empty_histogram_renders_zeros() {
         let h = Histogram::default();
         assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean(), None);
         let json = h.render();
         assert_eq!(json.get("p99_us").and_then(Json::as_f64), Some(0.0));
         assert_eq!(json.get("buckets").and_then(Json::as_arr).unwrap().len(), 0);
