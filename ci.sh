@@ -35,6 +35,11 @@ echo "==> demag bench smoke (one small grid, JSON emitter)"
     --out target/BENCH_demag_smoke.json
 test -s target/BENCH_demag_smoke.json
 
+echo "==> bigfft bench smoke (composite-padded grid, bitwise identity asserted in JSON)"
+./target/release/parbench --bigfft --grids 24x20 --evals 2 --threads 1,2 \
+    --out target/BENCH_fft_smoke.json
+grep -q '"bitwise_identical_to_serial":true' target/BENCH_fft_smoke.json
+
 echo "==> rhs bench smoke (asserts bitwise identity across threads and rel err <= 1e-12)"
 ./target/release/parbench --rhs --grids 32 --steps 10 --threads 1,2,4 \
     --out target/BENCH_rhs_smoke.json

@@ -1,7 +1,7 @@
 //! `parbench` — wall-clock scaling of magnum's intra-simulation threading,
 //! plus the `swserve` loadtest and smoke probe.
 //!
-//! Seven modes:
+//! Eight modes:
 //!
 //! * Default: `parbench [--size N] [--steps N] [--threads LIST]` runs the
 //!   same deterministic LLG workload (an N×N film with exchange,
@@ -19,6 +19,18 @@
 //!   reference and its bitwise identity across thread counts, and writes
 //!   a machine-readable JSON report. Defaults: grids `64,128,256`,
 //!   threads `1,2,4`, auto eval count, output `BENCH_demag.json`.
+//!
+//! * `parbench --bigfft [--grids WxH,...] [--threads LIST] [--evals N]
+//!   [--out PATH]` proves the mixed-radix FFT headline: for each (possibly
+//!   non-square, non-power-of-two) grid it times one Newell demag field
+//!   evaluation under the good-size padding planner against the same
+//!   engine restricted to radix-2 padded transforms
+//!   ([`PadPolicy::PowerOfTwo`], the pre-mixed-radix grids), cross-checks
+//!   the two fields against each other, asserts the planned path is
+//!   bitwise identical across thread counts, and reports ns/cell/eval,
+//!   cells/sec, and the speedup per thread count. Defaults: grids
+//!   `256x256,320x320,960x384,1500x700` (the last is a 1.05M-cell film),
+//!   threads `1,2,4`, auto eval count, output `BENCH_fft.json`.
 //!
 //! * `parbench --rhs [--grids LIST] [--threads LIST] [--steps N]
 //!   [--out PATH]` benchmarks the fused single-sweep SoA RHS against the
@@ -77,7 +89,7 @@ use std::time::Instant;
 use bench::httpc::Client;
 use bench::{write_bench_json, write_report};
 
-use magnum::field::demag::{DemagMethod, NewellDemag};
+use magnum::field::demag::{DemagMethod, NewellDemag, PadPolicy};
 use magnum::field::FieldTerm;
 use magnum::par::WorkerTeam;
 use magnum::prelude::*;
@@ -581,6 +593,135 @@ fn demag_main(grids: Vec<usize>, threads: Vec<usize>, evals: usize, out: String)
         "demag_field_eval",
         "ns_per_eval",
         "pre-optimization serial Newell FFT path",
+        reports,
+    );
+}
+
+/// Benchmarks one `WxH` grid for `--bigfft`: good-size planned padding vs
+/// the radix-2 padded baseline, per thread count.
+fn bigfft_grid_report(nx: usize, ny: usize, threads: &[usize], evals: usize) -> Json {
+    let cell = 5e-9;
+    let mesh = Mesh::new(nx, ny, [cell, cell, 1e-9]).unwrap();
+    let material = Material::fecob();
+    let n = mesh.cell_count();
+    let mf = Field3::from_vec3s(&test_magnetization(n));
+
+    // One timed sweep of a padding policy: returns ns/eval, the field it
+    // produced, and the padded transform dims.
+    let time_policy = |policy: PadPolicy, team: &WorkerTeam| -> (f64, Vec<Vec3>, (usize, usize)) {
+        let demag = NewellDemag::with_padding(&mesh, &material, team, policy);
+        let dims = demag.padded_dims();
+        let mut scratch = demag.make_scratch();
+        let mut h = Field3::zeros(n);
+        eval_new(&demag, &mf, &mut h, team, &mut scratch); // warm-up
+        let start = Instant::now();
+        for _ in 0..evals {
+            eval_new(&demag, &mf, &mut h, team, &mut scratch);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / evals as f64;
+        (ns, h.to_vec(), dims)
+    };
+
+    let mut planned_serial: Vec<Vec3> = Vec::new();
+    let mut max_rel_err = 0.0_f64;
+    let mut planned_dims = (0, 0);
+    let mut pow2_dims = (0, 0);
+    let mut rows = Vec::new();
+    for &t in threads {
+        let team = WorkerTeam::new(t);
+        let (pow2_ns, h_pow2, dims2) = time_policy(PadPolicy::PowerOfTwo, &team);
+        let (ns, h, dims) = time_policy(PadPolicy::GoodSize, &team);
+        planned_dims = dims;
+        pow2_dims = dims2;
+
+        let bitwise = if planned_serial.is_empty() {
+            // Serial pass: the two paddings solve the same convolution, so
+            // their fields must agree to rounding; the planned field then
+            // becomes the bitwise baseline for every other thread count.
+            let peak = h_pow2.iter().map(|v| v.norm()).fold(0.0, f64::max);
+            max_rel_err = h
+                .iter()
+                .zip(h_pow2.iter())
+                .map(|(a, b)| (*a - *b).norm())
+                .fold(0.0, f64::max)
+                / peak;
+            planned_serial = h;
+            true
+        } else {
+            h == planned_serial
+        };
+        assert!(
+            bitwise,
+            "{nx}x{ny} planned demag diverged from the serial evaluation at {t} threads"
+        );
+
+        let speedup = pow2_ns / ns;
+        let cells_per_sec = n as f64 / (ns * 1e-9);
+        println!(
+            "  {nx}x{ny} threads {t:2}: {:>8.2} ns/cell planned  {:>8.2} ns/cell pow2-padded  \
+             speedup {speedup:5.2}x  {:.3e} cells/s",
+            ns / n as f64,
+            pow2_ns / n as f64,
+            cells_per_sec
+        );
+        rows.push(Json::obj([
+            ("threads", Json::Num(t as f64)),
+            ("ns_per_eval", Json::Num(ns)),
+            ("ns_per_cell_per_eval", Json::Num(ns / n as f64)),
+            ("pow2_ns_per_eval", Json::Num(pow2_ns)),
+            ("speedup_vs_pow2_pad", Json::Num(speedup)),
+            ("cells_per_sec", Json::Num(cells_per_sec)),
+            ("bitwise_identical_to_serial", Json::Bool(bitwise)),
+        ]));
+    }
+    println!(
+        "  {nx}x{ny}: padded {}x{} planned vs {}x{} pow2, max rel err {max_rel_err:.3e}",
+        planned_dims.0, planned_dims.1, pow2_dims.0, pow2_dims.1
+    );
+    assert!(
+        max_rel_err <= 1e-9,
+        "{nx}x{ny} planned-padding demag drifted {max_rel_err:.3e} from the pow2-padded field"
+    );
+
+    Json::obj([
+        ("grid", Json::Str(format!("{nx}x{ny}"))),
+        ("cells", Json::Num(n as f64)),
+        ("evals", Json::Num(evals as f64)),
+        (
+            "padded_planned",
+            Json::Arr(vec![
+                Json::Num(planned_dims.0 as f64),
+                Json::Num(planned_dims.1 as f64),
+            ]),
+        ),
+        (
+            "padded_pow2",
+            Json::Arr(vec![
+                Json::Num(pow2_dims.0 as f64),
+                Json::Num(pow2_dims.1 as f64),
+            ]),
+        ),
+        ("max_rel_err_vs_pow2_pad", Json::Num(max_rel_err)),
+        ("results", Json::Arr(rows)),
+    ])
+}
+
+fn bigfft_main(grids: Vec<(usize, usize)>, threads: Vec<usize>, evals: usize, out: String) {
+    println!("bigfft benchmark: good-size planned padding vs radix-2 padded baseline");
+    let mut reports = Vec::new();
+    for &(nx, ny) in &grids {
+        let evals = if evals > 0 {
+            evals
+        } else {
+            ((1 << 22) / (nx * ny)).clamp(2, 20)
+        };
+        reports.push(bigfft_grid_report(nx, ny, &threads, evals));
+    }
+    write_bench_json(
+        &out,
+        "bigfft_demag_field_eval",
+        "ns_per_eval",
+        "same engine restricted to radix-2 padded transforms",
         reports,
     );
 }
@@ -1319,6 +1460,34 @@ fn main() {
             .unwrap_or(2000);
         let out = value_of("--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
         batch_main(ks, steps, out);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bigfft") {
+        let grids: Vec<(usize, usize)> = value_of("--grids")
+            .unwrap_or_else(|| "256x256,320x320,960x384,1500x700".to_string())
+            .split(',')
+            .map(|s| {
+                let (w, h) = s
+                    .trim()
+                    .split_once('x')
+                    .unwrap_or_else(|| panic!("--grids needs WxH entries, got {s:?}"));
+                (
+                    w.parse().expect("--grids needs integers"),
+                    h.parse().expect("--grids needs integers"),
+                )
+            })
+            .collect();
+        let evals: usize = value_of("--evals")
+            .map(|v| v.parse().expect("--evals needs an integer"))
+            .unwrap_or(0);
+        let out = value_of("--out").unwrap_or_else(|| "BENCH_fft.json".to_string());
+        // The serial run is the accuracy and bitwise baseline, so make
+        // sure 1 is in the sweep and leads it.
+        let mut threads = threads;
+        threads.retain(|&t| t != 1);
+        threads.insert(0, 1);
+        bigfft_main(grids, threads, evals, out);
         return;
     }
 

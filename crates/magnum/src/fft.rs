@@ -1,18 +1,37 @@
-//! Radix-2 Cooley–Tukey FFT, written from scratch.
+//! Planned mixed-radix FFT (radix-4/2/3/5 with a Bluestein fallback).
 //!
 //! Used by the Newell demagnetization kernel (2-D convolution) and by the
-//! spectrum probes. Lengths must be powers of two; callers zero-pad.
+//! spectrum probes. Any length `n ≥ 1` is accepted: 5-smooth lengths
+//! (`n = 2^a·3^b·5^c`) run through native radix-4/2/3/5 stages; lengths
+//! with a larger prime factor fall back to Bluestein's chirp-z algorithm
+//! over an inner 5-smooth plan. Hot paths never hit the fallback because
+//! they pad with [`good_size`], which only returns 5-smooth lengths.
 //!
 //! ## Plans
 //!
 //! Hot paths build an [`FftPlan`] (1-D) or [`Fft2Plan`] (2-D) once and
-//! reuse it. A plan precomputes the bit-reversal permutation and one
-//! twiddle table per butterfly stage, so the inner loop is a single
-//! complex multiply per butterfly — the old implementation regenerated
-//! twiddles with a running product `w *= wlen`, which both cost an extra
-//! complex multiply per butterfly and accumulated rounding drift that
-//! grows with the transform length (see the `table_twiddles_beat_running_
-//! product` regression test).
+//! reuse it. A plan precomputes the mixed-radix digit-reversal
+//! permutation (stored as a swap list so execution stays in place) and
+//! one twiddle table per butterfly stage, so the inner loop is a single
+//! complex multiply per input of each butterfly — the old implementation
+//! regenerated twiddles with a running product `w *= wlen`, which both
+//! cost an extra complex multiply per butterfly and accumulated rounding
+//! drift that grows with the transform length (see the
+//! `table_twiddles_beat_running_product` regression test).
+//!
+//! `process` takes `&self` and mutates only the caller's buffer, so one
+//! plan is shared concurrently by every worker thread; the decimation
+//! order and butterfly arithmetic are fixed at plan time, so results are
+//! bitwise identical no matter which thread runs which row.
+//!
+//! ## Plan selection
+//!
+//! [`good_size`] picks the padded length for convolutions: the cheapest
+//! 5-smooth length ≥ `n` under a per-stage cost model (DESIGN.md §4.4),
+//! instead of `next_power_of_two`. At the awkward sizes large demag
+//! grids produce (2n−1 for n = 320, 960, 1500, …) this cuts the padded
+//! area — and with it every transform, transpose and spectral multiply
+//! — by up to ~2.5× in 2-D.
 //!
 //! [`Fft2Plan`] transforms rows, block-transposes, transforms the former
 //! columns as contiguous rows, and transposes back; every row transform
@@ -24,9 +43,10 @@
 //!
 //! [`fft_real_pair`] packs two real sequences into one complex transform
 //! (re/im channels) and unpacks the two spectra via conjugate symmetry;
-//! [`fft_real`] transforms a single real sequence through a half-length
-//! complex FFT. The Newell demag path uses the same packing in 2-D to
-//! turn six full transforms of `mx/my/mz` into four.
+//! [`fft_real`] transforms a single even-length real sequence through a
+//! half-length complex FFT (odd lengths take a plain complex transform).
+//! The Newell demag path uses the same packing in 2-D to turn six full
+//! transforms of `mx/my/mz` into four.
 //!
 //! The convenience free functions ([`fft_in_place`], [`fft2_in_place`])
 //! build a throwaway plan per call and run serially — fine for tests and
@@ -44,45 +64,182 @@ pub enum Direction {
     Inverse,
 }
 
-/// A reusable 1-D FFT plan: bit-reversal permutation plus per-stage
-/// twiddle tables for one power-of-two length.
+/// One butterfly pass: combines `radix` interleaved sub-transforms of
+/// length `len` into transforms of length `len·radix`.
+#[derive(Debug, Clone, Copy)]
+struct Stage {
+    radix: u8,
+    /// Sub-transform length entering this stage.
+    len: u32,
+    /// Start of this stage's `(radix − 1)·len` twiddles in `FftPlan::tw`,
+    /// grouped by butterfly index `k`: `w^k, w^{2k}, …, w^{(r−1)k}`.
+    toff: u32,
+}
+
+/// Bluestein chirp-z fallback for lengths with a prime factor > 5:
+/// `X[k] = c[k]·Σ_j (x[j]·c[j])·conj(c)[k−j]` with `c[j] = e^{-iπj²/n}`,
+/// evaluated as a circular convolution over an inner 5-smooth plan.
+#[derive(Debug, Clone)]
+struct Bluestein {
+    /// Chirp `e^{-iπ·(j² mod 2n)/n}`, length `n`.
+    chirp: Vec<Complex64>,
+    /// Forward transform of the conjugate chirp, symmetrically wrapped
+    /// into the inner length — the convolution kernel spectrum.
+    kernel: Vec<Complex64>,
+    /// 5-smooth inner plan of length `good_size(2n − 1)`.
+    inner: FftPlan,
+}
+
+/// A reusable 1-D FFT plan for one fixed length: the digit-reversal
+/// permutation (as a swap list), the stage schedule and per-stage
+/// twiddle tables. Lengths that are not 5-smooth carry a [`Bluestein`]
+/// fallback instead of stages.
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     n: usize,
-    /// Bit-reversed index of every position.
-    rev: Vec<u32>,
-    /// Forward twiddles `e^{-2πik/len}`, stages concatenated in order
-    /// `len = 2, 4, …, n` (`len/2` entries each, `n − 1` total). The
-    /// inverse transform conjugates on the fly.
+    /// Transpositions realizing the mixed-radix digit reversal in place.
+    swaps: Vec<(u32, u32)>,
+    /// Butterfly passes, innermost (len = 1) first.
+    stages: Vec<Stage>,
+    /// Forward twiddles for all stages, concatenated in stage order.
+    /// The inverse transform conjugates on the fly.
     tw: Vec<Complex64>,
+    /// Chirp-z fallback when `n` has a prime factor > 5.
+    bluestein: Option<Box<Bluestein>>,
+}
+
+/// sin(π/3): the imaginary part of the radix-3 twiddle.
+const SIN_3: f64 = 0.866_025_403_784_438_6;
+/// cos(2π/5), cos(4π/5), sin(2π/5), sin(4π/5) for the radix-5 butterfly.
+const COS_1_5: f64 = 0.309_016_994_374_947_45;
+const COS_2_5: f64 = -0.809_016_994_374_947_5;
+const SIN_1_5: f64 = 0.951_056_516_295_153_5;
+const SIN_2_5: f64 = 0.587_785_252_292_473_1;
+
+/// Splits `n` into the stage radices the executor applies, in order:
+/// radix-4 first (cheapest per element), then at most one radix-2, then
+/// radix-3 and radix-5. Returns `None` when a prime factor > 5 remains.
+fn factor_stages(n: usize) -> Option<Vec<usize>> {
+    let mut f = Vec::new();
+    let mut m = n;
+    while m.is_multiple_of(4) {
+        f.push(4);
+        m /= 4;
+    }
+    if m.is_multiple_of(2) {
+        f.push(2);
+        m /= 2;
+    }
+    while m.is_multiple_of(3) {
+        f.push(3);
+        m /= 3;
+    }
+    while m.is_multiple_of(5) {
+        f.push(5);
+        m /= 5;
+    }
+    (m == 1).then_some(f)
+}
+
+/// Digit-reversed position of every index for the given stage order:
+/// writing `i` in mixed radix with the *last* stage's radix as the most
+/// significant digit, the reversal makes each stage's butterflies read
+/// consecutive blocks — the mixed-radix generalization of bit reversal.
+fn digit_reversal(n: usize, factors: &[usize]) -> Vec<u32> {
+    (0..n)
+        .map(|i| {
+            let mut rem = i;
+            let mut pos = 0usize;
+            let mut size = n;
+            for &f in factors.iter().rev() {
+                size /= f;
+                pos += (rem % f) * size;
+                rem /= f;
+            }
+            pos as u32
+        })
+        .collect()
+}
+
+/// Decomposes the permutation `new[pos[i]] = old[i]` into transpositions
+/// (one cycle at a time), so `process` can apply it in place with plain
+/// swaps and the plan stays immutable — shareable across worker threads.
+fn permutation_swaps(pos: &[u32]) -> Vec<(u32, u32)> {
+    let mut visited = vec![false; pos.len()];
+    let mut swaps = Vec::new();
+    for i0 in 0..pos.len() {
+        if visited[i0] {
+            continue;
+        }
+        let mut j = i0;
+        loop {
+            visited[j] = true;
+            let next = pos[j] as usize;
+            if next == i0 {
+                break;
+            }
+            swaps.push((i0 as u32, next as u32));
+            j = next;
+        }
+    }
+    swaps
 }
 
 impl FftPlan {
     /// Builds a plan for transforms of length `n`.
     ///
+    /// 5-smooth lengths (`2^a·3^b·5^c`, the only lengths [`good_size`]
+    /// returns) get native mixed-radix stages; anything else gets the
+    /// Bluestein fallback, which is correct but roughly 4× the work —
+    /// fine for probes, avoided on hot paths by padding to `good_size`.
+    ///
     /// # Panics
     ///
-    /// Panics if `n` is not a power of two (zero included).
+    /// Panics if `n` is zero or exceeds `u32::MAX`.
     pub fn new(n: usize) -> Self {
-        assert!(
-            n.is_power_of_two() && n > 0,
-            "FFT length must be a power of two, got {n}"
-        );
+        assert!(n > 0, "FFT length must be positive");
         assert!(n <= u32::MAX as usize, "FFT length too large");
-        let mut rev = vec![0u32; n];
-        for i in 1..n {
-            rev[i] = (rev[i >> 1] >> 1) | if i & 1 == 1 { n as u32 >> 1 } else { 0 };
-        }
-        let mut tw = Vec::with_capacity(n.saturating_sub(1));
-        let mut len = 2;
-        while len <= n {
-            let step = -2.0 * std::f64::consts::PI / len as f64;
-            for k in 0..len / 2 {
-                tw.push(Complex64::cis(step * k as f64));
+        let Some(factors) = factor_stages(n) else {
+            return FftPlan {
+                n,
+                swaps: Vec::new(),
+                stages: Vec::new(),
+                tw: Vec::new(),
+                bluestein: Some(Box::new(Bluestein::new(n))),
+            };
+        };
+        let swaps = permutation_swaps(&digit_reversal(n, &factors));
+        let mut tw = Vec::new();
+        let mut stages = Vec::with_capacity(factors.len());
+        let mut len = 1usize;
+        for &r in &factors {
+            let span = len * r;
+            let toff = tw.len() as u32;
+            for k in 0..len {
+                for j in 1..r {
+                    // Reduce the phase index before the trig call: the
+                    // argument stays in [0, 2π), which keeps the table
+                    // exact to the last ulp even at large spans.
+                    let idx = (k * j) % span;
+                    tw.push(Complex64::cis(
+                        -2.0 * std::f64::consts::PI * idx as f64 / span as f64,
+                    ));
+                }
             }
-            len <<= 1;
+            stages.push(Stage {
+                radix: r as u8,
+                len: len as u32,
+                toff,
+            });
+            len = span;
         }
-        FftPlan { n, rev, tw }
+        FftPlan {
+            n,
+            swaps,
+            stages,
+            tw,
+            bluestein: None,
+        }
     }
 
     /// The transform length this plan was built for.
@@ -90,9 +247,9 @@ impl FftPlan {
         self.n
     }
 
-    /// True only for the degenerate length-1 plan's… never: plans always
-    /// have `n ≥ 1`, so this reports whether `n == 0`, which cannot
-    /// happen. Provided to satisfy the `len`/`is_empty` convention.
+    /// Plans always have `n ≥ 1`, so this reports whether `n == 0`,
+    /// which cannot happen. Provided to satisfy the `len`/`is_empty`
+    /// convention.
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -105,29 +262,125 @@ impl FftPlan {
     pub fn process(&self, data: &mut [Complex64], direction: Direction) {
         let n = self.n;
         assert_eq!(data.len(), n, "buffer length does not match FFT plan");
-        for (i, &r) in self.rev.iter().enumerate() {
-            let j = r as usize;
-            if j > i {
-                data.swap(i, j);
-            }
+        if let Some(b) = &self.bluestein {
+            b.process(data, direction);
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
         }
         let conj = direction == Direction::Inverse;
-        let mut len = 2;
-        let mut toff = 0;
-        while len <= n {
-            let half = len / 2;
-            let tw = &self.tw[toff..toff + half];
-            for start in (0..n).step_by(len) {
-                for (k, &w0) in tw.iter().enumerate() {
-                    let w = if conj { w0.conj() } else { w0 };
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
+        // Sign of i in the butterfly internals: e^{s·2πi/r} twiddles.
+        let s = if conj { 1.0 } else { -1.0 };
+        for st in &self.stages {
+            let len = st.len as usize;
+            let r = st.radix as usize;
+            let t0 = st.toff as usize;
+            let tw = &self.tw[t0..t0 + (r - 1) * len];
+            let span = len * r;
+            match r {
+                2 => {
+                    for start in (0..n).step_by(span) {
+                        for (k, &w0) in tw.iter().enumerate() {
+                            let w = if conj { w0.conj() } else { w0 };
+                            let i0 = start + k;
+                            let a = data[i0];
+                            let b = data[i0 + len] * w;
+                            data[i0] = a + b;
+                            data[i0 + len] = a - b;
+                        }
+                    }
                 }
+                3 => {
+                    for start in (0..n).step_by(span) {
+                        for k in 0..len {
+                            let tk = &tw[2 * k..2 * k + 2];
+                            let (w1, w2) = if conj {
+                                (tk[0].conj(), tk[1].conj())
+                            } else {
+                                (tk[0], tk[1])
+                            };
+                            let i0 = start + k;
+                            let (i1, i2) = (i0 + len, i0 + 2 * len);
+                            let a0 = data[i0];
+                            let a1 = data[i1] * w1;
+                            let a2 = data[i2] * w2;
+                            let t1 = a1 + a2;
+                            let t2 = a1 - a2;
+                            let m = a0 - t1.scale(0.5);
+                            // u = s·i·sin(π/3)·t2
+                            let u = Complex64::new(-s * SIN_3 * t2.im, s * SIN_3 * t2.re);
+                            data[i0] = a0 + t1;
+                            data[i1] = m + u;
+                            data[i2] = m - u;
+                        }
+                    }
+                }
+                4 => {
+                    for start in (0..n).step_by(span) {
+                        for k in 0..len {
+                            let tk = &tw[3 * k..3 * k + 3];
+                            let (w1, w2, w3) = if conj {
+                                (tk[0].conj(), tk[1].conj(), tk[2].conj())
+                            } else {
+                                (tk[0], tk[1], tk[2])
+                            };
+                            let i0 = start + k;
+                            let (i1, i2, i3) = (i0 + len, i0 + 2 * len, i0 + 3 * len);
+                            let a0 = data[i0];
+                            let a1 = data[i1] * w1;
+                            let a2 = data[i2] * w2;
+                            let a3 = data[i3] * w3;
+                            let t0 = a0 + a2;
+                            let t1 = a0 - a2;
+                            let t2 = a1 + a3;
+                            let t3 = a1 - a3;
+                            // jt = s·i·t3
+                            let jt = Complex64::new(-s * t3.im, s * t3.re);
+                            data[i0] = t0 + t2;
+                            data[i1] = t1 + jt;
+                            data[i2] = t0 - t2;
+                            data[i3] = t1 - jt;
+                        }
+                    }
+                }
+                5 => {
+                    for start in (0..n).step_by(span) {
+                        for k in 0..len {
+                            let tk = &tw[4 * k..4 * k + 4];
+                            let (w1, w2, w3, w4) = if conj {
+                                (tk[0].conj(), tk[1].conj(), tk[2].conj(), tk[3].conj())
+                            } else {
+                                (tk[0], tk[1], tk[2], tk[3])
+                            };
+                            let i0 = start + k;
+                            let (i1, i2, i3, i4) =
+                                (i0 + len, i0 + 2 * len, i0 + 3 * len, i0 + 4 * len);
+                            let a0 = data[i0];
+                            let a1 = data[i1] * w1;
+                            let a2 = data[i2] * w2;
+                            let a3 = data[i3] * w3;
+                            let a4 = data[i4] * w4;
+                            let t1 = a1 + a4;
+                            let t2 = a2 + a3;
+                            let t3 = a1 - a4;
+                            let t4 = a2 - a3;
+                            let m1 = a0 + t1.scale(COS_1_5) + t2.scale(COS_2_5);
+                            let m2 = a0 + t1.scale(COS_2_5) + t2.scale(COS_1_5);
+                            let v1 = t3.scale(SIN_1_5) + t4.scale(SIN_2_5);
+                            let v2 = t3.scale(SIN_2_5) - t4.scale(SIN_1_5);
+                            let u1 = Complex64::new(-s * v1.im, s * v1.re);
+                            let u2 = Complex64::new(-s * v2.im, s * v2.re);
+                            data[i0] = a0 + t1 + t2;
+                            data[i1] = m1 + u1;
+                            data[i4] = m1 - u1;
+                            data[i2] = m2 + u2;
+                            data[i3] = m2 - u2;
+                        }
+                    }
+                }
+                _ => unreachable!("factor_stages only emits radices 2–5"),
             }
-            toff += half;
-            len <<= 1;
         }
         if conj {
             let inv = 1.0 / n as f64;
@@ -138,21 +391,162 @@ impl FftPlan {
     }
 }
 
-/// In-place radix-2 FFT of a power-of-two-length buffer.
+impl Bluestein {
+    fn new(n: usize) -> Self {
+        // The circular convolution needs room for the full chirp overlap:
+        // any 5-smooth m ≥ 2n − 1 works, good_size picks the cheapest.
+        let m = good_size(2 * n - 1);
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                // j² mod 2n keeps the phase argument small and exact
+                // (j² itself overflows f64 precision long before u128).
+                let sq = ((j as u128 * j as u128) % (2 * n as u128)) as f64;
+                Complex64::cis(-std::f64::consts::PI * sq / n as f64)
+            })
+            .collect();
+        let mut kernel = vec![Complex64::ZERO; m];
+        for j in 0..n {
+            let c = chirp[j].conj();
+            kernel[j] = c;
+            if j > 0 {
+                kernel[m - j] = c;
+            }
+        }
+        let inner = FftPlan::new(m);
+        inner.process(&mut kernel, Direction::Forward);
+        Bluestein {
+            chirp,
+            kernel,
+            inner,
+        }
+    }
+
+    /// Forward chirp-z transform of `data` (length `n`).
+    fn forward(&self, data: &mut [Complex64]) {
+        let n = data.len();
+        let m = self.inner.len();
+        // Scratch is allocated per call: the fallback only serves cold
+        // paths (odd probe lengths, tests) — hot paths pad to good_size.
+        let mut work = vec![Complex64::ZERO; m];
+        for j in 0..n {
+            work[j] = data[j] * self.chirp[j];
+        }
+        self.inner.process(&mut work, Direction::Forward);
+        for (w, k) in work.iter_mut().zip(self.kernel.iter()) {
+            *w *= *k;
+        }
+        // The inverse includes the 1/m normalization of the convolution.
+        self.inner.process(&mut work, Direction::Inverse);
+        for k in 0..n {
+            data[k] = work[k] * self.chirp[k];
+        }
+    }
+
+    fn process(&self, data: &mut [Complex64], direction: Direction) {
+        match direction {
+            Direction::Forward => self.forward(data),
+            Direction::Inverse => {
+                // IDFT(x) = conj(DFT(conj(x)))/n.
+                for z in data.iter_mut() {
+                    *z = z.conj();
+                }
+                self.forward(data);
+                let inv = 1.0 / data.len() as f64;
+                for z in data.iter_mut() {
+                    *z = Complex64::new(z.re * inv, -z.im * inv);
+                }
+            }
+        }
+    }
+}
+
+/// Per-element cost of one butterfly pass of each radix, in arbitrary
+/// throughput units (calibrated so radix-4 ≈ two radix-2 levels and
+/// radix-5 ≈ two radix-2 passes — closer to measured behaviour than raw
+/// flop counts, which overweight the odd radices on memory-bound sizes).
+fn stage_weight(radix: usize) -> f64 {
+    match radix {
+        2 => 5.0,
+        3 => 8.0,
+        4 => 8.5,
+        5 => 10.0,
+        _ => unreachable!(),
+    }
+}
+
+/// Estimated cost of one length-`m` transform under the stage schedule
+/// the planner would build: `m · Σ stage weights`.
+fn plan_cost(m: usize) -> f64 {
+    let stages = factor_stages(m).expect("plan_cost is only called on 5-smooth lengths");
+    m as f64 * stages.iter().map(|&r| stage_weight(r)).sum::<f64>()
+}
+
+/// Cheapest 5-smooth transform length ≥ `n` (and ≥ 1) under the stage
+/// cost model — the mixed-radix replacement for [`next_power_of_two`]
+/// when padding convolutions.
+///
+/// Candidates are every `2^a·3^b·5^c` in `[n, 2·next_power_of_two(n)]`;
+/// ties go to the smaller length (less memory, cheaper spectral
+/// multiplies). The result can be odd (e.g. 75 = 3·5²) — the demag
+/// pipeline and [`fft_real_pair`] handle odd lengths; [`fft_real`]
+/// callers that need the half-length split should round up to even.
+///
+/// ```
+/// use magnum::fft::good_size;
+/// assert_eq!(good_size(320), 320);   // already 5-smooth
+/// assert_eq!(good_size(639), 640);   // 2^7·5, vs 1024 for radix-2
+/// assert_eq!(good_size(1919), 1920); // 2^7·3·5, vs 2048
+/// ```
+pub fn good_size(n: usize) -> usize {
+    let n = n.max(1);
+    if n <= 6 {
+        // 1, 2, 3, 4, 5, 6 are all 5-smooth already.
+        return n;
+    }
+    assert!(n <= u32::MAX as usize, "FFT length too large");
+    let limit = 2 * n.next_power_of_two();
+    let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
+    let mut p5 = 1usize;
+    while p5 <= limit {
+        let mut p35 = p5;
+        while p35 <= limit {
+            // Lift by powers of two to the smallest candidate ≥ n.
+            let mut m = p35;
+            while m < n {
+                m *= 2;
+            }
+            if m <= limit {
+                let cost = plan_cost(m);
+                if cost < best_cost || (cost == best_cost && m < best) {
+                    best = m;
+                    best_cost = cost;
+                }
+            }
+            p35 *= 3;
+        }
+        p5 *= 5;
+    }
+    debug_assert!(best >= n);
+    best
+}
+
+/// In-place FFT of a buffer of any length ≥ 1 (5-smooth lengths run
+/// native mixed-radix stages, others the Bluestein fallback).
 ///
 /// Convenience wrapper that builds a throwaway [`FftPlan`]; hold a plan
 /// when transforming repeatedly.
 ///
 /// # Panics
 ///
-/// Panics if `data.len()` is not a power of two (zero-length included).
+/// Panics if `data` is empty.
 ///
 /// ```
 /// use magnum::fft::{fft_in_place, Direction};
 /// use magnum::Complex64;
-/// let mut data = vec![Complex64::ONE; 4];
+/// let mut data = vec![Complex64::ONE; 12];
 /// fft_in_place(&mut data, Direction::Forward);
-/// assert!((data[0].re - 4.0).abs() < 1e-12); // DC bin
+/// assert!((data[0].re - 12.0).abs() < 1e-12); // DC bin
 /// assert!(data[1].abs() < 1e-12);
 /// ```
 pub fn fft_in_place(data: &mut [Complex64], direction: Direction) {
@@ -161,21 +555,24 @@ pub fn fft_in_place(data: &mut [Complex64], direction: Direction) {
 
 /// Forward FFT of a real signal, returning the full complex spectrum.
 ///
-/// Internally runs a half-length complex transform on the even/odd
-/// packing of the signal (the classic r2c split), so it costs roughly
-/// half of a full complex FFT.
+/// Even lengths run a half-length complex transform on the even/odd
+/// packing of the signal (the classic r2c split), roughly half the cost
+/// of a full complex FFT; odd lengths fall back to a full complex
+/// transform of the zero-imaginary signal.
 ///
 /// # Panics
 ///
-/// Panics if `signal.len()` is not a power of two.
+/// Panics if `signal` is empty.
 pub fn fft_real(signal: &[f64]) -> Vec<Complex64> {
     let n = signal.len();
-    assert!(
-        n.is_power_of_two() && n > 0,
-        "FFT length must be a power of two, got {n}"
-    );
+    assert!(n > 0, "FFT length must be positive");
     if n == 1 {
         return vec![Complex64::new(signal[0], 0.0)];
+    }
+    if n % 2 == 1 {
+        let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        fft_in_place(&mut data, Direction::Forward);
+        return data;
     }
     let half = n / 2;
     // Pack even samples into re, odd samples into im.
@@ -204,20 +601,17 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex64> {
     spectrum
 }
 
-/// Forward FFTs of **two** real signals of equal power-of-two length via
-/// a single complex transform (`a` in the real channel, `b` in the
-/// imaginary channel), returning both full spectra.
+/// Forward FFTs of **two** real signals of equal length via a single
+/// complex transform (`a` in the real channel, `b` in the imaginary
+/// channel), returning both full spectra. Works at any length ≥ 1.
 ///
 /// # Panics
 ///
-/// Panics if the lengths differ or are not a power of two.
+/// Panics if the lengths differ or are zero.
 pub fn fft_real_pair(a: &[f64], b: &[f64]) -> (Vec<Complex64>, Vec<Complex64>) {
     let n = a.len();
     assert_eq!(n, b.len(), "paired real signals must have equal length");
-    assert!(
-        n.is_power_of_two() && n > 0,
-        "FFT length must be a power of two, got {n}"
-    );
+    assert!(n > 0, "FFT length must be positive");
     let mut packed: Vec<Complex64> = a
         .iter()
         .zip(b.iter())
@@ -237,7 +631,9 @@ pub fn fft_real_pair(a: &[f64], b: &[f64]) -> (Vec<Complex64>, Vec<Complex64>) {
     (fa, fb)
 }
 
-/// Smallest power of two ≥ `n` (and ≥ 1).
+/// Smallest power of two ≥ `n` (and ≥ 1). The radix-2-only padding rule;
+/// kept for baselines and callers that genuinely need a power of two —
+/// convolution padding should prefer [`good_size`].
 pub fn next_power_of_two(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
@@ -254,6 +650,9 @@ const TILE: usize = 32;
 /// per-row transform and per-tile copy is independent of the partition,
 /// so results are bitwise identical at any thread count, and no
 /// allocation happens per execution (the caller owns the scratch).
+///
+/// Both axes may be any length ≥ 1 — composite demag paddings from
+/// [`good_size`] run the same code path as the old powers of two.
 #[derive(Debug, Clone)]
 pub struct Fft2Plan {
     nx: usize,
@@ -263,7 +662,7 @@ pub struct Fft2Plan {
 }
 
 impl Fft2Plan {
-    /// Builds a plan for `nx × ny` grids (both powers of two).
+    /// Builds a plan for `nx × ny` grids (any lengths ≥ 1).
     pub fn new(nx: usize, ny: usize) -> Self {
         Fft2Plan {
             nx,
@@ -429,22 +828,17 @@ fn transpose(
     });
 }
 
-/// 2-D FFT over a row-major `nx × ny` buffer (both dimensions powers of
-/// two), transforming rows then columns.
+/// 2-D FFT over a row-major `nx × ny` buffer (any dimensions ≥ 1),
+/// transforming rows then columns.
 ///
 /// Convenience wrapper building a throwaway [`Fft2Plan`] and running
 /// serially; hold a plan (and scratch) when transforming repeatedly.
 ///
 /// # Panics
 ///
-/// Panics if `data.len() != nx * ny` or either dimension is not a power
-/// of two.
+/// Panics if `data.len() != nx * ny` or either dimension is zero.
 pub fn fft2_in_place(data: &mut [Complex64], nx: usize, ny: usize, direction: Direction) {
     assert_eq!(data.len(), nx * ny, "buffer size mismatch");
-    assert!(
-        nx.is_power_of_two() && ny.is_power_of_two(),
-        "dimensions must be powers of two"
-    );
     let plan = Fft2Plan::new(nx, ny);
     let mut scratch = vec![Complex64::ZERO; data.len()];
     plan.process(data, &mut scratch, &WorkerTeam::new(1), direction);
@@ -478,7 +872,7 @@ mod tests {
     }
 
     /// Direct O(N²) DFT with Kahan-compensated accumulation — the
-    /// high-accuracy reference for the twiddle regression test.
+    /// high-accuracy reference for the regression tests.
     fn direct_dft(signal: &[Complex64]) -> Vec<Complex64> {
         let n = signal.len();
         let table: Vec<Complex64> = (0..n)
@@ -503,6 +897,27 @@ mod tests {
                 }
                 Complex64::new(sr, si)
             })
+            .collect()
+    }
+
+    /// Max relative error of `spectrum` against the compensated direct
+    /// DFT of `signal`, normalized by the spectrum's peak magnitude.
+    fn rel_err_vs_direct(signal: &[Complex64], spectrum: &[Complex64]) -> f64 {
+        let reference = direct_dft(signal);
+        let peak = reference.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        assert!(peak > 0.0);
+        spectrum
+            .iter()
+            .zip(reference.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+            / peak
+    }
+
+    fn noise_signal(seed: u64, n: usize) -> Vec<Complex64> {
+        let noise = test_noise(seed, 2 * n);
+        (0..n)
+            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
             .collect()
     }
 
@@ -542,33 +957,16 @@ mod tests {
         // the table-driven plan must agree with a compensated direct DFT
         // to ≤ 5e-15 of the spectrum's peak — a tolerance the old
         // running-product butterfly misses by an order of magnitude (its
-        // recurrence error grows with the stage length: measured 3.9e-14
-        // vs 5.8e-16 for the table on this fixed seed).
+        // recurrence error grows with the stage length).
         let n = 4096;
-        let noise = test_noise(0x5eed, 2 * n);
-        let signal: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
-            .collect();
-        let reference = direct_dft(&signal);
-        let peak = reference.iter().map(|z| z.abs()).fold(0.0, f64::max);
-        assert!(peak > 0.0);
-
-        let max_err = |spectrum: &[Complex64]| {
-            spectrum
-                .iter()
-                .zip(reference.iter())
-                .map(|(a, b)| (*a - *b).abs())
-                .fold(0.0, f64::max)
-                / peak
-        };
-
+        let signal = noise_signal(0x5eed, n);
         let mut table_driven = signal.clone();
         fft_in_place(&mut table_driven, Direction::Forward);
-        let table_err = max_err(&table_driven);
+        let table_err = rel_err_vs_direct(&signal, &table_driven);
 
         let mut running = signal.clone();
         legacy_fft_running_product(&mut running);
-        let legacy_err = max_err(&running);
+        let legacy_err = rel_err_vs_direct(&signal, &running);
 
         let tol = 5e-15; // far tighter than the 1e-9 requirement
         assert!(
@@ -587,20 +985,100 @@ mod tests {
     }
 
     #[test]
+    fn mixed_radix_lengths_match_direct_dft() {
+        // The headline sizes from the demag planner (96 = 2^5·3,
+        // 320 = 2^6·5, 1000 = 2³·5³) plus small composites covering every
+        // radix pairing. ≤ 1e-13 relative error against the compensated
+        // direct DFT, forward and round-trip.
+        for n in [6usize, 10, 12, 15, 20, 24, 45, 60, 96, 320, 1000] {
+            let signal = noise_signal(0xabc + n as u64, n);
+            let mut spectrum = signal.clone();
+            fft_in_place(&mut spectrum, Direction::Forward);
+            let err = rel_err_vs_direct(&signal, &spectrum);
+            assert!(err <= 1e-13, "n={n}: rel err {err:.3e} > 1e-13");
+            fft_in_place(&mut spectrum, Direction::Inverse);
+            for (k, (a, b)) in spectrum.iter().zip(signal.iter()).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-12,
+                    "n={n} round-trip diverged at {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prime_lengths_run_through_bluestein_fallback() {
+        // 127 (the satellite's prime), plus primes straddling radix
+        // boundaries; all must hit ≤ 1e-13 against the direct DFT and
+        // round-trip cleanly even though no radix stage divides them.
+        for n in [7usize, 31, 97, 127, 251] {
+            let plan = FftPlan::new(n);
+            assert!(
+                plan.bluestein.is_some(),
+                "n={n} should use the Bluestein fallback"
+            );
+            let signal = noise_signal(0xdef + n as u64, n);
+            let mut spectrum = signal.clone();
+            plan.process(&mut spectrum, Direction::Forward);
+            let err = rel_err_vs_direct(&signal, &spectrum);
+            assert!(err <= 1e-13, "n={n}: rel err {err:.3e} > 1e-13");
+            plan.process(&mut spectrum, Direction::Inverse);
+            for (k, (a, b)) in spectrum.iter().zip(signal.iter()).enumerate() {
+                assert!(
+                    (*a - *b).abs() < 1e-12,
+                    "n={n} round-trip diverged at {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_lengths_never_use_the_fallback() {
+        for n in [1usize, 2, 3, 4, 5, 8, 9, 25, 30, 320, 640, 1920] {
+            assert!(
+                FftPlan::new(n).bluestein.is_none(),
+                "5-smooth n={n} must run native stages"
+            );
+        }
+    }
+
+    #[test]
+    fn good_size_picks_cheap_composites() {
+        // Already-smooth inputs are returned unchanged.
+        for n in [1usize, 2, 6, 64, 320, 1920] {
+            assert_eq!(good_size(n), n);
+        }
+        // The demag paddings the bench exercises: 2n−1 for n = 320, 960,
+        // 1500 — all far below the power-of-two fallback.
+        assert_eq!(good_size(639), 640); // vs 1024
+        assert_eq!(good_size(1919), 1920); // vs 2048
+        assert_eq!(good_size(2999), 3000); // vs 4096
+                                           // Every result is 5-smooth, ≥ n, and never beyond 2·pow2.
+        for n in [7usize, 11, 65, 97, 127, 257, 1001, 4097] {
+            let m = good_size(n);
+            assert!(m >= n, "good_size({n}) = {m} < n");
+            assert!(
+                factor_stages(m).is_some(),
+                "good_size({n}) = {m} is not 5-smooth"
+            );
+            assert!(m <= 2 * n.next_power_of_two());
+        }
+    }
+
+    #[test]
     fn plan_reuse_matches_free_function() {
-        let noise = test_noise(7, 128);
-        let signal: Vec<Complex64> = (0..64)
-            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
-            .collect();
-        let plan = FftPlan::new(64);
-        let mut a = signal.clone();
-        let mut b = signal;
-        plan.process(&mut a, Direction::Forward);
-        fft_in_place(&mut b, Direction::Forward);
-        assert_eq!(a, b, "plan reuse must be bitwise identical");
-        plan.process(&mut a, Direction::Inverse);
-        fft_in_place(&mut b, Direction::Inverse);
-        assert_eq!(a, b);
+        for n in [64usize, 60] {
+            let signal = noise_signal(7 + n as u64, n);
+            let plan = FftPlan::new(n);
+            let mut a = signal.clone();
+            let mut b = signal;
+            plan.process(&mut a, Direction::Forward);
+            fft_in_place(&mut b, Direction::Forward);
+            assert_eq!(a, b, "plan reuse must be bitwise identical (n={n})");
+            plan.process(&mut a, Direction::Inverse);
+            fft_in_place(&mut b, Direction::Inverse);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]
@@ -614,41 +1092,46 @@ mod tests {
 
     #[test]
     fn impulse_transforms_to_flat_spectrum() {
-        let mut data = vec![Complex64::ZERO; 8];
-        data[0] = Complex64::ONE;
-        fft_in_place(&mut data, Direction::Forward);
-        for z in &data {
-            assert_close(*z, Complex64::ONE, 1e-12);
+        for n in [8usize, 12, 15] {
+            let mut data = vec![Complex64::ZERO; n];
+            data[0] = Complex64::ONE;
+            fft_in_place(&mut data, Direction::Forward);
+            for z in &data {
+                assert_close(*z, Complex64::ONE, 1e-12);
+            }
         }
     }
 
     #[test]
     fn round_trip_recovers_signal() {
-        let original: Vec<Complex64> = (0..16)
-            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
-            .collect();
-        let mut data = original.clone();
-        fft_in_place(&mut data, Direction::Forward);
-        fft_in_place(&mut data, Direction::Inverse);
-        for (a, b) in data.iter().zip(original.iter()) {
-            assert_close(*a, *b, 1e-10);
+        for n in [16usize, 18, 50] {
+            let original: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut data = original.clone();
+            fft_in_place(&mut data, Direction::Forward);
+            fft_in_place(&mut data, Direction::Inverse);
+            for (a, b) in data.iter().zip(original.iter()) {
+                assert_close(*a, *b, 1e-10);
+            }
         }
     }
 
     #[test]
     fn single_tone_lands_in_one_bin() {
-        let n = 64;
-        let k0 = 5;
-        let signal: Vec<f64> = (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
-            .collect();
-        let spectrum = fft_real(&signal);
-        // cos splits into bins k0 and n-k0, each with magnitude n/2.
-        assert!((spectrum[k0].abs() - n as f64 / 2.0).abs() < 1e-9);
-        assert!((spectrum[n - k0].abs() - n as f64 / 2.0).abs() < 1e-9);
-        for (k, z) in spectrum.iter().enumerate() {
-            if k != k0 && k != n - k0 {
-                assert!(z.abs() < 1e-9, "leakage in bin {k}: {}", z.abs());
+        for n in [64usize, 96] {
+            let k0 = 5;
+            let signal: Vec<f64> = (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+                .collect();
+            let spectrum = fft_real(&signal);
+            // cos splits into bins k0 and n-k0, each with magnitude n/2.
+            assert!((spectrum[k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+            assert!((spectrum[n - k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+            for (k, z) in spectrum.iter().enumerate() {
+                if k != k0 && k != n - k0 {
+                    assert!(z.abs() < 1e-9, "n={n} leakage in bin {k}: {}", z.abs());
+                }
             }
         }
     }
@@ -666,8 +1149,9 @@ mod tests {
     #[test]
     fn fft_real_matches_complex_transform() {
         // The r2c half-length split must agree with transforming the
-        // signal as complex data with a zero imaginary channel.
-        for n in [1usize, 2, 4, 64, 256] {
+        // signal as complex data with a zero imaginary channel — at
+        // powers of two, composites, and odd lengths (full-complex path).
+        for n in [1usize, 2, 4, 64, 96, 256, 320, 27, 45] {
             let signal = test_noise(42 + n as u64, n);
             let spectrum = fft_real(&signal);
             let mut complex: Vec<Complex64> =
@@ -685,7 +1169,7 @@ mod tests {
 
     #[test]
     fn fft_real_pair_matches_two_complex_transforms() {
-        for n in [2usize, 8, 128] {
+        for n in [2usize, 8, 128, 96, 45] {
             let a = test_noise(1000 + n as u64, n);
             let b = test_noise(2000 + n as u64, n);
             let (fa, fb) = fft_real_pair(&a, &b);
@@ -713,26 +1197,27 @@ mod tests {
 
     #[test]
     fn fft_real_pair_round_trips_through_inverse() {
-        let n = 64;
-        let a = test_noise(31, n);
-        let b = test_noise(33, n);
-        let (fa, fb) = fft_real_pair(&a, &b);
-        // Repack Hx + i·Hy and invert: re must recover a, im must
-        // recover b — exactly the packing the demag pipeline relies on.
-        let mut packed: Vec<Complex64> = (0..n)
-            .map(|k| Complex64::new(fa[k].re - fb[k].im, fa[k].im + fb[k].re))
-            .collect();
-        fft_in_place(&mut packed, Direction::Inverse);
-        for i in 0..n {
-            assert!((packed[i].re - a[i]).abs() < 1e-12, "re channel at {i}");
-            assert!((packed[i].im - b[i]).abs() < 1e-12, "im channel at {i}");
+        for n in [64usize, 60] {
+            let a = test_noise(31, n);
+            let b = test_noise(33, n);
+            let (fa, fb) = fft_real_pair(&a, &b);
+            // Repack Hx + i·Hy and invert: re must recover a, im must
+            // recover b — exactly the packing the demag pipeline relies on.
+            let mut packed: Vec<Complex64> = (0..n)
+                .map(|k| Complex64::new(fa[k].re - fb[k].im, fa[k].im + fb[k].re))
+                .collect();
+            fft_in_place(&mut packed, Direction::Inverse);
+            for i in 0..n {
+                assert!((packed[i].re - a[i]).abs() < 1e-12, "re channel at {i}");
+                assert!((packed[i].im - b[i]).abs() < 1e-12, "im channel at {i}");
+            }
         }
     }
 
     #[test]
     fn linearity() {
-        let a: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..8)
+        let a: Vec<Complex64> = (0..12).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> = (0..12)
             .map(|i| Complex64::new(0.0, (i as f64).cos()))
             .collect();
         let mut fa = a.clone();
@@ -741,15 +1226,15 @@ mod tests {
         fft_in_place(&mut fa, Direction::Forward);
         fft_in_place(&mut fb, Direction::Forward);
         fft_in_place(&mut fab, Direction::Forward);
-        for i in 0..8 {
+        for i in 0..12 {
             assert_close(fab[i], fa[i] + fb[i], 1e-10);
         }
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn rejects_non_power_of_two() {
-        let mut data = vec![Complex64::ZERO; 12];
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_length() {
+        let mut data: Vec<Complex64> = Vec::new();
         fft_in_place(&mut data, Direction::Forward);
     }
 
@@ -764,16 +1249,16 @@ mod tests {
 
     #[test]
     fn fft2_round_trip() {
-        let nx = 8;
-        let ny = 4;
-        let original: Vec<Complex64> = (0..nx * ny)
-            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
-            .collect();
-        let mut data = original.clone();
-        fft2_in_place(&mut data, nx, ny, Direction::Forward);
-        fft2_in_place(&mut data, nx, ny, Direction::Inverse);
-        for (a, b) in data.iter().zip(original.iter()) {
-            assert_close(*a, *b, 1e-10);
+        for (nx, ny) in [(8usize, 4usize), (12, 10)] {
+            let original: Vec<Complex64> = (0..nx * ny)
+                .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
+                .collect();
+            let mut data = original.clone();
+            fft2_in_place(&mut data, nx, ny, Direction::Forward);
+            fft2_in_place(&mut data, nx, ny, Direction::Inverse);
+            for (a, b) in data.iter().zip(original.iter()) {
+                assert_close(*a, *b, 1e-10);
+            }
         }
     }
 
@@ -792,68 +1277,61 @@ mod tests {
     #[test]
     fn fft2_matches_row_column_composition() {
         // The transpose-based plan must agree with the naive row-then-
-        // column definition (which is what the old implementation did).
-        let nx = 16;
-        let ny = 8;
-        let noise = test_noise(77, 2 * nx * ny);
-        let original: Vec<Complex64> = (0..nx * ny)
-            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
-            .collect();
-        let mut fast = original.clone();
-        fft2_in_place(&mut fast, nx, ny, Direction::Forward);
-        // Naive reference: rows in place, then each column gathered,
-        // transformed, scattered.
-        let mut slow = original;
-        for row in slow.chunks_mut(nx) {
-            fft_in_place(row, Direction::Forward);
-        }
-        let mut column = vec![Complex64::ZERO; ny];
-        for ix in 0..nx {
-            for iy in 0..ny {
-                column[iy] = slow[iy * nx + ix];
+        // column definition — including at composite dimensions.
+        for (nx, ny) in [(16usize, 8usize), (12, 6), (20, 15)] {
+            let noise = test_noise(77, 2 * nx * ny);
+            let original: Vec<Complex64> = (0..nx * ny)
+                .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
+                .collect();
+            let mut fast = original.clone();
+            fft2_in_place(&mut fast, nx, ny, Direction::Forward);
+            // Naive reference: rows in place, then each column gathered,
+            // transformed, scattered.
+            let mut slow = original;
+            for row in slow.chunks_mut(nx) {
+                fft_in_place(row, Direction::Forward);
             }
-            fft_in_place(&mut column, Direction::Forward);
-            for iy in 0..ny {
-                slow[iy * nx + ix] = column[iy];
+            let mut column = vec![Complex64::ZERO; ny];
+            for ix in 0..nx {
+                for iy in 0..ny {
+                    column[iy] = slow[iy * nx + ix];
+                }
+                fft_in_place(&mut column, Direction::Forward);
+                for iy in 0..ny {
+                    slow[iy * nx + ix] = column[iy];
+                }
             }
-        }
-        for (k, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
-            assert_close(*a, *b, 1e-12);
-            let _ = k;
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert_close(*a, *b, 1e-12);
+            }
         }
     }
 
     #[test]
     fn fft2_plan_is_bitwise_identical_across_thread_counts() {
-        let nx = 32;
-        let ny = 16;
-        let noise = test_noise(99, 2 * nx * ny);
-        let original: Vec<Complex64> = (0..nx * ny)
-            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
-            .collect();
-        let plan = Fft2Plan::new(nx, ny);
-        let mut scratch = vec![Complex64::ZERO; nx * ny];
-        let mut serial = original.clone();
-        plan.process(
-            &mut serial,
-            &mut scratch,
-            &WorkerTeam::new(1),
-            Direction::Forward,
-        );
-        for threads in [2, 3, 4, 7] {
-            let team = WorkerTeam::new(threads);
-            let mut parallel = original.clone();
-            plan.process(&mut parallel, &mut scratch, &team, Direction::Forward);
-            assert_eq!(serial, parallel, "2-D FFT diverged at {threads} threads");
-            plan.process(&mut parallel, &mut scratch, &team, Direction::Inverse);
-            let mut round = original.clone();
+        for (nx, ny) in [(32usize, 16usize), (24, 18)] {
+            let noise = test_noise(99, 2 * nx * ny);
+            let original: Vec<Complex64> = (0..nx * ny)
+                .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
+                .collect();
+            let plan = Fft2Plan::new(nx, ny);
+            let mut scratch = vec![Complex64::ZERO; nx * ny];
+            let mut serial = original.clone();
             plan.process(
-                &mut round,
+                &mut serial,
                 &mut scratch,
                 &WorkerTeam::new(1),
-                Direction::Inverse,
+                Direction::Forward,
             );
-            let _ = round;
+            for threads in [2, 3, 4, 7] {
+                let team = WorkerTeam::new(threads);
+                let mut parallel = original.clone();
+                plan.process(&mut parallel, &mut scratch, &team, Direction::Forward);
+                assert_eq!(
+                    serial, parallel,
+                    "2-D FFT diverged at {threads} threads ({nx}×{ny})"
+                );
+            }
         }
     }
 
@@ -861,73 +1339,70 @@ mod tests {
     fn process_padded_matches_full_forward_on_zero_padded_input() {
         // A grid whose top half is zero (the convolution layout): the
         // row-skipping forward must agree with the full transform.
-        let nx = 16;
-        let ny = 8;
-        let data_rows = 3;
-        let noise = test_noise(31, 2 * nx * data_rows);
-        let mut original = vec![Complex64::ZERO; nx * ny];
-        for i in 0..nx * data_rows {
-            original[i] = Complex64::new(noise[2 * i], noise[2 * i + 1]);
+        for (nx, ny, data_rows) in [(16usize, 8usize, 3usize), (12, 6, 2)] {
+            let noise = test_noise(31, 2 * nx * data_rows);
+            let mut original = vec![Complex64::ZERO; nx * ny];
+            for i in 0..nx * data_rows {
+                original[i] = Complex64::new(noise[2 * i], noise[2 * i + 1]);
+            }
+            let plan = Fft2Plan::new(nx, ny);
+            let team = WorkerTeam::new(1);
+            let mut scratch = vec![Complex64::ZERO; nx * ny];
+            let mut full = original.clone();
+            plan.process(&mut full, &mut scratch, &team, Direction::Forward);
+            let mut padded = original;
+            plan.process_padded(&mut padded, &mut scratch, &team, data_rows);
+            assert_eq!(full, padded, "padded forward diverged from full forward");
         }
-        let plan = Fft2Plan::new(nx, ny);
-        let team = WorkerTeam::new(1);
-        let mut scratch = vec![Complex64::ZERO; nx * ny];
-        let mut full = original.clone();
-        plan.process(&mut full, &mut scratch, &team, Direction::Forward);
-        let mut padded = original;
-        plan.process_padded(&mut padded, &mut scratch, &team, data_rows);
-        assert_eq!(full, padded, "padded forward diverged from full forward");
     }
 
     #[test]
     fn process_truncated_matches_full_inverse_on_requested_rows() {
         // The truncated inverse runs columns before rows, so it agrees
         // with the full inverse to rounding on the rows it produces.
-        let nx = 16;
-        let ny = 8;
-        let out_rows = 3;
-        let noise = test_noise(57, 2 * nx * ny);
-        let spectrum: Vec<Complex64> = (0..nx * ny)
-            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
-            .collect();
-        let plan = Fft2Plan::new(nx, ny);
-        let team = WorkerTeam::new(1);
-        let mut scratch = vec![Complex64::ZERO; nx * ny];
-        let mut full = spectrum.clone();
-        plan.process(&mut full, &mut scratch, &team, Direction::Inverse);
-        let mut truncated = spectrum;
-        plan.process_truncated(&mut truncated, &mut scratch, &team, out_rows);
-        for i in 0..nx * out_rows {
-            assert_close(truncated[i], full[i], 1e-12);
+        for (nx, ny, out_rows) in [(16usize, 8usize, 3usize), (10, 6, 2)] {
+            let noise = test_noise(57, 2 * nx * ny);
+            let spectrum: Vec<Complex64> = (0..nx * ny)
+                .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
+                .collect();
+            let plan = Fft2Plan::new(nx, ny);
+            let team = WorkerTeam::new(1);
+            let mut scratch = vec![Complex64::ZERO; nx * ny];
+            let mut full = spectrum.clone();
+            plan.process(&mut full, &mut scratch, &team, Direction::Inverse);
+            let mut truncated = spectrum;
+            plan.process_truncated(&mut truncated, &mut scratch, &team, out_rows);
+            for i in 0..nx * out_rows {
+                assert_close(truncated[i], full[i], 1e-12);
+            }
         }
     }
 
     #[test]
     fn padded_and_truncated_are_bitwise_identical_across_thread_counts() {
-        let nx = 32;
-        let ny = 16;
-        let data_rows = 7;
-        let noise = test_noise(41, 2 * nx * data_rows);
-        let mut original = vec![Complex64::ZERO; nx * ny];
-        for i in 0..nx * data_rows {
-            original[i] = Complex64::new(noise[2 * i], noise[2 * i + 1]);
-        }
-        let plan = Fft2Plan::new(nx, ny);
-        let mut scratch = vec![Complex64::ZERO; nx * ny];
-        let mut serial = original.clone();
-        let team1 = WorkerTeam::new(1);
-        plan.process_padded(&mut serial, &mut scratch, &team1, data_rows);
-        plan.process_truncated(&mut serial, &mut scratch, &team1, data_rows);
-        for threads in [2, 3, 4, 7] {
-            let team = WorkerTeam::new(threads);
-            let mut parallel = original.clone();
-            plan.process_padded(&mut parallel, &mut scratch, &team, data_rows);
-            plan.process_truncated(&mut parallel, &mut scratch, &team, data_rows);
-            assert_eq!(
-                serial[..nx * data_rows],
-                parallel[..nx * data_rows],
-                "padded/truncated pipeline diverged at {threads} threads"
-            );
+        for (nx, ny, data_rows) in [(32usize, 16usize, 7usize), (24, 12, 5)] {
+            let noise = test_noise(41, 2 * nx * data_rows);
+            let mut original = vec![Complex64::ZERO; nx * ny];
+            for i in 0..nx * data_rows {
+                original[i] = Complex64::new(noise[2 * i], noise[2 * i + 1]);
+            }
+            let plan = Fft2Plan::new(nx, ny);
+            let mut scratch = vec![Complex64::ZERO; nx * ny];
+            let mut serial = original.clone();
+            let team1 = WorkerTeam::new(1);
+            plan.process_padded(&mut serial, &mut scratch, &team1, data_rows);
+            plan.process_truncated(&mut serial, &mut scratch, &team1, data_rows);
+            for threads in [2, 3, 4, 7] {
+                let team = WorkerTeam::new(threads);
+                let mut parallel = original.clone();
+                plan.process_padded(&mut parallel, &mut scratch, &team, data_rows);
+                plan.process_truncated(&mut parallel, &mut scratch, &team, data_rows);
+                assert_eq!(
+                    serial[..nx * data_rows],
+                    parallel[..nx * data_rows],
+                    "padded/truncated pipeline diverged at {threads} threads"
+                );
+            }
         }
     }
 

@@ -13,15 +13,23 @@
 //!
 //! ## Real-spectrum convolution pipeline
 //!
+//! The padded grid is chosen by [`crate::fft::good_size`]: the cheapest
+//! 5-smooth length ≥ `2n − 1` per axis (see [`PadPolicy`]), which is
+//! exactly the aliasing-free minimum for a linear convolution — every
+//! physical displacement `|Δ| ≤ n − 1` has a unique wrapped kernel
+//! entry. At awkward grid sizes this cuts the padded area by up to
+//! ~2.5× against the old power-of-two padding.
+//!
 //! The Newell kernels are symmetric in real space — `Kxx/Kyy/Kzz` are
 //! even in both offsets, `Kxy` is odd in each but even under full
-//! inversion — so their 2-D DFTs are purely real. (The `Kxy` Nyquist rows
-//! `jx = px/2` / `jy = py/2` are the one exception: they map to
-//! themselves under inversion while the function is odd across them.
-//! Those kernel entries only ever influence the discarded padding region
-//! — every physical output–input displacement satisfies
+//! inversion — so their 2-D DFTs are purely real. (At even padded sizes
+//! the `Kxy` Nyquist rows `2jx = px` / `2jy = py` are the one exception:
+//! they map to themselves under inversion while the function is odd
+//! across them. Those kernel entries only ever influence the discarded
+//! padding region — every physical output–input displacement satisfies
 //! `|Δ| ≤ n−1 < p/2` — so they are zeroed before the transform, making
-//! the spectrum exactly real without changing the physical field.)
+//! the spectrum exactly real without changing the physical field. Odd
+//! padded sizes have no self-paired line, so nothing is zeroed.)
 //!
 //! Storing the spectra as `Vec<f64>` halves the kernel memory and turns
 //! the spectral multiply into real×complex products. Each evaluation then
@@ -43,7 +51,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use super::{FieldTerm, FusedTerm};
-use crate::fft::{next_power_of_two, Direction, Fft2Plan};
+use crate::fft::{good_size, next_power_of_two, Direction, Fft2Plan};
 use crate::field3::Field3;
 use crate::material::Material;
 use crate::math::{Complex64, Vec3};
@@ -61,6 +69,33 @@ pub enum DemagMethod {
     ThinFilmLocal,
     /// Full non-local Newell-tensor convolution via FFT.
     NewellFft,
+}
+
+/// How [`NewellDemag`] pads each axis for the linear convolution.
+///
+/// Both policies are aliasing-free; they differ only in which transform
+/// lengths they allow. Distinct policies over the same mesh generally
+/// produce distinct padded grids, and therefore distinct entries in the
+/// process-wide kernel-spectrum cache (the key leads with `(px, py)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PadPolicy {
+    /// Cheapest 5-smooth length ≥ `2n − 1` via [`good_size`] — the
+    /// mixed-radix default, up to ~2.5× less padded area in 2-D.
+    #[default]
+    GoodSize,
+    /// Smallest power of two ≥ `2n` — the radix-2-only rule, kept as the
+    /// baseline for benchmarks and ablation.
+    PowerOfTwo,
+}
+
+impl PadPolicy {
+    /// Padded transform length for a physical axis of `n` cells.
+    pub fn pad(self, n: usize) -> usize {
+        match self {
+            PadPolicy::GoodSize => good_size(2 * n - 1),
+            PadPolicy::PowerOfTwo => next_power_of_two(2 * n),
+        }
+    }
 }
 
 /// Local thin-film demagnetizing field (see [`DemagMethod::ThinFilmLocal`]).
@@ -114,10 +149,6 @@ pub struct NewellDemag {
     /// in-process cache; see module docs for why they are exactly real.
     spectra: Arc<KernelSpectra>,
     plan: Fft2Plan,
-    /// Scratch for the thread-safe reference path ([`FieldTerm::accumulate`],
-    /// used by energy accounting and probes). The hot path threads its own
-    /// lock-free scratch through [`FieldTerm::accumulate_par`].
-    fallback: Mutex<DemagScratch>,
 }
 
 /// Working buffers for one convolution, sized to the padded grid.
@@ -222,10 +253,23 @@ impl NewellDemag {
     /// same geometry (batch sweeps) share one table; only the FFT plan and
     /// scratch buffers are per-instance.
     pub fn new_with_team(mesh: &Mesh, material: &Material, team: &WorkerTeam) -> Self {
+        Self::with_padding(mesh, material, team, PadPolicy::default())
+    }
+
+    /// Like [`NewellDemag::new_with_team`], with an explicit padding
+    /// policy. [`PadPolicy::PowerOfTwo`] reproduces the radix-2-only
+    /// padded grids — the baseline the `--bigfft` bench measures the
+    /// mixed-radix speedup against.
+    pub fn with_padding(
+        mesh: &Mesh,
+        material: &Material,
+        team: &WorkerTeam,
+        policy: PadPolicy,
+    ) -> Self {
         let nx = mesh.nx();
         let ny = mesh.ny();
-        let px = next_power_of_two(2 * nx);
-        let py = next_power_of_two(2 * ny);
+        let px = policy.pad(nx);
+        let py = policy.pad(ny);
         let plan = Fft2Plan::new(px, py);
         let spectra = cached_spectra(px, py, mesh.cell_size(), &plan, team);
         NewellDemag {
@@ -237,8 +281,12 @@ impl NewellDemag {
             mask: mesh.mask().to_vec(),
             spectra,
             plan,
-            fallback: Mutex::new(DemagScratch::new(px * py)),
         }
+    }
+
+    /// Padded transform dimensions `(px, py)` this instance convolves on.
+    pub fn padded_dims(&self) -> (usize, usize) {
+        (self.px, self.py)
     }
 
     /// Self-demagnetization factors `(Nxx, Nyy, Nzz)` of a single cell —
@@ -508,12 +556,16 @@ fn kernel_spectra(
                         -newell_nxx(x, y, 0.0, dx, dy, dz),
                         -newell_nxx(y, x, 0.0, dy, dx, dz),
                         -newell_nxx(0.0, y, x, dz, dy, dx),
-                        if ox == 0 || oy == 0 || jx == px / 2 || jy == py / 2 {
+                        if ox == 0 || oy == 0 || 2 * jx == px || 2 * jy == py {
                             // Kxy is odd per axis: it vanishes identically
-                            // on the axes, and the Nyquist lines (odd
-                            // across a self-inverse coordinate, never
-                            // reaching the physical output region) are
-                            // zeroed to keep the spectrum exactly real.
+                            // on the axes, and at even padded sizes the
+                            // Nyquist lines 2j = p (odd across a
+                            // self-inverse coordinate, never reaching the
+                            // physical output region) are zeroed to keep
+                            // the spectrum exactly real. `2j == p` rather
+                            // than `j == p/2`: at odd sizes the rounded
+                            // half-index is an ordinary mirrored column
+                            // and must keep its kernel value.
                             0.0
                         } else {
                             let sign = (ox.signum() * oy.signum()) as f64;
@@ -552,7 +604,11 @@ impl FieldTerm for NewellDemag {
     }
 
     fn accumulate(&self, m: &[Vec3], _t: f64, h: &mut [Vec3]) {
-        let mut scratch = self.fallback.lock().expect("demag scratch poisoned");
+        // Cold reference path (tests, effective_field probes): allocate
+        // per call instead of sharing a locked buffer — keeps the term
+        // free of interior mutability. Energy accounting goes through
+        // `accumulate_par` with the system-owned scratch instead.
+        let mut scratch = DemagScratch::new(self.px * self.py);
         self.convolve(m, h, &WorkerTeam::new(1), &mut scratch);
     }
 
@@ -571,10 +627,10 @@ impl FieldTerm for NewellDemag {
         match scratch.and_then(|s| s.downcast_mut::<DemagScratch>()) {
             Some(s) => self.convolve_planes(m, h, team, s),
             None => {
-                // No caller-provided scratch: fall back to the shared
-                // (locked) buffers but stay on the planar path — no AoS
-                // round trip.
-                let mut s = self.fallback.lock().expect("demag scratch poisoned");
+                // No caller-provided scratch: allocate one for this call
+                // but stay on the planar path — no AoS round trip. Hot
+                // paths always pass the system-owned scratch.
+                let mut s = DemagScratch::new(self.px * self.py);
                 self.convolve_planes(m, h, team, &mut s);
             }
         }
@@ -800,6 +856,106 @@ mod tests {
         let (other, _) = film_setup(20, 4);
         let c = NewellDemag::new(&other, &mat);
         assert!(!Arc::ptr_eq(&a.spectra, &c.spectra));
+    }
+
+    #[test]
+    fn padding_policies_use_distinct_cache_entries_and_agree() {
+        // Same mesh, two padding policies: the padded grids differ
+        // (40×8 vs 64×16 here), so the cache must hand out two distinct
+        // kernel tables — a collision would apply a 64-point spectrum to
+        // a 40-point grid. The physical fields still agree to rounding.
+        let (mesh, mat) = film_setup(20, 5);
+        let good = NewellDemag::with_padding(&mesh, &mat, &WorkerTeam::new(1), PadPolicy::GoodSize);
+        let pow2 =
+            NewellDemag::with_padding(&mesh, &mat, &WorkerTeam::new(1), PadPolicy::PowerOfTwo);
+        assert_ne!(good.padded_dims(), pow2.padded_dims());
+        assert_eq!(pow2.padded_dims(), (64, 16));
+        assert!(
+            !Arc::ptr_eq(&good.spectra, &pow2.spectra),
+            "different padded grids must not share a cache entry"
+        );
+        let n = mesh.cell_count();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new((0.4 * i as f64).sin(), 0.3, (0.2 * i as f64).cos()).normalized())
+            .collect();
+        let ms = mat.saturation_magnetization();
+        let mut ha = vec![Vec3::ZERO; n];
+        let mut hb = vec![Vec3::ZERO; n];
+        good.accumulate(&m, 0.0, &mut ha);
+        pow2.accumulate(&m, 0.0, &mut hb);
+        for i in 0..n {
+            let err = (ha[i] - hb[i]).norm() / ms;
+            assert!(err < 1e-12, "cell {i}: policies diverged by {err:e}");
+        }
+    }
+
+    #[test]
+    fn odd_padded_grid_matches_direct_newell_sum() {
+        // An 8×8 mesh pads to 15×15 under good_size (2·8−1 = 15 = 3·5):
+        // both axes odd, exercising the wrap offsets, the `2j == p`
+        // Nyquist guard (no line may be zeroed at odd sizes) and the
+        // conjugate-pair spectral multiply away from powers of two.
+        let (mesh, mat) = film_setup(8, 8);
+        let demag = NewellDemag::new(&mesh, &mat);
+        assert_eq!(demag.padded_dims(), (15, 15), "expected odd padding");
+        let n = mesh.cell_count();
+        let ms = mat.saturation_magnetization();
+        let [dx, dy, dz] = mesh.cell_size();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new(0.3, (0.5 * i as f64).sin(), 0.7 + 0.01 * i as f64).normalized())
+            .collect();
+        let mut fft_field = vec![Vec3::ZERO; n];
+        demag.accumulate(&m, 0.0, &mut fft_field);
+        for iy in 0..mesh.ny() {
+            for ix in 0..mesh.nx() {
+                let i = iy * mesh.nx() + ix;
+                let mut direct = Vec3::ZERO;
+                for jy in 0..mesh.ny() {
+                    for jx in 0..mesh.nx() {
+                        let j = jy * mesh.nx() + jx;
+                        let x = (ix as isize - jx as isize) as f64 * dx;
+                        let y = (iy as isize - jy as isize) as f64 * dy;
+                        let nxx = newell_nxx(x, y, 0.0, dx, dy, dz);
+                        let nyy = newell_nxx(y, x, 0.0, dy, dx, dz);
+                        let nzz = newell_nxx(0.0, y, x, dz, dy, dx);
+                        let nxy = newell_nxy(x, y, 0.0, dx, dy, dz);
+                        let mj = m[j] * ms;
+                        direct += Vec3::new(
+                            -(nxx * mj.x + nxy * mj.y),
+                            -(nxy * mj.x + nyy * mj.y),
+                            -nzz * mj.z,
+                        );
+                    }
+                }
+                let err = (fft_field[i] - direct).norm() / ms;
+                assert!(
+                    err < 1e-12,
+                    "cell ({ix},{iy}): FFT {:?} vs direct {direct:?} (err {err:e})",
+                    fft_field[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_padded_spectra_are_real() {
+        // The purely-real-spectrum property must survive odd padded
+        // sizes: 8×5 pads to 15×9.
+        let (mesh, _) = film_setup(8, 5);
+        let px = PadPolicy::GoodSize.pad(mesh.nx());
+        let py = PadPolicy::GoodSize.pad(mesh.ny());
+        assert_eq!((px, py), (15, 9));
+        let plan = Fft2Plan::new(px, py);
+        let spectra = kernel_spectra(px, py, mesh.cell_size(), &plan, &WorkerTeam::new(1));
+        for (name, k) in ["Kxx", "Kyy", "Kzz", "Kxy"].iter().zip(&spectra) {
+            let max_re = k.iter().map(|z| z.re.abs()).fold(0.0, f64::max);
+            let max_im = k.iter().map(|z| z.im.abs()).fold(0.0, f64::max);
+            assert!(
+                max_im <= 1e-12 * max_re,
+                "{name} spectrum is not real at odd padding: \
+                 max |Im| = {max_im:e}, max |Re| = {max_re:e}"
+            );
+        }
     }
 
     #[test]

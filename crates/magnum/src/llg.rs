@@ -1770,11 +1770,38 @@ impl LlgSystem {
     }
 
     /// Sum of the energies of all conservative field terms, in joules.
-    pub fn energy(&self, m: &[Vec3], t: f64, ms: f64, cell_volume: f64) -> f64 {
-        self.terms
-            .iter()
-            .map(|term| term.energy(m, t, ms, cell_volume))
-            .sum()
+    ///
+    /// Each term's field is evaluated through `accumulate_par` with the
+    /// worker team and the system-owned per-term scratch — the same
+    /// lock-free path the integrator uses, so the demag term needs no
+    /// shared fallback buffer. The per-cell arithmetic (and the serial
+    /// dot-product reduction) matches the reference
+    /// [`FieldTerm::energy`] exactly, so the value is bitwise unchanged.
+    pub fn energy(&mut self, m: &Field3, t: f64, ms: f64, cell_volume: f64) -> f64 {
+        let n = m.len();
+        let mut h = Field3::zeros(n);
+        let LlgSystem {
+            terms,
+            term_scratch,
+            team,
+            ..
+        } = self;
+        let (mx, my, mz) = (m.xs(), m.ys(), m.zs());
+        let mut total = 0.0;
+        for (term, scratch) in terms.iter().zip(term_scratch.iter_mut()) {
+            h.fill(Vec3::ZERO);
+            let s = scratch
+                .as_mut()
+                .map(|s| &mut **s as &mut (dyn std::any::Any + Send + Sync));
+            term.accumulate_par(m, t, &mut h, team, s);
+            let (hx, hy, hz) = (h.xs(), h.ys(), h.zs());
+            let mut dot = 0.0;
+            for i in 0..n {
+                dot += mx[i] * hx[i] + my[i] * hy[i] + mz[i] * hz[i];
+            }
+            total += -term.energy_prefactor() * crate::MU0 * ms * cell_volume * dot;
+        }
+        total
     }
 }
 

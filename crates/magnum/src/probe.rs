@@ -8,7 +8,7 @@
 //! component at the drive frequency — exactly what [`DftProbe`]
 //! accumulates on the fly, without storing the whole time trace.
 
-use crate::fft::{fft_real, next_power_of_two};
+use crate::fft::{fft_real, good_size};
 use crate::field3::MagRead;
 use crate::math::{Complex64, Vec3};
 use crate::mesh::Mesh;
@@ -223,13 +223,22 @@ impl SpectrumProbe {
 
     /// One-sided amplitude spectrum as `(frequency_hz, peak_amplitude)`
     /// pairs for bins `0..=n/2`, where `n` is the trace length zero-padded
-    /// to the next power of two. Amplitudes are scaled so a pure sinusoid
-    /// landing on a bin reports its peak amplitude.
+    /// to the cheapest even 5-smooth FFT length (mixed-radix
+    /// [`good_size`] — finer frequency resolution than the old
+    /// power-of-two padding at the same or lower cost). Amplitudes are
+    /// scaled so a pure sinusoid landing on a bin reports its peak
+    /// amplitude.
     pub fn spectrum(&self) -> Vec<(f64, f64)> {
         if self.trace.is_empty() {
             return Vec::new();
         }
-        let n = next_power_of_two(self.trace.len());
+        // Even length: the one-sided bin set 0..=n/2 ends on a real
+        // Nyquist bin (the halved-amplitude scaling below relies on it)
+        // and `fft_real` keeps its half-length split.
+        let mut n = good_size(self.trace.len());
+        while n % 2 == 1 {
+            n = good_size(n + 1);
+        }
         let mut padded = self.trace.clone();
         padded.resize(n, 0.0);
         let bins = fft_real(&padded);
@@ -484,16 +493,33 @@ mod tests {
         }
         assert_eq!(probe.sample_count(), 100);
         let spec = probe.spectrum();
-        // Padded to 128 bins → 65 one-sided entries at df = 1/(128 dt).
-        assert_eq!(spec.len(), 65);
-        assert!((spec[1].0 - 1.0 / (128.0 * dt)).abs() < 1.0);
-        // A constant signal is pure DC: amplitude 2·(100/128)/2 scaled by
-        // the trace-length normalization = 1 at bin 0.
+        // 100 = 2²·5² is already a good mixed-radix length: no padding
+        // (the old radix-2 engine had to stretch to 128), so 51 one-sided
+        // entries at df = 1/(100 dt).
+        assert_eq!(spec.len(), 51);
+        assert!((spec[1].0 - 1.0 / (100.0 * dt)).abs() < 1.0);
+        // A constant signal is pure DC: amplitude 1 at bin 0.
         assert!((spec[0].1 - 1.0).abs() < 1e-12, "DC bin {}", spec[0].1);
         probe.reset();
         assert_eq!(probe.sample_count(), 0);
         assert!(probe.spectrum().is_empty());
         assert!(probe.dominant().is_none());
+    }
+
+    #[test]
+    fn spectrum_probe_rounds_odd_good_sizes_up_to_even() {
+        // 74 samples: good_size(74) = 75 is odd, which has no Nyquist
+        // bin; the probe must keep rounding up (to 80) so the one-sided
+        // spectrum keeps its real top bin and the r2c split stays legal.
+        let dt = 1e-12;
+        let mut probe = SpectrumProbe::new(RegionProbe::new(vec![0], Component::Z), dt);
+        for _ in 0..74 {
+            probe.sample(&[Vec3::Z]);
+        }
+        let spec = probe.spectrum();
+        assert_eq!(spec.len(), 41); // 80/2 + 1
+        assert!((spec[1].0 - 1.0 / (80.0 * dt)).abs() < 1.0);
+        assert!((spec[0].1 - 1.0).abs() < 1e-12, "DC bin {}", spec[0].1);
     }
 
     #[test]

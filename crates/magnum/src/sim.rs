@@ -266,11 +266,13 @@ impl Simulation {
     }
 
     /// Total energy of the conservative field terms, in joules.
-    pub fn total_energy(&self) -> f64 {
-        // Diagnostics path: the one AoS copy here keeps every term's
-        // reference `accumulate` usable for energy accounting.
+    ///
+    /// Takes `&mut self` because the evaluation reuses the system-owned
+    /// per-term scratch (the same buffers the integrator threads through
+    /// `accumulate_par`), instead of a locked fallback.
+    pub fn total_energy(&mut self) -> f64 {
         self.system.energy(
-            &self.m.to_vec(),
+            &self.m,
             self.time,
             self.material.saturation_magnetization(),
             self.mesh.cell_volume(),
@@ -771,6 +773,30 @@ mod tests {
         sim.run(50e-12).unwrap();
         let e1 = sim.total_energy();
         assert!(e1 < e0, "energy should decrease: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn scratch_based_energy_matches_per_term_reference() {
+        // `total_energy` runs each term through `accumulate_par` with the
+        // system-owned scratch; the value must be bitwise identical to
+        // the reference per-term `FieldTerm::energy` sum — including the
+        // FFT demag, which used to go through a locked fallback buffer.
+        let mut sim = fecob_strip(9, 5)
+            .demag(DemagMethod::NewellFft)
+            .uniform_magnetization(Vec3::new(0.4, 0.2, 1.0))
+            .build()
+            .unwrap();
+        let ms = sim.material().saturation_magnetization();
+        let v = sim.mesh().cell_volume();
+        let m = sim.magnetization().to_vec();
+        let t = sim.time();
+        let reference: f64 = sim
+            .system
+            .terms
+            .iter()
+            .map(|term| term.energy(&m, t, ms, v))
+            .sum();
+        assert_eq!(sim.total_energy(), reference);
     }
 
     #[test]

@@ -112,6 +112,47 @@ fn newell_fft_demag_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn composite_padded_demag_is_bitwise_identical_across_thread_counts() {
+    // A 20×13 film pads to a 40×25 transform under the good-size planner:
+    // radix-4/-2/-5 stages on x and a pure radix-5 odd length on y. The
+    // mixed-radix engine must keep the same determinism contract as the
+    // old radix-2 path — identical trajectories at any thread count.
+    let run = |threads: usize| {
+        let mesh = Mesh::new(20, 13, [CELL, CELL, 1e-9]).unwrap();
+        let antenna = Antenna::over_rect(
+            &mesh,
+            0.0,
+            0.0,
+            2.0 * CELL,
+            13.0 * CELL,
+            Vec3::X,
+            Drive::logic_cw(3e3, 9e9, 0.0),
+        );
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .uniform_magnetization(Vec3::Z)
+            .demag(DemagMethod::NewellFft)
+            .antenna(antenna)
+            .integrator(IntegratorKind::RungeKutta4)
+            .threads(threads)
+            .min_cells_per_thread(0)
+            .build()
+            .unwrap();
+        for _ in 0..15 {
+            sim.step().unwrap();
+        }
+        sim.magnetization().to_vec()
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "composite-padded trajectory diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn thermal_heun_is_bitwise_identical_across_thread_counts() {
     // The thermal field is drawn serially once per step, so even T > 0
     // trajectories are bitwise reproducible under threading.
