@@ -39,6 +39,8 @@ echo "==> bigfft bench smoke (composite-padded grid, bitwise identity asserted i
 ./target/release/parbench --bigfft --grids 24x20 --evals 2 --threads 1,2 \
     --out target/BENCH_fft_smoke.json
 grep -q '"bitwise_identical_to_serial":true' target/BENCH_fft_smoke.json
+grep -q '"thread_scaling"' target/BENCH_fft_smoke.json
+grep -q '"cpus"' target/BENCH_fft_smoke.json
 
 echo "==> rhs bench smoke (asserts bitwise identity across threads and rel err <= 1e-12)"
 ./target/release/parbench --rhs --grids 32 --steps 10 --threads 1,2,4 \

@@ -68,9 +68,12 @@ fn fill_member_antenna_fields(antennas: &[Vec<Antenna>], t: f64, out: &mut [Vec<
     }
 }
 
-/// One batched RHS stage: unfused pre-pass (shared FFT plan across
-/// members), per-member antenna drives at the stage time, then the fused
-/// K-interleaved sweep with the integrator's stage combination in `fuse`.
+/// One batched RHS stage: unfused pre-pass (one FFT plan *and* one demag
+/// scratch arena — padded planes, x-major spectrum buffer, per-thread
+/// row scratch — shared across members, so K runs pay for one set of
+/// transform state), per-member antenna drives at the stage time, then
+/// the fused K-interleaved sweep with the integrator's stage combination
+/// in `fuse`.
 #[allow(clippy::too_many_arguments)]
 fn eval_stage<F>(
     system: &mut LlgSystem,

@@ -52,8 +52,91 @@
 //! build a throwaway plan per call and run serially — fine for tests and
 //! one-off spectra, wasteful inside an integrator loop.
 
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::math::Complex64;
-use crate::par::{SendPtr, WorkerTeam};
+use crate::par::{chunk_bounds, effective_threads, SendPtr, WorkerTeam};
+
+/// Default minimum number of grid cells a 2-D FFT pass must touch per
+/// worker thread before the pass fans out.
+///
+/// FFT passes are heavier per cell than the LLG axpy sweeps, but their
+/// parallel regions are also much shorter-lived (one pass per axis per
+/// transform, ~20 rendezvous per demag eval), so the break-even point
+/// sits far above [`crate::par::MIN_CELLS_PER_THREAD`]: BENCH_fft.json
+/// showed the 512²-padded 256×256 demag eval *losing* ~10% at 2 and 4
+/// threads. 2¹⁸ complex cells per thread keeps every pass of a 512²
+/// (and 640²) padded grid serial while the million-cell film paddings
+/// (1920×768 and up) still use the full team.
+pub const MIN_FFT_CELLS_PER_THREAD: usize = 1 << 18;
+
+thread_local! {
+    /// Hot-path scratch allocations observed on this thread — bumped by
+    /// every allocation that the per-system scratch arena exists to
+    /// avoid (see [`hot_scratch_allocs`]).
+    static HOT_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one scratch allocation on a path the integrator hot loop must
+/// never take (per-eval buffer construction, Bluestein fallback without
+/// caller scratch, arena growth).
+pub(crate) fn note_hot_alloc() {
+    HOT_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of hot-path scratch allocations recorded on the calling thread
+/// since it started.
+///
+/// Steady-state integrator stepping must not move this counter: scratch
+/// arenas are sized on first use and reused afterwards. Tests snapshot
+/// the value after a warm-up step and assert it stays put.
+pub fn hot_scratch_allocs() -> u64 {
+    HOT_ALLOCS.with(|c| c.get())
+}
+
+/// Process-wide cache of 1-D plans for repeated cold-path transforms
+/// (probe readouts transform the same trace length every readout).
+/// Bounded: when full, the map is cleared rather than tracking LRU order
+/// — plan construction is cheap relative to the transforms the cache
+/// serves, so the occasional full rebuild is harmless.
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+/// Entry cap for [`cached_plan`]; far above the handful of distinct
+/// lengths a run's probes produce.
+const PLAN_CACHE_CAP: usize = 64;
+
+/// A shared plan for length `n` from the process-wide cache, built on
+/// first use. Plan construction is deterministic, so a cached plan is
+/// interchangeable with a freshly built one bit for bit.
+pub fn cached_plan(n: usize) -> Arc<FftPlan> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // Poisoning is survivable: the map is only ever mutated by the
+    // infallible insert/clear below, so a poisoned lock still guards a
+    // consistent map (plan construction — which can panic on bad
+    // lengths — happens outside the lock).
+    {
+        let map = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(plan) = map.get(&n) {
+            return Arc::clone(plan);
+        }
+    }
+    let plan = Arc::new(FftPlan::new(n));
+    let mut map = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = map.get(&n) {
+        return Arc::clone(existing);
+    }
+    if map.len() >= PLAN_CACHE_CAP {
+        map.clear();
+    }
+    map.insert(n, Arc::clone(&plan));
+    plan
+}
 
 /// Direction of the transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,7 +346,10 @@ impl FftPlan {
         let n = self.n;
         assert_eq!(data.len(), n, "buffer length does not match FFT plan");
         if let Some(b) = &self.bluestein {
-            b.process(data, direction);
+            // Cold convenience path: the fallback needs convolution
+            // scratch, grown (and counted) inside `process_with`.
+            let mut work = Vec::new();
+            b.process_with(data, direction, &mut work);
             return;
         }
         for &(i, j) in &self.swaps {
@@ -389,6 +475,37 @@ impl FftPlan {
             }
         }
     }
+
+    /// Scratch length `process_with` needs for this plan: the Bluestein
+    /// inner convolution length, or zero for native 5-smooth plans.
+    pub fn scratch_len(&self) -> usize {
+        self.bluestein.as_ref().map_or(0, |b| b.inner.len())
+    }
+
+    /// Executes the transform in place, reusing `scratch` for the
+    /// Bluestein convolution buffer instead of allocating per call.
+    ///
+    /// `scratch` is grown on first use (to [`Self::scratch_len`]) and
+    /// left untouched for native plans, so a warm buffer makes repeated
+    /// fallback transforms allocation-free. Results are bitwise
+    /// identical to [`Self::process`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn process_with(
+        &self,
+        data: &mut [Complex64],
+        direction: Direction,
+        scratch: &mut Vec<Complex64>,
+    ) {
+        if let Some(b) = &self.bluestein {
+            assert_eq!(data.len(), self.n, "buffer length does not match FFT plan");
+            b.process_with(data, direction, scratch);
+            return;
+        }
+        self.process(data, direction);
+    }
 }
 
 impl Bluestein {
@@ -421,36 +538,51 @@ impl Bluestein {
         }
     }
 
-    /// Forward chirp-z transform of `data` (length `n`).
-    fn forward(&self, data: &mut [Complex64]) {
+    /// Forward chirp-z transform of `data` (length `n`), convolving in
+    /// `scratch` — grown (and counted as a hot-path allocation) only
+    /// when shorter than the inner length, so a warm buffer makes the
+    /// transform allocation-free.
+    fn forward_with(&self, data: &mut [Complex64], scratch: &mut Vec<Complex64>) {
         let n = data.len();
         let m = self.inner.len();
-        // Scratch is allocated per call: the fallback only serves cold
-        // paths (odd probe lengths, tests) — hot paths pad to good_size.
-        let mut work = vec![Complex64::ZERO; m];
+        if scratch.len() < m {
+            note_hot_alloc();
+            scratch.resize(m, Complex64::ZERO);
+        }
+        let work = &mut scratch[..m];
         for j in 0..n {
             work[j] = data[j] * self.chirp[j];
         }
-        self.inner.process(&mut work, Direction::Forward);
+        // The tail past n must read as zero padding every call; a reused
+        // buffer still holds the previous convolution there.
+        for w in work[n..].iter_mut() {
+            *w = Complex64::ZERO;
+        }
+        self.inner.process(work, Direction::Forward);
         for (w, k) in work.iter_mut().zip(self.kernel.iter()) {
             *w *= *k;
         }
         // The inverse includes the 1/m normalization of the convolution.
-        self.inner.process(&mut work, Direction::Inverse);
+        self.inner.process(work, Direction::Inverse);
         for k in 0..n {
             data[k] = work[k] * self.chirp[k];
         }
     }
 
-    fn process(&self, data: &mut [Complex64], direction: Direction) {
+    fn process_with(
+        &self,
+        data: &mut [Complex64],
+        direction: Direction,
+        scratch: &mut Vec<Complex64>,
+    ) {
         match direction {
-            Direction::Forward => self.forward(data),
+            Direction::Forward => self.forward_with(data, scratch),
             Direction::Inverse => {
                 // IDFT(x) = conj(DFT(conj(x)))/n.
                 for z in data.iter_mut() {
                     *z = z.conj();
                 }
-                self.forward(data);
+                self.forward_with(data, scratch);
                 let inv = 1.0 / data.len() as f64;
                 for z in data.iter_mut() {
                     *z = Complex64::new(z.re * inv, -z.im * inv);
@@ -534,8 +666,9 @@ pub fn good_size(n: usize) -> usize {
 /// In-place FFT of a buffer of any length ≥ 1 (5-smooth lengths run
 /// native mixed-radix stages, others the Bluestein fallback).
 ///
-/// Convenience wrapper that builds a throwaway [`FftPlan`]; hold a plan
-/// when transforming repeatedly.
+/// Convenience wrapper over the process-wide [`cached_plan`] — repeated
+/// transforms of one length (probe readouts) reuse tables; hold your own
+/// plan (and scratch) on hot paths.
 ///
 /// # Panics
 ///
@@ -550,7 +683,7 @@ pub fn good_size(n: usize) -> usize {
 /// assert!(data[1].abs() < 1e-12);
 /// ```
 pub fn fft_in_place(data: &mut [Complex64], direction: Direction) {
-    FftPlan::new(data.len()).process(data, direction);
+    cached_plan(data.len()).process(data, direction);
 }
 
 /// Forward FFT of a real signal, returning the full complex spectrum.
@@ -579,7 +712,7 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex64> {
     let mut packed: Vec<Complex64> = (0..half)
         .map(|j| Complex64::new(signal[2 * j], signal[2 * j + 1]))
         .collect();
-    FftPlan::new(half).process(&mut packed, Direction::Forward);
+    cached_plan(half).process(&mut packed, Direction::Forward);
     let mut spectrum = vec![Complex64::ZERO; n];
     let step = -2.0 * std::f64::consts::PI / n as f64;
     for k in 0..half {
@@ -617,7 +750,7 @@ pub fn fft_real_pair(a: &[f64], b: &[f64]) -> (Vec<Complex64>, Vec<Complex64>) {
         .zip(b.iter())
         .map(|(&x, &y)| Complex64::new(x, y))
         .collect();
-    FftPlan::new(n).process(&mut packed, Direction::Forward);
+    cached_plan(n).process(&mut packed, Direction::Forward);
     let mut fa = vec![Complex64::ZERO; n];
     let mut fb = vec![Complex64::ZERO; n];
     for k in 0..n {
@@ -642,6 +775,45 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// lines per tile row, comfortably L1-resident for a 32×32 tile.
 const TILE: usize = 32;
 
+/// Per-thread row scratch for a [`Fft2Plan`]: one independently
+/// allocated buffer per worker block (separate heap allocations, so
+/// concurrent Bluestein convolutions never share a cache line), grown
+/// lazily by [`Fft2Scratch::ensure`] and reused across executions.
+///
+/// Native 5-smooth plans need no row scratch; for them `ensure` only
+/// sizes the outer vector and the buffers stay empty.
+#[derive(Debug, Default)]
+pub struct Fft2Scratch {
+    rows: Vec<Vec<Complex64>>,
+}
+
+impl Fft2Scratch {
+    /// An empty arena; buffers are sized on first [`Fft2Scratch::ensure`].
+    pub fn new() -> Self {
+        Fft2Scratch::default()
+    }
+
+    /// Grows the arena to `threads` buffers of `plan`'s 1-D scratch
+    /// length. Only the first call (or a thread-count increase)
+    /// allocates; steady-state calls are free, keeping the integrator
+    /// hot loop allocation-free.
+    pub fn ensure(&mut self, plan: &Fft2Plan, threads: usize) {
+        let len = plan.row_scratch_len();
+        if self.rows.len() < threads {
+            self.rows.resize_with(threads, Vec::new);
+        }
+        if len == 0 {
+            return;
+        }
+        for buf in &mut self.rows[..threads] {
+            if buf.len() < len {
+                note_hot_alloc();
+                buf.resize(len, Complex64::ZERO);
+            }
+        }
+    }
+}
+
 /// A reusable 2-D FFT plan over a row-major `nx × ny` grid.
 ///
 /// Executes as rows → block transpose → rows (the former columns, now
@@ -651,6 +823,14 @@ const TILE: usize = 32;
 /// so results are bitwise identical at any thread count, and no
 /// allocation happens per execution (the caller owns the scratch).
 ///
+/// Every pass is guarded by a cells-per-thread clamp
+/// ([`Fft2Plan::with_min_cells_per_thread`], default
+/// [`MIN_FFT_CELLS_PER_THREAD`]): passes over small grids run inline on
+/// the caller instead of fanning out, which is where the rendezvous
+/// overhead exceeds the parallel win. The clamp only changes *which
+/// thread* executes a row or tile, never the arithmetic, so it is
+/// bitwise-invisible.
+///
 /// Both axes may be any length ≥ 1 — composite demag paddings from
 /// [`good_size`] run the same code path as the old powers of two.
 #[derive(Debug, Clone)]
@@ -659,17 +839,34 @@ pub struct Fft2Plan {
     ny: usize,
     row: FftPlan,
     col: FftPlan,
+    min_cells_per_thread: usize,
 }
 
 impl Fft2Plan {
-    /// Builds a plan for `nx × ny` grids (any lengths ≥ 1).
+    /// Builds a plan for `nx × ny` grids (any lengths ≥ 1) with the
+    /// default small-transform clamp.
     pub fn new(nx: usize, ny: usize) -> Self {
         Fft2Plan {
             nx,
             ny,
             row: FftPlan::new(nx),
             col: FftPlan::new(ny),
+            min_cells_per_thread: MIN_FFT_CELLS_PER_THREAD,
         }
+    }
+
+    /// Overrides the minimum cells a pass must touch per worker thread
+    /// before fanning out. `0` disables the clamp (every pass uses the
+    /// full team — what the cross-thread parity tests want).
+    pub fn with_min_cells_per_thread(mut self, min: usize) -> Self {
+        self.min_cells_per_thread = min;
+        self
+    }
+
+    /// The active cells-per-thread clamp (see
+    /// [`Fft2Plan::with_min_cells_per_thread`]).
+    pub fn min_cells_per_thread(&self) -> usize {
+        self.min_cells_per_thread
     }
 
     /// Grid width (row length).
@@ -685,6 +882,19 @@ impl Fft2Plan {
     /// Number of elements `process` expects in `data` and `scratch`.
     pub fn grid_len(&self) -> usize {
         self.nx * self.ny
+    }
+
+    /// 1-D scratch length [`Fft2Scratch`] buffers need for this plan
+    /// (the larger of the two axes' Bluestein needs; zero when both
+    /// axes are 5-smooth).
+    pub fn row_scratch_len(&self) -> usize {
+        self.row.scratch_len().max(self.col.scratch_len())
+    }
+
+    /// Worker blocks a pass touching `cells` grid cells may fan out to
+    /// under the clamp.
+    fn pass_blocks(&self, cells: usize, team: &WorkerTeam) -> usize {
+        effective_threads(team.threads(), cells, self.min_cells_per_thread)
     }
 
     /// Executes the 2-D transform in place, using `scratch` (same length
@@ -704,10 +914,13 @@ impl Fft2Plan {
     ) {
         assert_eq!(data.len(), self.grid_len(), "buffer size mismatch");
         assert_eq!(scratch.len(), self.grid_len(), "scratch size mismatch");
-        fft_rows(data, &self.row, self.ny, team, direction);
-        transpose(data, scratch, self.nx, self.ny, team);
-        fft_rows(scratch, &self.col, self.nx, team, direction);
-        transpose(scratch, data, self.ny, self.nx, team);
+        let mut rs = Fft2Scratch::new();
+        rs.ensure(self, team.threads());
+        let nb = self.pass_blocks(self.grid_len(), team);
+        fft_rows(data, &self.row, self.ny, team, direction, nb, &mut rs);
+        transpose(data, scratch, self.nx, self.ny, team, nb);
+        fft_rows(scratch, &self.col, self.nx, team, direction, nb, &mut rs);
+        transpose(scratch, data, self.ny, self.nx, team, nb);
     }
 
     /// Forward transform of a zero-padded grid whose rows
@@ -728,17 +941,88 @@ impl Fft2Plan {
     ) {
         assert_eq!(data.len(), self.grid_len(), "buffer size mismatch");
         assert_eq!(scratch.len(), self.grid_len(), "scratch size mismatch");
+        let mut rs = Fft2Scratch::new();
+        self.forward_spectrum(data, scratch, team, &mut rs, data_rows);
+        let nb = self.pass_blocks(self.grid_len(), team);
+        transpose(scratch, data, self.ny, self.nx, team, nb);
+    }
+
+    /// Forward transform of a zero-padded grid, like
+    /// [`Fft2Plan::process_padded`], but **stopping after the column
+    /// pass**: `spec` receives the spectrum in x-major ("spectrum")
+    /// layout, element `kx * ny + ky` holding bin `(kx, ky)`. Skipping
+    /// the final transpose (and the matching first transpose of
+    /// [`Fft2Plan::inverse_spectrum`]) removes half the data movement of
+    /// a convolution round trip; the bin values are bitwise identical to
+    /// the row-major spectrum because a transpose is pure data movement.
+    ///
+    /// `data` is consumed as scratch for the row pass (its contents are
+    /// unspecified afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer size mismatch or `data_rows > ny`.
+    pub fn forward_spectrum(
+        &self,
+        data: &mut [Complex64],
+        spec: &mut [Complex64],
+        team: &WorkerTeam,
+        rs: &mut Fft2Scratch,
+        data_rows: usize,
+    ) {
+        assert_eq!(data.len(), self.grid_len(), "buffer size mismatch");
+        assert_eq!(spec.len(), self.grid_len(), "spectrum size mismatch");
         assert!(data_rows <= self.ny, "data_rows exceeds grid height");
+        rs.ensure(self, team.threads());
+        let nb_rows = self.pass_blocks(data_rows * self.nx, team);
         fft_rows(
             &mut data[..data_rows * self.nx],
             &self.row,
             data_rows,
             team,
             Direction::Forward,
+            nb_rows,
+            rs,
         );
-        transpose(data, scratch, self.nx, self.ny, team);
-        fft_rows(scratch, &self.col, self.nx, team, Direction::Forward);
-        transpose(scratch, data, self.ny, self.nx, team);
+        let nb = self.pass_blocks(self.grid_len(), team);
+        transpose(data, spec, self.nx, self.ny, team, nb);
+        fft_rows(spec, &self.col, self.nx, team, Direction::Forward, nb, rs);
+    }
+
+    /// Inverse of [`Fft2Plan::forward_spectrum`]: consumes an x-major
+    /// spectrum (contents unspecified afterwards) and materializes only
+    /// rows `0..out_rows` of the row-major result in `data` — the
+    /// spectrum-layout twin of [`Fft2Plan::process_truncated`], minus
+    /// its leading transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer size mismatch or `out_rows > ny`.
+    pub fn inverse_spectrum(
+        &self,
+        spec: &mut [Complex64],
+        data: &mut [Complex64],
+        team: &WorkerTeam,
+        rs: &mut Fft2Scratch,
+        out_rows: usize,
+    ) {
+        assert_eq!(data.len(), self.grid_len(), "buffer size mismatch");
+        assert_eq!(spec.len(), self.grid_len(), "spectrum size mismatch");
+        assert!(out_rows <= self.ny, "out_rows exceeds grid height");
+        rs.ensure(self, team.threads());
+        let nb = self.pass_blocks(self.grid_len(), team);
+        fft_rows(spec, &self.col, self.nx, team, Direction::Inverse, nb, rs);
+        transpose(spec, data, self.ny, self.nx, team, nb);
+        let nb_rows = self.pass_blocks(out_rows * self.nx, team);
+        fft_rows(
+            &mut data[..out_rows * self.nx],
+            &self.row,
+            out_rows,
+            team,
+            Direction::Inverse,
+            nb_rows,
+            rs,
+        );
     }
 
     /// Inverse transform producing only rows `0..out_rows` of the result
@@ -763,55 +1047,72 @@ impl Fft2Plan {
     ) {
         assert_eq!(data.len(), self.grid_len(), "buffer size mismatch");
         assert_eq!(scratch.len(), self.grid_len(), "scratch size mismatch");
-        assert!(out_rows <= self.ny, "out_rows exceeds grid height");
-        transpose(data, scratch, self.nx, self.ny, team);
-        fft_rows(scratch, &self.col, self.nx, team, Direction::Inverse);
-        transpose(scratch, data, self.ny, self.nx, team);
-        fft_rows(
-            &mut data[..out_rows * self.nx],
-            &self.row,
-            out_rows,
-            team,
-            Direction::Inverse,
-        );
+        let mut rs = Fft2Scratch::new();
+        let nb = self.pass_blocks(self.grid_len(), team);
+        transpose(data, scratch, self.nx, self.ny, team, nb);
+        self.inverse_spectrum(scratch, data, team, &mut rs, out_rows);
     }
 }
 
-/// Transforms `rows` contiguous rows of `data` in place, batched across
-/// the worker team (each row is one independent transform).
+/// Transforms `rows` contiguous rows of `data` in place across at most
+/// `max_blocks` worker blocks (each row is one independent transform).
+/// Block `b` convolves through scratch buffer `b` exclusively, so
+/// Bluestein axes stay allocation-free with no false sharing; with one
+/// block everything runs inline on the caller — no job is published.
 fn fft_rows(
     data: &mut [Complex64],
     plan: &FftPlan,
     rows: usize,
     team: &WorkerTeam,
     direction: Direction,
+    max_blocks: usize,
+    rs: &mut Fft2Scratch,
 ) {
     let rowlen = plan.len();
     debug_assert_eq!(data.len(), rowlen * rows);
+    debug_assert!(rs.rows.len() >= team.threads().min(max_blocks.max(1)));
+    let nb = team.threads().min(max_blocks.max(1)).min(rows.max(1));
+    if nb == 1 {
+        let scratch = &mut rs.rows[0];
+        for r in 0..rows {
+            plan.process_with(&mut data[r * rowlen..(r + 1) * rowlen], direction, scratch);
+        }
+        return;
+    }
     let base = SendPtr::new(data.as_mut_ptr());
-    team.for_each_span(rows, |r0, r1| {
+    let sbase = SendPtr::new(rs.rows.as_mut_ptr());
+    team.run(&|b| {
+        if b >= nb {
+            return;
+        }
+        let (r0, r1) = chunk_bounds(rows, nb, b);
+        // Safety: one scratch buffer per block index; blocks are unique
+        // per rendezvous, so access is exclusive.
+        let scratch = unsafe { &mut *sbase.add(b) };
         for r in r0..r1 {
-            // Safety: row ranges are disjoint across spans and in bounds.
+            // Safety: row ranges are disjoint across blocks and in bounds.
             let row = unsafe { std::slice::from_raw_parts_mut(base.add(r * rowlen), rowlen) };
-            plan.process(row, direction);
+            plan.process_with(row, direction, scratch);
         }
     });
 }
 
 /// Blocked transpose: `src` is row-major `rows` rows × `cols` columns;
 /// `dst` receives the `cols × rows` transpose. Parallel over output-row
-/// spans; tiles keep both access patterns cache-resident.
+/// spans, capped at `max_blocks`; tiles keep both access patterns
+/// cache-resident.
 fn transpose(
     src: &[Complex64],
     dst: &mut [Complex64],
     cols: usize,
     rows: usize,
     team: &WorkerTeam,
+    max_blocks: usize,
 ) {
     debug_assert_eq!(src.len(), cols * rows);
     debug_assert_eq!(dst.len(), cols * rows);
     let base = SendPtr::new(dst.as_mut_ptr());
-    team.for_each_span(cols, |x0, x1| {
+    team.for_each_span_capped(cols, max_blocks, |x0, x1| {
         for xt in (x0..x1).step_by(TILE) {
             let xe = (xt + TILE).min(x1);
             for yt in (0..rows).step_by(TILE) {
@@ -1314,7 +1615,9 @@ mod tests {
             let original: Vec<Complex64> = (0..nx * ny)
                 .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
                 .collect();
-            let plan = Fft2Plan::new(nx, ny);
+            // Clamp disabled: these grids are far below the production
+            // threshold and the point is to exercise the parallel path.
+            let plan = Fft2Plan::new(nx, ny).with_min_cells_per_thread(0);
             let mut scratch = vec![Complex64::ZERO; nx * ny];
             let mut serial = original.clone();
             plan.process(
@@ -1386,7 +1689,7 @@ mod tests {
             for i in 0..nx * data_rows {
                 original[i] = Complex64::new(noise[2 * i], noise[2 * i + 1]);
             }
-            let plan = Fft2Plan::new(nx, ny);
+            let plan = Fft2Plan::new(nx, ny).with_min_cells_per_thread(0);
             let mut scratch = vec![Complex64::ZERO; nx * ny];
             let mut serial = original.clone();
             let team1 = WorkerTeam::new(1);
@@ -1404,6 +1707,122 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn small_transform_clamp_is_bitwise_invisible() {
+        // The default clamp serializes these tiny passes; a clamp-free
+        // plan fans out. Both must produce identical bits — the clamp is
+        // a scheduling decision only.
+        let (nx, ny) = (40usize, 25usize);
+        let noise = test_noise(7, 2 * nx * ny);
+        let original: Vec<Complex64> = (0..nx * ny)
+            .map(|i| Complex64::new(noise[2 * i], noise[2 * i + 1]))
+            .collect();
+        let clamped = Fft2Plan::new(nx, ny);
+        assert_eq!(clamped.min_cells_per_thread(), MIN_FFT_CELLS_PER_THREAD);
+        let unclamped = Fft2Plan::new(nx, ny).with_min_cells_per_thread(0);
+        let mut scratch = vec![Complex64::ZERO; nx * ny];
+        for threads in [1, 2, 4, 7] {
+            let team = WorkerTeam::new(threads);
+            let mut a = original.clone();
+            clamped.process(&mut a, &mut scratch, &team, Direction::Forward);
+            let mut b = original.clone();
+            unclamped.process(&mut b, &mut scratch, &team, Direction::Forward);
+            assert_eq!(a, b, "clamp changed transform bits at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn spectrum_halves_match_padded_and_truncated_pipelines() {
+        // forward_spectrum is process_padded minus the final transpose;
+        // inverse_spectrum is process_truncated minus the leading one.
+        // Both equivalences must hold bitwise, including on grids with a
+        // Bluestein axis (7 is prime) and at several thread counts.
+        for (nx, ny, edge_rows) in [(16usize, 12usize, 5usize), (14, 7, 3)] {
+            let noise = test_noise(83, 2 * nx * edge_rows);
+            let mut original = vec![Complex64::ZERO; nx * ny];
+            for i in 0..nx * edge_rows {
+                original[i] = Complex64::new(noise[2 * i], noise[2 * i + 1]);
+            }
+            let plan = Fft2Plan::new(nx, ny).with_min_cells_per_thread(0);
+            for threads in [1, 3, 4] {
+                let team = WorkerTeam::new(threads);
+                let mut rs = Fft2Scratch::new();
+                let mut scratch = vec![Complex64::ZERO; nx * ny];
+
+                let mut reference = original.clone();
+                plan.process_padded(&mut reference, &mut scratch, &team, edge_rows);
+
+                let mut data = original.clone();
+                let mut spec = vec![Complex64::ZERO; nx * ny];
+                plan.forward_spectrum(&mut data, &mut spec, &team, &mut rs, edge_rows);
+                // Spectrum layout is x-major: bin (kx, ky) at kx·ny + ky.
+                for kx in 0..nx {
+                    for ky in 0..ny {
+                        assert_eq!(
+                            spec[kx * ny + ky],
+                            reference[ky * nx + kx],
+                            "spectrum bin ({kx},{ky}) diverged at {threads} threads"
+                        );
+                    }
+                }
+
+                let mut ref_inv = reference.clone();
+                plan.process_truncated(&mut ref_inv, &mut scratch, &team, edge_rows);
+                let mut out = vec![Complex64::ZERO; nx * ny];
+                plan.inverse_spectrum(&mut spec, &mut out, &team, &mut rs, edge_rows);
+                assert_eq!(
+                    out[..nx * edge_rows],
+                    ref_inv[..nx * edge_rows],
+                    "inverse_spectrum diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn process_with_reuses_scratch_without_reallocating() {
+        // Prime length: the Bluestein fallback needs convolution scratch.
+        // A warm buffer must be reused (no hot-path allocation) and the
+        // result must match the allocating path bitwise.
+        let n = 37;
+        let plan = FftPlan::new(n);
+        assert!(plan.scratch_len() > 0, "37 should use the fallback");
+        let original = noise_signal(11, n);
+        let mut reference = original.clone();
+        plan.process(&mut reference, Direction::Forward);
+        let mut scratch = Vec::new();
+        let mut first = original.clone();
+        plan.process_with(&mut first, Direction::Forward, &mut scratch);
+        assert_eq!(first, reference, "scratch path diverged from process");
+        let allocs_before = hot_scratch_allocs();
+        let mut second = original.clone();
+        plan.process_with(&mut second, Direction::Forward, &mut scratch);
+        let mut inv = second.clone();
+        plan.process_with(&mut inv, Direction::Inverse, &mut scratch);
+        assert_eq!(
+            hot_scratch_allocs(),
+            allocs_before,
+            "warm scratch must not reallocate"
+        );
+        assert_eq!(second, reference);
+        for (a, b) in inv.iter().zip(original.iter()) {
+            assert_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn cached_plan_is_shared_and_interchangeable() {
+        let a = cached_plan(60);
+        let b = cached_plan(60);
+        assert!(Arc::ptr_eq(&a, &b), "same length must share one plan");
+        let signal = noise_signal(3, 60);
+        let mut via_cache = signal.clone();
+        a.process(&mut via_cache, Direction::Forward);
+        let mut via_fresh = signal;
+        FftPlan::new(60).process(&mut via_fresh, Direction::Forward);
+        assert_eq!(via_cache, via_fresh, "cached plan diverged from fresh");
     }
 
     #[test]

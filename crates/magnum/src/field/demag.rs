@@ -45,18 +45,38 @@
 //! per-bin arithmetic independent of the block partition, so results are
 //! bitwise identical at any thread count, and identical to the
 //! single-threaded fallback used by [`FieldTerm::accumulate`].
+//!
+//! ## Transposed-spectrum pipeline
+//!
+//! Each channel's round trip uses [`Fft2Plan::forward_spectrum`] /
+//! [`Fft2Plan::inverse_spectrum`]: the forward stops after the column
+//! pass, leaving the spectrum in x-major layout (bin `(kx, ky)` at
+//! `kx·py + ky`), the kernel spectra are stored in the same layout, and
+//! the inverse starts from it — eliminating two full-grid transposes per
+//! channel (four of the eight data-movement passes per eval) relative to
+//! round-tripping through row-major spectra. A transpose is pure data
+//! movement, so every bin sees identical arithmetic and the fields are
+//! bitwise unchanged.
+//!
+//! All FFT and spectral passes sit behind the cells-per-thread clamp
+//! ([`crate::fft::MIN_FFT_CELLS_PER_THREAD`], overridable through
+//! [`NewellDemag::with_options`]): small padded grids run the whole
+//! convolution inline on the calling thread, where rendezvous overhead
+//! would otherwise exceed the parallel win. The per-system
+//! [`DemagScratch`] arena (padded planes + per-thread FFT row scratch)
+//! makes steady-state evaluations allocation-free.
 
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use super::{FieldTerm, FusedTerm};
-use crate::fft::{good_size, next_power_of_two, Direction, Fft2Plan};
+use crate::fft::{good_size, next_power_of_two, Fft2Plan, Fft2Scratch, MIN_FFT_CELLS_PER_THREAD};
 use crate::field3::Field3;
 use crate::material::Material;
 use crate::math::{Complex64, Vec3};
 use crate::mesh::Mesh;
-use crate::par::{SendPtr, WorkerTeam};
+use crate::par::{effective_threads, SendPtr, WorkerTeam};
 
 /// Which demagnetization model a simulation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +106,14 @@ pub enum PadPolicy {
     /// Smallest power of two ≥ `2n` — the radix-2-only rule, kept as the
     /// baseline for benchmarks and ablation.
     PowerOfTwo,
+    /// Exactly `2n − 1`, the aliasing-free minimum with no smoothness
+    /// constraint. The padded lengths are always odd and frequently
+    /// prime, which forces the Bluestein chirp-z fallback — slower than
+    /// [`PadPolicy::GoodSize`], but the only policy that drives the
+    /// fallback through real trajectories; used by the parity tests (and
+    /// available for memory-starved grids where even `good_size` slack
+    /// is unwelcome).
+    Exact,
 }
 
 impl PadPolicy {
@@ -94,6 +122,7 @@ impl PadPolicy {
         match self {
             PadPolicy::GoodSize => good_size(2 * n - 1),
             PadPolicy::PowerOfTwo => next_power_of_two(2 * n),
+            PadPolicy::Exact => 2 * n - 1,
         }
     }
 }
@@ -145,29 +174,44 @@ pub struct NewellDemag {
     py: usize,
     ms: f64,
     mask: Vec<bool>,
-    /// Real spectra of K = −N (so that Ĥ = K̂·M̂), shared through the
-    /// in-process cache; see module docs for why they are exactly real.
+    /// Real spectra of K = −N (so that Ĥ = K̂·M̂) in x-major spectrum
+    /// layout, shared through the in-process cache; see module docs for
+    /// why they are exactly real.
     spectra: Arc<KernelSpectra>,
     plan: Fft2Plan,
+    /// Cells-per-thread clamp applied to every convolution pass
+    /// (`0` disables it); mirrors the plan's own clamp.
+    min_cells_per_thread: usize,
 }
 
-/// Working buffers for one convolution, sized to the padded grid.
+/// Working buffers for one convolution, sized to the padded grid — the
+/// per-system scratch arena: three padded planes plus the per-thread FFT
+/// row scratch, all reused across evaluations so the integrator hot loop
+/// never allocates.
 struct DemagScratch {
     /// Packed `Ms·mx + i·Ms·my` grid, becomes `hx + i·hy` after the
     /// inverse transform.
     xy: Vec<Complex64>,
     /// `Ms·mz` grid (imaginary channel unused).
     z: Vec<Complex64>,
-    /// Transpose scratch for [`Fft2Plan::process`].
-    tmp: Vec<Complex64>,
+    /// X-major spectrum plane; the two channels round-trip through it
+    /// sequentially, so one plane serves both.
+    spec: Vec<Complex64>,
+    /// Per-thread 1-D row scratch (Bluestein axes only).
+    fft: Fft2Scratch,
 }
 
 impl DemagScratch {
     fn new(padded: usize) -> Self {
+        // Constructing scratch is itself a hot-path allocation: legal at
+        // system build or on the cold `accumulate` path, counted so the
+        // allocation-free-stepping test catches any per-eval construction.
+        crate::fft::note_hot_alloc();
         DemagScratch {
             xy: vec![Complex64::ZERO; padded],
             z: vec![Complex64::ZERO; padded],
-            tmp: vec![Complex64::ZERO; padded],
+            spec: vec![Complex64::ZERO; padded],
+            fft: Fft2Scratch::new(),
         }
     }
 }
@@ -266,11 +310,27 @@ impl NewellDemag {
         team: &WorkerTeam,
         policy: PadPolicy,
     ) -> Self {
+        Self::with_options(mesh, material, team, policy, None)
+    }
+
+    /// Fully explicit constructor: padding policy plus the
+    /// cells-per-thread clamp for the convolution passes. `None` takes
+    /// the [`MIN_FFT_CELLS_PER_THREAD`] default; `Some(0)` disables the
+    /// clamp (every pass fans out — what cross-thread parity tests
+    /// want); other values set the threshold directly.
+    pub fn with_options(
+        mesh: &Mesh,
+        material: &Material,
+        team: &WorkerTeam,
+        policy: PadPolicy,
+        min_cells_per_thread: Option<usize>,
+    ) -> Self {
         let nx = mesh.nx();
         let ny = mesh.ny();
         let px = policy.pad(nx);
         let py = policy.pad(ny);
-        let plan = Fft2Plan::new(px, py);
+        let min = min_cells_per_thread.unwrap_or(MIN_FFT_CELLS_PER_THREAD);
+        let plan = Fft2Plan::new(px, py).with_min_cells_per_thread(min);
         let spectra = cached_spectra(px, py, mesh.cell_size(), &plan, team);
         NewellDemag {
             nx,
@@ -281,7 +341,14 @@ impl NewellDemag {
             mask: mesh.mask().to_vec(),
             spectra,
             plan,
+            min_cells_per_thread: min,
         }
+    }
+
+    /// Worker blocks a convolution pass touching `cells` may fan out to
+    /// under the clamp.
+    fn pass_blocks(&self, cells: usize, team: &WorkerTeam) -> usize {
+        effective_threads(team.threads(), cells, self.min_cells_per_thread)
     }
 
     /// Padded transform dimensions `(px, py)` this instance convolves on.
@@ -311,7 +378,8 @@ impl NewellDemag {
         {
             let xy = SendPtr::new(s.xy.as_mut_ptr());
             let z = SendPtr::new(s.z.as_mut_ptr());
-            team.for_each_span(self.py, |r0, r1| {
+            let nb = self.pass_blocks(px * self.py, team);
+            team.for_each_span_capped(self.py, nb, |r0, r1| {
                 for iy in r0..r1 {
                     let row = iy * px;
                     for jx in 0..px {
@@ -343,7 +411,8 @@ impl NewellDemag {
             let xy = &s.xy;
             let z = &s.z;
             let out = SendPtr::new(h.as_mut_ptr());
-            team.for_each_span(ny, |r0, r1| {
+            let nb = self.pass_blocks(nx * ny, team);
+            team.for_each_span_capped(ny, nb, |r0, r1| {
                 for iy in r0..r1 {
                     for ix in 0..nx {
                         let i = iy * nx + ix;
@@ -375,7 +444,8 @@ impl NewellDemag {
         {
             let xy = SendPtr::new(s.xy.as_mut_ptr());
             let z = SendPtr::new(s.z.as_mut_ptr());
-            team.for_each_span(self.py, |r0, r1| {
+            let nb = self.pass_blocks(px * self.py, team);
+            team.for_each_span_capped(self.py, nb, |r0, r1| {
                 for iy in r0..r1 {
                     let row = iy * px;
                     for jx in 0..px {
@@ -406,7 +476,8 @@ impl NewellDemag {
             let xy = &s.xy;
             let z = &s.z;
             let out = h.ptrs();
-            team.for_each_span(ny, |r0, r1| {
+            let nb = self.pass_blocks(nx * ny, team);
+            team.for_each_span_capped(ny, nb, |r0, r1| {
                 for iy in r0..r1 {
                     for ix in 0..nx {
                         let i = iy * nx + ix;
@@ -425,58 +496,91 @@ impl NewellDemag {
         }
     }
 
-    /// The layout-independent middle of a convolution: padded-aware
-    /// forward transforms (skipping the all-zero rows `ny..py`), spectral
-    /// multiply, truncated inverse transforms (materializing only the rows
-    /// the unload reads).
+    /// The layout-independent middle of a convolution: each channel runs
+    /// forward to the x-major spectrum (skipping the all-zero rows
+    /// `ny..py`), multiplies by its kernel there, and comes back through
+    /// the truncated inverse (materializing only the rows the unload
+    /// reads). The channels are independent, so routing both through the
+    /// single `spec` plane sequentially changes no arithmetic — it
+    /// trades a third padded plane for nothing.
     fn transform_multiply(&self, s: &mut DemagScratch, team: &WorkerTeam) {
         let ny = self.ny;
-        self.plan.process_padded(&mut s.xy, &mut s.tmp, team, ny);
-        self.plan.process_padded(&mut s.z, &mut s.tmp, team, ny);
-        self.spectral_multiply(&mut s.xy, &mut s.z, team);
-        self.plan.process_truncated(&mut s.xy, &mut s.tmp, team, ny);
-        self.plan.process_truncated(&mut s.z, &mut s.tmp, team, ny);
+        s.fft.ensure(&self.plan, team.threads());
+        self.plan
+            .forward_spectrum(&mut s.z, &mut s.spec, team, &mut s.fft, ny);
+        self.scale_z_spectrum(&mut s.spec, team);
+        self.plan
+            .inverse_spectrum(&mut s.spec, &mut s.z, team, &mut s.fft, ny);
+        self.plan
+            .forward_spectrum(&mut s.xy, &mut s.spec, team, &mut s.fft, ny);
+        self.multiply_xy_spectrum(&mut s.spec, team);
+        self.plan
+            .inverse_spectrum(&mut s.spec, &mut s.xy, team, &mut s.fft, ny);
     }
 
-    /// Applies Ĥ = K̂·M̂ in place. The `z` channel is a plain real scaling
-    /// per bin. The packed `xy` channel is processed per conjugate pair:
-    /// the pair `(k, −k)` holds enough information to unpack the two real
-    /// spectra `M̂x/M̂y`, multiply by the (real) kernels at both bins, and
-    /// repack `Ĥx + i·Ĥy`. Pairs are grouped by row so each parallel task
-    /// owns the disjoint row set `{ky, (py−ky) mod py}`.
-    fn spectral_multiply(&self, xy: &mut [Complex64], z: &mut [Complex64], team: &WorkerTeam) {
+    /// Applies Ĥz = K̂zz·M̂z in place: a plain real scaling per bin,
+    /// independent of bin order — the kernel is stored in the same
+    /// x-major layout as the spectrum.
+    fn scale_z_spectrum(&self, z: &mut [Complex64], team: &WorkerTeam) {
+        let kzz = &self.spectra.kzz;
+        let zp = SendPtr::new(z.as_mut_ptr());
+        let nb = self.pass_blocks(self.px * self.py, team);
+        team.for_each_span_capped(self.px * self.py, nb, |i0, i1| {
+            for (i, &k) in kzz.iter().enumerate().take(i1).skip(i0) {
+                // Safety: bin ranges are disjoint across spans.
+                unsafe { *zp.add(i) = (*zp.add(i)).scale(k) };
+            }
+        });
+    }
+
+    /// Applies the in-plane kernel block to the packed `xy` spectrum in
+    /// place. Each conjugate pair `(k, −k)` holds enough information to
+    /// unpack the two real spectra `M̂x/M̂y`, multiply by the (real)
+    /// kernels at both bins, and repack `Ĥx + i·Ĥy`. In the x-major
+    /// layout pairs are grouped by *line*: each parallel task owns the
+    /// disjoint line set `{kx, (px−kx) mod px}` (contiguous memory).
+    ///
+    /// The first/second argument roles passed to `multiply_pair` follow
+    /// the ky-major order of the original row-major pipeline — the two
+    /// computations differ only by conjugation, which is not bitwise
+    /// neutral at signed zeros, so preserving the roles keeps the fields
+    /// (and the pinned golden trajectories) bit-for-bit unchanged.
+    fn multiply_xy_spectrum(&self, xy: &mut [Complex64], team: &WorkerTeam) {
         let (px, py) = (self.px, self.py);
-        {
-            let kzz = &self.spectra.kzz;
-            let zp = SendPtr::new(z.as_mut_ptr());
-            team.for_each_span(px * py, |i0, i1| {
-                for (i, &k) in kzz.iter().enumerate().take(i1).skip(i0) {
-                    // Safety: bin ranges are disjoint across spans.
-                    unsafe { *zp.add(i) = (*zp.add(i)).scale(k) };
-                }
-            });
-        }
         let xyp = SendPtr::new(xy.as_mut_ptr());
-        team.for_each_span(py / 2 + 1, |t0, t1| {
-            for ky in t0..t1 {
-                let ky2 = (py - ky) % py;
-                if ky2 != ky {
-                    // Bins of row ky pair with bins of row ky2; iterating
-                    // kx over the full row covers both rows exactly once.
-                    for kx in 0..px {
-                        let i1 = ky * px + kx;
-                        let i2 = ky2 * px + (px - kx) % px;
-                        // Safety: this task owns rows ky and ky2.
-                        unsafe { self.multiply_pair(xyp, i1, i2) };
+        let nb = self.pass_blocks(px * py, team);
+        team.for_each_span_capped(px / 2 + 1, nb, |t0, t1| {
+            for kx in t0..t1 {
+                let kx2 = (px - kx) % px;
+                if kx2 != kx {
+                    // Every pair has exactly one bin on line kx; iterating
+                    // ky over the full line covers both lines exactly once.
+                    for ky in 0..py {
+                        let b = kx * py + ky;
+                        let p = kx2 * py + (py - ky) % py;
+                        // Row-major order visited self-paired ky rows by
+                        // ascending kx and other rows by ascending ky, so
+                        // the bin with 2·kx ≤ px (true for all of line kx
+                        // here) resp. 2·ky < py came first.
+                        let b_first = ky == 0 || 2 * ky <= py;
+                        // Safety: this task owns lines kx and kx2.
+                        unsafe {
+                            if b_first {
+                                self.multiply_pair(xyp, b, p);
+                            } else {
+                                self.multiply_pair(xyp, p, b);
+                            }
+                        }
                     }
                 } else {
-                    // Self-inverse row (ky = 0 or py/2): pairs live within
-                    // the row; the half-range covers it without repeats.
-                    for kx in 0..=px / 2 {
-                        let i1 = ky * px + kx;
-                        let i2 = ky * px + (px - kx) % px;
-                        // Safety: this task owns row ky.
-                        unsafe { self.multiply_pair(xyp, i1, i2) };
+                    // Self-inverse line (kx = 0 or px/2): pairs live within
+                    // the line; the half-range covers it without repeats,
+                    // and the ky ≤ py/2 bin is the row-major-first one.
+                    for ky in 0..=py / 2 {
+                        let b = kx * py + ky;
+                        let p = kx * py + (py - ky) % py;
+                        // Safety: this task owns line kx.
+                        unsafe { self.multiply_pair(xyp, b, p) };
                     }
                 }
             }
@@ -517,7 +621,10 @@ impl NewellDemag {
 /// Builds the four Newell kernel spectra (still complex, for
 /// introspection): real-space K = −N over the padded grid with wrap
 /// offsets, `Kxy` Nyquist lines zeroed (see module docs), then the
-/// forward 2-D transform of each. Order: `[Kxx, Kyy, Kzz, Kxy]`.
+/// forward 2-D transform of each, returned in the **x-major spectrum
+/// layout** of [`Fft2Plan::forward_spectrum`] (bin `(kx, ky)` at
+/// `kx·py + ky`) so the spectral multiply indexes kernels and spectrum
+/// identically. Order: `[Kxx, Kyy, Kzz, Kxy]`.
 fn kernel_spectra(
     px: usize,
     py: usize,
@@ -580,9 +687,13 @@ fn kernel_spectra(
             }
         });
     }
-    let mut tmp = vec![Complex64::ZERO; px * py];
+    let mut spec = vec![Complex64::ZERO; px * py];
+    let mut rs = Fft2Scratch::new();
     for k in kernels.iter_mut() {
-        plan.process(k, &mut tmp, team, Direction::Forward);
+        // All py rows carry kernel data (no zero padding to skip); the
+        // spectrum lands in `spec`, which then swaps into the slot.
+        plan.forward_spectrum(k, &mut spec, team, &mut rs, py);
+        std::mem::swap(k, &mut spec);
     }
     kernels
 }
@@ -931,6 +1042,53 @@ mod tests {
                 assert!(
                     err < 1e-12,
                     "cell ({ix},{iy}): FFT {:?} vs direct {direct:?} (err {err:e})",
+                    fft_field[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_padding_matches_direct_newell_sum_through_bluestein() {
+        // PadPolicy::Exact pads 6×3 to 11×5 — 11 is prime, so the row
+        // axis runs the Bluestein fallback inside a real convolution.
+        // The field must still reproduce the direct O(N²) tensor sum.
+        let (mesh, mat) = film_setup(6, 3);
+        let demag = NewellDemag::with_padding(&mesh, &mat, &WorkerTeam::new(1), PadPolicy::Exact);
+        assert_eq!(demag.padded_dims(), (11, 5));
+        let n = mesh.cell_count();
+        let ms = mat.saturation_magnetization();
+        let [dx, dy, dz] = mesh.cell_size();
+        let m: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new(0.5 * (i as f64).cos(), 0.4, 0.8 + 0.02 * i as f64).normalized())
+            .collect();
+        let mut fft_field = vec![Vec3::ZERO; n];
+        demag.accumulate(&m, 0.0, &mut fft_field);
+        for iy in 0..mesh.ny() {
+            for ix in 0..mesh.nx() {
+                let i = iy * mesh.nx() + ix;
+                let mut direct = Vec3::ZERO;
+                for jy in 0..mesh.ny() {
+                    for jx in 0..mesh.nx() {
+                        let j = jy * mesh.nx() + jx;
+                        let x = (ix as isize - jx as isize) as f64 * dx;
+                        let y = (iy as isize - jy as isize) as f64 * dy;
+                        let nxx = newell_nxx(x, y, 0.0, dx, dy, dz);
+                        let nyy = newell_nxx(y, x, 0.0, dy, dx, dz);
+                        let nzz = newell_nxx(0.0, y, x, dz, dy, dx);
+                        let nxy = newell_nxy(x, y, 0.0, dx, dy, dz);
+                        let mj = m[j] * ms;
+                        direct += Vec3::new(
+                            -(nxx * mj.x + nxy * mj.y),
+                            -(nxy * mj.x + nyy * mj.y),
+                            -nzz * mj.z,
+                        );
+                    }
+                }
+                let err = (fft_field[i] - direct).norm() / ms;
+                assert!(
+                    err < 1e-11,
+                    "cell ({ix},{iy}): exact-padded FFT {:?} vs direct {direct:?} (err {err:e})",
                     fft_field[i]
                 );
             }

@@ -22,8 +22,10 @@
 //! block writes a disjoint output range, so results are bitwise identical
 //! for any thread count. Non-local terms (the FFT demag) run in a
 //! pre-pass through [`FieldTerm::accumulate_par`] on the same worker
-//! team, using per-term scratch owned by the system (no locks, no
-//! per-call allocation); the reference paths (`effective_field`,
+//! team — the whole spectral pipeline (row FFTs, tiled transposes,
+//! column FFTs, spectral multiply) decomposes into block-ordered spans
+//! on that team — using per-term scratch owned by the system (no locks,
+//! no per-call allocation); the reference paths (`effective_field`,
 //! `max_torque`, energy accounting) use the terms' thread-safe
 //! `accumulate` fallback, which is bitwise identical by contract.
 //!

@@ -302,6 +302,37 @@ impl WorkerTeam {
         });
     }
 
+    /// Like [`WorkerTeam::for_each_span`], but splits `0..n` into at most
+    /// `max_blocks` spans instead of always `threads()`. With an
+    /// effective block count of 1 the call runs inline on the caller —
+    /// no job is published, no workers are woken — which is what makes
+    /// the small-transform clamp actually free: a clamped pass costs
+    /// exactly what the serial path costs.
+    ///
+    /// Determinism: the per-item computation must be independent of the
+    /// partition (the same contract as every other parallel region), so
+    /// the block count — like the thread count — is purely a performance
+    /// knob and results are bitwise identical for any `max_blocks`.
+    pub fn for_each_span_capped<F>(&self, n: usize, max_blocks: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let nb = self.threads.min(max_blocks.max(1));
+        if nb == 1 {
+            f(0, n);
+            return;
+        }
+        self.run(&|b| {
+            if b >= nb {
+                return;
+            }
+            let (start, end) = chunk_bounds(n, nb, b);
+            if start < end {
+                f(start, end);
+            }
+        });
+    }
+
     /// Runs `f(block)` for every block and returns the per-block results
     /// in block order (deterministic reduction input).
     pub fn map_blocks<R, F>(&self, f: F) -> Vec<R>
@@ -458,6 +489,27 @@ mod tests {
                     h.load(Ordering::SeqCst),
                     1,
                     "index {i} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_span_capped_covers_every_index_once() {
+        for (threads, cap) in [(1, 4), (4, 1), (4, 2), (4, 8), (3, 3)] {
+            let team = WorkerTeam::new(threads);
+            let n = 53;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            team.for_each_span_capped(n, cap, |start, end| {
+                for h in hits.iter().take(end).skip(start) {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::SeqCst),
+                    1,
+                    "index {i} at {threads} threads capped to {cap}"
                 );
             }
         }

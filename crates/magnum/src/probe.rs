@@ -170,7 +170,9 @@ impl DftProbe {
 /// Where [`DftProbe`] projects onto one known frequency on the fly, this
 /// probe keeps the whole trace and transforms it at readout time through
 /// the real-to-complex FFT path ([`fft_real`]) — one complex transform of
-/// half the trace length instead of a full complex FFT. Use it to survey
+/// half the trace length instead of a full complex FFT, planned through
+/// the process-wide 1-D plan cache so repeated readouts at the same
+/// trace length reuse one set of twiddle tables. Use it to survey
 /// an unknown spectrum (e.g. locating the FVMSW band edge) rather than to
 /// read out a known drive tone.
 #[derive(Debug, Clone)]

@@ -5,7 +5,7 @@ use crate::damping::AbsorbingFrame;
 use crate::error::MagnumError;
 use crate::excitation::Antenna;
 use crate::field::anisotropy::UniaxialAnisotropy;
-use crate::field::demag::{DemagMethod, NewellDemag, ThinFilmDemag};
+use crate::field::demag::{DemagMethod, NewellDemag, PadPolicy, ThinFilmDemag};
 use crate::field::exchange::Exchange;
 use crate::field::thermal::ThermalField;
 use crate::field::zeeman::Zeeman;
@@ -356,6 +356,7 @@ pub struct SimulationBuilder {
     shape: Option<Box<dyn Shape>>,
     initial: Vec3,
     demag: DemagMethod,
+    demag_padding: PadPolicy,
     external_field: Vec3,
     temperature: f64,
     seed: u64,
@@ -380,6 +381,7 @@ impl SimulationBuilder {
             shape: None,
             initial: Vec3::Z,
             demag: DemagMethod::ThinFilmLocal,
+            demag_padding: PadPolicy::default(),
             external_field: Vec3::ZERO,
             temperature: 0.0,
             seed: 0,
@@ -410,6 +412,15 @@ impl SimulationBuilder {
     /// Selects the demagnetization model.
     pub fn demag(mut self, method: DemagMethod) -> Self {
         self.demag = method;
+        self
+    }
+
+    /// Padding policy for the [`DemagMethod::NewellFft`] convolution grid
+    /// (default [`PadPolicy::GoodSize`]). [`PadPolicy::Exact`] pads to
+    /// `2n − 1` per axis — typically prime lengths, driving the Bluestein
+    /// FFT fallback through real trajectories.
+    pub fn demag_padding(mut self, policy: PadPolicy) -> Self {
+        self.demag_padding = policy;
         self
     }
 
@@ -524,6 +535,7 @@ impl SimulationBuilder {
             shape,
             initial,
             demag,
+            demag_padding,
             external_field,
             temperature,
             seed,
@@ -608,9 +620,16 @@ impl SimulationBuilder {
                 // Build the Newell kernel tables on a temporary worker team
                 // of the same width the simulation will run with; the
                 // construction is bitwise independent of the thread count.
+                // The builder's cells-per-thread override flows into the
+                // convolution passes too (Some(0) disables the FFT clamp —
+                // the parity tests' escape hatch).
                 let team = crate::par::WorkerTeam::new(threads);
-                terms.push(Box::new(NewellDemag::new_with_team(
-                    &mesh, &material, &team,
+                terms.push(Box::new(NewellDemag::with_options(
+                    &mesh,
+                    &material,
+                    &team,
+                    demag_padding,
+                    min_cells_per_thread,
                 )));
             }
         }
@@ -797,6 +816,36 @@ mod tests {
             .map(|term| term.energy(&m, t, ms, v))
             .sum();
         assert_eq!(sim.total_energy(), reference);
+    }
+
+    #[test]
+    fn steady_state_stepping_is_scratch_allocation_free() {
+        // The integrator hot loop must never rebuild demag scratch or FFT
+        // row buffers: everything is sized during the warm-up evaluations
+        // and reused afterwards. The counter is thread-local, so the test
+        // is immune to other tests running concurrently; worker threads
+        // cannot allocate by construction (their row scratch is always
+        // passed in). Exact padding forces Bluestein axes — the one FFT
+        // path that genuinely needs per-eval scratch.
+        let mut sim = fecob_strip(9, 5)
+            .demag(DemagMethod::NewellFft)
+            .demag_padding(PadPolicy::Exact)
+            .threads(4)
+            .min_cells_per_thread(0)
+            .build()
+            .unwrap();
+        for _ in 0..2 {
+            sim.step().unwrap();
+        }
+        let allocs = crate::fft::hot_scratch_allocs();
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        assert_eq!(
+            crate::fft::hot_scratch_allocs(),
+            allocs,
+            "stepping must not allocate hot-path scratch after warm-up"
+        );
     }
 
     #[test]

@@ -115,8 +115,10 @@ fn heun_gate_batch_is_bitwise_identical_across_thread_counts() {
 
 #[test]
 fn newell_fft_gate_batch_is_bitwise_identical() {
-    // The batched Newell demag shares one FFT plan across members; each
-    // member's stray field must still match its solo run exactly.
+    // The batched Newell demag shares one FFT plan — and one scratch
+    // arena (padded planes + per-thread row scratch) — across all K = 4
+    // members riding the parallel spectral pipeline; each member's stray
+    // field must still match its solo run exactly, serial and parallel.
     for threads in [1, 4] {
         let build = move |s: usize| {
             gate_sim(
@@ -126,7 +128,7 @@ fn newell_fft_gate_batch_is_bitwise_identical() {
                 DemagMethod::NewellFft,
             )
         };
-        assert_batch_matches_independent(&build, 3, threads, 10, "newell-fft gate");
+        assert_batch_matches_independent(&build, 4, threads, 10, "newell-fft gate");
     }
 }
 

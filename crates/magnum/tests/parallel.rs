@@ -143,11 +143,55 @@ fn composite_padded_demag_is_bitwise_identical_across_thread_counts() {
         sim.magnetization().to_vec()
     };
     let serial = run(1);
-    for threads in [2, 4] {
+    for threads in [2, 4, 7] {
         assert_eq!(
             serial,
             run(threads),
             "composite-padded trajectory diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn bluestein_padded_demag_is_bitwise_identical_across_thread_counts() {
+    // PadPolicy::Exact pads 19×12 to a 37×23 transform — both prime, so
+    // every row and column FFT runs through the Bluestein chirp-z
+    // fallback, convolving through the per-thread scratch arena. The
+    // fallback must honour the same determinism contract as the native
+    // stages: identical trajectories at 1, 2, 4, and 7 threads.
+    use magnum::field::demag::PadPolicy;
+    let run = |threads: usize| {
+        let mesh = Mesh::new(19, 12, [CELL, CELL, 1e-9]).unwrap();
+        let antenna = Antenna::over_rect(
+            &mesh,
+            0.0,
+            0.0,
+            2.0 * CELL,
+            12.0 * CELL,
+            Vec3::X,
+            Drive::logic_cw(3e3, 9e9, 0.0),
+        );
+        let mut sim = Simulation::builder(mesh, Material::fecob())
+            .uniform_magnetization(Vec3::Z)
+            .demag(DemagMethod::NewellFft)
+            .demag_padding(PadPolicy::Exact)
+            .antenna(antenna)
+            .integrator(IntegratorKind::RungeKutta4)
+            .threads(threads)
+            .min_cells_per_thread(0)
+            .build()
+            .unwrap();
+        for _ in 0..15 {
+            sim.step().unwrap();
+        }
+        sim.magnetization().to_vec()
+    };
+    let serial = run(1);
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "Bluestein-padded trajectory diverged at {threads} threads"
         );
     }
 }
