@@ -72,9 +72,52 @@ test -s target/swserve.addr
 ./target/release/parbench --probe "$(cat target/swserve.addr)" --shutdown
 wait "$SERVE_PID"
 
-echo "==> swserve loadtest smoke (in-process server, zero dropped requests)"
+echo "==> swserve loadtest smoke (all scenarios: RAM, cold store, warm restart, router, shard kill)"
 ./target/release/parbench --serve --connections 8 --requests 16 \
+    --scenarios hot,cold,restart,router,kill \
     --out target/BENCH_serve_smoke.json
 test -s target/BENCH_serve_smoke.json
+grep -q '"scenario":"kill"' target/BENCH_serve_smoke.json
+
+echo "==> distributed serving smoke (router + 2 shards, cached repeat, SIGKILL failover, drain)"
+rm -f target/shard0.addr target/shard1.addr target/router.addr
+rm -rf target/ci-store0 target/ci-store1
+./target/release/repro serve --addr 127.0.0.1:0 --addr-file target/shard0.addr \
+    --workers 1 --store target/ci-store0 &
+SHARD0_PID=$!
+./target/release/repro serve --addr 127.0.0.1:0 --addr-file target/shard1.addr \
+    --workers 1 --store target/ci-store1 &
+SHARD1_PID=$!
+for _ in $(seq 1 50); do
+    test -s target/shard0.addr && test -s target/shard1.addr && break
+    sleep 0.1
+done
+test -s target/shard0.addr && test -s target/shard1.addr
+./target/release/repro route --addr 127.0.0.1:0 --addr-file target/router.addr \
+    --backend "$(cat target/shard0.addr)" --backend "$(cat target/shard1.addr)" &
+ROUTER_PID=$!
+for _ in $(seq 1 50); do
+    test -s target/router.addr && break
+    sleep 0.1
+done
+test -s target/router.addr
+# Through the router: healthz, eval, cached byte-identical repeat.
+PROBE_OUT=$(./target/release/parbench --probe "$(cat target/router.addr)" --expect-cached)
+echo "$PROBE_OUT"
+# SIGKILL the shard that answered; the same eval must still get 200.
+HOME_SHARD=$(printf '%s\n' "$PROBE_OUT" | sed -n 's/^eval served by shard //p')
+if [ "$HOME_SHARD" = "0" ]; then
+    KILL_PID=$SHARD0_PID; SURVIVOR_PID=$SHARD1_PID; SURVIVOR_ADDR=$(cat target/shard1.addr)
+else
+    KILL_PID=$SHARD1_PID; SURVIVOR_PID=$SHARD0_PID; SURVIVOR_ADDR=$(cat target/shard0.addr)
+fi
+kill -9 "$KILL_PID"
+wait "$KILL_PID" 2>/dev/null || true
+./target/release/parbench --probe "$(cat target/router.addr)" --expect-cached
+# Drain the router, then the surviving shard.
+./target/release/parbench --probe "$(cat target/router.addr)" --shutdown
+wait "$ROUTER_PID"
+./target/release/parbench --probe "$SURVIVOR_ADDR" --shutdown
+wait "$SURVIVOR_PID"
 
 echo "CI OK"

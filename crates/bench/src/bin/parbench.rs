@@ -75,19 +75,38 @@
 //!   delay, CMOS ratios) per case. Defaults: 65536 patterns.
 //!
 //! * `parbench --serve [--addr HOST:PORT] [--connections N]
-//!   [--requests N] [--out PATH]` loadtests the `swserve` HTTP service
-//!   over real sockets: N concurrent keep-alive connections each issue R
-//!   gate-evaluation requests drawn from a rotating pool of distinct
-//!   inputs, and the report (`BENCH_serve.json`) records throughput,
-//!   client-side p50/p99 latency, and the server's cache hit/coalesce
-//!   counters. Without `--addr` an in-process server is booted on an
-//!   ephemeral port and drained afterwards. Defaults: 64 connections,
-//!   32 requests each.
+//!   [--requests N] [--scenarios LIST] [--out PATH]` loadtests the
+//!   serving tier over real sockets. N keep-alive connections — each
+//!   issuing R gate-evaluation requests drawn from a rotating pool of
+//!   distinct inputs — are multiplexed over a bounded worker-thread
+//!   pool, so N can exceed the machine's thread budget. With `--addr`
+//!   it loadtests that one external server; without, it runs the
+//!   scenario suite and writes one report entry per scenario to
+//!   `BENCH_serve.json` (throughput, p50/p99 latency, client-observed
+//!   `X-Cache` split, hit rate):
+//!   - `hot` — in-process server, RAM cache warms over the run (the
+//!     pre-store steady-state number);
+//!   - `cold` — fresh server + empty disk store, every first touch is
+//!     a miss;
+//!   - `restart` — seed a disk store through one server, drain it,
+//!     boot a *second* server on the same store, and measure the
+//!     restart answering from disk (asserts disk hits > 0);
+//!   - `router` — `repro route` in front of 2 `repro serve` shard
+//!     processes, loadtest through the router;
+//!   - `kill` — same topology, but one shard is SIGKILLed a third of
+//!     the way through; the run must finish with zero failures
+//!     (asserted) while the router fails the dead shard's keys over.
 //!
-//! * `parbench --probe ADDR [--shutdown]` smoke-tests a running server:
-//!   `/healthz`, one `/v1/gate/eval` (checked byte-for-byte against the
-//!   local evaluator), `/metrics`, and optionally a graceful
-//!   `/v1/admin/shutdown`. Exits non-zero on any mismatch.
+//!   Defaults: 64 connections, 32 requests each, all five scenarios.
+//!
+//! * `parbench --probe ADDR [--expect-cached] [--shutdown]` smoke-tests
+//!   a running server or router: `/healthz`, one `/v1/gate/eval`
+//!   (checked byte-for-byte against the local evaluator), `/metrics`,
+//!   and optionally a graceful `/v1/admin/shutdown`. `--expect-cached`
+//!   repeats the eval and requires the second answer to come from a
+//!   cache level (`X-Cache: ram|disk|coalesced`) with a byte-identical
+//!   body — the restart/warm-disk acceptance check. Exits non-zero on
+//!   any mismatch.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
@@ -1210,170 +1229,614 @@ fn request_pool() -> Vec<String> {
     pool
 }
 
-/// `--serve`: loadtest a server (external via `--addr`, else an
-/// in-process one) and write `BENCH_serve.json`.
-fn serve_main(external: Option<String>, connections: usize, requests: usize, out: String) {
-    let booted = if external.is_some() {
-        None
-    } else {
-        let server =
-            swserve::Server::bind(&swserve::ServerConfig::default()).expect("bind loadtest server");
-        let handle = server.handle();
-        let runner = std::thread::spawn(move || server.run().expect("loadtest server run"));
-        Some((handle, runner))
-    };
-    let addr = match &external {
-        Some(addr) => resolve(addr),
-        None => booted.as_ref().expect("just booted").0.addr(),
-    };
-    println!(
-        "loadtest: {connections} connections x {requests} requests against {addr}{}",
-        if external.is_some() {
-            ""
-        } else {
-            " (in-process server)"
-        }
-    );
+/// One loadtest outcome: request counts by `X-Cache` class, latency
+/// distribution, failures.
+struct LoadOutcome {
+    elapsed_s: f64,
+    /// Sorted client-side latencies, microseconds.
+    latencies_us: Vec<f64>,
+    failures: usize,
+    shed: usize,
+    ram: usize,
+    disk: usize,
+    coalesced: usize,
+    miss: usize,
+}
 
-    let pool = Arc::new(request_pool());
-    let start = Instant::now();
-    let clients: Vec<_> = (0..connections)
-        .map(|c| {
-            let pool = Arc::clone(&pool);
-            std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("loadtest connect");
-                let mut latencies_us = Vec::with_capacity(requests);
-                let mut failures = 0usize;
-                let mut shed = 0usize;
-                let mut hits = 0usize;
-                for r in 0..requests {
-                    let body = &pool[(c + r) % pool.len()];
-                    let sent = Instant::now();
-                    let response = client
-                        .request("POST", "/v1/gate/eval", body)
-                        .expect("loadtest request");
-                    latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
-                    match response.status {
-                        200 => {
-                            if matches!(response.header("x-cache"), Some("hit" | "coalesced")) {
-                                hits += 1;
-                            }
-                        }
-                        429 => shed += 1,
-                        _ => failures += 1,
-                    }
-                }
-                (latencies_us, failures, shed, hits)
-            })
-        })
-        .collect();
-
-    let mut latencies_us: Vec<f64> = Vec::with_capacity(connections * requests);
-    let mut failures = 0usize;
-    let mut shed = 0usize;
-    let mut client_hits = 0usize;
-    for client in clients {
-        let (lat, f, s, h) = client.join().expect("loadtest client panicked");
-        latencies_us.extend(lat);
-        failures += f;
-        shed += s;
-        client_hits += h;
+impl LoadOutcome {
+    fn total(&self) -> usize {
+        self.latencies_us.len()
     }
-    let elapsed = start.elapsed().as_secs_f64();
-    let total = latencies_us.len();
-    let throughput = total as f64 / elapsed;
-    latencies_us.sort_by(|a, b| a.total_cmp(b));
-    let quantile = |q: f64| -> f64 {
-        if latencies_us.is_empty() {
+
+    fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
             return 0.0;
         }
         let rank = ((q * total as f64).ceil() as usize).clamp(1, total);
-        latencies_us[rank - 1]
-    };
-    let (p50, p99) = (quantile(0.50), quantile(0.99));
-    let mean = latencies_us.iter().sum::<f64>() / total.max(1) as f64;
-
-    // Server-side cache counters over the same socket API.
-    let mut control = Client::connect(addr).expect("metrics connect");
-    let metrics_doc = control
-        .request("GET", "/metrics", "")
-        .expect("GET /metrics");
-    let metrics = Json::parse(&metrics_doc.body).expect("metrics JSON");
-    let cache_counter = |name: &str| {
-        metrics
-            .get("cache")
-            .and_then(|c| c.get(name))
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0)
-    };
-    let (cache_hits, misses, coalesced) = (
-        cache_counter("hits"),
-        cache_counter("misses"),
-        cache_counter("coalesced"),
-    );
-    let served = cache_hits + misses + coalesced;
-    let hit_rate = if served > 0.0 {
-        (cache_hits + coalesced) / served
-    } else {
-        0.0
-    };
-
-    if let Some((handle, runner)) = booted {
-        control
-            .request("POST", "/v1/admin/shutdown", "")
-            .expect("graceful shutdown");
-        drop(control);
-        runner.join().expect("server thread");
-        assert!(handle.draining());
+        self.latencies_us[rank - 1]
     }
 
-    println!(
-        "  {total} requests in {elapsed:.2}s = {throughput:.0} req/s; \
-         p50 {p50:.0} us, p99 {p99:.0} us; cache hit rate {:.1}% \
-         ({cache_hits:.0} hits + {coalesced:.0} coalesced / {misses:.0} misses); \
-         {shed} shed, {failures} failed",
-        hit_rate * 100.0
-    );
-    write_report(
-        &out,
-        &Json::obj([
-            ("benchmark", Json::str("swserve_loadtest")),
+    /// Client-observed hit rate: any cache level, or a coalesced
+    /// follower, over all answered requests.
+    fn hit_rate(&self) -> f64 {
+        let answered = self.ram + self.disk + self.coalesced + self.miss;
+        if answered == 0 {
+            return 0.0;
+        }
+        (self.ram + self.disk + self.coalesced) as f64 / answered as f64
+    }
+
+    /// The scenario's JSON report fragment (shared fields).
+    fn report(&self, scenario: &str, topology: &str, connections: usize, requests: usize) -> Json {
+        let total = self.total();
+        let mean = self.latencies_us.iter().sum::<f64>() / total.max(1) as f64;
+        Json::obj([
+            ("scenario", Json::str(scenario)),
+            ("topology", Json::str(topology)),
             ("connections", Json::Num(connections as f64)),
             ("requests_per_connection", Json::Num(requests as f64)),
             ("total_requests", Json::Num(total as f64)),
-            ("elapsed_s", Json::Num(elapsed)),
-            ("throughput_rps", Json::Num(throughput)),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            (
+                "throughput_rps",
+                Json::Num(total as f64 / self.elapsed_s.max(1e-9)),
+            ),
             (
                 "latency_us",
                 Json::obj([
-                    ("p50", Json::Num(p50)),
-                    ("p99", Json::Num(p99)),
+                    ("p50", Json::Num(self.quantile(0.50))),
+                    ("p99", Json::Num(self.quantile(0.99))),
                     ("mean", Json::Num(mean)),
                     (
                         "max",
-                        Json::Num(latencies_us.last().copied().unwrap_or(0.0)),
+                        Json::Num(self.latencies_us.last().copied().unwrap_or(0.0)),
                     ),
                 ]),
             ),
             (
-                "cache",
+                "xcache",
                 Json::obj([
-                    ("hits", Json::Num(cache_hits)),
-                    ("misses", Json::Num(misses)),
-                    ("coalesced", Json::Num(coalesced)),
-                    ("hit_rate", Json::Num(hit_rate)),
-                    ("client_observed_hits", Json::Num(client_hits as f64)),
+                    ("ram", Json::Num(self.ram as f64)),
+                    ("disk", Json::Num(self.disk as f64)),
+                    ("coalesced", Json::Num(self.coalesced as f64)),
+                    ("miss", Json::Num(self.miss as f64)),
                 ]),
             ),
-            ("shed", Json::Num(shed as f64)),
-            ("failures", Json::Num(failures as f64)),
+            ("hit_rate", Json::Num(self.hit_rate())),
+            ("shed", Json::Num(self.shed as f64)),
+            ("failures", Json::Num(self.failures as f64)),
+        ])
+    }
+}
+
+/// Drives `connections` keep-alive connections x `requests` each against
+/// `addr`, multiplexed over a bounded worker pool (so the connection
+/// count is not a thread count — the fix for the old thread-per-
+/// connection model that capped the loadtest at the thread budget).
+/// Every worker owns the connections with its index modulo the worker
+/// count and interleaves them round-robin, so all `connections` sockets
+/// stay concurrently active from the server's point of view.
+///
+/// `trigger`: optionally run an action (e.g. SIGKILL a shard) once the
+/// given fraction of all requests has completed.
+fn loadtest(
+    addr: SocketAddr,
+    connections: usize,
+    requests: usize,
+    trigger: Option<(f64, Box<dyn FnOnce() + Send>)>,
+) -> LoadOutcome {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let pool = Arc::new(request_pool());
+    let cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let workers = connections.min((2 * cpus).max(8)).max(1);
+    let total = connections * requests;
+    let progress = Arc::new(AtomicUsize::new(0));
+    let watcher = trigger.map(|(fraction, action)| {
+        let progress = Arc::clone(&progress);
+        let at = ((total as f64 * fraction) as usize).clamp(1, total);
+        std::thread::spawn(move || {
+            while progress.load(Ordering::Relaxed) < at {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            action();
+        })
+    });
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let pool = Arc::clone(&pool);
+            let progress = Arc::clone(&progress);
+            std::thread::spawn(move || {
+                let mut clients: Vec<(usize, Client)> = (w..connections)
+                    .step_by(workers)
+                    .map(|c| (c, Client::connect(addr).expect("loadtest connect")))
+                    .collect();
+                let mut outcome = LoadOutcome {
+                    elapsed_s: 0.0,
+                    latencies_us: Vec::with_capacity(clients.len() * requests),
+                    failures: 0,
+                    shed: 0,
+                    ram: 0,
+                    disk: 0,
+                    coalesced: 0,
+                    miss: 0,
+                };
+                for r in 0..requests {
+                    for (c, client) in &mut clients {
+                        let body = &pool[(*c + r) % pool.len()];
+                        let sent = Instant::now();
+                        let response = client.request("POST", "/v1/gate/eval", body);
+                        outcome
+                            .latencies_us
+                            .push(sent.elapsed().as_secs_f64() * 1e6);
+                        progress.fetch_add(1, Ordering::Relaxed);
+                        match response {
+                            Ok(response) => match response.status {
+                                200 => match response.header("x-cache") {
+                                    Some("ram") => outcome.ram += 1,
+                                    Some("disk") => outcome.disk += 1,
+                                    Some("coalesced") => outcome.coalesced += 1,
+                                    _ => outcome.miss += 1,
+                                },
+                                429 => outcome.shed += 1,
+                                _ => outcome.failures += 1,
+                            },
+                            Err(_) => {
+                                // A dropped socket is a failed request;
+                                // reconnect so the rest of this
+                                // connection's budget still runs.
+                                outcome.failures += 1;
+                                if let Ok(fresh) = Client::connect(addr) {
+                                    *client = fresh;
+                                }
+                            }
+                        }
+                    }
+                }
+                outcome
+            })
+        })
+        .collect();
+
+    let mut merged = LoadOutcome {
+        elapsed_s: 0.0,
+        latencies_us: Vec::with_capacity(total),
+        failures: 0,
+        shed: 0,
+        ram: 0,
+        disk: 0,
+        coalesced: 0,
+        miss: 0,
+    };
+    for handle in handles {
+        let outcome = handle.join().expect("loadtest worker panicked");
+        merged.latencies_us.extend(outcome.latencies_us);
+        merged.failures += outcome.failures;
+        merged.shed += outcome.shed;
+        merged.ram += outcome.ram;
+        merged.disk += outcome.disk;
+        merged.coalesced += outcome.coalesced;
+        merged.miss += outcome.miss;
+    }
+    merged.elapsed_s = start.elapsed().as_secs_f64();
+    if let Some(watcher) = watcher {
+        watcher.join().expect("trigger watcher panicked");
+    }
+    merged.latencies_us.sort_by(|a, b| a.total_cmp(b));
+    merged
+}
+
+/// Boots an in-process server and returns its handle plus the runner
+/// thread (join after draining).
+fn boot_inprocess(
+    config: &swserve::ServerConfig,
+) -> (swserve::ServerHandle, std::thread::JoinHandle<()>) {
+    let server = swserve::Server::bind(config).expect("bind loadtest server");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("loadtest server run"));
+    (handle, runner)
+}
+
+/// Gracefully drains an in-process server over its socket.
+fn drain_inprocess(addr: SocketAddr, runner: std::thread::JoinHandle<()>) {
+    let mut control = Client::connect(addr).expect("drain connect");
+    control
+        .request("POST", "/v1/admin/shutdown", "")
+        .expect("graceful shutdown");
+    drop(control);
+    runner.join().expect("server thread");
+}
+
+/// The sibling `repro` binary (parbench and repro build into the same
+/// directory), for the multi-process scenarios.
+fn repro_binary() -> std::path::PathBuf {
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory");
+    let repro = dir.join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        repro.exists(),
+        "{} not found — build the `repro` binary first (cargo build --workspace)",
+        repro.display()
+    );
+    repro
+}
+
+/// Spawns a `repro` service process (`serve` or `route`) on an
+/// ephemeral port and waits for its address file.
+fn spawn_service(
+    scratch: &std::path::Path,
+    name: &str,
+    args: &[String],
+) -> (std::process::Child, SocketAddr) {
+    let addr_file = scratch.join(format!("{name}.addr"));
+    std::fs::remove_file(&addr_file).ok();
+    let mut command = std::process::Command::new(repro_binary());
+    command
+        .args(args)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    let mut child = command.spawn().expect("spawn repro service");
+    let deadline = Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if !text.trim().is_empty() {
+                return (child, resolve(text.trim()));
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("repro {name} exited during startup: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "repro {name} never wrote its address"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Drains a spawned service via its admin endpoint and reaps it.
+fn drain_service(addr: SocketAddr, mut child: std::process::Child) {
+    if let Ok(mut control) = Client::connect(addr) {
+        control.request("POST", "/v1/admin/shutdown", "").ok();
+    }
+    child.wait().expect("service child reaped");
+}
+
+/// Boots the router + 2 shard topology; returns (router, shards).
+#[allow(clippy::type_complexity)]
+fn boot_router_topology(
+    scratch: &std::path::Path,
+) -> (
+    (std::process::Child, SocketAddr),
+    Vec<(std::process::Child, SocketAddr)>,
+) {
+    let shards: Vec<_> = (0..2)
+        .map(|s| {
+            spawn_service(
+                scratch,
+                &format!("shard{s}"),
+                &[
+                    "serve".to_string(),
+                    "--workers".to_string(),
+                    "1".to_string(),
+                    "--store".to_string(),
+                    scratch.join(format!("store{s}")).display().to_string(),
+                ],
+            )
+        })
+        .collect();
+    let mut args = vec!["route".to_string()];
+    for (_, addr) in &shards {
+        args.push("--backend".to_string());
+        args.push(addr.to_string());
+    }
+    let router = spawn_service(scratch, "router", &args);
+    (router, shards)
+}
+
+/// `--serve`: run the loadtest scenario suite (or one external target)
+/// and write `BENCH_serve.json`.
+fn serve_main(
+    external: Option<String>,
+    connections: usize,
+    requests: usize,
+    scenarios: Vec<String>,
+    out: String,
+) {
+    let mut reports = Vec::new();
+
+    if let Some(addr) = external {
+        let addr = resolve(&addr);
+        println!("loadtest: {connections} connections x {requests} requests against {addr}");
+        let outcome = loadtest(addr, connections, requests, None);
+        print_outcome("external", &outcome);
+        reports.push(outcome.report("external", "user-provided server", connections, requests));
+        write_scenarios(&out, connections, requests, reports);
+        return;
+    }
+
+    let scratch = std::env::temp_dir().join(format!("parbench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    for scenario in &scenarios {
+        let report = match scenario.as_str() {
+            "hot" => scenario_hot(connections, requests),
+            "cold" => scenario_cold(&scratch, connections, requests),
+            "restart" => scenario_restart(&scratch, connections, requests),
+            "router" => scenario_router(&scratch, connections, requests, false),
+            "kill" => scenario_router(&scratch, connections, requests, true),
+            other => {
+                eprintln!("unknown scenario `{other}` (hot, cold, restart, router, kill)");
+                std::process::exit(2);
+            }
+        };
+        reports.push(report);
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+    write_scenarios(&out, connections, requests, reports);
+}
+
+fn write_scenarios(out: &str, connections: usize, requests: usize, reports: Vec<Json>) {
+    write_report(
+        out,
+        &Json::obj([
+            ("benchmark", Json::str("swserve_loadtest")),
+            ("connections", Json::Num(connections as f64)),
+            ("requests_per_connection", Json::Num(requests as f64)),
+            ("scenarios", Json::Arr(reports)),
         ]),
     );
-    assert_eq!(failures, 0, "loadtest must drop zero non-shed requests");
+}
+
+fn print_outcome(scenario: &str, outcome: &LoadOutcome) {
+    println!(
+        "  {scenario:8} {:6} requests in {:6.2}s = {:7.0} req/s; p50 {:5.0} us p99 {:6.0} us; \
+         hit rate {:5.1}% (ram {} disk {} coalesced {} miss {}); {} shed, {} failed",
+        outcome.total(),
+        outcome.elapsed_s,
+        outcome.total() as f64 / outcome.elapsed_s.max(1e-9),
+        outcome.quantile(0.50),
+        outcome.quantile(0.99),
+        outcome.hit_rate() * 100.0,
+        outcome.ram,
+        outcome.disk,
+        outcome.coalesced,
+        outcome.miss,
+        outcome.shed,
+        outcome.failures
+    );
+}
+
+/// `hot`: one in-process RAM-only server, cache warming over the run —
+/// the pre-store steady-state configuration.
+fn scenario_hot(connections: usize, requests: usize) -> Json {
+    println!("scenario hot: in-process server, RAM cache only");
+    let (handle, runner) = boot_inprocess(&swserve::ServerConfig::default());
+    let outcome = loadtest(handle.addr(), connections, requests, None);
+    drain_inprocess(handle.addr(), runner);
+    assert_eq!(outcome.failures, 0, "hot scenario must not drop requests");
+    print_outcome("hot", &outcome);
+    outcome.report(
+        "hot",
+        "in-process server, RAM cache only",
+        connections,
+        requests,
+    )
+}
+
+/// `cold`: a fresh server with an empty disk store — every first touch
+/// of a request is a genuine miss that must write through to disk.
+fn scenario_cold(scratch: &std::path::Path, connections: usize, requests: usize) -> Json {
+    println!("scenario cold: fresh server, empty RAM cache and empty disk store");
+    let dir = scratch.join("cold-store");
+    std::fs::remove_dir_all(&dir).ok();
+    let config = swserve::ServerConfig {
+        store: Some(dir),
+        ..swserve::ServerConfig::default()
+    };
+    let (handle, runner) = boot_inprocess(&config);
+    let outcome = loadtest(handle.addr(), connections, requests, None);
+    // Store counters sync into the metrics registry during drain.
+    drain_inprocess(handle.addr(), runner);
+    let store_puts = handle.metrics().render();
+    assert_eq!(outcome.failures, 0, "cold scenario must not drop requests");
+    print_outcome("cold", &outcome);
+    let puts = store_puts
+        .get("store")
+        .and_then(|s| s.get("puts"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(
+        puts > 0.0,
+        "cold scenario must write results through to disk"
+    );
+    let mut report = outcome
+        .report(
+            "cold",
+            "in-process server, empty disk store",
+            connections,
+            requests,
+        )
+        .as_obj()
+        .expect("report object")
+        .clone();
+    report.insert("store_puts".to_string(), Json::Num(puts));
+    Json::Obj(report)
+}
+
+/// `restart`: seed a disk store through one server, drain it, boot a
+/// second server on the same store directory, and loadtest the restart.
+/// The first touch of every request must answer from disk (asserted via
+/// the store counters), which is the whole point of the store.
+fn scenario_restart(scratch: &std::path::Path, connections: usize, requests: usize) -> Json {
+    println!("scenario restart: re-open a warmed disk store in a fresh server");
+    let dir = scratch.join("restart-store");
+    std::fs::remove_dir_all(&dir).ok();
+    let config = swserve::ServerConfig {
+        store: Some(dir),
+        ..swserve::ServerConfig::default()
+    };
+
+    // Seeding pass: one client walks the whole request pool once.
+    let (handle, runner) = boot_inprocess(&config);
+    let mut seeder = Client::connect(handle.addr()).expect("seed connect");
+    for body in request_pool() {
+        let response = seeder
+            .request("POST", "/v1/gate/eval", &body)
+            .expect("seed request");
+        assert_eq!(response.status, 200, "seeding must succeed");
+    }
+    drop(seeder);
+    drain_inprocess(handle.addr(), runner);
+
+    // The restart: a brand-new server (empty RAM cache) on the same
+    // store directory.
+    let (handle, runner) = boot_inprocess(&config);
+    let outcome = loadtest(handle.addr(), connections, requests, None);
+    // Store counters sync into the metrics registry during drain.
+    drain_inprocess(handle.addr(), runner);
+    let metrics = handle.metrics().render();
+    assert_eq!(
+        outcome.failures, 0,
+        "restart scenario must not drop requests"
+    );
+    assert!(
+        outcome.disk > 0,
+        "a restarted server must answer previously-seen requests from disk"
+    );
+    assert_eq!(
+        outcome.miss, 0,
+        "every request was seeded, so the restart must never re-evaluate"
+    );
+    print_outcome("restart", &outcome);
+    let disk_hits = metrics
+        .get("store")
+        .and_then(|s| s.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let mut report = outcome
+        .report(
+            "restart",
+            "fresh server process re-opening a warmed disk store",
+            connections,
+            requests,
+        )
+        .as_obj()
+        .expect("report object")
+        .clone();
+    report.insert("store_hits_after_restart".to_string(), Json::Num(disk_hits));
+    Json::Obj(report)
+}
+
+/// `router` / `kill`: `repro route` in front of 2 `repro serve` shard
+/// processes. With `kill_one`, one shard is SIGKILLed a third of the
+/// way through the run and the loadtest must still finish with zero
+/// failed requests (the acceptance criterion for shard failover).
+fn scenario_router(
+    scratch: &std::path::Path,
+    connections: usize,
+    requests: usize,
+    kill_one: bool,
+) -> Json {
+    let name = if kill_one { "kill" } else { "router" };
+    println!(
+        "scenario {name}: router + 2 shard processes{}",
+        if kill_one {
+            ", SIGKILL one shard mid-run"
+        } else {
+            ""
+        }
+    );
+    let ((router_child, router_addr), shards) = boot_router_topology(scratch);
+
+    let mut shards: Vec<Option<(std::process::Child, SocketAddr)>> =
+        shards.into_iter().map(Some).collect();
+    let victim = if kill_one {
+        shards[1]
+            .take()
+            .map(|(child, addr)| (Arc::new(std::sync::Mutex::new(child)), addr))
+    } else {
+        None
+    };
+    let trigger = victim.as_ref().map(|(child, _)| {
+        let child = Arc::clone(child);
+        (
+            1.0 / 3.0,
+            Box::new(move || {
+                child
+                    .lock()
+                    .expect("victim shard handle")
+                    .kill()
+                    .expect("SIGKILL shard");
+            }) as Box<dyn FnOnce() + Send>,
+        )
+    });
+
+    let outcome = loadtest(router_addr, connections, requests, trigger);
+
+    // Router-side counters before teardown.
+    let mut control = Client::connect(router_addr).expect("router metrics connect");
+    let metrics = control
+        .request("GET", "/metrics", "")
+        .ok()
+        .and_then(|r| Json::parse(&r.body).ok())
+        .unwrap_or(Json::Null);
+    drop(control);
+
+    if let Some((child, _)) = victim {
+        let mut child = Arc::try_unwrap(child)
+            .unwrap_or_else(|_| panic!("victim still shared"))
+            .into_inner()
+            .expect("victim shard handle");
+        child.wait().expect("killed shard reaped");
+    }
+    drain_service(router_addr, router_child);
+    for shard in shards.into_iter().flatten() {
+        let (child, addr) = shard;
+        drain_service(addr, child);
+    }
+
+    assert_eq!(
+        outcome.failures, 0,
+        "the router must keep serving 200s through a shard death"
+    );
+    print_outcome(name, &outcome);
+    let counter = |field: &str| metrics.get(field).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut report = outcome
+        .report(
+            name,
+            if kill_one {
+                "router + 2 shard processes, one SIGKILLed at 1/3 progress"
+            } else {
+                "router + 2 shard processes"
+            },
+            connections,
+            requests,
+        )
+        .as_obj()
+        .expect("report object")
+        .clone();
+    report.insert("shard_killed".to_string(), Json::Bool(kill_one));
+    report.insert(
+        "router_failovers".to_string(),
+        Json::Num(counter("failovers")),
+    );
+    report.insert(
+        "router_ejections".to_string(),
+        Json::Num(counter("ejections")),
+    );
+    Json::Obj(report)
 }
 
 /// `--probe`: smoke-test a running server; exits non-zero on failure.
-fn probe_main(addr: &str, shutdown: bool) {
+fn probe_main(addr: &str, expect_cached: bool, shutdown: bool) {
     let addr = resolve(addr);
     let mut client = Client::connect(addr).unwrap_or_else(|e| {
         eprintln!("probe: cannot connect to {addr}: {e}");
@@ -1404,6 +1867,11 @@ fn probe_main(addr: &str, shutdown: bool) {
 
     let raw = r#"{"gate":"maj3","inputs":[0,1,1]}"#;
     let eval = step("POST /v1/gate/eval", "POST", "/v1/gate/eval", raw);
+    // When probing through a router, say who answered so scripts can
+    // target that shard (e.g. to SIGKILL it and re-probe failover).
+    if let Some(shard) = eval.header("x-shard") {
+        println!("eval served by shard {shard}");
+    }
     let local =
         swserve::respond(&Json::parse(raw).expect("probe request")).expect("local evaluation");
     if eval.body != local {
@@ -1412,6 +1880,29 @@ fn probe_main(addr: &str, shutdown: bool) {
             eval.body
         );
         std::process::exit(1);
+    }
+
+    if expect_cached {
+        // Repeat the eval: the answer must now come from a cache level
+        // (RAM, disk, or a coalesced in-flight leader), byte-identical.
+        let again = step("POST /v1/gate/eval (repeat)", "POST", "/v1/gate/eval", raw);
+        match again.header("x-cache") {
+            Some("ram" | "disk" | "coalesced") => {}
+            other => {
+                eprintln!(
+                    "probe: repeated eval was not served from cache (x-cache: {})",
+                    other.unwrap_or("<missing>")
+                );
+                std::process::exit(1);
+            }
+        }
+        if again.body != eval.body {
+            eprintln!(
+                "probe: cached response differs from the first\n  first:  {}\n  cached: {}",
+                eval.body, again.body
+            );
+            std::process::exit(1);
+        }
     }
 
     let metrics = step("GET /metrics", "GET", "/metrics", "");
@@ -1424,7 +1915,12 @@ fn probe_main(addr: &str, shutdown: bool) {
         step("POST /v1/admin/shutdown", "POST", "/v1/admin/shutdown", "");
     }
     println!(
-        "probe ok: healthz, gate eval (byte-identical to local), metrics{}",
+        "probe ok: healthz, gate eval (byte-identical to local){}, metrics{}",
+        if expect_cached {
+            ", cached repeat (byte-identical)"
+        } else {
+            ""
+        },
         if shutdown { ", shutdown" } else { "" }
     );
 }
@@ -1443,7 +1939,11 @@ fn main() {
             eprintln!("--probe needs an address (HOST:PORT)");
             std::process::exit(2);
         });
-        probe_main(&addr, args.iter().any(|a| a == "--shutdown"));
+        probe_main(
+            &addr,
+            args.iter().any(|a| a == "--expect-cached"),
+            args.iter().any(|a| a == "--shutdown"),
+        );
         return;
     }
 
@@ -1454,8 +1954,14 @@ fn main() {
         let requests: usize = value_of("--requests")
             .map(|v| v.parse().expect("--requests needs an integer"))
             .unwrap_or(32);
+        let scenarios: Vec<String> = value_of("--scenarios")
+            .unwrap_or_else(|| "hot,cold,restart,router,kill".to_string())
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
         let out = value_of("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
-        serve_main(value_of("--addr"), connections, requests, out);
+        serve_main(value_of("--addr"), connections, requests, scenarios, out);
         return;
     }
 

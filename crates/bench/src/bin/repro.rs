@@ -55,10 +55,22 @@
 //!   `{"demo":"..."}`. The bytes are identical to what `POST
 //!   /v1/netlist/eval` returns for the same request.
 //! * `serve [--addr A] [--workers N] [--queue-depth N]
-//!   [--cache-capacity N] [--manifest PATH] [--addr-file PATH]` — run
+//!   [--cache-capacity N] [--manifest PATH] [--addr-file PATH]
+//!   [--store DIR] [--store-capacity-mb N] [--prewarm PATH]` — run
 //!   the HTTP gate-evaluation service until `POST /v1/admin/shutdown`.
 //!   `--addr 127.0.0.1:0` binds an ephemeral port; `--addr-file` writes
-//!   the resolved address for scripts to pick up.
+//!   the resolved address for scripts to pick up. `--store DIR` adds
+//!   the disk cache level (results survive restarts; `X-Cache:
+//!   ram|disk|miss` says which level answered), and `--prewarm PATH`
+//!   replays a swrun JSONL manifest into the store at boot.
+//! * `route --backend HOST:PORT [--backend ...] [--addr A]
+//!   [--vnodes N] [--pool N] [--addr-file PATH]` — the consistent-hash
+//!   shard router (see the `swrouter` crate): request keys hash onto
+//!   the shard ring, dead shards are ejected and retried on the next
+//!   ring node, recovered shards are re-admitted by health probes.
+//! * `warm --store DIR MANIFEST [MANIFEST ...]` — replay swrun JSONL
+//!   manifests into a disk store offline (same mapping the server's
+//!   `--prewarm` uses), so a shard can boot with a hot disk cache.
 
 use std::f64::consts::PI;
 
@@ -176,6 +188,12 @@ fn main() {
                             | "--cache-capacity"
                             | "--addr-file"
                             | "--demo"
+                            | "--backend"
+                            | "--vnodes"
+                            | "--pool"
+                            | "--store"
+                            | "--store-capacity-mb"
+                            | "--prewarm"
                     ))
         })
         .map(|(_, a)| a.as_str())
@@ -206,6 +224,8 @@ fn main() {
         "eval" => eval_command(&args),
         "compile" => compile_command(&args),
         "serve" => serve(&args),
+        "route" => route(&args),
+        "warm" => warm(&args),
         "all" => all(),
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -660,6 +680,12 @@ fn positionals(args: &[String]) -> Vec<&str> {
                             | "--cache-capacity"
                             | "--addr-file"
                             | "--demo"
+                            | "--backend"
+                            | "--vnodes"
+                            | "--pool"
+                            | "--store"
+                            | "--store-capacity-mb"
+                            | "--prewarm"
                     ))
         })
         .map(|(_, a)| a.as_str())
@@ -765,12 +791,25 @@ fn serve(args: &[String]) -> Result<(), SwGateError> {
             std::fs::create_dir_all(parent).ok();
         }
     }
+    let store = value_of("--store").map(std::path::PathBuf::from);
+    if store.is_none() && args.iter().any(|a| a == "--store") {
+        eprintln!("--store needs a directory");
+        std::process::exit(2);
+    }
+    let prewarm = value_of("--prewarm").map(std::path::PathBuf::from);
+    if prewarm.is_some() && store.is_none() {
+        eprintln!("--prewarm needs --store DIR (nothing to warm without a disk store)");
+        std::process::exit(2);
+    }
     let config = swserve::ServerConfig {
         addr: value_of("--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string()),
         workers: parse_count("--workers", 2),
         queue_depth: parse_count("--queue-depth", 64),
         cache_capacity: parse_count("--cache-capacity", 1024),
         manifest,
+        store,
+        store_capacity_bytes: (parse_count("--store-capacity-mb", 64) as u64) << 20,
+        prewarm,
     };
     let server = swserve::Server::bind(&config).map_err(io_err("binding the server"))?;
     let addr = server.local_addr();
@@ -778,9 +817,112 @@ fn serve(args: &[String]) -> Result<(), SwGateError> {
         std::fs::write(&path, addr.to_string()).map_err(io_err("writing the address file"))?;
     }
     eprintln!(
-        "swserve listening on http://{addr} ({} job workers, queue depth {}); \
+        "swserve listening on http://{addr} ({} job workers, queue depth {}{}); \
          POST /v1/admin/shutdown to drain",
-        config.workers, config.queue_depth
+        config.workers,
+        config.queue_depth,
+        match &config.store {
+            Some(dir) => format!(", disk store {}", dir.display()),
+            None => String::new(),
+        }
     );
     server.run().map_err(io_err("serving"))
+}
+
+/// `repro route` — the consistent-hash shard router (see `swrouter`).
+fn route(args: &[String]) -> Result<(), SwGateError> {
+    let io_err = |context: &str| {
+        let context = context.to_string();
+        move |e: std::io::Error| SwGateError::Simulation {
+            reason: format!("{context}: {e}"),
+        }
+    };
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_count = |flag: &str, default: usize| -> usize {
+        match value_of(flag).map(|v| v.parse::<usize>()) {
+            None => default,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => {
+                eprintln!("{flag} needs a non-negative integer");
+                std::process::exit(2);
+            }
+        }
+    };
+    // `--backend HOST:PORT`, repeated once per shard.
+    let backends: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--backend")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    let config = swrouter::RouterConfig {
+        addr: value_of("--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        backends,
+        vnodes: parse_count("--vnodes", 64),
+        pool_per_backend: parse_count("--pool", 8),
+        ..swrouter::RouterConfig::default()
+    };
+    let router = swrouter::Router::bind(&config).map_err(io_err("binding the router"))?;
+    let addr = router.local_addr();
+    if let Some(path) = value_of("--addr-file") {
+        std::fs::write(&path, addr.to_string()).map_err(io_err("writing the address file"))?;
+    }
+    eprintln!(
+        "swrouter listening on http://{addr} ({} shard(s), {} vnodes); \
+         POST /v1/admin/shutdown to drain",
+        config.backends.len(),
+        config.vnodes
+    );
+    router.run().map_err(io_err("routing"))
+}
+
+/// `repro warm` — replay swrun manifests into a disk store offline.
+fn warm(args: &[String]) -> Result<(), SwGateError> {
+    let store_err = |reason: String| SwGateError::Simulation { reason };
+    let dir = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .unwrap_or_else(|| {
+            eprintln!("warm needs --store DIR");
+            std::process::exit(2);
+        });
+    let manifests = &positionals(args)[1..]; // after the `warm` word
+    if manifests.is_empty() {
+        eprintln!("warm needs at least one manifest path");
+        std::process::exit(2);
+    }
+    let capacity = match args
+        .iter()
+        .position(|a| a == "--store-capacity-mb")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<u64>())
+    {
+        None => 64u64,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--store-capacity-mb needs a non-negative integer");
+            std::process::exit(2);
+        }
+    };
+    let store = std::sync::Arc::new(
+        swstore::Store::open(swstore::StoreConfig::new(dir).capacity_bytes(capacity << 20))
+            .map_err(|e| store_err(format!("store `{dir}`: {e}")))?,
+    );
+    for manifest in manifests {
+        let warmed = swserve::store::prewarm(&store, std::path::Path::new(manifest))
+            .map_err(|e| store_err(format!("pre-warm `{manifest}`: {e}")))?;
+        println!("{manifest}: {warmed} result(s) warmed");
+    }
+    let counters = store.counters();
+    println!(
+        "store `{dir}`: {} entr(ies), {} byte(s) on disk",
+        counters.entries, counters.disk_bytes
+    );
+    Ok(())
 }

@@ -1,0 +1,169 @@
+//! The consistent-hash ring that gives every content key a stable home
+//! shard — and a stable fallback order when that shard is down.
+//!
+//! Each backend contributes `vnodes` points to a 64-bit ring (hashes of
+//! `shard-{b}/vnode-{v}`); a key is served by the first point at or
+//! after its (remixed) hash, walking clockwise. Virtual nodes smooth
+//! the load split, and — because the ring itself never changes while
+//! the process runs — a dead shard is handled by *skipping* it in the
+//! candidate order rather than rebuilding the ring. That is the cache
+//! affinity argument: every key's candidate order is a fixed
+//! permutation of the shards, so a shard's death only moves the keys it
+//! owned (to each key's next candidate), and its recovery moves exactly
+//! those keys back to their warmed home.
+
+/// FNV-1a, the same function the serving tier keys its caches with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Finalizer from splitmix64 — decorrelates the content key (itself an
+/// FNV-1a hash) from the ring point hashes so shard assignment is not a
+/// structured function of request bytes.
+fn remix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A fixed consistent-hash ring over `backends` shards.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted ring points: (point hash, backend index).
+    points: Vec<(u64, u32)>,
+    backends: usize,
+}
+
+impl Ring {
+    /// Builds the ring with `vnodes` points per backend (min 1).
+    pub fn new(backends: usize, vnodes: usize) -> Ring {
+        assert!(backends > 0, "ring needs at least one backend");
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(backends * vnodes);
+        for backend in 0..backends {
+            for vnode in 0..vnodes {
+                let label = format!("shard-{backend}/vnode-{vnode}");
+                // FNV of short similar strings clusters in the high
+                // bits; the remix spreads the points uniformly.
+                points.push((remix(fnv1a(label.as_bytes())), backend as u32));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, backends }
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// The full candidate order for `key`: every backend exactly once,
+    /// starting at the key's home shard and continuing clockwise. The
+    /// caller tries candidates in order, skipping unhealthy ones — the
+    /// order itself never changes, which is what keeps cache affinity
+    /// through shard death and recovery.
+    pub fn candidates(&self, key: u64) -> Vec<usize> {
+        let target = remix(key);
+        let start = self.points.partition_point(|&(hash, _)| hash < target);
+        let mut seen = vec![false; self.backends];
+        let mut order = Vec::with_capacity(self.backends);
+        for step in 0..self.points.len() {
+            let (_, backend) = self.points[(start + step) % self.points.len()];
+            if !seen[backend as usize] {
+                seen[backend as usize] = true;
+                order.push(backend as usize);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The home shard for `key` (first candidate).
+    pub fn primary(&self, key: u64) -> usize {
+        self.candidates(key)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_candidate_list_is_a_permutation() {
+        let ring = Ring::new(4, 16);
+        for key in 0..200u64 {
+            let mut order = ring.candidates(key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            assert_eq!(order.len(), 4);
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn load_split_is_roughly_balanced() {
+        let ring = Ring::new(3, 64);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ring.primary(fnv1a(&key.to_le_bytes()))] += 1;
+        }
+        for (backend, &count) in counts.iter().enumerate() {
+            assert!(
+                (500..=1500).contains(&count),
+                "backend {backend} owns {count}/3000 keys — ring is lopsided: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_death_only_moves_the_dead_shards_keys() {
+        let ring = Ring::new(4, 32);
+        let dead = 2usize;
+        let mut moved = 0;
+        let total = 2000u64;
+        for key in 0..total {
+            let key = fnv1a(&key.to_le_bytes());
+            let order = ring.candidates(key);
+            let with_all = order[0];
+            let without_dead = *order
+                .iter()
+                .find(|&&backend| backend != dead)
+                .expect("3 shards remain");
+            if with_all == dead {
+                moved += 1;
+                assert_ne!(without_dead, dead);
+            } else {
+                // Keys not owned by the dead shard keep their home.
+                assert_eq!(with_all, without_dead);
+            }
+        }
+        // ~1/4 of keys lived on the dead shard; only those moved.
+        assert!(
+            (total / 8..=total / 2).contains(&(moved as u64)),
+            "moved {moved}/{total}"
+        );
+    }
+
+    #[test]
+    fn single_backend_ring_owns_everything() {
+        let ring = Ring::new(1, 8);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(ring.candidates(key), vec![0]);
+        }
+    }
+
+    #[test]
+    fn candidate_order_is_deterministic() {
+        let a = Ring::new(5, 16);
+        let b = Ring::new(5, 16);
+        for key in 0..100u64 {
+            assert_eq!(a.candidates(key), b.candidates(key));
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub mod jobs;
 pub mod metrics;
 pub mod netlist;
 pub mod server;
+pub mod store;
 
 pub use cache::{content_key, Begin, FlightError, ResultCache};
 pub use eval::{normalize, respond, EvalError};

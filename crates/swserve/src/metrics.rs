@@ -7,7 +7,7 @@
 //! separately.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use swjson::Json;
 
@@ -155,7 +155,7 @@ impl EndpointMetrics {
 }
 
 /// The whole server's metrics, surfaced at `GET /metrics`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerMetrics {
     /// `POST /v1/gate/eval`.
     pub gate_eval: EndpointMetrics,
@@ -189,12 +189,85 @@ pub struct ServerMetrics {
     pub jobs_failed: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+
+    /// Eval answers served from the disk store (`X-Cache: disk`).
+    pub store_hits: AtomicU64,
+    /// Disk-store lookups that found nothing.
+    pub store_misses: AtomicU64,
+    /// Records written to the disk store.
+    pub store_puts: AtomicU64,
+    /// Body bytes read back from the disk store.
+    pub store_read_bytes: AtomicU64,
+    /// Segment compactions the disk store has run.
+    pub store_compactions: AtomicU64,
+    /// Entries the manifest pre-warm inserted at boot.
+    pub store_prewarm_records: AtomicU64,
+    /// Live entries in the disk store (gauge).
+    pub store_entries: AtomicU64,
+    /// Total segment bytes on disk (gauge).
+    pub store_disk_bytes: AtomicU64,
+
+    /// When the process started serving (for `uptime_s`).
+    started: Instant,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> ServerMetrics {
+        ServerMetrics {
+            gate_eval: EndpointMetrics::default(),
+            netlist_eval: EndpointMetrics::default(),
+            jobs_submit: EndpointMetrics::default(),
+            jobs_get: EndpointMetrics::default(),
+            healthz: EndpointMetrics::default(),
+            metrics: EndpointMetrics::default(),
+            other: EndpointMetrics::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            jobs_accepted: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_puts: AtomicU64::new(0),
+            store_read_bytes: AtomicU64::new(0),
+            store_compactions: AtomicU64::new(0),
+            store_prewarm_records: AtomicU64::new(0),
+            store_entries: AtomicU64::new(0),
+            store_disk_bytes: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl ServerMetrics {
+    /// Copies a disk-store counter snapshot into the metrics atomics so
+    /// `/metrics` renders store state without holding a store handle.
+    pub fn sync_store(&self, counters: &swstore::StoreCounters) {
+        self.store_hits.store(counters.hits, Ordering::Relaxed);
+        self.store_misses.store(counters.misses, Ordering::Relaxed);
+        self.store_puts.store(counters.puts, Ordering::Relaxed);
+        self.store_read_bytes
+            .store(counters.read_bytes, Ordering::Relaxed);
+        self.store_compactions
+            .store(counters.compactions, Ordering::Relaxed);
+        self.store_prewarm_records
+            .store(counters.prewarm_records, Ordering::Relaxed);
+        self.store_entries
+            .store(counters.entries, Ordering::Relaxed);
+        self.store_disk_bytes
+            .store(counters.disk_bytes, Ordering::Relaxed);
+    }
     /// The full metrics document.
     pub fn render(&self) -> Json {
         Json::obj([
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+            (
+                "uptime_s",
+                Json::Num(self.started.elapsed().as_secs_f64().floor()),
+            ),
             (
                 "endpoints",
                 Json::obj([
@@ -213,6 +286,19 @@ impl ServerMetrics {
                     ("hits", load(&self.cache_hits)),
                     ("misses", load(&self.cache_misses)),
                     ("coalesced", load(&self.cache_coalesced)),
+                ]),
+            ),
+            (
+                "store",
+                Json::obj([
+                    ("hits", load(&self.store_hits)),
+                    ("misses", load(&self.store_misses)),
+                    ("puts", load(&self.store_puts)),
+                    ("read_bytes", load(&self.store_read_bytes)),
+                    ("compactions", load(&self.store_compactions)),
+                    ("prewarm_records", load(&self.store_prewarm_records)),
+                    ("entries", load(&self.store_entries)),
+                    ("disk_bytes", load(&self.store_disk_bytes)),
                 ]),
             ),
             (

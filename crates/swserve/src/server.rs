@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use swjson::Json;
 use swrun::ManifestWriter;
+use swstore::{Store, StoreConfig};
 
 use crate::cache::{content_key, Begin, FlightError, ResultCache};
 use crate::eval;
@@ -56,6 +57,14 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Manifest path for job results (`None` disables the manifest).
     pub manifest: Option<PathBuf>,
+    /// Disk-store directory for the second cache level (`None` keeps the
+    /// cache RAM-only, the pre-store behavior).
+    pub store: Option<PathBuf>,
+    /// Disk-store capacity in bytes (LRU compaction bound).
+    pub store_capacity_bytes: u64,
+    /// A JSON-lines manifest (or raw request log) replayed into the
+    /// disk store at boot; requires `store`.
+    pub prewarm: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +75,9 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_capacity: 1024,
             manifest: None,
+            store: None,
+            store_capacity_bytes: 64 << 20,
+            prewarm: None,
         }
     }
 }
@@ -73,6 +85,8 @@ impl Default for ServerConfig {
 struct Shared {
     metrics: ServerMetrics,
     cache: ResultCache,
+    /// The disk level of the cache hierarchy (None = RAM-only).
+    store: Option<Arc<Store>>,
     jobs: JobStore,
     manifest: Option<Arc<ManifestWriter>>,
     queue_depth: usize,
@@ -135,10 +149,39 @@ impl Server {
                 |e| std::io::Error::other(format!("manifest `{}`: {e}", path.display())),
             )?)),
         };
+        let store = match &config.store {
+            None => None,
+            Some(dir) => {
+                let store =
+                    Store::open(StoreConfig::new(dir).capacity_bytes(config.store_capacity_bytes))
+                        .map_err(|e| {
+                            std::io::Error::other(format!("store `{}`: {e}", dir.display()))
+                        })?;
+                let store = Arc::new(store);
+                if let Some(manifest) = &config.prewarm {
+                    let warmed = crate::store::prewarm(&store, manifest).map_err(|e| {
+                        std::io::Error::other(format!("pre-warm `{}`: {e}", manifest.display()))
+                    })?;
+                    if warmed > 0 {
+                        eprintln!(
+                            "swserve: pre-warmed {warmed} result(s) from {}",
+                            manifest.display()
+                        );
+                    }
+                }
+                Some(store)
+            }
+        };
         let shared = Arc::new(Shared {
             metrics: ServerMetrics::default(),
             cache: ResultCache::new(config.cache_capacity),
-            jobs: JobStore::start(config.workers, config.queue_depth, manifest.clone()),
+            jobs: JobStore::start(
+                config.workers,
+                config.queue_depth,
+                manifest.clone(),
+                store.clone(),
+            ),
+            store,
             manifest,
             queue_depth: config.queue_depth,
             admitted: AtomicUsize::new(0),
@@ -260,6 +303,9 @@ fn sync_job_counters(shared: &Shared) {
         .store(accepted, Ordering::Relaxed);
     shared.metrics.jobs_done.store(done, Ordering::Relaxed);
     shared.metrics.jobs_failed.store(failed, Ordering::Relaxed);
+    if let Some(store) = &shared.store {
+        shared.metrics.sync_store(&store.counters());
+    }
 }
 
 /// One response, ready to write: status, extra headers, JSON body.
@@ -450,7 +496,7 @@ fn cached_eval(
     match shared.cache.begin(key) {
         Begin::Hit(body) => {
             shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            Reply::cached(&body, "hit")
+            Reply::cached(&body, "ram")
         }
         Begin::Follower(flight) => match flight.wait() {
             Ok(body) => {
@@ -472,6 +518,16 @@ fn cached_eval(
                 shared.cache.abandon(token, FlightError::Shed);
                 return Reply::error(503, "server is draining");
             }
+            // Disk level, consulted under the leader token so N
+            // concurrent identical requests still cost one disk read.
+            // A disk hit promotes the body into RAM via `complete`
+            // (followers and future repeats answer from RAM).
+            if let Some(store) = &shared.store {
+                if let Some(body) = store.get(key).and_then(|b| String::from_utf8(b).ok()) {
+                    let body = shared.cache.complete(token, body);
+                    return Reply::cached(&body, "disk");
+                }
+            }
             if shared.admitted.fetch_add(1, Ordering::SeqCst) >= shared.queue_depth {
                 shared.admitted.fetch_sub(1, Ordering::SeqCst);
                 shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
@@ -483,6 +539,14 @@ fn cached_eval(
             match outcome {
                 Ok(body) => {
                     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    // Write through to disk so the result survives a
+                    // restart; a store write failure only costs
+                    // durability, never the response.
+                    if let Some(store) = &shared.store {
+                        if let Err(e) = store.put(key, body.as_bytes()) {
+                            eprintln!("swserve: store write failed: {e}");
+                        }
+                    }
                     let body = shared.cache.complete(token, body);
                     Reply::cached(&body, "miss")
                 }
@@ -544,8 +608,9 @@ mod tests {
         Arc::new(Shared {
             metrics: ServerMetrics::default(),
             cache: ResultCache::new(8),
-            jobs: JobStore::start(1, queue_depth, None),
+            jobs: JobStore::start(1, queue_depth, None, None),
             manifest: None,
+            store: None,
             queue_depth,
             admitted: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -606,7 +671,7 @@ mod tests {
         let reordered = post("/v1/gate/eval", r#"{"inputs":[0,1,1],"gate":"maj3"}"#);
         let (second, _) = route(&reordered, &shared);
         assert_eq!(second.status, 200);
-        assert_eq!(second.extra, vec![("x-cache", "hit".to_string())]);
+        assert_eq!(second.extra, vec![("x-cache", "ram".to_string())]);
         assert_eq!(first.body, second.body, "cache must not change bytes");
         assert_eq!(shared.metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(shared.metrics.cache_misses.load(Ordering::Relaxed), 1);
@@ -626,7 +691,7 @@ mod tests {
         let spelled = Json::obj([("source", Json::str(&source))]).render();
         let (second, _) = route(&post("/v1/netlist/eval", &spelled), &shared);
         assert_eq!(second.status, 200);
-        assert_eq!(second.extra, vec![("x-cache", "hit".to_string())]);
+        assert_eq!(second.extra, vec![("x-cache", "ram".to_string())]);
         assert_eq!(first.body, second.body);
         // And the body matches the CLI responder byte for byte.
         let cli = netlist::respond(&Json::parse(r#"{"demo":"mul2"}"#).unwrap()).unwrap();

@@ -1,0 +1,135 @@
+//! The serving tier's view of the disk store: opening it from a
+//! [`crate::server::ServerConfig`] and pre-warming it from JSON-lines
+//! manifests.
+//!
+//! The store itself ([`swstore::Store`]) knows nothing about requests —
+//! it maps 64-bit keys to byte bodies. This module supplies the
+//! serving-side mapping for [`swstore::Store::prewarm`]: each manifest
+//! line is interpreted as either
+//!
+//! * a **swrun/swserve job record** (`{"record":"job","status":"done",
+//!   "inputs":…,"outputs":…}`): the normalized job request in `inputs`
+//!   is keyed exactly as [`crate::jobs`] keys submissions, and the
+//!   recorded `outputs` become the stored body — a restarted server
+//!   answers a resubmission of that job from disk instead of re-running
+//!   minutes of LLG simulation; or
+//! * a **raw eval request** (any other JSON object): the request is
+//!   pushed through the same normalize → evaluate pipeline the live
+//!   endpoints use (gate first, then netlist), and the rendered
+//!   response body is stored. Re-evaluating instead of trusting a
+//!   recorded body keeps the byte-identity invariant by construction —
+//!   a stored body can never drift from what the server would say —
+//!   and both pipelines are analytic (microseconds per request).
+//!
+//! Lines that are neither (unparseable tails, failed jobs, summary
+//! records) are skipped, matching swrun's own replay tolerance.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use swjson::Json;
+use swstore::Store;
+
+use crate::cache::content_key;
+use crate::{eval, netlist};
+
+/// Maps one manifest line to a `(content key, body)` store entry; see
+/// the module docs for the accepted shapes. `None` skips the line.
+pub fn prewarm_entry(record: &Json) -> Option<(u64, String)> {
+    if record.get("record").is_some() {
+        // Manifest record. Only completed jobs carry reusable outputs.
+        if record.get("record").and_then(Json::as_str) != Some("job")
+            || record.get("status").and_then(Json::as_str) != Some("done")
+        {
+            return None;
+        }
+        let inputs = record.get("inputs")?;
+        let outputs = record.get("outputs")?;
+        // `inputs` was normalized at submit time; hashing its rendering
+        // reproduces the submission's content key.
+        return Some((content_key(&inputs.render()), outputs.render()));
+    }
+    // A raw request line: evaluate it the way the live endpoints would.
+    for (normalize, evaluate) in [
+        (
+            eval::normalize as fn(&Json) -> _,
+            eval::evaluate as fn(&Json) -> _,
+        ),
+        (netlist::normalize, netlist::evaluate),
+    ] {
+        if let Ok(normalized) = normalize(record) {
+            let body = evaluate(&normalized).ok()?.render();
+            return Some((content_key(&normalized.render()), body));
+        }
+    }
+    None
+}
+
+/// Replays `manifest` into `store` with [`prewarm_entry`]; returns the
+/// number of entries inserted. A missing manifest warms nothing.
+///
+/// # Errors
+///
+/// Manifest read failures and store write failures.
+pub fn prewarm(store: &Arc<Store>, manifest: &Path) -> std::io::Result<usize> {
+    store.prewarm(manifest, prewarm_entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_records_map_to_their_submission_key() {
+        let record = Json::parse(
+            r#"{"record":"job","status":"done","id":"job-1-abc","inputs":{"kind":"sleep","ms":5.0},"outputs":{"slept_ms":5.0},"wall_ms":5.2}"#,
+        )
+        .unwrap();
+        let (key, body) = prewarm_entry(&record).expect("done jobs warm");
+        assert_eq!(key, content_key(r#"{"kind":"sleep","ms":5.0}"#));
+        assert_eq!(body, r#"{"slept_ms":5.0}"#);
+    }
+
+    #[test]
+    fn unfinished_and_foreign_records_are_skipped() {
+        for raw in [
+            r#"{"record":"job","status":"failed","inputs":{},"error":"x"}"#,
+            r#"{"record":"job","status":"running","inputs":{}}"#,
+            r#"{"record":"summary","jobs":3.0}"#,
+        ] {
+            assert!(
+                prewarm_entry(&Json::parse(raw).unwrap()).is_none(),
+                "`{raw}` must not warm"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_gate_requests_warm_with_live_serving_bytes() {
+        let raw = Json::parse(r#"{"gate":"maj3","inputs":[0,1,1]}"#).unwrap();
+        let (key, body) = prewarm_entry(&raw).expect("valid gate request warms");
+        let normalized = eval::normalize(&raw).unwrap();
+        assert_eq!(key, content_key(&normalized.render()));
+        // The stored body is exactly what the endpoint would answer.
+        assert_eq!(body, eval::respond(&raw).unwrap());
+    }
+
+    #[test]
+    fn raw_netlist_requests_warm_too() {
+        let raw = Json::parse(r#"{"demo":"full_adder"}"#).unwrap();
+        let (key, body) = prewarm_entry(&raw).expect("valid netlist request warms");
+        let normalized = netlist::normalize(&raw).unwrap();
+        assert_eq!(key, content_key(&normalized.render()));
+        assert_eq!(body, netlist::respond(&raw).unwrap());
+    }
+
+    #[test]
+    fn invalid_requests_warm_nothing() {
+        for raw in [r#"{"gate":"warp"}"#, r#"{"demo":"alu"}"#, r#"[1,2,3]"#] {
+            assert!(
+                prewarm_entry(&Json::parse(raw).unwrap()).is_none(),
+                "`{raw}` must not warm"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden content-address values. The FNV-1a key of the canonical
+//! request rendering is the contract shared by the RAM cache, the disk
+//! store's segment records, the job manifest replay, and the router's
+//! hash ring — if any of these hashes drift, warmed disk stores stop
+//! matching and shard affinity silently reshuffles. These pins turn
+//! that drift into a test failure.
+
+use swjson::Json;
+use swserve::cache::content_key;
+
+type Normalizer = fn(&Json) -> Result<Json, swserve::EvalError>;
+
+/// The key exactly as the server derives it: parse, normalize through
+/// the endpoint's canonicalizer, hash the canonical rendering.
+fn key_of(raw: &str, normalize: Normalizer) -> u64 {
+    let parsed = Json::parse(raw).expect("test request parses");
+    let canonical = normalize(&parsed).expect("test request normalizes");
+    content_key(&canonical.render())
+}
+
+#[test]
+fn canonical_request_hashes_are_pinned() {
+    let gate = swserve::eval::normalize as Normalizer;
+    let netlist = swserve::netlist::normalize as Normalizer;
+    let cases: [(&str, &str, Normalizer, u64); 8] = [
+        (
+            "gate-maj3",
+            r#"{"gate":"maj3","inputs":[0,1,1]}"#,
+            gate,
+            0x1d60f2825a96008f,
+        ),
+        (
+            "gate-xor-truth-table",
+            r#"{"gate":"xor"}"#,
+            gate,
+            0xa5a3d47493bfb7a2,
+        ),
+        (
+            "gate-nand-ideal-backend",
+            r#"{"gate":"nand","inputs":[1,1],"backend":"ideal"}"#,
+            gate,
+            0xed535dbc54fdb8f2,
+        ),
+        (
+            "circuit-full-adder",
+            r#"{"kind":"circuit","circuit":"full_adder","inputs":[1,1,1]}"#,
+            gate,
+            0x649b943c2c95b9fb,
+        ),
+        (
+            "circuit-rca2",
+            r#"{"kind":"circuit","circuit":"ripple_carry_adder","width":2}"#,
+            gate,
+            0xba94e1f381876c16,
+        ),
+        (
+            "netlist-demo-rca4",
+            r#"{"demo":"rca4"}"#,
+            netlist,
+            0x14e8f0a8cea1610b,
+        ),
+        (
+            "netlist-truth-table",
+            r#"{"table":["01101001","00010111"]}"#,
+            netlist,
+            0x0351d29d33d80223,
+        ),
+        (
+            "netlist-source",
+            r#"{"source":"input a b\noutput y\ny = maj3 a a b\n"}"#,
+            netlist,
+            0x2f023ee64d38b038,
+        ),
+    ];
+
+    let actual: Vec<String> = cases
+        .iter()
+        .map(|(name, raw, normalize, _)| format!("{name}: {:#018x}", key_of(raw, *normalize)))
+        .collect();
+    let expected: Vec<String> = cases
+        .iter()
+        .map(|(name, _, _, key)| format!("{name}: {key:#018x}"))
+        .collect();
+    assert_eq!(
+        actual, expected,
+        "canonical content hashes drifted — warmed disk stores and \
+         shard affinity would break for existing deployments"
+    );
+}
+
+#[test]
+fn field_order_and_default_elision_do_not_change_the_key() {
+    let gate = swserve::eval::normalize;
+    // Same request, shuffled field order: normalization sorts keys.
+    let a = key_of(r#"{"gate":"maj3","inputs":[0,1,1]}"#, gate);
+    let b = key_of(r#"{"inputs":[0,1,1],"gate":"maj3"}"#, gate);
+    assert_eq!(a, b, "field order must not change the content address");
+    // Spelling out the default backend must land on the same address as
+    // leaving it implicit.
+    let implicit = key_of(r#"{"gate":"xor","inputs":[1,0]}"#, gate);
+    let explicit = key_of(r#"{"gate":"xor","inputs":[1,0],"backend":"paper"}"#, gate);
+    assert_eq!(
+        implicit, explicit,
+        "an explicit default backend must not change the content address"
+    );
+}

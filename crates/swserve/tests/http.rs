@@ -137,7 +137,7 @@ fn netlist_endpoint_compiles_scores_and_caches() {
     }
     // A repeat is a cache hit with identical bytes.
     let first = call(addr, "POST", "/v1/netlist/eval", r#"{"demo":"rca4"}"#);
-    assert_eq!(first.header("x-cache"), Some("hit"));
+    assert_eq!(first.header("x-cache"), Some("ram"));
     // The 2-bit multiplier evaluated at 3×2: outputs are 6 = 0110 LE.
     let mul = call(
         addr,
@@ -168,7 +168,7 @@ fn repeats_hit_the_cache_and_concurrent_identicals_coalesce() {
     assert_eq!(first.status, 200);
     assert_eq!(first.header("x-cache"), Some("miss"));
     let second = call(addr, "POST", "/v1/gate/eval", raw);
-    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(second.header("x-cache"), Some("ram"));
     assert_eq!(first.body, second.body);
 
     // 16 clients fire an identical *fresh* request at once; the metrics

@@ -1,0 +1,216 @@
+//! The on-disk record format of a segment file.
+//!
+//! A segment is a flat sequence of records, each fully self-describing:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  = 0x53_57_53_31 ("SWS1", little-endian u32)
+//!      4     8  key    (u64, little-endian — the FNV-1a content key)
+//!     12     4  len    (u32, little-endian — body length in bytes)
+//!     16     4  crc    (u32, little-endian — CRC-32/IEEE over key ‖ len ‖ body)
+//!     20   len  body
+//! ```
+//!
+//! The CRC covers everything after the magic, so a record is either
+//! verifiably whole or rejected; there is no state a reader can trust
+//! halfway. A write interrupted mid-record (crash, SIGKILL) leaves a
+//! tail that fails the magic, length, or CRC check — [`scan`] reports
+//! how many bytes of the segment are valid so the opener can truncate
+//! the torn tail and keep appending after the last good record.
+
+/// Record header magic: "SWS1" as a little-endian u32.
+pub const MAGIC: u32 = 0x3153_5753;
+/// Bytes of header before the body.
+pub const HEADER_LEN: usize = 20;
+/// Largest accepted record body (16 MiB — response bodies are small;
+/// this bound keeps a corrupt length field from provoking a huge
+/// allocation during recovery).
+pub const MAX_BODY: usize = 16 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) — the same
+/// polynomial gzip and PNG use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    }
+    static TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+fn record_crc(key: u64, body: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(12 + body.len());
+    covered.extend_from_slice(&key.to_le_bytes());
+    covered.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    covered.extend_from_slice(body);
+    crc32(&covered)
+}
+
+/// Encodes one record, header + body, ready to append to a segment.
+pub fn encode(key: u64, body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_BODY, "record body exceeds MAX_BODY");
+    let mut record = Vec::with_capacity(HEADER_LEN + body.len());
+    record.extend_from_slice(&MAGIC.to_le_bytes());
+    record.extend_from_slice(&key.to_le_bytes());
+    record.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    record.extend_from_slice(&record_crc(key, body).to_le_bytes());
+    record.extend_from_slice(body);
+    record
+}
+
+/// One record located by [`scan`]: its key and where its body lives in
+/// the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// The content key.
+    pub key: u64,
+    /// Byte offset of the body within the segment file.
+    pub body_offset: u64,
+    /// Body length in bytes.
+    pub body_len: u32,
+}
+
+/// The result of scanning a segment's bytes.
+#[derive(Debug)]
+pub struct Scan {
+    /// Every whole, CRC-valid record, in file order.
+    pub records: Vec<ScannedRecord>,
+    /// Bytes of the segment that are valid; anything past this offset is
+    /// a torn or corrupt tail the opener should truncate.
+    pub valid_len: u64,
+}
+
+fn le_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+/// Walks a segment's bytes record by record, stopping at the first
+/// framing or checksum violation. Scanning never fails — a corrupt or
+/// torn segment simply yields a shorter `valid_len`.
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < HEADER_LEN {
+            break;
+        }
+        if le_u32(&rest[0..4]) != MAGIC {
+            break;
+        }
+        let key = le_u64(&rest[4..12]);
+        let len = le_u32(&rest[12..16]) as usize;
+        let crc = le_u32(&rest[16..20]);
+        if len > MAX_BODY || rest.len() < HEADER_LEN + len {
+            break;
+        }
+        let body = &rest[HEADER_LEN..HEADER_LEN + len];
+        if record_crc(key, body) != crc {
+            break;
+        }
+        records.push(ScannedRecord {
+            key,
+            body_offset: (offset + HEADER_LEN) as u64,
+            body_len: len as u32,
+        });
+        offset += HEADER_LEN + len;
+    }
+    Scan {
+        records,
+        valid_len: offset as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn encode_then_scan_round_trips() {
+        let mut segment = Vec::new();
+        segment.extend_from_slice(&encode(7, b"alpha"));
+        segment.extend_from_slice(&encode(9, b""));
+        segment.extend_from_slice(&encode(7, b"alpha-v2"));
+        let scan = scan(&segment);
+        assert_eq!(scan.valid_len, segment.len() as u64);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0].key, 7);
+        assert_eq!(scan.records[1].body_len, 0);
+        let last = scan.records[2];
+        let body = &segment
+            [last.body_offset as usize..(last.body_offset + u64::from(last.body_len)) as usize];
+        assert_eq!(body, b"alpha-v2");
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_the_last_whole_record() {
+        let mut segment = Vec::new();
+        let first = encode(1, b"whole");
+        segment.extend_from_slice(&first);
+        let torn = encode(2, b"interrupted mid-write");
+        segment.extend_from_slice(&torn[..torn.len() - 3]);
+        let scan = scan(&segment);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, first.len() as u64);
+    }
+
+    #[test]
+    fn flipped_body_bit_fails_the_crc() {
+        let mut segment = encode(3, b"payload");
+        let last = segment.len() - 1;
+        segment[last] ^= 0x01;
+        let scan = scan(&segment);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn corrupt_length_cannot_provoke_a_huge_read() {
+        let mut segment = encode(4, b"x");
+        // Claim a 2 GiB body: the scan must stop, not allocate.
+        segment[12..16].copy_from_slice(&(2u32 << 30).to_le_bytes());
+        let scan = scan(&segment);
+        assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn garbage_prefix_yields_nothing() {
+        let scan = scan(b"not a segment at all, just bytes");
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+    }
+}

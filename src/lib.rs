@@ -17,6 +17,12 @@
 //!   scored circuits (`repro compile`).
 //! * [`swserve`] — the gate-evaluation HTTP service (`repro serve`)
 //!   with coalescing, content-addressed caching, and backpressure.
+//! * [`swstore`] — the disk-backed content-addressed result store
+//!   behind `repro serve --store`: crash-safe append-only segments,
+//!   CRC-checked records, LRU compaction, manifest pre-warm.
+//! * [`swrouter`] — the consistent-hash shard router (`repro route`)
+//!   spreading request keys across swserve processes with cache
+//!   affinity, keep-alive pools, and failover.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -26,5 +32,7 @@ pub use swjson;
 pub use swnet;
 pub use swperf;
 pub use swphys;
+pub use swrouter;
 pub use swrun;
 pub use swserve;
+pub use swstore;
